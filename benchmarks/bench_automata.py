@@ -1,0 +1,57 @@
+"""Automata-substrate benchmarks: compilation, minimisation, inclusion.
+
+Characterises the exact-checking layer as the finite universe grows —
+DFA sizes scale combinatorially with the number of environment objects
+(the RW state space is per-caller sessions × global counters).
+"""
+
+import pytest
+
+from repro.automata.build import lift_dfa, machine_to_dfa
+from repro.automata.ops import inclusion_counterexample, minimize, product
+from repro.checker.compile import spec_dfa
+from repro.checker.universe import FiniteUniverse
+
+
+@pytest.mark.parametrize("env_objects", [1, 2, 3])
+def bench_compile_rw_dfa(benchmark, cast, env_objects):
+    rw = cast.rw()
+    u = FiniteUniverse.for_specs(rw, env_objects=env_objects)
+    dfa = benchmark(lambda: spec_dfa(rw, u))
+    assert dfa.n_states > 1
+
+
+@pytest.mark.parametrize("env_objects", [1, 2, 3])
+def bench_minimize_rw_dfa(benchmark, cast, env_objects):
+    rw = cast.rw()
+    u = FiniteUniverse.for_specs(rw, env_objects=env_objects)
+    dfa = spec_dfa(rw, u)
+    m = benchmark(lambda: minimize(dfa))
+    assert m.n_states <= dfa.n_states
+
+
+def bench_product(benchmark, cast):
+    rw, write = cast.rw(), cast.write()
+    u = FiniteUniverse.for_specs(rw, write, env_objects=2)
+    a = spec_dfa(rw, u)
+    b = lift_dfa(spec_dfa(write, u), a.letters, write.alphabet)
+    p = benchmark(lambda: product(a, b, lambda x, y: x and y))
+    assert p.n_states >= 1
+
+
+def bench_inclusion_with_counterexample(benchmark, cast):
+    rw, read2 = cast.rw(), cast.read2()
+    u = FiniteUniverse.for_specs(rw, read2, env_objects=2)
+    a = spec_dfa(rw, u)
+    b = lift_dfa(spec_dfa(read2, u), a.letters, read2.alphabet)
+    cex = benchmark(lambda: inclusion_counterexample(a, b))
+    assert cex is not None
+
+
+def bench_machine_to_dfa_write(benchmark, cast):
+    write = cast.write()
+    u = FiniteUniverse.for_specs(write, env_objects=3)
+    events = u.events_for(write.alphabet)
+    machine = write.traces.machine()
+    dfa = benchmark(lambda: machine_to_dfa(machine, events))
+    assert dfa.is_prefix_closed()

@@ -1,0 +1,50 @@
+"""EX1 benchmarks: specification construction and trace membership.
+
+Covers the remaining Example 1 workload: building the Read/Write
+specifications (regex compilation, alphabet construction) and deciding
+trace membership for accepting and violating runs.
+"""
+
+from repro.core.events import Event
+from repro.core.traces import Trace
+from repro.core.values import DataVal, ObjectId
+
+
+def bench_ex1_build_read(benchmark, cast):
+    spec = benchmark(cast.read)
+    assert spec.is_interface()
+
+
+def bench_ex1_build_write(benchmark, cast):
+    spec = benchmark(cast.write)
+    assert spec.is_interface()
+
+
+def bench_ex3_build_rw(benchmark, cast):
+    spec = benchmark(cast.rw)
+    assert spec.alphabet.is_infinite()
+
+
+def bench_ex1_write_membership(benchmark, cast):
+    o = cast.o
+    x = ObjectId("x")
+    d = DataVal("Data", "d")
+    h = Trace.of(
+        Event(x, o, "OW"), Event(x, o, "W", (d,)), Event(x, o, "CW")
+    )  # a full session
+    write = cast.write()
+    assert benchmark(lambda: write.admits(h))
+
+
+def bench_ex1_write_rejection(benchmark, cast):
+    o = cast.o
+    x, y = ObjectId("x"), ObjectId("y")
+    h = Trace.of(Event(x, o, "OW"), Event(y, o, "OW"))
+    write = cast.write()
+    assert benchmark(lambda: not write.admits(h))
+
+
+def bench_ex1_alphabet_membership(benchmark, cast):
+    e = Event(ObjectId("x"), cast.o, "R", (DataVal("Data", "d"),))
+    alpha = cast.read().alphabet
+    assert benchmark(lambda: alpha.contains(e))

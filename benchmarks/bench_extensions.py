@@ -1,0 +1,60 @@
+"""Benchmarks for the extension layers: transformers, liveness, AG specs."""
+
+from repro.checker.refinement import check_refinement
+from repro.core.composition import compose
+from repro.core.transform import rename_objects, restrict_communication
+from repro.core.values import ObjectId
+from repro.liveness import quiescence_analysis, responsiveness_analysis
+from repro.machines.counting import (
+    CountingMachine,
+    Linear,
+    difference_counter,
+    method_counter,
+)
+
+
+def bench_restrict_communication_builds_rw2(benchmark, cast):
+    rw = cast.rw()
+    spec = benchmark(lambda: restrict_communication(rw, [cast.c]))
+    assert spec.objects == rw.objects
+
+
+def bench_rename_and_check(benchmark, cast):
+    p = ObjectId("p")
+
+    def run():
+        rw_p = rename_objects(cast.rw(), {cast.o: p})
+        write_p = rename_objects(cast.write(), {cast.o: p})
+        return check_refinement(rw_p, write_p)
+
+    assert benchmark(run).holds
+
+
+def bench_quiescence_live_composition(benchmark, cast):
+    comp = compose(cast.client(), cast.write_acc())
+    report = benchmark(lambda: quiescence_analysis(comp))
+    assert report.deadlock_free
+
+
+def bench_quiescence_deadlocked_composition(benchmark, cast):
+    comp = compose(cast.client2(), cast.write_acc())
+    report = benchmark(lambda: quiescence_analysis(comp))
+    assert not report.deadlock_free
+
+
+def bench_responsiveness_server(benchmark, upgrade):
+    spec = upgrade.upgraded_spec()
+    goal = CountingMachine(
+        (difference_counter("REQ", "ACK"),), Linear((1,), 0, "==")
+    )
+    report = benchmark(lambda: responsiveness_analysis(spec, goal))
+    assert report.responsive
+
+
+def bench_responsiveness_ok_stream(benchmark, cast):
+    comp = compose(cast.client(), cast.write_acc())
+    goal = CountingMachine(
+        (method_counter("OK"),), Linear((1,), -3, ">="), saturate_at=3
+    )
+    report = benchmark(lambda: responsiveness_analysis(comp, goal))
+    assert report.responsive

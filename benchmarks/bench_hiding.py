@@ -1,0 +1,59 @@
+"""Hidden-event search benchmarks and the memoisation ablation.
+
+The composed-trace-set membership search deduplicates on (position,
+product-state); this is what keeps the Example 4 witness search linear in
+the observable length instead of exponential in the insertions.  The
+"ablation" here contrasts the memoised search with the exact DFA route
+(compile once, then O(n) membership) — the classic build-vs-query
+trade-off.
+"""
+
+import pytest
+
+from repro.checker.compile import spec_dfa
+from repro.checker.universe import FiniteUniverse
+from repro.core.composition import compose
+from repro.core.events import Event
+from repro.core.traces import Trace
+
+
+@pytest.mark.parametrize("n_oks", [2, 8, 16])
+def bench_memoised_search(benchmark, cast, n_oks):
+    comp = compose(cast.client(), cast.write_acc())
+    ok = Event(cast.c, cast.mon, "OK")
+    trace = Trace((ok,) * n_oks)
+    assert benchmark(lambda: comp.traces.witness(trace)) is not None
+
+
+@pytest.mark.parametrize("n_oks", [2, 8, 16])
+def bench_dfa_route(benchmark, cast, n_oks):
+    """Compile the composition to a DFA, then decide membership."""
+    client, wacc = cast.client(), cast.write_acc()
+    comp = compose(client, wacc)
+    u = FiniteUniverse.for_specs(client, wacc)
+    ok = Event(cast.c, cast.mon, "OK")
+    word = (ok,) * n_oks
+
+    def run():
+        dfa = spec_dfa(comp, u)
+        return dfa.accepts(word)
+
+    assert benchmark(run)
+
+
+def bench_dfa_membership_amortised(benchmark, cast):
+    """Query cost alone once the DFA is built (the amortised regime)."""
+    client, wacc = cast.client(), cast.write_acc()
+    comp = compose(client, wacc)
+    u = FiniteUniverse.for_specs(client, wacc)
+    dfa = spec_dfa(comp, u)
+    ok = Event(cast.c, cast.mon, "OK")
+    word = (ok,) * 64
+    assert benchmark(lambda: dfa.accepts(word))
+
+
+def bench_hidden_candidate_pool(benchmark, cast):
+    """Cost of assembling the candidate internal-event pool."""
+    comp = compose(cast.client(), cast.write_acc())
+    pool = benchmark(lambda: comp.traces.hidden_candidates(Trace.empty()))
+    assert pool

@@ -1,0 +1,84 @@
+"""Law-replay benchmarks: Property 5, Lemma 6, Theorems 7/16/18.
+
+One benchmark per meta-claim on the paper's own instances — together they
+time the full "PVS replay" workload that EXPERIMENTS.md records.
+"""
+
+from repro.checker.laws import (
+    law_lemma6,
+    law_lemma13,
+    law_lemma15,
+    law_property5,
+    law_property12,
+    law_property17,
+    law_theorem7,
+    law_theorem16,
+    law_theorem18,
+)
+from repro.paper.claims import lemma13_component, okflow_spec
+
+
+def bench_property5(benchmark, cast):
+    write = cast.write()
+    assert benchmark(lambda: law_property5(write)).holds
+
+
+def bench_lemma6(benchmark, cast):
+    read, write, rw = cast.read(), cast.write(), cast.rw()
+    assert benchmark(lambda: law_lemma6(read, write, candidates=(rw,))).holds
+
+
+def bench_theorem7(benchmark, cast):
+    write, wacc, client = cast.write(), cast.write_acc(), cast.client()
+    assert benchmark(lambda: law_theorem7(write, wacc, client)).holds
+
+
+def bench_property12(benchmark, cast):
+    wacc, client, okf = cast.write_acc(), cast.client(), okflow_spec(cast)
+    assert benchmark(lambda: law_property12(wacc, client, okf)).holds
+
+
+def bench_lemma13(benchmark, cast):
+    from repro.checker.soundness import universe_for_component
+
+    okf, write = okflow_spec(cast), cast.write()
+    comp = lemma13_component(cast)
+    u = universe_for_component(comp, okf, write, env_objects=1)
+    assert benchmark(lambda: law_lemma13(okf, write, comp, u)).holds
+
+
+def bench_lemma15_symbolic(benchmark, upgrade):
+    server, up, client = (
+        upgrade.server_spec(),
+        upgrade.upgraded_spec(),
+        upgrade.client_spec(),
+    )
+    assert benchmark(lambda: law_lemma15(server, up, client)).holds
+
+
+def bench_theorem16(benchmark, upgrade):
+    server, up, client = (
+        upgrade.server_spec(),
+        upgrade.upgraded_spec(),
+        upgrade.client_spec(),
+    )
+    assert benchmark(lambda: law_theorem16(server, up, client)).holds
+
+
+def bench_property17(benchmark, cast):
+    write, wacc, client = cast.write(), cast.write_acc(), cast.client()
+    assert benchmark(lambda: law_property17(write, wacc, client)).holds
+
+
+def bench_theorem18(benchmark, cast):
+    write, wacc, client = cast.write(), cast.write_acc(), cast.client()
+    assert benchmark(lambda: law_theorem18(write, wacc, client)).holds
+
+
+def bench_refinement_matrix(benchmark, cast):
+    """The full Examples 1–3 lattice: 12 pairwise checks."""
+    from repro.checker.report import refinement_matrix
+
+    specs = [cast.read(), cast.write(), cast.read2(), cast.rw()]
+    matrix = benchmark(lambda: refinement_matrix(specs))
+    assert matrix.holds(3, 0)  # RW ⊑ Read

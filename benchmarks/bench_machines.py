@@ -1,0 +1,79 @@
+"""Machine-evaluation throughput: long traces through each machine kind.
+
+The online-monitoring story (and the bounded checker) stream events
+through trace machines; these benchmarks measure events/second for the
+paper's three predicate styles — prs-regex with binders, per-object
+quantification, and counting — plus their conjunction (the RW machine).
+"""
+
+import pytest
+
+from repro.core.events import Event
+from repro.core.traces import Trace
+from repro.core.values import DataVal, ObjectId
+
+
+def _protocol_trace(cast, n_sessions: int) -> Trace:
+    """n interleaved read sessions and serialized write sessions."""
+    o = cast.o
+    xs = [ObjectId(f"x{i}") for i in range(4)]
+    d = DataVal("Data", "d")
+    events = []
+    for i in range(n_sessions):
+        x = xs[i % len(xs)]
+        events += [
+            Event(x, o, "OW"),
+            Event(x, o, "W", (d,)),
+            Event(x, o, "CW"),
+        ]
+        y = xs[(i + 1) % len(xs)]
+        events += [
+            Event(y, o, "OR"),
+            Event(y, o, "R", (d,)),
+            Event(y, o, "CR"),
+        ]
+    return Trace(tuple(events))
+
+
+@pytest.mark.parametrize("n_sessions", [10, 50])
+def bench_write_regex_machine(benchmark, cast, n_sessions):
+    trace = _protocol_trace(cast, n_sessions)
+    write_trace = trace.filter(cast.write().alphabet)
+    machine = cast.write().traces.machine()
+    assert benchmark(lambda: machine.accepts(write_trace))
+
+
+@pytest.mark.parametrize("n_sessions", [10, 50])
+def bench_read2_forall_machine(benchmark, cast, n_sessions):
+    trace = _protocol_trace(cast, n_sessions)
+    read_trace = trace.filter(cast.read2().alphabet)
+    machine = cast.read2().traces.machine()
+    assert benchmark(lambda: machine.accepts(read_trace))
+
+
+@pytest.mark.parametrize("n_sessions", [10, 50])
+def bench_prw2_counting_machine(benchmark, cast, n_sessions):
+    trace = _protocol_trace(cast, n_sessions)
+    machine = cast.prw2_machine()
+    assert benchmark(lambda: machine.accepts(trace))
+
+
+@pytest.mark.parametrize("n_sessions", [10, 50])
+def bench_rw_conjunction_machine(benchmark, cast, n_sessions):
+    trace = _protocol_trace(cast, n_sessions)
+    machine = cast.rw().traces.machine()
+    assert benchmark(lambda: machine.accepts(trace))
+
+
+def bench_violation_detection_early_exit(benchmark, cast):
+    """Rejection should cost only the violating prefix, not the full trace."""
+    o = cast.o
+    d = DataVal("Data", "d")
+    bad = Trace(
+        (Event(ObjectId("x0"), o, "W", (d,)),)  # write without opening
+        + tuple(
+            Event(ObjectId("x1"), o, "R", (d,)) for _ in range(500)
+        )
+    )
+    machine = cast.rw().traces.machine()
+    assert benchmark(lambda: machine.violation_index(bad)) == 1

@@ -1,0 +1,78 @@
+"""OUN front-end benchmarks: lexing, parsing, elaboration."""
+
+from repro.oun import load_specifications, parse_document
+from repro.oun.lexer import tokenize
+
+DOCUMENT = """
+object o
+sort Objects = Obj \\ { o }
+
+specification Read {
+  objects o
+  method R(Data)
+  alphabet { <x, o, R(_)> where x : Objects; }
+  traces true
+}
+
+specification Write {
+  objects o
+  method OW, CW, W(Data)
+  alphabet {
+    <x, o, OW>   where x : Objects;
+    <x, o, CW>   where x : Objects;
+    <x, o, W(_)> where x : Objects;
+  }
+  traces prs "[[<x,o,OW> <x,o,W(_)>* <x,o,CW>] . x : Objects]*"
+}
+
+specification RW {
+  objects o
+  method OW, CW, W(Data), OR, CR, R(Data)
+  alphabet {
+    <x, o, OW>   where x : Objects;
+    <x, o, CW>   where x : Objects;
+    <x, o, W(_)> where x : Objects;
+    <x, o, OR>   where x : Objects;
+    <x, o, CR>   where x : Objects;
+    <x, o, R(_)> where x : Objects;
+  }
+  traces (forall x : Objects . prs "[OW [W | R]* CW | OR R* CR]*")
+     and (#OW - #CW = 0 or #OR - #CR = 0)
+     and #OW - #CW <= 1
+}
+"""
+
+
+def bench_tokenize(benchmark):
+    toks = benchmark(lambda: tokenize(DOCUMENT))
+    assert toks[-1].kind == "eof"
+
+
+def bench_parse(benchmark):
+    doc = benchmark(lambda: parse_document(DOCUMENT))
+    assert len(doc.specifications) == 3
+
+
+def bench_elaborate(benchmark):
+    specs = benchmark(lambda: load_specifications(DOCUMENT))
+    assert set(specs) == {"Read", "Write", "RW"}
+
+
+def bench_format_round_trip(benchmark):
+    from repro.oun import format_document
+
+    doc = parse_document(DOCUMENT)
+    text = benchmark(lambda: format_document(doc))
+    assert parse_document(text) == doc
+
+
+def bench_verify_shipped_document(benchmark):
+    from pathlib import Path
+
+    from repro.oun import verify_text
+
+    text = (
+        Path(__file__).parent.parent / "examples" / "readers_writers.oun"
+    ).read_text()
+    outcomes = benchmark(lambda: verify_text(text, env_objects=1))
+    assert all(o.passed for o in outcomes)

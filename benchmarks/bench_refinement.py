@@ -1,0 +1,70 @@
+"""EX2/EX3 benchmarks: refinement checking, strategy and universe sweeps.
+
+Regenerates the checking work behind Examples 2–3 (the paper's refinement
+lattice) and characterises the checker the way a systems evaluation would:
+
+* automata vs bounded strategy (ablation from DESIGN.md §5),
+* universe-size sweep (cost of growing the finite instantiation),
+* DFA minimisation on/off inside the inclusion check.
+"""
+
+import pytest
+
+from repro.checker.refinement import check_refinement
+from repro.checker.result import Verdict
+from repro.checker.universe import FiniteUniverse
+
+
+class BenchExample2:
+    """EX2: Read2 ⊑ Read."""
+
+
+def bench_ex2_automata(benchmark, cast):
+    read2, read = cast.read2(), cast.read()
+    u = FiniteUniverse.for_specs(read2, read)
+    result = benchmark(
+        lambda: check_refinement(read2, read, u, strategy="automata")
+    )
+    assert result.verdict is Verdict.PROVED
+
+
+def bench_ex2_bounded(benchmark, cast):
+    read2, read = cast.read2(), cast.read()
+    u = FiniteUniverse.for_specs(read2, read)
+    result = benchmark(
+        lambda: check_refinement(read2, read, u, strategy="bounded", depth=5)
+    )
+    assert result.verdict is Verdict.BOUNDED_OK
+
+
+def bench_ex3_positive_rw_write(benchmark, cast):
+    rw, write = cast.rw(), cast.write()
+    u = FiniteUniverse.for_specs(rw, write)
+    result = benchmark(lambda: check_refinement(rw, write, u))
+    assert result.verdict is Verdict.PROVED
+
+
+def bench_ex3_negative_rw_read2(benchmark, cast):
+    rw, read2 = cast.rw(), cast.read2()
+    u = FiniteUniverse.for_specs(rw, read2)
+    result = benchmark(lambda: check_refinement(rw, read2, u))
+    assert result.verdict is Verdict.REFUTED
+
+
+@pytest.mark.parametrize("env_objects", [1, 2, 3])
+def bench_universe_sweep(benchmark, cast, env_objects):
+    """Cost of the exact check as the finite universe grows."""
+    rw, write = cast.rw(), cast.write()
+    u = FiniteUniverse.for_specs(rw, write, env_objects=env_objects)
+    result = benchmark(lambda: check_refinement(rw, write, u))
+    assert result.verdict is Verdict.PROVED
+
+
+@pytest.mark.parametrize("use_minimize", [False, True], ids=["raw", "minimized"])
+def bench_minimize_ablation(benchmark, cast, use_minimize):
+    rw, write = cast.rw(), cast.write()
+    u = FiniteUniverse.for_specs(rw, write, env_objects=2)
+    result = benchmark(
+        lambda: check_refinement(rw, write, u, use_minimize=use_minimize)
+    )
+    assert result.verdict is Verdict.PROVED

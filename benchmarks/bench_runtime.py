@@ -1,0 +1,69 @@
+"""Runtime-simulator benchmarks: system throughput and monitor overhead.
+
+The monitor-overhead pair is the DESIGN.md ablation: the same seeded run
+with and without online specification monitors attached.
+"""
+
+import pytest
+
+from repro.core.values import ObjectId
+from repro.paper.specs import PaperCast
+from repro.runtime import (
+    PassiveBehavior,
+    RandomScheduler,
+    ReaderBehavior,
+    SpecMonitor,
+    System,
+    WriterBehavior,
+)
+
+
+def _build_system(cast: PaperCast, monitors: bool) -> System:
+    sys = System(RandomScheduler(seed=99))
+    sys.add_object(cast.o, PassiveBehavior())
+    sys.add_object(ObjectId("r1"), ReaderBehavior(cast.o))
+    sys.add_object(ObjectId("r2"), ReaderBehavior(cast.o, reads_per_session=3))
+    sys.add_object(ObjectId("w1"), WriterBehavior(cast.o, polite=True))
+    if monitors:
+        sys.attach_monitor(SpecMonitor(cast.read2()))
+        sys.attach_monitor(SpecMonitor(cast.write()))
+    return sys
+
+
+@pytest.mark.parametrize("steps", [200, 1000])
+def bench_simulation_raw(benchmark, cast, steps):
+    def run():
+        return _build_system(cast, monitors=False).run(steps)
+
+    trace = benchmark(run)
+    assert len(trace) > steps // 10
+
+
+@pytest.mark.parametrize("steps", [200, 1000])
+def bench_simulation_monitored(benchmark, cast, steps):
+    def run():
+        sys = _build_system(cast, monitors=True)
+        sys.run(steps)
+        return sys
+
+    sys = benchmark(run)
+    assert all(m.ok for m in sys.monitors)
+
+
+def bench_monitor_observe_throughput(benchmark, cast):
+    """Pure monitor cost: replay a recorded trace through the Write monitor.
+
+    (The system satisfies Write and Read2 but not RW — the polite writer
+    defers to other writers, not to open read sessions.)
+    """
+    sys = _build_system(cast, monitors=False)
+    trace = sys.run(2000)
+
+    def observe_all():
+        m = SpecMonitor(cast.write())
+        for e in trace:
+            m.observe(e)
+        return m
+
+    m = benchmark(observe_all)
+    assert m.ok

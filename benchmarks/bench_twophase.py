@@ -1,0 +1,63 @@
+"""Benchmarks for the two-phase-commit case study.
+
+The 2PC cell is the library's largest verification workload: a 3-object
+composition with a 7-event hidden protocol per observable round.
+"""
+
+from repro.casestudies import (
+    CoordinatorBehavior,
+    ParticipantBehavior,
+    TwoPhaseCast,
+    TxClientBehavior,
+)
+from repro.checker import check_conformance, check_refinement, trace_sets_equal
+from repro.core.values import ObjectId
+from repro.liveness import quiescence_analysis
+from repro.runtime import RandomScheduler, SpecMonitor, System
+
+import pytest
+
+
+@pytest.fixture(scope="module")
+def tp():
+    return TwoPhaseCast()
+
+
+def bench_atomicity_refinement(benchmark, tp):
+    coord, atomic = tp.coordinator_spec(), tp.atomic_decision_spec()
+    assert benchmark(lambda: check_refinement(coord, atomic)).holds
+
+
+def bench_participant_conformance(benchmark, tp):
+    coord, view = tp.coordinator_spec(), tp.participant_spec(tp.p1)
+    assert benchmark(lambda: check_conformance(coord, view)).holds
+
+
+def bench_cell_composition(benchmark, tp):
+    cell = benchmark(tp.cell_spec)
+    assert len(cell.objects) == 3
+
+
+def bench_service_equivalence(benchmark, tp):
+    cell, oracle = tp.cell_spec(), tp.service_oracle()
+    assert benchmark(lambda: trace_sets_equal(cell, oracle)).holds
+
+
+def bench_cell_liveness(benchmark, tp):
+    cell = tp.cell_spec()
+    assert benchmark(lambda: quiescence_analysis(cell)).deadlock_free
+
+
+def bench_monitored_simulation(benchmark, tp):
+    def run():
+        system = System(RandomScheduler(seed=42))
+        system.add_object(tp.co, CoordinatorBehavior(tp.co, (tp.p1, tp.p2)))
+        system.add_object(tp.p1, ParticipantBehavior(tp.p1, tp.co))
+        system.add_object(tp.p2, ParticipantBehavior(tp.p2, tp.co))
+        system.add_object(ObjectId("cl"), TxClientBehavior(tp.co))
+        monitor = SpecMonitor(tp.coordinator_spec())
+        system.attach_monitor(monitor)
+        system.run(300)
+        return monitor
+
+    assert benchmark(run).ok

@@ -1,0 +1,18 @@
+"""Shared fixtures for the benchmark harness."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.paper.specs import PaperCast
+from repro.paper.upgrade import UpgradeCast
+
+
+@pytest.fixture(scope="session")
+def cast() -> PaperCast:
+    return PaperCast()
+
+
+@pytest.fixture(scope="session")
+def upgrade() -> UpgradeCast:
+    return UpgradeCast()

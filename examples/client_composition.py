@@ -1,0 +1,60 @@
+#!/usr/bin/env python3
+"""Composition with hiding: Examples 4–6.
+
+* Example 4 — Client‖WriteAcc: specifications at *different abstraction
+  levels* compose without deadlock thanks to projection; the observable
+  behaviour is exactly the confirmation stream ⟨c,o',OK⟩*.
+* Example 5 — refining Client into Client2 (OW in the wrong place)
+  introduces a deadlock: the composition admits only the empty trace.
+* Example 6 — upgrading WriteAcc to the full RW2 controller adds methods
+  that are all internal to the composition, so the observable trace set
+  is unchanged.
+
+Run:  python examples/client_composition.py
+"""
+
+from repro.checker import FiniteUniverse, spec_dfa, trace_sets_equal
+from repro.core import Trace, call, compose
+from repro.paper.specs import PaperCast
+
+cast = PaperCast()
+c, o, mon = cast.c, cast.o, cast.mon
+client, write_acc = cast.client(), cast.write_acc()
+
+# -- Example 4 -----------------------------------------------------------------
+
+comp = compose(client, write_acc)
+print("Example 4: Client‖WriteAcc")
+print(f"  hidden: all events between {c} and {o}")
+
+ok = call(c, mon, "OK")
+three_oks = Trace.of(ok, ok, ok)
+witness = comp.traces.witness(three_oks)
+print(f"  observable trace   : {three_oks}")
+print(f"  reconstructed run  : {witness}")
+print(f"  (the checker inserted the hidden OW/W/CW events of the protocol)")
+
+# -- Example 5 -----------------------------------------------------------------
+
+client2 = cast.client2()
+comp2 = compose(client2, write_acc)
+print("\nExample 5: Client2‖WriteAcc (deadlock through refinement)")
+print(f"  admits ε        : {comp2.admits(Trace.empty())}")
+print(f"  admits one OK   : {comp2.admits(Trace.of(ok))}")
+u = FiniteUniverse.for_specs(client2, write_acc)
+dfa = spec_dfa(comp2, u)
+from repro.automata import minimize
+
+print(f"  minimal DFA has {minimize(dfa).n_states} states — the ε-only language")
+
+# -- Example 6 -----------------------------------------------------------------
+
+rw2 = cast.rw2()
+lhs = compose(rw2, client)
+rhs = compose(write_acc, client)
+result = trace_sets_equal(
+    lhs, rhs, FiniteUniverse.for_specs(rw2, write_acc, client)
+)
+print("\nExample 6: T(RW2‖Client) = T(WriteAcc‖Client)?")
+print(f"  {result.verdict.value} — {result.note}")
+print("  (RW2's new read methods are internal to the composition and invisible)")

@@ -1,0 +1,51 @@
+#!/usr/bin/env python3
+"""Component upgrade: Sections 6–7 (Definitions 10/14, Theorem 16).
+
+A request/acknowledge server ``s`` is upgraded into a two-object component
+``{s, b}`` — the refinement adds a *new object* (an internal backend), a
+*new method* (STATUS), and a *stronger promise* (at most one outstanding
+request).  The script checks:
+
+1. the upgrade is a refinement (``Γ' ⊑ Γ``),
+2. w.r.t. a client that only talks to ``s``, it is *proper*
+   (Definition 14), so Theorem 16 applies: ``Γ'‖Δ ⊑ Γ‖Δ``;
+3. w.r.t. a "nosy" client willing to take ACKs from anyone, properness
+   fails — and compositional refinement *genuinely breaks*: composing
+   hides the ⟨b,d,ACK⟩ events the nosy client could observe before.
+
+Run:  python examples/component_upgrade.py
+"""
+
+from repro.checker import check_refinement, law_lemma15, law_theorem16
+from repro.core import check_composable, compose, properness_witness
+from repro.paper.upgrade import UpgradeCast
+
+u = UpgradeCast()
+server, upgraded = u.server_spec(), u.upgraded_spec()
+client, nosy = u.client_spec(), u.nosy_client_spec()
+
+print(f"Γ  = {server}   (interface spec of the server)")
+print(f"Γ' = {upgraded}   (two-object upgrade: backend {u.b}, new STATUS method)")
+
+r = check_refinement(upgraded, server)
+print(f"\nΓ' ⊑ Γ … {r.verdict.value}  {r.stats}")
+
+print("\n— with the well-behaved client Δ —")
+print(f"composable(Γ', Δ): {check_composable(upgraded, client).composable}")
+w = properness_witness(server, upgraded, client)
+print(f"proper w.r.t. Δ  : {w is None}")
+print(f"Lemma 15 (hiding stability): {law_lemma15(server, upgraded, client).verdict.value}")
+r = law_theorem16(server, upgraded, client)
+print(f"Theorem 16 (Γ'‖Δ ⊑ Γ‖Δ): {r.verdict.value}")
+
+print("\n— with the nosy client Δ̄ (accepts ACK from anyone) —")
+w = properness_witness(server, upgraded, nosy)
+print(f"properness violated by the event: {w}")
+concl = check_refinement(compose(upgraded, nosy), compose(server, nosy))
+print(f"compositional refinement without properness: {concl.verdict.value}")
+print(f"  {concl.explain()}")
+print(
+    "\nThe upgrade silently hides the backend's ACKs from the nosy client —"
+    "\nexactly the reduction of the communication environment that"
+    "\nDefinition 14 exists to forbid."
+)

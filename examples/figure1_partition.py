@@ -1,0 +1,47 @@
+#!/usr/bin/env python3
+"""Figure 1, computed: the event partition between two partial specs.
+
+For interface specifications F (of the server s) and G (of the client d),
+the events *between* s and d fall into four classes — in both alphabets,
+only F's, only G's, or in neither — and composition hides all of them.
+This script computes the partition symbolically and verifies the hiding.
+
+Run:  python examples/figure1_partition.py
+"""
+
+from repro.core import InternalEvents, call, compose, data
+from repro.paper.upgrade import UpgradeCast
+
+u = UpgradeCast()
+F = u.server_spec()      # spec of s
+G = u.nosy_client_spec()  # spec of d (mentions ACK from anyone)
+s, d = u.s, u.d
+(v,) = data("v")
+
+CANDIDATES = {
+    "⟨d,s,REQ(v)⟩": call(d, s, "REQ", v),
+    "⟨s,d,ACK⟩": call(s, d, "ACK"),
+    "⟨d,s,STATUS⟩": call(d, s, "STATUS"),
+    "⟨s,d,MYSTERY⟩": call(s, d, "MYSTERY"),
+}
+
+print(f"F = {F} with alphabet α(F)")
+print(f"G = {G} with alphabet α(G)\n")
+print(f"{'event':18} {'∈ α(F)':7} {'∈ α(G)':7} class")
+for label, event in CANDIDATES.items():
+    in_f, in_g = F.alphabet.contains(event), G.alphabet.contains(event)
+    cls = {
+        (True, True): "known to both (solid arrow)",
+        (True, False): "known to F only (stapled)",
+        (False, True): "known to G only (stapled)",
+        (False, False): "in neither alphabet",
+    }[(in_f, in_g)]
+    print(f"{label:18} {str(in_f):7} {str(in_g):7} {cls}")
+
+comp = compose(F, G)
+internal = InternalEvents.square({s, d})
+hidden = [label for label, e in CANDIDATES.items() if not comp.alphabet.contains(e)]
+print(f"\nafter composing F‖G, hidden events: {', '.join(hidden)}")
+witness = comp.alphabet.internal_witness(internal)
+print(f"any s↔d event left observable? {witness if witness else 'none — all hidden'}")
+print("\n“In some sense, we hide more than we can see.”  — Section 4")

@@ -1,0 +1,87 @@
+#!/usr/bin/env python3
+"""The extension layers: liveness analysis and assumption/guarantee contracts.
+
+Section 9 of the paper names two extensions: liveness reasoning (its own
+examples show refinement introducing deadlocks) and OUN's assumption/
+guarantee interface specifications.  Both are implemented here:
+
+1. liveness — Example 5's deadlock found mechanically, and the headline
+   negative result *refinement does not preserve deadlock freedom*;
+2. responsiveness — "every request can still be answered" as a
+   goal-reachability analysis;
+3. contracts — a server specified as assumption ▷ guarantee, converted to
+   an ordinary specification, and refined by weakening the assumption.
+
+Run:  python examples/liveness_and_contracts.py
+"""
+
+from repro.ag import AGSpec
+from repro.checker import check_refinement, refines
+from repro.core import DATA, OBJ, Alphabet, Sort, compose, obj, pattern
+from repro.liveness import quiescence_analysis, responsiveness_analysis
+from repro.machines import TrueMachine
+from repro.machines.counting import (
+    CountingMachine,
+    Linear,
+    difference_counter,
+    method_counter,
+)
+from repro.paper.specs import PaperCast
+from repro.paper.upgrade import UpgradeCast
+
+cast = PaperCast()
+
+# -- 1. deadlock analysis -----------------------------------------------------
+
+live = compose(cast.client(), cast.write_acc())
+dead = compose(cast.client2(), cast.write_acc())
+
+print("deadlock analysis (Examples 4 and 5):")
+print(f"  Client ‖WriteAcc : {quiescence_analysis(live).explain()}")
+print(f"  Client2‖WriteAcc : {quiescence_analysis(dead).explain()}")
+
+print("\nrefinement does NOT preserve deadlock freedom:")
+print(f"  Client2 ⊑ Client        : {refines(cast.client2(), cast.client())}")
+print(f"  live composition        : {quiescence_analysis(live).deadlock_free}")
+print(f"  refined composition     : {quiescence_analysis(dead).deadlock_free}")
+
+# -- 2. responsiveness ---------------------------------------------------------
+
+up = UpgradeCast()
+balanced = CountingMachine(
+    (difference_counter("REQ", "ACK"),), Linear((1,), 0, "==")
+)
+rep = responsiveness_analysis(up.upgraded_spec(), balanced)
+print("\nresponsiveness of the upgraded server (goal: all REQs answered):")
+print(f"  {rep.explain()}")
+
+three_oks = CountingMachine(
+    (method_counter("OK"),), Linear((1,), -3, ">="), saturate_at=3
+)
+rep = responsiveness_analysis(dead, three_oks)
+print("responsiveness of the deadlocked composition (goal: ≥3 OKs):")
+print(f"  {rep.explain()}")
+
+# -- 3. assumption/guarantee contracts ------------------------------------------
+
+s = obj("s")
+env = OBJ.without(s)
+alpha = Alphabet.of(
+    pattern(env, Sort.values(s), "REQ", DATA),
+    pattern(Sort.values(s), env, "ACK"),
+)
+assume = CountingMachine(
+    (method_counter("REQ"),), Linear((1,), -2, "<="), saturate_at=3
+)
+guarantee = CountingMachine(
+    (difference_counter("REQ", "ACK"),), Linear((-1,), 0, "<="), saturate_at=3
+)
+contract = AGSpec("Srv", s, alpha, assume, guarantee)
+spec = contract.to_specification()
+print("\nassumption/guarantee contract Srv = (≤2 REQs) ▷ (never over-ACK):")
+
+robust = contract.contract(assumption=TrueMachine(), name="SrvRobust")
+r = check_refinement(robust.to_specification(), spec)
+print(f"  weakening the assumption refines the contract: {r.verdict.value}")
+print("  (SrvRobust honours the guarantee under ANY environment — a")
+print("   stronger promise, hence a refinement in the sense of Def. 2)")

@@ -1,0 +1,7 @@
+"""Legacy setuptools shim (the sandboxed environment lacks the ``wheel``
+package, so PEP 517 editable installs are unavailable; ``pip install -e .``
+falls back to ``setup.py develop`` via this file)."""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,14 @@
+"""repro — composition and refinement for partial object specifications.
+
+A reproduction of Johnsen & Owe, *Composition and Refinement for Partial
+Object Specifications* (Univ. of Oslo research report 301 / FMPPTA 2002):
+a trace-based specification formalism for objects with identity, a
+refinement relation with alphabet expansion, composition with hiding, an
+exact symbolic/automata-based checker, an OUN-style notation, and a
+runtime simulator with online monitors.
+
+See DESIGN.md for the system inventory and EXPERIMENTS.md for the
+paper-claim index.
+"""
+
+__version__ = "1.0.0"

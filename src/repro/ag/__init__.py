@@ -1,0 +1,5 @@
+"""Assumption/guarantee specifications (the OUN layer of Section 9)."""
+
+from repro.ag.spec import AGMachine, AGSpec, inputs_of, outputs_of
+
+__all__ = ["AGMachine", "AGSpec", "inputs_of", "outputs_of"]

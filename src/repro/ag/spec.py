@@ -1,0 +1,156 @@
+"""Assumption/guarantee specifications.
+
+Section 9 of the paper situates the formalism as the semantic basis of
+OUN, which "relies on input/output driven assumption guarantee
+specifications of generic behavioral interfaces".  This module provides
+that layer on top of the core formalism.
+
+For an object ``o``, events split into *inputs* (calls **to** ``o``) and
+*outputs* (calls **from** ``o``).  An :class:`AGSpec` pairs
+
+* an **assumption** ``A`` — a trace predicate on the input projection,
+  describing how the environment is expected to drive the object, and
+* a **guarantee** ``G`` — a trace predicate on the full (or output)
+  trace, describing what the object promises in return.
+
+The induced trace set follows the standard rely/guarantee reading: a
+trace is admitted iff the guarantee holds on every prefix whose *strict
+past* satisfies the assumption — once the environment breaks the
+assumption, the object is off the hook from the next event onward::
+
+    h ∈ T(A ▷ G)  ⟺  ∀ prefixes g of h :
+        (∀ proper prefixes g' of g : A(g'/inputs))  ⇒  G(g)
+
+This is itself a prefix-closed trace set, so an :class:`AGSpec` converts
+to an ordinary :class:`~repro.core.specification.Specification`
+(:meth:`AGSpec.to_specification`) and everything in the library —
+refinement, composition, the checker — applies unchanged.
+
+Refinement of AG specifications follows the classic contract order,
+*weaken the assumption, strengthen the guarantee*; the tests confirm that
+this implies refinement of the induced specifications (Definition 2).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Hashable
+
+from repro.core.alphabet import Alphabet
+from repro.core.errors import SpecificationError
+from repro.core.events import Event
+from repro.core.specification import Specification
+from repro.core.tracesets import MachineTraceSet
+from repro.core.values import ObjectId
+from repro.machines.base import TraceMachine
+
+__all__ = ["AGSpec", "AGMachine", "inputs_of", "outputs_of"]
+
+
+def inputs_of(o: ObjectId):
+    """Membership predicate for the input events of ``o`` (calls to it)."""
+
+    def pred(e: Event) -> bool:
+        return e.callee == o
+
+    return pred
+
+
+def outputs_of(o: ObjectId):
+    """Membership predicate for the output events of ``o`` (calls by it)."""
+
+    def pred(e: Event) -> bool:
+        return e.caller == o
+
+    return pred
+
+
+class AGMachine(TraceMachine):
+    """The rely/guarantee trace machine (see module docstring).
+
+    State is ``(assumption_state, assumption_alive, guarantee_state)``
+    where ``assumption_alive`` records whether the assumption held on the
+    *strict past*'s inputs.  ``ok`` demands the guarantee only while the
+    assumption is alive.
+    """
+
+    def __init__(
+        self,
+        obj: ObjectId,
+        assumption: TraceMachine,
+        guarantee: TraceMachine,
+    ) -> None:
+        self.obj = obj
+        self.assumption = assumption
+        self.guarantee = guarantee
+        self._is_input = inputs_of(obj)
+
+    def initial(self) -> Hashable:
+        a0 = self.assumption.initial()
+        return (a0, True, self.guarantee.initial())
+
+    def step(self, state: Hashable, event: Event) -> Hashable:
+        a_state, alive, g_state = state
+        # The assumption judges the past *before* this event, so first
+        # decide liveness from the current assumption state, then advance.
+        alive = alive and self.assumption.ok(a_state)
+        if self._is_input(event):
+            a_state = self.assumption.step(a_state, event)
+        g_state = self.guarantee.step(g_state, event)
+        return (a_state, alive, g_state)
+
+    def ok(self, state: Hashable) -> bool:
+        _a_state, alive, g_state = state
+        if not alive:
+            return True  # environment broke the contract first
+        return self.guarantee.ok(g_state)
+
+    def mentioned_values(self) -> frozenset:
+        return (
+            frozenset((self.obj,))
+            | self.assumption.mentioned_values()
+            | self.guarantee.mentioned_values()
+        )
+
+    def __repr__(self) -> str:
+        return f"AGMachine({self.obj}, A={self.assumption!r}, G={self.guarantee!r})"
+
+
+@dataclass(frozen=True, slots=True, eq=False)
+class AGSpec:
+    """An assumption/guarantee interface specification of one object."""
+
+    name: str
+    obj: ObjectId
+    alphabet: Alphabet
+    assumption: TraceMachine
+    guarantee: TraceMachine
+
+    def machine(self) -> AGMachine:
+        return AGMachine(self.obj, self.assumption, self.guarantee)
+
+    def to_specification(self) -> Specification:
+        """The induced ordinary specification (Definition 1 triple)."""
+        spec = Specification(
+            self.name,
+            frozenset((self.obj,)),
+            self.alphabet,
+            MachineTraceSet(self.alphabet, self.machine()),
+        )
+        spec.validate(require_infinite=True)
+        return spec
+
+    def contract(self, assumption: TraceMachine | None = None,
+                 guarantee: TraceMachine | None = None,
+                 name: str | None = None) -> "AGSpec":
+        """Derive a variant with a replaced assumption and/or guarantee."""
+        return AGSpec(
+            name or self.name,
+            self.obj,
+            self.alphabet,
+            assumption if assumption is not None else self.assumption,
+            guarantee if guarantee is not None else self.guarantee,
+        )
+
+    def __repr__(self) -> str:
+        return f"AGSpec({self.name}, obj={self.obj})"

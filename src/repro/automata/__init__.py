@@ -1,0 +1,37 @@
+"""Finite automata over event alphabets: DFAs, boolean operations,
+minimisation, inclusion with counterexamples, and compilation of trace
+machines (including composition with hiding) to DFAs."""
+
+from repro.automata.build import hidden_closure_dfa, lift_dfa, machine_to_dfa
+from repro.automata.dfa import DFA
+from repro.automata.ops import (
+    count_words,
+    complement,
+    difference,
+    equivalence_counterexample,
+    inclusion_counterexample,
+    intersection,
+    is_empty,
+    minimize,
+    product,
+    shortest_accepted,
+    union_lang,
+)
+
+__all__ = [
+    "DFA",
+    "machine_to_dfa",
+    "hidden_closure_dfa",
+    "lift_dfa",
+    "count_words",
+    "complement",
+    "difference",
+    "equivalence_counterexample",
+    "inclusion_counterexample",
+    "intersection",
+    "is_empty",
+    "minimize",
+    "product",
+    "shortest_accepted",
+    "union_lang",
+]

@@ -1,0 +1,195 @@
+"""Compiling trace machines to DFAs over finite event alphabets.
+
+Three constructions:
+
+* :func:`machine_to_dfa` — explore the reachable state space of a trace
+  machine over a finite event list.  Non-``ok`` states collapse into a
+  single sink: the denoted trace set is prefix closed, so every extension
+  of a rejected prefix is rejected.  Exact whenever the reachable space is
+  finite; a state budget turns runaway counters into a clean
+  :class:`~repro.core.errors.StateSpaceLimitExceeded`.
+
+* :func:`hidden_closure_dfa` — the composition construction.  Traces of
+  ``Γ‖Δ`` are projections that *erase* internal events, so the product
+  machine becomes an NFA whose hidden-event steps are ε-moves; the subset
+  construction (closing under hidden steps) yields a DFA over the
+  observable events.  A subset state is accepting iff non-empty — every
+  retained member is an ``ok`` product state reachable by some
+  interleaving of hidden events.
+
+* :func:`lift_dfa` — inverse projection: from a DFA for ``T`` over the
+  events of ``α`` to the DFA for ``{h | h/α ∈ T}`` over a larger event
+  list (events outside ``α`` self-loop).  This is the right-hand side of
+  refinement condition 3.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Callable, Hashable, Sequence
+
+from repro.automata.dfa import DFA
+from repro.core.errors import AutomatonError, StateSpaceLimitExceeded
+from repro.core.events import Event
+from repro.machines.base import TraceMachine
+
+__all__ = ["machine_to_dfa", "hidden_closure_dfa", "lift_dfa", "embed_dfa"]
+
+
+def machine_to_dfa(
+    machine: TraceMachine,
+    events: Sequence[Event],
+    state_limit: int = 100_000,
+) -> DFA:
+    """Explore the machine's reachable states over ``events`` into a DFA."""
+    letters = tuple(events)
+    init = machine.initial()
+    if not machine.ok(init):
+        return DFA.empty_language(letters)
+
+    index: dict[Hashable, int] = {init: 0}
+    order: list[Hashable] = [init]
+    rows: list[dict] = []
+    SINK = -1  # patched to a real id at the end
+    i = 0
+    while i < len(order):
+        state = order[i]
+        row: dict = {}
+        for e in letters:
+            nxt = machine.step(state, e)
+            if not machine.ok(nxt):
+                row[e] = SINK
+                continue
+            j = index.get(nxt)
+            if j is None:
+                if len(order) >= state_limit:
+                    raise StateSpaceLimitExceeded(
+                        f"machine exploration exceeded {state_limit} states",
+                        explored=len(order),
+                    )
+                j = len(order)
+                index[nxt] = j
+                order.append(nxt)
+            row[e] = j
+        rows.append(row)
+        i += 1
+
+    sink = len(order)
+    rows = [
+        {e: (sink if t == SINK else t) for e, t in row.items()} for row in rows
+    ]
+    rows.append({e: sink for e in letters})
+    return DFA(letters, tuple(rows), 0, frozenset(range(len(order))))
+
+
+def hidden_closure_dfa(
+    initial_states: Sequence[Hashable],
+    step: Callable[[Hashable, Event], Hashable],
+    ok: Callable[[Hashable], bool],
+    observable: Sequence[Event],
+    hidden: Sequence[Event],
+    state_limit: int = 100_000,
+) -> DFA:
+    """Subset construction treating hidden events as ε-moves.
+
+    ``initial_states``/``step``/``ok`` describe the underlying product
+    machine; the DFA accepts exactly the observable traces that some
+    interleaving with hidden events keeps ``ok`` throughout.
+    """
+    letters = tuple(observable)
+
+    def closure(states: frozenset) -> frozenset:
+        seen = set(states)
+        stack = list(states)
+        while stack:
+            s = stack.pop()
+            for e in hidden:
+                t = step(s, e)
+                if ok(t) and t not in seen:
+                    seen.add(t)
+                    stack.append(t)
+        return frozenset(seen)
+
+    init = closure(frozenset(s for s in initial_states if ok(s)))
+    index: dict[frozenset, int] = {init: 0}
+    order: list[frozenset] = [init]
+    rows: list[dict] = []
+    i = 0
+    while i < len(order):
+        subset = order[i]
+        row: dict = {}
+        for e in letters:
+            succ = frozenset(
+                t for t in (step(s, e) for s in subset) if ok(t)
+            )
+            succ = closure(succ)
+            j = index.get(succ)
+            if j is None:
+                if len(order) >= state_limit:
+                    raise StateSpaceLimitExceeded(
+                        f"hidden-closure construction exceeded "
+                        f"{state_limit} subset states",
+                        explored=len(order),
+                    )
+                j = len(order)
+                index[succ] = j
+                order.append(succ)
+            row[e] = j
+        rows.append(row)
+        i += 1
+    accepting = frozenset(i for i, subset in enumerate(order) if subset)
+    return DFA(letters, tuple(rows), 0, accepting)
+
+
+def embed_dfa(dfa: DFA, events: Sequence[Event], alpha) -> DFA:
+    """The DFA for ``L(dfa)`` viewed inside a larger event list.
+
+    Unlike :func:`lift_dfa` (inverse projection: foreign events self-loop),
+    embedding *rejects* on events outside ``α`` — a trace set over ``α``
+    contains no trace using other events.  Used to compare trace sets of
+    specifications with different alphabets over a common letter set.
+    """
+    letters = tuple(events)
+    dfa_letters = set(dfa.letters)
+    sink = dfa.n_states
+    rows: list[dict] = []
+    for q in range(dfa.n_states):
+        row = {}
+        for e in letters:
+            if alpha.contains(e):
+                if e not in dfa_letters:
+                    raise AutomatonError(
+                        f"event {e} is in the embedded alphabet but not a "
+                        f"letter of the embedded DFA"
+                    )
+                row[e] = dfa.transitions[q][e]
+            else:
+                row[e] = sink
+        rows.append(row)
+    rows.append({e: sink for e in letters})
+    return DFA(letters, tuple(rows), dfa.start, dfa.accepting)
+
+
+def lift_dfa(dfa: DFA, events: Sequence[Event], alpha) -> DFA:
+    """The DFA for ``{h over events | h/α ∈ L(dfa)}``.
+
+    ``alpha`` is anything with a ``contains(event)`` method.  Events inside
+    ``α`` must be letters of ``dfa``; events outside self-loop.
+    """
+    letters = tuple(events)
+    dfa_letters = set(dfa.letters)
+    rows: list[dict] = []
+    for q in range(dfa.n_states):
+        row = {}
+        for e in letters:
+            if alpha.contains(e):
+                if e not in dfa_letters:
+                    raise AutomatonError(
+                        f"event {e} is in the projection alphabet but not a "
+                        f"letter of the projected DFA"
+                    )
+                row[e] = dfa.transitions[q][e]
+            else:
+                row[e] = q
+        rows.append(row)
+    return DFA(letters, tuple(rows), dfa.start, dfa.accepting)

@@ -1,0 +1,182 @@
+"""Deterministic finite automata over finite event alphabets.
+
+The exact checking layer instantiates symbolic alphabets over a finite
+universe and represents trace sets as DFAs.  A :class:`DFA` here is always
+*total*: every (state, letter) pair has a successor; construction adds an
+explicit sink when needed.  Letters are concrete
+:class:`~repro.core.events.Event` values (any hashable works, which the
+unit tests exploit).
+
+Design notes (per the HPC guides: simple first, then measured):
+transitions are stored as one dict per state, letters are indexed once at
+construction, and the hot loops (product, Hopcroft, BFS) work on integer
+state ids only.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Hashable, Iterable, Sequence
+
+from repro.core.errors import AutomatonError
+
+__all__ = ["DFA"]
+
+
+@dataclass(frozen=True, slots=True)
+class DFA:
+    """A total DFA: states ``0..n-1``, transition dicts keyed by letter."""
+
+    letters: tuple[Hashable, ...]
+    transitions: tuple[dict, ...]  # state -> {letter: state}
+    start: int
+    accepting: frozenset[int]
+
+    def __post_init__(self) -> None:
+        n = len(self.transitions)
+        if not (0 <= self.start < n):
+            raise AutomatonError(f"start state {self.start} out of range")
+        letter_set = set(self.letters)
+        if len(letter_set) != len(self.letters):
+            raise AutomatonError("duplicate letters in alphabet")
+        for q, row in enumerate(self.transitions):
+            if set(row) != letter_set:
+                raise AutomatonError(
+                    f"state {q} is not total over the alphabet"
+                )
+            for t in row.values():
+                if not (0 <= t < n):
+                    raise AutomatonError(
+                        f"transition target {t} out of range in state {q}"
+                    )
+        for q in self.accepting:
+            if not (0 <= q < n):
+                raise AutomatonError(f"accepting state {q} out of range")
+
+    # ------------------------------------------------------------------
+    # basics
+    # ------------------------------------------------------------------
+
+    @property
+    def n_states(self) -> int:
+        return len(self.transitions)
+
+    def step(self, state: int, letter: Hashable) -> int:
+        try:
+            return self.transitions[state][letter]
+        except KeyError:
+            raise AutomatonError(f"letter {letter!r} not in the alphabet")
+
+    def accepts(self, word: Iterable[Hashable]) -> bool:
+        q = self.start
+        for a in word:
+            q = self.step(q, a)
+        return q in self.accepting
+
+    def run(self, word: Iterable[Hashable]) -> int:
+        q = self.start
+        for a in word:
+            q = self.step(q, a)
+        return q
+
+    # ------------------------------------------------------------------
+    # construction helpers
+    # ------------------------------------------------------------------
+
+    @staticmethod
+    def build(
+        letters: Sequence[Hashable],
+        n_states: int,
+        start: int,
+        accepting: Iterable[int],
+        edges: dict[tuple[int, Hashable], int],
+        default: int | None = None,
+    ) -> "DFA":
+        """Build from an edge dict; missing edges go to ``default``.
+
+        ``default=None`` requires the edge dict to be total.
+        """
+        letters_t = tuple(letters)
+        rows: list[dict] = []
+        for q in range(n_states):
+            row = {}
+            for a in letters_t:
+                t = edges.get((q, a), default)
+                if t is None:
+                    raise AutomatonError(
+                        f"missing transition ({q}, {a!r}) and no default"
+                    )
+                row[a] = t
+            rows.append(row)
+        return DFA(letters_t, tuple(rows), start, frozenset(accepting))
+
+    @staticmethod
+    def empty_language(letters: Sequence[Hashable]) -> "DFA":
+        """The DFA accepting no word."""
+        letters_t = tuple(letters)
+        return DFA(letters_t, ({a: 0 for a in letters_t},), 0, frozenset())
+
+    @staticmethod
+    def full_language(letters: Sequence[Hashable]) -> "DFA":
+        """The DFA accepting every word."""
+        letters_t = tuple(letters)
+        return DFA(letters_t, ({a: 0 for a in letters_t},), 0, frozenset({0}))
+
+    # ------------------------------------------------------------------
+    # reachability
+    # ------------------------------------------------------------------
+
+    def reachable_states(self) -> frozenset[int]:
+        seen = {self.start}
+        stack = [self.start]
+        while stack:
+            q = stack.pop()
+            for t in self.transitions[q].values():
+                if t not in seen:
+                    seen.add(t)
+                    stack.append(t)
+        return frozenset(seen)
+
+    def trim(self) -> "DFA":
+        """Drop unreachable states (renumbering; language preserved)."""
+        reach = sorted(self.reachable_states())
+        index = {q: i for i, q in enumerate(reach)}
+        rows = tuple(
+            {a: index[t] for a, t in self.transitions[q].items()} for q in reach
+        )
+        return DFA(
+            self.letters,
+            rows,
+            index[self.start],
+            frozenset(index[q] for q in self.accepting if q in index),
+        )
+
+    def is_prefix_closed(self) -> bool:
+        """Is the accepted language prefix closed?
+
+        True iff no accepting state is reachable from a reachable
+        non-accepting state — equivalently, every reachable non-accepting
+        state only reaches non-accepting states.
+        """
+        reach = self.reachable_states()
+        for q in reach:
+            if q in self.accepting:
+                continue
+            # BFS from q must avoid accepting states
+            seen = {q}
+            stack = [q]
+            while stack:
+                s = stack.pop()
+                for t in self.transitions[s].values():
+                    if t in self.accepting:
+                        return False
+                    if t not in seen:
+                        seen.add(t)
+                        stack.append(t)
+        return True
+
+    def __repr__(self) -> str:
+        return (
+            f"DFA(states={self.n_states}, letters={len(self.letters)}, "
+            f"accepting={len(self.accepting)})"
+        )

@@ -1,0 +1,223 @@
+"""Operations on DFAs: product, complement, minimisation, inclusion.
+
+These are the decision procedures behind the exact refinement strategy:
+``L(A) ⊆ L(B)`` is ``L(A) ∩ L(B)ᶜ = ∅``, with the shortest counterexample
+extracted by BFS over the product.  Hopcroft's algorithm provides
+canonical minimal forms, used both as an ablation knob in the benchmarks
+and for language-equality checks (Example 6).
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Hashable, Iterable
+
+from repro.automata.dfa import DFA
+from repro.core.errors import AutomatonError
+
+__all__ = [
+    "count_words",
+    "complement",
+    "product",
+    "intersection",
+    "union_lang",
+    "difference",
+    "is_empty",
+    "shortest_accepted",
+    "inclusion_counterexample",
+    "equivalence_counterexample",
+    "minimize",
+]
+
+
+def _check_same_alphabet(a: DFA, b: DFA) -> None:
+    if set(a.letters) != set(b.letters):
+        raise AutomatonError(
+            "DFA operations require identical alphabets; got "
+            f"{len(a.letters)} vs {len(b.letters)} letters"
+        )
+
+
+def complement(a: DFA) -> DFA:
+    """The DFA for the complement language (totality makes this flipping)."""
+    return DFA(
+        a.letters,
+        a.transitions,
+        a.start,
+        frozenset(range(a.n_states)) - a.accepting,
+    )
+
+
+def product(a: DFA, b: DFA, accept) -> DFA:
+    """Reachable product automaton; ``accept(in_a, in_b)`` marks acceptance."""
+    _check_same_alphabet(a, b)
+    letters = a.letters
+    index: dict[tuple[int, int], int] = {(a.start, b.start): 0}
+    order: list[tuple[int, int]] = [(a.start, b.start)]
+    rows: list[dict] = []
+    i = 0
+    while i < len(order):
+        qa, qb = order[i]
+        row = {}
+        for letter in letters:
+            ta = a.transitions[qa][letter]
+            tb = b.transitions[qb][letter]
+            key = (ta, tb)
+            j = index.get(key)
+            if j is None:
+                j = len(order)
+                index[key] = j
+                order.append(key)
+            row[letter] = j
+        rows.append(row)
+        i += 1
+    accepting = frozenset(
+        i
+        for i, (qa, qb) in enumerate(order)
+        if accept(qa in a.accepting, qb in b.accepting)
+    )
+    return DFA(letters, tuple(rows), 0, accepting)
+
+
+def intersection(a: DFA, b: DFA) -> DFA:
+    return product(a, b, lambda x, y: x and y)
+
+
+def union_lang(a: DFA, b: DFA) -> DFA:
+    return product(a, b, lambda x, y: x or y)
+
+
+def difference(a: DFA, b: DFA) -> DFA:
+    """``L(A) − L(B)``."""
+    return product(a, b, lambda x, y: x and not y)
+
+
+def is_empty(a: DFA) -> bool:
+    return shortest_accepted(a) is None
+
+
+def shortest_accepted(a: DFA) -> tuple[Hashable, ...] | None:
+    """Shortest accepted word (BFS), or ``None`` for the empty language."""
+    if a.start in a.accepting:
+        return ()
+    parent: dict[int, tuple[int, Hashable]] = {a.start: None}  # type: ignore[dict-item]
+    queue: deque[int] = deque([a.start])
+    while queue:
+        q = queue.popleft()
+        for letter, t in a.transitions[q].items():
+            if t in parent:
+                continue
+            parent[t] = (q, letter)
+            if t in a.accepting:
+                word: list[Hashable] = []
+                node = t
+                while parent[node] is not None:
+                    prev, a_letter = parent[node]
+                    word.append(a_letter)
+                    node = prev
+                return tuple(reversed(word))
+            queue.append(t)
+    return None
+
+
+def inclusion_counterexample(a: DFA, b: DFA) -> tuple[Hashable, ...] | None:
+    """Shortest word of ``L(A) − L(B)``, or ``None`` when ``L(A) ⊆ L(B)``."""
+    return shortest_accepted(difference(a, b))
+
+
+def equivalence_counterexample(a: DFA, b: DFA) -> tuple[Hashable, ...] | None:
+    """Shortest word distinguishing the two languages, or ``None``."""
+    w = inclusion_counterexample(a, b)
+    if w is not None:
+        return w
+    return inclusion_counterexample(b, a)
+
+
+def count_words(a: DFA, max_len: int) -> list[int]:
+    """Number of accepted words of each length ``0..max_len``.
+
+    Dynamic programming over state-occupancy vectors: O(max_len · states ·
+    letters).  For prefix-closed trace-set DFAs this counts the traces of
+    each length over the instantiated universe — the growth profile used
+    by EXPERIMENTS.md and cross-checked against bounded enumeration in the
+    tests.
+    """
+    n = a.n_states
+    occupancy = [0] * n
+    occupancy[a.start] = 1
+    counts = [sum(occupancy[q] for q in a.accepting)]
+    for _ in range(max_len):
+        nxt = [0] * n
+        for q, ways in enumerate(occupancy):
+            if ways == 0:
+                continue
+            for t in a.transitions[q].values():
+                nxt[t] += ways
+        occupancy = nxt
+        counts.append(sum(occupancy[q] for q in a.accepting))
+    return counts
+
+
+def minimize(a: DFA) -> DFA:
+    """Hopcroft minimisation (on the reachable part)."""
+    a = a.trim()
+    n = a.n_states
+    letters = a.letters
+    if n == 0:
+        return a
+
+    # Pre-compute reverse transitions per letter.
+    rev: dict[Hashable, list[list[int]]] = {
+        letter: [[] for _ in range(n)] for letter in letters
+    }
+    for q in range(n):
+        for letter, t in a.transitions[q].items():
+            rev[letter][t].append(q)
+
+    accepting = set(a.accepting)
+    non_accepting = set(range(n)) - accepting
+    partition: list[set[int]] = [s for s in (accepting, non_accepting) if s]
+    in_part = [0] * n
+    for i, block in enumerate(partition):
+        for q in block:
+            in_part[q] = i
+
+    work: deque[tuple[int, Hashable]] = deque(
+        (i, letter) for i in range(len(partition)) for letter in letters
+    )
+    while work:
+        i, letter = work.popleft()
+        block = partition[i]
+        # states with a `letter` transition into `block`
+        pre: set[int] = set()
+        for t in block:
+            pre.update(rev[letter][t])
+        touched: dict[int, set[int]] = {}
+        for q in pre:
+            touched.setdefault(in_part[q], set()).add(q)
+        for j, hit in touched.items():
+            whole = partition[j]
+            if len(hit) == len(whole):
+                continue
+            rest = whole - hit
+            partition[j] = hit
+            k = len(partition)
+            partition.append(rest)
+            for q in rest:
+                in_part[q] = k
+            # keep splitter invariant
+            for l2 in letters:
+                work.append((k, l2))
+
+    index = {}
+    for i, block in enumerate(partition):
+        for q in block:
+            index[q] = i
+    rows = []
+    starts = [next(iter(b)) for b in partition]
+    for rep in starts:
+        rows.append({letter: index[t] for letter, t in a.transitions[rep].items()})
+    accepting_blocks = frozenset(
+        i for i, b in enumerate(partition) if next(iter(b)) in a.accepting
+    )
+    return DFA(letters, tuple(rows), index[a.start], accepting_blocks)

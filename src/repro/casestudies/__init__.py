@@ -1,0 +1,18 @@
+"""Case studies: the library applied beyond the paper's worked examples."""
+
+from repro.casestudies.twophase import TWO_PHASE, TwoPhaseCast
+from repro.casestudies.twophase_runtime import (
+    ByzantineParticipant,
+    CoordinatorBehavior,
+    ParticipantBehavior,
+    TxClientBehavior,
+)
+
+__all__ = [
+    "TWO_PHASE",
+    "TwoPhaseCast",
+    "ByzantineParticipant",
+    "CoordinatorBehavior",
+    "ParticipantBehavior",
+    "TxClientBehavior",
+]

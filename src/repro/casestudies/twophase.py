@@ -1,0 +1,300 @@
+"""Case study: two-phase commit, specified and verified with the library.
+
+The paper's formalism targets open distributed systems; the worked
+examples stay with a single readers/writers controller.  This case study
+applies the formalism to a richer system — a serial two-phase-commit cell
+(one coordinator ``co``, two participants ``p1``/``p2``, an open
+population of clients) — and establishes the classic results as
+refinement/composition facts, all checkable with the library:
+
+* **atomicity as refinement** — the coordinator's full protocol
+  (:meth:`coordinator_spec`) refines the partial *decision view*
+  (:meth:`atomic_decision_spec`): commits only ever happen at both
+  participants (``SerialCoordinator ⊑ AtomicDecision``);
+* **participant conformance** — the coordinator's projection onto each
+  participant's alphabet satisfies the participant's own view
+  (:meth:`participant_spec`);
+* **encapsulation** — composing the coordinator with both participant
+  views hides the entire vote/decision machinery: the observable trace
+  set equals the trivial request/response *service* oracle
+  (:meth:`service_oracle`), the Example 4 phenomenon at component scale;
+* **liveness** — the composed cell is deadlock-free and every BEGIN can
+  still be answered by a DONE (checked by the liveness extension);
+* **runtime** — behaviours for coordinator/participants/clients run the
+  protocol under the simulator, with the specifications as online
+  monitors (and a byzantine participant for fault injection).
+
+Methods: ``BEGIN`` (client→co), ``PREPARE(t)`` (co→p, carrying the
+transaction id — which also keeps every alphabet infinite, as
+Definition 1 demands of open-system views), ``YES``/``NO`` (p→co),
+``COMMIT``/``ABORT`` (co→p), ``DONE`` (co→client).
+"""
+
+from __future__ import annotations
+
+from repro.core.alphabet import Alphabet
+from repro.core.patterns import pattern
+from repro.core.sorts import DATA, OBJ, Sort
+from repro.core.specification import Specification, interface_spec
+from repro.core.values import ObjectId, obj
+from repro.machines.regex.machine import PrsMachine
+from repro.machines.regex.parse import parse_regex
+
+__all__ = ["TwoPhaseCast", "TWO_PHASE"]
+
+
+class TwoPhaseCast:
+    """Objects, sorts, and specifications of the 2PC cell."""
+
+    def __init__(self) -> None:
+        self.co: ObjectId = obj("co")
+        self.p1: ObjectId = obj("p1")
+        self.p2: ObjectId = obj("p2")
+        #: the recovery log — a *fresh* identity reserved for the upgrade
+        #: (Section 3: objects added by a refinement cannot be in the
+        #: abstract specification's communication environment)
+        self.lg: ObjectId = obj("lg")
+        #: a concrete client used by the Theorem 16 instance
+        self.cli: ObjectId = obj("cli")
+
+    # -- sorts -------------------------------------------------------------
+
+    @property
+    def clients(self) -> Sort:
+        """The open client population: everyone but the cell's members
+        (and the reserved fresh log identity)."""
+        return OBJ.without(self.co, self.p1, self.p2, self.lg)
+
+    def symbols(self) -> dict:
+        return {
+            "co": self.co,
+            "p1": self.p1,
+            "p2": self.p2,
+            "Clients": self.clients,
+        }
+
+    @property
+    def methods(self) -> dict[str, tuple[Sort, ...]]:
+        return {
+            "BEGIN": (),
+            "PREPARE": (DATA,),
+            "YES": (),
+            "NO": (),
+            "COMMIT": (),
+            "ABORT": (),
+            "DONE": (),
+            "STATUS": (),
+            "PING": (),
+        }
+
+    # -- alphabets ------------------------------------------------------------
+
+    def coordinator_alphabet(self) -> Alphabet:
+        co = Sort.values(self.co)
+        parts = Sort.values(self.p1, self.p2)
+        cl = self.clients
+        return Alphabet.of(
+            pattern(cl, co, "BEGIN"),
+            pattern(co, cl, "DONE"),
+            pattern(co, parts, "PREPARE", DATA),
+            pattern(parts, co, "YES"),
+            pattern(parts, co, "NO"),
+            pattern(co, parts, "COMMIT"),
+            pattern(co, parts, "ABORT"),
+        )
+
+    def decision_alphabet(self) -> Alphabet:
+        co = Sort.values(self.co)
+        parts = Sort.values(self.p1, self.p2)
+        return Alphabet.of(
+            pattern(co, parts, "COMMIT"),
+            pattern(co, parts, "ABORT"),
+        )
+
+    def participant_alphabet(self, p: ObjectId) -> Alphabet:
+        co = Sort.values(self.co)
+        me = Sort.values(p)
+        return Alphabet.of(
+            pattern(co, me, "PREPARE", DATA),
+            pattern(me, co, "YES"),
+            pattern(me, co, "NO"),
+            pattern(co, me, "COMMIT"),
+            pattern(co, me, "ABORT"),
+        )
+
+    # -- specifications ----------------------------------------------------------
+
+    def coordinator_spec(self) -> Specification:
+        """``SerialCoordinator``: one transaction at a time, full protocol.
+
+        Per round: a client begins; both participants are prepared (in
+        order — the coordinator issues calls sequentially); votes arrive
+        in either order; unanimous YES commits both, otherwise both are
+        aborted; the initiating client is notified.
+        """
+        commits = "<co,p1,COMMIT> <co,p2,COMMIT>"
+        aborts = "<co,p1,ABORT> <co,p2,ABORT>"
+        # After both prepares, votes arrive in either order; p1's vote may
+        # also arrive *before* p2 is even prepared (the coordinator issues
+        # calls sequentially, but vote delivery is asynchronous).
+        both_prepared = (
+            f"<co,p2,PREPARE(_)> "
+            f"[[<p1,co,YES> <p2,co,YES> | <p2,co,YES> <p1,co,YES>] {commits} "
+            f"| [<p1,co,NO> [<p2,co,YES> | <p2,co,NO>] "
+            f"| <p2,co,NO> [<p1,co,YES> | <p1,co,NO>] "
+            f"| <p1,co,YES> <p2,co,NO> "
+            f"| <p2,co,YES> <p1,co,NO>] {aborts}]"
+        )
+        early_vote = (
+            f"<p1,co,YES> <co,p2,PREPARE(_)> "
+            f"[<p2,co,YES> {commits} | <p2,co,NO> {aborts}] "
+            f"| <p1,co,NO> <co,p2,PREPARE(_)> [<p2,co,YES> | <p2,co,NO>] {aborts}"
+        )
+        round_ = (
+            f"<cl,co,BEGIN> <co,p1,PREPARE(_)> "
+            f"[{both_prepared} | {early_vote}] <co,cl,DONE>"
+        )
+        regex = parse_regex(
+            f"[[{round_}] . cl : Clients]*",
+            symbols=self.symbols(),
+            methods=self.methods,
+        )
+        return interface_spec(
+            "SerialCoordinator",
+            self.co,
+            self.coordinator_alphabet(),
+            PrsMachine(regex),
+        )
+
+    def atomic_decision_spec(self) -> Specification:
+        """``AtomicDecision``: the partial view stating 2PC's safety core.
+
+        Constrains the *decision projection* only: commits only ever occur
+        in complete pairs, and decisions of one round never interleave
+        with another round's — "if any participant commits, every
+        participant commits".  The client-facing DONE events are in the
+        alphabet but unconstrained (they keep the alphabet infinite, as
+        Definition 1 requires of views of an open system, and make the
+        view composable with client-side specifications).
+        """
+        regex = parse_regex(
+            "[<co,p1,COMMIT> <co,p2,COMMIT> | <co,p2,COMMIT> <co,p1,COMMIT> "
+            "| <co,p1,ABORT> <co,p2,ABORT> | <co,p2,ABORT> <co,p1,ABORT>]*",
+            symbols=self.symbols(),
+            methods=self.methods,
+        )
+        from repro.machines.projection import FilterMachine
+
+        alphabet = self.decision_alphabet().union(
+            Alphabet.of(pattern(Sort.values(self.co), self.clients, "DONE"))
+        )
+        machine = FilterMachine(self.decision_alphabet(), PrsMachine(regex))
+        return interface_spec("AtomicDecision", self.co, alphabet, machine)
+
+    def participant_spec(self, p: ObjectId, name: str | None = None) -> Specification:
+        """``VoteProtocol``: a participant's own view of its life.
+
+        Prepared, then votes, then learns the decision — repeatedly.  (A
+        NO voter still receives the ABORT in this serial variant: the
+        coordinator always closes the round explicitly.)
+        """
+        symbols = dict(self.symbols())
+        symbols["p"] = p
+        regex = parse_regex(
+            "[<co,p,PREPARE(_)> [<p,co,YES> | <p,co,NO>] "
+            "[<co,p,COMMIT> | <co,p,ABORT>]]*",
+            symbols=symbols,
+            methods=self.methods,
+        )
+        return interface_spec(
+            name or f"VoteProtocol({p})",
+            p,
+            self.participant_alphabet(p),
+            PrsMachine(regex),
+        )
+
+    def cell_spec(self) -> Specification:
+        """The composed cell: coordinator ‖ participant views.
+
+        Everything between {co, p1, p2} is hidden; only BEGIN/DONE remain
+        observable.
+        """
+        from repro.core.composition import compose
+
+        return compose(
+            compose(self.coordinator_spec(), self.participant_spec(self.p1)),
+            self.participant_spec(self.p2),
+            name="TwoPhaseCell",
+        )
+
+    def recovery_spec(self) -> Specification:
+        """``RecoveryCoordinator``: the Theorem 16 upgrade of the coordinator.
+
+        A two-object component ``{co, lg}`` — the coordinator plus an
+        internal recovery log — with a new client-facing ``STATUS`` method
+        (unconstrained) on top of the unchanged protocol.  Refines
+        :meth:`coordinator_spec` by alphabet *and* object expansion; the
+        log traffic ``co↔lg`` is internal and never observable.
+        """
+        from repro.core.tracesets import MachineTraceSet
+        from repro.machines.projection import FilterMachine
+
+        base = self.coordinator_spec()
+        alphabet = base.alphabet.union(
+            Alphabet.of(pattern(self.clients, Sort.values(self.co), "STATUS"))
+        )
+        machine = FilterMachine(base.alphabet, base.traces.machine())
+        return Specification(
+            "RecoveryCoordinator",
+            frozenset((self.co, self.lg)),
+            alphabet,
+            MachineTraceSet(alphabet, machine),
+        )
+
+    def client_view(self) -> Specification:
+        """A concrete client's own view: begin, await done, repeat.
+
+        Its alphabet names only the coordinator (plus an infinite PING
+        tail towards the wider environment), so the recovery upgrade is
+        *proper* with respect to it (Definition 14) and Theorem 16
+        applies.
+        """
+        cli, co = Sort.values(self.cli), Sort.values(self.co)
+        alphabet = Alphabet.of(
+            pattern(cli, co, "BEGIN"),
+            pattern(co, cli, "DONE"),
+            pattern(
+                cli,
+                OBJ.without(self.cli, self.co, self.p1, self.p2, self.lg),
+                "PING",
+            ),
+        )
+        symbols = dict(self.symbols())
+        symbols["cli"] = self.cli
+        regex = parse_regex(
+            "[<cli,co,BEGIN> <co,cli,DONE>]*",
+            symbols=symbols,
+            methods=self.methods,
+        )
+        return interface_spec("TxClient", self.cli, alphabet, PrsMachine(regex))
+
+    def service_oracle(self) -> Specification:
+        """What the cell should look like from outside: begin, then done."""
+        cell = self.cell_spec()
+        regex = parse_regex(
+            "[[<cl,co,BEGIN> <co,cl,DONE>] . cl : Clients]*",
+            symbols=self.symbols(),
+            methods=self.methods,
+        )
+        from repro.core.tracesets import MachineTraceSet
+
+        return Specification(
+            "TransactionService",
+            cell.objects,
+            cell.alphabet,
+            MachineTraceSet(cell.alphabet, PrsMachine(regex)),
+        )
+
+
+#: Shared instance for tests, examples, and benchmarks.
+TWO_PHASE = TwoPhaseCast()

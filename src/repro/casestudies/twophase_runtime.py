@@ -1,0 +1,140 @@
+"""Runtime behaviours for the two-phase-commit case study.
+
+Implementations of the 2PC roles for the simulator; the specifications of
+:mod:`repro.casestudies.twophase` run as online monitors over their
+executions.  A :class:`ByzantineParticipant` (votes twice / volunteers
+votes without being prepared) exercises the monitors' fault detection.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Hashable
+
+from repro.core.events import Event
+from repro.core.values import DataVal, ObjectId
+from repro.runtime.behaviors import Behavior, Call
+
+__all__ = [
+    "CoordinatorBehavior",
+    "ParticipantBehavior",
+    "TxClientBehavior",
+    "ByzantineParticipant",
+]
+
+
+class CoordinatorBehavior(Behavior):
+    """The serial 2PC coordinator.
+
+    One outgoing call in flight at a time (so the global delivery order
+    matches the protocol order); one transaction at a time.  State is
+    ``(mode, client, votes, queue, outstanding)`` where ``queue`` holds
+    the calls still to issue for the current round.
+    """
+
+    def __init__(self, me: ObjectId, participants: tuple[ObjectId, ...]) -> None:
+        self.me = me
+        self.participants = tuple(participants)
+
+    def init_state(self) -> Hashable:
+        # (mode, client, votes, queue, outstanding, round_number)
+        return ("idle", None, (), (), None, 0)
+
+    # -- helpers -----------------------------------------------------------
+
+    def _decide(self, votes) -> tuple[Call, ...]:
+        verdict = "COMMIT" if all(v == "YES" for _, v in votes) else "ABORT"
+        return tuple(Call(p, verdict) for p in self.participants)
+
+    # -- Behavior interface --------------------------------------------------
+
+    def on_event(self, state, event: Event, me: ObjectId):
+        mode, client, votes, queue, outstanding, rnd = state
+        # acknowledge delivery of our own call
+        if (
+            outstanding is not None
+            and event.caller == me
+            and event.callee == outstanding.callee
+            and event.method == outstanding.method
+        ):
+            outstanding = None
+        if event.callee == me and event.method == "BEGIN" and mode == "idle":
+            mode = "preparing"
+            client = event.caller
+            votes = ()
+            rnd += 1
+            txn = DataVal("Data", f"t{rnd}")
+            queue = tuple(
+                Call(p, "PREPARE", (txn,)) for p in self.participants
+            )
+        elif (
+            event.callee == me
+            and event.method in ("YES", "NO")
+            and mode in ("preparing", "voting")
+        ):
+            votes = votes + ((event.caller, event.method),)
+            if len(votes) == len(self.participants):
+                mode = "deciding"
+                queue = queue + self._decide(votes) + (Call(client, "DONE"),)
+        return (mode, client, votes, queue, outstanding, rnd), ()
+
+    def on_tick(self, state, rng, me):
+        mode, client, votes, queue, outstanding, rnd = state
+        if outstanding is not None or not queue:
+            # a finished round returns to idle once everything is delivered
+            if mode == "deciding" and outstanding is None and not queue:
+                return ("idle", None, (), (), None, rnd), ()
+            return state, ()
+        call, rest = queue[0], queue[1:]
+        if mode == "preparing" and not rest:
+            mode = "voting"
+        return (mode, client, votes, rest, call, rnd), (call,)
+
+
+class ParticipantBehavior(Behavior):
+    """A well-behaved participant: votes when (and only when) prepared."""
+
+    def __init__(self, me: ObjectId, coordinator: ObjectId,
+                 vote_yes_probability: float = 1.0) -> None:
+        self.me = me
+        self.coordinator = coordinator
+        self.p_yes = vote_yes_probability
+        self._rng = random.Random(hash(me.name) & 0xFFFF)
+
+    def on_event(self, state, event: Event, me: ObjectId):
+        if event.callee == me and event.method == "PREPARE":
+            vote = "YES" if self._rng.random() < self.p_yes else "NO"
+            return state, (Call(self.coordinator, vote),)
+        return state, ()
+
+
+class TxClientBehavior(Behavior):
+    """Begins a transaction, waits for DONE, repeats."""
+
+    def __init__(self, coordinator: ObjectId) -> None:
+        self.coordinator = coordinator
+
+    def init_state(self) -> Hashable:
+        return "ready"
+
+    def on_event(self, state, event: Event, me: ObjectId):
+        if event.callee == me and event.method == "DONE":
+            return "ready", ()
+        if event.caller == me and event.method == "BEGIN":
+            return "waiting", ()
+        return state, ()
+
+    def on_tick(self, state, rng, me):
+        if state == "ready":
+            return "begun", (Call(self.coordinator, "BEGIN"),)
+        return state, ()
+
+
+class ByzantineParticipant(Behavior):
+    """A faulty participant: volunteers votes it was never asked for."""
+
+    def __init__(self, coordinator: ObjectId) -> None:
+        self.coordinator = coordinator
+
+    def on_tick(self, state, rng, me):
+        return state, (Call(self.coordinator, "YES"),)

@@ -1,0 +1,59 @@
+"""The checking environment: finite universes, DFA compilation, refinement
+and soundness strategies, trace-set equality, law replays, obligations."""
+
+from repro.checker.bounded import enumerate_traces, find_violation
+from repro.checker.compile import composed_hidden_events, spec_dfa, traceset_dfa
+from repro.checker.equality import alphabets_equal, specs_equal, trace_sets_equal
+from repro.checker.laws import (
+    law_lemma6,
+    law_lemma13,
+    law_lemma15,
+    law_property5,
+    law_property12,
+    law_property17,
+    law_theorem7,
+    law_theorem16,
+    law_theorem18,
+)
+from repro.checker.obligations import Obligation, ObligationOutcome, ProofSession
+from repro.checker.refinement import check_conformance, check_refinement, refines
+from repro.checker.report import RefinementMatrix, refinement_matrix
+from repro.checker.result import CheckResult, Verdict
+from repro.checker.sampling import random_traces, sample_refinement
+from repro.checker.soundness import check_soundness, universe_for_component
+from repro.checker.universe import FiniteUniverse
+
+__all__ = [
+    "enumerate_traces",
+    "find_violation",
+    "composed_hidden_events",
+    "spec_dfa",
+    "traceset_dfa",
+    "alphabets_equal",
+    "specs_equal",
+    "trace_sets_equal",
+    "law_lemma6",
+    "law_lemma13",
+    "law_lemma15",
+    "law_property5",
+    "law_property12",
+    "law_property17",
+    "law_theorem7",
+    "law_theorem16",
+    "law_theorem18",
+    "Obligation",
+    "ObligationOutcome",
+    "ProofSession",
+    "check_conformance",
+    "check_refinement",
+    "refines",
+    "CheckResult",
+    "Verdict",
+    "random_traces",
+    "sample_refinement",
+    "RefinementMatrix",
+    "refinement_matrix",
+    "check_soundness",
+    "universe_for_component",
+    "FiniteUniverse",
+]

@@ -1,0 +1,90 @@
+"""Bounded trace exploration.
+
+The fallback strategy when exact compilation is unavailable (unbounded
+counters, enormous universes): enumerate the traces of a trace set
+breadth-first up to a depth bound.  Prefix closure makes the enumeration
+prunable — once a prefix leaves the trace set, no extension can re-enter
+it — so the frontier only ever contains members.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Callable, Iterator, Sequence
+
+from repro.checker.universe import FiniteUniverse
+from repro.core.events import Event
+from repro.core.specification import Specification
+from repro.core.traces import Trace
+from repro.core.tracesets import ComposedTraceSet, FullTraceSet, MachineTraceSet
+
+__all__ = ["enumerate_traces", "find_violation"]
+
+
+def enumerate_traces(
+    spec: Specification,
+    universe: FiniteUniverse,
+    depth: int,
+    max_traces: int | None = None,
+) -> Iterator[Trace]:
+    """Yield the traces of ``T(Γ)`` over the universe, up to ``depth`` events.
+
+    Breadth-first: all traces of length *n* before any of length *n+1*.
+    For machine trace sets the machine state rides along the frontier; for
+    composed trace sets each candidate extension re-runs the hidden-event
+    search (complete but slower — measured in the benchmarks).
+    """
+    events = universe.events_for(spec.alphabet)
+    ts = spec.traces
+    count = 0
+    if isinstance(ts, (FullTraceSet, MachineTraceSet)):
+        machine = ts.machine()
+        init = machine.initial()
+        if not machine.ok(init):
+            return
+        queue: deque[tuple[Trace, object]] = deque([(Trace.empty(), init)])
+        while queue:
+            trace, state = queue.popleft()
+            yield trace
+            count += 1
+            if max_traces is not None and count >= max_traces:
+                return
+            if len(trace) >= depth:
+                continue
+            for e in events:
+                nxt = machine.step(state, e)
+                if machine.ok(nxt):
+                    queue.append((trace.append(e), nxt))
+        return
+    if isinstance(ts, ComposedTraceSet):
+        queue2: deque[Trace] = deque([Trace.empty()])
+        if not ts.contains(Trace.empty()):
+            return
+        while queue2:
+            trace = queue2.popleft()
+            yield trace
+            count += 1
+            if max_traces is not None and count >= max_traces:
+                return
+            if len(trace) >= depth:
+                continue
+            for e in events:
+                cand = trace.append(e)
+                if ts.contains(cand):
+                    queue2.append(cand)
+        return
+    raise TypeError(f"cannot enumerate trace set {ts!r}")
+
+
+def find_violation(
+    spec: Specification,
+    universe: FiniteUniverse,
+    predicate: Callable[[Trace], bool],
+    depth: int,
+    max_traces: int | None = None,
+) -> Trace | None:
+    """First enumerated trace of ``T(Γ)`` violating ``predicate``, if any."""
+    for h in enumerate_traces(spec, universe, depth, max_traces):
+        if not predicate(h):
+            return h
+    return None

@@ -1,0 +1,72 @@
+"""Compiling specifications to DFAs over a finite universe.
+
+``spec_dfa(Γ, U)`` returns a DFA over the instantiation of ``α(Γ)`` in the
+universe ``U`` that accepts exactly the traces of ``T(Γ)`` built from
+universe values.  For machine-defined trace sets this is reachable-state
+exploration; for composed trace sets it is the ε-erasing subset
+construction with the internal events instantiated over the universe.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.automata.build import hidden_closure_dfa, machine_to_dfa
+from repro.automata.dfa import DFA
+from repro.checker.universe import FiniteUniverse
+from repro.core.errors import SpecificationError
+from repro.core.events import Event
+from repro.core.specification import Specification
+from repro.core.tracesets import ComposedTraceSet, FullTraceSet, MachineTraceSet
+from repro.machines.projection import FilterMachine
+
+__all__ = ["spec_dfa", "composed_hidden_events", "traceset_dfa"]
+
+
+def composed_hidden_events(
+    ts: ComposedTraceSet, universe: FiniteUniverse
+) -> tuple[Event, ...]:
+    """The internal events of a composition, instantiated over a universe."""
+    out: set[Event] = set()
+    for p in ts.combined.patterns:
+        for a, b in ts.internal.ordered_pairs():
+            if not (p.caller.contains(a) and p.callee.contains(b)):
+                continue
+            pools = [universe.values] * len(p.args)
+            out.update(p.instantiate([a], [b], pools))
+    return tuple(sorted(out))
+
+
+def traceset_dfa(
+    ts, universe: FiniteUniverse, state_limit: int = 100_000
+) -> DFA:
+    """DFA for a trace set over the universe instantiation of its alphabet."""
+    events = universe.events_for(ts.alphabet)
+    if isinstance(ts, (FullTraceSet, MachineTraceSet)):
+        return machine_to_dfa(ts.machine(), events, state_limit=state_limit)
+    if isinstance(ts, ComposedTraceSet):
+        machines = tuple(
+            FilterMachine(p.alphabet, p.machine) for p in ts.parts
+        )
+
+        def step(state, e):
+            return tuple(m.step(s, e) for m, s in zip(machines, state))
+
+        def ok(state):
+            return all(m.ok(s) for m, s in zip(machines, state))
+
+        init = tuple(m.initial() for m in machines)
+        hidden = composed_hidden_events(ts, universe)
+        return hidden_closure_dfa(
+            [init], step, ok, events, hidden, state_limit=state_limit
+        )
+    raise SpecificationError(f"cannot compile trace set {ts!r} to a DFA")
+
+
+def spec_dfa(
+    spec: Specification,
+    universe: FiniteUniverse,
+    state_limit: int = 100_000,
+) -> DFA:
+    """DFA for ``T(Γ)`` over the universe instantiation of ``α(Γ)``."""
+    return traceset_dfa(spec.traces, universe, state_limit=state_limit)

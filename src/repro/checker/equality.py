@@ -1,0 +1,91 @@
+"""Extensional equality of specifications.
+
+Two specifications are extensionally equal when their alphabets denote the
+same event set (decided symbolically) and their trace sets coincide
+(decided by DFA equivalence over a finite universe, after embedding both
+into the common letter set).  Used for Property 5 (``Γ‖Γ = Γ``),
+Property 12 (commutativity/associativity of ‖), and Example 6
+(``T(RW2‖Client) = T(WriteAcc‖Client)``).
+"""
+
+from __future__ import annotations
+
+from repro.automata.build import embed_dfa
+from repro.automata.ops import equivalence_counterexample
+from repro.checker.compile import spec_dfa
+from repro.checker.result import CheckResult, Verdict
+from repro.checker.universe import FiniteUniverse
+from repro.core.specification import Specification
+from repro.core.traces import Trace
+
+__all__ = ["alphabets_equal", "trace_sets_equal", "specs_equal"]
+
+
+def alphabets_equal(s1: Specification, s2: Specification) -> CheckResult:
+    """Symbolic extensional equality of the two alphabets."""
+    w = s1.alphabet.subset_witness(s2.alphabet)
+    if w is not None:
+        return CheckResult(
+            Verdict.REFUTED,
+            note=f"event of α({s1.name}) missing from α({s2.name})",
+            counterexample=Trace.of(w),
+        )
+    w = s2.alphabet.subset_witness(s1.alphabet)
+    if w is not None:
+        return CheckResult(
+            Verdict.REFUTED,
+            note=f"event of α({s2.name}) missing from α({s1.name})",
+            counterexample=Trace.of(w),
+        )
+    return CheckResult(Verdict.PROVED, note="alphabets extensionally equal")
+
+
+def trace_sets_equal(
+    s1: Specification,
+    s2: Specification,
+    universe: FiniteUniverse | None = None,
+    state_limit: int = 100_000,
+) -> CheckResult:
+    """DFA equivalence of the two trace sets over a finite universe."""
+    if universe is None:
+        universe = FiniteUniverse.for_specs(s1, s2)
+    common = universe.events_for(s1.alphabet.union(s2.alphabet))
+    a = embed_dfa(spec_dfa(s1, universe, state_limit), common, s1.alphabet)
+    b = embed_dfa(spec_dfa(s2, universe, state_limit), common, s2.alphabet)
+    cex = equivalence_counterexample(a, b)
+    stats = {
+        "universe": universe.size(),
+        "events": len(common),
+        "dfa_states": (a.n_states, b.n_states),
+    }
+    if cex is None:
+        return CheckResult(
+            Verdict.PROVED,
+            note=f"trace sets equal over {universe}",
+            stats=stats,
+        )
+    return CheckResult(
+        Verdict.REFUTED,
+        note="trace distinguishing the two trace sets",
+        counterexample=Trace(tuple(cex)),
+        stats=stats,
+    )
+
+
+def specs_equal(
+    s1: Specification,
+    s2: Specification,
+    universe: FiniteUniverse | None = None,
+    state_limit: int = 100_000,
+) -> CheckResult:
+    """Alphabet equality (symbolic) plus trace-set equality (automata)."""
+    objects_1, objects_2 = frozenset(s1.objects), frozenset(s2.objects)
+    if objects_1 != objects_2:
+        return CheckResult(
+            Verdict.REFUTED,
+            note=f"object sets differ: {sorted(objects_1)} vs {sorted(objects_2)}",
+        )
+    a = alphabets_equal(s1, s2)
+    if not a.holds:
+        return a
+    return trace_sets_equal(s1, s2, universe, state_limit)

@@ -1,0 +1,303 @@
+"""Executable replays of the paper's numbered claims.
+
+Each function checks one lemma/theorem/property on *concrete instances*
+(specifications, components, universes) and returns a
+:class:`~repro.checker.result.CheckResult`.  Together with the randomised
+instance families in the test suite, this is the Python analogue of the
+authors' PVS verification: every claim of Sections 4–7 is mechanically
+replayed, and the side conditions (composability, properness) can be
+*dropped* to confirm that the conclusions genuinely depend on them.
+
+Functions raise :class:`~repro.core.errors.RefinementError` when a claim's
+*premise* fails on the supplied instance — a failed premise means the
+instance does not exercise the claim, which callers should know about
+rather than read as confirmation.
+"""
+
+from __future__ import annotations
+
+from repro.checker.equality import specs_equal, trace_sets_equal
+from repro.checker.refinement import check_refinement
+from repro.checker.result import CheckResult, Verdict
+from repro.checker.soundness import check_soundness, universe_for_component
+from repro.checker.universe import FiniteUniverse
+from repro.core.component import Component
+from repro.core.composition import check_composable, compose, properness_witness
+from repro.core.errors import RefinementError
+from repro.core.internal import InternalEvents
+from repro.core.specification import Specification
+from repro.core.traces import Trace
+
+__all__ = [
+    "law_property5",
+    "law_lemma6",
+    "law_theorem7",
+    "law_property12",
+    "law_lemma13",
+    "law_lemma15",
+    "law_theorem16",
+    "law_property17",
+    "law_theorem18",
+]
+
+
+def _require(condition: bool, message: str) -> None:
+    if not condition:
+        raise RefinementError(f"premise failed: {message}")
+
+
+def _combine(results: list[tuple[str, CheckResult]]) -> CheckResult:
+    """Fold sub-results: first negative wins; weakest positive verdict kept."""
+    verdict = Verdict.PROVED
+    notes = []
+    for label, r in results:
+        if not r.holds:
+            return CheckResult(
+                r.verdict,
+                note=f"{label}: {r.explain()}",
+                counterexample=r.counterexample,
+                stats=r.stats,
+            )
+        if r.verdict is Verdict.BOUNDED_OK:
+            verdict = Verdict.BOUNDED_OK
+        notes.append(f"{label}: {r.verdict.value}")
+    return CheckResult(verdict, note="; ".join(notes))
+
+
+# ----------------------------------------------------------------------
+# Section 4: interface composition
+# ----------------------------------------------------------------------
+
+
+def law_property5(
+    spec: Specification, universe: FiniteUniverse | None = None
+) -> CheckResult:
+    """Property 5: ``Γ‖Γ = Γ`` for an interface specification."""
+    _require(spec.is_interface(), f"{spec.name} must be an interface spec")
+    self_comp = compose(spec, spec)
+    return specs_equal(self_comp, spec, universe)
+
+
+def law_lemma6(
+    g1: Specification,
+    g2: Specification,
+    universe: FiniteUniverse | None = None,
+    candidates: tuple[Specification, ...] = (),
+    **kwargs,
+) -> CheckResult:
+    """Lemma 6: ``Γ₁‖Γ₂`` is the weakest common refinement of ``Γ₁, Γ₂``.
+
+    Part 1 (``Γ₁‖Γ₂ ⊑ Γᵢ``) is checked outright.  Part 2 is universally
+    quantified over all specifications; it is exercised on the supplied
+    ``candidates`` — for each ``Δ`` that refines both ``Γᵢ``, check
+    ``Δ ⊑ Γ₁‖Γ₂``.
+    """
+    _require(
+        g1.is_interface() and g2.is_interface() and g1.objects == g2.objects,
+        "Lemma 6 concerns interface specifications of the same object",
+    )
+    comp = compose(g1, g2)
+    results = [
+        ("Γ₁‖Γ₂ ⊑ Γ₁", check_refinement(comp, g1, universe, **kwargs)),
+        ("Γ₁‖Γ₂ ⊑ Γ₂", check_refinement(comp, g2, universe, **kwargs)),
+    ]
+    for i, delta in enumerate(candidates):
+        r1 = check_refinement(delta, g1, universe, **kwargs)
+        r2 = check_refinement(delta, g2, universe, **kwargs)
+        if not (r1.holds and r2.holds):
+            continue  # candidate does not satisfy part 2's premise
+        results.append(
+            (
+                f"Δ{i}({delta.name}) ⊑ Γ₁‖Γ₂",
+                check_refinement(delta, comp, universe, **kwargs),
+            )
+        )
+    return _combine(results)
+
+
+# ----------------------------------------------------------------------
+# Section 5: compositional refinement for interface specifications
+# ----------------------------------------------------------------------
+
+
+def law_theorem7(
+    gamma: Specification,
+    gamma_p: Specification,
+    delta: Specification,
+    universe: FiniteUniverse | None = None,
+    **kwargs,
+) -> CheckResult:
+    """Theorem 7: ``Γ' ⊑ Γ ⇒ Γ'‖Δ ⊑ Γ‖Δ`` (interface specifications)."""
+    _require(
+        gamma.is_interface() and gamma_p.is_interface() and delta.is_interface(),
+        "Theorem 7 concerns interface specifications",
+    )
+    _require(
+        gamma.objects == gamma_p.objects,
+        "Γ and Γ' must specify the same object",
+    )
+    premise = check_refinement(gamma_p, gamma, universe, **kwargs)
+    _require(premise.holds, f"Γ' ⊑ Γ does not hold: {premise.explain()}")
+    conclusion = check_refinement(
+        compose(gamma_p, delta), compose(gamma, delta), universe, **kwargs
+    )
+    return conclusion
+
+
+# ----------------------------------------------------------------------
+# Section 7: component specifications
+# ----------------------------------------------------------------------
+
+
+def law_property12(
+    gamma: Specification,
+    delta: Specification,
+    theta: Specification | None = None,
+    universe: FiniteUniverse | None = None,
+) -> CheckResult:
+    """Property 12: ‖ is commutative and (given ``theta``) associative."""
+    _require(
+        check_composable(gamma, delta).composable,
+        f"{gamma.name} and {delta.name} must be composable",
+    )
+    results = [
+        ("Γ‖Δ = Δ‖Γ", specs_equal(compose(gamma, delta), compose(delta, gamma), universe)),
+    ]
+    if theta is not None:
+        gd = compose(gamma, delta)
+        dt = compose(delta, theta)
+        _require(
+            check_composable(gd, theta).composable
+            and check_composable(gamma, dt).composable
+            and check_composable(delta, theta).composable,
+            "all pairwise compositions must be composable for associativity",
+        )
+        results.append(
+            (
+                "(Γ‖Δ)‖Θ = Γ‖(Δ‖Θ)",
+                specs_equal(compose(gd, theta), compose(gamma, dt), universe),
+            )
+        )
+    return _combine(results)
+
+
+def law_lemma13(
+    gamma: Specification,
+    delta: Specification,
+    component: Component,
+    universe: FiniteUniverse | None = None,
+) -> CheckResult:
+    """Lemma 13: if Γ and Δ are sound specifications of C, so is Γ‖Δ."""
+    if universe is None:
+        universe = universe_for_component(component, gamma, delta)
+    p1 = check_soundness(gamma, component, universe)
+    _require(p1.holds, f"{gamma.name} must be sound for the component: {p1.explain()}")
+    p2 = check_soundness(delta, component, universe)
+    _require(p2.holds, f"{delta.name} must be sound for the component: {p2.explain()}")
+    return check_soundness(compose(gamma, delta), component, universe)
+
+
+def law_lemma15(
+    gamma: Specification,
+    gamma_p: Specification,
+    delta: Specification,
+) -> CheckResult:
+    """Lemma 15 (symbolic): hiding stability under properness.
+
+    ``(α(Γ) ∪ α(Δ)) ∩ I(O(Γ'‖Δ)) = (α(Γ) ∪ α(Δ)) ∩ I(O(Γ‖Δ))``.
+
+    ``I(O(Γ‖Δ)) ⊆ I(O(Γ'‖Δ))`` always, so equality reduces to: no event of
+    the combined alphabet lies in the difference of the internal sets —
+    decided exactly on patterns and endpoint pairs.
+    """
+    _require(
+        check_composable(gamma_p, delta).composable,
+        "Γ' and Δ must be composable",
+    )
+    w = properness_witness(gamma, gamma_p, delta)
+    _require(
+        w is None,
+        f"Γ' must be a proper refinement of Γ w.r.t. Δ (violating event {w})",
+    )
+    big = InternalEvents.square(gamma_p.objects | delta.objects)
+    small = InternalEvents.square(gamma.objects | delta.objects)
+    diff = big.difference(small)
+    combined = gamma.alphabet.union(delta.alphabet)
+    witness = combined.internal_witness(diff)
+    if witness is None:
+        return CheckResult(
+            Verdict.PROVED, note="hiding stability holds (symbolically exact)"
+        )
+    return CheckResult(
+        Verdict.REFUTED,
+        note="combined-alphabet event newly hidden by the refinement",
+        counterexample=Trace.of(witness),
+    )
+
+
+def law_theorem16(
+    gamma: Specification,
+    gamma_p: Specification,
+    delta: Specification,
+    universe: FiniteUniverse | None = None,
+    **kwargs,
+) -> CheckResult:
+    """Theorem 16: composable + proper + ``Γ' ⊑ Γ`` ⇒ ``Γ'‖Δ ⊑ Γ‖Δ``."""
+    _require(
+        check_composable(gamma_p, delta).composable,
+        "Γ' and Δ must be composable",
+    )
+    w = properness_witness(gamma, gamma_p, delta)
+    _require(
+        w is None,
+        f"Γ' must be a proper refinement of Γ w.r.t. Δ (violating event {w})",
+    )
+    premise = check_refinement(gamma_p, gamma, universe, **kwargs)
+    _require(premise.holds, f"Γ' ⊑ Γ does not hold: {premise.explain()}")
+    return check_refinement(
+        compose(gamma_p, delta), compose(gamma, delta), universe, **kwargs
+    )
+
+
+def law_property17(
+    gamma: Specification,
+    gamma_p: Specification,
+    delta: Specification,
+) -> CheckResult:
+    """Property 17: composability is preserved when no objects are added."""
+    _require(
+        gamma.objects == gamma_p.objects,
+        "Property 17 requires O(Γ') = O(Γ)",
+    )
+    _require(
+        check_composable(gamma, delta).composable,
+        "Γ and Δ must be composable",
+    )
+    report = check_composable(gamma_p, delta)
+    if report.composable:
+        return CheckResult(Verdict.PROVED, note="Γ' and Δ are composable")
+    witness = report.left_witness or report.right_witness
+    return CheckResult(
+        Verdict.REFUTED,
+        note=report.explain(),
+        counterexample=Trace.of(witness) if witness else None,
+    )
+
+
+def law_theorem18(
+    gamma: Specification,
+    gamma_p: Specification,
+    delta: Specification,
+    universe: FiniteUniverse | None = None,
+    **kwargs,
+) -> CheckResult:
+    """Theorem 18: ``Γ' ⊑ Γ ∧ O(Γ') = O(Γ)`` ⇒ ``Γ'‖Δ ⊑ Γ‖Δ``."""
+    _require(
+        gamma.objects == gamma_p.objects,
+        "Theorem 18 requires O(Γ') = O(Γ)",
+    )
+    premise = check_refinement(gamma_p, gamma, universe, **kwargs)
+    _require(premise.holds, f"Γ' ⊑ Γ does not hold: {premise.explain()}")
+    return check_refinement(
+        compose(gamma_p, delta), compose(gamma, delta), universe, **kwargs
+    )

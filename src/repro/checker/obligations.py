@@ -1,0 +1,119 @@
+"""Proof obligations: named, reproducible checking tasks with a log.
+
+The paper's PVS development is replayed here as a list of
+:class:`Obligation` values — one per numbered claim and worked example —
+run by a :class:`ProofSession` that collects verdicts, timings, and
+counterexamples, and renders them as a table (the content of
+EXPERIMENTS.md is generated from such a session).
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Callable, Iterable, Sequence
+
+from repro.checker.result import CheckResult, Verdict
+from repro.core.errors import ReproError
+
+__all__ = ["Obligation", "ObligationOutcome", "ProofSession"]
+
+
+@dataclass(frozen=True, slots=True)
+class Obligation:
+    """One named check.
+
+    ``expected`` records the paper's claim (``True`` for theorems, ``False``
+    for deliberate non-examples such as "RW does not refine Read2") so the
+    session can mark agreement rather than bare verdicts.
+    """
+
+    ident: str
+    title: str
+    check: Callable[[], CheckResult]
+    expected: bool = True
+    source: str = ""
+
+
+@dataclass(frozen=True, slots=True)
+class ObligationOutcome:
+    obligation: Obligation
+    result: CheckResult | None
+    error: str | None
+    seconds: float
+
+    @property
+    def agrees(self) -> bool:
+        """Did the verdict agree with the paper's claim?"""
+        if self.result is None:
+            return False
+        if self.obligation.expected:
+            return self.result.holds
+        return self.result.verdict in (Verdict.REFUTED, Verdict.STATIC_FAILED)
+
+    def status(self) -> str:
+        if self.error is not None:
+            return "ERROR"
+        return "agree" if self.agrees else "DISAGREE"
+
+
+@dataclass
+class ProofSession:
+    """Runs obligations and accumulates outcomes."""
+
+    outcomes: list[ObligationOutcome] = field(default_factory=list)
+
+    def run(self, obligations: Iterable[Obligation]) -> "ProofSession":
+        for ob in obligations:
+            start = time.perf_counter()
+            result: CheckResult | None = None
+            error: str | None = None
+            try:
+                result = ob.check()
+            except ReproError as exc:  # premise failures, budget exhaustion
+                error = f"{type(exc).__name__}: {exc}"
+            elapsed = time.perf_counter() - start
+            self.outcomes.append(ObligationOutcome(ob, result, error, elapsed))
+        return self
+
+    @property
+    def all_agree(self) -> bool:
+        return all(o.agrees for o in self.outcomes)
+
+    def failures(self) -> Sequence[ObligationOutcome]:
+        return [o for o in self.outcomes if not o.agrees]
+
+    # ------------------------------------------------------------------
+    # rendering
+    # ------------------------------------------------------------------
+
+    def format_table(self) -> str:
+        """Markdown table of the session's outcomes."""
+        header = (
+            "| id | claim | paper says | verdict | status | time (s) |\n"
+            "|---|---|---|---|---|---|"
+        )
+        rows = [header]
+        for o in self.outcomes:
+            claim = "holds" if o.obligation.expected else "fails"
+            verdict = (
+                o.result.verdict.value if o.result is not None else "error"
+            )
+            rows.append(
+                f"| {o.obligation.ident} | {o.obligation.title} | {claim} "
+                f"| {verdict} | {o.status()} | {o.seconds:.3f} |"
+            )
+        return "\n".join(rows)
+
+    def format_details(self) -> str:
+        lines = []
+        for o in self.outcomes:
+            lines.append(f"== {o.obligation.ident}: {o.obligation.title}")
+            if o.obligation.source:
+                lines.append(f"   source: {o.obligation.source}")
+            if o.error is not None:
+                lines.append(f"   ERROR: {o.error}")
+            elif o.result is not None:
+                lines.append(f"   {o.result.explain()}")
+            lines.append(f"   status: {o.status()}  ({o.seconds:.3f}s)")
+        return "\n".join(lines)

@@ -1,0 +1,190 @@
+"""Refinement checking strategies.
+
+``check_refinement(Γ', Γ)`` decides ``Γ' ⊑ Γ`` (Definition 2):
+
+1. conditions 1–2 (object set, alphabet inclusion) are decided exactly and
+   symbolically over the infinite alphabets;
+2. condition 3 (``∀h ∈ T(Γ') : h/α(Γ) ∈ T(Γ)``) is decided by strategy:
+
+   * ``"automata"`` — compile both trace sets to DFAs over a finite
+     universe, lift the abstract side through the projection
+     (:func:`~repro.automata.build.lift_dfa`), and decide language
+     inclusion with a shortest counterexample.  Exact over the universe.
+   * ``"bounded"`` — breadth-first enumeration of ``T(Γ')`` up to a depth
+     bound, checking the projection of each trace.  Refutation-complete up
+     to the bound; never proves.
+   * ``"auto"`` — automata, falling back to bounded when a state budget is
+     exceeded.
+"""
+
+from __future__ import annotations
+
+from repro.automata.build import lift_dfa
+from repro.automata.ops import inclusion_counterexample, minimize
+from repro.checker.bounded import find_violation
+from repro.checker.compile import spec_dfa
+from repro.checker.result import CheckResult, Verdict
+from repro.checker.universe import FiniteUniverse
+from repro.core.errors import RefinementError, StateSpaceLimitExceeded
+from repro.core.refinement import check_static, trace_condition_holds_for
+from repro.core.specification import Specification
+from repro.core.traces import Trace
+
+__all__ = ["check_refinement", "check_conformance", "refines"]
+
+
+def _automata_condition3(
+    concrete: Specification,
+    abstract: Specification,
+    universe: FiniteUniverse,
+    state_limit: int,
+    use_minimize: bool,
+) -> CheckResult:
+    a = spec_dfa(concrete, universe, state_limit=state_limit)
+    b0 = spec_dfa(abstract, universe, state_limit=state_limit)
+    if use_minimize:
+        a = minimize(a)
+        b0 = minimize(b0)
+    b = lift_dfa(b0, a.letters, abstract.alphabet)
+    cex = inclusion_counterexample(a, b)
+    stats = {
+        "universe": universe.size(),
+        "concrete_dfa_states": a.n_states,
+        "abstract_dfa_states": b0.n_states,
+        "events": len(a.letters),
+    }
+    if cex is None:
+        return CheckResult(
+            Verdict.PROVED,
+            note=f"language inclusion over {universe}",
+            stats=stats,
+        )
+    return CheckResult(
+        Verdict.REFUTED,
+        note="trace of the concrete spec whose projection escapes the abstract",
+        counterexample=Trace(tuple(cex)),
+        stats=stats,
+    )
+
+
+def _bounded_condition3(
+    concrete: Specification,
+    abstract: Specification,
+    universe: FiniteUniverse,
+    depth: int,
+    max_traces: int | None,
+) -> CheckResult:
+    cex = find_violation(
+        concrete,
+        universe,
+        lambda h: trace_condition_holds_for(h, concrete, abstract),
+        depth=depth,
+        max_traces=max_traces,
+    )
+    stats = {"universe": universe.size(), "depth": depth}
+    if cex is None:
+        return CheckResult(
+            Verdict.BOUNDED_OK,
+            note=f"no counterexample up to depth {depth} over {universe}",
+            stats=stats,
+        )
+    return CheckResult(
+        Verdict.REFUTED,
+        note="trace of the concrete spec whose projection escapes the abstract",
+        counterexample=cex,
+        stats=stats,
+    )
+
+
+def check_refinement(
+    concrete: Specification,
+    abstract: Specification,
+    universe: FiniteUniverse | None = None,
+    strategy: str = "auto",
+    depth: int = 8,
+    max_traces: int | None = 200_000,
+    state_limit: int = 100_000,
+    use_minimize: bool = False,
+) -> CheckResult:
+    """Decide ``concrete ⊑ abstract`` (see module docstring)."""
+    static = check_static(concrete, abstract)
+    if not static.ok:
+        cex = None
+        if static.alphabet_witness is not None:
+            cex = Trace.of(static.alphabet_witness)
+        return CheckResult(
+            Verdict.STATIC_FAILED,
+            note=static.explain(),
+            counterexample=cex,
+            static=static,
+        )
+    if universe is None:
+        universe = FiniteUniverse.for_specs(concrete, abstract)
+    if strategy == "automata":
+        result = _automata_condition3(
+            concrete, abstract, universe, state_limit, use_minimize
+        )
+    elif strategy == "bounded":
+        result = _bounded_condition3(
+            concrete, abstract, universe, depth, max_traces
+        )
+    elif strategy == "auto":
+        try:
+            result = _automata_condition3(
+                concrete, abstract, universe, state_limit, use_minimize
+            )
+        except StateSpaceLimitExceeded:
+            result = _bounded_condition3(
+                concrete, abstract, universe, depth, max_traces
+            )
+    else:
+        raise RefinementError(f"unknown strategy {strategy!r}")
+    return CheckResult(
+        result.verdict,
+        note=result.note,
+        counterexample=result.counterexample,
+        static=static,
+        stats=result.stats,
+    )
+
+
+def check_conformance(
+    spec: Specification,
+    view: Specification,
+    universe: FiniteUniverse | None = None,
+    strategy: str = "auto",
+    depth: int = 8,
+    max_traces: int | None = 200_000,
+    state_limit: int = 100_000,
+) -> CheckResult:
+    """Decide ``∀h ∈ T(spec) : h/α(view) ∈ T(view)`` — condition 3 alone.
+
+    Refinement (Definition 2) additionally demands object-set and alphabet
+    inclusion; *conformance* drops them, asking only that the spec's
+    behaviour, projected onto the view's alphabet, stays within the view.
+    This is the right question between specifications of *different*
+    objects — e.g. "does the coordinator's protocol respect each
+    participant's own view of the exchange?" — and it is also the
+    soundness condition of Section 2 with a specification in place of a
+    semantic object.
+    """
+    if universe is None:
+        universe = FiniteUniverse.for_specs(spec, view)
+    if strategy == "bounded":
+        return _bounded_condition3(spec, view, universe, depth, max_traces)
+    try:
+        return _automata_condition3(spec, view, universe, state_limit, False)
+    except StateSpaceLimitExceeded:
+        if strategy == "automata":
+            raise
+        return _bounded_condition3(spec, view, universe, depth, max_traces)
+
+
+def refines(
+    concrete: Specification,
+    abstract: Specification,
+    universe: FiniteUniverse | None = None,
+    **kwargs,
+) -> bool:
+    """Boolean convenience wrapper: positive verdict of :func:`check_refinement`."""
+    return check_refinement(concrete, abstract, universe, **kwargs).holds

@@ -1,0 +1,101 @@
+"""Reports: the pairwise refinement lattice of a family of specifications.
+
+Viewpoint development revolves around which partial specifications refine
+which (the paper's Examples 1–3 form a small lattice).  ``refinement_matrix``
+computes all pairwise refinement verdicts and renders them as a table;
+``hasse_edges`` extracts the transitive reduction — the edges one would
+draw in the development diagram.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+from repro.checker.refinement import check_refinement
+from repro.checker.result import CheckResult
+from repro.checker.universe import FiniteUniverse
+from repro.core.specification import Specification
+
+__all__ = ["RefinementMatrix", "refinement_matrix"]
+
+
+@dataclass(frozen=True, slots=True)
+class RefinementMatrix:
+    """All pairwise refinement verdicts among ``specs``.
+
+    ``results[i][j]`` answers ``specs[i] ⊑ specs[j]`` (``None`` on the
+    diagonal — reflexivity is a theorem, not worth a DFA).
+    """
+
+    specs: tuple[Specification, ...]
+    results: tuple[tuple[CheckResult | None, ...], ...]
+
+    def holds(self, i: int, j: int) -> bool:
+        if i == j:
+            return True
+        result = self.results[i][j]
+        return result is not None and result.holds
+
+    def hasse_edges(self) -> list[tuple[str, str]]:
+        """Transitive reduction of the refinement order: (concrete, abstract).
+
+        An edge i→j survives iff i ⊑ j strictly and no distinct k sits
+        between them (i ⊑ k ⊑ j).  Mutually-refining specifications
+        (extensionally equal) produce no edges.
+        """
+        n = len(self.specs)
+        edges = []
+        for i in range(n):
+            for j in range(n):
+                if i == j or not self.holds(i, j) or self.holds(j, i):
+                    continue
+                between = any(
+                    k not in (i, j)
+                    and self.holds(i, k)
+                    and self.holds(k, j)
+                    and not self.holds(k, i)
+                    and not self.holds(j, k)
+                    for k in range(n)
+                )
+                if not between:
+                    edges.append((self.specs[i].name, self.specs[j].name))
+        return sorted(edges)
+
+    def format_table(self) -> str:
+        """Markdown matrix: row ⊑ column?"""
+        names = [s.name for s in self.specs]
+        header = "| ⊑ | " + " | ".join(names) + " |"
+        sep = "|---" * (len(names) + 1) + "|"
+        rows = [header, sep]
+        for i, name in enumerate(names):
+            cells = []
+            for j in range(len(names)):
+                if i == j:
+                    cells.append("·")
+                else:
+                    cells.append("✓" if self.holds(i, j) else "✗")
+            rows.append(f"| **{name}** | " + " | ".join(cells) + " |")
+        return "\n".join(rows)
+
+
+def refinement_matrix(
+    specs: Sequence[Specification],
+    universe: FiniteUniverse | None = None,
+    **kwargs,
+) -> RefinementMatrix:
+    """Compute all pairwise refinement checks among ``specs``."""
+    if universe is None:
+        universe = FiniteUniverse.for_specs(*specs)
+    results: list[tuple[CheckResult | None, ...]] = []
+    for i, concrete in enumerate(specs):
+        row: list[CheckResult | None] = []
+        for j, abstract in enumerate(specs):
+            if i == j:
+                row.append(None)
+            else:
+                row.append(
+                    check_refinement(concrete, abstract, universe, **kwargs)
+                )
+        results.append(tuple(row))
+    return RefinementMatrix(tuple(specs), tuple(results))

@@ -1,0 +1,73 @@
+"""Verdicts and result records shared by the checking strategies."""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+
+from repro.core.refinement import StaticRefinementReport
+from repro.core.traces import Trace
+
+__all__ = ["Verdict", "CheckResult"]
+
+
+class Verdict(enum.Enum):
+    """Outcome of a checking question.
+
+    ``PROVED`` — established exactly over the stated finite universe (the
+    strategies are complete for the universe; adequacy of the universe for
+    the infinite setting rests on the uniformity of notation-definable
+    predicates, see DESIGN.md).
+    ``REFUTED`` — a concrete counterexample trace/event was produced.
+    ``BOUNDED_OK`` — no counterexample up to the stated depth (bounded
+    strategy only; not a proof).
+    ``STATIC_FAILED`` — an alphabet/object-set side condition failed.
+    ``UNKNOWN`` — the strategy gave up (e.g. state budget exhausted).
+    """
+
+    PROVED = "proved"
+    REFUTED = "refuted"
+    BOUNDED_OK = "bounded-ok"
+    STATIC_FAILED = "static-failed"
+    UNKNOWN = "unknown"
+
+    @property
+    def is_positive(self) -> bool:
+        return self in (Verdict.PROVED, Verdict.BOUNDED_OK)
+
+
+@dataclass(frozen=True, slots=True)
+class CheckResult:
+    """A verdict with supporting evidence.
+
+    ``counterexample`` is a trace of the *concrete/larger* side whose
+    projection misbehaves (refinement/soundness) or that distinguishes two
+    trace sets (equality checks).  ``stats`` carries strategy-dependent
+    numbers (states explored, DFA sizes, depth reached).
+    """
+
+    verdict: Verdict
+    note: str = ""
+    counterexample: Trace | None = None
+    static: StaticRefinementReport | None = None
+    stats: dict = field(default_factory=dict)
+
+    @property
+    def holds(self) -> bool:
+        """Positive outcome (``PROVED`` or ``BOUNDED_OK``)."""
+        return self.verdict.is_positive
+
+    def explain(self) -> str:
+        parts = [self.verdict.value]
+        if self.note:
+            parts.append(self.note)
+        if self.counterexample is not None:
+            parts.append(f"counterexample: {self.counterexample}")
+        if self.static is not None and not self.static.ok:
+            detail = self.static.explain()
+            if detail not in self.note:
+                parts.append(detail)
+        return " — ".join(parts)
+
+    def __str__(self) -> str:
+        return self.explain()

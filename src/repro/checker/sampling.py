@@ -1,0 +1,127 @@
+"""Randomised trace sampling: the statistical fallback strategy.
+
+For universes or machines too large even for bounded breadth-first
+enumeration, random walks through the trace set still hunt for
+counterexamples: from the current machine state, pick uniformly among the
+events that keep the machine ``ok`` and recurse.  Sampling can only
+*refute*; a clean run yields ``UNKNOWN`` with the sampling parameters in
+the note (unlike ``BOUNDED_OK`` there is no exhaustiveness up to a depth).
+
+Walks are seeded and reproducible.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Iterator
+
+from repro.checker.result import CheckResult, Verdict
+from repro.checker.universe import FiniteUniverse
+from repro.core.refinement import check_static, trace_condition_holds_for
+from repro.core.specification import Specification
+from repro.core.traces import Trace
+from repro.core.tracesets import ComposedTraceSet, FullTraceSet, MachineTraceSet
+
+__all__ = ["random_traces", "sample_refinement"]
+
+
+def random_traces(
+    spec: Specification,
+    universe: FiniteUniverse,
+    n_walks: int,
+    max_len: int,
+    seed: int = 0,
+) -> Iterator[Trace]:
+    """Yield ``n_walks`` random members of ``T(Γ)`` over the universe.
+
+    Each walk extends the empty trace by uniformly chosen admitted events
+    until ``max_len`` or a dead end; the (possibly shorter) reached trace
+    is yielded.  Prefix closure guarantees every yielded trace is a
+    member.
+    """
+    rng = random.Random(seed)
+    events = universe.events_for(spec.alphabet)
+    ts = spec.traces
+    if isinstance(ts, (FullTraceSet, MachineTraceSet)):
+        machine = ts.machine()
+        for _ in range(n_walks):
+            state = machine.initial()
+            if not machine.ok(state):
+                return
+            trace = Trace.empty()
+            for _ in range(max_len):
+                candidates = []
+                for e in events:
+                    nxt = machine.step(state, e)
+                    if machine.ok(nxt):
+                        candidates.append((e, nxt))
+                if not candidates:
+                    break
+                e, state = candidates[rng.randrange(len(candidates))]
+                trace = trace.append(e)
+            yield trace
+        return
+    if isinstance(ts, ComposedTraceSet):
+        for _ in range(n_walks):
+            trace = Trace.empty()
+            if not ts.contains(trace):
+                return
+            for _ in range(max_len):
+                candidates = [
+                    e for e in events if ts.contains(trace.append(e))
+                ]
+                if not candidates:
+                    break
+                trace = trace.append(candidates[rng.randrange(len(candidates))])
+            yield trace
+        return
+    raise TypeError(f"cannot sample trace set {ts!r}")
+
+
+def sample_refinement(
+    concrete: Specification,
+    abstract: Specification,
+    universe: FiniteUniverse | None = None,
+    n_walks: int = 50,
+    max_len: int = 12,
+    seed: int = 0,
+) -> CheckResult:
+    """Hunt for a refinement-condition-3 counterexample by random walks.
+
+    Checks the projection of every *prefix* of each walk (the shortest
+    violating prefix is reported), so one deep walk tests many traces.
+    """
+    static = check_static(concrete, abstract)
+    if not static.ok:
+        cex = (
+            Trace.of(static.alphabet_witness)
+            if static.alphabet_witness is not None
+            else None
+        )
+        return CheckResult(
+            Verdict.STATIC_FAILED, note=static.explain(),
+            counterexample=cex, static=static,
+        )
+    if universe is None:
+        universe = FiniteUniverse.for_specs(concrete, abstract)
+    tested = 0
+    for walk in random_traces(concrete, universe, n_walks, max_len, seed):
+        # binary-search-free shortest violation scan: prefixes in order
+        for prefix in walk.prefixes():
+            tested += 1
+            if not trace_condition_holds_for(prefix, concrete, abstract):
+                return CheckResult(
+                    Verdict.REFUTED,
+                    note=f"violating trace found by sampling "
+                    f"(seed {seed}, {tested} prefixes tested)",
+                    counterexample=prefix,
+                    static=static,
+                    stats={"prefixes_tested": tested, "universe": universe.size()},
+                )
+    return CheckResult(
+        Verdict.UNKNOWN,
+        note=f"no counterexample in {n_walks} walks × ≤{max_len} events "
+        f"(seed {seed}; sampling cannot prove)",
+        static=static,
+        stats={"prefixes_tested": tested, "universe": universe.size()},
+    )

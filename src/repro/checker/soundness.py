@@ -1,0 +1,83 @@
+"""Soundness of specifications with respect to semantic components.
+
+Section 2: an interface specification ``Γ`` of an object ``o`` is *sound*
+when ``∀h ∈ T^o : h/α(Γ) ∈ T(Γ)``; the component generalisation relates
+the traces of a semantic component ``C`` (Definition 9) to the
+specification's trace set.  Lemma 13 states that composition preserves
+soundness — replayed by the law harness on concrete components.
+"""
+
+from __future__ import annotations
+
+from repro.automata.build import lift_dfa
+from repro.automata.ops import inclusion_counterexample
+from repro.checker.compile import spec_dfa, traceset_dfa
+from repro.checker.result import CheckResult, Verdict
+from repro.checker.universe import FiniteUniverse
+from repro.core.component import Component
+from repro.core.specification import Specification
+from repro.core.traces import Trace
+
+__all__ = ["universe_for_component", "check_soundness"]
+
+
+def universe_for_component(
+    component: Component,
+    *specs: Specification,
+    env_objects: int = 2,
+    data_values: int = 1,
+) -> FiniteUniverse:
+    """Universe covering a component's hint and the given specifications."""
+    alphabets = [component.alphabet_hint] + [s.alphabet for s in specs]
+    objects = set(component.object_set())
+    extra: list = []
+    for member in component.members:
+        extra.extend(sorted(member.machine.mentioned_values(), key=repr))
+    for s in specs:
+        objects |= set(s.objects)
+        extra.extend(sorted(s.traces.mentioned_values(), key=repr))
+    return FiniteUniverse.for_alphabets(
+        alphabets,
+        objects=objects,
+        env_objects=env_objects,
+        data_values=data_values,
+        extra=extra,
+    )
+
+
+def check_soundness(
+    spec: Specification,
+    component: Component,
+    universe: FiniteUniverse | None = None,
+    state_limit: int = 100_000,
+) -> CheckResult:
+    """Decide ``∀h ∈ T^C : h/α(Γ) ∈ T(Γ)`` over a finite universe.
+
+    The component's trace set compiles through the hidden-closure subset
+    construction; the specification is lifted through the projection; the
+    question becomes language inclusion with a shortest counterexample.
+    """
+    if universe is None:
+        universe = universe_for_component(component, spec)
+    c_dfa = traceset_dfa(component.trace_set(), universe, state_limit)
+    s_dfa = spec_dfa(spec, universe, state_limit)
+    lifted = lift_dfa(s_dfa, c_dfa.letters, spec.alphabet)
+    cex = inclusion_counterexample(c_dfa, lifted)
+    stats = {
+        "universe": universe.size(),
+        "component_dfa_states": c_dfa.n_states,
+        "spec_dfa_states": s_dfa.n_states,
+    }
+    if cex is None:
+        return CheckResult(
+            Verdict.PROVED,
+            note=f"{spec.name} is a sound specification of {component!r} "
+            f"over {universe}",
+            stats=stats,
+        )
+    return CheckResult(
+        Verdict.REFUTED,
+        note=f"component trace whose projection escapes T({spec.name})",
+        counterexample=Trace(tuple(cex)),
+        stats=stats,
+    )

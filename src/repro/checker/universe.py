@@ -1,0 +1,143 @@
+"""Finite universes: the instantiation layer of the checker.
+
+The formalism's alphabets are infinite (open environments, unbounded data).
+Trace-level questions — refinement condition 3, composition trace-set
+equalities, soundness — are decided exactly over a *finite universe*: a
+finite pool of values containing
+
+* every object and data value *mentioned* by the specifications involved
+  (their behaviour on mentioned values is special), plus
+* a configurable number of fresh environment objects and fresh data values
+  per data sort (their behaviour is uniform — the predicates definable in
+  the notation quantify over sorts, so finitely many representatives
+  exercise every distinguishable case).
+
+Growing the universe is the convergence knob: the benchmarks sweep it, and
+the checker reports which universe a verdict was established over.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Sequence
+
+from repro.core.alphabet import Alphabet
+from repro.core.errors import UniverseError
+from repro.core.events import Event
+from repro.core.sorts import fresh_value
+from repro.core.specification import Specification
+from repro.core.values import DataVal, ObjectId, Value
+
+__all__ = ["FiniteUniverse"]
+
+
+@dataclass(frozen=True, slots=True)
+class FiniteUniverse:
+    """A finite, deterministic pool of values."""
+
+    values: tuple[Value, ...]
+
+    def __post_init__(self) -> None:
+        if len(set(self.values)) != len(self.values):
+            raise UniverseError("universe contains duplicate values")
+
+    # ------------------------------------------------------------------
+    # construction
+    # ------------------------------------------------------------------
+
+    @staticmethod
+    def of(*values: Value) -> "FiniteUniverse":
+        return FiniteUniverse(tuple(dict.fromkeys(values)))
+
+    @staticmethod
+    def for_alphabets(
+        alphabets: Iterable[Alphabet],
+        objects: Iterable[ObjectId] = (),
+        env_objects: int = 2,
+        data_values: int = 1,
+        extra: Iterable[Value] = (),
+        extra_bases: Iterable[str] = (),
+    ) -> "FiniteUniverse":
+        """Universe covering a set of alphabets plus explicit objects.
+
+        Contains the given objects, all values mentioned in any alphabet,
+        ``env_objects`` fresh object identities, and ``data_values`` fresh
+        values of every data sort occurring in any alphabet or named in
+        ``extra_bases`` (bases that only occur in hidden alphabets).
+        """
+        pool: dict[Value, None] = {}
+        bases: set[str] = set(extra_bases)
+        for o in sorted(set(objects)):
+            pool[o] = None
+        for a in alphabets:
+            for v in sorted(a.mentioned_values(), key=repr):
+                pool[v] = None
+            bases |= set(a.base_names())
+        for v in extra:
+            pool[v] = None
+        for base in sorted(bases):
+            want = env_objects if base == "Obj" else data_values
+            i = 0
+            added = 0
+            while added < want:
+                v = fresh_value(base, i)
+                i += 1
+                if v in pool:
+                    continue
+                pool[v] = None
+                added += 1
+        return FiniteUniverse(tuple(pool))
+
+    @staticmethod
+    def for_specs(
+        *specs: Specification,
+        env_objects: int = 2,
+        data_values: int = 1,
+        extra: Iterable[Value] = (),
+    ) -> "FiniteUniverse":
+        """The canonical universe for a set of specifications."""
+        objects: list[ObjectId] = []
+        predicate_values: list[Value] = []
+        hidden_bases: set[str] = set()
+        for s in specs:
+            objects.extend(s.objects)
+            # Values named only in trace predicates (e.g. Example 4's
+            # monitor o') must be in the universe too, and base sorts that
+            # occur only in *hidden* alphabets (a composition whose
+            # internal calls carry data) still need fresh representatives.
+            predicate_values.extend(sorted(s.traces.mentioned_values(), key=repr))
+            hidden_bases |= set(s.traces.base_names())
+        return FiniteUniverse.for_alphabets(
+            [s.alphabet for s in specs],
+            objects=objects,
+            env_objects=env_objects,
+            data_values=data_values,
+            extra=tuple(predicate_values) + tuple(extra),
+            extra_bases=hidden_bases,
+        )
+
+    def extended(self, *values: Value) -> "FiniteUniverse":
+        return FiniteUniverse.of(*self.values, *values)
+
+    # ------------------------------------------------------------------
+    # queries
+    # ------------------------------------------------------------------
+
+    def objects(self) -> tuple[ObjectId, ...]:
+        return tuple(v for v in self.values if isinstance(v, ObjectId))
+
+    def data(self, sort: str = "Data") -> tuple[DataVal, ...]:
+        return tuple(
+            v for v in self.values if isinstance(v, DataVal) and v.sort == sort
+        )
+
+    def events_for(self, alphabet: Alphabet) -> tuple[Event, ...]:
+        """All concrete events of the alphabet over this pool, sorted."""
+        return tuple(sorted(alphabet.events_over(self.values)))
+
+    def size(self) -> int:
+        return len(self.values)
+
+    def __str__(self) -> str:
+        objs = len(self.objects())
+        return f"Universe({objs} objects, {len(self.values) - objs} data values)"

@@ -1,0 +1,312 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands:
+
+* ``claims [--details] [--env-objects N]`` — replay every numbered claim
+  and worked example of the paper (the PVS-replay run);
+* ``parse FILE.oun`` — parse and elaborate an OUN document, listing the
+  specifications it declares;
+* ``check FILE.oun --refines CONCRETE ABSTRACT`` — decide a refinement
+  between two specifications declared in the document;
+* ``check FILE.oun --equal A B`` — decide extensional equality;
+* ``check FILE.oun --compose A B`` — compose two specifications, printing
+  the composability report and the observable alphabet;
+* ``deadlock FILE.oun SPEC`` — quiescence/deadlock analysis of a
+  specification over a finite universe.
+
+Exit status is 0 when the query's answer is positive (refines / equal /
+composable / deadlock-free; for ``claims``, full agreement), 1 otherwise,
+2 for usage or input errors.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+
+from repro.checker.equality import specs_equal
+from repro.checker.obligations import ProofSession
+from repro.checker.refinement import check_refinement
+from repro.checker.universe import FiniteUniverse
+from repro.core.composition import check_composable, compose
+from repro.core.errors import ReproError
+from repro.core.specification import Specification
+
+__all__ = ["main", "build_parser"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Composition and refinement for partial object "
+        "specifications — checker CLI",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p_claims = sub.add_parser("claims", help="replay the paper's claims")
+    p_claims.add_argument("--details", action="store_true")
+    p_claims.add_argument("--env-objects", type=int, default=2)
+
+    p_parse = sub.add_parser("parse", help="parse an OUN document")
+    p_parse.add_argument("file", type=Path)
+    p_parse.add_argument(
+        "--format",
+        action="store_true",
+        help="print the canonically formatted document instead of a summary",
+    )
+
+    p_monitor = sub.add_parser(
+        "monitor", help="check a recorded trace file against a specification"
+    )
+    p_monitor.add_argument("file", type=Path, help="OUN document")
+    p_monitor.add_argument("spec", help="specification name")
+    p_monitor.add_argument("trace", type=Path, help="trace file")
+
+    p_check = sub.add_parser("check", help="check a query over an OUN document")
+    p_check.add_argument("file", type=Path)
+    group = p_check.add_mutually_exclusive_group(required=True)
+    group.add_argument("--refines", nargs=2, metavar=("CONCRETE", "ABSTRACT"))
+    group.add_argument("--equal", nargs=2, metavar=("A", "B"))
+    group.add_argument("--compose", nargs=2, metavar=("A", "B"))
+    p_check.add_argument("--env-objects", type=int, default=2)
+    p_check.add_argument("--data-values", type=int, default=1)
+    p_check.add_argument(
+        "--strategy", choices=("auto", "automata", "bounded"), default="auto"
+    )
+    p_check.add_argument("--depth", type=int, default=8)
+
+    p_matrix = sub.add_parser(
+        "matrix", help="pairwise refinement matrix of a document's specs"
+    )
+    p_matrix.add_argument("file", type=Path)
+    p_matrix.add_argument("spec", nargs="*", help="subset of specs (default all)")
+    p_matrix.add_argument("--env-objects", type=int, default=2)
+
+    p_verify = sub.add_parser(
+        "verify", help="discharge the assertions of an OUN document"
+    )
+    p_verify.add_argument("file", type=Path)
+    p_verify.add_argument("--env-objects", type=int, default=2)
+    p_verify.add_argument("--data-values", type=int, default=1)
+    p_verify.add_argument(
+        "--strategy", choices=("auto", "automata", "bounded"), default="auto"
+    )
+
+    p_dead = sub.add_parser("deadlock", help="quiescence analysis of a spec")
+    p_dead.add_argument("file", type=Path)
+    p_dead.add_argument("spec", nargs="+")
+    p_dead.add_argument("--env-objects", type=int, default=2)
+
+    return parser
+
+
+def _load(path: Path) -> dict[str, Specification]:
+    from repro.oun import load_specifications
+
+    try:
+        text = path.read_text()
+    except OSError as exc:
+        raise ReproError(f"cannot read {path}: {exc}") from exc
+    return load_specifications(text)
+
+
+def _pick(specs: dict[str, Specification], name: str) -> Specification:
+    spec = specs.get(name)
+    if spec is None:
+        known = ", ".join(sorted(specs))
+        raise ReproError(f"no specification named {name!r} (have: {known})")
+    return spec
+
+
+def _cmd_claims(args, out) -> int:
+    from repro.paper.claims import build_obligations
+
+    session = ProofSession().run(
+        build_obligations(env_objects=args.env_objects)
+    )
+    print(session.format_table(), file=out)
+    if args.details:
+        print(file=out)
+        print(session.format_details(), file=out)
+    print(file=out)
+    if session.all_agree:
+        print("all obligations agree with the paper", file=out)
+        return 0
+    print("DISAGREEMENTS:", file=out)
+    for outcome in session.failures():
+        print(
+            f"  {outcome.obligation.ident}: "
+            f"{outcome.error or outcome.result.explain()}",
+            file=out,
+        )
+    return 1
+
+
+def _cmd_parse(args, out) -> int:
+    if args.format:
+        from repro.oun import format_document, parse_document
+
+        try:
+            text = args.file.read_text()
+        except OSError as exc:
+            raise ReproError(f"cannot read {args.file}: {exc}") from exc
+        print(format_document(parse_document(text)), file=out, end="")
+        return 0
+    specs = _load(args.file)
+    for name, spec in sorted(specs.items()):
+        objs = ", ".join(str(o) for o in sorted(spec.objects))
+        methods = ", ".join(sorted(spec.alphabet.methods()))
+        print(f"{name}: objects {{{objs}}}; methods {methods}", file=out)
+    return 0
+
+
+def _cmd_monitor(args, out) -> int:
+    from repro.runtime import SpecMonitor, tracefile
+
+    specs = _load(args.file)
+    spec = _pick(specs, args.spec)
+    trace = tracefile.load(args.trace)
+    try:
+        monitor = SpecMonitor(spec)
+    except ReproError as exc:
+        raise ReproError(str(exc)) from exc
+    for event in trace:
+        monitor.observe(event)
+    if monitor.ok:
+        print(
+            f"{spec.name}: trace of {len(trace)} events satisfies the "
+            f"specification",
+            file=out,
+        )
+        return 0
+    for v in monitor.violations:
+        print(str(v), file=out)
+    return 1
+
+
+def _cmd_check(args, out) -> int:
+    specs = _load(args.file)
+    if args.refines:
+        concrete = _pick(specs, args.refines[0])
+        abstract = _pick(specs, args.refines[1])
+        universe = FiniteUniverse.for_specs(
+            concrete, abstract,
+            env_objects=args.env_objects, data_values=args.data_values,
+        )
+        result = check_refinement(
+            concrete, abstract, universe,
+            strategy=args.strategy, depth=args.depth,
+        )
+        print(
+            f"{concrete.name} ⊑ {abstract.name}: {result.explain()}", file=out
+        )
+        return 0 if result.holds else 1
+    if args.equal:
+        a = _pick(specs, args.equal[0])
+        b = _pick(specs, args.equal[1])
+        universe = FiniteUniverse.for_specs(
+            a, b, env_objects=args.env_objects, data_values=args.data_values
+        )
+        result = specs_equal(a, b, universe)
+        print(f"{a.name} ≡ {b.name}: {result.explain()}", file=out)
+        return 0 if result.holds else 1
+    a = _pick(specs, args.compose[0])
+    b = _pick(specs, args.compose[1])
+    report = check_composable(a, b)
+    print(f"composability: {report.explain()}", file=out)
+    if not report.composable:
+        return 1
+    comp = compose(a, b)
+    print(f"{comp.name}: objects {{{', '.join(map(str, sorted(comp.objects)))}}}", file=out)
+    print(f"observable alphabet: {comp.alphabet}", file=out)
+    return 0
+
+
+def _cmd_matrix(args, out) -> int:
+    from repro.checker.report import refinement_matrix
+    from repro.checker.universe import FiniteUniverse
+
+    specs = _load(args.file)
+    if args.spec:
+        chosen = [_pick(specs, name) for name in args.spec]
+    else:
+        chosen = [specs[name] for name in sorted(specs)]
+    if len(chosen) < 2:
+        raise ReproError("matrix needs at least two specifications")
+    universe = FiniteUniverse.for_specs(*chosen, env_objects=args.env_objects)
+    matrix = refinement_matrix(chosen, universe)
+    print(matrix.format_table(), file=out)
+    print(f"\nHasse edges (concrete → abstract): {matrix.hasse_edges()}", file=out)
+    return 0
+
+
+def _cmd_verify(args, out) -> int:
+    from repro.oun import verify_text
+
+    try:
+        text = args.file.read_text()
+    except OSError as exc:
+        raise ReproError(f"cannot read {args.file}: {exc}") from exc
+    outcomes = verify_text(
+        text,
+        env_objects=args.env_objects,
+        data_values=args.data_values,
+        strategy=args.strategy,
+    )
+    if not outcomes:
+        print("document declares no assertions", file=out)
+        return 0
+    for o in outcomes:
+        print(o.describe(), file=out)
+    failed = sum(1 for o in outcomes if not o.passed)
+    print(
+        f"\n{len(outcomes) - failed}/{len(outcomes)} assertions hold",
+        file=out,
+    )
+    return 0 if failed == 0 else 1
+
+
+def _cmd_deadlock(args, out) -> int:
+    from repro.liveness import quiescence_analysis
+
+    specs = _load(args.file)
+    targets = [_pick(specs, n) for n in args.spec]
+    spec = targets[0]
+    for other in targets[1:]:
+        spec = compose(spec, other)
+    universe = FiniteUniverse.for_specs(
+        *targets, env_objects=args.env_objects
+    )
+    report = quiescence_analysis(spec, universe)
+    print(f"{spec.name}: {report.explain()}", file=out)
+    return 0 if report.deadlock_free else 1
+
+
+def main(argv: list[str] | None = None, out=None) -> int:
+    out = out if out is not None else sys.stdout
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    try:
+        if args.command == "claims":
+            return _cmd_claims(args, out)
+        if args.command == "parse":
+            return _cmd_parse(args, out)
+        if args.command == "monitor":
+            return _cmd_monitor(args, out)
+        if args.command == "check":
+            return _cmd_check(args, out)
+        if args.command == "matrix":
+            return _cmd_matrix(args, out)
+        if args.command == "verify":
+            return _cmd_verify(args, out)
+        if args.command == "deadlock":
+            return _cmd_deadlock(args, out)
+    except ReproError as exc:
+        print(f"error: {exc}", file=out)
+        return 2
+    raise AssertionError("unreachable")
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,70 @@
+"""Core formalism: values, sorts, events, alphabets, traces, specifications,
+composition, and refinement (Definitions 1–14 of the paper)."""
+
+from repro.core.alphabet import Alphabet
+from repro.core.component import Component, SemanticObject
+from repro.core.composition import (
+    ComposabilityReport,
+    check_composable,
+    compose,
+    parts_of,
+    properness_witness,
+)
+from repro.core.events import Event, MethodSig, call
+from repro.core.internal import InternalEvents
+from repro.core.patterns import EventPattern, pattern, representative_values
+from repro.core.refinement import (
+    StaticRefinementReport,
+    check_static,
+    trace_condition_holds_for,
+)
+from repro.core.sorts import DATA, OBJ, Sort
+from repro.core.specification import Specification, component_spec, interface_spec
+from repro.core.traces import Trace
+from repro.core.tracesets import (
+    ComposedTraceSet,
+    FullTraceSet,
+    MachineTraceSet,
+    Part,
+    TraceSet,
+)
+from repro.core.values import DataVal, ObjectId, Value, data, obj, objs
+
+__all__ = [
+    "Alphabet",
+    "Component",
+    "SemanticObject",
+    "ComposabilityReport",
+    "check_composable",
+    "compose",
+    "parts_of",
+    "properness_witness",
+    "Event",
+    "MethodSig",
+    "call",
+    "InternalEvents",
+    "EventPattern",
+    "pattern",
+    "representative_values",
+    "StaticRefinementReport",
+    "check_static",
+    "trace_condition_holds_for",
+    "DATA",
+    "OBJ",
+    "Sort",
+    "Specification",
+    "component_spec",
+    "interface_spec",
+    "Trace",
+    "ComposedTraceSet",
+    "FullTraceSet",
+    "MachineTraceSet",
+    "Part",
+    "TraceSet",
+    "DataVal",
+    "ObjectId",
+    "Value",
+    "data",
+    "obj",
+    "objs",
+]

@@ -1,0 +1,254 @@
+"""Alphabets: finite unions of symbolic event patterns.
+
+A specification's alphabet ``α`` (Definition 1) is an infinite set of
+communication events, written in the paper as a union of comprehensions.
+An :class:`Alphabet` is a finite union of :class:`~repro.core.patterns.EventPattern`
+values, and supports — exactly and symbolically — all the alphabet-level
+operations of the paper:
+
+* ``α(Γ) ∪ α(Δ)`` (composition, Definitions 4/11),
+* ``α − I(O)`` (hiding),
+* ``α(Γ) ⊆ α(Γ')`` (refinement condition 2, Definition 2),
+* ``α(Γ) ∩ I(O(Δ)) = ∅`` (composability, Definition 10),
+* ``α₀ ∩ α(Δ) = ∅`` (properness, Definition 14),
+* the infinity requirement of Definition 1,
+* the derived communication environment of Section 2.
+
+All yes/no queries that can fail also produce a concrete witness event,
+which the checker surfaces as a counterexample.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Iterator, Sequence
+
+from repro.core.errors import AlphabetError
+from repro.core.events import Event
+from repro.core.internal import InternalEvents
+from repro.core.patterns import EventPattern
+from repro.core.sorts import Sort
+from repro.core.values import ObjectId, Value
+
+__all__ = ["Alphabet"]
+
+
+@dataclass(frozen=True, slots=True)
+class Alphabet:
+    """A finite union of event patterns (empty patterns are dropped)."""
+
+    patterns: tuple[EventPattern, ...]
+
+    # ------------------------------------------------------------------
+    # construction
+    # ------------------------------------------------------------------
+
+    @staticmethod
+    def of(*patterns: EventPattern) -> "Alphabet":
+        seen: list[EventPattern] = []
+        for p in patterns:
+            if not p.is_empty() and p not in seen:
+                seen.append(p)
+        return Alphabet(tuple(seen))
+
+    @staticmethod
+    def empty() -> "Alphabet":
+        return Alphabet(())
+
+    def union(self, other: "Alphabet") -> "Alphabet":
+        return Alphabet.of(*self.patterns, *other.patterns)
+
+    # ------------------------------------------------------------------
+    # membership and size
+    # ------------------------------------------------------------------
+
+    def contains(self, e: Event) -> bool:
+        return any(p.contains(e) for p in self.patterns)
+
+    __contains__ = contains
+
+    def is_empty(self) -> bool:
+        return not self.patterns
+
+    def is_infinite(self) -> bool:
+        return any(p.is_infinite() for p in self.patterns)
+
+    def methods(self) -> frozenset[str]:
+        return frozenset(p.method for p in self.patterns)
+
+    def mentioned_values(self) -> frozenset[Value]:
+        out: set[Value] = set()
+        for p in self.patterns:
+            out |= p.mentioned_values()
+        return frozenset(out)
+
+    def mentioned_objects(self) -> frozenset[ObjectId]:
+        return frozenset(
+            v for v in self.mentioned_values() if isinstance(v, ObjectId)
+        )
+
+    def base_names(self) -> frozenset[str]:
+        out: set[str] = {"Obj"} if self.patterns else set()
+        for p in self.patterns:
+            out |= p.base_names()
+        return frozenset(out)
+
+    # ------------------------------------------------------------------
+    # hiding
+    # ------------------------------------------------------------------
+
+    def hide(self, objects: Iterable[ObjectId]) -> "Alphabet":
+        """``α − I(O)``: remove every event with both endpoints in ``objects``."""
+        objs = tuple(sorted(set(objects)))
+        out: list[EventPattern] = []
+        for p in self.patterns:
+            out.extend(p.subtract_endpoint_square(objs))
+        return Alphabet.of(*out)
+
+    def subtract_internal(self, internal: InternalEvents) -> "Alphabet":
+        """``α − I`` for an arbitrary internal-event set (pairwise)."""
+        pieces: list[EventPattern] = list(self.patterns)
+        for a, b in internal.ordered_pairs():
+            nxt: list[EventPattern] = []
+            a_sort = Sort.values(a)
+            b_sort = Sort.values(b)
+            for p in pieces:
+                q1 = p.restrict_endpoints(caller=p.caller.difference(a_sort))
+                if q1 is not None:
+                    nxt.append(q1)
+                q2 = EventPattern(
+                    p.caller.intersection(a_sort),
+                    p.callee.difference(b_sort),
+                    p.method,
+                    p.args,
+                )
+                if not q2.is_empty():
+                    nxt.append(q2)
+            pieces = nxt
+        return Alphabet.of(*pieces)
+
+    def rename(self, mapping: dict) -> "Alphabet":
+        """Apply a value renaming to every pattern."""
+        return Alphabet.of(*(p.rename(mapping) for p in self.patterns))
+
+    # ------------------------------------------------------------------
+    # comparisons (exact, with witnesses)
+    # ------------------------------------------------------------------
+
+    def subset_witness(self, other: "Alphabet") -> Event | None:
+        """``None`` iff ``self ⊆ other``; otherwise an event in the difference."""
+        for p in self.patterns:
+            w = p.covered_by(other.patterns)
+            if w is not None:
+                return w
+        return None
+
+    def is_subset(self, other: "Alphabet") -> bool:
+        return self.subset_witness(other) is None
+
+    def equivalent(self, other: "Alphabet") -> bool:
+        """Extensional equality of the denoted event sets."""
+        return self.is_subset(other) and other.is_subset(self)
+
+    def intersection_witness(self, other: "Alphabet") -> Event | None:
+        """A common event of the two alphabets, or ``None`` if disjoint."""
+        for p in self.patterns:
+            for q in other.patterns:
+                r = p.intersection(q)
+                if r is not None:
+                    return r.witness()
+        return None
+
+    def is_disjoint(self, other: "Alphabet") -> bool:
+        return self.intersection_witness(other) is None
+
+    def internal_witness(self, internal: InternalEvents) -> Event | None:
+        """An event of ``self`` lying in ``internal``, or ``None`` if none.
+
+        Decides ``α ∩ I = ∅`` (composability, Definition 10) exactly: the
+        pair set is finite and patterns constrain methods/args
+        independently of endpoints.
+        """
+        for p in self.patterns:
+            if any(s.is_empty() for s in p.args):
+                continue
+            for a, b in internal.ordered_pairs():
+                if p.caller.contains(a) and p.callee.contains(b):
+                    args = tuple(s.witness() for s in p.args)
+                    return Event(a, b, p.method, args)
+        return None
+
+    def disjoint_from_internal(self, internal: InternalEvents) -> bool:
+        return self.internal_witness(internal) is None
+
+    # ------------------------------------------------------------------
+    # structure relative to an object set (Definition 1)
+    # ------------------------------------------------------------------
+
+    def object_set_violation(self, objects: Iterable[ObjectId]) -> Event | None:
+        """Check Definition 1's constraint on alphabets.
+
+        Every event must involve at least one object of ``objects`` and
+        must not have *both* endpoints in ``objects``.  Returns a witness
+        of a violating event, or ``None`` when well-formed.
+        """
+        objs = frozenset(objects)
+        o_sort = Sort.values(*objs)
+        for p in self.patterns:
+            # Both endpoints outside the object set?
+            q = EventPattern(
+                p.caller.difference(o_sort),
+                p.callee.difference(o_sort),
+                p.method,
+                p.args,
+            )
+            if not q.is_empty():
+                return q.witness()
+        w = self.internal_witness(InternalEvents.square(objs))
+        return w
+
+    def endpoint_sort(self) -> Sort:
+        """The sort of all objects occurring as caller or callee."""
+        out = Sort.empty()
+        for p in self.patterns:
+            out = out.union(p.caller).union(p.callee)
+        return out
+
+    def communication_environment(self, objects: Iterable[ObjectId]) -> Sort:
+        """Section 2's derived communication environment.
+
+        The objects outside the object set that take part in some event of
+        the alphabet.
+        """
+        return self.endpoint_sort().difference(Sort.values(*objects))
+
+    # ------------------------------------------------------------------
+    # enumeration over finite pools
+    # ------------------------------------------------------------------
+
+    def events_over(self, pool: Sequence[Value]) -> Iterator[Event]:
+        """Enumerate the concrete events with all components drawn from ``pool``.
+
+        Deduplicated and deterministic; used by the automata layer to
+        instantiate the alphabet over a finite universe.
+        """
+        objects = [v for v in pool if isinstance(v, ObjectId)]
+        seen: set[Event] = set()
+        for p in self.patterns:
+            pools = [list(pool) for _ in p.args]
+            for e in p.instantiate(objects, objects, pools):
+                if e not in seen:
+                    seen.add(e)
+                    yield e
+
+    # ------------------------------------------------------------------
+    # display
+    # ------------------------------------------------------------------
+
+    def __str__(self) -> str:
+        if not self.patterns:
+            return "∅"
+        return " ∪ ".join(str(p) for p in self.patterns)
+
+    def __repr__(self) -> str:
+        return f"Alphabet({self})"

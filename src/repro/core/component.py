@@ -1,0 +1,165 @@
+"""Semantic objects and components: Definitions 8–9.
+
+The paper distinguishes *specifications* (partial descriptions) from the
+*semantic* objects and components they describe.  Semantically, each
+object ``o`` has a unique, given trace set ``T^o ⊆ Seq[α^o]`` describing
+all its possible executions; a component ``C`` encapsulates a finite set
+of objects, with
+
+* ``α^C = ⋃ α^o − I(C)`` — observable events of the members, minus all
+  events between members, and
+* ``T^C = {h/α^C | ⋀ h/α^o ∈ T^o}`` — projections of the global traces
+  whose per-object projections are possible for every member
+  (Definition 9).
+
+A :class:`SemanticObject` models ``T^o`` by a trace machine over the
+events involving the object.  Because ``α^o`` ranges over *all* methods,
+a :class:`Component` additionally carries an :class:`Alphabet` *hint*
+declaring which events its objects can actually engage in — a finite
+pattern description of the (still infinite) relevant event space, needed
+to instantiate hidden internal events during membership search.  The hint
+plays the role of the globally-given method universe of the paper.
+
+Component composition is set union (and is commutative/associative by
+construction, matching the remark after Definition 9).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable
+
+from repro.core.alphabet import Alphabet
+from repro.core.errors import SpecificationError
+from repro.core.events import Event
+from repro.core.internal import InternalEvents
+from repro.core.patterns import EventPattern
+from repro.core.sorts import Sort
+from repro.core.tracesets import ComposedTraceSet, Part
+from repro.core.traces import Trace
+from repro.core.values import ObjectId
+from repro.machines.base import TraceMachine
+from repro.machines.projection import FilterMachine
+
+__all__ = ["SemanticObject", "Component"]
+
+
+@dataclass(frozen=True, slots=True, eq=False)
+class SemanticObject:
+    """An object with its semantically given trace set ``T^o``.
+
+    ``machine`` accepts exactly the traces of ``T^o``; every event of such
+    a trace involves ``identity`` (the object's own alphabet ``α^o``).
+    """
+
+    identity: ObjectId
+    machine: TraceMachine
+
+    def admits(self, trace: Trace) -> bool:
+        """``h ∈ T^o`` (also enforces ``h ∈ Seq[α^o]``)."""
+        if not all(e.involves(self.identity) for e in trace):
+            return False
+        return self.machine.accepts(trace)
+
+    def admits_projection(self, trace: Trace) -> bool:
+        """``h/α^o ∈ T^o`` for a trace of a larger system."""
+        return self.machine.accepts(trace.proj_obj(self.identity))
+
+    def __repr__(self) -> str:
+        return f"SemanticObject({self.identity})"
+
+
+def _object_alphabet(hint: Alphabet, o: ObjectId) -> Alphabet:
+    """The events of the hint involving ``o`` (``α^o`` within the hint)."""
+    o_sort = Sort.values(o)
+    out: list[EventPattern] = []
+    for p in hint.patterns:
+        q = p.restrict_endpoints(caller=o_sort)
+        if q is not None:
+            out.append(q)
+        q = p.restrict_endpoints(callee=o_sort)
+        if q is not None:
+            out.append(q)
+    return Alphabet.of(*out)
+
+
+@dataclass(frozen=True, slots=True, eq=False)
+class Component:
+    """A semantic component: a finite set of semantic objects.
+
+    ``alphabet_hint`` declares the event space the members may engage in;
+    it must cover at least the events the member machines constrain.
+    """
+
+    members: tuple[SemanticObject, ...]
+    alphabet_hint: Alphabet
+
+    def __post_init__(self) -> None:
+        if not self.members:
+            raise SpecificationError("component must encapsulate ≥ 1 object")
+        ids = [m.identity for m in self.members]
+        if len(set(ids)) != len(ids):
+            raise SpecificationError(
+                "object identities in a component must be unique"
+            )
+
+    # ------------------------------------------------------------------
+    # Definition 8/9 notions
+    # ------------------------------------------------------------------
+
+    def object_set(self) -> frozenset[ObjectId]:
+        return frozenset(m.identity for m in self.members)
+
+    def internal_events(self) -> InternalEvents:
+        """``I(C)`` (Definition 8)."""
+        return InternalEvents.square(self.object_set())
+
+    def observable_alphabet(self) -> Alphabet:
+        """``α^C = ⋃ α^o − I(C)`` within the declared hint."""
+        return self.alphabet_hint.hide(self.object_set())
+
+    def trace_set(self) -> ComposedTraceSet:
+        """``T^C`` as a composed trace set (Definition 9)."""
+        objects = self.object_set()
+        parts = tuple(
+            Part(_object_alphabet(self.alphabet_hint, m.identity), m.machine)
+            for m in self.members
+        )
+        return ComposedTraceSet(
+            alphabet=self.observable_alphabet(),
+            combined=self.alphabet_hint,
+            internal=InternalEvents.square(objects),
+            parts=parts,
+        )
+
+    def admits(self, trace: Trace) -> bool:
+        """``h ∈ T^C`` — observable-trace membership with hidden search."""
+        return self.trace_set().contains(trace)
+
+    def admits_global(self, trace: Trace) -> bool:
+        """Membership for a *global* trace (internal events included)."""
+        return all(m.admits_projection(trace) for m in self.members)
+
+    # ------------------------------------------------------------------
+    # composition (set union)
+    # ------------------------------------------------------------------
+
+    def compose(self, other: "Component") -> "Component":
+        """Component composition is union on the encapsulated sets."""
+        merged: dict[ObjectId, SemanticObject] = {}
+        for m in self.members + other.members:
+            existing = merged.get(m.identity)
+            if existing is not None and existing is not m:
+                raise SpecificationError(
+                    f"components disagree on object {m.identity}: the same "
+                    f"identity must denote the same semantic object"
+                )
+            merged[m.identity] = m
+        return Component(
+            tuple(merged[k] for k in sorted(merged)),
+            self.alphabet_hint.union(other.alphabet_hint),
+        )
+
+    def __repr__(self) -> str:
+        ids = ", ".join(str(m.identity) for m in self.members)
+        return f"Component({{{ids}}})"

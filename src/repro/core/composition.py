@@ -1,0 +1,189 @@
+"""Composition of specifications: Definitions 3–4 and 10–11.
+
+``compose(Γ, Δ)`` builds ``Γ‖Δ``:
+
+* object set ``O(Γ) ∪ O(Δ)``,
+* alphabet ``(α(Γ) ∪ α(Δ)) − I(O)`` — all events between objects of the
+  composition are hidden, *including* events in neither alphabet
+  ("we hide more than we can see", Fig. 1),
+* trace set ``{h/α | h/α(Γ) ∈ T(Γ) ∧ h/α(Δ) ∈ T(Δ)}`` with ``h`` ranging
+  over ``Seq[α(Γ) ∪ α(Δ)]`` (existential hiding, see
+  :class:`~repro.core.tracesets.ComposedTraceSet`).
+
+For interface specifications this is Definition 4 (two specifications of
+the *same* object compose without hiding — ``I({o}) = ∅`` — giving the
+weakest common refinement of Lemma 6).  For component specifications,
+Definition 11 additionally requires *composability* (Definition 10), which
+:func:`check_composable` decides exactly and :func:`compose` enforces.
+
+Nested compositions are flattened into their leaf parts; this relies on
+the associativity of ‖ (Property 12), which the law harness verifies
+independently.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.alphabet import Alphabet
+from repro.core.errors import CompositionError
+from repro.core.events import Event
+from repro.core.internal import InternalEvents
+from repro.core.patterns import EventPattern
+from repro.core.sorts import Sort
+from repro.core.specification import Specification
+from repro.core.tracesets import ComposedTraceSet, Part
+from repro.core.values import ObjectId
+
+__all__ = [
+    "ComposabilityReport",
+    "check_composable",
+    "properness_witness",
+    "compose",
+    "parts_of",
+]
+
+
+@dataclass(frozen=True, slots=True)
+class ComposabilityReport:
+    """Outcome of the Definition 10 check.
+
+    ``left_witness`` is an event of ``α(Γ) ∩ I(O(Δ))`` (``None`` if empty);
+    ``right_witness`` of ``I(O(Γ)) ∩ α(Δ)``.
+    """
+
+    left_witness: Event | None
+    right_witness: Event | None
+
+    @property
+    def composable(self) -> bool:
+        return self.left_witness is None and self.right_witness is None
+
+    def explain(self) -> str:
+        if self.composable:
+            return "composable"
+        parts = []
+        if self.left_witness is not None:
+            parts.append(
+                f"α(Γ) contains the Δ-internal event {self.left_witness}"
+            )
+        if self.right_witness is not None:
+            parts.append(
+                f"α(Δ) contains the Γ-internal event {self.right_witness}"
+            )
+        return "not composable: " + "; ".join(parts)
+
+
+def check_composable(gamma: Specification, delta: Specification) -> ComposabilityReport:
+    """Definition 10: ``α(Γ) ∩ I(O(Δ)) = ∅ ∧ I(O(Γ)) ∩ α(Δ) = ∅``."""
+    return ComposabilityReport(
+        left_witness=gamma.alphabet.internal_witness(
+            InternalEvents.square(delta.objects)
+        ),
+        right_witness=delta.alphabet.internal_witness(
+            InternalEvents.square(gamma.objects)
+        ),
+    )
+
+
+def properness_witness(
+    abstract: Specification,
+    concrete: Specification,
+    delta: Specification,
+) -> Event | None:
+    """Definition 14: is ``concrete`` a *proper* refinement w.r.t. ``delta``?
+
+    ``α₀`` is the set of events involving a *new* object of the refinement
+    (in ``O(Γ') − O(Γ)``) with neither endpoint in ``O(Γ)``.  The refinement
+    is proper iff ``α₀ ∩ α(Δ) = ∅``; returns a witness of the intersection
+    or ``None`` when proper.
+    """
+    new = frozenset(concrete.objects) - frozenset(abstract.objects)
+    if not new:
+        return None
+    n_sort = Sort.values(*new)
+    g_sort = Sort.values(*abstract.objects)
+    for p in delta.alphabet.patterns:
+        # caller ∈ new, callee ∉ O(Γ)
+        q = EventPattern(
+            p.caller.intersection(n_sort),
+            p.callee.difference(g_sort),
+            p.method,
+            p.args,
+        )
+        if not q.is_empty():
+            return q.witness()
+        # callee ∈ new, caller ∉ O(Γ)
+        q = EventPattern(
+            p.caller.difference(g_sort),
+            p.callee.intersection(n_sort),
+            p.method,
+            p.args,
+        )
+        if not q.is_empty():
+            return q.witness()
+    return None
+
+
+def parts_of(spec: Specification) -> tuple[Part, ...]:
+    """The leaf parts of a specification's trace set (flattening ‖)."""
+    ts = spec.traces
+    if isinstance(ts, ComposedTraceSet):
+        return ts.parts
+    machine = ts.machine()  # type: ignore[attr-defined]
+    return (Part(spec.alphabet, machine),)
+
+
+def compose(
+    gamma: Specification,
+    delta: Specification,
+    name: str | None = None,
+    require_composable: bool = True,
+) -> Specification:
+    """Build ``Γ‖Δ`` (Definitions 4 and 11).
+
+    Composability (Definition 10) is checked unless the two specifications
+    are interface specifications (where it holds trivially —
+    ``I(singleton) = ∅``) or ``require_composable=False`` is forced.
+    """
+    if require_composable:
+        report = check_composable(gamma, delta)
+        if not report.composable:
+            raise CompositionError(
+                f"cannot compose {gamma.name} ‖ {delta.name}: {report.explain()}"
+            )
+    objects: frozenset[ObjectId] = frozenset(gamma.objects) | frozenset(
+        delta.objects
+    )
+    internal = InternalEvents.square(objects)
+
+    parts: list[Part] = []
+    for part in parts_of(gamma) + parts_of(delta):
+        if part not in parts:
+            parts.append(part)
+
+    # The insertion space for hidden events is the union of the *leaf*
+    # alphabets: for nested compositions, the inner composition's traces
+    # are themselves projections of traces over its leaves, so the
+    # flattened search must range over the leaf alphabets (this is what
+    # makes flattening agree with Definition 11 — Property 12's
+    # associativity, which the law harness checks).  The observable
+    # alphabet is the same either way: hiding I(O) absorbs the inner
+    # hiding, and composability keeps the partner alphabets untouched.
+    combined = Alphabet.empty()
+    for part in parts:
+        combined = combined.union(part.alphabet)
+    observable = combined.hide(objects)
+
+    traces = ComposedTraceSet(
+        alphabet=observable,
+        combined=combined,
+        internal=internal,
+        parts=tuple(parts),
+    )
+    return Specification(
+        name or f"({gamma.name}‖{delta.name})",
+        objects,
+        observable,
+        traces,
+    )

@@ -1,0 +1,103 @@
+"""Exception hierarchy for the ``repro`` library.
+
+Every error raised by library code derives from :class:`ReproError` so that
+callers can catch library failures without intercepting programming errors
+such as ``TypeError``.
+"""
+
+from __future__ import annotations
+
+__all__ = [
+    "ReproError",
+    "SortError",
+    "AlphabetError",
+    "SpecificationError",
+    "CompositionError",
+    "RefinementError",
+    "MachineError",
+    "RegexError",
+    "AutomatonError",
+    "UniverseError",
+    "StateSpaceLimitExceeded",
+    "OUNSyntaxError",
+    "OUNElaborationError",
+    "RuntimeModelError",
+    "MonitorViolation",
+]
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the library."""
+
+
+class SortError(ReproError):
+    """Raised for ill-formed sort expressions or mixed-base operations."""
+
+
+class AlphabetError(ReproError):
+    """Raised for ill-formed alphabets or unsupported alphabet operations."""
+
+
+class SpecificationError(ReproError):
+    """Raised when a specification violates Definition 1 well-formedness."""
+
+
+class CompositionError(ReproError):
+    """Raised when specifications cannot be composed (e.g. not composable)."""
+
+
+class RefinementError(ReproError):
+    """Raised for ill-posed refinement queries."""
+
+
+class MachineError(ReproError):
+    """Raised for ill-formed trace machines."""
+
+
+class RegexError(ReproError):
+    """Raised for ill-formed trace regular expressions."""
+
+
+class AutomatonError(ReproError):
+    """Raised for ill-formed automata or operations on mismatched alphabets."""
+
+
+class UniverseError(ReproError):
+    """Raised for ill-formed finite universes."""
+
+
+class StateSpaceLimitExceeded(ReproError):
+    """Raised when an exact compilation would exceed the state budget.
+
+    Carries the number of states explored so far in :attr:`explored`.
+    """
+
+    def __init__(self, message: str, explored: int) -> None:
+        super().__init__(message)
+        self.explored = explored
+
+
+class OUNSyntaxError(ReproError):
+    """Raised by the OUN notation parser, with position information."""
+
+    def __init__(self, message: str, line: int, column: int) -> None:
+        super().__init__(f"{line}:{column}: {message}")
+        self.line = line
+        self.column = column
+
+
+class OUNElaborationError(ReproError):
+    """Raised when a parsed OUN document cannot be elaborated to core objects."""
+
+
+class RuntimeModelError(ReproError):
+    """Raised for ill-formed runtime system models."""
+
+
+class MonitorViolation(ReproError):
+    """Raised (optionally) by online monitors when a safety spec is violated."""
+
+    def __init__(self, message: str, trace, event) -> None:
+        super().__init__(message)
+        self.trace = trace
+        self.event = event

@@ -1,0 +1,93 @@
+"""Communication events: ``⟨caller, callee, m(args)⟩``.
+
+A communication event represents a remote method call: the *caller* invokes
+method *m* (with parameter values *args*) on the *callee*.  Following the
+paper, an observable event always has ``caller != callee`` — calls from an
+object to itself are internal activity and never appear in alphabets or
+traces.
+
+Events are immutable and hashable: they are the letters of trace alphabets
+and the transition labels of automata.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.core.values import ObjectId, Value
+
+__all__ = ["Event", "MethodSig", "call"]
+
+
+@dataclass(frozen=True, slots=True, order=True)
+class Event:
+    """A communication event ``⟨caller, callee, method(args)⟩``.
+
+    The paper writes events as triples ``⟨o₂, o₁, m⟩`` where ``o₂`` calls
+    method ``m`` of ``o₁``; parameters, when present, are carried in
+    ``args`` (Example 1's ``R(d)`` and ``W(d)``).
+    """
+
+    caller: ObjectId
+    callee: ObjectId
+    method: str
+    args: tuple[Value, ...] = field(default=())
+
+    def __post_init__(self) -> None:
+        if not isinstance(self.caller, ObjectId):
+            raise TypeError(f"caller must be an ObjectId, got {self.caller!r}")
+        if not isinstance(self.callee, ObjectId):
+            raise TypeError(f"callee must be an ObjectId, got {self.callee!r}")
+        if self.caller == self.callee:
+            raise ValueError(
+                f"self-calls are internal and not observable: {self.caller}"
+            )
+        if not self.method:
+            raise ValueError("method name must be non-empty")
+
+    def involves(self, o: ObjectId) -> bool:
+        """True iff ``o`` is the caller or the callee (the paper's ``h/o``)."""
+        return o == self.caller or o == self.callee
+
+    def endpoints(self) -> frozenset[ObjectId]:
+        """The two objects taking part in the event."""
+        return frozenset((self.caller, self.callee))
+
+    def values(self) -> frozenset[Value]:
+        """All values occurring in the event (endpoints and parameters)."""
+        return frozenset((self.caller, self.callee, *self.args))
+
+    def __str__(self) -> str:
+        if self.args:
+            inner = ", ".join(str(a) for a in self.args)
+            return f"⟨{self.caller},{self.callee},{self.method}({inner})⟩"
+        return f"⟨{self.caller},{self.callee},{self.method}⟩"
+
+    def __repr__(self) -> str:
+        return f"Event({self.caller!r}, {self.callee!r}, {self.method!r}, {self.args!r})"
+
+
+@dataclass(frozen=True, slots=True, order=True)
+class MethodSig:
+    """A method signature: a name and the sorts of its parameters.
+
+    Signatures are declarative metadata used by the OUN notation and by
+    universe enumeration; the sorts themselves live in event patterns.
+    """
+
+    name: str
+    arity: int = 0
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise ValueError("method name must be non-empty")
+        if self.arity < 0:
+            raise ValueError("arity must be non-negative")
+
+    def __str__(self) -> str:
+        return f"{self.name}/{self.arity}"
+
+
+def call(caller: ObjectId, callee: ObjectId, method: str, *args: Value) -> Event:
+    """Convenience constructor: ``call(x, o, "W", d)`` is ``⟨x,o,W(d)⟩``."""
+    return Event(caller, callee, method, tuple(args))

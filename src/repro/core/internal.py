@@ -1,0 +1,116 @@
+"""Internal events: the paper's ``I(o₁,o₂)``, ``I(S)``, and ``I(S₁,S₂)``.
+
+Definition 3 introduces the internal events of two objects as *all* possible
+communication events between them (any method, any parameters, in either
+direction); Definition 8 extends this pairwise to a finite set of objects;
+and the proof of Lemma 15 uses the cross form ``I(S₁,S₂)`` of events with
+one endpoint in each set.
+
+Because object sets of specifications and components are finite
+(Definition 1), every internal-event set is determined by a *finite set of
+ordered endpoint pairs*; the methods and parameters are unconstrained.
+This makes the hiding and composability conditions of the paper decidable
+by finite pair bookkeeping, even though each pair denotes infinitely many
+events.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass
+from typing import Iterable, Iterator
+
+from repro.core.events import Event
+from repro.core.values import ObjectId
+
+__all__ = ["InternalEvents"]
+
+
+@dataclass(frozen=True, slots=True)
+class InternalEvents:
+    """The set of all events whose (caller, callee) pair is in ``pairs``.
+
+    ``pairs`` never contains reflexive pairs: a self-call is not an event
+    at all in the formalism.
+    """
+
+    pairs: frozenset[tuple[ObjectId, ObjectId]]
+
+    def __post_init__(self) -> None:
+        for a, b in self.pairs:
+            if a == b:
+                raise ValueError(f"reflexive endpoint pair {a} is not an event")
+
+    # ------------------------------------------------------------------
+    # constructors mirroring the paper
+    # ------------------------------------------------------------------
+
+    @staticmethod
+    def between(o1: ObjectId, o2: ObjectId) -> "InternalEvents":
+        """Definition 3: ``I(o₁,o₂)``, all events between two objects."""
+        if o1 == o2:
+            return InternalEvents(frozenset())
+        return InternalEvents(frozenset(((o1, o2), (o2, o1))))
+
+    @staticmethod
+    def square(objects: Iterable[ObjectId]) -> "InternalEvents":
+        """Definition 8: ``I(S)``, the pairwise union over a set of objects."""
+        objs = sorted(set(objects))
+        return InternalEvents(
+            frozenset((a, b) for a, b in itertools.product(objs, objs) if a != b)
+        )
+
+    @staticmethod
+    def cross(s1: Iterable[ObjectId], s2: Iterable[ObjectId]) -> "InternalEvents":
+        """Lemma 15's ``I(S₁,S₂)``: events with one endpoint in each set."""
+        a, b = set(s1), set(s2)
+        pairs = {(x, y) for x in a for y in b if x != y}
+        pairs |= {(y, x) for x in a for y in b if x != y}
+        return InternalEvents(frozenset(pairs))
+
+    @staticmethod
+    def none() -> "InternalEvents":
+        return InternalEvents(frozenset())
+
+    # ------------------------------------------------------------------
+    # set algebra
+    # ------------------------------------------------------------------
+
+    def contains(self, e: Event) -> bool:
+        return (e.caller, e.callee) in self.pairs
+
+    __contains__ = contains
+
+    def union(self, other: "InternalEvents") -> "InternalEvents":
+        return InternalEvents(self.pairs | other.pairs)
+
+    def intersection(self, other: "InternalEvents") -> "InternalEvents":
+        return InternalEvents(self.pairs & other.pairs)
+
+    def difference(self, other: "InternalEvents") -> "InternalEvents":
+        return InternalEvents(self.pairs - other.pairs)
+
+    def is_empty(self) -> bool:
+        return not self.pairs
+
+    def is_subset(self, other: "InternalEvents") -> bool:
+        return self.pairs <= other.pairs
+
+    def endpoints(self) -> frozenset[ObjectId]:
+        out: set[ObjectId] = set()
+        for a, b in self.pairs:
+            out.add(a)
+            out.add(b)
+        return frozenset(out)
+
+    def ordered_pairs(self) -> Iterator[tuple[ObjectId, ObjectId]]:
+        return iter(sorted(self.pairs))
+
+    def __str__(self) -> str:
+        if not self.pairs:
+            return "I(∅)"
+        inner = ", ".join(f"({a},{b})" for a, b in sorted(self.pairs))
+        return f"I{{{inner}}}"
+
+    def __repr__(self) -> str:
+        return f"InternalEvents({sorted(self.pairs)!r})"

@@ -1,0 +1,301 @@
+"""Symbolic event patterns: sort-products describing infinite event sets.
+
+An alphabet in the paper is an infinite set of events such as::
+
+    {⟨x, o, R(d)⟩ | x ∈ Objects ∧ d ∈ Data}
+
+This module represents one such comprehension as an :class:`EventPattern`:
+a product of a caller sort, a callee sort, a method name, and per-parameter
+argument sorts, restricted by the implicit diagonal constraint
+``caller ≠ callee`` (observable events are never self-calls).
+
+The pattern class supports the exact symbolic operations needed by the
+paper's alphabet-level side conditions:
+
+* membership of a concrete event,
+* emptiness and infinity,
+* intersection (for composability, Definition 10),
+* subtraction of endpoint constraints (for hiding, Definitions 4 and 11),
+* coverage by a union of patterns (for refinement condition 2), decided by
+  a *small-model* construction.
+
+Small-model coverage.  Sorts are finite/cofinite: membership of a value
+depends only on (a) which explicitly *mentioned* value it equals, if any,
+or else (b) its base sort.  The only cross-position constraint in a pattern
+is ``caller ≠ callee``.  Hence a pattern ``p`` is covered by a union ``U``
+of patterns iff every *representative* event of ``p`` is covered, where
+representatives are built from the mentioned values of all involved sorts
+plus three fresh values per base sort (two distinct fresh values realise
+every equality/inequality shape between two generic positions; the third is
+margin for argument positions).  This reduces an inclusion between infinite
+sets to finitely many membership tests.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass
+from typing import Iterable, Iterator, Sequence
+
+from repro.core.errors import AlphabetError
+from repro.core.events import Event
+from repro.core.sorts import Sort, fresh_value
+from repro.core.values import ObjectId, Value, base_sort_of
+
+__all__ = ["EventPattern", "pattern", "representative_values"]
+
+#: Number of fresh representatives drawn per base sort in coverage checks.
+FRESH_PER_BASE = 3
+
+
+@dataclass(frozen=True, slots=True)
+class EventPattern:
+    """The event set ``{⟨c,k,m(ā)⟩ | c ∈ caller, k ∈ callee, c ≠ k, aᵢ ∈ argsᵢ}``."""
+
+    caller: Sort
+    callee: Sort
+    method: str
+    args: tuple[Sort, ...] = ()
+
+    def __post_init__(self) -> None:
+        if not self.method:
+            raise AlphabetError("pattern method name must be non-empty")
+        for s in (self.caller, self.callee):
+            for name in s.base_names():
+                if name != "Obj":
+                    raise AlphabetError(
+                        f"endpoint sort {s} ranges over non-object base {name!r}"
+                    )
+            for v in s.finite:
+                if not isinstance(v, ObjectId):
+                    raise AlphabetError(
+                        f"endpoint sort {s} contains non-object value {v!r}"
+                    )
+
+    # ------------------------------------------------------------------
+    # basic queries
+    # ------------------------------------------------------------------
+
+    def arity(self) -> int:
+        return len(self.args)
+
+    def contains(self, e: Event) -> bool:
+        """Membership of a concrete event."""
+        if e.method != self.method or len(e.args) != len(self.args):
+            return False
+        if not (self.caller.contains(e.caller) and self.callee.contains(e.callee)):
+            return False
+        return all(s.contains(a) for s, a in zip(self.args, e.args))
+
+    __contains__ = contains
+
+    def is_empty(self) -> bool:
+        """True iff the pattern denotes no event at all.
+
+        Besides empty component sorts, the diagonal constraint makes the
+        pattern empty when caller and callee sorts are the *same singleton*.
+        """
+        if self.caller.is_empty() or self.callee.is_empty():
+            return True
+        if any(s.is_empty() for s in self.args):
+            return True
+        if (
+            self.caller.is_singleton()
+            and self.callee.is_singleton()
+            and self.caller.the_value() == self.callee.the_value()
+        ):
+            return True
+        return False
+
+    def is_infinite(self) -> bool:
+        """True iff the pattern denotes infinitely many events."""
+        if self.is_empty():
+            return False
+        return (
+            self.caller.is_infinite()
+            or self.callee.is_infinite()
+            or any(s.is_infinite() for s in self.args)
+        )
+
+    def mentioned_values(self) -> frozenset[Value]:
+        out: set[Value] = set()
+        out |= self.caller.mentioned_values()
+        out |= self.callee.mentioned_values()
+        for s in self.args:
+            out |= s.mentioned_values()
+        return frozenset(out)
+
+    def base_names(self) -> frozenset[str]:
+        out: set[str] = set()
+        out |= self.caller.base_names()
+        out |= self.callee.base_names()
+        for s in self.args:
+            out |= s.base_names()
+        return frozenset(out)
+
+    # ------------------------------------------------------------------
+    # symbolic operations
+    # ------------------------------------------------------------------
+
+    def intersection(self, other: "EventPattern") -> "EventPattern | None":
+        """Componentwise intersection; ``None`` when methods/arities differ."""
+        if self.method != other.method or len(self.args) != len(other.args):
+            return None
+        p = EventPattern(
+            self.caller.intersection(other.caller),
+            self.callee.intersection(other.callee),
+            self.method,
+            tuple(a.intersection(b) for a, b in zip(self.args, other.args)),
+        )
+        return None if p.is_empty() else p
+
+    def restrict_endpoints(
+        self, caller: Sort | None = None, callee: Sort | None = None
+    ) -> "EventPattern | None":
+        """The sub-pattern whose endpoints additionally lie in given sorts."""
+        c = self.caller if caller is None else self.caller.intersection(caller)
+        k = self.callee if callee is None else self.callee.intersection(callee)
+        p = EventPattern(c, k, self.method, self.args)
+        return None if p.is_empty() else p
+
+    def subtract_endpoint_square(
+        self, objects: Iterable[ObjectId]
+    ) -> tuple["EventPattern", ...]:
+        """Remove all events with *both* endpoints in ``objects``.
+
+        This is the pattern-level core of hiding: ``α − I(O)`` in
+        Definitions 4 and 11.  The remainder splits into two disjoint
+        patterns: caller outside ``O``, or caller inside ``O`` with callee
+        outside ``O``.
+        """
+        o_sort = Sort.values(*objects)
+        out: list[EventPattern] = []
+        p1 = self.restrict_endpoints(caller=self.caller.difference(o_sort))
+        if p1 is not None:
+            out.append(p1)
+        p2 = EventPattern(
+            self.caller.intersection(o_sort),
+            self.callee.difference(o_sort),
+            self.method,
+            self.args,
+        )
+        if not p2.is_empty():
+            out.append(p2)
+        return tuple(out)
+
+    def rename(self, mapping: dict) -> "EventPattern":
+        """Apply a value renaming to every component sort."""
+        return EventPattern(
+            self.caller.rename(mapping),
+            self.callee.rename(mapping),
+            self.method,
+            tuple(s.rename(mapping) for s in self.args),
+        )
+
+    # ------------------------------------------------------------------
+    # witnesses, enumeration, coverage
+    # ------------------------------------------------------------------
+
+    def witness(self) -> Event:
+        """Produce one concrete event matching the pattern."""
+        if self.is_empty():
+            raise AlphabetError(f"empty pattern {self} has no witness")
+        c = self.caller.witness()
+        try:
+            k = self.callee.witness(avoid=(c,))
+        except Exception:
+            # callee sort is the singleton {c}: pick a different caller.
+            k = self.callee.witness()
+            c = self.caller.witness(avoid=(k,))
+        args = tuple(s.witness() for s in self.args)
+        return Event(c, k, self.method, args)  # type: ignore[arg-type]
+
+    def instantiate(
+        self, callers: Iterable[Value], callees: Iterable[Value],
+        arg_values: Sequence[Iterable[Value]] | None = None,
+    ) -> Iterator[Event]:
+        """Enumerate concrete events with components drawn from given pools."""
+        pools = arg_values if arg_values is not None else [[] for _ in self.args]
+        if len(pools) != len(self.args):
+            raise AlphabetError("argument pool arity mismatch")
+        callers = [c for c in callers if self.caller.contains(c)]
+        callees = [k for k in callees if self.callee.contains(k)]
+        arg_pools = [
+            [a for a in pool if s.contains(a)]
+            for s, pool in zip(self.args, pools)
+        ]
+        for c in callers:
+            for k in callees:
+                if c == k:
+                    continue
+                for combo in itertools.product(*arg_pools) if arg_pools else [()]:
+                    yield Event(c, k, self.method, tuple(combo))  # type: ignore[arg-type]
+
+    def covered_by(self, others: Sequence["EventPattern"]) -> Event | None:
+        """Decide whether this pattern is a subset of the union of ``others``.
+
+        Returns ``None`` when covered, or a concrete *witness event* that is
+        in this pattern but in none of the others.  Exact by the small-model
+        argument in the module docstring.
+        """
+        if self.is_empty():
+            return None
+        candidates = [p for p in others if p.method == self.method
+                      and len(p.args) == len(self.args)]
+        reps = representative_values([self, *candidates])
+        obj_reps = [v for v in reps if isinstance(v, ObjectId)]
+        arg_rep_pools = [list(reps) for _ in self.args]
+        for e in self.instantiate(obj_reps, obj_reps, arg_rep_pools):
+            if not any(p.contains(e) for p in candidates):
+                return e
+        return None
+
+    # ------------------------------------------------------------------
+    # display
+    # ------------------------------------------------------------------
+
+    def __str__(self) -> str:
+        if self.args:
+            inner = ", ".join(str(s) for s in self.args)
+            return f"⟨{self.caller}, {self.callee}, {self.method}({inner})⟩"
+        return f"⟨{self.caller}, {self.callee}, {self.method}⟩"
+
+    def __repr__(self) -> str:
+        return f"EventPattern({self})"
+
+
+def representative_values(
+    patterns: Iterable[EventPattern],
+    extra: Iterable[Value] = (),
+    fresh_per_base: int = FRESH_PER_BASE,
+) -> tuple[Value, ...]:
+    """Representative value set for small-model reasoning over ``patterns``.
+
+    Contains every mentioned value of every involved sort, every value in
+    ``extra``, and ``fresh_per_base`` canonical fresh values for each base
+    sort occurring in any cofinite atom (always including ``Obj``).
+    """
+    mentioned: set[Value] = set(extra)
+    bases: set[str] = {"Obj"}
+    for p in patterns:
+        mentioned |= p.mentioned_values()
+        bases |= p.base_names()
+    out = set(mentioned)
+    for b in sorted(bases):
+        i = 0
+        added = 0
+        while added < fresh_per_base:
+            v = fresh_value(b, i)
+            i += 1
+            if v in out:
+                continue
+            out.add(v)
+            added += 1
+    return tuple(sorted(out, key=repr))
+
+
+def pattern(
+    caller: Sort, callee: Sort, method: str, *args: Sort
+) -> EventPattern:
+    """Convenience constructor mirroring the paper's comprehension syntax."""
+    return EventPattern(caller, callee, method, tuple(args))

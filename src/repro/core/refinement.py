@@ -1,0 +1,89 @@
+"""The refinement relation ``Γ' ⊑ Γ`` (Definition 2).
+
+Three conditions:
+
+1. ``O(Γ) ⊆ O(Γ')``   — the refinement may *add* objects,
+2. ``α(Γ) ⊆ α(Γ')``   — the refinement may *expand* the alphabet
+   (new methods, new communication partners),
+3. ``∀h ∈ T(Γ') : h/α(Γ) ∈ T(Γ)`` — projected behaviour is preserved.
+
+Conditions 1–2 are decided here, exactly and symbolically.  Condition 3
+quantifies over an infinite trace set; :mod:`repro.checker.refinement`
+provides the decision strategies (exact automata-based language inclusion
+over a finite universe, bounded exploration, random sampling).  This module
+exposes the per-trace form of condition 3 that all strategies share.
+
+The relation is a partial order (reflexive, transitive, antisymmetric up
+to trace-set equality); the property-based tests exercise this.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.events import Event
+from repro.core.specification import Specification
+from repro.core.traces import Trace
+from repro.core.values import ObjectId
+
+__all__ = ["StaticRefinementReport", "check_static", "trace_condition_holds_for"]
+
+
+@dataclass(frozen=True, slots=True)
+class StaticRefinementReport:
+    """Outcome of refinement conditions 1 and 2.
+
+    ``missing_objects`` — objects of the abstract specification absent from
+    the concrete one (condition 1 fails if non-empty).
+    ``alphabet_witness`` — an event of ``α(Γ) − α(Γ')`` (condition 2 fails
+    if not ``None``).
+    """
+
+    missing_objects: frozenset[ObjectId]
+    alphabet_witness: Event | None
+
+    @property
+    def objects_ok(self) -> bool:
+        return not self.missing_objects
+
+    @property
+    def alphabet_ok(self) -> bool:
+        return self.alphabet_witness is None
+
+    @property
+    def ok(self) -> bool:
+        return self.objects_ok and self.alphabet_ok
+
+    def explain(self) -> str:
+        if self.ok:
+            return "static refinement conditions hold"
+        parts = []
+        if self.missing_objects:
+            objs = ", ".join(str(o) for o in sorted(self.missing_objects))
+            parts.append(f"objects {{{objs}}} of the abstract spec are missing")
+        if self.alphabet_witness is not None:
+            parts.append(
+                f"abstract alphabet event {self.alphabet_witness} is not in "
+                f"the concrete alphabet"
+            )
+        return "; ".join(parts)
+
+
+def check_static(
+    concrete: Specification, abstract: Specification
+) -> StaticRefinementReport:
+    """Decide conditions 1 and 2 of ``concrete ⊑ abstract`` exactly."""
+    missing = frozenset(abstract.objects) - frozenset(concrete.objects)
+    witness = abstract.alphabet.subset_witness(concrete.alphabet)
+    return StaticRefinementReport(missing, witness)
+
+
+def trace_condition_holds_for(
+    trace: Trace, concrete: Specification, abstract: Specification
+) -> bool:
+    """Condition 3 for one trace: ``h ∈ T(Γ') ⇒ h/α(Γ) ∈ T(Γ)``.
+
+    The caller guarantees ``trace ∈ T(concrete)``; this checks the
+    consequent.
+    """
+    return abstract.admits(trace.filter(abstract.alphabet))

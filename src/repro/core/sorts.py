@@ -1,0 +1,369 @@
+"""Symbolic sort algebra: finite and cofinite sets of values.
+
+The paper works with *infinite* alphabets: the environment of an open
+distributed system contains a potentially infinite supply of object
+identities, and data sorts such as ``Data`` are unbounded.  Alphabet-level
+reasoning (Definition 1 well-formedness, refinement condition 2,
+composability, properness) therefore needs a *symbolic* representation of
+infinite value sets with decidable boolean operations.
+
+This module provides exactly that: a :class:`Sort` is a finite union of
+
+* a finite set of explicit values, and
+* at most one *cofinite atom* per base sort — "all members of base sort
+  ``b`` except a finite exclusion set".
+
+Base sorts (``Obj`` for object identities, plus named data sorts) are
+pairwise disjoint and countably infinite.  This class of sets is closed
+under union, intersection, and difference, and membership, emptiness,
+subset, disjointness, and infinity are all decidable — which is what makes
+the paper's side conditions checkable without enumerating the universe.
+
+Example::
+
+    >>> from repro.core.values import obj
+    >>> o = obj("o")
+    >>> Objects = Sort.base("Obj").without(o)   # the paper's ``Objects``
+    >>> Objects.contains(obj("x"))
+    True
+    >>> Objects.contains(o)
+    False
+    >>> Objects.is_infinite()
+    True
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Iterator
+
+from repro.core.errors import SortError
+from repro.core.values import DataVal, ObjectId, Value, base_sort_of
+
+__all__ = ["Sort", "OBJ", "DATA", "fresh_value"]
+
+
+def fresh_value(base: str, index: int) -> Value:
+    """Return the ``index``-th canonical fresh value of a base sort.
+
+    Fresh values are drawn from a reserved namespace (names starting with
+    ``"#"``) so they never collide with user-declared values.  The sequence
+    is deterministic, which keeps witness extraction and small-model
+    constructions reproducible.
+    """
+    name = f"#{base}{index}"
+    if base == "Obj":
+        return ObjectId(name)
+    return DataVal(base, name)
+
+
+def _check_excluded(base: str, excluded: Iterable[Value]) -> frozenset[Value]:
+    out = frozenset(excluded)
+    for v in out:
+        if base_sort_of(v) != base:
+            raise SortError(
+                f"exclusion {v!r} does not inhabit base sort {base!r}"
+            )
+    return out
+
+
+@dataclass(frozen=True, slots=True)
+class Sort:
+    """A symbolic set of values in finite/cofinite normal form.
+
+    ``finite`` holds explicitly enumerated members.  ``cofinite`` maps a
+    base-sort name to the finite set of values of that base which are
+    *excluded*; a base appearing as a key contributes "all of the base
+    except the exclusions".
+
+    Invariants (maintained by :meth:`_make`):
+
+    * exclusion sets only contain values of their own base;
+    * no value in ``finite`` is already covered by a cofinite atom;
+    * no value excluded by a cofinite atom also appears in ``finite``
+      (such values are instead removed from the exclusion set).
+    """
+
+    finite: frozenset[Value]
+    cofinite: tuple[tuple[str, frozenset[Value]], ...]
+
+    # ------------------------------------------------------------------
+    # construction
+    # ------------------------------------------------------------------
+
+    @staticmethod
+    def _make(
+        finite: Iterable[Value],
+        cofinite: dict[str, frozenset[Value]],
+    ) -> "Sort":
+        fin = set(finite)
+        cof: dict[str, set[Value]] = {
+            b: set(_check_excluded(b, ex)) for b, ex in cofinite.items()
+        }
+        # A value both excluded and explicitly present is simply present:
+        # un-exclude it.
+        for b, ex in cof.items():
+            ex -= fin
+        # A finite value covered by a cofinite atom is redundant.
+        covered = set()
+        for v in fin:
+            b = base_sort_of(v)
+            if b in cof and v not in cof[b]:
+                covered.add(v)
+        fin -= covered
+        return Sort(
+            frozenset(fin),
+            tuple(sorted((b, frozenset(ex)) for b, ex in cof.items())),
+        )
+
+    @staticmethod
+    def empty() -> "Sort":
+        """The empty sort."""
+        return Sort._make((), {})
+
+    @staticmethod
+    def values(*vs: Value) -> "Sort":
+        """The finite sort containing exactly the given values."""
+        return Sort._make(vs, {})
+
+    @staticmethod
+    def base(name: str, exclude: Iterable[Value] = ()) -> "Sort":
+        """All members of base sort ``name``, minus ``exclude``.
+
+        ``Sort.base("Obj", [o])`` is the paper's ``Objects`` subtype of
+        ``Obj`` "not containing o".
+        """
+        return Sort._make((), {name: frozenset(exclude)})
+
+    def without(self, *vs: Value) -> "Sort":
+        """This sort minus the given values."""
+        return self.difference(Sort.values(*vs))
+
+    def with_values(self, *vs: Value) -> "Sort":
+        """This sort plus the given values."""
+        return self.union(Sort.values(*vs))
+
+    # ------------------------------------------------------------------
+    # queries
+    # ------------------------------------------------------------------
+
+    def _cof(self) -> dict[str, frozenset[Value]]:
+        return dict(self.cofinite)
+
+    def contains(self, v: Value) -> bool:
+        """Membership test."""
+        if v in self.finite:
+            return True
+        ex = self._cof().get(base_sort_of(v))
+        return ex is not None and v not in ex
+
+    __contains__ = contains
+
+    def is_empty(self) -> bool:
+        """Emptiness test (cofinite atoms are never empty: bases are infinite)."""
+        return not self.finite and not self.cofinite
+
+    def is_infinite(self) -> bool:
+        """True iff the sort has a cofinite atom (bases are infinite)."""
+        return bool(self.cofinite)
+
+    def is_finite(self) -> bool:
+        return not self.cofinite
+
+    def is_singleton(self) -> bool:
+        return not self.cofinite and len(self.finite) == 1
+
+    def the_value(self) -> Value:
+        """The unique member of a singleton sort."""
+        if not self.is_singleton():
+            raise SortError(f"{self} is not a singleton")
+        return next(iter(self.finite))
+
+    def base_names(self) -> frozenset[str]:
+        """Base sorts over which this sort has a cofinite atom."""
+        return frozenset(b for b, _ in self.cofinite)
+
+    def mentioned_values(self) -> frozenset[Value]:
+        """All values named explicitly: finite members plus exclusions.
+
+        This is the boundary set used by small-model constructions — the
+        sort's membership predicate is uniform on values outside it.
+        """
+        out = set(self.finite)
+        for _, ex in self.cofinite:
+            out |= ex
+        return frozenset(out)
+
+    # ------------------------------------------------------------------
+    # boolean algebra
+    # ------------------------------------------------------------------
+
+    def union(self, other: "Sort") -> "Sort":
+        fin = set(self.finite) | set(other.finite)
+        a, b = self._cof(), other._cof()
+        cof: dict[str, frozenset[Value]] = {}
+        for name in set(a) | set(b):
+            if name in a and name in b:
+                cof[name] = a[name] & b[name]
+            else:
+                cof[name] = a.get(name, b.get(name))  # type: ignore[arg-type]
+        return Sort._make(fin, cof)
+
+    def intersection(self, other: "Sort") -> "Sort":
+        a, b = self._cof(), other._cof()
+        fin: set[Value] = set()
+        for v in self.finite:
+            if other.contains(v):
+                fin.add(v)
+        for v in other.finite:
+            if self.contains(v):
+                fin.add(v)
+        cof: dict[str, frozenset[Value]] = {}
+        for name in set(a) & set(b):
+            cof[name] = a[name] | b[name]
+        return Sort._make(fin, cof)
+
+    def difference(self, other: "Sort") -> "Sort":
+        a, b = self._cof(), other._cof()
+        fin = {v for v in self.finite if not other.contains(v)}
+        cof: dict[str, frozenset[Value]] = {}
+        for name, ex in a.items():
+            if name in b:
+                # (base \ ex) \ (base \ b_ex) = b_ex \ ex  (finite)
+                fin |= {v for v in b[name] if v not in ex}
+            else:
+                new_ex = set(ex) | {
+                    v for v in other.finite if base_sort_of(v) == name
+                }
+                cof[name] = frozenset(new_ex)
+        return Sort._make(fin, cof)
+
+    def is_subset(self, other: "Sort") -> bool:
+        """Decide ``self ⊆ other`` exactly."""
+        for v in self.finite:
+            if not other.contains(v):
+                return False
+        b = other._cof()
+        for name, ex in self.cofinite:
+            if name not in b:
+                return False  # base sorts are infinite
+            # base \ ex ⊆ (base \ b_ex) ∪ finite(other)
+            # ⟺ every v in b_ex \ ex is in finite(other)
+            for v in b[name]:
+                if v not in ex and v not in other.finite:
+                    return False
+        return True
+
+    def is_disjoint(self, other: "Sort") -> bool:
+        return self.intersection(other).is_empty()
+
+    def equals(self, other: "Sort") -> bool:
+        """Extensional equality (normal forms are canonical, so ``==`` works too)."""
+        return self == other
+
+    def rename(self, mapping: dict) -> "Sort":
+        """Apply a value renaming to all named members and exclusions.
+
+        The renaming must preserve base sorts (an object cannot become a
+        data value) and must be injective on the values it actually moves
+        within this sort; both are checked.
+        """
+        def f(v: Value) -> Value:
+            w = mapping.get(v, v)
+            if base_sort_of(w) != base_sort_of(v):
+                raise SortError(
+                    f"renaming {v!r} ↦ {w!r} crosses base sorts"
+                )
+            return w
+
+        fin = [f(v) for v in self.finite]
+        if len(set(fin)) != len(fin):
+            raise SortError("renaming collapses distinct members of a sort")
+        cof = {}
+        for name, ex in self.cofinite:
+            new_ex = [f(v) for v in ex]
+            if len(set(new_ex)) != len(new_ex):
+                raise SortError(
+                    "renaming collapses distinct exclusions of a sort"
+                )
+            cof[name] = frozenset(new_ex)
+        return Sort._make(fin, cof)
+
+    # ------------------------------------------------------------------
+    # witnesses and enumeration
+    # ------------------------------------------------------------------
+
+    def witnesses(self, n: int, avoid: Iterable[Value] = ()) -> tuple[Value, ...]:
+        """Return up to ``n`` distinct members, avoiding ``avoid``.
+
+        Finite members come first (in sorted order for determinism), then
+        canonical fresh values of each cofinite base.  Raises
+        :class:`SortError` if the sort cannot supply ``n`` members.
+        """
+        avoid_set = set(avoid)
+        out: list[Value] = []
+        for v in sorted(self.finite, key=repr):
+            if v not in avoid_set:
+                out.append(v)
+                avoid_set.add(v)
+            if len(out) == n:
+                return tuple(out)
+        for name, ex in self.cofinite:
+            i = 0
+            while len(out) < n:
+                v = fresh_value(name, i)
+                i += 1
+                if v in ex or v in avoid_set:
+                    continue
+                out.append(v)
+                avoid_set.add(v)
+            if len(out) == n:
+                return tuple(out)
+        if len(out) < n:
+            raise SortError(
+                f"sort {self} has fewer than {n} members outside the avoid set"
+            )
+        return tuple(out)
+
+    def witness(self, avoid: Iterable[Value] = ()) -> Value:
+        """Return one member avoiding ``avoid`` (raises if impossible)."""
+        return self.witnesses(1, avoid)[0]
+
+    def enumerate_finite(self) -> Iterator[Value]:
+        """Iterate the members of a finite sort (raises if infinite)."""
+        if self.is_infinite():
+            raise SortError(f"cannot enumerate infinite sort {self}")
+        return iter(sorted(self.finite, key=repr))
+
+    def size(self) -> int:
+        """Cardinality of a finite sort (raises if infinite)."""
+        if self.is_infinite():
+            raise SortError(f"infinite sort {self} has no finite size")
+        return len(self.finite)
+
+    # ------------------------------------------------------------------
+    # display
+    # ------------------------------------------------------------------
+
+    def __str__(self) -> str:
+        parts: list[str] = []
+        if self.finite:
+            inner = ", ".join(str(v) for v in sorted(self.finite, key=repr))
+            parts.append("{" + inner + "}")
+        for name, ex in self.cofinite:
+            if ex:
+                inner = ", ".join(str(v) for v in sorted(ex, key=repr))
+                parts.append(f"{name}\\{{{inner}}}")
+            else:
+                parts.append(name)
+        return " ∪ ".join(parts) if parts else "∅"
+
+    def __repr__(self) -> str:
+        return f"Sort({self})"
+
+
+#: All object identities — the paper's ``Obj``.
+OBJ = Sort.base("Obj")
+
+#: All data values of the default data sort — the paper's ``Data``.
+DATA = Sort.base("Data")

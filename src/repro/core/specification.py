@@ -1,0 +1,169 @@
+"""Specifications: Definition 1 of the paper.
+
+A specification is a triple ``Γ = ⟨O, α, T⟩`` where
+
+* ``O`` is a finite set of object identities,
+* ``α`` is an infinite set of events, each involving at least one object
+  of ``O`` but never two (events between objects of ``O`` are internal
+  and never observable), and
+* ``T`` is a prefix-closed subset of ``Seq[α]``.
+
+A specification with a singleton object set is an *interface
+specification*.  Several specifications of the same object may coexist
+(viewpoints/aspects); the library never assumes alphabets of two
+specifications of one object are related.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable
+
+from repro.core.alphabet import Alphabet
+from repro.core.errors import SpecificationError
+from repro.core.events import Event
+from repro.core.internal import InternalEvents
+from repro.core.sorts import Sort
+from repro.core.tracesets import FullTraceSet, MachineTraceSet, TraceSet
+from repro.core.traces import Trace
+from repro.core.values import ObjectId
+from repro.machines.base import TraceMachine
+
+__all__ = ["Specification", "interface_spec", "component_spec"]
+
+
+@dataclass(frozen=True, slots=True, eq=False)
+class Specification:
+    """A (partial) specification ``⟨O, α, T⟩`` with a display name.
+
+    Identity is by object identity (``eq=False``): two structurally equal
+    specifications are still distinct Python objects, while extensional
+    comparisons go through refinement/equivalence checks.
+    """
+
+    name: str
+    objects: frozenset[ObjectId]
+    alphabet: Alphabet
+    traces: TraceSet
+
+    def __post_init__(self) -> None:
+        # Structural well-formedness always holds; the infinite-alphabet
+        # clause of Definition 1 is checked strictly by the spec builders
+        # (compositions may hide their way down to smaller alphabets).
+        self.validate(require_infinite=False)
+
+    # ------------------------------------------------------------------
+    # Definition 1 well-formedness
+    # ------------------------------------------------------------------
+
+    def validate(self, require_infinite: bool = True) -> None:
+        """Check Definition 1; raises :class:`SpecificationError`.
+
+        ``require_infinite`` enforces the paper's "α is an infinite set"
+        clause — the natural state of affairs with cofinite environment
+        sorts; pass ``False`` only for deliberately degenerate test
+        fixtures.
+        """
+        if not self.name:
+            raise SpecificationError("specification needs a non-empty name")
+        if not self.objects:
+            raise SpecificationError(
+                f"{self.name}: object set must be non-empty"
+            )
+        w = self.alphabet.object_set_violation(self.objects)
+        if w is not None:
+            raise SpecificationError(
+                f"{self.name}: alphabet violates Definition 1 — event {w} "
+                f"does not have exactly one endpoint in the object set "
+                f"{{{', '.join(map(str, sorted(self.objects)))}}}"
+            )
+        if require_infinite and not self.alphabet.is_infinite():
+            raise SpecificationError(
+                f"{self.name}: Definition 1 requires an infinite alphabet "
+                f"(open environments); got {self.alphabet}"
+            )
+        if not isinstance(self.traces, TraceSet):
+            raise SpecificationError(
+                f"{self.name}: traces must be a TraceSet, got {self.traces!r}"
+            )
+        if self.traces.alphabet != self.alphabet:
+            raise SpecificationError(
+                f"{self.name}: trace set alphabet differs from the "
+                f"specification alphabet"
+            )
+
+    # ------------------------------------------------------------------
+    # derived notions
+    # ------------------------------------------------------------------
+
+    def is_interface(self) -> bool:
+        """Singleton object set (Section 2)."""
+        return len(self.objects) == 1
+
+    def the_object(self) -> ObjectId:
+        if not self.is_interface():
+            raise SpecificationError(
+                f"{self.name} is not an interface specification"
+            )
+        return next(iter(self.objects))
+
+    def internal_events(self) -> InternalEvents:
+        """``I(O(Γ))`` — the maximal internal-event set (Definition 8)."""
+        return InternalEvents.square(self.objects)
+
+    def communication_environment(self) -> Sort:
+        """The derived communication environment (Section 2)."""
+        return self.alphabet.communication_environment(self.objects)
+
+    def admits(self, trace: Trace) -> bool:
+        """Trace-set membership ``h ∈ T(Γ)``."""
+        return self.traces.contains(trace)
+
+    def admits_projection(self, trace: Trace) -> bool:
+        """``h/α(Γ) ∈ T(Γ)`` for a trace over a larger alphabet."""
+        return self.traces.contains(trace.filter(self.alphabet))
+
+    def __str__(self) -> str:
+        objs = ", ".join(str(o) for o in sorted(self.objects))
+        return f"{self.name}⟨{{{objs}}}⟩"
+
+    def __repr__(self) -> str:
+        return f"Specification({self.name!r}, objects={sorted(self.objects)})"
+
+
+def interface_spec(
+    name: str,
+    obj: ObjectId,
+    alphabet: Alphabet,
+    machine: TraceMachine | None = None,
+) -> Specification:
+    """Build an interface specification of a single object.
+
+    With ``machine=None`` the trace set is the full ``Seq[α]``
+    (Example 1's ``Read``).
+    """
+    traces: TraceSet
+    if machine is None:
+        traces = FullTraceSet(alphabet)
+    else:
+        traces = MachineTraceSet(alphabet, machine)
+    spec = Specification(name, frozenset((obj,)), alphabet, traces)
+    spec.validate(require_infinite=True)
+    return spec
+
+
+def component_spec(
+    name: str,
+    objects: Iterable[ObjectId],
+    alphabet: Alphabet,
+    machine: TraceMachine | None = None,
+) -> Specification:
+    """Build a (multi-object) component specification."""
+    traces: TraceSet
+    if machine is None:
+        traces = FullTraceSet(alphabet)
+    else:
+        traces = MachineTraceSet(alphabet, machine)
+    spec = Specification(name, frozenset(objects), alphabet, traces)
+    spec.validate(require_infinite=True)
+    return spec

@@ -1,0 +1,180 @@
+"""Finite communication traces and the paper's filtering operators.
+
+The life of an object up to a point in time is its *trace*: a finite
+sequence of communication events.  Section 2 introduces the filtering
+notation used throughout the paper:
+
+* ``h/S``  — keep only the events of ``h`` that are in the set ``S``
+  (:meth:`Trace.filter`),
+* ``h\\S`` — delete the events of ``h`` that are in ``S``
+  (:meth:`Trace.remove`),
+* ``h/o``  — keep the events *involving* the object ``o``
+  (:meth:`Trace.proj_obj`),
+* ``h/M``  — keep the events whose method is ``M``
+  (:meth:`Trace.proj_method`), with ``#(h/M)`` the corresponding count.
+
+The proofs of Theorems 7 and 16 rely on algebraic identities between these
+operators (e.g. ``h/S₁\\S₂ = h\\S₂/(S₁−S₂)``); the property-based test
+suite checks those identities on random traces.
+
+An *event set* argument is anything with a ``contains(event)`` method
+(alphabets, internal-event sets) or a plain Python set/frozenset of events.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Iterable, Iterator, Protocol, runtime_checkable
+
+from repro.core.events import Event
+from repro.core.values import ObjectId, Value
+
+__all__ = ["Trace", "EventSet", "as_predicate"]
+
+
+@runtime_checkable
+class EventSet(Protocol):
+    """Anything usable as a set of events for filtering."""
+
+    def contains(self, e: Event) -> bool: ...
+
+
+def as_predicate(s: "EventSet | set | frozenset | Callable[[Event], bool]") -> Callable[[Event], bool]:
+    """Coerce an event-set-like argument to a membership predicate."""
+    if callable(s) and not isinstance(s, (set, frozenset)):
+        contains = getattr(s, "contains", None)
+        if contains is not None:
+            return contains
+        return s  # a bare predicate
+    if isinstance(s, (set, frozenset)):
+        return s.__contains__
+    contains = getattr(s, "contains", None)
+    if contains is None:
+        raise TypeError(f"not an event set: {s!r}")
+    return contains
+
+
+@dataclass(frozen=True, slots=True)
+class Trace:
+    """An immutable finite sequence of communication events."""
+
+    events: tuple[Event, ...] = ()
+
+    @staticmethod
+    def of(*events: Event) -> "Trace":
+        return Trace(tuple(events))
+
+    @staticmethod
+    def empty() -> "Trace":
+        return Trace(())
+
+    # ------------------------------------------------------------------
+    # sequence protocol
+    # ------------------------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self.events)
+
+    def __iter__(self) -> Iterator[Event]:
+        return iter(self.events)
+
+    def __getitem__(self, i):
+        if isinstance(i, slice):
+            return Trace(self.events[i])
+        return self.events[i]
+
+    def __bool__(self) -> bool:
+        return bool(self.events)
+
+    def append(self, e: Event) -> "Trace":
+        return Trace(self.events + (e,))
+
+    def concat(self, other: "Trace") -> "Trace":
+        return Trace(self.events + other.events)
+
+    __add__ = concat
+
+    # ------------------------------------------------------------------
+    # the paper's filtering operators
+    # ------------------------------------------------------------------
+
+    def filter(self, s) -> "Trace":
+        """``h/S``: the subtrace of events belonging to ``s``."""
+        p = as_predicate(s)
+        return Trace(tuple(e for e in self.events if p(e)))
+
+    def remove(self, s) -> "Trace":
+        """``h\\S``: the subtrace of events *not* belonging to ``s``."""
+        p = as_predicate(s)
+        return Trace(tuple(e for e in self.events if not p(e)))
+
+    def __truediv__(self, s) -> "Trace":
+        """Operator form of ``h/S`` (also accepts an object or method name)."""
+        if isinstance(s, ObjectId):
+            return self.proj_obj(s)
+        if isinstance(s, str):
+            return self.proj_method(s)
+        return self.filter(s)
+
+    def proj_obj(self, o: ObjectId) -> "Trace":
+        """``h/o``: events involving ``o`` as caller or callee."""
+        return Trace(tuple(e for e in self.events if e.involves(o)))
+
+    def proj_method(self, method: str) -> "Trace":
+        """``h/M``: events whose method name is ``method``."""
+        return Trace(tuple(e for e in self.events if e.method == method))
+
+    def count(self, method: str) -> int:
+        """``#(h/M)``: the number of calls to ``method``."""
+        return sum(1 for e in self.events if e.method == method)
+
+    # ------------------------------------------------------------------
+    # prefixes
+    # ------------------------------------------------------------------
+
+    def prefixes(self) -> Iterator["Trace"]:
+        """All prefixes of the trace, from empty to the trace itself."""
+        for i in range(len(self.events) + 1):
+            yield Trace(self.events[:i])
+
+    def proper_prefixes(self) -> Iterator["Trace"]:
+        for i in range(len(self.events)):
+            yield Trace(self.events[:i])
+
+    def is_prefix_of(self, other: "Trace") -> bool:
+        n = len(self.events)
+        return n <= len(other.events) and other.events[:n] == self.events
+
+    # ------------------------------------------------------------------
+    # contents
+    # ------------------------------------------------------------------
+
+    def objects(self) -> frozenset[ObjectId]:
+        """All object identities occurring as endpoints of events."""
+        out: set[ObjectId] = set()
+        for e in self.events:
+            out.add(e.caller)
+            out.add(e.callee)
+        return frozenset(out)
+
+    def values(self) -> frozenset[Value]:
+        """All values occurring in the trace (endpoints and parameters)."""
+        out: set[Value] = set()
+        for e in self.events:
+            out |= e.values()
+        return frozenset(out)
+
+    def methods(self) -> frozenset[str]:
+        return frozenset(e.method for e in self.events)
+
+    # ------------------------------------------------------------------
+    # display
+    # ------------------------------------------------------------------
+
+    def __str__(self) -> str:
+        if not self.events:
+            return "ε"
+        return " ".join(str(e) for e in self.events)
+
+    def __repr__(self) -> str:
+        return f"Trace({self})"

@@ -1,0 +1,280 @@
+"""Prefix-closed trace sets over alphabets.
+
+A trace set ``T`` (Definition 1) is a prefix-closed subset of ``Seq[α]``.
+Three representations cover the paper:
+
+* :class:`FullTraceSet` — ``Seq[α]`` itself (Example 1's ``Read``);
+* :class:`MachineTraceSet` — the largest prefix-closed subset of
+  ``{h : Seq[α] | P(h)}`` for an executable predicate ``P`` (a
+  :class:`~repro.machines.base.TraceMachine`);
+* :class:`ComposedTraceSet` — the trace set of a composition
+  ``Γ‖Δ`` (Definitions 4 and 11): the *projections to the observable
+  alphabet* of the traces over ``α(Γ) ∪ α(Δ)`` whose projections to each
+  component alphabet lie in the component trace sets.
+
+Membership in a composed trace set is existential — a witness trace with
+hidden internal events must be found.  :meth:`ComposedTraceSet.witness`
+implements a complete memoised search: from each (observable position,
+product machine state) pair it either consumes the next observable event
+or inserts a candidate internal event, deduplicating on the pair.  When the
+reachable machine-state space is finite (always, for the paper's regex +
+bounded-counter predicates over a finite set of relevant objects) the
+search terminates and is exact *for the candidate internal-event pool*.
+The pool contains every instantiation of the hidden patterns over the
+mentioned values, the values of the queried trace, and fresh
+representatives per base sort — complete for predicates that are uniform
+in unmentioned identities, which all predicates expressible in the
+formalism's notation are (they quantify over sorts).
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass
+from typing import Iterable, Sequence
+
+from repro.core.alphabet import Alphabet
+from repro.core.errors import StateSpaceLimitExceeded
+from repro.core.events import Event
+from repro.core.internal import InternalEvents
+from repro.core.patterns import representative_values
+from repro.core.traces import Trace
+from repro.core.values import Value
+from repro.machines.base import TraceMachine
+from repro.machines.boolean import TrueMachine
+from repro.machines.projection import FilterMachine
+
+__all__ = [
+    "TraceSet",
+    "FullTraceSet",
+    "MachineTraceSet",
+    "ComposedTraceSet",
+    "Part",
+]
+
+
+class TraceSet:
+    """Base class: a prefix-closed set of traces over ``alphabet``."""
+
+    alphabet: Alphabet
+
+    def contains(self, trace: Trace) -> bool:
+        raise NotImplementedError
+
+    __contains__ = contains
+
+    def over_alphabet(self, trace: Trace) -> bool:
+        """Is every event of the trace in the alphabet?"""
+        return all(self.alphabet.contains(e) for e in trace)
+
+    def mentioned_values(self) -> frozenset[Value]:
+        """Values named by the alphabet or the trace predicate."""
+        return self.alphabet.mentioned_values()
+
+    def base_names(self) -> frozenset[str]:
+        """Base sorts the trace set ranges over.
+
+        For composed trace sets this includes the *hidden* alphabet's
+        bases — universes must be able to instantiate internal events
+        (e.g. a datum-carrying call that never appears observably).
+        """
+        return self.alphabet.base_names()
+
+
+@dataclass(frozen=True, slots=True)
+class FullTraceSet(TraceSet):
+    """``Seq[α]``: the unconstrained trace set."""
+
+    alphabet: Alphabet
+
+    def contains(self, trace: Trace) -> bool:
+        return self.over_alphabet(trace)
+
+    __contains__ = contains
+
+    def machine(self) -> TraceMachine:
+        return TrueMachine()
+
+    def __str__(self) -> str:
+        return "Seq[α]"
+
+
+@dataclass(frozen=True, slots=True, eq=False)
+class MachineTraceSet(TraceSet):
+    """Largest prefix-closed subset of ``{h : Seq[α] | P(h)}``."""
+
+    alphabet: Alphabet
+    predicate: TraceMachine
+
+    def contains(self, trace: Trace) -> bool:
+        return self.over_alphabet(trace) and self.predicate.accepts(trace)
+
+    __contains__ = contains
+
+    def machine(self) -> TraceMachine:
+        return self.predicate
+
+    def mentioned_values(self) -> frozenset[Value]:
+        return self.alphabet.mentioned_values() | self.predicate.mentioned_values()
+
+    def __str__(self) -> str:
+        return f"{{h : Seq[α] | {self.predicate!r}}}"
+
+
+@dataclass(frozen=True, slots=True)
+class Part:
+    """One component of a composition: its alphabet and trace predicate."""
+
+    alphabet: Alphabet
+    machine: TraceMachine
+
+
+class _ProductState:
+    __slots__ = ("states",)
+
+    def __init__(self, states: tuple) -> None:
+        self.states = states
+
+    def __hash__(self) -> int:
+        return hash(self.states)
+
+    def __eq__(self, other) -> bool:
+        return isinstance(other, _ProductState) and self.states == other.states
+
+
+@dataclass(frozen=True, slots=True, eq=False)
+class ComposedTraceSet(TraceSet):
+    """The trace set of a composition, with existential hiding.
+
+    ``parts`` are the *leaf* component specifications (compositions are
+    flattened, justified by Property 12's associativity, which the law
+    harness verifies); ``internal`` is ``I(O)`` for the union object set;
+    ``combined`` is ``α(Γ) ∪ α(Δ)`` before hiding and ``alphabet`` the
+    observable alphabet after hiding.
+    """
+
+    alphabet: Alphabet
+    combined: Alphabet
+    internal: InternalEvents
+    parts: tuple[Part, ...]
+
+    def mentioned_values(self) -> frozenset[Value]:
+        out = set(self.combined.mentioned_values())
+        for part in self.parts:
+            out |= part.alphabet.mentioned_values()
+            out |= part.machine.mentioned_values()
+        return frozenset(out)
+
+    def base_names(self) -> frozenset[str]:
+        out = set(self.combined.base_names())
+        for part in self.parts:
+            out |= part.alphabet.base_names()
+        return frozenset(out)
+
+    # -- machine plumbing -------------------------------------------------
+
+    def _machines(self) -> tuple[TraceMachine, ...]:
+        return tuple(FilterMachine(p.alphabet, p.machine) for p in self.parts)
+
+    def _initial(self, machines) -> tuple:
+        return tuple(m.initial() for m in machines)
+
+    def _step(self, machines, states: tuple, e: Event) -> tuple:
+        return tuple(m.step(s, e) for m, s in zip(machines, states))
+
+    def _ok(self, machines, states: tuple) -> bool:
+        return all(m.ok(s) for m, s in zip(machines, states))
+
+    # -- candidate internal events ----------------------------------------
+
+    def hidden_candidates(
+        self, trace: Trace, extra: Iterable[Value] = ()
+    ) -> tuple[Event, ...]:
+        """Concrete internal events that could occur in a witness trace.
+
+        Instantiates each pattern of the combined alphabet at each internal
+        endpoint pair, with parameters drawn from the representative pool
+        (mentioned values + trace values + fresh values per base).
+        """
+        pool = representative_values(
+            self.combined.patterns,
+            extra=tuple(trace.values())
+            + tuple(sorted(self.mentioned_values(), key=repr))
+            + tuple(extra),
+        )
+        out: list[Event] = []
+        seen: set[Event] = set()
+        for p in self.combined.patterns:
+            for a, b in self.internal.ordered_pairs():
+                if not (p.caller.contains(a) and p.callee.contains(b)):
+                    continue
+                arg_pools: Sequence[Iterable[Value]] = [pool] * len(p.args)
+                for e in p.instantiate([a], [b], arg_pools):
+                    if e not in seen:
+                        seen.add(e)
+                        out.append(e)
+        return tuple(sorted(out))
+
+    # -- membership ---------------------------------------------------------
+
+    def witness(
+        self,
+        trace: Trace,
+        extra_values: Iterable[Value] = (),
+        state_limit: int = 200_000,
+    ) -> Trace | None:
+        """Find a full trace ``h`` with ``h \\ I = trace`` and valid projections.
+
+        Returns the witness (including hidden events) or ``None`` when no
+        witness exists over the candidate pool.  Raises
+        :class:`StateSpaceLimitExceeded` if the memoised search would
+        exceed ``state_limit`` distinct (position, state) pairs.
+        """
+        if not self.over_alphabet(trace):
+            return None
+        machines = self._machines()
+        candidates = self.hidden_candidates(trace, extra_values)
+        init = self._initial(machines)
+        if not self._ok(machines, init):
+            return None
+        start = (0, _ProductState(init))
+        parent: dict[tuple[int, _ProductState], tuple] = {start: None}
+        queue: deque[tuple[int, _ProductState]] = deque([start])
+        n = len(trace)
+        while queue:
+            i, ps = queue.popleft()
+            if i == n:
+                # reconstruct the witness
+                events: list[Event] = []
+                node = (i, ps)
+                while parent[node] is not None:
+                    prev, e = parent[node]
+                    events.append(e)
+                    node = prev
+                return Trace(tuple(reversed(events)))
+            moves: list[tuple[int, Event]] = [(i + 1, trace[i])]
+            moves.extend((i, e) for e in candidates)
+            for j, e in moves:
+                nxt_states = self._step(machines, ps.states, e)
+                if not self._ok(machines, nxt_states):
+                    continue
+                key = (j, _ProductState(nxt_states))
+                if key in parent:
+                    continue
+                if len(parent) >= state_limit:
+                    raise StateSpaceLimitExceeded(
+                        f"composition membership search exceeded "
+                        f"{state_limit} states",
+                        explored=len(parent),
+                    )
+                parent[key] = ((i, ps), e)
+                queue.append(key)
+        return None
+
+    def contains(self, trace: Trace) -> bool:
+        return self.witness(trace) is not None
+
+    __contains__ = contains
+
+    def __str__(self) -> str:
+        return f"T(‖ of {len(self.parts)} parts)"

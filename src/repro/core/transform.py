@@ -1,0 +1,203 @@
+"""Specification transformers: the development idioms of the paper as API.
+
+The paper builds new specifications from old ones throughout:
+
+* ``WriteAcc`` "modifies Write, so that only the object c makes calls"
+  — :func:`restrict_communication`;
+* ``RW2`` is RW with the predicate strengthened by ``h/c = h``
+  — :func:`strengthen` / :func:`restrict_communication`;
+* ``Read2`` extends Read's alphabet and adds constraints
+  — :func:`expand_alphabet` + :func:`strengthen`;
+* object identities are first-class, so reusing a protocol for different
+  objects is a *renaming* — :func:`rename_objects`.
+
+Each transformer comes with a refinement guarantee, verified by the
+tests:
+
+* ``strengthen(Γ, P) ⊑ Γ``   (condition 3 by construction),
+* ``expand_alphabet(Γ, β) ⊑ Γ``   (projected behaviour unchanged, since
+  the new machine evaluates the old predicate on ``h/α(Γ)``),
+* renaming is an *equivariance*: ``Γ' ⊑ Γ ⟺ σΓ' ⊑ σΓ`` for injective σ.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Mapping
+
+from repro.core.alphabet import Alphabet
+from repro.core.errors import SpecificationError
+from repro.core.events import Event
+from repro.core.patterns import EventPattern
+from repro.core.specification import Specification
+from repro.core.tracesets import ComposedTraceSet, FullTraceSet, MachineTraceSet, Part
+from repro.core.values import ObjectId, Value
+from repro.machines.base import TraceMachine
+from repro.machines.boolean import AndMachine, TrueMachine
+from repro.machines.projection import FilterMachine, OnlyMachine
+from repro.machines.rename import RenameMachine
+
+__all__ = [
+    "strengthen",
+    "expand_alphabet",
+    "restrict_communication",
+    "rename_objects",
+    "InvolvesAny",
+]
+
+
+class InvolvesAny:
+    """Event filter: events involving at least one of the given objects."""
+
+    def __init__(self, objects: Iterable[ObjectId]) -> None:
+        self.objects = frozenset(objects)
+
+    def contains(self, e: Event) -> bool:
+        return bool(self.objects & e.endpoints())
+
+    def mentioned_values(self) -> frozenset[Value]:
+        return frozenset(self.objects)
+
+    def __repr__(self) -> str:
+        return f"InvolvesAny({sorted(self.objects)})"
+
+
+def _machine_of(spec: Specification) -> TraceMachine:
+    ts = spec.traces
+    if isinstance(ts, (FullTraceSet, MachineTraceSet)):
+        return ts.machine()
+    raise SpecificationError(
+        f"{spec.name}: transformer requires a machine-defined trace set "
+        f"(compose after transforming, not before)"
+    )
+
+
+def strengthen(
+    spec: Specification, extra: TraceMachine, name: str | None = None
+) -> Specification:
+    """Add a conjunct to the trace predicate: the result refines ``spec``."""
+    machine = _machine_of(spec)
+    if isinstance(machine, TrueMachine):
+        combined: TraceMachine = extra
+    else:
+        combined = AndMachine((machine, extra))
+    return Specification(
+        name or f"{spec.name}+",
+        spec.objects,
+        spec.alphabet,
+        MachineTraceSet(spec.alphabet, combined),
+    )
+
+
+def expand_alphabet(
+    spec: Specification,
+    extra: Iterable[EventPattern],
+    name: str | None = None,
+) -> Specification:
+    """Add events to the alphabet, leaving the old ones unconstrained.
+
+    The old predicate is evaluated on the projection to the old alphabet
+    (``FilterMachine``), so the result refines ``spec`` by construction —
+    this is exactly the "new methods are not interpreted at the abstract
+    level" style of extension the paper borrows from behavioural
+    subtyping.
+    """
+    alphabet = spec.alphabet.union(Alphabet.of(*extra))
+    machine = FilterMachine(spec.alphabet, _machine_of(spec))
+    out = Specification(
+        name or f"{spec.name}*",
+        spec.objects,
+        alphabet,
+        MachineTraceSet(alphabet, machine),
+    )
+    return out
+
+
+def restrict_communication(
+    spec: Specification,
+    partners: Iterable[ObjectId],
+    name: str | None = None,
+) -> Specification:
+    """Add the paper's ``h/c = h`` restriction: every event must involve
+    one of the given partner objects (the RW2 construction of Example 6).
+    """
+    only = OnlyMachine(InvolvesAny(partners))
+    return strengthen(spec, only, name=name or f"{spec.name}@")
+
+
+def _complete_permutation(
+    mapping: Mapping[ObjectId, ObjectId],
+) -> dict[Value, Value]:
+    """Close an injective partial renaming into a finite permutation.
+
+    ``{o ↦ q}`` alone is ambiguous when ``q`` already exists: is the old
+    ``q`` erased, untouched, or moved?  Identities are pure names, so the
+    only substitution that is everywhere well-defined and invertible is a
+    *permutation* — each chain ``a ↦ b ↦ … ↦ z`` is closed with ``z ↦ a``
+    (so ``{o ↦ q}`` becomes the swap ``{o ↦ q, q ↦ o}``).  Identities not
+    reached stay fixed.
+    """
+    perm: dict[Value, Value] = dict(mapping)
+    heads = [k for k in mapping if k not in set(mapping.values())]
+    for head in heads:
+        cur: Value = head
+        seen = {head}
+        while cur in perm:
+            cur = perm[cur]
+            if cur in seen:  # already a cycle
+                break
+            seen.add(cur)
+        if cur != head and cur not in perm:
+            perm[cur] = head
+    return perm
+
+
+def rename_objects(
+    spec: Specification,
+    mapping: Mapping[ObjectId, ObjectId],
+    name: str | None = None,
+) -> Specification:
+    """Consistently substitute object identities throughout a specification.
+
+    ``mapping`` must be injective; it is closed into a permutation (each
+    renaming chain is cycle-completed, so ``{o ↦ q}`` acts as the swap of
+    ``o`` and ``q`` — see :func:`_complete_permutation`); identities not
+    reached are unchanged.  Renaming commutes with every judgement of the
+    formalism (the equivariance tests check refinement and composition).
+    """
+    values = list(mapping.values())
+    if len(set(values)) != len(values):
+        raise SpecificationError("object renaming must be injective")
+    forward: dict[Value, Value] = _complete_permutation(mapping)
+    inverse: dict[Value, Value] = {v: k for k, v in forward.items()}
+
+    objects = frozenset(forward.get(o, o) for o in spec.objects)  # type: ignore[misc]
+    alphabet = spec.alphabet.rename(forward)
+
+    ts = spec.traces
+    if isinstance(ts, FullTraceSet):
+        traces = FullTraceSet(alphabet)
+    elif isinstance(ts, MachineTraceSet):
+        traces = MachineTraceSet(alphabet, RenameMachine(inverse, ts.machine()))
+    elif isinstance(ts, ComposedTraceSet):
+        from repro.core.internal import InternalEvents
+
+        parts = tuple(
+            Part(p.alphabet.rename(forward), RenameMachine(inverse, p.machine))
+            for p in ts.parts
+        )
+        pairs = frozenset(
+            (forward.get(a, a), forward.get(b, b))
+            for a, b in ts.internal.pairs
+        )
+        traces = ComposedTraceSet(
+            alphabet=alphabet,
+            combined=ts.combined.rename(forward),
+            internal=InternalEvents(pairs),  # type: ignore[arg-type]
+            parts=parts,
+        )
+    else:
+        raise SpecificationError(f"cannot rename trace set {ts!r}")
+
+    return Specification(
+        name or spec.name, objects, alphabet, traces
+    )

@@ -1,0 +1,99 @@
+"""Values: object identities and data values.
+
+The paper's formalism has two kinds of first-class values:
+
+* *object identities* (``Obj`` in the paper) — the names of the objects that
+  exchange remote method calls, and
+* *data values* (``Data`` in Example 1) — the values carried as method
+  parameters.
+
+Both are immutable and hashable so they can appear in events, traces, sort
+expressions, and machine states.  Values are *tagged* with the name of the
+base sort they inhabit; the sort algebra in :mod:`repro.core.sorts` treats
+base sorts as pairwise-disjoint universes, which matches the paper (object
+identities and data are never confused).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable
+
+__all__ = ["ObjectId", "DataVal", "Value", "base_sort_of", "obj", "objs", "data"]
+
+
+@dataclass(frozen=True, slots=True, order=True)
+class ObjectId:
+    """An object identity, e.g. the ``o`` of Example 1.
+
+    Object identities are pure names; the same name always denotes the same
+    object.  They inhabit the base sort ``"Obj"``.
+    """
+
+    name: str
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise ValueError("ObjectId name must be non-empty")
+
+    def __str__(self) -> str:
+        return self.name
+
+    def __repr__(self) -> str:
+        return f"ObjectId({self.name!r})"
+
+
+@dataclass(frozen=True, slots=True, order=True)
+class DataVal:
+    """A data value inhabiting a named data sort (default ``"Data"``).
+
+    The label distinguishes values within the sort; ``DataVal("Data", "d1")``
+    and ``DataVal("Data", "d2")`` are distinct members of ``Data``.
+    """
+
+    sort: str
+    label: str
+
+    def __post_init__(self) -> None:
+        if not self.sort or not self.label:
+            raise ValueError("DataVal sort and label must be non-empty")
+        if self.sort == "Obj":
+            raise ValueError("DataVal may not inhabit the object sort 'Obj'")
+
+    def __str__(self) -> str:
+        return self.label
+
+    def __repr__(self) -> str:
+        return f"DataVal({self.sort!r}, {self.label!r})"
+
+
+#: Union type of first-class values.
+Value = ObjectId | DataVal
+
+
+def base_sort_of(value: Value) -> str:
+    """Return the name of the base sort a value inhabits.
+
+    ``ObjectId`` values inhabit ``"Obj"``; ``DataVal`` values inhabit their
+    declared data sort.
+    """
+    if isinstance(value, ObjectId):
+        return "Obj"
+    if isinstance(value, DataVal):
+        return value.sort
+    raise TypeError(f"not a repro value: {value!r}")
+
+
+def obj(name: str) -> ObjectId:
+    """Convenience constructor for an object identity."""
+    return ObjectId(name)
+
+
+def objs(*names: str) -> tuple[ObjectId, ...]:
+    """Convenience constructor for several object identities at once."""
+    return tuple(ObjectId(n) for n in names)
+
+
+def data(*labels: str, sort: str = "Data") -> tuple[DataVal, ...]:
+    """Convenience constructor for data values of a (default) data sort."""
+    return tuple(DataVal(sort, label) for label in labels)

@@ -1,0 +1,18 @@
+"""Liveness extension (the paper's Section 9 future work): quiescence,
+deadlock freedom, and goal responsiveness over finite universes."""
+
+from repro.liveness.analysis import (
+    QuiescenceReport,
+    ResponsivenessReport,
+    is_deadlock_free,
+    quiescence_analysis,
+    responsiveness_analysis,
+)
+
+__all__ = [
+    "QuiescenceReport",
+    "ResponsivenessReport",
+    "is_deadlock_free",
+    "quiescence_analysis",
+    "responsiveness_analysis",
+]

@@ -1,0 +1,242 @@
+"""Liveness analysis: the extension sketched in the paper's Section 9.
+
+The paper restricts itself to safety ("for simplicity, liveness is not
+considered") but points out, via Examples 4–5, that its projection-based
+composition both *avoids* some deadlocks and lets refinement *introduce*
+new ones, and names liveness reasoning as the interesting extension.
+This module provides that extension over the finite-universe layer:
+
+* **quiescence** — a trace of ``T`` is *quiescent* (maximal) if no event
+  extends it within ``T``;
+* **deadlock freedom** — ``T`` is deadlock-free iff it has no quiescent
+  trace, i.e. every admitted behaviour can always continue.  Example 4's
+  ``Client‖WriteAcc`` is deadlock-free (the OK stream never ends);
+  Example 5's ``Client2‖WriteAcc`` deadlocks at ``ε``;
+* **responsiveness** — given a *goal* predicate on traces (e.g. "no
+  unanswered request", a counting machine), ``T`` is responsive iff from
+  every admitted trace some admitted extension satisfies the goal (the
+  finite-trace analogue of ``AG EF goal``).
+
+All three are decided exactly over a finite universe by graph analyses on
+the compiled DFA; reports carry shortest witness traces.
+
+The headline negative result — **refinement does not preserve liveness**
+(``Client2 ⊑ Client`` yet the composition deadlocks) — is checked in the
+test suite, completing the paper's own observation.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass
+
+from repro.automata.dfa import DFA
+from repro.checker.compile import spec_dfa
+from repro.checker.universe import FiniteUniverse
+from repro.core.specification import Specification
+from repro.core.traces import Trace
+from repro.machines.base import TraceMachine
+
+__all__ = [
+    "QuiescenceReport",
+    "ResponsivenessReport",
+    "quiescence_analysis",
+    "is_deadlock_free",
+    "responsiveness_analysis",
+]
+
+
+def _accepting_successors(dfa: DFA, q: int) -> list[int]:
+    return [t for t in dfa.transitions[q].values() if t in dfa.accepting]
+
+
+def _shortest_word_to(dfa: DFA, targets: frozenset[int]) -> tuple | None:
+    """Shortest word from the start to any target through accepting states."""
+    if dfa.start not in dfa.accepting:
+        return None
+    if dfa.start in targets:
+        return ()
+    parent: dict[int, tuple] = {dfa.start: None}  # type: ignore[dict-item]
+    queue = deque([dfa.start])
+    while queue:
+        q = queue.popleft()
+        for letter, t in dfa.transitions[q].items():
+            if t not in dfa.accepting or t in parent:
+                continue
+            parent[t] = (q, letter)
+            if t in targets:
+                word = []
+                node = t
+                while parent[node] is not None:
+                    prev, a = parent[node]
+                    word.append(a)
+                    node = prev
+                return tuple(reversed(word))
+            queue.append(t)
+    return None
+
+
+@dataclass(frozen=True, slots=True)
+class QuiescenceReport:
+    """Result of the quiescence/deadlock analysis.
+
+    ``quiescent_witness`` is a shortest maximal trace (``None`` when the
+    trace set is deadlock-free); ``empty_language`` flags the degenerate
+    case where even ``ε`` is not admitted.
+    """
+
+    deadlock_free: bool
+    quiescent_witness: Trace | None
+    empty_language: bool
+    states: int
+
+    def explain(self) -> str:
+        if self.empty_language:
+            return "trace set is empty (not even ε admitted)"
+        if self.deadlock_free:
+            return "deadlock-free: every admitted trace has an extension"
+        return f"quiescent trace found: {self.quiescent_witness}"
+
+
+def quiescence_analysis(
+    spec: Specification,
+    universe: FiniteUniverse | None = None,
+    state_limit: int = 100_000,
+) -> QuiescenceReport:
+    """Find maximal (quiescent) traces of ``T(Γ)`` over a universe."""
+    if universe is None:
+        universe = FiniteUniverse.for_specs(spec)
+    dfa = spec_dfa(spec, universe, state_limit=state_limit).trim()
+    if dfa.start not in dfa.accepting:
+        return QuiescenceReport(False, None, True, dfa.n_states)
+    quiescent = frozenset(
+        q for q in dfa.accepting if not _accepting_successors(dfa, q)
+    )
+    if not quiescent:
+        return QuiescenceReport(True, None, False, dfa.n_states)
+    word = _shortest_word_to(dfa, quiescent)
+    witness = Trace(tuple(word)) if word is not None else None
+    return QuiescenceReport(False, witness, False, dfa.n_states)
+
+
+def is_deadlock_free(
+    spec: Specification,
+    universe: FiniteUniverse | None = None,
+    state_limit: int = 100_000,
+) -> bool:
+    """Convenience wrapper for :func:`quiescence_analysis`."""
+    return quiescence_analysis(spec, universe, state_limit).deadlock_free
+
+
+@dataclass(frozen=True, slots=True)
+class ResponsivenessReport:
+    """Result of the goal-reachability analysis (finite-trace AG EF goal).
+
+    ``stuck_witness`` is a shortest admitted trace from which no admitted
+    extension reaches the goal.
+    """
+
+    responsive: bool
+    stuck_witness: Trace | None
+    states: int
+
+    def explain(self) -> str:
+        if self.responsive:
+            return "responsive: the goal stays reachable from every trace"
+        return f"goal unreachable after: {self.stuck_witness}"
+
+
+def responsiveness_analysis(
+    spec: Specification,
+    goal: TraceMachine,
+    universe: FiniteUniverse | None = None,
+    state_limit: int = 100_000,
+) -> ResponsivenessReport:
+    """Check that ``goal`` remains reachable along every admitted trace.
+
+    ``goal.ok`` marks the good configurations (e.g. a balanced
+    request/acknowledge counter); the spec's trace set is intersected with
+    the goal machine by a product construction, then good states are
+    back-propagated over accepting edges.
+    """
+    if universe is None:
+        universe = FiniteUniverse.for_specs(spec)
+    spec_d = spec_dfa(spec, universe, state_limit=state_limit)
+    # The goal machine is tracked directly (NOT via machine_to_dfa, whose
+    # prefix-closed sink would make a temporarily-unsatisfied goal
+    # permanently unreachable): product states pair a spec-DFA state with
+    # a raw goal-machine state.
+    index: dict[tuple[int, object], int] = {}
+    order: list[tuple[int, object]] = []
+    start = (spec_d.start, goal.initial())
+    if spec_d.start not in spec_d.accepting:
+        return ResponsivenessReport(True, None, 0)  # vacuous: empty T
+    index[start] = 0
+    order.append(start)
+    edges: list[list[int]] = []
+    i = 0
+    while i < len(order):
+        qs, qg = order[i]
+        row = []
+        for letter in spec_d.letters:
+            ts = spec_d.transitions[qs][letter]
+            if ts not in spec_d.accepting:
+                continue
+            tg = goal.step(qg, letter)
+            key = (ts, tg)
+            j = index.get(key)
+            if j is None:
+                j = len(order)
+                index[key] = j
+                order.append(key)
+                if len(order) > state_limit:
+                    raise RuntimeError("responsiveness product too large")
+            row.append(j)
+        edges.append(row)
+        i += 1
+    good = {
+        i for i, (qs, qg) in enumerate(order) if goal.ok(qg)
+    }
+    # Backward reachability to `good` over the product graph.
+    can_reach = set(good)
+    changed = True
+    while changed:
+        changed = False
+        for i, row in enumerate(edges):
+            if i in can_reach:
+                continue
+            if any(j in can_reach for j in row):
+                can_reach.add(i)
+                changed = True
+    stuck = frozenset(i for i in range(len(order)) if i not in can_reach)
+    if not stuck:
+        return ResponsivenessReport(True, None, len(order))
+    # Shortest admitted trace into a stuck product state.
+    parent: dict[int, tuple] = {0: None}  # type: ignore[dict-item]
+    queue = deque([0])
+    witness = None
+    if 0 in stuck:
+        witness = Trace.empty()
+    while queue and witness is None:
+        i = queue.popleft()
+        qs, qg = order[i]
+        for letter in spec_d.letters:
+            ts = spec_d.transitions[qs][letter]
+            if ts not in spec_d.accepting:
+                continue
+            tg = goal.step(qg, letter)
+            j = index[(ts, tg)]
+            if j in parent:
+                continue
+            parent[j] = (i, letter)
+            if j in stuck:
+                word = []
+                node = j
+                while parent[node] is not None:
+                    prev, a = parent[node]
+                    word.append(a)
+                    node = prev
+                witness = Trace(tuple(reversed(word)))
+                break
+            queue.append(j)
+    return ResponsivenessReport(False, witness, len(order))

@@ -1,0 +1,89 @@
+"""Trace machines: executable trace-set predicates.
+
+See :mod:`repro.machines.base` for the machine model and prefix-closure
+semantics.  The concrete machine zoo:
+
+* :class:`~repro.machines.regex.machine.PrsMachine` — ``h prs R``;
+* :class:`~repro.machines.quantifier.ForallMachine` — ``∀x ∈ S : P_x(h/x)``;
+* :class:`~repro.machines.counting.CountingMachine` — counting constraints;
+* :class:`~repro.machines.boolean` — ∧ / ∨ / ¬ / true / false;
+* :class:`~repro.machines.projection.FilterMachine` — ``P(h/S)``;
+* :class:`~repro.machines.projection.OnlyMachine` — ``h/S = h``.
+"""
+
+from repro.machines.base import RunResult, TraceMachine
+from repro.machines.boolean import (
+    AndMachine,
+    FalseMachine,
+    NotMachine,
+    OrMachine,
+    TrueMachine,
+)
+from repro.machines.counting import (
+    difference_counter,
+    CondAnd,
+    CondNot,
+    CondOr,
+    CondTrue,
+    CounterCond,
+    CounterDef,
+    CountingMachine,
+    Linear,
+    method_counter,
+)
+from repro.machines.projection import FilterMachine, OnlyMachine
+from repro.machines.quantifier import ForallMachine
+from repro.machines.regex import (
+    Bind,
+    PrsMachine,
+    Regex,
+    Var,
+    atom,
+    bind,
+    compile_regex,
+    meth,
+    parse_regex,
+    seq,
+    star,
+    alt,
+    opt,
+    plus,
+    tmpl,
+)
+
+__all__ = [
+    "RunResult",
+    "TraceMachine",
+    "AndMachine",
+    "FalseMachine",
+    "NotMachine",
+    "OrMachine",
+    "TrueMachine",
+    "CondAnd",
+    "CondNot",
+    "CondOr",
+    "CondTrue",
+    "CounterCond",
+    "CounterDef",
+    "CountingMachine",
+    "Linear",
+    "method_counter",
+    "FilterMachine",
+    "OnlyMachine",
+    "ForallMachine",
+    "Bind",
+    "PrsMachine",
+    "Regex",
+    "Var",
+    "atom",
+    "bind",
+    "compile_regex",
+    "meth",
+    "parse_regex",
+    "seq",
+    "star",
+    "alt",
+    "opt",
+    "plus",
+    "tmpl",
+]

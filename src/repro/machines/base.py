@@ -1,0 +1,113 @@
+"""Trace machines: executable denotations of trace-set predicates.
+
+The paper defines trace sets "by predicates ... the largest prefix closed
+subset of ``{h : Seq[α] | P(h)}``" (Section 2).  A :class:`TraceMachine`
+is an executable form of such a predicate ``P``: a deterministic state
+transformer with
+
+* an :meth:`initial` state,
+* a total :meth:`step` function consuming one event, and
+* an :meth:`ok` predicate on states meaning "the prefix consumed so far
+  satisfies ``P``".
+
+The *largest prefix-closed subset* semantics is then uniform for every
+machine: a trace belongs to the denoted trace set iff **every** prefix is
+``ok`` — see :meth:`accepts`.  Because this only ever inspects states along
+one run, the same machine drives
+
+* concrete membership tests (this module),
+* online runtime monitors (:mod:`repro.runtime.monitor`), and
+* exact compilation to a DFA over a finite universe by exploring the
+  reachable state space (:mod:`repro.automata.build`).
+
+States must be hashable (they key the DFA exploration and hidden-event
+search memo tables) and machines must be pure: ``step`` may not mutate.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from typing import Hashable, Iterable
+
+from repro.core.events import Event
+from repro.core.traces import Trace
+
+__all__ = ["TraceMachine", "RunResult"]
+
+
+class RunResult:
+    """Outcome of running a machine over a trace.
+
+    ``violation_at`` is ``None`` when every prefix was ``ok``; otherwise it
+    is the length of the shortest violating prefix (the index *after* the
+    offending event).  ``state`` is the state reached after the full trace
+    (always defined; machines are total).
+    """
+
+    __slots__ = ("state", "violation_at")
+
+    def __init__(self, state: Hashable, violation_at: int | None) -> None:
+        self.state = state
+        self.violation_at = violation_at
+
+    @property
+    def accepted(self) -> bool:
+        return self.violation_at is None
+
+    def __repr__(self) -> str:
+        return f"RunResult(accepted={self.accepted}, violation_at={self.violation_at})"
+
+
+class TraceMachine(ABC):
+    """Abstract base for trace machines (see module docstring)."""
+
+    @abstractmethod
+    def initial(self) -> Hashable:
+        """The state before any event."""
+
+    @abstractmethod
+    def step(self, state: Hashable, event: Event) -> Hashable:
+        """The successor state after consuming ``event`` (total, pure)."""
+
+    @abstractmethod
+    def ok(self, state: Hashable) -> bool:
+        """Whether the prefix leading to ``state`` satisfies the predicate."""
+
+    def mentioned_values(self) -> frozenset:
+        """Values the predicate refers to explicitly.
+
+        Universes must contain these (plus fresh representatives) for
+        finite instantiation to exercise the predicate faithfully —
+        e.g. Example 4's Client names the monitor ``o'`` only in its trace
+        predicate, not in its alphabet.  Subclasses override.
+        """
+        return frozenset()
+
+    # ------------------------------------------------------------------
+    # derived operations
+    # ------------------------------------------------------------------
+
+    def run(self, trace: Trace | Iterable[Event]) -> RunResult:
+        """Run over a trace, recording the first prefix violation if any."""
+        state = self.initial()
+        violation = None if self.ok(state) else 0
+        for i, e in enumerate(trace):
+            state = self.step(state, e)
+            if violation is None and not self.ok(state):
+                violation = i + 1
+        return RunResult(state, violation)
+
+    def accepts(self, trace: Trace | Iterable[Event]) -> bool:
+        """Largest-prefix-closed-subset membership: all prefixes ``ok``."""
+        state = self.initial()
+        if not self.ok(state):
+            return False
+        for e in trace:
+            state = self.step(state, e)
+            if not self.ok(state):
+                return False
+        return True
+
+    def violation_index(self, trace: Trace | Iterable[Event]) -> int | None:
+        """Length of the shortest violating prefix, or ``None`` if accepted."""
+        return self.run(trace).violation_at

@@ -1,0 +1,128 @@
+"""Boolean combinations of trace machines.
+
+Trace-set predicates compose logically — Example 3 defines
+``T(RW) = {h | P_RW1(h) ∧ P_RW2(h)}``.  The corresponding machines are
+products of the component machines with the obvious ``ok`` combination.
+Remember that the *trace set* denoted by any machine is the largest
+prefix-closed subset of the satisfying traces (see
+:mod:`repro.machines.base`), so negation and disjunction are safe: the
+prefix-closure is applied to the combined predicate, not per conjunct.
+"""
+
+from __future__ import annotations
+
+from typing import Hashable, Sequence
+
+from repro.core.events import Event
+
+from repro.machines.base import TraceMachine
+
+__all__ = ["TrueMachine", "FalseMachine", "AndMachine", "OrMachine", "NotMachine"]
+
+
+class TrueMachine(TraceMachine):
+    """The trivial predicate: every trace over the alphabet is allowed.
+
+    This is Example 1's ``T(Read) = {h : Seq[α(Read)]}``.
+    """
+
+    def initial(self) -> Hashable:
+        return ()
+
+    def step(self, state: Hashable, event: Event) -> Hashable:
+        return ()
+
+    def ok(self, state: Hashable) -> bool:
+        return True
+
+    def __eq__(self, other) -> bool:
+        return type(other) is TrueMachine
+
+    def __hash__(self) -> int:
+        return hash(TrueMachine)
+
+    def __repr__(self) -> str:
+        return "TrueMachine()"
+
+
+class FalseMachine(TraceMachine):
+    """The empty predicate; its largest prefix-closed subset is empty."""
+
+    def initial(self) -> Hashable:
+        return ()
+
+    def step(self, state: Hashable, event: Event) -> Hashable:
+        return ()
+
+    def ok(self, state: Hashable) -> bool:
+        return False
+
+    def __eq__(self, other) -> bool:
+        return type(other) is FalseMachine
+
+    def __hash__(self) -> int:
+        return hash(FalseMachine)
+
+    def __repr__(self) -> str:
+        return "FalseMachine()"
+
+
+class _Product(TraceMachine):
+    def __init__(self, parts: Sequence[TraceMachine]) -> None:
+        if not parts:
+            raise ValueError("boolean combination needs at least one machine")
+        self.parts = tuple(parts)
+
+    def initial(self) -> Hashable:
+        return tuple(m.initial() for m in self.parts)
+
+    def step(self, state: Hashable, event: Event) -> Hashable:
+        return tuple(m.step(s, event) for m, s in zip(self.parts, state))
+
+    def mentioned_values(self) -> frozenset:
+        out: frozenset = frozenset()
+        for m in self.parts:
+            out |= m.mentioned_values()
+        return out
+
+
+class AndMachine(_Product):
+    """Conjunction: ok iff every component is ok."""
+
+    def ok(self, state: Hashable) -> bool:
+        return all(m.ok(s) for m, s in zip(self.parts, state))
+
+    def __repr__(self) -> str:
+        return f"AndMachine({list(self.parts)!r})"
+
+
+class OrMachine(_Product):
+    """Disjunction: ok iff some component is ok."""
+
+    def ok(self, state: Hashable) -> bool:
+        return any(m.ok(s) for m, s in zip(self.parts, state))
+
+    def __repr__(self) -> str:
+        return f"OrMachine({list(self.parts)!r})"
+
+
+class NotMachine(TraceMachine):
+    """Negation of the underlying predicate (then prefix-closed as usual)."""
+
+    def __init__(self, inner: TraceMachine) -> None:
+        self.inner = inner
+
+    def initial(self) -> Hashable:
+        return self.inner.initial()
+
+    def step(self, state: Hashable, event: Event) -> Hashable:
+        return self.inner.step(state, event)
+
+    def ok(self, state: Hashable) -> bool:
+        return not self.inner.ok(state)
+
+    def mentioned_values(self) -> frozenset:
+        return self.inner.mentioned_values()
+
+    def __repr__(self) -> str:
+        return f"NotMachine({self.inner!r})"

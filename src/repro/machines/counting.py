@@ -1,0 +1,242 @@
+"""Counting machines: predicates over event counts.
+
+Example 3's ``P_RW2`` constrains differences of counts::
+
+    (#(h/OW) − #(h/CW) = 0  ∨  #(h/OR) − #(h/CR) = 0)
+    ∧  #(h/OW) − #(h/CW) ≤ 1
+
+A :class:`CountingMachine` maintains one integer counter per
+:class:`CounterDef` and evaluates a :class:`CounterCond` condition over the
+counter vector.  Conditions form a small introspectable AST (linear
+inequalities combined with ∧/∨/¬) so that the OUN notation can build them
+and the automata layer can hash machine states (plain integer tuples).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Hashable, Sequence
+
+from repro.core.errors import MachineError
+from repro.core.events import Event
+from repro.core.patterns import EventPattern
+
+from repro.machines.base import TraceMachine
+
+__all__ = [
+    "CounterDef",
+    "CounterCond",
+    "Linear",
+    "CondAnd",
+    "CondOr",
+    "CondNot",
+    "CondTrue",
+    "CountingMachine",
+    "method_counter",
+    "difference_counter",
+]
+
+_OPS = {
+    "<=": lambda v: v <= 0,
+    "<": lambda v: v < 0,
+    ">=": lambda v: v >= 0,
+    ">": lambda v: v > 0,
+    "==": lambda v: v == 0,
+    "!=": lambda v: v != 0,
+}
+
+
+@dataclass(frozen=True, slots=True)
+class CounterDef:
+    """One counter: a weighted sum of per-method event counts.
+
+    ``terms`` maps method names to integer weights; an event adds the
+    weight of its method (0 if absent).  ``pattern`` optionally restricts
+    which events count at all (e.g. only calls *to* a particular object).
+
+    Prefer *difference* counters (``#(h/OW) − #(h/CW)`` as one counter with
+    weights ``+1/−1``) over raw totals: conditions in the paper only ever
+    constrain differences, and difference counters keep the reachable
+    state space finite when the other conjuncts bound the protocol —
+    which is what makes exact DFA compilation possible.
+    """
+
+    terms: tuple[tuple[str, int], ...]
+    pattern: EventPattern | None = None
+
+    def delta(self, e: Event) -> int:
+        if self.pattern is not None and not self.pattern.contains(e):
+            return 0
+        for method, weight in self.terms:
+            if e.method == method:
+                return weight
+        return 0
+
+    def __str__(self) -> str:
+        inner = " ".join(
+            f"{w:+d}·#({m})" for m, w in self.terms
+        )
+        if self.pattern is None:
+            return inner
+        return f"[{inner} | {self.pattern}]"
+
+
+def method_counter(method: str) -> CounterDef:
+    """The paper's ``#(h/M)``: count all calls to ``method``."""
+    return CounterDef(((method, 1),))
+
+
+def difference_counter(plus: str, minus: str) -> CounterDef:
+    """``#(h/plus) − #(h/minus)`` as a single counter."""
+    return CounterDef(((plus, 1), (minus, -1)))
+
+
+# ----------------------------------------------------------------------
+# condition AST
+# ----------------------------------------------------------------------
+
+
+class CounterCond:
+    """Base class for conditions over counter vectors."""
+
+    __slots__ = ()
+
+    def holds(self, counters: tuple[int, ...]) -> bool:
+        raise NotImplementedError
+
+
+@dataclass(frozen=True, slots=True)
+class CondTrue(CounterCond):
+    def holds(self, counters: tuple[int, ...]) -> bool:
+        return True
+
+    def __str__(self) -> str:
+        return "true"
+
+
+@dataclass(frozen=True, slots=True)
+class Linear(CounterCond):
+    """``Σ coeffs[i]·counter[i] + const OP 0`` with OP ∈ {<=,<,>=,>,==,!=}.
+
+    Example 3's ``#(h/OW) − #(h/CW) ≤ 1`` over counters ``(OW, CW)`` is
+    ``Linear((1, -1), -1, "<=")``.
+    """
+
+    coeffs: tuple[int, ...]
+    const: int
+    op: str
+
+    def __post_init__(self) -> None:
+        if self.op not in _OPS:
+            raise MachineError(f"unknown comparison operator {self.op!r}")
+
+    def holds(self, counters: tuple[int, ...]) -> bool:
+        if len(counters) != len(self.coeffs):
+            raise MachineError(
+                f"condition over {len(self.coeffs)} counters applied to "
+                f"{len(counters)}"
+            )
+        v = sum(c * x for c, x in zip(self.coeffs, counters)) + self.const
+        return _OPS[self.op](v)
+
+    def __str__(self) -> str:
+        terms = [
+            f"{c:+d}·c{i}" for i, c in enumerate(self.coeffs) if c != 0
+        ]
+        lhs = " ".join(terms) if terms else "0"
+        if self.const:
+            lhs += f" {self.const:+d}"
+        return f"{lhs} {self.op} 0"
+
+
+@dataclass(frozen=True, slots=True)
+class CondAnd(CounterCond):
+    parts: tuple[CounterCond, ...]
+
+    def holds(self, counters: tuple[int, ...]) -> bool:
+        return all(p.holds(counters) for p in self.parts)
+
+    def __str__(self) -> str:
+        return " ∧ ".join(f"({p})" for p in self.parts)
+
+
+@dataclass(frozen=True, slots=True)
+class CondOr(CounterCond):
+    parts: tuple[CounterCond, ...]
+
+    def holds(self, counters: tuple[int, ...]) -> bool:
+        return any(p.holds(counters) for p in self.parts)
+
+    def __str__(self) -> str:
+        return " ∨ ".join(f"({p})" for p in self.parts)
+
+
+@dataclass(frozen=True, slots=True)
+class CondNot(CounterCond):
+    part: CounterCond
+
+    def holds(self, counters: tuple[int, ...]) -> bool:
+        return not self.part.holds(counters)
+
+    def __str__(self) -> str:
+        return f"¬({self.part})"
+
+
+# ----------------------------------------------------------------------
+# the machine
+# ----------------------------------------------------------------------
+
+
+class CountingMachine(TraceMachine):
+    """Counter vector + condition, as a trace machine.
+
+    State is the tuple of counter values; counters are unbounded during
+    evaluation.  Exact DFA compilation requires the *reachable, non-failed*
+    counter space to be finite — which the paper's conditions guarantee in
+    conjunction with their regex constraints (see
+    :mod:`repro.automata.build`, which enforces a state budget).
+    """
+
+    def __init__(
+        self,
+        counters: Sequence[CounterDef],
+        condition: CounterCond,
+        saturate_at: int | None = None,
+    ) -> None:
+        if not counters:
+            raise MachineError("counting machine needs at least one counter")
+        if saturate_at is not None and saturate_at < 0:
+            raise MachineError("saturation bound must be non-negative")
+        self.counters = tuple(counters)
+        self.condition = condition
+        self.saturate_at = saturate_at
+
+    def initial(self) -> Hashable:
+        return (0,) * len(self.counters)
+
+    def step(self, state: Hashable, event: Event) -> Hashable:
+        values = (
+            x + c.delta(event) for x, c in zip(state, self.counters)
+        )
+        if self.saturate_at is None:
+            return tuple(values)
+        # Saturation clamps counters into [−s, s], keeping the reachable
+        # state space finite.  Sound whenever the condition is constant
+        # beyond the bound (threshold conditions like "≥ k" with k ≤ s) —
+        # the intended use is goal machines for liveness analyses.
+        s = self.saturate_at
+        return tuple(max(-s, min(s, v)) for v in values)
+
+    def ok(self, state: Hashable) -> bool:
+        return self.condition.holds(state)
+
+    def mentioned_values(self) -> frozenset:
+        out: frozenset = frozenset()
+        for c in self.counters:
+            if c.pattern is not None:
+                out |= c.pattern.mentioned_values()
+        return out
+
+    def __repr__(self) -> str:
+        names = ", ".join(str(c) for c in self.counters)
+        return f"CountingMachine([{names}], {self.condition})"

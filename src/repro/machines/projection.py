@@ -1,0 +1,83 @@
+"""Projection machines: evaluate a predicate on a filtered subtrace.
+
+Two uses from the paper:
+
+* soundness and refinement condition 3 quantify over traces of a *larger*
+  alphabet and project down: ``h/α(Γ) ∈ T(Γ)``.  ``FilterMachine`` steps
+  its inner machine only on events passing the filter, so running it on
+  ``h`` is running the inner machine on ``h/S``;
+* Example 6 restricts communication to a unique caller with
+  ``P(h) ≙ h/c = h`` — expressed here as :class:`OnlyMachine`, which
+  fails as soon as an event outside the filter occurs.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Hashable
+
+from repro.core.events import Event
+from repro.core.traces import as_predicate
+
+from repro.machines.base import TraceMachine
+
+__all__ = ["FilterMachine", "OnlyMachine"]
+
+
+class FilterMachine(TraceMachine):
+    """Run ``inner`` on the subtrace of events in ``event_set`` (``h/S``)."""
+
+    def __init__(self, event_set, inner: TraceMachine) -> None:
+        self.event_set = event_set
+        self._pred: Callable[[Event], bool] = as_predicate(event_set)
+        self.inner = inner
+
+    def initial(self) -> Hashable:
+        return self.inner.initial()
+
+    def step(self, state: Hashable, event: Event) -> Hashable:
+        if self._pred(event):
+            return self.inner.step(state, event)
+        return state
+
+    def ok(self, state: Hashable) -> bool:
+        return self.inner.ok(state)
+
+    def mentioned_values(self) -> frozenset:
+        out = self.inner.mentioned_values()
+        mentioned = getattr(self.event_set, "mentioned_values", None)
+        if mentioned is not None:
+            out = out | frozenset(mentioned())
+        return out
+
+    def __repr__(self) -> str:
+        return f"FilterMachine({self.event_set!r}, {self.inner!r})"
+
+
+class OnlyMachine(TraceMachine):
+    """``h/S = h``: every event must belong to ``event_set``.
+
+    Example 6's restriction "communication is restricted to the unique
+    object c" is ``OnlyMachine`` with the events involving ``c``.
+    """
+
+    def __init__(self, event_set) -> None:
+        self.event_set = event_set
+        self._pred: Callable[[Event], bool] = as_predicate(event_set)
+
+    def initial(self) -> Hashable:
+        return True
+
+    def step(self, state: Hashable, event: Event) -> Hashable:
+        return bool(state) and self._pred(event)
+
+    def ok(self, state: Hashable) -> bool:
+        return bool(state)
+
+    def mentioned_values(self) -> frozenset:
+        mentioned = getattr(self.event_set, "mentioned_values", None)
+        if mentioned is not None:
+            return frozenset(mentioned())
+        return frozenset()
+
+    def __repr__(self) -> str:
+        return f"OnlyMachine({self.event_set!r})"

@@ -1,0 +1,108 @@
+"""Quantifier machines: per-object universally quantified predicates.
+
+Example 2 defines ``Read2`` by::
+
+    ∀x ∈ Objects : h/x prs [⟨x,o,OR⟩ ⟨x,o,R⟩* ⟨x,o,CR⟩]*
+
+i.e. *for every environment object x*, the projection of the trace onto the
+events involving ``x`` satisfies a body predicate parameterised by ``x``.
+Although the quantifier ranges over an infinite sort, only the finitely
+many objects occurring in a given trace can have a non-empty projection,
+so the predicate is decidable: maintain one body machine per object seen
+so far, and evaluate the body on the empty trace once for the (uniform)
+unseen remainder.
+
+``body_factory`` must be *uniform* in the quantified value — the body for
+``x`` must treat all values of the sort alike up to substitution (true for
+all predicates definable in the paper's notation).  Uniformity is what
+justifies checking unseen objects via a single canonical witness.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Hashable
+
+from repro.core.errors import MachineError
+from repro.core.events import Event
+from repro.core.sorts import Sort
+from repro.core.values import Value
+
+from repro.machines.base import TraceMachine
+
+__all__ = ["ForallMachine"]
+
+
+class ForallMachine(TraceMachine):
+    """``∀x ∈ sort : P_x(h/x)`` as a trace machine.
+
+    ``relevant(event)`` yields the values of the event that instantiate the
+    quantifier; the default is the event's endpoints filtered by the sort,
+    matching the paper's ``h/x`` projection onto events *involving* x.
+    """
+
+    def __init__(
+        self,
+        sort: Sort,
+        body_factory: Callable[[Value], TraceMachine],
+        relevant: Callable[[Event], tuple[Value, ...]] | None = None,
+    ) -> None:
+        self.sort = sort
+        self.body_factory = body_factory
+        self._relevant = relevant
+        self._bodies: dict[Value, TraceMachine] = {}
+        if sort.is_empty():
+            raise MachineError("quantification over the empty sort is vacuous; "
+                               "use TrueMachine instead")
+        # The canonical witness decides whether the empty projection is ok —
+        # by uniformity this answers for every unseen value at once.
+        witness = sort.witness()
+        self._empty_ok = self._body(witness).ok(self._body(witness).initial())
+
+    def _body(self, value: Value) -> TraceMachine:
+        m = self._bodies.get(value)
+        if m is None:
+            m = self.body_factory(value)
+            self._bodies[value] = m
+        return m
+
+    def relevant_values(self, event: Event) -> tuple[Value, ...]:
+        if self._relevant is not None:
+            vals = self._relevant(event)
+        else:
+            vals = (event.caller, event.callee)
+        out = []
+        for v in vals:
+            if self.sort.contains(v) and v not in out:
+                out.append(v)
+        return tuple(out)
+
+    # -- TraceMachine interface ----------------------------------------
+
+    def initial(self) -> Hashable:
+        return frozenset()
+
+    def step(self, state: Hashable, event: Event) -> Hashable:
+        vals = self.relevant_values(event)
+        if not vals:
+            return state
+        d = dict(state)
+        for v in vals:
+            body = self._body(v)
+            sub = d.get(v, body.initial())
+            d[v] = body.step(sub, event)
+        return frozenset(d.items())
+
+    def ok(self, state: Hashable) -> bool:
+        if not self._empty_ok:
+            return False
+        return all(self._body(v).ok(s) for v, s in state)
+
+    def mentioned_values(self) -> frozenset:
+        # By uniformity, the witness body mentions what every body does —
+        # except the quantified value itself, which we subtract again.
+        witness = self.sort.witness()
+        body_mentions = self._body(witness).mentioned_values() - {witness}
+        return frozenset(self.sort.mentioned_values()) | body_mentions
+
+    def __repr__(self) -> str:
+        return f"ForallMachine(∀x ∈ {self.sort})"

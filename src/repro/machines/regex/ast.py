@@ -1,0 +1,415 @@
+"""Abstract syntax of trace regular expressions.
+
+The paper specifies trace sets with prefix-of-regular-expression
+predicates, e.g. (Example 1)::
+
+    h prs [ [⟨x,o,OW⟩ ⟨x,o,W⟩* ⟨x,o,CW⟩] • x ∈ Objects ]*
+
+The regex alphabet is not a finite set of letters but *event templates*:
+symbolic event descriptions whose positions are concrete values, sorts
+("any member"), or *variables* introduced by the paper's binding operator
+``•`` (:class:`Bind`) or bound externally by a quantifier
+(``∀x ∈ Objects : h/x prs R``, see :mod:`repro.machines.quantifier`).
+
+AST nodes are immutable; construction helpers at the bottom give a concise
+embedded syntax, and :mod:`repro.machines.regex.parse` provides a concrete
+text syntax.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator, Union
+
+from repro.core.errors import RegexError
+from repro.core.events import Event
+from repro.core.sorts import Sort
+from repro.core.values import ObjectId, Value, base_sort_of
+
+__all__ = [
+    "Var",
+    "Position",
+    "EventTemplate",
+    "Regex",
+    "Eps",
+    "Atom",
+    "Seq",
+    "Alt",
+    "Star",
+    "Plus",
+    "Opt",
+    "Bind",
+    "atom",
+    "tmpl",
+    "meth",
+    "seq",
+    "alt",
+    "star",
+    "plus",
+    "opt",
+    "bind",
+]
+
+
+@dataclass(frozen=True, slots=True)
+class Var:
+    """A template variable, bound by :class:`Bind` or by a quantifier."""
+
+    name: str
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise RegexError("variable name must be non-empty")
+
+    def __str__(self) -> str:
+        return self.name
+
+
+#: A template position: a concrete value, a sort ("any member"), or a variable.
+Position = Union[Value, Sort, Var]
+
+
+def _match_position(
+    pos: Position,
+    val: Value,
+    env: dict[str, Value],
+    domains: dict[str, Sort],
+) -> bool:
+    """Match one position against a concrete value, extending ``env`` in place."""
+    if isinstance(pos, Var):
+        if pos.name in env:
+            return env[pos.name] == val
+        dom = domains.get(pos.name)
+        if dom is None:
+            raise RegexError(f"unbound variable {pos.name!r} has no domain")
+        if not dom.contains(val):
+            return False
+        env[pos.name] = val
+        return True
+    if isinstance(pos, Sort):
+        return pos.contains(val)
+    return pos == val
+
+
+def _position_sort(pos: Position, env: dict[str, Value], domains: dict[str, Sort]) -> Sort:
+    """The set of values a position can take under ``env`` (for satisfiability)."""
+    if isinstance(pos, Var):
+        if pos.name in env:
+            return Sort.values(env[pos.name])
+        dom = domains.get(pos.name)
+        if dom is None:
+            raise RegexError(f"unbound variable {pos.name!r} has no domain")
+        return dom
+    if isinstance(pos, Sort):
+        return pos
+    return Sort.values(pos)
+
+
+@dataclass(frozen=True, slots=True)
+class EventTemplate:
+    """A symbolic event with variable positions.
+
+    ``args`` is ``None`` for *bare method* templates (the paper's Example 3
+    writes just ``OW`` or ``W`` for "any event calling that method"):
+    such a template matches any caller, callee, and parameter list.
+    """
+
+    caller: Position
+    callee: Position
+    method: str
+    args: tuple[Position, ...] | None = ()
+
+    def __post_init__(self) -> None:
+        if not self.method:
+            raise RegexError("template method name must be non-empty")
+
+    def variables(self) -> frozenset[str]:
+        out: set[str] = set()
+        for pos in (self.caller, self.callee, *(self.args or ())):
+            if isinstance(pos, Var):
+                out.add(pos.name)
+        return frozenset(out)
+
+    def match(
+        self,
+        event: Event,
+        env: dict[str, Value],
+        domains: dict[str, Sort],
+    ) -> dict[str, Value] | None:
+        """Return the extended environment if the event matches, else ``None``."""
+        new_env = dict(env)
+        if event.method != self.method:
+            return None
+        if not _match_position(self.caller, event.caller, new_env, domains):
+            return None
+        if not _match_position(self.callee, event.callee, new_env, domains):
+            return None
+        if self.args is not None:
+            if len(event.args) != len(self.args):
+                return None
+            for pos, val in zip(self.args, event.args):
+                if not _match_position(pos, val, new_env, domains):
+                    return None
+        return new_env
+
+    def satisfiable(
+        self, env: dict[str, Value], domains: dict[str, Sort]
+    ) -> bool:
+        """Can *some* event match under ``env``?
+
+        Unbound variables range over their domains.  The only cross-position
+        constraint is the event diagonal ``caller ≠ callee``; per-position
+        sort emptiness plus the same-singleton diagonal case decide
+        satisfiability exactly (infinite domains always admit a fresh,
+        conflict-free choice).
+        """
+        c = _position_sort(self.caller, env, domains)
+        k = _position_sort(self.callee, env, domains)
+        if c.is_empty() or k.is_empty():
+            return False
+        if (
+            c.is_singleton()
+            and k.is_singleton()
+            and c.the_value() == k.the_value()
+        ):
+            return False
+        # Same unbound variable in both endpoint positions can never match
+        # (caller ≠ callee always).
+        if (
+            isinstance(self.caller, Var)
+            and isinstance(self.callee, Var)
+            and self.caller.name == self.callee.name
+        ):
+            return False
+        for pos in self.args or ():
+            if _position_sort(pos, env, domains).is_empty():
+                return False
+        return True
+
+    def __str__(self) -> str:
+        def p(pos: Position) -> str:
+            return str(pos)
+
+        if self.args is None:
+            return self.method
+        if self.args:
+            inner = ", ".join(p(a) for a in self.args)
+            return f"⟨{p(self.caller)},{p(self.callee)},{self.method}({inner})⟩"
+        return f"⟨{p(self.caller)},{p(self.callee)},{self.method}⟩"
+
+
+# ----------------------------------------------------------------------
+# regex nodes
+# ----------------------------------------------------------------------
+
+
+class Regex:
+    """Base class for regex nodes."""
+
+    __slots__ = ()
+
+    def variables(self) -> frozenset[str]:
+        """All variable names occurring in templates below this node."""
+        out: set[str] = set()
+        for node in self.walk():
+            if isinstance(node, Atom):
+                out |= node.template.variables()
+        return frozenset(out)
+
+    def bound_variables(self) -> frozenset[str]:
+        return frozenset(
+            n.var.name for n in self.walk() if isinstance(n, Bind)
+        )
+
+    def mentioned_values(self) -> frozenset:
+        """Concrete values named anywhere in the expression."""
+        out: set = set()
+        for node in self.walk():
+            if isinstance(node, Bind):
+                out |= node.sort.mentioned_values()
+            if isinstance(node, Atom):
+                t = node.template
+                for pos in (t.caller, t.callee, *(t.args or ())):
+                    if isinstance(pos, Var):
+                        continue
+                    if isinstance(pos, Sort):
+                        out |= pos.mentioned_values()
+                    else:
+                        out.add(pos)
+        return frozenset(out)
+
+    def walk(self) -> Iterator["Regex"]:
+        yield self
+        for child in self.children():
+            yield from child.walk()
+
+    def children(self) -> tuple["Regex", ...]:
+        return ()
+
+
+@dataclass(frozen=True, slots=True)
+class Eps(Regex):
+    """The empty word."""
+
+    def __str__(self) -> str:
+        return "ε"
+
+
+@dataclass(frozen=True, slots=True)
+class Atom(Regex):
+    """A single event template."""
+
+    template: EventTemplate
+
+    def __str__(self) -> str:
+        return str(self.template)
+
+
+@dataclass(frozen=True, slots=True)
+class Seq(Regex):
+    """Sequential composition ``R₁ R₂ … Rₙ``."""
+
+    parts: tuple[Regex, ...]
+
+    def children(self) -> tuple[Regex, ...]:
+        return self.parts
+
+    def __str__(self) -> str:
+        return " ".join(
+            f"[{p}]" if isinstance(p, (Alt,)) else str(p) for p in self.parts
+        )
+
+
+@dataclass(frozen=True, slots=True)
+class Alt(Regex):
+    """Alternation ``R₁ | R₂ | … | Rₙ``."""
+
+    parts: tuple[Regex, ...]
+
+    def children(self) -> tuple[Regex, ...]:
+        return self.parts
+
+    def __str__(self) -> str:
+        return " | ".join(str(p) for p in self.parts)
+
+
+@dataclass(frozen=True, slots=True)
+class Star(Regex):
+    """Kleene repetition ``R*``."""
+
+    body: Regex
+
+    def children(self) -> tuple[Regex, ...]:
+        return (self.body,)
+
+    def __str__(self) -> str:
+        return f"[{self.body}]*"
+
+
+@dataclass(frozen=True, slots=True)
+class Plus(Regex):
+    """One or more repetitions ``R⁺``."""
+
+    body: Regex
+
+    def children(self) -> tuple[Regex, ...]:
+        return (self.body,)
+
+    def __str__(self) -> str:
+        return f"[{self.body}]+"
+
+
+@dataclass(frozen=True, slots=True)
+class Opt(Regex):
+    """Zero or one occurrence ``R?``."""
+
+    body: Regex
+
+    def children(self) -> tuple[Regex, ...]:
+        return (self.body,)
+
+    def __str__(self) -> str:
+        return f"[{self.body}]?"
+
+
+@dataclass(frozen=True, slots=True)
+class Bind(Regex):
+    """The paper's binding operator ``[R(x)] • x ∈ S``.
+
+    The variable is bound afresh on each entry into the sub-expression;
+    wrapping a ``Bind`` in :class:`Star` therefore rebinds per traversal of
+    the loop, exactly as in Example 1's ``Write`` specification.
+    """
+
+    var: Var
+    sort: Sort
+    body: Regex
+
+    def children(self) -> tuple[Regex, ...]:
+        return (self.body,)
+
+    def __str__(self) -> str:
+        return f"[[{self.body}] • {self.var} ∈ {self.sort}]"
+
+
+# ----------------------------------------------------------------------
+# construction helpers
+# ----------------------------------------------------------------------
+
+
+def tmpl(
+    caller: Position, callee: Position, method: str, *args: Position
+) -> EventTemplate:
+    """Build an event template ``⟨caller, callee, method(args)⟩``."""
+    return EventTemplate(caller, callee, method, tuple(args))
+
+
+def atom(
+    caller: Position, callee: Position, method: str, *args: Position
+) -> Atom:
+    """Build an atomic regex from template components."""
+    return Atom(tmpl(caller, callee, method, *args))
+
+
+def meth(method: str) -> Atom:
+    """Bare-method atom: any event calling ``method`` (Example 3 style)."""
+    return Atom(EventTemplate(Sort.base("Obj"), Sort.base("Obj"), method, None))
+
+
+def seq(*parts: Regex) -> Regex:
+    flat: list[Regex] = []
+    for p in parts:
+        if isinstance(p, Seq):
+            flat.extend(p.parts)
+        elif not isinstance(p, Eps):
+            flat.append(p)
+    if not flat:
+        return Eps()
+    if len(flat) == 1:
+        return flat[0]
+    return Seq(tuple(flat))
+
+
+def alt(*parts: Regex) -> Regex:
+    if not parts:
+        raise RegexError("alternation needs at least one branch")
+    if len(parts) == 1:
+        return parts[0]
+    return Alt(tuple(parts))
+
+
+def star(body: Regex) -> Star:
+    return Star(body)
+
+
+def plus(body: Regex) -> Plus:
+    return Plus(body)
+
+
+def opt(body: Regex) -> Opt:
+    return Opt(body)
+
+
+def bind(var: str | Var, sort: Sort, body: Regex) -> Bind:
+    v = var if isinstance(var, Var) else Var(var)
+    return Bind(v, sort, body)

@@ -1,0 +1,80 @@
+"""The ``prs`` trace machine: prefix-of-regular-expression predicates.
+
+``PrsMachine(R)`` denotes the trace set ``{h | h prs R}`` — all traces that
+are prefixes of some word of ``L(R)``.  Such sets are prefix closed by
+construction (Section 2 of the paper), so the machine's ``ok`` predicate is
+simply "some simulation configuration is still live".
+
+The machine also exposes whole-word acceptance (:meth:`matches_word`),
+used by tests to cross-check the prefix semantics against direct language
+membership.
+"""
+
+from __future__ import annotations
+
+from typing import Hashable
+
+from repro.core.events import Event
+from repro.core.sorts import Sort
+
+from repro.machines.base import TraceMachine
+from repro.machines.regex.ast import Regex
+from repro.machines.regex.nfa import Config, SymbolicNFA, compile_regex
+
+__all__ = ["PrsMachine"]
+
+
+class PrsMachine(TraceMachine):
+    """Trace machine for ``h prs R``.
+
+    ``free_domains`` supplies sorts for externally-bound variables (e.g.
+    the ``x`` of a surrounding ``∀x ∈ Objects`` quantifier) and
+    ``free_env`` optionally fixes their concrete values.  Free variables
+    are active in every NFA state, so their bindings survive binder-scope
+    restriction; only ``Bind``-introduced variables are released on scope
+    exit.
+    """
+
+    def __init__(
+        self,
+        regex: Regex,
+        free_domains: dict[str, Sort] | None = None,
+        free_env: dict | None = None,
+    ) -> None:
+        self.regex = regex
+        self.free_domains = dict(free_domains or {})
+        self.free_env = dict(free_env or {})
+        for name, value in self.free_env.items():
+            self.free_domains.setdefault(name, Sort.values(value))
+        self.nfa: SymbolicNFA = compile_regex(regex, self.free_domains)
+        self._fixed = frozenset(self.free_env.items())
+
+    # -- TraceMachine interface ----------------------------------------
+
+    def initial(self) -> Hashable:
+        return self.nfa.closure([Config(self.nfa.start, self._fixed)])
+
+    def step(self, state: Hashable, event: Event) -> Hashable:
+        return self.nfa.step_configs(state, event)
+
+    def ok(self, state: Hashable) -> bool:
+        return self.nfa.any_live(state)
+
+    def mentioned_values(self) -> frozenset:
+        out = set(self.regex.mentioned_values())
+        for sort in self.free_domains.values():
+            out |= sort.mentioned_values()
+        out |= set(self.free_env.values())
+        return frozenset(out)
+
+    # -- extras ----------------------------------------------------------
+
+    def matches_word(self, trace) -> bool:
+        """Whole-word membership ``h ∈ L(R)`` (not the prefix semantics)."""
+        configs = self.initial()
+        for e in trace:
+            configs = self.nfa.step_configs(configs, e)
+        return self.nfa.accepting(configs)
+
+    def __repr__(self) -> str:
+        return f"PrsMachine({self.regex})"

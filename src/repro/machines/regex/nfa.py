@@ -1,0 +1,343 @@
+"""Thompson construction for trace regular expressions with binders.
+
+The construction is classic (one fragment per node, ε-edges for glue),
+extended with the paper's binding operator ``•``:
+
+* every NFA state carries the statically-known set of *active binder
+  variables* at that point of the expression;
+* a simulation configuration is a pair ``(state, environment)`` where the
+  environment maps active binders to the concrete values they were
+  unified with;
+* whenever a configuration moves to a state, its environment is restricted
+  to the target's active binders — leaving a ``Bind`` fragment (in
+  particular, going around an enclosing ``Star``) therefore *releases* the
+  binding, which is exactly the paper's "x is bound for each traversal of
+  the loop" semantics.
+
+Liveness (used for ``prs``).  ``h prs R`` holds iff ``h`` is a prefix of a
+word of ``L(R)``, i.e. iff some simulation configuration can still reach
+the accepting state.  :meth:`SymbolicNFA.live` decides this exactly:
+
+* transitions whose template is unsatisfiable under the configuration's
+  environment are skipped (:meth:`EventTemplate.satisfiable`);
+* an unbound variable with an *infinite* domain is left unbound — a fresh
+  value can always be chosen that avoids every equality/diagonal conflict
+  with the finitely many values in play, so per-template satisfiability is
+  sound and complete for such variables;
+* an unbound variable with a *finite* domain is enumerated, which keeps
+  the analysis exact when, say, a binder ranges over two named objects.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable
+
+from repro.core.errors import RegexError
+from repro.core.events import Event
+from repro.core.sorts import Sort
+from repro.core.values import Value
+
+from repro.machines.regex.ast import (
+    Alt,
+    Atom,
+    Bind,
+    Eps,
+    EventTemplate,
+    Opt,
+    Plus,
+    Regex,
+    Seq,
+    Star,
+    Var,
+)
+
+__all__ = ["SymbolicNFA", "Config", "compile_regex"]
+
+#: A simulation environment: bound variables as a hashable mapping.
+Env = frozenset  # of (name, Value) pairs
+
+
+def _restrict(env: Env, binders: frozenset[str]) -> Env:
+    return frozenset((k, v) for k, v in env if k in binders)
+
+
+@dataclass(frozen=True, slots=True)
+class Config:
+    """One NFA simulation configuration: a state plus variable bindings."""
+
+    state: int
+    env: Env
+
+    def env_dict(self) -> dict[str, Value]:
+        return dict(self.env)
+
+
+class SymbolicNFA:
+    """An NFA over event templates with binder-scoped environments."""
+
+    def __init__(self, domains: dict[str, Sort]) -> None:
+        self.domains: dict[str, Sort] = dict(domains)
+        self.trans: list[list[tuple[EventTemplate, int]]] = []
+        self.eps: list[list[int]] = []
+        self.binders: list[frozenset[str]] = []
+        self.start: int = -1
+        self.accept: int = -1
+        self._live_cache: dict[tuple[int, Env], bool] = {}
+
+    # ------------------------------------------------------------------
+    # construction
+    # ------------------------------------------------------------------
+
+    def new_state(self, binders: frozenset[str]) -> int:
+        self.trans.append([])
+        self.eps.append([])
+        self.binders.append(binders)
+        return len(self.trans) - 1
+
+    def add_eps(self, a: int, b: int) -> None:
+        self.eps[a].append(b)
+
+    def add_trans(self, a: int, t: EventTemplate, b: int) -> None:
+        self.trans[a].append((t, b))
+
+    @property
+    def n_states(self) -> int:
+        return len(self.trans)
+
+    # ------------------------------------------------------------------
+    # simulation
+    # ------------------------------------------------------------------
+
+    def closure(self, configs: Iterable[Config]) -> frozenset[Config]:
+        """ε-closure with environment restriction at each target state."""
+        seen: set[Config] = set()
+        stack = list(configs)
+        while stack:
+            c = stack.pop()
+            if c in seen:
+                continue
+            seen.add(c)
+            for q in self.eps[c.state]:
+                stack.append(Config(q, _restrict(c.env, self.binders[q])))
+        return frozenset(seen)
+
+    def initial_configs(self) -> frozenset[Config]:
+        return self.closure([Config(self.start, frozenset())])
+
+    def step_configs(
+        self, configs: Iterable[Config], event: Event
+    ) -> frozenset[Config]:
+        out: list[Config] = []
+        for c in configs:
+            env = c.env_dict()
+            for t, q in self.trans[c.state]:
+                new_env = t.match(event, env, self.domains)
+                if new_env is None:
+                    continue
+                restricted = _restrict(
+                    frozenset(new_env.items()), self.binders[q]
+                )
+                out.append(Config(q, restricted))
+        return self.closure(out)
+
+    # ------------------------------------------------------------------
+    # liveness (prefix semantics)
+    # ------------------------------------------------------------------
+
+    def live(self, config: Config) -> bool:
+        """Can this configuration still reach the accepting state?"""
+        key = (config.state, config.env)
+        cached = self._live_cache.get(key)
+        if cached is not None:
+            return cached
+        result = self._live_search(config, set())
+        self._live_cache[key] = result
+        return result
+
+    def _live_search(self, config: Config, visiting: set) -> bool:
+        key = (config.state, config.env)
+        if key in visiting:
+            return False
+        if config.state == self.accept:
+            return True
+        cached = self._live_cache.get(key)
+        if cached is not None:
+            return cached
+        visiting.add(key)
+        found = False
+        for q in self.eps[config.state]:
+            nxt = Config(q, _restrict(config.env, self.binders[q]))
+            if self._live_search(nxt, visiting):
+                found = True
+                break
+        if not found:
+            env = config.env_dict()
+            for t, q in self.trans[config.state]:
+                for succ_env in self._abstract_successor_envs(t, env):
+                    nxt = Config(
+                        q, _restrict(frozenset(succ_env.items()), self.binders[q])
+                    )
+                    if self._live_search(nxt, visiting):
+                        found = True
+                        break
+                if found:
+                    break
+        visiting.discard(key)
+        if found:
+            # Positive results are path-independent; safe to cache here.
+            self._live_cache[key] = True
+        return found
+
+    def _abstract_successor_envs(
+        self, t: EventTemplate, env: dict[str, Value]
+    ) -> list[dict[str, Value]]:
+        """Environments after abstractly firing ``t`` from ``env``.
+
+        Infinite-domain unbound variables stay unbound (a fresh witness
+        always exists); finite-domain unbound variables are enumerated.
+        Returns ``[]`` when the template is unsatisfiable.
+        """
+        if not t.satisfiable(env, self.domains):
+            return []
+        finite_vars = [
+            name
+            for name in sorted(t.variables())
+            if name not in env and self.domains[name].is_finite()
+        ]
+        if not finite_vars:
+            return [env]
+        outs: list[dict[str, Value]] = []
+
+        def expand(i: int, cur: dict[str, Value]) -> None:
+            if i == len(finite_vars):
+                if t.satisfiable(cur, self.domains):
+                    outs.append(cur)
+                return
+            name = finite_vars[i]
+            for v in self.domains[name].enumerate_finite():
+                nxt = dict(cur)
+                nxt[name] = v
+                expand(i + 1, nxt)
+
+        expand(0, dict(env))
+        return outs
+
+    def accepting(self, configs: Iterable[Config]) -> bool:
+        return any(c.state == self.accept for c in configs)
+
+    def any_live(self, configs: Iterable[Config]) -> bool:
+        return any(self.live(c) for c in configs)
+
+
+# ----------------------------------------------------------------------
+# compilation
+# ----------------------------------------------------------------------
+
+
+def compile_regex(
+    regex: Regex, free_domains: dict[str, Sort] | None = None
+) -> SymbolicNFA:
+    """Compile a regex to a :class:`SymbolicNFA`.
+
+    ``free_domains`` supplies domains for variables bound *outside* the
+    regex (quantifier variables); variables bound by :class:`Bind` get
+    their domains from the binder.  Every variable must be covered by one
+    or the other, and ``Bind`` may not shadow an enclosing binding.
+    """
+    free = dict(free_domains or {})
+    domains = dict(free)
+
+    def collect(node: Regex, active: frozenset[str]) -> None:
+        if isinstance(node, Bind):
+            name = node.var.name
+            if name in active or name in free:
+                raise RegexError(f"binder {name!r} shadows an enclosing binding")
+            if name in domains and domains[name] != node.sort:
+                raise RegexError(
+                    f"binder {name!r} bound with two different sorts"
+                )
+            domains[name] = node.sort
+            collect(node.body, active | {name})
+            return
+        if isinstance(node, Atom):
+            for v in node.template.variables():
+                if v not in active and v not in free:
+                    raise RegexError(f"variable {v!r} is unbound in {node}")
+            return
+        for child in node.children():
+            collect(child, active)
+
+    collect(regex, frozenset())
+
+    nfa = SymbolicNFA(domains)
+    outer = frozenset(free)
+
+    def build(node: Regex, active: frozenset[str]) -> tuple[int, int]:
+        if isinstance(node, Eps):
+            s = nfa.new_state(active)
+            a = nfa.new_state(active)
+            nfa.add_eps(s, a)
+            return s, a
+        if isinstance(node, Atom):
+            s = nfa.new_state(active)
+            a = nfa.new_state(active)
+            nfa.add_trans(s, node.template, a)
+            return s, a
+        if isinstance(node, Seq):
+            s, a = build(node.parts[0], active)
+            for part in node.parts[1:]:
+                s2, a2 = build(part, active)
+                nfa.add_eps(a, s2)
+                a = a2
+            return s, a
+        if isinstance(node, Alt):
+            s = nfa.new_state(active)
+            a = nfa.new_state(active)
+            for part in node.parts:
+                ps, pa = build(part, active)
+                nfa.add_eps(s, ps)
+                nfa.add_eps(pa, a)
+            return s, a
+        if isinstance(node, Star):
+            s = nfa.new_state(active)
+            a = nfa.new_state(active)
+            bs, ba = build(node.body, active)
+            nfa.add_eps(s, bs)
+            nfa.add_eps(ba, a)
+            nfa.add_eps(s, a)
+            nfa.add_eps(ba, bs)
+            return s, a
+        if isinstance(node, Plus):
+            s = nfa.new_state(active)
+            a = nfa.new_state(active)
+            bs, ba = build(node.body, active)
+            nfa.add_eps(s, bs)
+            nfa.add_eps(ba, a)
+            nfa.add_eps(ba, bs)
+            return s, a
+        if isinstance(node, Opt):
+            s = nfa.new_state(active)
+            a = nfa.new_state(active)
+            bs, ba = build(node.body, active)
+            nfa.add_eps(s, bs)
+            nfa.add_eps(ba, a)
+            nfa.add_eps(s, a)
+            return s, a
+        if isinstance(node, Bind):
+            # Wrapper states keep the binder *inactive* outside the body:
+            # the ε-edge into the body activates it (unbound), and the
+            # ε-edge out releases it — so a surrounding Star rebinds per
+            # traversal, as in the paper.
+            s = nfa.new_state(active)
+            a = nfa.new_state(active)
+            bs, ba = build(node.body, active | {node.var.name})
+            nfa.add_eps(s, bs)
+            nfa.add_eps(ba, a)
+            return s, a
+        raise RegexError(f"unknown regex node: {node!r}")
+
+    s, a = build(regex, outer)
+    nfa.start = s
+    nfa.accept = a
+    return nfa

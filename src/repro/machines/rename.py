@@ -1,0 +1,58 @@
+"""Renaming machines: run a predicate on a value-renamed trace.
+
+Object identities are first-class in the formalism, so *renaming* —
+substituting identities consistently — is the natural notion of spec
+reuse ("the same controller protocol, for a different server object").
+``RenameMachine(inverse, m)`` accepts a trace ``h`` iff ``m`` accepts
+``h`` with every value mapped through ``inverse`` — i.e. it is the image
+of ``m``'s trace set under the forward renaming.
+"""
+
+from __future__ import annotations
+
+from typing import Hashable, Mapping
+
+from repro.core.events import Event
+from repro.core.values import Value
+
+from repro.machines.base import TraceMachine
+
+__all__ = ["RenameMachine", "rename_event"]
+
+
+def rename_event(event: Event, mapping: Mapping[Value, Value]) -> Event:
+    """Apply a value renaming to all positions of an event."""
+    caller = mapping.get(event.caller, event.caller)
+    callee = mapping.get(event.callee, event.callee)
+    args = tuple(mapping.get(a, a) for a in event.args)
+    return Event(caller, callee, event.method, args)  # type: ignore[arg-type]
+
+
+class RenameMachine(TraceMachine):
+    """The inner machine, seen through a value renaming.
+
+    ``inverse`` maps *new* names back to the names the inner machine was
+    written with; events are translated before each step.
+    """
+
+    def __init__(self, inverse: Mapping[Value, Value], inner: TraceMachine) -> None:
+        self.inverse = dict(inverse)
+        self.inner = inner
+
+    def initial(self) -> Hashable:
+        return self.inner.initial()
+
+    def step(self, state: Hashable, event: Event) -> Hashable:
+        return self.inner.step(state, rename_event(event, self.inverse))
+
+    def ok(self, state: Hashable) -> bool:
+        return self.inner.ok(state)
+
+    def mentioned_values(self) -> frozenset:
+        forward = {old: new for new, old in self.inverse.items()}
+        return frozenset(
+            forward.get(v, v) for v in self.inner.mentioned_values()
+        )
+
+    def __repr__(self) -> str:
+        return f"RenameMachine({self.inverse!r}, {self.inner!r})"

@@ -1,0 +1,32 @@
+"""OUN-style textual notation for specifications (the paper's "syntactic
+coating"): lexer, parser, and elaborator to core specifications."""
+
+from repro.oun.elaborate import InvolvesFilter, elaborate, load_specifications
+from repro.oun.lexer import Token, tokenize
+from repro.oun.parser import (
+    Assertion,
+    CompositionDecl,
+    Document,
+    SpecDecl,
+    parse_document,
+)
+from repro.oun.printer import format_constraint, format_document
+from repro.oun.verify import AssertionOutcome, verify_document, verify_text
+
+__all__ = [
+    "InvolvesFilter",
+    "elaborate",
+    "load_specifications",
+    "Token",
+    "tokenize",
+    "Assertion",
+    "CompositionDecl",
+    "Document",
+    "SpecDecl",
+    "parse_document",
+    "format_constraint",
+    "format_document",
+    "AssertionOutcome",
+    "verify_document",
+    "verify_text",
+]

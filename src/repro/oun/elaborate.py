@@ -1,0 +1,292 @@
+"""Elaboration: OUN document AST → core specifications.
+
+Resolves declared names (objects, sorts, methods), builds symbolic
+alphabets from the ``alphabet`` entries, and compiles ``traces``
+constraints to trace machines:
+
+* ``prs "…"``  → :class:`~repro.machines.regex.machine.PrsMachine`
+  (the embedded regex is parsed with the specification's symbol/method
+  tables and the enclosing ``forall`` variables as free variables);
+* ``forall x : S . P``  → :class:`~repro.machines.quantifier.ForallMachine`;
+* ``only x``  → :class:`~repro.machines.projection.OnlyMachine`
+  (the paper's ``h/x = h``);
+* linear count constraints → one-counter
+  :class:`~repro.machines.counting.CountingMachine` (the weighted-sum
+  counter keeps reachable state spaces finite, see that module);
+* ``and`` / ``or`` / ``not`` / ``true``  → boolean machines.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.alphabet import Alphabet
+from repro.core.composition import compose
+from repro.core.errors import CompositionError, OUNElaborationError
+from repro.core.events import Event
+from repro.core.patterns import EventPattern
+from repro.core.sorts import DATA, OBJ, Sort
+from repro.core.specification import Specification, component_spec
+from repro.core.values import ObjectId, Value
+from repro.machines.base import TraceMachine
+from repro.machines.boolean import AndMachine, NotMachine, OrMachine, TrueMachine
+from repro.machines.counting import CounterDef, CountingMachine, Linear
+from repro.machines.projection import OnlyMachine
+from repro.machines.quantifier import ForallMachine
+from repro.machines.regex.machine import PrsMachine
+from repro.machines.regex.parse import parse_regex
+from repro.oun.parser import (
+    AlphabetEntry,
+    CAnd,
+    CForall,
+    CLinear,
+    CNot,
+    COnly,
+    COr,
+    CPrs,
+    CTrue,
+    Document,
+    SpecDecl,
+    parse_document,
+)
+
+__all__ = ["elaborate", "load_specifications", "InvolvesFilter"]
+
+
+@dataclass(frozen=True, slots=True)
+class InvolvesFilter:
+    """The events involving a fixed object — the ``S`` of ``h/S = h``."""
+
+    value: ObjectId
+
+    def contains(self, e: Event) -> bool:
+        return e.involves(self.value)
+
+    def mentioned_values(self) -> frozenset[Value]:
+        return frozenset((self.value,))
+
+    def __repr__(self) -> str:
+        return f"InvolvesFilter({self.value})"
+
+
+class _Scope:
+    """Resolved global declarations of a document."""
+
+    def __init__(self, doc: Document) -> None:
+        self.objects: dict[str, ObjectId] = {
+            name: ObjectId(name) for name in doc.objects
+        }
+        self.sorts: dict[str, Sort] = {"Obj": OBJ, "Data": DATA}
+        for decl in doc.sorts:
+            base = self.sorts.get(decl.base)
+            if base is None:
+                raise OUNElaborationError(
+                    f"sort {decl.name!r}: unknown base sort {decl.base!r}"
+                )
+            removed = []
+            for name in decl.removed:
+                o = self.objects.get(name)
+                if o is None:
+                    raise OUNElaborationError(
+                        f"sort {decl.name!r}: unknown object {name!r}"
+                    )
+                removed.append(o)
+            if decl.name in self.sorts:
+                raise OUNElaborationError(f"sort {decl.name!r} redeclared")
+            self.sorts[decl.name] = base.without(*removed)
+
+    def symbols(self) -> dict:
+        table: dict = dict(self.sorts)
+        table.update(self.objects)
+        return table
+
+
+def _resolve_sort(scope: _Scope, name: str, context: str) -> Sort:
+    sort = scope.sorts.get(name)
+    if sort is None:
+        raise OUNElaborationError(f"{context}: unknown sort {name!r}")
+    return sort
+
+
+def _entry_pattern(
+    scope: _Scope, spec: SpecDecl, entry: AlphabetEntry, sigs: dict
+) -> EventPattern:
+    bindings = dict(entry.bindings)
+
+    def resolve_endpoint(name: str) -> Sort:
+        if name in bindings:
+            return _resolve_sort(scope, bindings[name], f"binding {name!r}")
+        if name in scope.objects:
+            return Sort.values(scope.objects[name])
+        if name in scope.sorts:
+            return scope.sorts[name]
+        raise OUNElaborationError(
+            f"alphabet of {spec.name!r}: unresolved endpoint {name!r}"
+        )
+
+    caller = resolve_endpoint(entry.caller)
+    callee = resolve_endpoint(entry.callee)
+    sig = sigs.get(entry.method)
+    if sig is None:
+        raise OUNElaborationError(
+            f"alphabet of {spec.name!r}: undeclared method {entry.method!r}"
+        )
+    declared = entry.args if entry.args is not None else ("_",) * len(sig)
+    if len(declared) != len(sig):
+        raise OUNElaborationError(
+            f"alphabet of {spec.name!r}: method {entry.method!r} has "
+            f"{len(sig)} parameter(s), entry supplies {len(declared)}"
+        )
+    args: list[Sort] = []
+    for pos, arg_sort in zip(declared, sig):
+        if pos == "_":
+            args.append(arg_sort)
+        elif pos in bindings:
+            bound = _resolve_sort(scope, bindings[pos], f"binding {pos!r}")
+            args.append(bound.intersection(arg_sort))
+        elif pos in scope.objects:
+            args.append(Sort.values(scope.objects[pos]))
+        elif pos in scope.sorts:
+            args.append(scope.sorts[pos].intersection(arg_sort))
+        else:
+            raise OUNElaborationError(
+                f"alphabet of {spec.name!r}: unresolved argument {pos!r}"
+            )
+    return EventPattern(caller, callee, entry.method, tuple(args))
+
+
+def _build_machine(
+    scope: _Scope,
+    spec: SpecDecl,
+    node,
+    sigs: dict,
+    free_sorts: dict[str, Sort],
+    free_env: dict[str, Value],
+) -> TraceMachine:
+    if isinstance(node, CTrue):
+        return TrueMachine()
+    if isinstance(node, CPrs):
+        regex = parse_regex(
+            node.regex_text,
+            symbols=scope.symbols(),
+            methods=sigs,
+            free_vars=free_sorts,
+        )
+        return PrsMachine(regex, free_domains=free_sorts, free_env=free_env)
+    if isinstance(node, CForall):
+        sort = _resolve_sort(scope, node.sort, f"forall {node.var}")
+        if node.var in free_sorts:
+            raise OUNElaborationError(
+                f"forall variable {node.var!r} shadows an enclosing binding"
+            )
+        inner_sorts = dict(free_sorts)
+        inner_sorts[node.var] = sort
+
+        def factory(v: Value) -> TraceMachine:
+            env = dict(free_env)
+            env[node.var] = v
+            return _build_machine(scope, spec, node.body, sigs, inner_sorts, env)
+
+        return ForallMachine(sort, factory)
+    if isinstance(node, COnly):
+        o = scope.objects.get(node.name)
+        if o is None:
+            raise OUNElaborationError(
+                f"'only {node.name}': unknown object {node.name!r}"
+            )
+        return OnlyMachine(InvolvesFilter(o))
+    if isinstance(node, CLinear):
+        counter = CounterDef(node.terms)
+        return CountingMachine((counter,), Linear((1,), -node.rhs, node.op))
+    if isinstance(node, CAnd):
+        return AndMachine(
+            tuple(
+                _build_machine(scope, spec, p, sigs, free_sorts, free_env)
+                for p in node.parts
+            )
+        )
+    if isinstance(node, COr):
+        return OrMachine(
+            tuple(
+                _build_machine(scope, spec, p, sigs, free_sorts, free_env)
+                for p in node.parts
+            )
+        )
+    if isinstance(node, CNot):
+        return NotMachine(
+            _build_machine(scope, spec, node.part, sigs, free_sorts, free_env)
+        )
+    raise OUNElaborationError(f"unknown constraint node {node!r}")
+
+
+def elaborate(doc: Document) -> dict[str, Specification]:
+    """Resolve a document into named core specifications.
+
+    Named compositions (``composition C = A || B``) are built after all
+    ``specification`` blocks and may reference earlier compositions; the
+    composability check of Definition 10 applies and failures surface as
+    :class:`OUNElaborationError`.
+    """
+    scope = _Scope(doc)
+    out: dict[str, Specification] = {}
+    for spec in doc.specifications:
+        if spec.name in out:
+            raise OUNElaborationError(f"specification {spec.name!r} redeclared")
+        objects = []
+        for name in spec.objects:
+            o = scope.objects.get(name)
+            if o is None:
+                raise OUNElaborationError(
+                    f"specification {spec.name!r}: undeclared object {name!r}"
+                )
+            objects.append(o)
+        sigs: dict[str, tuple[Sort, ...]] = {}
+        for m in spec.methods:
+            if m.name in sigs:
+                raise OUNElaborationError(
+                    f"specification {spec.name!r}: method {m.name!r} redeclared"
+                )
+            sigs[m.name] = tuple(
+                _resolve_sort(scope, s, f"method {m.name!r}") for s in m.arg_sorts
+            )
+        alphabet = Alphabet.of(
+            *(_entry_pattern(scope, spec, e, sigs) for e in spec.alphabet)
+        )
+        machine = _build_machine(scope, spec, spec.traces, sigs, {}, {})
+        if isinstance(machine, TrueMachine):
+            out[spec.name] = component_spec(spec.name, objects, alphabet)
+        else:
+            out[spec.name] = component_spec(
+                spec.name, objects, alphabet, machine
+            )
+    for comp in doc.compositions:
+        if comp.name in out:
+            raise OUNElaborationError(
+                f"composition {comp.name!r} redeclares an existing name"
+            )
+        parts = []
+        for part_name in comp.parts:
+            part = out.get(part_name)
+            if part is None:
+                raise OUNElaborationError(
+                    f"composition {comp.name!r}: unknown specification "
+                    f"{part_name!r}"
+                )
+            parts.append(part)
+        try:
+            built = parts[0]
+            for part in parts[1:]:
+                built = compose(built, part)
+        except CompositionError as exc:
+            raise OUNElaborationError(
+                f"composition {comp.name!r}: {exc}"
+            ) from exc
+        out[comp.name] = Specification(
+            comp.name, built.objects, built.alphabet, built.traces
+        )
+    return out
+
+
+def load_specifications(text: str) -> dict[str, Specification]:
+    """Parse and elaborate an OUN document in one step."""
+    return elaborate(parse_document(text))

@@ -1,0 +1,107 @@
+"""Lexer for the OUN-style specification notation.
+
+The paper defers concrete syntax to the OUN language ("the notation
+proposed here can be augmented with further syntactic coating", Section 9);
+this package provides that coating.  The lexer produces a flat token
+stream with line/column positions for error reporting.
+
+Token kinds: ``ident``, ``int``, ``string`` (double-quoted, used for
+embedded trace regexes), punctuation (single characters plus the
+multi-character comparators ``<=``, ``>=``, ``!=``), and ``eof``.
+Comments run from ``//`` to end of line.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.errors import OUNSyntaxError
+
+__all__ = ["Token", "tokenize"]
+
+_PUNCT2 = ("<=", ">=", "!=")
+_PUNCT1 = "{}()<>,.:;=\\|*+?#-_/"
+
+
+@dataclass(frozen=True, slots=True)
+class Token:
+    kind: str  # "ident" | "int" | "string" | punctuation | "eof"
+    text: str
+    line: int
+    column: int
+
+    def __str__(self) -> str:
+        return self.text or "<eof>"
+
+
+def tokenize(source: str) -> list[Token]:
+    tokens: list[Token] = []
+    i = 0
+    line = 1
+    col = 1
+    n = len(source)
+
+    def advance(k: int) -> None:
+        nonlocal i, line, col
+        for _ in range(k):
+            if i < n and source[i] == "\n":
+                line += 1
+                col = 1
+            else:
+                col += 1
+            i += 1
+
+    while i < n:
+        ch = source[i]
+        if ch in " \t\r\n":
+            advance(1)
+            continue
+        if source.startswith("//", i):
+            while i < n and source[i] != "\n":
+                advance(1)
+            continue
+        start_line, start_col = line, col
+        if ch == '"':
+            j = i + 1
+            while j < n and source[j] != '"':
+                if source[j] == "\n":
+                    raise OUNSyntaxError(
+                        "unterminated string literal", start_line, start_col
+                    )
+                j += 1
+            if j >= n:
+                raise OUNSyntaxError(
+                    "unterminated string literal", start_line, start_col
+                )
+            text = source[i + 1 : j]
+            advance(j + 1 - i)
+            tokens.append(Token("string", text, start_line, start_col))
+            continue
+        if ch.isalpha():
+            j = i
+            while j < n and (source[j].isalnum() or source[j] in "_'"):
+                j += 1
+            text = source[i:j]
+            advance(j - i)
+            tokens.append(Token("ident", text, start_line, start_col))
+            continue
+        if ch.isdigit():
+            j = i
+            while j < n and source[j].isdigit():
+                j += 1
+            text = source[i:j]
+            advance(j - i)
+            tokens.append(Token("int", text, start_line, start_col))
+            continue
+        two = source[i : i + 2]
+        if two in _PUNCT2:
+            advance(2)
+            tokens.append(Token(two, two, start_line, start_col))
+            continue
+        if ch in _PUNCT1:
+            advance(1)
+            tokens.append(Token(ch, ch, start_line, start_col))
+            continue
+        raise OUNSyntaxError(f"unexpected character {ch!r}", line, col)
+    tokens.append(Token("eof", "", line, col))
+    return tokens

@@ -1,0 +1,145 @@
+"""Pretty-printer for OUN documents: AST → canonical source text.
+
+``format_document(parse_document(text))`` produces a canonically laid-out
+document that parses back to the *same AST* — the round-trip property the
+test suite checks.  Useful as a formatter (``python -m repro parse FILE
+--format``) and for generating documents programmatically.
+"""
+
+from __future__ import annotations
+
+from repro.oun.parser import (
+    AlphabetEntry,
+    Assertion,
+    CAnd,
+    CForall,
+    CLinear,
+    CNot,
+    COnly,
+    COr,
+    CPrs,
+    CTrue,
+    CompositionDecl,
+    Constraint,
+    Document,
+    MethodDecl,
+    SortDecl,
+    SpecDecl,
+)
+
+__all__ = ["format_document", "format_constraint"]
+
+
+def _format_sort(decl: SortDecl) -> str:
+    if decl.removed:
+        inner = ", ".join(decl.removed)
+        return f"sort {decl.name} = {decl.base} \\ {{ {inner} }}"
+    return f"sort {decl.name} = {decl.base}"
+
+
+def _format_method(decl: MethodDecl) -> str:
+    if decl.arg_sorts:
+        return f"{decl.name}({', '.join(decl.arg_sorts)})"
+    return decl.name
+
+
+def _format_entry(entry: AlphabetEntry) -> str:
+    call = entry.method
+    if entry.args is not None:
+        call += f"({', '.join(entry.args)})"
+    text = f"<{entry.caller}, {entry.callee}, {call}>"
+    if entry.bindings:
+        binds = ", ".join(f"{v} : {s}" for v, s in entry.bindings)
+        text += f" where {binds}"
+    return text + ";"
+
+
+def format_constraint(node: Constraint, parenthesise: bool = False) -> str:
+    """Render a trace constraint in parseable concrete syntax."""
+    if isinstance(node, CTrue):
+        return "true"
+    if isinstance(node, CPrs):
+        return f'prs "{node.regex_text}"'
+    if isinstance(node, CForall):
+        body = format_constraint(node.body, parenthesise=True)
+        text = f"forall {node.var} : {node.sort} . {body}"
+    elif isinstance(node, COnly):
+        return f"only {node.name}"
+    elif isinstance(node, CLinear):
+        # The concrete syntax writes weights as +/- separators with an
+        # (implicitly positive) leading term, so reorder a positive term
+        # to the front; other weight shapes are not expressible.
+        terms = list(node.terms)
+        if any(abs(w) != 1 for _, w in terms):
+            raise TypeError(f"count term weights beyond ±1 not printable: {node}")
+        positives = [t for t in terms if t[1] > 0]
+        if not positives:
+            raise TypeError(f"all-negative count constraint not printable: {node}")
+        terms.remove(positives[0])
+        terms.insert(0, positives[0])
+        lhs = f"#{terms[0][0]}"
+        for method, weight in terms[1:]:
+            lhs += f" {'+' if weight > 0 else '-'} #{method}"
+        op = "=" if node.op == "==" else node.op
+        text = f"{lhs} {op} {node.rhs}"
+    elif isinstance(node, CAnd):
+        text = " and ".join(
+            format_constraint(p, parenthesise=True) for p in node.parts
+        )
+    elif isinstance(node, COr):
+        text = " or ".join(
+            format_constraint(p, parenthesise=True) for p in node.parts
+        )
+    elif isinstance(node, CNot):
+        return f"not {format_constraint(node.part, parenthesise=True)}"
+    else:
+        raise TypeError(f"unknown constraint node {node!r}")
+    if parenthesise and isinstance(node, (CAnd, COr, CForall, CLinear)):
+        return f"({text})"
+    return text
+
+
+def _format_spec(spec: SpecDecl) -> str:
+    lines = [f"specification {spec.name} {{"]
+    lines.append(f"  objects {', '.join(spec.objects)}")
+    if spec.methods:
+        lines.append(
+            f"  method {', '.join(_format_method(m) for m in spec.methods)}"
+        )
+    lines.append("  alphabet {")
+    for entry in spec.alphabet:
+        lines.append(f"    {_format_entry(entry)}")
+    lines.append("  }")
+    lines.append(f"  traces {format_constraint(spec.traces)}")
+    lines.append("}")
+    return "\n".join(lines)
+
+
+def _format_composition(decl: CompositionDecl) -> str:
+    return f"composition {decl.name} = {' || '.join(decl.parts)}"
+
+
+def _format_assertion(decl: Assertion) -> str:
+    neg = "not " if decl.negated else ""
+    return f"assert {neg}{decl.left} {decl.kind} {decl.right}"
+
+
+def format_document(doc: Document) -> str:
+    """Render a whole document (see module docstring)."""
+    blocks: list[str] = []
+    if doc.objects:
+        blocks.append(f"object {', '.join(doc.objects)}")
+    for sort in doc.sorts:
+        blocks.append(_format_sort(sort))
+    for spec in doc.specifications:
+        blocks.append("")
+        blocks.append(_format_spec(spec))
+    if doc.compositions:
+        blocks.append("")
+        for comp in doc.compositions:
+            blocks.append(_format_composition(comp))
+    if doc.assertions:
+        blocks.append("")
+        for a in doc.assertions:
+            blocks.append(_format_assertion(a))
+    return "\n".join(blocks).strip() + "\n"

@@ -1,0 +1,109 @@
+"""Verifying OUN document assertions.
+
+An OUN document may state its development claims next to its
+specifications::
+
+    assert Read2 refines Read
+    assert not RW refines Read2
+    composition System = Client || WriteAcc
+    assert System equals OKStream
+
+``verify_document`` elaborates the document and discharges every
+assertion with the checker, returning one outcome per assertion — the
+same develop-and-check loop the paper envisions for OUN, in one file.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.checker.equality import trace_sets_equal
+from repro.checker.refinement import check_refinement
+from repro.checker.result import CheckResult
+from repro.checker.universe import FiniteUniverse
+from repro.core.errors import OUNElaborationError
+from repro.core.specification import Specification
+from repro.oun.parser import Assertion, Document, parse_document
+
+__all__ = ["AssertionOutcome", "verify_document", "verify_text"]
+
+
+@dataclass(frozen=True, slots=True)
+class AssertionOutcome:
+    """One discharged assertion."""
+
+    assertion: Assertion
+    result: CheckResult
+    passed: bool
+
+    def describe(self) -> str:
+        a = self.assertion
+        neg = "not " if a.negated else ""
+        status = "ok" if self.passed else "FAILED"
+        return (
+            f"assert {neg}{a.left} {a.kind} {a.right} "
+            f"(line {a.line}): {status} — {self.result.explain()}"
+        )
+
+
+def _discharge(
+    assertion: Assertion,
+    specs: dict[str, Specification],
+    env_objects: int,
+    data_values: int,
+    strategy: str,
+) -> AssertionOutcome:
+    left = specs.get(assertion.left)
+    right = specs.get(assertion.right)
+    missing = [
+        name
+        for name, spec in ((assertion.left, left), (assertion.right, right))
+        if spec is None
+    ]
+    if missing:
+        raise OUNElaborationError(
+            f"assertion on line {assertion.line}: unknown specification(s) "
+            f"{', '.join(repr(m) for m in missing)}"
+        )
+    universe = FiniteUniverse.for_specs(
+        left, right, env_objects=env_objects, data_values=data_values
+    )
+    if assertion.kind == "refines":
+        result = check_refinement(left, right, universe, strategy=strategy)
+    else:
+        result = trace_sets_equal(left, right, universe)
+    passed = result.holds != assertion.negated
+    return AssertionOutcome(assertion, result, passed)
+
+
+def verify_document(
+    doc: Document,
+    specs: dict[str, Specification] | None = None,
+    env_objects: int = 2,
+    data_values: int = 1,
+    strategy: str = "auto",
+) -> list[AssertionOutcome]:
+    """Discharge every assertion of an (already parsed) document."""
+    if specs is None:
+        from repro.oun.elaborate import elaborate
+
+        specs = elaborate(doc)
+    return [
+        _discharge(a, specs, env_objects, data_values, strategy)
+        for a in doc.assertions
+    ]
+
+
+def verify_text(
+    text: str,
+    env_objects: int = 2,
+    data_values: int = 1,
+    strategy: str = "auto",
+) -> list[AssertionOutcome]:
+    """Parse, elaborate, and verify an OUN document in one step."""
+    return verify_document(
+        parse_document(text),
+        env_objects=env_objects,
+        data_values=data_values,
+        strategy=strategy,
+    )

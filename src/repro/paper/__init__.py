@@ -1,0 +1,15 @@
+"""The paper's worked examples and numbered claims, as library objects."""
+
+from repro.paper.claims import build_obligations, lemma13_component, okflow_spec
+from repro.paper.specs import CAST, PaperCast
+from repro.paper.upgrade import UPGRADE, UpgradeCast
+
+__all__ = [
+    "CAST",
+    "PaperCast",
+    "UPGRADE",
+    "UpgradeCast",
+    "build_obligations",
+    "lemma13_component",
+    "okflow_spec",
+]

@@ -1,0 +1,343 @@
+"""The claims registry: every numbered claim and worked example of the paper
+as a machine-checked obligation.
+
+``build_obligations()`` returns the full list; running it through a
+:class:`~repro.checker.obligations.ProofSession` replays the paper's PVS
+verification in this library (see ``examples/run_paper_claims.py``, which
+renders the table recorded in EXPERIMENTS.md).
+
+Positive claims (theorems, refinements the paper asserts) carry
+``expected=True``; deliberate non-results the paper points out ("RW does
+not refine Read2", "the conclusion of Theorem 16 fails without
+properness") carry ``expected=False`` and *agree* when the checker refutes
+them.
+"""
+
+from __future__ import annotations
+
+from repro.checker.equality import specs_equal, trace_sets_equal
+from repro.checker.laws import (
+    law_lemma6,
+    law_lemma13,
+    law_lemma15,
+    law_property5,
+    law_property12,
+    law_property17,
+    law_theorem7,
+    law_theorem16,
+    law_theorem18,
+)
+from repro.checker.obligations import Obligation
+from repro.checker.refinement import check_refinement
+from repro.checker.result import CheckResult, Verdict
+from repro.checker.universe import FiniteUniverse
+from repro.core.alphabet import Alphabet
+from repro.core.component import Component, SemanticObject
+from repro.core.composition import compose
+from repro.core.internal import InternalEvents
+from repro.core.patterns import pattern
+from repro.core.sorts import OBJ, Sort
+from repro.core.specification import Specification, interface_spec
+from repro.core.tracesets import MachineTraceSet
+from repro.core.traces import Trace
+from repro.machines.regex.machine import PrsMachine
+from repro.machines.regex.parse import parse_regex
+from repro.paper.specs import PaperCast
+from repro.paper.upgrade import UpgradeCast
+
+__all__ = ["build_obligations", "lemma13_component", "okflow_spec"]
+
+
+def okflow_spec(cast: PaperCast) -> Specification:
+    """A viewpoint of the client ``c``: it only ever emits OK to the monitor.
+
+    The callee sort excludes the controller ``o`` so that the viewpoint
+    stays composable with specifications of components containing ``o``
+    (an OK sent *to o* would be internal there, Definition 10).
+    """
+    alpha = Alphabet.of(
+        pattern(Sort.values(cast.c), OBJ.without(cast.c, cast.o), "OK")
+    )
+    regex = parse_regex(
+        "[<c,mon,OK>]*",
+        symbols={"c": cast.c, "mon": cast.mon},
+        methods={"OK": ()},
+    )
+    return interface_spec("OKFlow", cast.c, alpha, PrsMachine(regex))
+
+
+def lemma13_component(cast: PaperCast) -> Component:
+    """A two-object semantic component: the controller ``o`` running the RW
+    protocol and a client ``c`` that opens a write session, writes, closes,
+    and then confirms to the monitor (a WriteAcc-compatible client, so the
+    two protocols actually interact and the component produces OK traffic)."""
+    o_sem = SemanticObject(cast.o, cast.rw().traces.machine())
+    c_regex = parse_regex(
+        "[<c,o,OW> <c,o,W(_)> <c,o,CW> <c,mon,OK>]*",
+        symbols=cast.symbols(),
+        methods=cast.methods,
+    )
+    c_sem = SemanticObject(cast.c, PrsMachine(c_regex))
+    hint = cast.rw_alphabet().union(cast.client_alphabet())
+    return Component((o_sem, c_sem), hint)
+
+
+def build_obligations(
+    cast: PaperCast | None = None,
+    upgrade: UpgradeCast | None = None,
+    env_objects: int = 2,
+    data_values: int = 1,
+) -> list[Obligation]:
+    cast = cast or PaperCast()
+    upgrade = upgrade or UpgradeCast()
+
+    read, write = cast.read(), cast.write()
+    read2, rw = cast.read2(), cast.rw()
+    write_acc, client = cast.write_acc(), cast.client()
+    client2, rw2 = cast.client2(), cast.rw2()
+    server, upgraded = upgrade.server_spec(), upgrade.upgraded_spec()
+    up_client, nosy = upgrade.client_spec(), upgrade.nosy_client_spec()
+
+    def uni(*specs: Specification) -> FiniteUniverse:
+        return FiniteUniverse.for_specs(
+            *specs, env_objects=env_objects, data_values=data_values
+        )
+
+    obligations: list[Obligation] = []
+
+    def add(ident, title, check, expected=True, source=""):
+        obligations.append(Obligation(ident, title, check, expected, source))
+
+    # -- worked examples ---------------------------------------------------
+
+    def ex1():
+        # Read and Write are well-formed Definition 1 specifications and
+        # Write really serialises writers: an interleaved session is out.
+        x1, x2 = Sort.base("Obj").without(cast.o).witnesses(2)
+        bad = Trace.of(
+            cast.ev(x1, cast.o, "OW"), cast.ev(x2, cast.o, "W", cast.d("v"))
+        )
+        good = Trace.of(
+            cast.ev(x1, cast.o, "OW"),
+            cast.ev(x1, cast.o, "W", cast.d("v")),
+            cast.ev(x1, cast.o, "CW"),
+        )
+        ok = (
+            read.admits(good.filter(read.alphabet))
+            and write.admits(good)
+            and not write.admits(bad)
+        )
+        return CheckResult(
+            Verdict.PROVED if ok else Verdict.REFUTED,
+            note="Write admits a full session and rejects an interleaved one",
+        )
+
+    add("EX1", "Example 1: Read/Write well-formed and discriminating", ex1,
+        source="Example 1")
+    add(
+        "EX2",
+        "Example 2: Read2 ⊑ Read (alphabet expansion)",
+        lambda: check_refinement(read2, read, uni(read2, read)),
+        source="Example 2",
+    )
+    add(
+        "EX3a",
+        "Example 3: RW ⊑ Read",
+        lambda: check_refinement(rw, read, uni(rw, read)),
+        source="Example 3",
+    )
+    add(
+        "EX3b",
+        "Example 3: RW ⊑ Write",
+        lambda: check_refinement(rw, write, uni(rw, write)),
+        source="Example 3",
+    )
+    add(
+        "EX3c",
+        "Example 3: RW ⊑ Read2 fails (reads during write access)",
+        lambda: check_refinement(rw, read2, uni(rw, read2)),
+        expected=False,
+        source="Example 3",
+    )
+
+    def ex4():
+        comp = compose(client, write_acc)
+        ok_ev = cast.ev(cast.c, cast.mon, "OK")
+        # T(Client‖WriteAcc) = {h | h prs ⟨c,o',OK⟩*}: check as trace-set
+        # equality against a spec with exactly that trace set.
+        machine = PrsMachine(
+            parse_regex(
+                "[<c,mon,OK>]*",
+                symbols={"c": cast.c, "mon": cast.mon},
+                methods={"OK": ()},
+            )
+        )
+        oracle = Specification(
+            "OKOracle",
+            comp.objects,
+            comp.alphabet,
+            MachineTraceSet(comp.alphabet, machine),
+        )
+        return trace_sets_equal(comp, oracle, uni(client, write_acc))
+
+    add("EX4", "Example 4: T(Client‖WriteAcc) = prefixes of ⟨c,o',OK⟩*", ex4,
+        source="Example 4")
+
+    def ex5():
+        comp = compose(client2, write_acc)
+        machine = PrsMachine(
+            parse_regex(
+                "[<c,mon,OK>]?",
+                symbols={"c": cast.c, "mon": cast.mon},
+                methods={"OK": ()},
+            )
+        )
+        oracle = Specification(
+            "EpsOracle",
+            comp.objects,
+            comp.alphabet,
+            MachineTraceSet(comp.alphabet, machine),
+        )
+        # T(Client2‖WriteAcc) = {ε}: equal to the trace set containing only
+        # the empty trace — i.e. strictly smaller than even one OK.
+        u = uni(client2, write_acc)
+        eq = trace_sets_equal(comp, oracle, u)
+        if eq.holds:
+            return CheckResult(
+                Verdict.REFUTED, note="composition admits an OK; no deadlock"
+            )
+        # the distinguishing trace must be the single OK (present in the
+        # oracle, absent from the deadlocked composition)
+        cex = eq.counterexample
+        if cex is not None and len(cex) == 1 and not comp.admits(cex):
+            return CheckResult(
+                Verdict.PROVED,
+                note="composition admits only ε (deadlock introduced by "
+                "refining Client into Client2)",
+            )
+        return CheckResult(Verdict.UNKNOWN, note=f"unexpected witness {cex}")
+
+    add("EX5", "Example 5: Client2‖WriteAcc deadlocks (T = {ε})", ex5,
+        source="Example 5")
+    add(
+        "EX6a",
+        "Example 6: RW2 ⊑ WriteAcc",
+        lambda: check_refinement(rw2, write_acc, uni(rw2, write_acc)),
+        source="Example 6",
+    )
+    add(
+        "EX6b",
+        "Example 6: RW2 ⊑ RW",
+        lambda: check_refinement(rw2, rw, uni(rw2, rw)),
+        source="Example 6",
+    )
+    add(
+        "EX6c",
+        "Example 6: T(RW2‖Client) = T(WriteAcc‖Client)",
+        lambda: trace_sets_equal(
+            compose(rw2, client), compose(write_acc, client),
+            uni(rw2, write_acc, client),
+        ),
+        source="Example 6",
+    )
+
+    # -- Figure 1 -----------------------------------------------------------
+
+    def fig1():
+        # Two partial interface specs of o1 and o2; events between the two
+        # objects exist that are in F only, in G only, and in neither —
+        # all are hidden by composition.
+        o1, o2 = server.the_object(), up_client.the_object()
+        comp = compose(server, up_client)
+        internal = InternalEvents.square({o1, o2})
+        w = comp.alphabet.internal_witness(internal)
+        if w is not None:
+            return CheckResult(
+                Verdict.REFUTED,
+                note=f"internal event {w} survived hiding",
+            )
+        return CheckResult(
+            Verdict.PROVED,
+            note="all o1↔o2 events hidden, including those outside both "
+            "alphabets",
+        )
+
+    add("FIG1", "Figure 1: composition hides all events between the objects",
+        fig1, source="Figure 1")
+
+    # -- numbered claims -----------------------------------------------------
+
+    add("P5", "Property 5: Γ‖Γ = Γ (idempotent self-composition)",
+        lambda: law_property5(write, uni(write)), source="Property 5")
+    add(
+        "L6",
+        "Lemma 6: Γ₁‖Γ₂ is the weakest common refinement",
+        lambda: law_lemma6(read, write, uni(read, write, rw), candidates=(rw,)),
+        source="Lemma 6",
+    )
+    add(
+        "T7",
+        "Theorem 7: compositional refinement (interfaces)",
+        lambda: law_theorem7(write, write_acc, client, uni(write, write_acc, client)),
+        source="Theorem 7",
+    )
+    add(
+        "P12",
+        "Property 12: ‖ commutative and associative",
+        lambda: law_property12(
+            write_acc, client, okflow_spec(cast),
+            uni(write_acc, client, okflow_spec(cast)),
+        ),
+        source="Property 12",
+    )
+    def l13():
+        from repro.checker.soundness import universe_for_component
+
+        comp = lemma13_component(cast)
+        okf = okflow_spec(cast)
+        # One fresh environment object keeps the ε-erasing subset
+        # construction small; the claim is insensitive to further growth
+        # (the component's members never talk to fresh objects).
+        u = universe_for_component(comp, okf, write, env_objects=1)
+        return law_lemma13(okf, write, comp, u)
+
+    add("L13", "Lemma 13: composition preserves soundness", l13,
+        source="Lemma 13")
+    add(
+        "L15",
+        "Lemma 15: hiding stability under properness",
+        lambda: law_lemma15(server, upgraded, up_client),
+        source="Lemma 15",
+    )
+    add(
+        "T16",
+        "Theorem 16: compositional refinement (components)",
+        lambda: law_theorem16(server, upgraded, up_client,
+                              uni(server, upgraded, up_client)),
+        source="Theorem 16",
+    )
+    add(
+        "T16n",
+        "Theorem 16 conclusion fails without properness",
+        lambda: check_refinement(
+            compose(upgraded, nosy), compose(server, nosy),
+            uni(server, upgraded, nosy),
+        ),
+        expected=False,
+        source="Definition 14 discussion",
+    )
+    add(
+        "P17",
+        "Property 17: composability preserved without new objects",
+        lambda: law_property17(write, write_acc, client),
+        source="Property 17",
+    )
+    add(
+        "T18",
+        "Theorem 18: compositional refinement without new objects",
+        lambda: law_theorem18(write, write_acc, client,
+                              uni(write, write_acc, client)),
+        source="Theorem 18",
+    )
+
+    return obligations

@@ -1,0 +1,275 @@
+"""The paper's specifications (Examples 1–6) as library objects.
+
+The cast of characters:
+
+* ``o``  — the read/write access controller (Examples 1–3, 6),
+* ``c``  — the write client (Examples 4–6),
+* ``mon`` — the monitor object ``o'`` receiving ``OK`` confirmations,
+* ``Objects`` — the environment sort of each specification (``Obj`` minus
+  the specification's own objects),
+* ``Data`` — the data sort carried by ``R``/``W`` parameters.
+
+Every function returns a fresh :class:`~repro.core.specification.Specification`
+(machines are stateless between runs, but sharing machine *instances*
+across tests could share liveness caches; fresh objects keep benchmarks
+honest).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.core.alphabet import Alphabet
+from repro.core.events import Event, call
+from repro.core.patterns import pattern
+from repro.core.sorts import DATA, OBJ, Sort
+from repro.core.specification import Specification, interface_spec
+from repro.core.values import DataVal, ObjectId, obj
+from repro.machines.boolean import AndMachine
+from repro.machines.counting import (
+    CondAnd,
+    CondOr,
+    CountingMachine,
+    Linear,
+    difference_counter,
+)
+from repro.machines.projection import OnlyMachine
+from repro.machines.quantifier import ForallMachine
+from repro.machines.regex.machine import PrsMachine
+from repro.machines.regex.parse import parse_regex
+
+__all__ = ["PaperCast", "CAST"]
+
+
+@dataclass(frozen=True)
+class PaperCast:
+    """Object identities and sorts shared by the paper's examples."""
+
+    o: ObjectId = field(default_factory=lambda: obj("o"))
+    c: ObjectId = field(default_factory=lambda: obj("c"))
+    mon: ObjectId = field(default_factory=lambda: obj("o'"))
+
+    # -- sorts -------------------------------------------------------------
+
+    @property
+    def objects_of_o(self) -> Sort:
+        """``Objects``: the environment of ``o`` (Obj minus o)."""
+        return OBJ.without(self.o)
+
+    @property
+    def objects_of_c(self) -> Sort:
+        """The environment of the client ``c``."""
+        return OBJ.without(self.c)
+
+    # -- event helpers -------------------------------------------------------
+
+    def ev(self, caller: ObjectId, callee: ObjectId, method: str, *args) -> Event:
+        return call(caller, callee, method, *args)
+
+    def d(self, label: str) -> DataVal:
+        return DataVal("Data", label)
+
+    # -- method signature table (for the regex parser) -----------------------
+
+    @property
+    def methods(self) -> dict[str, tuple[Sort, ...]]:
+        return {
+            "R": (DATA,),
+            "W": (DATA,),
+            "OR": (),
+            "CR": (),
+            "OW": (),
+            "CW": (),
+            "OK": (),
+        }
+
+    def symbols(self) -> dict:
+        return {
+            "o": self.o,
+            "c": self.c,
+            "mon": self.mon,
+            "Objects": self.objects_of_o,
+            "Data": DATA,
+        }
+
+    # ------------------------------------------------------------------
+    # Example 1: Read and Write
+    # ------------------------------------------------------------------
+
+    def read(self) -> Specification:
+        """``Read``: concurrent read access, unconstrained trace set."""
+        alpha = Alphabet.of(
+            pattern(self.objects_of_o, Sort.values(self.o), "R", DATA)
+        )
+        return interface_spec("Read", self.o, alpha)
+
+    def write_alphabet(self) -> Alphabet:
+        env, srv = self.objects_of_o, Sort.values(self.o)
+        return Alphabet.of(
+            pattern(env, srv, "OW"),
+            pattern(env, srv, "CW"),
+            pattern(env, srv, "W", DATA),
+        )
+
+    def write(self) -> Specification:
+        """``Write``: exclusive write sessions per caller (binding operator)."""
+        regex = parse_regex(
+            "[[<x,o,OW> <x,o,W(_)>* <x,o,CW>] . x : Objects]*",
+            symbols=self.symbols(),
+            methods=self.methods,
+        )
+        return interface_spec(
+            "Write", self.o, self.write_alphabet(), PrsMachine(regex)
+        )
+
+    # ------------------------------------------------------------------
+    # Example 2: Read2 (refines Read with alphabet expansion)
+    # ------------------------------------------------------------------
+
+    def read2_alphabet(self) -> Alphabet:
+        env, srv = self.objects_of_o, Sort.values(self.o)
+        return Alphabet.of(
+            pattern(env, srv, "OR"),
+            pattern(env, srv, "CR"),
+            pattern(env, srv, "R", DATA),
+        )
+
+    def read2(self) -> Specification:
+        """``Read2``: per-caller read sessions, concurrency allowed."""
+        body = parse_regex(
+            "[<x,o,OR> <x,o,R(_)>* <x,o,CR>]*",
+            symbols=self.symbols(),
+            methods=self.methods,
+            free_vars={"x": self.objects_of_o},
+        )
+        machine = ForallMachine(
+            self.objects_of_o,
+            lambda v: PrsMachine(body, free_env={"x": v}),
+        )
+        return interface_spec("Read2", self.o, self.read2_alphabet(), machine)
+
+    # ------------------------------------------------------------------
+    # Example 3: RW (merges Write and Read2)
+    # ------------------------------------------------------------------
+
+    def rw_alphabet(self) -> Alphabet:
+        return self.write_alphabet().union(self.read2_alphabet())
+
+    def prw1_machine(self) -> ForallMachine:
+        """``P_RW1``: ∀x : h/x prs [OW [W|R]* CW | OR R* CR]*."""
+        body = parse_regex(
+            "[OW [W | R]* CW | OR R* CR]*",
+            symbols=self.symbols(),
+            methods=self.methods,
+        )
+        return ForallMachine(
+            self.objects_of_o, lambda v: PrsMachine(body)
+        )
+
+    def prw2_machine(self) -> CountingMachine:
+        """``P_RW2``: no open writer with open readers; at most one writer.
+
+        Difference counters ``(OW−CW, OR−CR)``; condition
+        ``(OW−CW = 0 ∨ OR−CR = 0) ∧ OW−CW ≤ 1``.  Differences (rather than
+        raw totals) keep the reachable state space finite in conjunction
+        with ``P_RW1``, enabling exact DFA compilation.
+        """
+        return CountingMachine(
+            (
+                difference_counter("OW", "CW"),
+                difference_counter("OR", "CR"),
+            ),
+            CondAnd(
+                (
+                    CondOr(
+                        (
+                            Linear((1, 0), 0, "=="),
+                            Linear((0, 1), 0, "=="),
+                        )
+                    ),
+                    Linear((1, 0), -1, "<="),
+                )
+            ),
+        )
+
+    def rw(self) -> Specification:
+        """``RW``: exclusive write access, shared read access."""
+        machine = AndMachine((self.prw1_machine(), self.prw2_machine()))
+        return interface_spec("RW", self.o, self.rw_alphabet(), machine)
+
+    # ------------------------------------------------------------------
+    # Example 4: WriteAcc and Client
+    # ------------------------------------------------------------------
+
+    def write_acc(self) -> Specification:
+        """``WriteAcc``: Write with calls restricted to the client ``c``."""
+        regex = parse_regex(
+            "[<c,o,OW> <c,o,W(_)>* <c,o,CW>]*",
+            symbols=self.symbols(),
+            methods=self.methods,
+        )
+        return interface_spec(
+            "WriteAcc", self.o, self.write_alphabet(), PrsMachine(regex)
+        )
+
+    def client_alphabet(self) -> Alphabet:
+        cli, env = Sort.values(self.c), self.objects_of_c
+        return Alphabet.of(
+            pattern(cli, env, "W", DATA),
+            pattern(cli, env, "OK"),
+        )
+
+    def client(self) -> Specification:
+        """``Client``: write then confirm to the monitor, repeatedly.
+
+        ``Reg = ⟨c,o,W(_)⟩ ⟨c,o',OK⟩``; trace set ``h prs Reg*``.
+        """
+        regex = parse_regex(
+            "[<c,o,W(_)> <c,mon,OK>]*",
+            symbols=self.symbols(),
+            methods=self.methods,
+        )
+        return interface_spec(
+            "Client", self.c, self.client_alphabet(), PrsMachine(regex)
+        )
+
+    # ------------------------------------------------------------------
+    # Example 5: Client2 (introduces deadlock through refinement)
+    # ------------------------------------------------------------------
+
+    def client2(self) -> Specification:
+        """``Client2``: Client with OW *after* the write — wrong order."""
+        alpha = self.client_alphabet().union(
+            Alphabet.of(
+                pattern(Sort.values(self.c), Sort.values(self.o), "OW")
+            )
+        )
+        regex = parse_regex(
+            "[<c,o,W(_)> <c,mon,OK> <c,o,OW>]*",
+            symbols=self.symbols(),
+            methods=self.methods,
+        )
+        return interface_spec("Client2", self.c, alpha, PrsMachine(regex))
+
+    # ------------------------------------------------------------------
+    # Example 6: RW2 (RW restricted to the unique client c)
+    # ------------------------------------------------------------------
+
+    def rw2(self) -> Specification:
+        """``RW2``: RW plus the restriction ``h/c = h``."""
+
+        def involves_c(e: Event) -> bool:
+            return e.involves(self.c)
+
+        machine = AndMachine(
+            (
+                self.prw1_machine(),
+                self.prw2_machine(),
+                OnlyMachine(involves_c),
+            )
+        )
+        return interface_spec("RW2", self.o, self.rw_alphabet(), machine)
+
+
+#: A default, shared cast for examples and tests.
+CAST = PaperCast()

@@ -1,0 +1,164 @@
+"""A component-upgrade scenario exercising Sections 6–7.
+
+The paper's component-level results (composability, properness,
+Theorems 16/18) need refinements that *add objects* — the paper motivates
+them with functionality upgrades of components in open distributed
+systems.  The worked examples of Section 8 stay with interface
+specifications, so this module supplies the missing concrete instances:
+
+* ``server_spec``  (Γ)  — a request/acknowledge server ``s``;
+* ``upgraded_spec`` (Γ') — the server refined into a two-object component
+  ``{s, b}`` with an internal backend ``b`` and a new ``STATUS`` method —
+  alphabet expansion *and* object addition in one refinement step;
+* ``client_spec``  (Δ)  — a client ``d`` of the server, whose alphabet
+  mentions only ``s`` (so the upgrade is *proper* w.r.t. Δ);
+* ``nosy_client_spec`` (Δ̄) — a client whose alphabet accepts ``ACK`` from
+  *any* object, which makes the upgrade improper: composing hides the
+  ``⟨b,d,ACK⟩`` events that Δ̄ could see, and compositional refinement
+  genuinely fails (the paper's motivation for Definition 14).
+"""
+
+from __future__ import annotations
+
+from repro.core.alphabet import Alphabet
+from repro.core.patterns import pattern
+from repro.core.sorts import DATA, OBJ, Sort
+from repro.core.specification import Specification, component_spec, interface_spec
+from repro.core.values import ObjectId, obj
+from repro.machines.boolean import AndMachine
+from repro.machines.counting import (
+    CondAnd,
+    CountingMachine,
+    Linear,
+    difference_counter,
+)
+from repro.machines.quantifier import ForallMachine
+from repro.machines.regex.machine import PrsMachine
+from repro.machines.regex.parse import parse_regex
+
+__all__ = ["UpgradeCast", "UPGRADE"]
+
+
+class UpgradeCast:
+    """Objects and specifications of the upgrade scenario."""
+
+    def __init__(self) -> None:
+        self.s: ObjectId = obj("s")
+        self.b: ObjectId = obj("b")
+        self.d: ObjectId = obj("d")
+
+    # -- alphabets -----------------------------------------------------------
+
+    def server_alphabet(self) -> Alphabet:
+        # The backend identity b is *fresh*: Section 3 notes that objects
+        # added by a refinement cannot be in the communication environment
+        # of the abstract specification, so the abstract alphabet already
+        # excludes b (the paper's "new command" reading of fresh ids).
+        env = OBJ.without(self.s, self.b)
+        srv = Sort.values(self.s)
+        return Alphabet.of(
+            pattern(env, srv, "REQ", DATA),
+            pattern(srv, env, "ACK"),
+        )
+
+    def upgraded_alphabet(self) -> Alphabet:
+        # b is encapsulated: s↔b events are internal and may not appear in
+        # the alphabet (Definition 1); the upgrade adds the STATUS method.
+        env = OBJ.without(self.s, self.b)
+        srv = Sort.values(self.s)
+        return Alphabet.of(
+            pattern(env, srv, "REQ", DATA),
+            pattern(srv, env, "ACK"),
+            pattern(env, srv, "STATUS"),
+        )
+
+    # -- specifications --------------------------------------------------------
+
+    def server_spec(self) -> Specification:
+        """Γ: each caller alternates REQ and ACK."""
+        env = OBJ.without(self.s, self.b)
+        body = parse_regex(
+            "[<x,s,REQ(_)> <s,x,ACK>]*",
+            symbols={"s": self.s},
+            methods={"REQ": (DATA,), "ACK": ()},
+            free_vars={"x": env},
+        )
+        machine = ForallMachine(
+            env, lambda v: PrsMachine(body, free_env={"x": v})
+        )
+        return interface_spec("Server", self.s, self.server_alphabet(), machine)
+
+    def upgraded_spec(self) -> Specification:
+        """Γ': the two-object upgrade, stricter and with a new method.
+
+        Keeps the per-caller REQ/ACK alternation, adds STATUS (allowed at
+        any time), and promises at most one globally outstanding request —
+        a genuine behavioural restriction made possible by the internal
+        backend serialising the work.
+        """
+        env = OBJ.without(self.s, self.b)
+        body = parse_regex(
+            "[[<x,s,REQ(_)> <s,x,ACK>]* <x,s,STATUS>*]*",
+            symbols={"s": self.s},
+            methods={"REQ": (DATA,), "ACK": (), "STATUS": ()},
+            free_vars={"x": env},
+        )
+        per_caller = ForallMachine(
+            env, lambda v: PrsMachine(body, free_env={"x": v})
+        )
+        outstanding = CountingMachine(
+            (difference_counter("REQ", "ACK"),),
+            CondAnd(
+                (
+                    Linear((1,), -1, "<="),  # REQ − ACK ≤ 1
+                    Linear((-1,), 0, "<="),  # REQ − ACK ≥ 0
+                )
+            ),
+        )
+        return component_spec(
+            "UpgradedServer",
+            (self.s, self.b),
+            self.upgraded_alphabet(),
+            AndMachine((per_caller, outstanding)),
+        )
+
+    def client_spec(self) -> Specification:
+        """Δ: a client of ``s`` only — the upgrade is proper w.r.t. it."""
+        regex = parse_regex(
+            "[<d,s,REQ(_)> <s,d,ACK>]*",
+            symbols={"d": self.d, "s": self.s},
+            methods={"REQ": (DATA,), "ACK": ()},
+        )
+        cli = Sort.values(self.d)
+        srv = Sort.values(self.s)
+        alpha = Alphabet.of(
+            pattern(cli, srv, "REQ", DATA),
+            pattern(srv, cli, "ACK"),
+            # an infinite tail keeping Definition 1 happy: d may ping any
+            # environment object except the (future) backend's namespace —
+            # concretely, everything except itself.
+            pattern(cli, OBJ.without(self.d, self.s, self.b), "PING"),
+        )
+        return interface_spec("UpClient", self.d, alpha, PrsMachine(regex))
+
+    def nosy_client_spec(self) -> Specification:
+        """Δ̄: accepts ACK from anyone — breaks properness of the upgrade.
+
+        The acknowledger is rebound per iteration (the paper's binding
+        operator), so each request may be answered by a different object.
+        """
+        regex = parse_regex(
+            "[<d,s,REQ(_)> [<y,d,ACK>] . y : Others]*",
+            symbols={"d": self.d, "s": self.s, "Others": OBJ.without(self.d)},
+            methods={"REQ": (DATA,), "ACK": ()},
+        )
+        cli = Sort.values(self.d)
+        alpha = Alphabet.of(
+            pattern(cli, Sort.values(self.s), "REQ", DATA),
+            pattern(OBJ.without(self.d), cli, "ACK"),
+        )
+        return interface_spec("NosyClient", self.d, alpha, PrsMachine(regex))
+
+
+#: Shared instance for tests, benches, and the claims registry.
+UPGRADE = UpgradeCast()

@@ -1,0 +1,47 @@
+"""Open-distributed-system simulator: behaviours, schedulers, systems,
+and online monitors checking specifications against running objects."""
+
+from repro.runtime.behaviors import (
+    Behavior,
+    Call,
+    LoopBehavior,
+    PassiveBehavior,
+    ScriptedBehavior,
+)
+from repro.runtime.library import (
+    SequencedBehavior,
+    ReaderBehavior,
+    RogueWriterBehavior,
+    WriterBehavior,
+    WriteThenConfirmBehavior,
+)
+from repro.runtime import tracefile
+from repro.runtime.monitor import SpecMonitor, Violation
+from repro.runtime.scheduler import (
+    FifoScheduler,
+    RandomScheduler,
+    RoundRobinScheduler,
+    Scheduler,
+)
+from repro.runtime.system import PendingCall, System
+
+__all__ = [
+    "Behavior",
+    "Call",
+    "LoopBehavior",
+    "PassiveBehavior",
+    "ScriptedBehavior",
+    "SequencedBehavior",
+    "ReaderBehavior",
+    "RogueWriterBehavior",
+    "WriterBehavior",
+    "WriteThenConfirmBehavior",
+    "SpecMonitor",
+    "Violation",
+    "FifoScheduler",
+    "RandomScheduler",
+    "RoundRobinScheduler",
+    "Scheduler",
+    "PendingCall",
+    "System",
+]

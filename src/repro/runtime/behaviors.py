@@ -1,0 +1,95 @@
+"""Object behaviours for the runtime simulator.
+
+The paper's setting is an open distributed system: objects run in
+parallel, communicate by remote method calls, and exchange object
+identities; the observable life of an object is its event trace.  A
+:class:`Behavior` is the *implementation* side of that story — a reactive
+program deciding which remote calls an object makes, either in response
+to an incoming call (:meth:`on_event`) or spontaneously when scheduled
+(:meth:`on_tick`).
+
+Behaviours are pure state transformers over explicit state values, so runs
+are reproducible given the scheduler seed.
+"""
+
+from __future__ import annotations
+
+import random
+from abc import ABC
+from dataclasses import dataclass
+from typing import Hashable, Sequence
+
+from repro.core.events import Event
+from repro.core.values import ObjectId, Value
+
+__all__ = [
+    "Call",
+    "Behavior",
+    "PassiveBehavior",
+    "ScriptedBehavior",
+    "LoopBehavior",
+]
+
+
+@dataclass(frozen=True, slots=True)
+class Call:
+    """An outgoing remote method call requested by a behaviour."""
+
+    callee: ObjectId
+    method: str
+    args: tuple[Value, ...] = ()
+
+
+class Behavior(ABC):
+    """Base class; the defaults make an object completely passive."""
+
+    def init_state(self) -> Hashable:
+        return ()
+
+    def on_event(
+        self, state: Hashable, event: Event, me: ObjectId
+    ) -> tuple[Hashable, Sequence[Call]]:
+        """React to an event involving this object (as caller or callee)."""
+        return state, ()
+
+    def on_tick(
+        self, state: Hashable, rng: random.Random, me: ObjectId
+    ) -> tuple[Hashable, Sequence[Call]]:
+        """Spontaneous activity when the scheduler gives this object a turn."""
+        return state, ()
+
+
+class PassiveBehavior(Behavior):
+    """Receives calls, never makes any (e.g. the access controller ``o``)."""
+
+
+class ScriptedBehavior(Behavior):
+    """Emits a fixed sequence of calls, one per tick, then stays quiet."""
+
+    def __init__(self, script: Sequence[Call]) -> None:
+        self.script = tuple(script)
+
+    def init_state(self) -> Hashable:
+        return 0
+
+    def on_tick(self, state, rng, me):
+        i = int(state)
+        if i >= len(self.script):
+            return state, ()
+        return i + 1, (self.script[i],)
+
+
+class LoopBehavior(Behavior):
+    """Cycles through a call sequence forever, one call per tick."""
+
+    def __init__(self, cycle: Sequence[Call]) -> None:
+        if not cycle:
+            raise ValueError("loop behaviour needs a non-empty cycle")
+        self.cycle = tuple(cycle)
+
+    def init_state(self) -> Hashable:
+        return 0
+
+    def on_tick(self, state, rng, me):
+        i = int(state)
+        return (i + 1) % len(self.cycle), (self.cycle[i],)

@@ -1,0 +1,186 @@
+"""Ready-made behaviours for the paper's scenarios.
+
+These implement the *systems* the paper's specifications describe, so the
+simulator can generate semantic traces and the monitors can check the
+specifications against them (Section 2's soundness, live):
+
+* :class:`ReaderBehavior` / :class:`WriterBehavior` — clients of the
+  readers/writers controller ``o``, playing the ``Read2``/``Write``
+  protocols;
+* :class:`WriteThenConfirmBehavior` — Example 4's ``Client``: write to the
+  controller, confirm to the monitor;
+* :class:`RogueWriterBehavior` — a faulty writer that skips ``OW``
+  (used to check that monitors catch protocol violations).
+
+Protocol behaviours are *sequenced*: they issue one call at a time and
+wait to observe its delivery before issuing the next.  Without this, the
+scheduler may deliver queued calls out of order and the local protocol
+order would be lost — the simulator models asynchronous delivery, and the
+event trace records delivery order (the observable order of the
+formalism).
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Hashable
+
+from repro.core.events import Event
+from repro.core.values import DataVal, ObjectId
+from repro.runtime.behaviors import Behavior, Call
+
+__all__ = [
+    "SequencedBehavior",
+    "ReaderBehavior",
+    "WriterBehavior",
+    "WriteThenConfirmBehavior",
+    "RogueWriterBehavior",
+]
+
+
+def _data(rng: random.Random) -> DataVal:
+    return DataVal("Data", f"v{rng.randrange(4)}")
+
+
+class SequencedBehavior(Behavior):
+    """One outstanding call at a time.
+
+    Subclasses implement :meth:`next_call`; the base class issues it on a
+    tick only when the previous call has been observed as delivered.
+    State is ``(phase, outstanding_call_or_None)``.
+    """
+
+    def initial_phase(self) -> Hashable:
+        return ()
+
+    def next_call(
+        self, phase: Hashable, rng: random.Random, me: ObjectId
+    ) -> tuple[Hashable, Call | None]:
+        raise NotImplementedError
+
+    def observed(
+        self, phase: Hashable, event: Event, me: ObjectId
+    ) -> Hashable:
+        """Passive observation hook (event already involves ``me``)."""
+        return phase
+
+    # -- Behavior interface ------------------------------------------------
+
+    def init_state(self) -> Hashable:
+        return (self.initial_phase(), None)
+
+    def on_tick(self, state, rng, me):
+        phase, outstanding = state
+        if outstanding is not None:
+            return state, ()
+        phase, call = self.next_call(phase, rng, me)
+        if call is None:
+            return (phase, None), ()
+        return (phase, call), (call,)
+
+    def on_event(self, state, event, me):
+        phase, outstanding = state
+        phase = self.observed(phase, event, me)
+        if (
+            outstanding is not None
+            and event.caller == me
+            and event.callee == outstanding.callee
+            and event.method == outstanding.method
+            and event.args == outstanding.args
+        ):
+            outstanding = None
+        return (phase, outstanding), ()
+
+
+class ReaderBehavior(SequencedBehavior):
+    """Cycles OR, R(d)×k, CR towards the controller."""
+
+    def __init__(self, controller: ObjectId, reads_per_session: int = 2) -> None:
+        self.controller = controller
+        self.reads = reads_per_session
+
+    def initial_phase(self) -> Hashable:
+        return ("open", 0)
+
+    def next_call(self, phase, rng, me):
+        stage, k = phase
+        o = self.controller
+        if stage == "open":
+            return ("read", 0), Call(o, "OR")
+        if stage == "read":
+            if k < self.reads:
+                return ("read", k + 1), Call(o, "R", (_data(rng),))
+            return ("open", 0), Call(o, "CR")
+        return phase, None
+
+
+class WriterBehavior(SequencedBehavior):
+    """Cycles OW, W(d)×k, CW towards the controller.
+
+    Exclusion is a property of the *specification*; the simulator does not
+    block anyone.  With ``polite=True`` the writer observes the
+    controller's traffic and only opens when no other writer holds a
+    session, so polite systems satisfy ``Write``; impolite ones violate it
+    under most schedules (and the monitors say exactly where).
+    """
+
+    def __init__(
+        self,
+        controller: ObjectId,
+        writes_per_session: int = 1,
+        polite: bool = False,
+    ) -> None:
+        self.controller = controller
+        self.writes = writes_per_session
+        self.polite = polite
+
+    def initial_phase(self) -> Hashable:
+        return ("open", 0, frozenset())
+
+    def observed(self, phase, event, me):
+        stage, k, holders = phase
+        if event.callee == self.controller:
+            if event.method == "OW":
+                holders = holders | {event.caller}
+            elif event.method == "CW":
+                holders = holders - {event.caller}
+        return (stage, k, holders)
+
+    def next_call(self, phase, rng, me):
+        stage, k, holders = phase
+        o = self.controller
+        if stage == "open":
+            if self.polite and holders - {me}:
+                return phase, None  # wait for the session to close
+            return ("write", 0, holders), Call(o, "OW")
+        if stage == "write":
+            if k < self.writes:
+                return ("write", k + 1, holders), Call(o, "W", (_data(rng),))
+            return ("open", 0, holders), Call(o, "CW")
+        return phase, None
+
+
+class WriteThenConfirmBehavior(SequencedBehavior):
+    """Example 4's Client: ⟨c,o,W(d)⟩ then ⟨c,o',OK⟩, repeatedly."""
+
+    def __init__(self, controller: ObjectId, monitor: ObjectId) -> None:
+        self.controller = controller
+        self.monitor = monitor
+
+    def initial_phase(self) -> Hashable:
+        return "write"
+
+    def next_call(self, phase, rng, me):
+        if phase == "write":
+            return "confirm", Call(self.controller, "W", (_data(rng),))
+        return "write", Call(self.monitor, "OK")
+
+
+class RogueWriterBehavior(SequencedBehavior):
+    """A faulty writer: writes without ever opening a session."""
+
+    def __init__(self, controller: ObjectId) -> None:
+        self.controller = controller
+
+    def next_call(self, phase, rng, me):
+        return phase, Call(self.controller, "W", (_data(rng),))

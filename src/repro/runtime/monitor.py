@@ -1,0 +1,103 @@
+"""Online safety monitors: run specifications against live systems.
+
+A safety specification (prefix-closed trace set) is monitorable: feed the
+global event stream through the specification's trace machine, projecting
+to the specification's alphabet on the way (``h/α(Γ) ∈ T(Γ)`` is exactly
+the soundness condition of Section 2).  A violation is detected at the
+*first* event whose projected prefix leaves the trace set — safety
+properties have finite witnesses (Alpern & Schneider, cited by the paper).
+
+Monitors are attachable to a :class:`~repro.runtime.system.System` and can
+either record violations or raise :class:`~repro.core.errors.MonitorViolation`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.errors import MonitorViolation, RuntimeModelError
+from repro.core.events import Event
+from repro.core.specification import Specification
+from repro.core.traces import Trace
+from repro.core.tracesets import FullTraceSet, MachineTraceSet
+
+__all__ = ["SpecMonitor", "Violation"]
+
+
+@dataclass(frozen=True, slots=True)
+class Violation:
+    """One detected violation: the global trace so far and the bad event."""
+
+    spec_name: str
+    trace: Trace
+    event: Event
+    index: int
+
+    def __str__(self) -> str:
+        return (
+            f"{self.spec_name} violated by event #{self.index} {self.event} "
+            f"(projected prefix leaves the trace set)"
+        )
+
+
+class SpecMonitor:
+    """Monitors one specification online.
+
+    Only machine-defined trace sets are monitorable (membership must be
+    decidable per event); composed trace sets involve existential hiding
+    and are checked offline via the checker instead.
+    """
+
+    def __init__(self, spec: Specification, raise_on_violation: bool = False) -> None:
+        if not isinstance(spec.traces, (MachineTraceSet, FullTraceSet)):
+            raise RuntimeModelError(
+                f"{spec.name}: only machine trace sets are monitorable online"
+            )
+        self.spec = spec
+        self.machine = spec.traces.machine()
+        self.raise_on_violation = raise_on_violation
+        self.state = self.machine.initial()
+        self.alive = self.machine.ok(self.state)
+        self.violations: list[Violation] = []
+        self._seen = 0
+        self._history: list[Event] = []
+
+    def observe(self, event: Event) -> bool:
+        """Feed one global event; returns whether the spec still holds.
+
+        Events outside the specification's alphabet are skipped (the
+        projection ``h/α(Γ)``); once violated, the monitor stays violated
+        (safety is irremediable).
+        """
+        self._history.append(event)
+        self._seen += 1
+        if not self.alive:
+            return False
+        if not self.spec.alphabet.contains(event):
+            return True
+        self.state = self.machine.step(self.state, event)
+        if not self.machine.ok(self.state):
+            self.alive = False
+            v = Violation(
+                self.spec.name, Trace(tuple(self._history)), event, self._seen - 1
+            )
+            self.violations.append(v)
+            if self.raise_on_violation:
+                raise MonitorViolation(str(v), v.trace, event)
+            return False
+        return True
+
+    @property
+    def ok(self) -> bool:
+        return self.alive
+
+    def reset(self) -> None:
+        self.state = self.machine.initial()
+        self.alive = self.machine.ok(self.state)
+        self.violations.clear()
+        self._seen = 0
+        self._history.clear()
+
+    def __repr__(self) -> str:
+        status = "ok" if self.alive else "violated"
+        return f"SpecMonitor({self.spec.name}, {status})"

@@ -1,0 +1,53 @@
+"""Schedulers: who moves next in the simulated open system.
+
+A scheduler repeatedly picks one of the currently runnable *actions* —
+delivering a pending call or giving an object a spontaneous tick.  The
+nondeterminism of the open system lives entirely here, seeded for
+reproducibility; the paper models the same nondeterminism as the
+branching of the trace set.
+"""
+
+from __future__ import annotations
+
+import random
+from abc import ABC, abstractmethod
+from typing import Sequence
+
+__all__ = ["Scheduler", "RandomScheduler", "RoundRobinScheduler", "FifoScheduler"]
+
+
+class Scheduler(ABC):
+    """Picks the index of the next action among the runnable ones."""
+
+    @abstractmethod
+    def pick(self, n_actions: int) -> int:
+        """Return an index in ``range(n_actions)`` (``n_actions ≥ 1``)."""
+
+
+class RandomScheduler(Scheduler):
+    """Uniformly random choice; the canonical open-system adversary."""
+
+    def __init__(self, seed: int = 0) -> None:
+        self.rng = random.Random(seed)
+
+    def pick(self, n_actions: int) -> int:
+        return self.rng.randrange(n_actions)
+
+
+class RoundRobinScheduler(Scheduler):
+    """Deterministic rotation over the runnable actions."""
+
+    def __init__(self) -> None:
+        self._next = 0
+
+    def pick(self, n_actions: int) -> int:
+        choice = self._next % n_actions
+        self._next += 1
+        return choice
+
+
+class FifoScheduler(Scheduler):
+    """Always the oldest runnable action (deliveries before ticks)."""
+
+    def pick(self, n_actions: int) -> int:
+        return 0

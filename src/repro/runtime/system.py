@@ -1,0 +1,153 @@
+"""The simulated open system: objects, pending calls, event trace.
+
+Execution model: the system holds a set of named objects (each a
+:class:`~repro.runtime.behaviors.Behavior` plus its state) and a queue of
+*pending calls*.  Each step, the scheduler picks one runnable action:
+
+* **deliver** a pending call — the call becomes a communication event
+  ``⟨caller, callee, m(args)⟩`` appended to the global trace; both the
+  caller's and the callee's behaviours observe it (their ``h/o``); a call
+  to an object outside the system is an *environment* call and still
+  produces an event (the environment is not under local control, exactly
+  the paper's open-system stance);
+* **tick** an object — its behaviour may enqueue new outgoing calls.
+
+Self-calls are internal activity: they are executed (the behaviour sees a
+tick-like effect) but produce **no event**, matching the formalism where
+``⟨o,o,m⟩`` is not observable.
+
+Monitors attached to the system observe every event as it happens.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+
+from repro.core.errors import RuntimeModelError
+from repro.core.events import Event
+from repro.core.traces import Trace
+from repro.core.values import ObjectId
+from repro.runtime.behaviors import Behavior, Call
+from repro.runtime.monitor import SpecMonitor
+from repro.runtime.scheduler import RandomScheduler, Scheduler
+
+__all__ = ["System", "PendingCall"]
+
+
+@dataclass(frozen=True, slots=True)
+class PendingCall:
+    caller: ObjectId
+    call: Call
+
+
+class System:
+    """A running collection of objects plus the global observable trace."""
+
+    def __init__(
+        self,
+        scheduler: Scheduler | None = None,
+        tick_seed: int = 0,
+    ) -> None:
+        self.scheduler = scheduler or RandomScheduler()
+        self._tick_rng = random.Random(tick_seed)
+        self._behaviors: dict[ObjectId, Behavior] = {}
+        self._states: dict[ObjectId, object] = {}
+        self.pending: list[PendingCall] = []
+        self.trace: Trace = Trace.empty()
+        self.monitors: list[SpecMonitor] = []
+
+    # ------------------------------------------------------------------
+    # construction
+    # ------------------------------------------------------------------
+
+    def add_object(self, identity: ObjectId, behavior: Behavior) -> "System":
+        if identity in self._behaviors:
+            raise RuntimeModelError(f"object {identity} already in the system")
+        self._behaviors[identity] = behavior
+        self._states[identity] = behavior.init_state()
+        return self
+
+    def attach_monitor(self, monitor: SpecMonitor) -> "System":
+        self.monitors.append(monitor)
+        return self
+
+    def objects(self) -> tuple[ObjectId, ...]:
+        return tuple(sorted(self._behaviors))
+
+    # ------------------------------------------------------------------
+    # execution
+    # ------------------------------------------------------------------
+
+    def _emit(self, event: Event) -> None:
+        self.trace = self.trace.append(event)
+        for m in self.monitors:
+            m.observe(event)
+
+    def _enqueue(self, caller: ObjectId, calls) -> None:
+        for call in calls:
+            self.pending.append(PendingCall(caller, call))
+
+    def _deliver(self, pc: PendingCall) -> None:
+        caller, call = pc.caller, pc.call
+        if call.callee == caller:
+            # Internal activity: no observable event; the behaviour still
+            # gets to react (modelled as an immediate self-notification).
+            state, out = self._behaviors[caller].on_tick(
+                self._states[caller], self._tick_rng, caller
+            )
+            self._states[caller] = state
+            self._enqueue(caller, out)
+            return
+        event = Event(caller, call.callee, call.method, call.args)
+        self._emit(event)
+        for side in (caller, call.callee):
+            behavior = self._behaviors.get(side)
+            if behavior is None:
+                continue  # environment object: not under local control
+            state, out = behavior.on_event(self._states[side], event, side)
+            self._states[side] = state
+            self._enqueue(side, out)
+
+    def _tick(self, identity: ObjectId) -> None:
+        behavior = self._behaviors[identity]
+        state, out = behavior.on_tick(
+            self._states[identity], self._tick_rng, identity
+        )
+        self._states[identity] = state
+        self._enqueue(identity, out)
+
+    def step(self) -> bool:
+        """Run one scheduler-chosen action; ``False`` if nothing can run."""
+        actions: list = [("deliver", i) for i in range(len(self.pending))]
+        actions.extend(("tick", o) for o in sorted(self._behaviors))
+        if not actions:
+            return False
+        kind, which = actions[self.scheduler.pick(len(actions))]
+        if kind == "deliver":
+            pc = self.pending.pop(which)
+            self._deliver(pc)
+        else:
+            self._tick(which)
+        return True
+
+    def run(self, steps: int) -> Trace:
+        """Run up to ``steps`` scheduler actions; returns the global trace."""
+        for _ in range(steps):
+            if not self.step():
+                break
+        return self.trace
+
+    # ------------------------------------------------------------------
+    # observation
+    # ------------------------------------------------------------------
+
+    def trace_of(self, identity: ObjectId) -> Trace:
+        """The local trace ``h/o`` of one object."""
+        return self.trace.proj_obj(identity)
+
+    def violations(self):
+        out = []
+        for m in self.monitors:
+            out.extend(m.violations)
+        return out

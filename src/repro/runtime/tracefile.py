@@ -1,0 +1,105 @@
+"""Trace files: a plain-text serialisation of communication traces.
+
+Recorded runs are library artifacts — monitors check them offline, tests
+replay them, bug reports attach them.  The format is one event per line::
+
+    caller -> callee : method(arg, arg, ...)
+
+Arguments are either object names (``obj:name``) or data values
+(``sort:label``); blank lines and ``#`` comments are ignored.  The format
+round-trips exactly (see the tests) and is stable for diffing.
+"""
+
+from __future__ import annotations
+
+import re
+from pathlib import Path
+
+from repro.core.errors import ReproError
+from repro.core.events import Event
+from repro.core.traces import Trace
+from repro.core.values import DataVal, ObjectId, Value
+
+__all__ = ["dumps", "loads", "save", "load"]
+
+_LINE_RE = re.compile(
+    r"^\s*(?P<caller>\S+)\s*->\s*(?P<callee>\S+)\s*:\s*"
+    r"(?P<method>[A-Za-z][A-Za-z0-9_']*)\s*(?:\((?P<args>.*)\))?\s*$"
+)
+
+
+def _format_value(v: Value) -> str:
+    if isinstance(v, ObjectId):
+        return f"obj:{v.name}"
+    return f"{v.sort}:{v.label}"
+
+
+def _parse_value(text: str, lineno: int) -> Value:
+    text = text.strip()
+    if ":" not in text:
+        raise ReproError(
+            f"trace line {lineno}: malformed value {text!r} "
+            f"(expected 'obj:name' or 'Sort:label')"
+        )
+    sort, label = text.split(":", 1)
+    if not label:
+        raise ReproError(f"trace line {lineno}: empty value label in {text!r}")
+    if sort == "obj":
+        return ObjectId(label)
+    return DataVal(sort, label)
+
+
+def dumps(trace: Trace) -> str:
+    """Serialise a trace to the text format."""
+    lines = []
+    for e in trace:
+        if e.args:
+            args = ", ".join(_format_value(a) for a in e.args)
+            lines.append(f"{e.caller.name} -> {e.callee.name} : {e.method}({args})")
+        else:
+            lines.append(f"{e.caller.name} -> {e.callee.name} : {e.method}")
+    return "\n".join(lines) + ("\n" if lines else "")
+
+
+def loads(text: str) -> Trace:
+    """Parse the text format back into a trace."""
+    events = []
+    for lineno, raw in enumerate(text.splitlines(), start=1):
+        line = raw.strip()
+        if not line or line.startswith("#"):
+            continue
+        m = _LINE_RE.match(line)
+        if m is None:
+            raise ReproError(f"trace line {lineno}: cannot parse {line!r}")
+        args: tuple[Value, ...] = ()
+        if m.group("args") is not None and m.group("args").strip():
+            args = tuple(
+                _parse_value(part, lineno)
+                for part in m.group("args").split(",")
+            )
+        try:
+            events.append(
+                Event(
+                    ObjectId(m.group("caller")),
+                    ObjectId(m.group("callee")),
+                    m.group("method"),
+                    args,
+                )
+            )
+        except ValueError as exc:
+            raise ReproError(f"trace line {lineno}: {exc}") from exc
+    return Trace(tuple(events))
+
+
+def save(trace: Trace, path: str | Path) -> None:
+    """Write a trace file."""
+    Path(path).write_text(dumps(trace))
+
+
+def load(path: str | Path) -> Trace:
+    """Read a trace file."""
+    try:
+        text = Path(path).read_text()
+    except OSError as exc:
+        raise ReproError(f"cannot read trace file {path}: {exc}") from exc
+    return loads(text)

@@ -1,0 +1,151 @@
+"""Tests for assumption/guarantee specifications."""
+
+import pytest
+
+from repro.ag import AGSpec
+from repro.checker.refinement import check_refinement
+from repro.checker.result import Verdict
+from repro.core.alphabet import Alphabet
+from repro.core.events import Event
+from repro.core.patterns import pattern
+from repro.core.sorts import DATA, OBJ, Sort
+from repro.core.traces import Trace
+from repro.core.values import DataVal, ObjectId
+from repro.machines.boolean import TrueMachine
+from repro.machines.counting import (
+    CondAnd,
+    CountingMachine,
+    Linear,
+    difference_counter,
+)
+
+s = ObjectId("s")
+x = ObjectId("x")
+d = DataVal("Data", "d")
+
+
+def _alpha() -> Alphabet:
+    env = OBJ.without(s)
+    return Alphabet.of(
+        pattern(env, Sort.values(s), "REQ", DATA),
+        pattern(Sort.values(s), env, "ACK"),
+    )
+
+
+def _assume_no_flood():
+    """Assumption on the input projection: at most two REQs ever.
+
+    (Assumptions only observe inputs — calls *to* the object — so they
+    cannot mention the server's ACKs; a total REQ cap is the simplest
+    non-trivial input constraint.)
+    """
+    from repro.machines.counting import method_counter
+
+    return CountingMachine(
+        (method_counter("REQ"),), Linear((1,), -2, "<="), saturate_at=3
+    )
+
+
+def _guarantee_no_overack():
+    """Guarantee: the server never ACKs more than it was asked (REQ−ACK ≥ 0)."""
+    return CountingMachine(
+        (difference_counter("REQ", "ACK"),),
+        Linear((-1,), 0, "<="),
+        # the condition is a threshold, so saturating keeps the state
+        # space finite without changing the language
+        saturate_at=3,
+    )
+
+
+def _spec() -> AGSpec:
+    return AGSpec("Srv", s, _alpha(), _assume_no_flood(), _guarantee_no_overack())
+
+
+def req() -> Event:
+    return Event(x, s, "REQ", (d,))
+
+
+def ack() -> Event:
+    return Event(s, x, "ACK")
+
+
+class TestSemantics:
+    def test_contract_respected_on_both_sides(self):
+        spec = _spec().to_specification()
+        assert spec.admits(Trace.of(req(), ack(), req(), ack()))
+
+    def test_guarantee_violation_rejected(self):
+        spec = _spec().to_specification()
+        assert not spec.admits(Trace.of(ack()))  # over-ACK with no REQ
+
+    def test_environment_violation_releases_guarantee(self):
+        spec = _spec().to_specification()
+        # Three REQs break the assumption; the over-ACKs afterwards are
+        # excused (the strict-past convention).
+        h = Trace.of(req(), req(), req(), ack(), ack(), ack(), ack())
+        assert spec.admits(h)
+
+    def test_guarantee_still_binding_at_violation_point(self):
+        spec = _spec().to_specification()
+        # The assumption holds on the strict past of the over-ACK here,
+        # so the guarantee must hold and the trace is rejected.
+        h = Trace.of(req(), ack(), ack())
+        assert not spec.admits(h)
+
+    def test_prefix_closed(self):
+        spec = _spec().to_specification()
+        h = Trace.of(req(), req(), req(), ack(), ack(), ack(), ack())
+        assert spec.admits(h)
+        for g in h.prefixes():
+            assert spec.admits(g)
+
+
+class TestContractRefinement:
+    def test_weaker_assumption_refines(self):
+        base = _spec()
+        stronger = base.contract(assumption=TrueMachine(), name="Srv2")
+        r = check_refinement(
+            stronger.to_specification(), base.to_specification()
+        )
+        assert r.verdict is Verdict.PROVED
+
+    def test_stronger_guarantee_refines(self):
+        base = _spec()
+        tighter = CountingMachine(
+            (difference_counter("REQ", "ACK"),),
+            CondAnd((Linear((-1,), 0, "<="), Linear((1,), -1, "<="))),
+            saturate_at=3,
+        )
+        stronger = base.contract(guarantee=tighter, name="Srv3")
+        r = check_refinement(
+            stronger.to_specification(), base.to_specification()
+        )
+        assert r.verdict is Verdict.PROVED
+
+    def test_stronger_assumption_does_not_refine(self):
+        from repro.machines.counting import method_counter
+
+        base = _spec().contract(assumption=TrueMachine(), name="Base")
+        narrowed = base.contract(
+            assumption=CountingMachine(
+                (method_counter("REQ"),), Linear((1,), -1, "<="),
+                saturate_at=2,
+            ),
+            name="Narrow",
+        )
+        r = check_refinement(
+            narrowed.to_specification(), base.to_specification()
+        )
+        assert r.verdict is Verdict.REFUTED
+
+
+class TestInteropWithCore:
+    def test_induced_spec_composes(self, cast):
+        spec = _spec().to_specification()
+        from repro.core.composition import check_composable
+
+        assert check_composable(spec, cast.read()).composable
+
+    def test_mentioned_values_flow(self):
+        m = _spec().machine()
+        assert s in m.mentioned_values()

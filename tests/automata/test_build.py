@@ -1,0 +1,111 @@
+"""Unit tests for machine→DFA compilation, hiding, lifting, embedding."""
+
+import pytest
+
+from repro.automata.build import embed_dfa, hidden_closure_dfa, lift_dfa, machine_to_dfa
+from repro.automata.ops import equivalence_counterexample
+from repro.core.alphabet import Alphabet
+from repro.core.errors import AutomatonError, StateSpaceLimitExceeded
+from repro.core.events import Event
+from repro.core.patterns import pattern
+from repro.core.sorts import OBJ, Sort
+from repro.core.traces import Trace
+from repro.core.values import ObjectId
+from repro.machines.counting import CounterDef, CountingMachine, CondTrue, Linear
+from repro.machines.regex.machine import PrsMachine
+from repro.machines.regex.parse import parse_regex
+
+o, c, mon, p = ObjectId("o"), ObjectId("c"), ObjectId("mon"), ObjectId("p")
+a_po = Event(p, o, "A")
+b_po = Event(p, o, "B")
+EVENTS = (a_po, b_po)
+
+
+def at_most(method, k):
+    return CountingMachine((CounterDef(((method, 1),)),), Linear((1,), -k, "<="))
+
+
+class TestMachineToDfa:
+    def test_language_matches_machine(self):
+        m = at_most("A", 1)
+        d = machine_to_dfa(m, EVENTS)
+        for trace in (
+            Trace.empty(),
+            Trace.of(a_po),
+            Trace.of(a_po, a_po),
+            Trace.of(b_po, a_po, b_po),
+        ):
+            assert d.accepts(tuple(trace)) == m.accepts(trace)
+
+    def test_result_is_prefix_closed(self):
+        d = machine_to_dfa(at_most("A", 1), EVENTS)
+        assert d.is_prefix_closed()
+
+    def test_never_ok_gives_empty(self):
+        from repro.machines.boolean import FalseMachine
+
+        d = machine_to_dfa(FalseMachine(), EVENTS)
+        assert not d.accepts(())
+
+    def test_state_limit(self):
+        unbounded = CountingMachine((CounterDef((("A", 1),)),), CondTrue())
+        with pytest.raises(StateSpaceLimitExceeded):
+            machine_to_dfa(unbounded, EVENTS, state_limit=10)
+
+
+class TestHiddenClosure:
+    def test_epsilon_reachability(self):
+        # machine: must see GO (hidden) before OK (observable)
+        regex = parse_regex(
+            "[<c,o,GO> <c,mon,OK>]*",
+            symbols={"c": c, "o": o, "mon": mon},
+            methods={"GO": (), "OK": ()},
+        )
+        m = PrsMachine(regex)
+        go = Event(c, o, "GO")
+        ok = Event(c, mon, "OK")
+        d = hidden_closure_dfa(
+            [m.initial()], m.step, m.ok, observable=(ok,), hidden=(go,)
+        )
+        assert d.accepts((ok,))
+        assert d.accepts((ok, ok))
+        assert d.accepts(())
+
+    def test_no_hidden_events_needed(self):
+        m = at_most("A", 1)
+        d = hidden_closure_dfa([m.initial()], m.step, m.ok, EVENTS, ())
+        assert d.accepts((a_po,)) and not d.accepts((a_po, a_po))
+
+
+class TestLiftAndEmbed:
+    def _alpha_a(self):
+        return Alphabet.of(pattern(OBJ.without(o), Sort.values(o), "A"))
+
+    def test_lift_self_loops_outside(self):
+        d = machine_to_dfa(at_most("A", 1), (a_po,))
+        lifted = lift_dfa(d, EVENTS, self._alpha_a())
+        assert lifted.accepts((b_po, a_po, b_po))
+        assert not lifted.accepts((a_po, b_po, a_po))
+
+    def test_embed_rejects_outside(self):
+        d = machine_to_dfa(at_most("A", 1), (a_po,))
+        emb = embed_dfa(d, EVENTS, self._alpha_a())
+        assert emb.accepts((a_po,))
+        assert not emb.accepts((b_po,))
+
+    def test_lift_missing_letter_rejected(self):
+        d = machine_to_dfa(at_most("A", 1), ())
+        with pytest.raises(AutomatonError):
+            lift_dfa(d, EVENTS, self._alpha_a())
+
+    def test_lift_equivalent_to_projection_semantics(self):
+        m = at_most("A", 1)
+        d = machine_to_dfa(m, (a_po,))
+        lifted = lift_dfa(d, EVENTS, self._alpha_a())
+        for trace in (
+            Trace.of(b_po, b_po),
+            Trace.of(b_po, a_po),
+            Trace.of(a_po, a_po),
+        ):
+            projected = trace.filter(self._alpha_a())
+            assert lifted.accepts(tuple(trace)) == m.accepts(projected)

@@ -1,0 +1,84 @@
+"""Unit tests for the DFA class (letters here are plain strings)."""
+
+import pytest
+
+from repro.automata.dfa import DFA
+from repro.core.errors import AutomatonError
+
+AB = ("a", "b")
+
+
+def evens() -> DFA:
+    """Words with an even number of a's."""
+    return DFA(
+        AB,
+        ({"a": 1, "b": 0}, {"a": 0, "b": 1}),
+        0,
+        frozenset({0}),
+    )
+
+
+class TestConstruction:
+    def test_accepts(self):
+        d = evens()
+        assert d.accepts("") and d.accepts("aa") and d.accepts("bab" "a")
+        assert not d.accepts("a")
+
+    def test_totality_enforced(self):
+        with pytest.raises(AutomatonError):
+            DFA(AB, ({"a": 0},), 0, frozenset({0}))
+
+    def test_range_checks(self):
+        with pytest.raises(AutomatonError):
+            DFA(AB, ({"a": 5, "b": 0},), 0, frozenset({0}))
+        with pytest.raises(AutomatonError):
+            DFA(AB, ({"a": 0, "b": 0},), 3, frozenset())
+
+    def test_duplicate_letters_rejected(self):
+        with pytest.raises(AutomatonError):
+            DFA(("a", "a"), ({"a": 0},), 0, frozenset())
+
+    def test_unknown_letter_rejected(self):
+        with pytest.raises(AutomatonError):
+            evens().accepts("ax")
+
+    def test_build_with_default(self):
+        d = DFA.build(AB, 2, 0, [0], {(0, "a"): 0}, default=1)
+        assert d.accepts("aaa") and not d.accepts("b")
+
+    def test_build_missing_edge_without_default(self):
+        with pytest.raises(AutomatonError):
+            DFA.build(AB, 1, 0, [0], {})
+
+    def test_empty_and_full(self):
+        assert not DFA.empty_language(AB).accepts("")
+        assert DFA.full_language(AB).accepts("abba")
+
+
+class TestReachability:
+    def test_trim_drops_unreachable(self):
+        d = DFA(
+            AB,
+            ({"a": 0, "b": 0}, {"a": 1, "b": 1}),
+            0,
+            frozenset({0, 1}),
+        )
+        t = d.trim()
+        assert t.n_states == 1 and t.accepts("ab")
+
+    def test_prefix_closed_detection(self):
+        # evens() is not prefix closed ("a" rejected but "aa" accepted)
+        assert not evens().is_prefix_closed()
+        # a ≤2-length language automaton built as machine DFAs are:
+        d = DFA(
+            AB,
+            (
+                {"a": 1, "b": 1},
+                {"a": 2, "b": 2},
+                {"a": 3, "b": 3},
+                {"a": 3, "b": 3},
+            ),
+            0,
+            frozenset({0, 1, 2}),
+        )
+        assert d.is_prefix_closed()

@@ -1,0 +1,127 @@
+"""Unit and property tests for DFA operations, cross-checked by brute force."""
+
+import itertools
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.automata.dfa import DFA
+from repro.automata.ops import (
+    complement,
+    difference,
+    equivalence_counterexample,
+    inclusion_counterexample,
+    intersection,
+    is_empty,
+    minimize,
+    shortest_accepted,
+    union_lang,
+)
+
+AB = ("a", "b")
+
+
+@st.composite
+def dfas(draw, n_max: int = 4):
+    n = draw(st.integers(1, n_max))
+    rows = tuple(
+        {a: draw(st.integers(0, n - 1)) for a in AB} for _ in range(n)
+    )
+    accepting = frozenset(
+        q for q in range(n) if draw(st.booleans())
+    )
+    return DFA(AB, rows, 0, accepting)
+
+
+def words(max_len: int):
+    for k in range(max_len + 1):
+        yield from ("".join(w) for w in itertools.product(AB, repeat=k))
+
+
+def brute_language(d: DFA, max_len: int = 5) -> set[str]:
+    return {w for w in words(max_len) if d.accepts(w)}
+
+
+@settings(max_examples=60)
+@given(dfas())
+def test_complement_bruteforce(d):
+    comp = complement(d)
+    for w in words(4):
+        assert comp.accepts(w) != d.accepts(w)
+
+
+@settings(max_examples=60)
+@given(dfas(), dfas())
+def test_intersection_bruteforce(a, b):
+    i = intersection(a, b)
+    for w in words(4):
+        assert i.accepts(w) == (a.accepts(w) and b.accepts(w))
+
+
+@settings(max_examples=60)
+@given(dfas(), dfas())
+def test_union_bruteforce(a, b):
+    u = union_lang(a, b)
+    for w in words(4):
+        assert u.accepts(w) == (a.accepts(w) or b.accepts(w))
+
+
+@settings(max_examples=60)
+@given(dfas(), dfas())
+def test_difference_bruteforce(a, b):
+    diff = difference(a, b)
+    for w in words(4):
+        assert diff.accepts(w) == (a.accepts(w) and not b.accepts(w))
+
+
+@settings(max_examples=60)
+@given(dfas())
+def test_shortest_accepted_is_shortest(d):
+    w = shortest_accepted(d)
+    if w is None:
+        assert not brute_language(d, 5)
+    else:
+        assert d.accepts(w)
+        lang = brute_language(d, len(w))
+        assert all(len(v) >= len(w) for v in lang)
+
+
+@settings(max_examples=60)
+@given(dfas(), dfas())
+def test_inclusion_counterexample_sound(a, b):
+    cex = inclusion_counterexample(a, b)
+    if cex is None:
+        for w in words(5):
+            assert not a.accepts(w) or b.accepts(w)
+    else:
+        assert a.accepts(cex) and not b.accepts(cex)
+
+
+@settings(max_examples=60)
+@given(dfas())
+def test_minimize_preserves_language(d):
+    m = minimize(d)
+    assert m.n_states <= d.trim().n_states
+    for w in words(4):
+        assert m.accepts(w) == d.accepts(w)
+
+
+@settings(max_examples=60)
+@given(dfas(), dfas())
+def test_minimize_canonical_for_equal_languages(a, b):
+    if equivalence_counterexample(a, b) is None:
+        assert minimize(a).n_states == minimize(b).n_states
+
+
+def test_is_empty():
+    assert is_empty(DFA.empty_language(AB))
+    assert not is_empty(DFA.full_language(AB))
+
+
+def test_equivalence_counterexample_direction():
+    # L(a*)-ish vs full: distinguishing word must exist.
+    only_a = DFA(AB, ({"a": 0, "b": 1}, {"a": 1, "b": 1}), 0, frozenset({0}))
+    full = DFA.full_language(AB)
+    cex = equivalence_counterexample(only_a, full)
+    assert cex is not None
+    assert full.accepts(cex) != only_a.accepts(cex)

@@ -1,0 +1,225 @@
+"""Tests for the two-phase-commit case study."""
+
+import pytest
+
+from repro.checker import (
+    FiniteUniverse,
+    Verdict,
+    check_conformance,
+    check_refinement,
+    trace_sets_equal,
+)
+from repro.core.composition import check_composable
+from repro.core.events import Event
+from repro.core.traces import Trace
+from repro.core.values import DataVal, ObjectId
+from repro.casestudies import (
+    ByzantineParticipant,
+    CoordinatorBehavior,
+    ParticipantBehavior,
+    TwoPhaseCast,
+    TxClientBehavior,
+)
+from repro.liveness import quiescence_analysis, responsiveness_analysis
+from repro.machines.counting import CountingMachine, Linear, difference_counter
+from repro.runtime import PassiveBehavior, RandomScheduler, SpecMonitor, System
+
+
+@pytest.fixture(scope="module")
+def tp():
+    return TwoPhaseCast()
+
+
+t1 = DataVal("Data", "t1")
+
+
+def _commit_round(tp, client):
+    co, p1, p2 = tp.co, tp.p1, tp.p2
+    return [
+        Event(client, co, "BEGIN"),
+        Event(co, p1, "PREPARE", (t1,)),
+        Event(co, p2, "PREPARE", (t1,)),
+        Event(p1, co, "YES"),
+        Event(p2, co, "YES"),
+        Event(co, p1, "COMMIT"),
+        Event(co, p2, "COMMIT"),
+        Event(co, client, "DONE"),
+    ]
+
+
+class TestCoordinatorSpec:
+    def test_commit_round_admitted(self, tp):
+        cl = ObjectId("cl")
+        assert tp.coordinator_spec().admits(Trace(tuple(_commit_round(tp, cl))))
+
+    def test_votes_any_order(self, tp):
+        cl = ObjectId("cl")
+        round_ = _commit_round(tp, cl)
+        round_[3], round_[4] = round_[4], round_[3]
+        assert tp.coordinator_spec().admits(Trace(tuple(round_)))
+
+    def test_mixed_vote_aborts(self, tp):
+        cl = ObjectId("cl")
+        co, p1, p2 = tp.co, tp.p1, tp.p2
+        h = Trace.of(
+            Event(cl, co, "BEGIN"),
+            Event(co, p1, "PREPARE", (t1,)),
+            Event(co, p2, "PREPARE", (t1,)),
+            Event(p1, co, "YES"),
+            Event(p2, co, "NO"),
+            Event(co, p1, "ABORT"),
+            Event(co, p2, "ABORT"),
+            Event(cl, co, "BEGIN"),  # wrong: DONE missing
+        )
+        assert not tp.coordinator_spec().admits(h)
+        assert tp.coordinator_spec().admits(h[:7])
+
+    def test_commit_after_no_rejected(self, tp):
+        cl = ObjectId("cl")
+        co, p1, p2 = tp.co, tp.p1, tp.p2
+        h = Trace.of(
+            Event(cl, co, "BEGIN"),
+            Event(co, p1, "PREPARE", (t1,)),
+            Event(co, p2, "PREPARE", (t1,)),
+            Event(p1, co, "NO"),
+            Event(p2, co, "YES"),
+            Event(co, p1, "COMMIT"),
+        )
+        assert not tp.coordinator_spec().admits(h)
+
+    def test_serial_no_concurrent_transactions(self, tp):
+        cl1, cl2 = ObjectId("cl1"), ObjectId("cl2")
+        co = tp.co
+        h = Trace.of(Event(cl1, co, "BEGIN"), Event(cl2, co, "BEGIN"))
+        assert not tp.coordinator_spec().admits(h)
+
+
+class TestVerificationResults:
+    def test_atomicity_as_refinement(self, tp):
+        r = check_refinement(tp.coordinator_spec(), tp.atomic_decision_spec())
+        assert r.verdict is Verdict.PROVED
+
+    def test_partial_commit_violates_atomicity(self, tp):
+        # The decision view itself rejects a lone COMMIT followed by ABORT.
+        co, p1, p2 = tp.co, tp.p1, tp.p2
+        atomic = tp.atomic_decision_spec()
+        assert not atomic.admits(
+            Trace.of(Event(co, p1, "COMMIT"), Event(co, p2, "ABORT"))
+        )
+
+    def test_participant_conformance(self, tp):
+        coord = tp.coordinator_spec()
+        for p in (tp.p1, tp.p2):
+            r = check_conformance(coord, tp.participant_spec(p))
+            assert r.verdict is Verdict.PROVED, p
+
+    def test_composability_chain(self, tp):
+        coord = tp.coordinator_spec()
+        v1 = tp.participant_spec(tp.p1)
+        assert check_composable(coord, v1).composable
+
+    def test_cell_equals_service(self, tp):
+        cell = tp.cell_spec()
+        oracle = tp.service_oracle()
+        assert trace_sets_equal(cell, oracle).holds
+
+    def test_cell_hides_protocol(self, tp):
+        cell = tp.cell_spec()
+        assert not cell.alphabet.contains(Event(tp.co, tp.p1, "COMMIT"))
+        cl = ObjectId("cl")
+        assert cell.alphabet.contains(Event(cl, tp.co, "BEGIN"))
+
+    def test_cell_deadlock_free(self, tp):
+        assert quiescence_analysis(tp.cell_spec()).deadlock_free
+
+    def test_cell_responsive(self, tp):
+        # every BEGIN can still be answered by a DONE
+        goal = CountingMachine(
+            (difference_counter("BEGIN", "DONE"),), Linear((1,), 0, "==")
+        )
+        r = responsiveness_analysis(tp.cell_spec(), goal)
+        assert r.responsive
+
+
+class TestRecoveryUpgrade:
+    """Theorem 16 exercised at case-study scale."""
+
+    def test_upgrade_refines(self, tp):
+        r = check_refinement(tp.recovery_spec(), tp.coordinator_spec())
+        assert r.verdict is Verdict.PROVED
+
+    def test_proper_wrt_client_view(self, tp):
+        from repro.core.composition import properness_witness
+
+        w = properness_witness(
+            tp.coordinator_spec(), tp.recovery_spec(), tp.client_view()
+        )
+        assert w is None
+
+    def test_theorem16_instance(self, tp):
+        from repro.checker import law_theorem16
+
+        r = law_theorem16(
+            tp.coordinator_spec(), tp.recovery_spec(), tp.client_view()
+        )
+        assert r.holds
+
+    def test_status_unconstrained_in_upgrade(self, tp):
+        cl = ObjectId("other")
+        rec = tp.recovery_spec()
+        h = Trace.of(Event(cl, tp.co, "STATUS"), Event(cl, tp.co, "STATUS"))
+        assert rec.admits(h)
+
+    def test_log_traffic_never_observable(self, tp):
+        rec = tp.recovery_spec()
+        # Definition 1: the component's alphabet never mentions co↔lg.
+        assert rec.alphabet.object_set_violation(rec.objects) is None
+        assert not rec.alphabet.contains(Event(tp.co, tp.lg, "WRITE_LOG"))
+
+
+class TestRuntime:
+    def _system(self, tp, p1_yes=1.0, p2_yes=1.0, seed=5):
+        sys = System(RandomScheduler(seed=seed))
+        sys.add_object(
+            tp.co, CoordinatorBehavior(tp.co, (tp.p1, tp.p2))
+        )
+        sys.add_object(tp.p1, ParticipantBehavior(tp.p1, tp.co, p1_yes))
+        sys.add_object(tp.p2, ParticipantBehavior(tp.p2, tp.co, p2_yes))
+        sys.add_object(ObjectId("cl"), TxClientBehavior(tp.co))
+        return sys
+
+    def test_clean_run_satisfies_all_views(self, tp):
+        sys = self._system(tp)
+        monitors = [
+            SpecMonitor(tp.coordinator_spec()),
+            SpecMonitor(tp.atomic_decision_spec()),
+            SpecMonitor(tp.participant_spec(tp.p1)),
+            SpecMonitor(tp.participant_spec(tp.p2)),
+        ]
+        for m in monitors:
+            sys.attach_monitor(m)
+        trace = sys.run(400)
+        assert trace.count("COMMIT") >= 2
+        for m in monitors:
+            assert m.ok, m.violations[:1]
+
+    def test_mixed_votes_still_conformant(self, tp):
+        sys = self._system(tp, p1_yes=0.5, p2_yes=0.5, seed=11)
+        m = SpecMonitor(tp.coordinator_spec())
+        ma = SpecMonitor(tp.atomic_decision_spec())
+        sys.attach_monitor(m)
+        sys.attach_monitor(ma)
+        trace = sys.run(600)
+        assert m.ok and ma.ok
+        assert trace.count("ABORT") >= 2  # some round aborted
+
+    def test_byzantine_participant_caught(self, tp):
+        sys = System(RandomScheduler(seed=2))
+        sys.add_object(tp.co, CoordinatorBehavior(tp.co, (tp.p1, tp.p2)))
+        sys.add_object(tp.p1, ByzantineParticipant(tp.co))
+        sys.add_object(tp.p2, ParticipantBehavior(tp.p2, tp.co))
+        sys.add_object(ObjectId("cl"), TxClientBehavior(tp.co))
+        m = SpecMonitor(tp.participant_spec(tp.p1))
+        sys.attach_monitor(m)
+        sys.run(100)
+        assert not m.ok  # volunteered votes violate the participant view

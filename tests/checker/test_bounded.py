@@ -1,0 +1,67 @@
+"""Unit tests for bounded trace enumeration."""
+
+from repro.checker.bounded import enumerate_traces, find_violation
+from repro.checker.universe import FiniteUniverse
+from repro.core.composition import compose
+from repro.core.traces import Trace
+
+
+class TestEnumeration:
+    def test_all_enumerated_are_members(self, cast):
+        spec = cast.write()
+        u = FiniteUniverse.for_specs(spec, env_objects=1, data_values=1)
+        for h in enumerate_traces(spec, u, depth=3):
+            assert spec.admits(h)
+
+    def test_breadth_first_order(self, cast):
+        spec = cast.read()
+        u = FiniteUniverse.for_specs(spec, env_objects=1)
+        lengths = [len(h) for h in enumerate_traces(spec, u, depth=2)]
+        assert lengths == sorted(lengths)
+
+    def test_counts_match_protocol(self, cast):
+        # Write over 1 env object, 1 datum: ε; OW; OW W; OW CW; ...
+        spec = cast.write()
+        u = FiniteUniverse.for_specs(spec, env_objects=1, data_values=1)
+        traces = list(enumerate_traces(spec, u, depth=2))
+        assert Trace.empty() in traces
+        assert len([h for h in traces if len(h) == 1]) == 1  # only OW
+        assert len([h for h in traces if len(h) == 2]) == 2  # OW W / OW CW
+
+    def test_max_traces_cap(self, cast):
+        spec = cast.read()
+        u = FiniteUniverse.for_specs(spec)
+        assert len(list(enumerate_traces(spec, u, depth=4, max_traces=7))) == 7
+
+    def test_composed_trace_enumeration(self, cast):
+        comp = compose(cast.client(), cast.write_acc())
+        u = FiniteUniverse.for_specs(cast.client(), cast.write_acc(),
+                                     env_objects=1, data_values=1)
+        traces = list(enumerate_traces(comp, u, depth=2, max_traces=50))
+        assert Trace.empty() in traces
+        # every enumerated trace uses only OK-to-mon events (Example 4)
+        for h in traces:
+            for e in h:
+                assert e.method == "OK" and e.callee == cast.mon
+
+
+class TestFindViolation:
+    def test_finds_projection_violation(self, cast):
+        u = FiniteUniverse.for_specs(cast.rw(), cast.read2(), env_objects=1)
+        cex = find_violation(
+            cast.rw(),
+            u,
+            lambda h: cast.read2().admits(h.filter(cast.read2().alphabet)),
+            depth=3,
+        )
+        assert cex is not None and cast.rw().admits(cex)
+
+    def test_none_when_predicate_holds(self, cast):
+        u = FiniteUniverse.for_specs(cast.read2(), cast.read(), env_objects=1)
+        cex = find_violation(
+            cast.read2(),
+            u,
+            lambda h: cast.read().admits(h.filter(cast.read().alphabet)),
+            depth=3,
+        )
+        assert cex is None

@@ -1,0 +1,91 @@
+"""Tests for spec→DFA compilation and strategy-differential agreement."""
+
+import pytest
+
+from repro.checker.bounded import enumerate_traces
+from repro.checker.compile import composed_hidden_events, spec_dfa, traceset_dfa
+from repro.checker.refinement import check_refinement
+from repro.checker.result import Verdict
+from repro.checker.universe import FiniteUniverse
+from repro.core.composition import compose
+from repro.core.events import Event
+
+
+class TestSpecDfa:
+    def test_dfa_agrees_with_membership(self, cast):
+        write = cast.write()
+        u = FiniteUniverse.for_specs(write, env_objects=1, data_values=1)
+        dfa = spec_dfa(write, u)
+        for h in enumerate_traces(write, u, depth=4):
+            assert dfa.accepts(tuple(h))
+        # and a non-member
+        x = u.objects()[0]
+        bad = next(e for e in dfa.letters if e.method == "W")
+        assert not dfa.accepts((bad,))
+
+    def test_prefix_closed_output(self, cast):
+        for builder in (cast.read, cast.write, cast.read2, cast.rw):
+            spec = builder()
+            u = FiniteUniverse.for_specs(spec, env_objects=1)
+            assert spec_dfa(spec, u).is_prefix_closed(), spec.name
+
+    def test_composed_dfa_agrees_with_witness_search(self, cast):
+        from repro.core.traces import Trace
+
+        comp = compose(cast.client(), cast.write_acc())
+        u = FiniteUniverse.for_specs(cast.client(), cast.write_acc())
+        dfa = spec_dfa(comp, u)
+        ok = Event(cast.c, cast.mon, "OK")
+        for k in range(4):
+            word = (ok,) * k
+            assert dfa.accepts(word) == comp.traces.contains(Trace(word))
+
+    def test_hidden_events_cover_protocol(self, cast):
+        comp = compose(cast.client(), cast.write_acc())
+        u = FiniteUniverse.for_specs(cast.client(), cast.write_acc())
+        hidden = composed_hidden_events(comp.traces, u)
+        methods = {e.method for e in hidden}
+        assert {"OW", "CW", "W"} <= methods
+        # all hidden events are c↔o events
+        assert all(
+            {e.caller, e.callee} == {cast.c, cast.o} for e in hidden
+        )
+
+    def test_unsupported_traceset_rejected(self, cast):
+        u = FiniteUniverse.for_specs(cast.read())
+        with pytest.raises(Exception):
+            traceset_dfa(object(), u)
+
+
+class TestStrategyAgreement:
+    """Automata and bounded strategies must agree on verdict polarity."""
+
+    CASES = [
+        ("read2", "read", Verdict.PROVED),
+        ("rw", "read", Verdict.PROVED),
+        ("rw", "write", Verdict.PROVED),
+        ("rw", "read2", Verdict.REFUTED),
+        ("rw2", "rw", Verdict.PROVED),
+        ("client2", "client", Verdict.PROVED),
+    ]
+
+    @pytest.mark.parametrize("concrete_name,abstract_name,expected", CASES)
+    def test_agreement(self, cast, concrete_name, abstract_name, expected):
+        concrete = getattr(cast, concrete_name)()
+        abstract = getattr(cast, abstract_name)()
+        u = FiniteUniverse.for_specs(concrete, abstract, env_objects=1)
+        exact = check_refinement(concrete, abstract, u, strategy="automata")
+        bounded = check_refinement(
+            concrete, abstract, u, strategy="bounded", depth=4
+        )
+        assert exact.verdict is expected
+        if expected is Verdict.PROVED:
+            assert bounded.verdict is Verdict.BOUNDED_OK
+        else:
+            assert bounded.verdict is Verdict.REFUTED
+            # counterexamples from both strategies are genuine
+            for r in (exact, bounded):
+                assert concrete.admits(r.counterexample)
+                assert not abstract.admits(
+                    r.counterexample.filter(abstract.alphabet)
+                )

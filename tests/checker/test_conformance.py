@@ -1,0 +1,55 @@
+"""Unit tests for projection conformance (condition 3 without 1–2)."""
+
+import pytest
+
+from repro.checker.refinement import check_conformance
+from repro.checker.result import Verdict
+from repro.checker.universe import FiniteUniverse
+from repro.core.errors import StateSpaceLimitExceeded
+
+
+class TestConformance:
+    def test_cross_object_conformance(self, cast):
+        # Client's protocol respects the OKFlow viewpoint of itself; more
+        # interestingly, RW conforms to Read (same facts as refinement,
+        # but through the conformance entry point).
+        r = check_conformance(cast.rw(), cast.read())
+        assert r.verdict is Verdict.PROVED
+
+    def test_conformance_weaker_than_refinement(self, cast):
+        # Read ⋢ Read2 fails *statically* (alphabet), but conformance
+        # ignores alphabets: every Read trace projects to ε-or-reads,
+        # and reads alone violate Read2's session protocol.
+        r = check_conformance(cast.read(), cast.read2())
+        assert r.verdict is Verdict.REFUTED
+        assert r.counterexample is not None
+
+    def test_refuted_with_counterexample(self, cast):
+        r = check_conformance(cast.rw(), cast.read2())
+        assert r.verdict is Verdict.REFUTED
+        cex = r.counterexample
+        assert cast.rw().admits(cex)
+        assert not cast.read2().admits(cex.filter(cast.read2().alphabet))
+
+    def test_bounded_strategy(self, cast):
+        r = check_conformance(
+            cast.rw(), cast.read(), strategy="bounded", depth=3
+        )
+        assert r.verdict is Verdict.BOUNDED_OK
+
+    def test_automata_strategy_raises_on_budget(self, cast):
+        with pytest.raises(StateSpaceLimitExceeded):
+            check_conformance(
+                cast.rw(), cast.read(), strategy="automata", state_limit=2
+            )
+
+    def test_auto_falls_back(self, cast):
+        r = check_conformance(
+            cast.rw(), cast.read(), strategy="auto", state_limit=2, depth=3
+        )
+        assert r.verdict is Verdict.BOUNDED_OK
+
+    def test_explicit_universe(self, cast):
+        u = FiniteUniverse.for_specs(cast.rw(), cast.read(), env_objects=1)
+        r = check_conformance(cast.rw(), cast.read(), u)
+        assert r.verdict is Verdict.PROVED

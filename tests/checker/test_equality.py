@@ -1,0 +1,46 @@
+"""Unit tests for extensional equality checks."""
+
+from repro.checker.equality import alphabets_equal, specs_equal, trace_sets_equal
+from repro.checker.result import Verdict
+from repro.core.composition import compose
+
+
+class TestAlphabetsEqual:
+    def test_same_alphabet(self, cast):
+        assert alphabets_equal(cast.read(), cast.read()).holds
+
+    def test_different_alphabets_with_witness(self, cast):
+        r = alphabets_equal(cast.read(), cast.read2())
+        assert not r.holds and r.counterexample is not None
+
+    def test_syntactically_different_extensionally_equal(self, cast):
+        # RW's alphabet = Write ∪ Read2 built in either order
+        a = compose(cast.write(), cast.read2())
+        b = compose(cast.read2(), cast.write())
+        assert alphabets_equal(a, b).holds
+
+
+class TestTraceSetsEqual:
+    def test_example6(self, cast):
+        lhs = compose(cast.rw2(), cast.client())
+        rhs = compose(cast.write_acc(), cast.client())
+        assert trace_sets_equal(lhs, rhs).holds
+
+    def test_unequal_with_witness(self, cast):
+        r = trace_sets_equal(cast.write(), cast.write_acc())
+        assert not r.holds
+        cex = r.counterexample
+        assert cex is not None
+        # the distinguishing trace is in Write but not WriteAcc
+        assert cast.write().admits(cex) != cast.write_acc().admits(cex)
+
+
+class TestSpecsEqual:
+    def test_property5_shape(self, cast):
+        comp = compose(cast.write(), cast.write())
+        assert specs_equal(comp, cast.write()).holds
+
+    def test_object_sets_compared(self, cast, upgrade):
+        r = specs_equal(cast.read(), upgrade.server_spec())
+        assert r.verdict is Verdict.REFUTED
+        assert "object sets differ" in r.note

@@ -1,0 +1,77 @@
+"""Unit tests for the law harness (premise handling and verdicts).
+
+The paper-instance agreement itself is covered by tests/paper/; here we
+exercise the harness mechanics: premise failures raise, side conditions
+matter, negative instances refute.
+"""
+
+import pytest
+
+from repro.checker.laws import (
+    law_lemma6,
+    law_lemma15,
+    law_property5,
+    law_property12,
+    law_property17,
+    law_theorem7,
+    law_theorem16,
+    law_theorem18,
+)
+from repro.checker.result import Verdict
+from repro.core.errors import RefinementError
+
+
+class TestPremises:
+    def test_property5_requires_interface(self, upgrade):
+        with pytest.raises(RefinementError):
+            law_property5(upgrade.upgraded_spec())
+
+    def test_theorem7_requires_refinement_premise(self, cast):
+        # Write does not refine WriteAcc (the premise direction matters).
+        with pytest.raises(RefinementError):
+            law_theorem7(cast.write_acc(), cast.write(), cast.client())
+
+    def test_theorem16_requires_properness(self, upgrade):
+        with pytest.raises(RefinementError):
+            law_theorem16(
+                upgrade.server_spec(),
+                upgrade.upgraded_spec(),
+                upgrade.nosy_client_spec(),
+            )
+
+    def test_theorem18_requires_same_objects(self, upgrade):
+        with pytest.raises(RefinementError):
+            law_theorem18(
+                upgrade.server_spec(),
+                upgrade.upgraded_spec(),
+                upgrade.client_spec(),
+            )
+
+    def test_lemma6_requires_same_object(self, cast, upgrade):
+        with pytest.raises(RefinementError):
+            law_lemma6(cast.read(), upgrade.client_spec())
+
+
+class TestVerdicts:
+    def test_lemma6_candidates_filtered(self, cast):
+        # A candidate that does not refine both sides is skipped, not failed.
+        r = law_lemma6(cast.read(), cast.write(), candidates=(cast.read2(),))
+        assert r.holds
+
+    def test_property12_commutativity_only(self, cast):
+        r = law_property12(cast.write_acc(), cast.client())
+        assert r.holds
+
+    def test_property17_detects_violation(self, cast, upgrade):
+        # Γ' keeps O(Γ) but its alphabet reaches into Δ's internals?  With
+        # well-formed interface specs composability cannot break, so the
+        # law proves.
+        r = law_property17(cast.write(), cast.write_acc(), cast.client())
+        assert r.verdict is Verdict.PROVED
+
+    def test_lemma15_proved_symbolically(self, upgrade):
+        r = law_lemma15(
+            upgrade.server_spec(), upgrade.upgraded_spec(), upgrade.client_spec()
+        )
+        assert r.verdict is Verdict.PROVED
+        assert "symbolically" in r.note

@@ -1,0 +1,169 @@
+"""Property-based replays of the paper's laws on randomised spec families.
+
+Random instances complement the paper-instance tests: the laws must hold
+for *every* specification, so we generate small constructive families —
+random protocol conditions over a fixed method pool, with refinements
+built by strengthening (extra conjuncts and alphabet expansion, which is
+sound by construction since counting conditions only read their own
+methods' counters).
+"""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.checker.equality import specs_equal, trace_sets_equal
+from repro.checker.refinement import check_refinement
+from repro.checker.result import Verdict
+from repro.checker.universe import FiniteUniverse
+from repro.core.alphabet import Alphabet
+from repro.core.composition import check_composable, compose
+from repro.core.patterns import pattern
+from repro.core.sorts import OBJ, Sort
+from repro.core.specification import Specification, interface_spec
+from repro.core.values import ObjectId
+from repro.machines.boolean import AndMachine, TrueMachine
+from repro.machines.counting import CondAnd, CounterDef, CountingMachine, Linear
+
+o = ObjectId("o")
+c2 = ObjectId("c2")
+METHODS = ("A", "B", "C")
+
+_SETTINGS = settings(
+    max_examples=25,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+
+
+def _alpha(obj: ObjectId, methods: tuple[str, ...]) -> Alphabet:
+    env = OBJ.without(obj)
+    return Alphabet.of(*(pattern(env, Sort.values(obj), m) for m in methods))
+
+
+@st.composite
+def conditions(draw, methods: tuple[str, ...]):
+    """A random *bounded* counting machine over a subset of methods.
+
+    Every generated condition keeps the reachable non-failed counter space
+    finite (exact DFA compilation must succeed): either a hard cap on one
+    method's count, or a two-sided difference window ``0 ≤ #m1−#m2 ≤ k``.
+    """
+    m1 = draw(st.sampled_from(methods))
+    k = draw(st.integers(0, 2))
+    others = [m for m in methods if m != m1]
+    if draw(st.booleans()) or not others:  # at most k calls of m1
+        return CountingMachine(
+            (CounterDef(((m1, 1),)),), Linear((1,), -k, "<=")
+        ), (m1,)
+    m2 = draw(st.sampled_from(others))
+    window = CountingMachine(
+        (CounterDef(((m1, 1), (m2, -1))),),
+        # 0 ≤ #m1 − #m2 ≤ k — bounded on both sides
+        CondAnd((Linear((1,), -k, "<="), Linear((-1,), 0, "<="))),
+    )
+    return window, (m1, m2)
+
+
+@st.composite
+def spec_chain(draw):
+    """An abstract spec and a constructive refinement of it (same object)."""
+    cond_a, used_a = draw(conditions(METHODS[:2]))
+    methods_a = tuple(sorted(set(used_a)))
+    abstract = interface_spec("Abs", o, _alpha(o, methods_a), cond_a)
+    # refinement: full method pool, extra conjunct
+    cond_b, _ = draw(conditions(METHODS))
+    concrete = interface_spec(
+        "Con", o, _alpha(o, METHODS), AndMachine((cond_a, cond_b))
+    )
+    return abstract, concrete
+
+
+@st.composite
+def partner_specs(draw):
+    """A spec of a second object c2, for composition contexts."""
+    cond, used = draw(conditions(METHODS[:2]))
+    return interface_spec("Del", c2, _alpha(c2, tuple(sorted(set(used)))), cond)
+
+
+def _uni(*specs: Specification) -> FiniteUniverse:
+    return FiniteUniverse.for_specs(*specs, env_objects=1, data_values=1)
+
+
+@_SETTINGS
+@given(spec_chain())
+def test_constructive_refinements_prove(chain):
+    abstract, concrete = chain
+    u = _uni(abstract, concrete)
+    assert check_refinement(concrete, abstract, u).verdict is Verdict.PROVED
+
+
+@_SETTINGS
+@given(spec_chain())
+def test_refinement_reflexive(chain):
+    abstract, _ = chain
+    u = _uni(abstract)
+    assert check_refinement(abstract, abstract, u).verdict is Verdict.PROVED
+
+
+@_SETTINGS
+@given(spec_chain(), partner_specs())
+def test_theorem7_random(chain, delta):
+    abstract, concrete = chain
+    u = _uni(abstract, concrete, delta)
+    premise = check_refinement(concrete, abstract, u)
+    assert premise.holds
+    conclusion = check_refinement(
+        compose(concrete, delta), compose(abstract, delta), u
+    )
+    assert conclusion.holds, conclusion.explain()
+
+
+@_SETTINGS
+@given(spec_chain())
+def test_lemma6_random(chain):
+    g1, _ = chain
+    g2 = interface_spec("G2", o, _alpha(o, METHODS[1:]), TrueMachine())
+    u = _uni(g1, g2)
+    comp = compose(g1, g2)
+    assert check_refinement(comp, g1, u).holds
+    assert check_refinement(comp, g2, u).holds
+
+
+@_SETTINGS
+@given(spec_chain())
+def test_property5_random(chain):
+    abstract, _ = chain
+    u = _uni(abstract)
+    assert specs_equal(compose(abstract, abstract), abstract, u).holds
+
+
+@_SETTINGS
+@given(spec_chain(), partner_specs())
+def test_commutativity_random(chain, delta):
+    gamma, _ = chain
+    assert check_composable(gamma, delta).composable
+    u = _uni(gamma, delta)
+    assert trace_sets_equal(
+        compose(gamma, delta), compose(delta, gamma), u
+    ).holds
+
+
+@_SETTINGS
+@given(spec_chain(), partner_specs())
+def test_refinement_transitive_random(chain, delta):
+    abstract, concrete = chain
+    # extend the chain once more: concrete2 strengthens concrete
+    extra = CountingMachine(
+        (CounterDef((("C", 1),)),), Linear((1,), 0, "<=")
+    )
+    concrete2 = interface_spec(
+        "Con2", o, concrete.alphabet,
+        AndMachine((concrete.traces.machine(), extra)),
+    )
+    u = _uni(abstract, concrete, concrete2)
+    assert check_refinement(concrete2, concrete, u).holds
+    assert check_refinement(concrete, abstract, u).holds
+    assert check_refinement(concrete2, abstract, u).holds

@@ -1,0 +1,65 @@
+"""Unit tests for the proof-obligation framework."""
+
+from repro.checker.obligations import Obligation, ProofSession
+from repro.checker.result import CheckResult, Verdict
+from repro.core.errors import RefinementError
+
+
+def _proved():
+    return CheckResult(Verdict.PROVED, note="fine")
+
+
+def _refuted():
+    return CheckResult(Verdict.REFUTED, note="bad")
+
+
+def _boom():
+    raise RefinementError("premise failed: not applicable")
+
+
+class TestOutcomes:
+    def test_positive_agreement(self):
+        s = ProofSession().run([Obligation("A", "t", _proved, expected=True)])
+        assert s.all_agree and s.outcomes[0].status() == "agree"
+
+    def test_negative_agreement(self):
+        s = ProofSession().run([Obligation("A", "t", _refuted, expected=False)])
+        assert s.all_agree
+
+    def test_disagreement(self):
+        s = ProofSession().run([Obligation("A", "t", _refuted, expected=True)])
+        assert not s.all_agree and s.failures()
+
+    def test_errors_recorded_not_raised(self):
+        s = ProofSession().run([Obligation("A", "t", _boom)])
+        assert not s.all_agree
+        assert s.outcomes[0].error is not None
+        assert s.outcomes[0].status() == "ERROR"
+
+    def test_bounded_ok_counts_as_positive(self):
+        ok = lambda: CheckResult(Verdict.BOUNDED_OK)
+        s = ProofSession().run([Obligation("A", "t", ok, expected=True)])
+        assert s.all_agree
+
+    def test_static_failure_agrees_with_expected_false(self):
+        sf = lambda: CheckResult(Verdict.STATIC_FAILED)
+        s = ProofSession().run([Obligation("A", "t", sf, expected=False)])
+        assert s.all_agree
+
+
+class TestRendering:
+    def test_table_contains_rows(self):
+        s = ProofSession().run(
+            [
+                Obligation("A", "first", _proved),
+                Obligation("B", "second", _refuted, expected=False),
+            ]
+        )
+        table = s.format_table()
+        assert "| A |" in table and "| B |" in table
+        assert "agree" in table
+
+    def test_details_contain_errors(self):
+        s = ProofSession().run([Obligation("A", "t", _boom, source="Lemma 1")])
+        details = s.format_details()
+        assert "ERROR" in details and "Lemma 1" in details

@@ -1,0 +1,95 @@
+"""Unit tests for the refinement-checking strategies."""
+
+import pytest
+
+from repro.checker.refinement import check_refinement, refines
+from repro.checker.result import Verdict
+from repro.checker.universe import FiniteUniverse
+from repro.core.errors import RefinementError
+
+
+class TestAutomataStrategy:
+    def test_example2_proved(self, cast):
+        r = check_refinement(cast.read2(), cast.read(), strategy="automata")
+        assert r.verdict is Verdict.PROVED
+        assert r.holds and r.static is not None and r.static.ok
+
+    def test_example3_negative_with_counterexample(self, cast):
+        r = check_refinement(cast.rw(), cast.read2(), strategy="automata")
+        assert r.verdict is Verdict.REFUTED
+        cex = r.counterexample
+        assert cex is not None
+        # counterexample is admitted by RW but its projection escapes Read2
+        assert cast.rw().admits(cex)
+        assert not cast.read2().admits(cex.filter(cast.read2().alphabet))
+
+    def test_static_failure_short_circuits(self, cast):
+        r = check_refinement(cast.read(), cast.read2())
+        assert r.verdict is Verdict.STATIC_FAILED
+        assert not r.holds
+
+    def test_minimize_option_same_verdict(self, cast):
+        r1 = check_refinement(cast.rw(), cast.write(), use_minimize=True)
+        r2 = check_refinement(cast.rw(), cast.write(), use_minimize=False)
+        assert r1.verdict == r2.verdict == Verdict.PROVED
+
+    def test_stats_populated(self, cast):
+        r = check_refinement(cast.read2(), cast.read())
+        assert r.stats["events"] > 0 and r.stats["concrete_dfa_states"] > 0
+
+
+class TestBoundedStrategy:
+    def test_bounded_cannot_prove(self, cast):
+        r = check_refinement(
+            cast.read2(), cast.read(), strategy="bounded", depth=3
+        )
+        assert r.verdict is Verdict.BOUNDED_OK
+        assert r.holds  # positive but weaker than PROVED
+
+    def test_bounded_refutes_with_counterexample(self, cast):
+        r = check_refinement(
+            cast.rw(), cast.read2(), strategy="bounded", depth=4
+        )
+        assert r.verdict is Verdict.REFUTED
+        assert r.counterexample is not None
+
+    def test_depth_too_shallow_misses_bug(self, cast):
+        r = check_refinement(
+            cast.rw(), cast.read2(), strategy="bounded", depth=1
+        )
+        # the shortest counterexample (OW then R) has length 2
+        assert r.verdict is Verdict.BOUNDED_OK
+
+
+class TestAutoStrategy:
+    def test_auto_prefers_automata(self, cast):
+        r = check_refinement(cast.read2(), cast.read(), strategy="auto")
+        assert r.verdict is Verdict.PROVED
+
+    def test_auto_falls_back_on_state_budget(self, cast):
+        r = check_refinement(
+            cast.read2(), cast.read(), strategy="auto", state_limit=2, depth=2
+        )
+        assert r.verdict is Verdict.BOUNDED_OK
+
+    def test_unknown_strategy_rejected(self, cast):
+        with pytest.raises(RefinementError):
+            check_refinement(cast.read2(), cast.read(), strategy="nope")
+
+
+class TestRelationLaws:
+    def test_reflexive(self, cast):
+        for s in (cast.read(), cast.write(), cast.rw()):
+            assert refines(s, s)
+
+    def test_transitive_on_paper_chain(self, cast):
+        # RW2 ⊑ RW ⊑ Write hence RW2 ⊑ Write
+        assert refines(cast.rw2(), cast.rw())
+        assert refines(cast.rw(), cast.write())
+        assert refines(cast.rw2(), cast.write())
+
+    def test_universe_growth_stable(self, cast):
+        for k in (1, 2, 3):
+            u = FiniteUniverse.for_specs(cast.rw(), cast.read2(), env_objects=k)
+            r = check_refinement(cast.rw(), cast.read2(), universe=u)
+            assert r.verdict is Verdict.REFUTED

@@ -1,0 +1,41 @@
+"""Tests for the refinement-matrix report."""
+
+from repro.checker.report import refinement_matrix
+
+
+class TestMatrix:
+    def test_paper_lattice(self, cast):
+        specs = [cast.read(), cast.write(), cast.read2(), cast.rw()]
+        matrix = refinement_matrix(specs)
+        name = {s.name: i for i, s in enumerate(matrix.specs)}
+        # Examples 2-3's facts:
+        assert matrix.holds(name["Read2"], name["Read"])
+        assert matrix.holds(name["RW"], name["Read"])
+        assert matrix.holds(name["RW"], name["Write"])
+        assert not matrix.holds(name["RW"], name["Read2"])
+        assert not matrix.holds(name["Read"], name["Read2"])
+        # reflexivity by convention
+        assert matrix.holds(name["Read"], name["Read"])
+
+    def test_hasse_edges_are_the_paper_diagram(self, cast):
+        specs = [cast.read(), cast.write(), cast.read2(), cast.rw()]
+        edges = refinement_matrix(specs).hasse_edges()
+        # Read2 ⊑ Read directly; RW ⊑ Write directly; RW ⊑ Read *via
+        # nothing* (RW ⋢ Read2, so RW→Read is NOT shortcut by Read2).
+        assert ("Read2", "Read") in edges
+        assert ("RW", "Write") in edges
+        assert ("RW", "Read") in edges
+        assert ("RW", "Read2") not in edges
+
+    def test_transitive_reduction_removes_shortcuts(self, cast):
+        specs = [cast.write(), cast.write_acc(), cast.rw2()]
+        edges = refinement_matrix(specs).hasse_edges()
+        # RW2 ⊑ WriteAcc ⊑ Write: the direct RW2→Write edge is reduced away.
+        assert ("RW2", "WriteAcc") in edges
+        assert ("WriteAcc", "Write") in edges
+        assert ("RW2", "Write") not in edges
+
+    def test_format_table(self, cast):
+        specs = [cast.read(), cast.read2()]
+        table = refinement_matrix(specs).format_table()
+        assert "| **Read2** | ✓ | · |" in table

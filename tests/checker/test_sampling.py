@@ -1,0 +1,81 @@
+"""Tests for the sampling strategy, including differential agreement."""
+
+from repro.checker.refinement import check_refinement
+from repro.checker.result import Verdict
+from repro.checker.sampling import random_traces, sample_refinement
+from repro.checker.universe import FiniteUniverse
+from repro.core.composition import compose
+
+
+class TestRandomTraces:
+    def test_all_samples_are_members(self, cast):
+        spec = cast.write()
+        u = FiniteUniverse.for_specs(spec, env_objects=2)
+        for h in random_traces(spec, u, n_walks=20, max_len=10, seed=3):
+            assert spec.admits(h)
+
+    def test_reproducible(self, cast):
+        spec = cast.rw()
+        u = FiniteUniverse.for_specs(spec, env_objects=1)
+        a = list(random_traces(spec, u, 10, 8, seed=7))
+        b = list(random_traces(spec, u, 10, 8, seed=7))
+        assert a == b
+
+    def test_seeds_differ(self, cast):
+        spec = cast.rw()
+        u = FiniteUniverse.for_specs(spec, env_objects=2)
+        a = list(random_traces(spec, u, 10, 8, seed=1))
+        b = list(random_traces(spec, u, 10, 8, seed=2))
+        assert a != b
+
+    def test_composed_trace_sampling(self, cast):
+        comp = compose(cast.client(), cast.write_acc())
+        u = FiniteUniverse.for_specs(cast.client(), cast.write_acc())
+        samples = list(random_traces(comp, u, 5, 4, seed=0))
+        assert samples
+        for h in samples:
+            assert comp.admits(h)
+
+
+class TestSampleRefinement:
+    def test_refutes_example3(self, cast):
+        r = sample_refinement(cast.rw(), cast.read2(), n_walks=60, max_len=6)
+        assert r.verdict is Verdict.REFUTED
+        assert r.counterexample is not None
+        assert cast.rw().admits(r.counterexample)
+
+    def test_unknown_on_positive_instance(self, cast):
+        r = sample_refinement(cast.read2(), cast.read(), n_walks=15, max_len=6)
+        assert r.verdict is Verdict.UNKNOWN
+        assert not r.holds  # sampling never proves
+
+    def test_static_failure_detected(self, cast):
+        r = sample_refinement(cast.read(), cast.read2())
+        assert r.verdict is Verdict.STATIC_FAILED
+
+
+class TestDifferentialAgreement:
+    """Sampling must never contradict the exact strategy."""
+
+    CASES = [
+        ("read2", "read"),
+        ("rw", "read"),
+        ("rw", "write"),
+        ("rw", "read2"),
+        ("rw2", "write_acc"),
+        ("client2", "client"),
+    ]
+
+    def test_never_contradicts_automata(self, cast):
+        for concrete_name, abstract_name in self.CASES:
+            concrete = getattr(cast, concrete_name)()
+            abstract = getattr(cast, abstract_name)()
+            exact = check_refinement(concrete, abstract, strategy="automata")
+            sampled = sample_refinement(concrete, abstract, n_walks=40, max_len=6)
+            if sampled.verdict is Verdict.REFUTED:
+                assert exact.verdict is Verdict.REFUTED, (
+                    concrete_name,
+                    abstract_name,
+                )
+            if exact.verdict is Verdict.PROVED:
+                assert sampled.verdict is Verdict.UNKNOWN

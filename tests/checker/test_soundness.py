@@ -1,0 +1,42 @@
+"""Unit tests for soundness checking against semantic components."""
+
+from repro.checker.soundness import check_soundness, universe_for_component
+from repro.checker.result import Verdict
+from repro.core.component import Component, SemanticObject
+from repro.paper.claims import lemma13_component, okflow_spec
+
+
+class TestSoundness:
+    def test_rw_semantics_sound_for_read_and_write(self, cast):
+        comp = Component(
+            (SemanticObject(cast.o, cast.rw().traces.machine()),),
+            cast.rw_alphabet(),
+        )
+        assert check_soundness(cast.read(), comp).verdict is Verdict.PROVED
+        assert check_soundness(cast.write(), comp).verdict is Verdict.PROVED
+
+    def test_unsound_spec_detected(self, cast):
+        # An RW-behaving object is NOT sound for Read2: it may read during
+        # a write session (the Example 3 counterexample, semantically).
+        comp = Component(
+            (SemanticObject(cast.o, cast.rw().traces.machine()),),
+            cast.rw_alphabet(),
+        )
+        r = check_soundness(cast.read2(), comp)
+        assert r.verdict is Verdict.REFUTED
+        assert r.counterexample is not None
+
+    def test_two_object_component(self, cast):
+        comp = lemma13_component(cast)
+        u = universe_for_component(comp, okflow_spec(cast), cast.write(), env_objects=1)
+        assert check_soundness(okflow_spec(cast), comp, u).holds
+        assert check_soundness(cast.write(), comp, u).holds
+
+    def test_client_not_sound_for_encapsulated_component(self, cast):
+        # Client's alphabet mentions the hidden c→o writes, so the observable
+        # component traces (bare OKs) violate it — soundness fails, which is
+        # exactly why composability matters for component viewpoints.
+        comp = lemma13_component(cast)
+        u = universe_for_component(comp, cast.client(), env_objects=1)
+        r = check_soundness(cast.client(), comp, u)
+        assert r.verdict is Verdict.REFUTED

@@ -1,0 +1,128 @@
+"""Tests for specification transformers and their refinement guarantees."""
+
+import pytest
+
+from repro.checker.equality import specs_equal
+from repro.checker.refinement import check_refinement
+from repro.checker.result import Verdict
+from repro.core.composition import compose
+from repro.core.errors import SpecificationError
+from repro.core.events import Event
+from repro.core.patterns import pattern
+from repro.core.sorts import OBJ, Sort
+from repro.core.traces import Trace
+from repro.core.transform import (
+    expand_alphabet,
+    rename_objects,
+    restrict_communication,
+    strengthen,
+)
+from repro.core.values import DataVal, ObjectId
+from repro.machines.counting import CountingMachine, Linear, method_counter
+
+
+def at_most(method, k):
+    return CountingMachine((method_counter(method),), Linear((1,), -k, "<="))
+
+
+class TestStrengthen:
+    def test_result_refines_original(self, cast):
+        stronger = strengthen(cast.write(), at_most("OW", 1))
+        r = check_refinement(stronger, cast.write())
+        assert r.verdict is Verdict.PROVED
+
+    def test_behaviour_restricted(self, cast, x1, x2):
+        stronger = strengthen(cast.write(), at_most("OW", 1))
+        o = cast.o
+        two_sessions = Trace.of(
+            Event(x1, o, "OW"), Event(x1, o, "CW"),
+            Event(x2, o, "OW"), Event(x2, o, "CW"),
+        )
+        assert cast.write().admits(two_sessions)
+        assert not stronger.admits(two_sessions)
+
+    def test_strengthen_full_set(self, cast):
+        stronger = strengthen(cast.read(), at_most("R", 1))
+        assert check_refinement(stronger, cast.read()).holds
+
+
+class TestExpandAlphabet:
+    def test_result_refines_original(self, cast):
+        extra = pattern(
+            OBJ.without(cast.o), Sort.values(cast.o), "PING"
+        )
+        wider = expand_alphabet(cast.write(), [extra])
+        r = check_refinement(wider, cast.write())
+        assert r.verdict is Verdict.PROVED
+
+    def test_new_events_unconstrained(self, cast, x1):
+        extra = pattern(OBJ.without(cast.o), Sort.values(cast.o), "PING")
+        wider = expand_alphabet(cast.write(), [extra])
+        ping = Event(x1, cast.o, "PING")
+        h = Trace.of(ping, Event(x1, cast.o, "OW"), ping)
+        assert wider.admits(h)
+
+
+class TestRestrictCommunication:
+    def test_rebuilds_rw2(self, cast):
+        built = restrict_communication(cast.rw(), [cast.c])
+        assert specs_equal(built, cast.rw2()).holds
+
+    def test_rebuilds_write_acc_behaviour(self, cast, x1, d1):
+        built = restrict_communication(cast.write(), [cast.c])
+        o, c = cast.o, cast.c
+        assert built.admits(Trace.of(Event(c, o, "OW"), Event(c, o, "W", (d1,))))
+        assert not built.admits(Trace.of(Event(x1, o, "OW")))
+        # extensionally equal to the paper's WriteAcc
+        assert specs_equal(built, cast.write_acc()).holds
+
+
+class TestRenameObjects:
+    def test_objects_and_alphabet_renamed(self, cast):
+        p = ObjectId("p")
+        renamed = rename_objects(cast.write(), {cast.o: p})
+        assert renamed.objects == frozenset((p,))
+        assert renamed.alphabet.contains(Event(ObjectId("x"), p, "OW"))
+        assert not renamed.alphabet.contains(Event(ObjectId("x"), cast.o, "OW"))
+
+    def test_behaviour_follows_renaming(self, cast, x1, d1):
+        p = ObjectId("p")
+        renamed = rename_objects(cast.write(), {cast.o: p})
+        session = Trace.of(
+            Event(x1, p, "OW"), Event(x1, p, "W", (d1,)), Event(x1, p, "CW")
+        )
+        assert renamed.admits(session)
+        assert not renamed.admits(Trace.of(Event(x1, p, "W", (d1,))))
+
+    def test_refinement_equivariance(self, cast):
+        p = ObjectId("p")
+        rw_p = rename_objects(cast.rw(), {cast.o: p})
+        write_p = rename_objects(cast.write(), {cast.o: p})
+        read2_p = rename_objects(cast.read2(), {cast.o: p})
+        assert check_refinement(rw_p, write_p).verdict is Verdict.PROVED
+        assert check_refinement(rw_p, read2_p).verdict is Verdict.REFUTED
+
+    def test_composition_renaming(self, cast):
+        p, q = ObjectId("p"), ObjectId("q")
+        comp = compose(cast.client(), cast.write_acc())
+        renamed = rename_objects(comp, {cast.o: p, cast.c: q})
+        assert renamed.objects == frozenset((p, q))
+        # observable behaviour follows: q's OK to the monitor
+        ok = Event(q, cast.mon, "OK")
+        assert renamed.admits(Trace.of(ok))
+
+    def test_non_injective_rejected(self, cast):
+        p = ObjectId("p")
+        comp = compose(cast.client(), cast.write_acc())
+        with pytest.raises(SpecificationError):
+            rename_objects(comp, {cast.o: p, cast.c: p})
+
+    def test_swap_renaming(self, cast):
+        # swapping two identities is a valid (injective) renaming
+        o, c = cast.o, cast.c
+        swapped = rename_objects(cast.write_acc(), {o: c, c: o})
+        assert swapped.objects == frozenset((c,))
+        d = DataVal("Data", "d")
+        assert swapped.admits(
+            Trace.of(Event(o, c, "OW"), Event(o, c, "W", (d,)))
+        )

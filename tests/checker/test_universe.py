@@ -1,0 +1,55 @@
+"""Unit tests for finite universes."""
+
+import pytest
+
+from repro.checker.universe import FiniteUniverse
+from repro.core.errors import UniverseError
+from repro.core.events import Event
+from repro.core.values import DataVal, ObjectId
+
+
+class TestConstruction:
+    def test_for_specs_contains_cast(self, cast):
+        u = FiniteUniverse.for_specs(cast.read(), cast.write())
+        assert cast.o in u.objects()
+
+    def test_fresh_objects_added(self, cast):
+        u2 = FiniteUniverse.for_specs(cast.read(), env_objects=2)
+        u5 = FiniteUniverse.for_specs(cast.read(), env_objects=5)
+        assert len(u5.objects()) == len(u2.objects()) + 3
+
+    def test_data_values_added(self, cast):
+        u = FiniteUniverse.for_specs(cast.read(), data_values=3)
+        assert len(u.data()) == 3
+
+    def test_trace_predicate_values_included(self, cast):
+        # Example 4's monitor o' appears only in the Client trace predicate.
+        u = FiniteUniverse.for_specs(cast.client())
+        assert cast.mon in u.objects()
+
+    def test_duplicates_rejected(self):
+        o = ObjectId("o")
+        with pytest.raises(UniverseError):
+            FiniteUniverse((o, o))
+
+    def test_extended(self):
+        u = FiniteUniverse.of(ObjectId("o"))
+        v = u.extended(ObjectId("p"), ObjectId("o"))
+        assert len(v.values) == 2
+
+
+class TestEvents:
+    def test_events_for_respects_alphabet(self, cast):
+        u = FiniteUniverse.for_specs(cast.read())
+        events = u.events_for(cast.read().alphabet)
+        assert events  # non-empty
+        assert all(cast.read().alphabet.contains(e) for e in events)
+        assert all(e.callee == cast.o for e in events)
+
+    def test_events_deterministic_and_sorted(self, cast):
+        u = FiniteUniverse.for_specs(cast.read())
+        assert u.events_for(cast.read().alphabet) == u.events_for(
+            cast.read().alphabet
+        )
+        evs = u.events_for(cast.read().alphabet)
+        assert list(evs) == sorted(evs)

@@ -1,0 +1,55 @@
+"""Universe-adequacy checks: verdicts must be stable as universes grow.
+
+The checker's PROVED verdicts are exact *per universe*; the adequacy
+argument (uniformity of notation-definable predicates in unmentioned
+identities) predicts that growing the universe never flips a verdict.
+These tests sweep the paper's key claims over universe sizes.
+"""
+
+import pytest
+
+from repro.checker.equality import trace_sets_equal
+from repro.checker.refinement import check_refinement
+from repro.checker.result import Verdict
+from repro.checker.universe import FiniteUniverse
+from repro.core.composition import compose
+
+
+CLAIMS = [
+    ("read2", "read", Verdict.PROVED),
+    ("rw", "write", Verdict.PROVED),
+    ("rw", "read2", Verdict.REFUTED),
+    ("rw2", "write_acc", Verdict.PROVED),
+]
+
+
+class TestRefinementStability:
+    @pytest.mark.parametrize("concrete_name,abstract_name,expected", CLAIMS)
+    @pytest.mark.parametrize("env_objects", [1, 2, 3])
+    def test_verdict_stable(self, cast, concrete_name, abstract_name,
+                            expected, env_objects):
+        concrete = getattr(cast, concrete_name)()
+        abstract = getattr(cast, abstract_name)()
+        u = FiniteUniverse.for_specs(
+            concrete, abstract, env_objects=env_objects
+        )
+        assert check_refinement(concrete, abstract, u).verdict is expected
+
+    @pytest.mark.parametrize("data_values", [1, 2])
+    def test_data_domain_growth_stable(self, cast, data_values):
+        u = FiniteUniverse.for_specs(
+            cast.rw(), cast.write(), env_objects=2, data_values=data_values
+        )
+        assert check_refinement(cast.rw(), cast.write(), u).verdict is Verdict.PROVED
+
+
+class TestEqualityStability:
+    @pytest.mark.parametrize("env_objects", [1, 2])
+    def test_example6_stable(self, cast, env_objects):
+        lhs = compose(cast.rw2(), cast.client())
+        rhs = compose(cast.write_acc(), cast.client())
+        u = FiniteUniverse.for_specs(
+            cast.rw2(), cast.write_acc(), cast.client(),
+            env_objects=env_objects,
+        )
+        assert trace_sets_equal(lhs, rhs, u).holds

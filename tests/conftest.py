@@ -1,0 +1,60 @@
+"""Shared fixtures: the paper's cast, the upgrade scenario, universes."""
+
+from __future__ import annotations
+
+import sys
+from pathlib import Path
+
+import pytest
+
+sys.path.insert(0, str(Path(__file__).parent))  # make `strategies` importable
+
+from repro.checker.universe import FiniteUniverse
+from repro.core.values import DataVal, ObjectId
+from repro.paper.specs import PaperCast
+from repro.paper.upgrade import UpgradeCast
+
+
+@pytest.fixture(scope="session")
+def cast() -> PaperCast:
+    return PaperCast()
+
+
+@pytest.fixture(scope="session")
+def upgrade() -> UpgradeCast:
+    return UpgradeCast()
+
+
+@pytest.fixture()
+def o(cast):
+    return cast.o
+
+
+@pytest.fixture()
+def c(cast):
+    return cast.c
+
+
+@pytest.fixture()
+def mon(cast):
+    return cast.mon
+
+
+@pytest.fixture()
+def x1():
+    return ObjectId("x1")
+
+
+@pytest.fixture()
+def x2():
+    return ObjectId("x2")
+
+
+@pytest.fixture()
+def d1():
+    return DataVal("Data", "d1")
+
+
+@pytest.fixture()
+def d2():
+    return DataVal("Data", "d2")

@@ -1,0 +1,172 @@
+"""Unit and property tests for alphabets."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.alphabet import Alphabet
+from repro.core.events import Event
+from repro.core.internal import InternalEvents
+from repro.core.patterns import pattern
+from repro.core.sorts import DATA, OBJ, Sort
+from repro.core.values import DataVal, ObjectId
+
+from strategies import events, patterns
+
+o, c, p, q = ObjectId("o"), ObjectId("c"), ObjectId("p"), ObjectId("q")
+d = DataVal("Data", "d")
+Env = OBJ.without(o)
+
+
+def read_alpha():
+    return Alphabet.of(pattern(Env, Sort.values(o), "R", DATA))
+
+
+def write_alpha():
+    srv = Sort.values(o)
+    return Alphabet.of(
+        pattern(Env, srv, "OW"),
+        pattern(Env, srv, "CW"),
+        pattern(Env, srv, "W", DATA),
+    )
+
+
+class TestBasics:
+    def test_membership(self):
+        a = read_alpha()
+        assert a.contains(Event(p, o, "R", (d,)))
+        assert not a.contains(Event(p, o, "W", (d,)))
+
+    def test_empty_patterns_dropped(self):
+        a = Alphabet.of(pattern(Sort.empty(), OBJ, "m"))
+        assert a.is_empty()
+
+    def test_union_membership(self):
+        a = read_alpha().union(write_alpha())
+        assert a.contains(Event(p, o, "R", (d,)))
+        assert a.contains(Event(p, o, "OW"))
+
+    def test_methods_and_mentions(self):
+        a = write_alpha()
+        assert a.methods() == frozenset(("OW", "CW", "W"))
+        assert o in a.mentioned_objects()
+
+    def test_infinity(self):
+        assert read_alpha().is_infinite()
+        assert not Alphabet.of(
+            pattern(Sort.values(p), Sort.values(o), "m")
+        ).is_infinite()
+
+
+class TestHiding:
+    def test_hide_removes_pairs(self):
+        a = read_alpha()
+        hidden = a.hide([o, p])
+        assert not hidden.contains(Event(p, o, "R", (d,)))
+        assert hidden.contains(Event(q, o, "R", (d,)))
+
+    def test_hide_singleton_is_identity(self):
+        a = read_alpha()
+        assert a.hide([o]).equivalent(a)
+
+    def test_subtract_internal_matches_hide(self):
+        a = read_alpha().union(write_alpha())
+        via_hide = a.hide([o, p])
+        via_pairs = a.subtract_internal(InternalEvents.square([o, p]))
+        assert via_hide.equivalent(via_pairs)
+
+
+class TestComparisons:
+    def test_subset(self):
+        assert read_alpha().is_subset(read_alpha().union(write_alpha()))
+        assert not read_alpha().union(write_alpha()).is_subset(read_alpha())
+
+    def test_subset_witness_sound(self):
+        big = read_alpha().union(write_alpha())
+        w = big.subset_witness(read_alpha())
+        assert w is not None
+        assert big.contains(w) and not read_alpha().contains(w)
+
+    def test_disjoint(self):
+        assert read_alpha().is_disjoint(write_alpha())
+        assert not read_alpha().is_disjoint(read_alpha())
+
+    def test_internal_witness(self):
+        a = read_alpha()
+        i = InternalEvents.square([o, p])
+        w = a.internal_witness(i)
+        assert w is not None and a.contains(w) and i.contains(w)
+        assert a.disjoint_from_internal(InternalEvents.square([p, q]))
+
+
+class TestObjectSetStructure:
+    def test_wellformed_for_o(self):
+        assert read_alpha().object_set_violation([o]) is None
+
+    def test_violation_no_endpoint(self):
+        # alphabet mentions events not involving the object set
+        a = Alphabet.of(pattern(Sort.values(p), Sort.values(q), "m"))
+        w = a.object_set_violation([o])
+        assert w is not None
+
+    def test_violation_both_endpoints(self):
+        a = Alphabet.of(pattern(Sort.values(p), Sort.values(o), "m"))
+        w = a.object_set_violation([o, p])
+        assert w == Event(p, o, "m")
+
+    def test_communication_environment(self):
+        env = read_alpha().communication_environment([o])
+        assert env.contains(p) and not env.contains(o)
+
+
+class TestEnumeration:
+    def test_events_over_pool(self):
+        a = read_alpha()
+        evs = list(a.events_over((o, p, d)))
+        assert Event(p, o, "R", (d,)) in evs
+        assert all(a.contains(e) for e in evs)
+        assert len(evs) == len(set(evs))
+
+
+# ----------------------------------------------------------------------
+# properties
+# ----------------------------------------------------------------------
+
+
+alphas = st.lists(patterns(), max_size=3).map(lambda ps: Alphabet.of(*ps))
+
+
+@settings(max_examples=100)
+@given(alphas, alphas, events())
+def test_union_membership_prop(a, b, e):
+    assert a.union(b).contains(e) == (a.contains(e) or b.contains(e))
+
+
+@settings(max_examples=100)
+@given(alphas, alphas)
+def test_subset_witness_consistency(a, b):
+    w = a.subset_witness(b)
+    if w is None:
+        # spot check: b contains a's pattern witnesses
+        for pat in a.patterns:
+            assert b.contains(pat.witness())
+    else:
+        assert a.contains(w) and not b.contains(w)
+
+
+@settings(max_examples=100)
+@given(alphas)
+def test_self_subset(a):
+    assert a.is_subset(a)
+
+
+@settings(max_examples=80)
+@given(alphas, st.lists(st.sampled_from([o, c, p, q]), min_size=2, max_size=3, unique=True))
+def test_hide_removes_exactly_internal(a, objs):
+    hidden = a.hide(objs)
+    internal = InternalEvents.square(objs)
+    # hidden alphabet has no internal events
+    assert hidden.internal_witness(internal) is None
+    # and everything else survives
+    pool = list(objs) + [ObjectId("z1"), ObjectId("z2"), d]
+    for e in a.events_over(pool):
+        assert hidden.contains(e) == (not internal.contains(e))

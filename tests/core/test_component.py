@@ -1,0 +1,119 @@
+"""Unit tests for semantic objects and components (Definitions 8–9)."""
+
+import pytest
+
+from repro.core.alphabet import Alphabet
+from repro.core.component import Component, SemanticObject
+from repro.core.errors import SpecificationError
+from repro.core.events import Event
+from repro.core.patterns import pattern
+from repro.core.sorts import DATA, OBJ, Sort
+from repro.core.traces import Trace
+from repro.core.values import DataVal, ObjectId
+from repro.machines.boolean import TrueMachine
+from repro.machines.regex.machine import PrsMachine
+from repro.machines.regex.parse import parse_regex
+
+o, c, mon = ObjectId("o"), ObjectId("c"), ObjectId("mon")
+d = DataVal("Data", "d")
+
+
+def hint():
+    return Alphabet.of(
+        pattern(OBJ.without(o), Sort.values(o), "GO"),
+        pattern(Sort.values(c), OBJ.without(c), "OK"),
+    )
+
+
+def client_machine():
+    regex = parse_regex(
+        "[<c,o,GO> <c,mon,OK>]*",
+        symbols={"c": c, "o": o, "mon": mon},
+        methods={"GO": (), "OK": ()},
+    )
+    return PrsMachine(regex)
+
+
+class TestSemanticObject:
+    def test_admits_checks_involvement(self):
+        so = SemanticObject(c, client_machine())
+        h = Trace.of(Event(c, o, "GO"), Event(c, mon, "OK"))
+        assert so.admits(h)
+        stranger = Trace.of(Event(o, mon, "X"))
+        assert not so.admits(stranger)
+
+    def test_admits_projection(self):
+        so = SemanticObject(c, client_machine())
+        h = Trace.of(Event(c, o, "GO"), Event(o, mon, "X"), Event(c, mon, "OK"))
+        assert so.admits_projection(h)
+
+
+class TestComponent:
+    def _component(self):
+        return Component(
+            (
+                SemanticObject(o, TrueMachine()),
+                SemanticObject(c, client_machine()),
+            ),
+            hint(),
+        )
+
+    def test_object_set_and_internal(self):
+        comp = self._component()
+        assert comp.object_set() == frozenset((o, c))
+        assert comp.internal_events().contains(Event(c, o, "GO"))
+
+    def test_observable_alphabet_hides_internal(self):
+        comp = self._component()
+        alpha = comp.observable_alphabet()
+        assert not alpha.contains(Event(c, o, "GO"))
+        assert alpha.contains(Event(c, mon, "OK"))
+
+    def test_admits_observable_with_hidden_go(self):
+        comp = self._component()
+        assert comp.admits(Trace.of(Event(c, mon, "OK")))
+        assert comp.admits(Trace.empty())
+
+    def test_rejects_protocol_violations(self):
+        comp = self._component()
+        # Two OKs need two hidden GOs interleaved; allowed.
+        ok = Event(c, mon, "OK")
+        assert comp.admits(Trace.of(ok, ok))
+        # But an OK from the controller is outside the hint.
+        assert not comp.admits(Trace.of(Event(o, mon, "OK")))
+
+    def test_admits_global(self):
+        comp = self._component()
+        g = Trace.of(Event(c, o, "GO"), Event(c, mon, "OK"))
+        assert comp.admits_global(g)
+        assert not comp.admits_global(Trace.of(Event(c, mon, "OK"), Event(c, mon, "OK")))
+
+    def test_unique_identities_required(self):
+        with pytest.raises(SpecificationError):
+            Component(
+                (SemanticObject(o, TrueMachine()), SemanticObject(o, TrueMachine())),
+                hint(),
+            )
+
+    def test_nonempty_required(self):
+        with pytest.raises(SpecificationError):
+            Component((), hint())
+
+    def test_composition_is_union(self):
+        c1 = Component((SemanticObject(o, TrueMachine()),), hint())
+        sem_c = SemanticObject(c, client_machine())
+        c2 = Component((sem_c,), hint())
+        merged = c1.compose(c2)
+        assert merged.object_set() == frozenset((o, c))
+
+    def test_composition_conflicting_semantics_rejected(self):
+        c1 = Component((SemanticObject(o, TrueMachine()),), hint())
+        c2 = Component((SemanticObject(o, TrueMachine()),), hint())
+        with pytest.raises(SpecificationError):
+            c1.compose(c2)
+
+    def test_composition_shared_object_same_instance_ok(self):
+        so = SemanticObject(o, TrueMachine())
+        c1 = Component((so,), hint())
+        c2 = Component((so,), hint())
+        assert c1.compose(c2).object_set() == frozenset((o,))

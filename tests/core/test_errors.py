@@ -1,0 +1,54 @@
+"""Unit tests for the exception hierarchy and result records."""
+
+import pytest
+
+from repro.checker.result import CheckResult, Verdict
+from repro.core import errors
+from repro.core.traces import Trace
+
+
+class TestHierarchy:
+    def test_all_derive_from_repro_error(self):
+        for name in errors.__all__:
+            exc_type = getattr(errors, name)
+            if name == "ReproError":
+                continue
+            assert issubclass(exc_type, errors.ReproError), name
+
+    def test_state_space_limit_carries_count(self):
+        e = errors.StateSpaceLimitExceeded("too big", explored=1234)
+        assert e.explored == 1234
+
+    def test_oun_syntax_error_position(self):
+        e = errors.OUNSyntaxError("boom", 3, 7)
+        assert e.line == 3 and e.column == 7
+        assert "3:7" in str(e)
+
+    def test_monitor_violation_carries_context(self):
+        t = Trace.empty()
+        e = errors.MonitorViolation("bad", t, None)
+        assert e.trace is t
+
+
+class TestVerdicts:
+    def test_positivity(self):
+        assert Verdict.PROVED.is_positive
+        assert Verdict.BOUNDED_OK.is_positive
+        assert not Verdict.REFUTED.is_positive
+        assert not Verdict.STATIC_FAILED.is_positive
+        assert not Verdict.UNKNOWN.is_positive
+
+    def test_check_result_holds(self):
+        assert CheckResult(Verdict.PROVED).holds
+        assert not CheckResult(Verdict.UNKNOWN).holds
+
+    def test_explain_includes_note_and_cex(self):
+        r = CheckResult(
+            Verdict.REFUTED, note="bad projection", counterexample=Trace.empty()
+        )
+        text = r.explain()
+        assert "refuted" in text and "bad projection" in text and "ε" in text
+
+    def test_str_is_explain(self):
+        r = CheckResult(Verdict.PROVED, note="n")
+        assert str(r) == r.explain()

@@ -1,0 +1,69 @@
+"""Unit tests for communication events."""
+
+import pytest
+
+from repro.core.events import Event, MethodSig, call
+from repro.core.values import DataVal, ObjectId
+
+o, p = ObjectId("o"), ObjectId("p")
+d = DataVal("Data", "d")
+
+
+class TestEvent:
+    def test_construction_and_fields(self):
+        e = Event(o, p, "m", (d,))
+        assert e.caller == o and e.callee == p
+        assert e.method == "m" and e.args == (d,)
+
+    def test_self_call_rejected(self):
+        with pytest.raises(ValueError):
+            Event(o, o, "m")
+
+    def test_non_object_endpoints_rejected(self):
+        with pytest.raises(TypeError):
+            Event(d, o, "m")  # type: ignore[arg-type]
+        with pytest.raises(TypeError):
+            Event(o, d, "m")  # type: ignore[arg-type]
+
+    def test_empty_method_rejected(self):
+        with pytest.raises(ValueError):
+            Event(o, p, "")
+
+    def test_involves(self):
+        e = Event(o, p, "m")
+        assert e.involves(o) and e.involves(p)
+        assert not e.involves(ObjectId("q"))
+
+    def test_endpoints_and_values(self):
+        e = Event(o, p, "m", (d,))
+        assert e.endpoints() == frozenset((o, p))
+        assert e.values() == frozenset((o, p, d))
+
+    def test_equality_and_hash(self):
+        assert Event(o, p, "m", (d,)) == Event(o, p, "m", (d,))
+        assert Event(o, p, "m") != Event(p, o, "m")
+        assert len({Event(o, p, "m"), Event(o, p, "m")}) == 1
+
+    def test_str_paper_notation(self):
+        assert str(Event(o, p, "m")) == "⟨o,p,m⟩"
+        assert str(Event(o, p, "m", (d,))) == "⟨o,p,m(d)⟩"
+
+    def test_call_helper(self):
+        assert call(o, p, "m", d) == Event(o, p, "m", (d,))
+
+    def test_events_are_ordered(self):
+        es = sorted([Event(p, o, "m"), Event(o, p, "m")])
+        assert es[0].caller == o
+
+
+class TestMethodSig:
+    def test_fields(self):
+        s = MethodSig("W", 1)
+        assert s.name == "W" and s.arity == 1
+        assert str(s) == "W/1"
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            MethodSig("")
+        with pytest.raises(ValueError):
+            MethodSig("m", -1)

@@ -1,0 +1,75 @@
+"""Unit tests for internal-event sets (Definitions 3 and 8)."""
+
+import pytest
+
+from repro.core.events import Event
+from repro.core.internal import InternalEvents
+from repro.core.values import ObjectId
+
+o1, o2, o3 = ObjectId("o1"), ObjectId("o2"), ObjectId("o3")
+
+
+class TestBetween:
+    def test_both_directions(self):
+        i = InternalEvents.between(o1, o2)
+        assert i.contains(Event(o1, o2, "m"))
+        assert i.contains(Event(o2, o1, "m"))
+
+    def test_any_method_and_args(self):
+        i = InternalEvents.between(o1, o2)
+        assert i.contains(Event(o1, o2, "whatever"))
+
+    def test_third_party_excluded(self):
+        i = InternalEvents.between(o1, o2)
+        assert not i.contains(Event(o1, o3, "m"))
+        assert not i.contains(Event(o3, o2, "m"))
+
+    def test_same_object_empty(self):
+        assert InternalEvents.between(o1, o1).is_empty()
+
+
+class TestSquare:
+    def test_definition_8_pairwise_union(self):
+        i = InternalEvents.square([o1, o2, o3])
+        pairwise = (
+            InternalEvents.between(o1, o2)
+            .union(InternalEvents.between(o1, o3))
+            .union(InternalEvents.between(o2, o3))
+        )
+        assert i == pairwise
+
+    def test_singleton_is_empty(self):
+        assert InternalEvents.square([o1]).is_empty()
+
+    def test_endpoints(self):
+        assert InternalEvents.square([o1, o2]).endpoints() == frozenset((o1, o2))
+
+
+class TestCross:
+    def test_cross_membership(self):
+        i = InternalEvents.cross([o1], [o2, o3])
+        assert i.contains(Event(o1, o2, "m"))
+        assert i.contains(Event(o3, o1, "m"))
+        assert not i.contains(Event(o2, o3, "m"))
+
+    def test_cross_within_square(self):
+        i = InternalEvents.cross([o1, o2], [o2, o3])
+        assert i.is_subset(InternalEvents.square([o1, o2, o3]))
+
+
+class TestAlgebra:
+    def test_reflexive_pairs_rejected(self):
+        with pytest.raises(ValueError):
+            InternalEvents(frozenset(((o1, o1),)))
+
+    def test_union_difference(self):
+        a = InternalEvents.between(o1, o2)
+        b = InternalEvents.between(o2, o3)
+        u = a.union(b)
+        assert a.is_subset(u) and b.is_subset(u)
+        assert u.difference(a) == b
+
+    def test_square_monotone(self):
+        assert InternalEvents.square([o1, o2]).is_subset(
+            InternalEvents.square([o1, o2, o3])
+        )

@@ -1,0 +1,172 @@
+"""Unit and property tests for symbolic event patterns."""
+
+import pytest
+from hypothesis import given, settings
+
+from repro.core.errors import AlphabetError
+from repro.core.events import Event
+from repro.core.patterns import EventPattern, pattern, representative_values
+from repro.core.sorts import DATA, OBJ, Sort
+from repro.core.values import DataVal, ObjectId
+
+from strategies import events, patterns
+
+o, p, q = ObjectId("o"), ObjectId("p"), ObjectId("q")
+d = DataVal("Data", "d")
+Env = OBJ.without(o)
+
+
+class TestMembership:
+    def test_basic(self):
+        pt = pattern(Env, Sort.values(o), "R", DATA)
+        assert pt.contains(Event(p, o, "R", (d,)))
+        assert not pt.contains(Event(o, p, "R", (d,)))  # caller not in Env? o excluded
+        assert not pt.contains(Event(p, o, "W", (d,)))  # wrong method
+        assert not pt.contains(Event(p, o, "R"))  # wrong arity
+
+    def test_diagonal_never_matches(self):
+        # Events with caller == callee cannot even be constructed,
+        # so the pattern's denotation never contains a self-call.
+        pt = pattern(OBJ, OBJ, "m")
+        with pytest.raises(ValueError):
+            Event(o, o, "m")
+
+    def test_endpoint_sorts_must_be_object_sorts(self):
+        with pytest.raises(AlphabetError):
+            pattern(DATA, Sort.values(o), "m")
+        with pytest.raises(AlphabetError):
+            pattern(Sort.values(d), Sort.values(o), "m")
+
+
+class TestEmptinessAndInfinity:
+    def test_empty_component(self):
+        assert pattern(Sort.empty(), OBJ, "m").is_empty()
+        assert pattern(OBJ, OBJ, "m", Sort.empty()).is_empty()
+
+    def test_same_singleton_diagonal_empty(self):
+        assert pattern(Sort.values(o), Sort.values(o), "m").is_empty()
+
+    def test_distinct_singletons_not_empty(self):
+        assert not pattern(Sort.values(o), Sort.values(p), "m").is_empty()
+
+    def test_infinity(self):
+        assert pattern(Env, Sort.values(o), "m").is_infinite()
+        assert not pattern(Sort.values(p), Sort.values(o), "m").is_infinite()
+        assert pattern(Sort.values(p), Sort.values(o), "m", DATA).is_infinite()
+
+
+class TestOperations:
+    def test_intersection(self):
+        a = pattern(Env, Sort.values(o), "m", DATA)
+        b = pattern(OBJ.without(p), Sort.values(o), "m", DATA)
+        i = a.intersection(b)
+        assert i is not None
+        assert not i.caller.contains(o) and not i.caller.contains(p)
+
+    def test_intersection_method_mismatch(self):
+        a = pattern(Env, Sort.values(o), "m")
+        b = pattern(Env, Sort.values(o), "n")
+        assert a.intersection(b) is None
+
+    def test_subtract_endpoint_square(self):
+        pt = pattern(OBJ.without(o), Sort.values(o), "m")
+        rest = pt.subtract_endpoint_square((o, p))
+        # remaining events: caller outside {o,p} (callee o), nothing else
+        assert all(not r.is_empty() for r in rest)
+        assert not any(r.contains(Event(p, o, "m")) for r in rest)
+        assert any(r.contains(Event(q, o, "m")) for r in rest)
+
+    def test_witness_in_pattern(self):
+        pt = pattern(Env, Sort.values(o), "m", DATA)
+        assert pt.contains(pt.witness())
+
+    def test_witness_same_singleton_conflict(self):
+        pt = pattern(Sort.values(o, p), Sort.values(o), "m")
+        w = pt.witness()
+        assert pt.contains(w)
+
+    def test_empty_witness_raises(self):
+        with pytest.raises(AlphabetError):
+            pattern(Sort.empty(), OBJ, "m").witness()
+
+    def test_instantiate_respects_diagonal(self):
+        pt = pattern(OBJ, OBJ, "m")
+        evs = list(pt.instantiate([o, p], [o, p]))
+        assert Event(o, p, "m") in evs and Event(p, o, "m") in evs
+        assert all(e.caller != e.callee for e in evs)
+
+
+class TestCoverage:
+    def test_covered_by_single_wider(self):
+        narrow = pattern(Env, Sort.values(o), "m", DATA)
+        wide = pattern(OBJ, OBJ, "m", DATA)
+        assert narrow.covered_by([wide]) is None
+
+    def test_not_covered_witness(self):
+        wide = pattern(OBJ, OBJ, "m", DATA)
+        narrow = pattern(Env, Sort.values(o), "m", DATA)
+        w = wide.covered_by([narrow])
+        assert w is not None
+        assert wide.contains(w) and not narrow.contains(w)
+
+    def test_covered_by_split_union(self):
+        # Obj = (Obj\{o}) ∪ {o} on the caller side.
+        whole = pattern(OBJ, Sort.values(p), "m")
+        part1 = pattern(OBJ.without(o), Sort.values(p), "m")
+        part2 = pattern(Sort.values(o), Sort.values(p), "m")
+        assert whole.covered_by([part1, part2]) is None
+        assert whole.covered_by([part1]) is not None
+
+    def test_method_mismatch_not_covered(self):
+        a = pattern(Env, Sort.values(o), "m")
+        b = pattern(Env, Sort.values(o), "n")
+        assert a.covered_by([b]) is not None
+
+
+class TestRepresentatives:
+    def test_contains_mentioned_and_fresh(self):
+        pt = pattern(Env, Sort.values(o), "m", DATA)
+        reps = representative_values([pt])
+        assert o in reps
+        obj_reps = [v for v in reps if isinstance(v, ObjectId)]
+        assert len(obj_reps) >= 4  # o plus 3 fresh
+
+
+# ----------------------------------------------------------------------
+# properties
+# ----------------------------------------------------------------------
+
+
+@settings(max_examples=120)
+@given(patterns(), patterns(), events())
+def test_intersection_membership(a, b, e):
+    i = a.intersection(b)
+    expected = a.contains(e) and b.contains(e)
+    if i is None:
+        assert not expected
+    else:
+        assert i.contains(e) == expected
+
+
+@settings(max_examples=120)
+@given(patterns())
+def test_nonempty_iff_witness(a):
+    if a.is_empty():
+        with pytest.raises(AlphabetError):
+            a.witness()
+    else:
+        assert a.contains(a.witness())
+
+
+@settings(max_examples=100)
+@given(patterns(), patterns())
+def test_coverage_witness_is_sound(a, b):
+    w = a.covered_by([b])
+    if w is not None:
+        assert a.contains(w) and not b.contains(w)
+
+
+@settings(max_examples=100)
+@given(patterns())
+def test_self_coverage(a):
+    assert a.covered_by([a]) is None

@@ -1,0 +1,53 @@
+"""Unit tests for the static refinement conditions (Definition 2, 1–2)."""
+
+from repro.core.alphabet import Alphabet
+from repro.core.patterns import pattern
+from repro.core.refinement import check_static, trace_condition_holds_for
+from repro.core.sorts import DATA, OBJ, Sort
+from repro.core.traces import Trace
+from repro.core.events import Event
+from repro.core.values import DataVal, ObjectId
+
+
+class TestConditions:
+    def test_example2_static(self, cast):
+        rep = check_static(cast.read2(), cast.read())
+        assert rep.ok and rep.objects_ok and rep.alphabet_ok
+
+    def test_alphabet_expansion_is_one_way(self, cast):
+        rep = check_static(cast.read(), cast.read2())
+        assert not rep.ok
+        assert rep.alphabet_witness is not None
+        # the witness is an OR/CR event missing from Read's alphabet
+        assert rep.alphabet_witness.method in ("OR", "CR")
+
+    def test_object_addition_allowed(self, upgrade):
+        rep = check_static(upgrade.upgraded_spec(), upgrade.server_spec())
+        assert rep.ok
+
+    def test_object_removal_rejected(self, upgrade):
+        rep = check_static(upgrade.server_spec(), upgrade.upgraded_spec())
+        assert not rep.objects_ok
+        assert upgrade.b in rep.missing_objects
+
+    def test_explain_mentions_problems(self, cast, upgrade):
+        rep = check_static(upgrade.server_spec(), upgrade.upgraded_spec())
+        text = rep.explain()
+        assert "missing" in text
+
+    def test_reflexive(self, cast):
+        assert check_static(cast.rw(), cast.rw()).ok
+
+
+class TestTraceCondition:
+    def test_projection_check(self, cast, x1, d1):
+        o = cast.o
+        h = Trace.of(
+            Event(x1, o, "OW"),
+            Event(x1, o, "W", (d1,)),
+            Event(x1, o, "R", (d1,)),
+        )
+        assert cast.rw().admits(h)
+        assert trace_condition_holds_for(h, cast.rw(), cast.read())
+        assert trace_condition_holds_for(h, cast.rw(), cast.write())
+        assert not trace_condition_holds_for(h, cast.rw(), cast.read2())

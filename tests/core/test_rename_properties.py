@@ -1,0 +1,80 @@
+"""Property tests: renaming is an equivariance of the symbolic layer.
+
+Injective value renamings commute with membership, boolean operations,
+and pattern/alphabet queries — the formal backbone of
+``rename_objects`` (object identities are pure names).
+"""
+
+from hypothesis import assume, given, settings
+from hypothesis import strategies as st
+
+from repro.core.alphabet import Alphabet
+from repro.core.events import Event
+from repro.core.values import ObjectId
+
+from strategies import OBJECTS, events, obj_sorts, patterns, sorts
+
+#: Fresh targets guaranteed not to collide with the strategy cast.
+TARGETS = tuple(ObjectId(f"r{i}") for i in range(len(OBJECTS)))
+
+
+@st.composite
+def renamings(draw):
+    """A random injective renaming of a subset of the cast onto targets."""
+    chosen = draw(st.lists(st.sampled_from(range(len(OBJECTS))), unique=True, max_size=3))
+    return {OBJECTS[i]: TARGETS[i] for i in chosen}
+
+
+def rename_event(e: Event, mapping) -> Event:
+    return Event(
+        mapping.get(e.caller, e.caller),
+        mapping.get(e.callee, e.callee),
+        e.method,
+        tuple(mapping.get(a, a) for a in e.args),
+    )
+
+
+@settings(max_examples=100)
+@given(sorts(), renamings(), events())
+def test_sort_membership_equivariant(s, mapping, e):
+    renamed = s.rename(mapping)
+    assert renamed.contains(mapping.get(e.caller, e.caller)) == s.contains(e.caller)
+
+
+@settings(max_examples=100)
+@given(sorts(), sorts(), renamings())
+def test_sort_operations_commute_with_rename(a, b, mapping):
+    assert a.union(b).rename(mapping) == a.rename(mapping).union(b.rename(mapping))
+    assert a.intersection(b).rename(mapping) == a.rename(mapping).intersection(
+        b.rename(mapping)
+    )
+    assert a.difference(b).rename(mapping) == a.rename(mapping).difference(
+        b.rename(mapping)
+    )
+
+
+@settings(max_examples=100)
+@given(patterns(), renamings(), events())
+def test_pattern_membership_equivariant(p, mapping, e):
+    assert p.rename(mapping).contains(rename_event(e, mapping)) == p.contains(e)
+
+
+@settings(max_examples=80)
+@given(
+    st.lists(patterns(), max_size=3),
+    st.lists(patterns(), max_size=3),
+    renamings(),
+)
+def test_alphabet_subset_equivariant(ps, qs, mapping):
+    a, b = Alphabet.of(*ps), Alphabet.of(*qs)
+    assert a.is_subset(b) == a.rename(mapping).is_subset(b.rename(mapping))
+
+
+@settings(max_examples=100)
+@given(sorts(), renamings())
+def test_rename_preserves_cardinality_class(s, mapping):
+    renamed = s.rename(mapping)
+    assert renamed.is_empty() == s.is_empty()
+    assert renamed.is_infinite() == s.is_infinite()
+    if s.is_finite():
+        assert renamed.size() == s.size()

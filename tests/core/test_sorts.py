@@ -1,0 +1,185 @@
+"""Unit and property tests for the finite/cofinite sort algebra."""
+
+import pytest
+from hypothesis import given, settings
+
+from repro.core.errors import SortError
+from repro.core.sorts import DATA, OBJ, Sort, fresh_value
+from repro.core.values import DataVal, ObjectId
+
+from strategies import OBJECTS, sorts, values
+
+o, p, q = ObjectId("o"), ObjectId("p"), ObjectId("q")
+d1 = DataVal("Data", "d1")
+
+
+class TestConstruction:
+    def test_empty(self):
+        s = Sort.empty()
+        assert s.is_empty() and not s.is_infinite()
+
+    def test_values(self):
+        s = Sort.values(o, p)
+        assert s.contains(o) and s.contains(p) and not s.contains(q)
+        assert s.is_finite() and s.size() == 2
+
+    def test_base_is_infinite(self):
+        assert OBJ.is_infinite()
+        assert OBJ.contains(o) and OBJ.contains(ObjectId("anything"))
+        assert not OBJ.contains(d1)
+
+    def test_base_with_exclusions(self):
+        s = Sort.base("Obj", [o])
+        assert not s.contains(o) and s.contains(p)
+
+    def test_exclusion_wrong_base_rejected(self):
+        with pytest.raises(SortError):
+            Sort.base("Obj", [d1])
+
+    def test_without_and_with_values(self):
+        s = OBJ.without(o)
+        assert not s.contains(o)
+        assert s.with_values(o).contains(o)
+
+    def test_normalisation_excluded_and_present(self):
+        # o excluded by the cofinite atom but explicitly present: present wins.
+        s = Sort.base("Obj", [o]).union(Sort.values(o))
+        assert s.contains(o)
+        assert s == OBJ  # canonical normal form
+
+    def test_normalisation_covered_finite_dropped(self):
+        s = OBJ.union(Sort.values(o))
+        assert s == OBJ
+
+
+class TestBooleanOps:
+    def test_union_of_cofinites_intersects_exclusions(self):
+        s = OBJ.without(o, p).union(OBJ.without(p, q))
+        assert s.contains(o) and s.contains(q) and not s.contains(p)
+
+    def test_intersection_of_cofinites_unions_exclusions(self):
+        s = OBJ.without(o).intersection(OBJ.without(p))
+        assert not s.contains(o) and not s.contains(p) and s.contains(q)
+
+    def test_difference_cofinite_minus_cofinite_is_finite(self):
+        s = OBJ.without(o).difference(OBJ.without(o, p))
+        assert s == Sort.values(p)
+
+    def test_difference_cofinite_minus_finite(self):
+        s = OBJ.difference(Sort.values(o))
+        assert s == OBJ.without(o)
+
+    def test_cross_base_difference_no_effect(self):
+        assert OBJ.difference(DATA) == OBJ
+
+    def test_subset_finite_in_cofinite(self):
+        assert Sort.values(o).is_subset(OBJ)
+        assert not Sort.values(o).is_subset(OBJ.without(o))
+
+    def test_subset_cofinite_in_cofinite(self):
+        assert OBJ.without(o, p).is_subset(OBJ.without(o))
+        assert not OBJ.without(o).is_subset(OBJ.without(o, p))
+
+    def test_cofinite_subset_patched_by_finite(self):
+        # Obj\{o} ⊆ (Obj\{o,p}) ∪ {p}
+        rhs = OBJ.without(o, p).union(Sort.values(p))
+        assert OBJ.without(o).is_subset(rhs)
+
+    def test_cofinite_never_subset_of_finite(self):
+        assert not OBJ.is_subset(Sort.values(*OBJECTS))
+
+    def test_disjointness(self):
+        assert OBJ.is_disjoint(DATA)
+        assert Sort.values(o).is_disjoint(Sort.values(p))
+        assert not OBJ.is_disjoint(Sort.values(o))
+
+
+class TestWitnesses:
+    def test_finite_witnesses_are_members(self):
+        s = Sort.values(o, p)
+        assert set(s.witnesses(2)) == {o, p}
+
+    def test_witness_avoids(self):
+        s = Sort.values(o, p)
+        assert s.witness(avoid=[o]) == p
+
+    def test_cofinite_witnesses_fresh(self):
+        ws = OBJ.without(o).witnesses(3)
+        assert len(set(ws)) == 3
+        assert all(w != o for w in ws)
+
+    def test_too_many_witnesses_from_finite_raises(self):
+        with pytest.raises(SortError):
+            Sort.values(o).witnesses(2)
+
+    def test_enumerate_infinite_raises(self):
+        with pytest.raises(SortError):
+            list(OBJ.enumerate_finite())
+
+    def test_fresh_values_deterministic(self):
+        assert fresh_value("Obj", 0) == fresh_value("Obj", 0)
+        assert fresh_value("Obj", 0) != fresh_value("Obj", 1)
+        assert fresh_value("Data", 0).sort == "Data"
+
+
+# ----------------------------------------------------------------------
+# algebraic laws (hypothesis)
+# ----------------------------------------------------------------------
+
+
+@settings(max_examples=150)
+@given(sorts(), sorts(), values())
+def test_union_membership(a, b, v):
+    assert a.union(b).contains(v) == (a.contains(v) or b.contains(v))
+
+
+@settings(max_examples=150)
+@given(sorts(), sorts(), values())
+def test_intersection_membership(a, b, v):
+    assert a.intersection(b).contains(v) == (a.contains(v) and b.contains(v))
+
+
+@settings(max_examples=150)
+@given(sorts(), sorts(), values())
+def test_difference_membership(a, b, v):
+    assert a.difference(b).contains(v) == (a.contains(v) and not b.contains(v))
+
+
+@settings(max_examples=100)
+@given(sorts(), sorts())
+def test_subset_consistent_with_difference(a, b):
+    assert a.is_subset(b) == a.difference(b).is_empty()
+
+
+@settings(max_examples=100)
+@given(sorts(), sorts())
+def test_union_commutes_in_normal_form(a, b):
+    assert a.union(b) == b.union(a)
+
+
+@settings(max_examples=100)
+@given(sorts(), sorts(), sorts())
+def test_distributivity(a, b, c):
+    lhs = a.intersection(b.union(c))
+    rhs = a.intersection(b).union(a.intersection(c))
+    assert lhs == rhs
+
+
+@settings(max_examples=100)
+@given(sorts())
+def test_self_difference_empty(a):
+    assert a.difference(a).is_empty()
+
+
+@settings(max_examples=100)
+@given(sorts(), sorts())
+def test_demorgan_via_difference(a, b):
+    # a − (a − b) = a ∩ b
+    assert a.difference(a.difference(b)) == a.intersection(b)
+
+
+@settings(max_examples=100)
+@given(sorts())
+def test_witness_is_member(a):
+    if not a.is_empty():
+        assert a.contains(a.witness())

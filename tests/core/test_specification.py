@@ -1,0 +1,92 @@
+"""Unit tests for Definition 1 specifications."""
+
+import pytest
+
+from repro.core.alphabet import Alphabet
+from repro.core.errors import SpecificationError
+from repro.core.events import Event
+from repro.core.patterns import pattern
+from repro.core.sorts import DATA, OBJ, Sort
+from repro.core.specification import Specification, component_spec, interface_spec
+from repro.core.tracesets import FullTraceSet
+from repro.core.traces import Trace
+from repro.core.values import DataVal, ObjectId
+
+o, c, p = ObjectId("o"), ObjectId("c"), ObjectId("p")
+d = DataVal("Data", "d")
+
+
+def good_alpha():
+    return Alphabet.of(pattern(OBJ.without(o), Sort.values(o), "R", DATA))
+
+
+class TestWellFormedness:
+    def test_interface_spec_builds(self):
+        s = interface_spec("Read", o, good_alpha())
+        assert s.is_interface() and s.the_object() == o
+
+    def test_empty_object_set_rejected(self):
+        with pytest.raises(SpecificationError):
+            Specification("bad", frozenset(), good_alpha(), FullTraceSet(good_alpha()))
+
+    def test_alphabet_must_involve_object(self):
+        stray = Alphabet.of(pattern(Sort.values(p), Sort.values(c), "m"))
+        with pytest.raises(SpecificationError):
+            interface_spec("bad", o, stray)
+
+    def test_alphabet_must_not_be_internal(self):
+        alpha = Alphabet.of(pattern(Sort.values(c), Sort.values(o), "m"))
+        with pytest.raises(SpecificationError):
+            component_spec("bad", (o, c), alpha)
+
+    def test_infinite_alphabet_required_by_builders(self):
+        finite = Alphabet.of(pattern(Sort.values(p), Sort.values(o), "m"))
+        with pytest.raises(SpecificationError):
+            interface_spec("bad", o, finite)
+
+    def test_trace_alphabet_mismatch_rejected(self):
+        other = Alphabet.of(pattern(OBJ.without(o), Sort.values(o), "W", DATA))
+        with pytest.raises(SpecificationError):
+            Specification("bad", frozenset((o,)), good_alpha(), FullTraceSet(other))
+
+    def test_name_required(self):
+        with pytest.raises(SpecificationError):
+            Specification("", frozenset((o,)), good_alpha(), FullTraceSet(good_alpha()))
+
+
+class TestDerived:
+    def test_internal_events_of_interface_empty(self):
+        s = interface_spec("Read", o, good_alpha())
+        assert s.internal_events().is_empty()
+
+    def test_internal_events_of_component(self):
+        alpha = Alphabet.of(
+            pattern(OBJ.without(o, c), Sort.values(o), "m"),
+            pattern(Sort.values(c), OBJ.without(o, c), "n"),
+        )
+        s = component_spec("comp", (o, c), alpha)
+        assert s.internal_events().contains(Event(o, c, "anything"))
+
+    def test_communication_environment(self):
+        s = interface_spec("Read", o, good_alpha())
+        env = s.communication_environment()
+        assert env.contains(p) and not env.contains(o)
+
+    def test_admits_and_projection(self):
+        s = interface_spec("Read", o, good_alpha())
+        h = Trace.of(Event(p, o, "R", (d,)), Event(p, c, "X"))
+        assert not s.admits(h)  # X outside the alphabet
+        assert s.admits_projection(h)  # projection drops it
+
+    def test_the_object_requires_interface(self):
+        alpha = Alphabet.of(
+            pattern(OBJ.without(o, c), Sort.values(o), "m"),
+            pattern(OBJ.without(o, c), Sort.values(c), "m"),
+        )
+        s = component_spec("comp", (o, c), alpha)
+        with pytest.raises(SpecificationError):
+            s.the_object()
+
+    def test_str_and_repr(self):
+        s = interface_spec("Read", o, good_alpha())
+        assert "Read" in str(s) and "Read" in repr(s)

@@ -1,0 +1,136 @@
+"""Unit and property tests for traces and the paper's filtering operators.
+
+The property section checks the filtering identities the paper's proofs
+rely on — in particular ``h/S₁\\S₂ = h\\S₂/(S₁−S₂)`` from the proof of
+Theorem 7.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.events import Event
+from repro.core.traces import Trace
+from repro.core.values import DataVal, ObjectId
+
+from strategies import events, traces
+
+o, p, q = ObjectId("o"), ObjectId("p"), ObjectId("q")
+d = DataVal("Data", "d")
+
+e1 = Event(p, o, "A")
+e2 = Event(q, o, "B", (d,))
+e3 = Event(p, q, "A")
+
+
+class TestBasics:
+    def test_empty(self):
+        t = Trace.empty()
+        assert len(t) == 0 and not t and str(t) == "ε"
+
+    def test_of_and_sequence_protocol(self):
+        t = Trace.of(e1, e2)
+        assert len(t) == 2 and t[0] == e1 and list(t) == [e1, e2]
+        assert t[0:1] == Trace.of(e1)
+
+    def test_append_concat(self):
+        assert Trace.of(e1).append(e2) == Trace.of(e1, e2)
+        assert Trace.of(e1) + Trace.of(e2, e3) == Trace.of(e1, e2, e3)
+
+    def test_contents(self):
+        t = Trace.of(e1, e2)
+        assert t.objects() == frozenset((p, q, o))
+        assert d in t.values()
+        assert t.methods() == frozenset(("A", "B"))
+
+
+class TestFiltering:
+    def test_filter_by_set(self):
+        t = Trace.of(e1, e2, e3)
+        assert t.filter({e1, e3}) == Trace.of(e1, e3)
+
+    def test_remove_is_complement(self):
+        t = Trace.of(e1, e2, e3)
+        assert t.remove({e1, e3}) == Trace.of(e2)
+
+    def test_proj_obj(self):
+        t = Trace.of(e1, e2, e3)
+        assert t.proj_obj(p) == Trace.of(e1, e3)
+        assert t / p == Trace.of(e1, e3)
+
+    def test_proj_method_and_count(self):
+        t = Trace.of(e1, e2, e3)
+        assert t.proj_method("A") == Trace.of(e1, e3)
+        assert t / "A" == Trace.of(e1, e3)
+        assert t.count("A") == 2 and t.count("Z") == 0
+
+    def test_filter_accepts_predicate(self):
+        t = Trace.of(e1, e2, e3)
+        assert t.filter(lambda e: e.method == "B") == Trace.of(e2)
+
+
+class TestPrefixes:
+    def test_prefixes_count(self):
+        t = Trace.of(e1, e2)
+        assert len(list(t.prefixes())) == 3
+        assert len(list(t.proper_prefixes())) == 2
+
+    def test_is_prefix_of(self):
+        t = Trace.of(e1, e2)
+        assert Trace.of(e1).is_prefix_of(t)
+        assert not Trace.of(e2).is_prefix_of(t)
+        assert t.is_prefix_of(t)
+
+
+# ----------------------------------------------------------------------
+# filtering algebra (hypothesis)
+# ----------------------------------------------------------------------
+
+
+def _event_set(draw_events):
+    return set(draw_events)
+
+
+event_sets = st.lists(events(), max_size=6).map(set)
+
+
+@settings(max_examples=150)
+@given(traces(), event_sets, event_sets)
+def test_theorem7_identity(h, s1, s2):
+    """``h/S₁\\S₂ = h\\S₂/(S₁−S₂)`` — used in the proof of Theorem 7."""
+    lhs = h.filter(s1).remove(s2)
+    rhs = h.remove(s2).filter(s1 - s2)
+    assert lhs == rhs
+
+
+@settings(max_examples=100)
+@given(traces(), event_sets, event_sets)
+def test_filter_composition(h, s1, s2):
+    """``h/S₁/S₂ = h/(S₁∩S₂)``."""
+    assert h.filter(s1).filter(s2) == h.filter(s1 & s2)
+
+
+@settings(max_examples=100)
+@given(traces(), event_sets)
+def test_filter_remove_partition(h, s):
+    assert len(h.filter(s)) + len(h.remove(s)) == len(h)
+
+
+@settings(max_examples=100)
+@given(traces(), event_sets)
+def test_filter_idempotent(h, s):
+    assert h.filter(s).filter(s) == h.filter(s)
+
+
+@settings(max_examples=100)
+@given(traces())
+def test_prefixes_are_prefixes(h):
+    for g in h.prefixes():
+        assert g.is_prefix_of(h)
+
+
+@settings(max_examples=100)
+@given(traces(), event_sets)
+def test_filter_commutes_with_prefix(h, s):
+    """Filtering a prefix gives a prefix of the filtered trace."""
+    for g in h.prefixes():
+        assert g.filter(s).is_prefix_of(h.filter(s))

@@ -1,0 +1,124 @@
+"""Unit tests for trace sets, including the hidden-event witness search."""
+
+import pytest
+
+from repro.core.alphabet import Alphabet
+from repro.core.errors import StateSpaceLimitExceeded
+from repro.core.events import Event
+from repro.core.internal import InternalEvents
+from repro.core.patterns import pattern
+from repro.core.sorts import DATA, OBJ, Sort
+from repro.core.tracesets import ComposedTraceSet, FullTraceSet, MachineTraceSet, Part
+from repro.core.traces import Trace
+from repro.core.values import DataVal, ObjectId
+from repro.machines.boolean import TrueMachine
+from repro.machines.regex.machine import PrsMachine
+from repro.machines.regex.parse import parse_regex
+
+o, c, mon, p = ObjectId("o"), ObjectId("c"), ObjectId("mon"), ObjectId("p")
+d = DataVal("Data", "d")
+
+
+def simple_alpha():
+    return Alphabet.of(pattern(OBJ.without(o), Sort.values(o), "A", DATA))
+
+
+class TestFullTraceSet:
+    def test_contains_only_alphabet_traces(self):
+        ts = FullTraceSet(simple_alpha())
+        assert ts.contains(Trace.of(Event(p, o, "A", (d,))))
+        assert not ts.contains(Trace.of(Event(o, p, "A", (d,))))
+        assert ts.contains(Trace.empty())
+
+    def test_machine_is_true(self):
+        assert isinstance(FullTraceSet(simple_alpha()).machine(), TrueMachine)
+
+
+class TestMachineTraceSet:
+    def _ts(self):
+        regex = parse_regex(
+            "[<x,o,A(_)>] . x : Env",
+            symbols={"o": o, "Env": OBJ.without(o)},
+            methods={"A": (DATA,)},
+        )
+        return MachineTraceSet(simple_alpha(), PrsMachine(regex))
+
+    def test_prefix_closed_membership(self):
+        ts = self._ts()
+        one = Trace.of(Event(p, o, "A", (d,)))
+        assert ts.contains(Trace.empty())
+        assert ts.contains(one)
+        assert not ts.contains(one + one)  # regex allows exactly one A
+
+    def test_alphabet_enforced(self):
+        ts = self._ts()
+        assert not ts.contains(Trace.of(Event(p, o, "B")))
+
+
+class TestComposedTraceSet:
+    """A tiny producer/consumer: c privately calls o, then reports to mon."""
+
+    def _composed(self):
+        # part 1 (spec of c): h prs [<c,o,GO> <c,mon,OK>]*
+        a1 = Alphabet.of(
+            pattern(Sort.values(c), OBJ.without(c), "GO"),
+            pattern(Sort.values(c), OBJ.without(c), "OK"),
+        )
+        r1 = parse_regex(
+            "[<c,o,GO> <c,mon,OK>]*",
+            symbols={"c": c, "o": o, "mon": mon},
+            methods={"GO": (), "OK": ()},
+        )
+        # part 2 (spec of o): accepts any GO calls
+        a2 = Alphabet.of(pattern(OBJ.without(o), Sort.values(o), "GO"))
+        parts = (
+            Part(a1, PrsMachine(r1)),
+            Part(a2, TrueMachine()),
+        )
+        combined = a1.union(a2)
+        objects = frozenset((c, o))
+        return ComposedTraceSet(
+            alphabet=combined.hide(objects),
+            combined=combined,
+            internal=InternalEvents.square(objects),
+            parts=parts,
+        )
+
+    def test_observable_needs_hidden_witness(self):
+        ts = self._composed()
+        ok = Event(c, mon, "OK")
+        w = ts.witness(Trace.of(ok))
+        assert w is not None
+        # The witness must contain the hidden GO before the OK.
+        assert w.events[0] == Event(c, o, "GO")
+        assert w.remove(ts.internal) == Trace.of(ok)
+
+    def test_multiple_rounds(self):
+        ts = self._composed()
+        ok = Event(c, mon, "OK")
+        assert ts.contains(Trace.of(ok, ok, ok))
+
+    def test_rejects_wrong_order(self):
+        ts = self._composed()
+        # OK twice in a row with only one hidden GO possible per OK: still
+        # fine; but an OK from another object is outside the alphabet.
+        bad = Event(p, mon, "OK")
+        assert not ts.contains(Trace.of(bad))
+
+    def test_hidden_candidates_cover_go(self):
+        ts = self._composed()
+        cands = ts.hidden_candidates(Trace.empty())
+        assert Event(c, o, "GO") in cands
+
+    def test_empty_trace_member(self):
+        assert self._composed().contains(Trace.empty())
+
+    def test_state_limit_raises(self):
+        ts = self._composed()
+        ok = Event(c, mon, "OK")
+        with pytest.raises(StateSpaceLimitExceeded):
+            ts.witness(Trace.of(ok, ok, ok), state_limit=2)
+
+    def test_mentioned_values_include_machine_names(self):
+        ts = self._composed()
+        assert mon in ts.mentioned_values()

@@ -1,0 +1,78 @@
+"""Unit tests for values: object identities and data values."""
+
+import pytest
+
+from repro.core.values import DataVal, ObjectId, base_sort_of, data, obj, objs
+
+
+class TestObjectId:
+    def test_equality_by_name(self):
+        assert ObjectId("o") == ObjectId("o")
+        assert ObjectId("o") != ObjectId("p")
+
+    def test_hashable_and_usable_in_sets(self):
+        assert len({ObjectId("o"), ObjectId("o"), ObjectId("p")}) == 2
+
+    def test_ordering_is_by_name(self):
+        assert sorted([ObjectId("b"), ObjectId("a")]) == [
+            ObjectId("a"),
+            ObjectId("b"),
+        ]
+
+    def test_str_is_name(self):
+        assert str(ObjectId("srv")) == "srv"
+
+    def test_empty_name_rejected(self):
+        with pytest.raises(ValueError):
+            ObjectId("")
+
+    def test_immutable(self):
+        o = ObjectId("o")
+        with pytest.raises(AttributeError):
+            o.name = "p"  # type: ignore[misc]
+
+
+class TestDataVal:
+    def test_equality(self):
+        assert DataVal("Data", "d") == DataVal("Data", "d")
+        assert DataVal("Data", "d") != DataVal("Data", "e")
+        assert DataVal("Data", "d") != DataVal("Key", "d")
+
+    def test_rejects_obj_sort(self):
+        with pytest.raises(ValueError):
+            DataVal("Obj", "d")
+
+    def test_rejects_empty(self):
+        with pytest.raises(ValueError):
+            DataVal("", "d")
+        with pytest.raises(ValueError):
+            DataVal("Data", "")
+
+
+class TestBaseSortOf:
+    def test_object(self):
+        assert base_sort_of(ObjectId("o")) == "Obj"
+
+    def test_data(self):
+        assert base_sort_of(DataVal("Data", "d")) == "Data"
+        assert base_sort_of(DataVal("Key", "k")) == "Key"
+
+    def test_rejects_other_types(self):
+        with pytest.raises(TypeError):
+            base_sort_of("plain string")  # type: ignore[arg-type]
+
+
+class TestConvenience:
+    def test_obj(self):
+        assert obj("o") == ObjectId("o")
+
+    def test_objs(self):
+        assert objs("a", "b") == (ObjectId("a"), ObjectId("b"))
+
+    def test_data_default_sort(self):
+        (d,) = data("d1")
+        assert d == DataVal("Data", "d1")
+
+    def test_data_custom_sort(self):
+        (k,) = data("k1", sort="Key")
+        assert k.sort == "Key"

@@ -1,0 +1,123 @@
+"""Tests for the liveness extension (Section 9 future work).
+
+The key results:
+
+* Example 4's composition is deadlock-free, Example 5's is not;
+* refinement does NOT preserve deadlock freedom (Client2 ⊑ Client, yet
+  the composition with WriteAcc deadlocks) — the phenomenon the paper
+  flags as the motivation for a liveness extension;
+* responsiveness (AG EF goal) distinguishes the two compositions too.
+"""
+
+import pytest
+
+from repro.checker.refinement import refines
+from repro.core.composition import compose
+from repro.core.traces import Trace
+from repro.liveness import (
+    is_deadlock_free,
+    quiescence_analysis,
+    responsiveness_analysis,
+)
+from repro.machines.counting import (
+    CondAnd,
+    CountingMachine,
+    Linear,
+    difference_counter,
+    method_counter,
+)
+
+
+class TestQuiescence:
+    def test_example4_deadlock_free(self, cast):
+        comp = compose(cast.client(), cast.write_acc())
+        report = quiescence_analysis(comp)
+        assert report.deadlock_free and report.quiescent_witness is None
+
+    def test_example5_deadlocks_at_epsilon(self, cast):
+        comp = compose(cast.client2(), cast.write_acc())
+        report = quiescence_analysis(comp)
+        assert not report.deadlock_free
+        assert report.quiescent_witness == Trace.empty()
+
+    def test_paper_specs_deadlock_free(self, cast):
+        # The protocols themselves never get stuck: a fresh caller can
+        # always open a session.
+        for spec in (cast.read(), cast.write(), cast.read2(), cast.rw()):
+            assert is_deadlock_free(spec), spec.name
+
+    def test_refinement_does_not_preserve_deadlock_freedom(self, cast):
+        """The paper's Section 9 observation, mechanised."""
+        assert refines(cast.client2(), cast.client())
+        live = compose(cast.client(), cast.write_acc())
+        dead = compose(cast.client2(), cast.write_acc())
+        assert is_deadlock_free(live)
+        assert not is_deadlock_free(dead)
+
+    def test_explain_strings(self, cast):
+        comp = compose(cast.client2(), cast.write_acc())
+        assert "quiescent" in quiescence_analysis(comp).explain()
+        live = compose(cast.client(), cast.write_acc())
+        assert "deadlock-free" in quiescence_analysis(live).explain()
+
+
+class TestResponsiveness:
+    def _balanced_goal(self):
+        return CountingMachine(
+            (difference_counter("REQ", "ACK"),), Linear((1,), 0, "==")
+        )
+
+    def test_server_always_answerable(self, upgrade):
+        report = responsiveness_analysis(
+            upgrade.upgraded_spec(), self._balanced_goal()
+        )
+        assert report.responsive
+
+    def test_ok_goal_on_live_composition(self, cast):
+        comp = compose(cast.client(), cast.write_acc())
+        goal = CountingMachine(
+            (method_counter("OK"),), Linear((1,), -3, ">="), saturate_at=3
+        )
+        assert responsiveness_analysis(comp, goal).responsive
+
+    def test_ok_goal_on_deadlocked_composition(self, cast):
+        comp = compose(cast.client2(), cast.write_acc())
+        goal = CountingMachine(
+            (method_counter("OK"),), Linear((1,), -1, ">="), saturate_at=1
+        )
+        report = responsiveness_analysis(comp, goal)
+        assert not report.responsive
+        assert report.stuck_witness == Trace.empty()
+
+    def test_goal_lost_midway(self, cast, upgrade):
+        # Goal "no STATUS ever sent": reachable until the first STATUS,
+        # unreachable afterwards — the witness is a shortest trace with one.
+        spec = upgrade.upgraded_spec()
+        goal = CountingMachine(
+            (method_counter("STATUS"),), Linear((1,), 0, "=="), saturate_at=1
+        )
+        report = responsiveness_analysis(spec, goal)
+        assert not report.responsive
+        assert report.stuck_witness is not None
+        assert report.stuck_witness[-1].method == "STATUS"
+
+
+class TestSaturation:
+    def test_saturated_counter_clamps(self, cast, x1):
+        from repro.core.events import Event
+
+        m = CountingMachine(
+            (method_counter("A"),), Linear((1,), -2, ">="), saturate_at=2
+        )
+        s = m.initial()
+        for _ in range(10):
+            s = m.step(s, Event(x1, cast.o, "A"))
+        assert s == (2,)
+
+    def test_negative_saturation_bound_rejected(self):
+        from repro.core.errors import MachineError
+
+        with pytest.raises(MachineError):
+            CountingMachine(
+                (method_counter("A"),), Linear((1,), 0, "=="), saturate_at=-1
+            )

@@ -1,0 +1,83 @@
+"""Unit tests for the trace-machine base: runs and prefix-closure."""
+
+from repro.core.events import Event
+from repro.core.traces import Trace
+from repro.core.values import ObjectId
+from repro.machines.base import TraceMachine
+
+o, p = ObjectId("o"), ObjectId("p")
+a = Event(p, o, "A")
+b = Event(p, o, "B")
+
+
+class AtMostTwo(TraceMachine):
+    """Allows at most two events in total (a simple prefix-closed predicate)."""
+
+    def initial(self):
+        return 0
+
+    def step(self, state, event):
+        return state + 1
+
+    def ok(self, state):
+        return state <= 2
+
+
+class OnlyEvenOk(TraceMachine):
+    """A non-monotone predicate: ok exactly on even lengths."""
+
+    def initial(self):
+        return 0
+
+    def step(self, state, event):
+        return state + 1
+
+    def ok(self, state):
+        return state % 2 == 0
+
+
+class TestRun:
+    def test_accepts_within_bound(self):
+        m = AtMostTwo()
+        assert m.accepts(Trace.of(a, b))
+        assert not m.accepts(Trace.of(a, b, a))
+
+    def test_violation_index_first_bad_prefix(self):
+        m = AtMostTwo()
+        assert m.violation_index(Trace.of(a, b)) is None
+        assert m.violation_index(Trace.of(a, b, a, b)) == 3
+
+    def test_run_reports_final_state(self):
+        r = AtMostTwo().run(Trace.of(a, b, a))
+        assert r.state == 3 and not r.accepted and r.violation_at == 3
+
+    def test_empty_trace(self):
+        assert AtMostTwo().accepts(Trace.empty())
+
+
+class TestPrefixClosureSemantics:
+    def test_all_prefixes_must_be_ok(self):
+        # Even-length predicate: the trace of length 2 has an odd prefix,
+        # so the *largest prefix-closed subset* contains only ε.
+        m = OnlyEvenOk()
+        assert m.accepts(Trace.empty())
+        assert not m.accepts(Trace.of(a, b))
+        assert m.violation_index(Trace.of(a, b)) == 1
+
+    def test_bad_initial_state(self):
+        class NeverOk(TraceMachine):
+            def initial(self):
+                return ()
+
+            def step(self, state, event):
+                return ()
+
+            def ok(self, state):
+                return False
+
+        m = NeverOk()
+        assert not m.accepts(Trace.empty())
+        assert m.violation_index(Trace.empty()) == 0
+
+    def test_default_mentioned_values_empty(self):
+        assert AtMostTwo().mentioned_values() == frozenset()

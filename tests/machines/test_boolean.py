@@ -1,0 +1,96 @@
+"""Unit and property tests for boolean machine combinations."""
+
+import pytest
+from hypothesis import given, settings
+
+from repro.core.events import Event
+from repro.core.traces import Trace
+from repro.core.values import ObjectId
+from repro.machines.boolean import (
+    AndMachine,
+    FalseMachine,
+    NotMachine,
+    OrMachine,
+    TrueMachine,
+)
+from repro.machines.counting import CounterDef, CountingMachine, Linear
+
+from strategies import traces
+
+o, p = ObjectId("o"), ObjectId("p")
+a = Event(p, o, "A")
+b = Event(p, o, "B")
+
+
+def at_most(method: str, k: int) -> CountingMachine:
+    return CountingMachine((CounterDef(((method, 1),)),), Linear((1,), -k, "<="))
+
+
+class TestTrueFalse:
+    def test_true_accepts_everything(self):
+        assert TrueMachine().accepts(Trace.of(a, b, a))
+
+    def test_false_rejects_everything(self):
+        assert not FalseMachine().accepts(Trace.empty())
+
+    def test_value_equality(self):
+        assert TrueMachine() == TrueMachine()
+        assert FalseMachine() == FalseMachine()
+        assert TrueMachine() != FalseMachine()
+
+
+class TestAndOrNot:
+    def test_and_intersects(self):
+        m = AndMachine((at_most("A", 1), at_most("B", 1)))
+        assert m.accepts(Trace.of(a, b))
+        assert not m.accepts(Trace.of(a, a))
+        assert not m.accepts(Trace.of(b, b))
+
+    def test_or_unions_pointwise(self):
+        m = OrMachine((at_most("A", 0), at_most("B", 0)))
+        # ok while A-count is 0 OR B-count is 0: one kind of event only.
+        assert m.accepts(Trace.of(a, a))
+        assert m.accepts(Trace.of(b))
+        assert not m.accepts(Trace.of(a, b))
+
+    def test_not_negates_pointwise(self):
+        m = NotMachine(at_most("A", 0))
+        # ok iff at least one A; but prefix ε fails, so nothing is accepted
+        # (largest prefix-closed subset of a non-ε-containing set is empty).
+        assert not m.accepts(Trace.empty())
+        assert not m.accepts(Trace.of(a))
+
+    def test_empty_parts_rejected(self):
+        with pytest.raises(ValueError):
+            AndMachine(())
+
+    def test_mentioned_values_union(self):
+        m = AndMachine((TrueMachine(), at_most("A", 1)))
+        assert m.mentioned_values() == frozenset()
+
+
+@settings(max_examples=80)
+@given(traces())
+def test_and_matches_conjunction(h):
+    m1, m2 = at_most("A", 1), at_most("B", 2)
+    both = AndMachine((m1, m2))
+    assert both.accepts(h) == (m1.accepts(h) and m2.accepts(h))
+
+
+@settings(max_examples=80)
+@given(traces())
+def test_or_is_weaker_than_parts(h):
+    m1, m2 = at_most("A", 1), at_most("B", 2)
+    either = OrMachine((m1, m2))
+    if m1.accepts(h) or m2.accepts(h):
+        # pointwise disjunction is weaker than acceptance disjunction in
+        # general, but each part being ok on all prefixes implies the OR
+        # is ok on all prefixes.
+        assert either.accepts(h)
+
+
+@settings(max_examples=80)
+@given(traces())
+def test_true_is_and_identity(h):
+    m = at_most("A", 2)
+    assert AndMachine((m, TrueMachine())).accepts(h) == m.accepts(h)

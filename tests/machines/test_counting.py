@@ -1,0 +1,108 @@
+"""Unit and property tests for counting machines."""
+
+import pytest
+from hypothesis import given, settings
+
+from repro.core.events import Event
+from repro.core.errors import MachineError
+from repro.core.patterns import pattern
+from repro.core.sorts import OBJ, Sort
+from repro.core.traces import Trace
+from repro.core.values import ObjectId
+from repro.machines.counting import (
+    CondAnd,
+    CondNot,
+    CondOr,
+    CondTrue,
+    CounterDef,
+    CountingMachine,
+    Linear,
+    difference_counter,
+    method_counter,
+)
+
+from strategies import traces
+
+o, p, q = ObjectId("o"), ObjectId("p"), ObjectId("q")
+ow = Event(p, o, "OW")
+cw = Event(p, o, "CW")
+w = Event(p, o, "W")
+
+
+class TestCounterDef:
+    def test_method_counter(self):
+        c = method_counter("OW")
+        assert c.delta(ow) == 1 and c.delta(cw) == 0
+
+    def test_difference_counter(self):
+        c = difference_counter("OW", "CW")
+        assert c.delta(ow) == 1 and c.delta(cw) == -1 and c.delta(w) == 0
+
+    def test_pattern_restriction(self):
+        pat = pattern(OBJ.without(o), Sort.values(o), "OW")
+        c = CounterDef((("OW", 1),), pat)
+        assert c.delta(ow) == 1
+        assert c.delta(Event(o, q, "OW")) == 0  # caller o excluded
+
+
+class TestConditions:
+    def test_linear_ops(self):
+        assert Linear((1,), -1, "<=").holds((1,))
+        assert not Linear((1,), -1, "<=").holds((2,))
+        assert Linear((1,), 0, "==").holds((0,))
+        assert Linear((1, -2), 3, ">").holds((2, 1))  # 2-2+3=3 > 0
+
+    def test_bad_operator_rejected(self):
+        with pytest.raises(MachineError):
+            Linear((1,), 0, "~~")
+
+    def test_arity_mismatch_detected(self):
+        with pytest.raises(MachineError):
+            Linear((1, 1), 0, "==").holds((1,))
+
+    def test_boolean_conditions(self):
+        c = CondAnd((Linear((1,), 0, ">="), CondNot(Linear((1,), -2, ">"))))
+        assert c.holds((1,)) and not c.holds((3,))
+        assert CondOr((Linear((1,), 0, "=="), Linear((1,), -5, "=="))).holds((5,))
+        assert CondTrue().holds((42,))
+
+
+class TestMachine:
+    def test_prw2_style(self):
+        m = CountingMachine(
+            (difference_counter("OW", "CW"),),
+            CondAnd((Linear((1,), -1, "<="), Linear((-1,), 0, "<="))),
+        )
+        assert m.accepts(Trace.of(ow, cw, ow, cw))
+        assert not m.accepts(Trace.of(ow, ow))
+        assert not m.accepts(Trace.of(cw))  # negative difference
+
+    def test_empty_counters_rejected(self):
+        with pytest.raises(MachineError):
+            CountingMachine((), CondTrue())
+
+    def test_state_is_counter_tuple(self):
+        m = CountingMachine((method_counter("OW"),), CondTrue())
+        s = m.initial()
+        s = m.step(s, ow)
+        assert s == (1,)
+
+
+@settings(max_examples=80)
+@given(traces(methods=("A", "B")))
+def test_counter_matches_trace_count(h):
+    m = CountingMachine((method_counter("A"),), CondTrue())
+    state = m.initial()
+    for e in h:
+        state = m.step(state, e)
+    assert state == (h.count("A"),)
+
+
+@settings(max_examples=80)
+@given(traces(methods=("A", "B")))
+def test_difference_counter_matches(h):
+    m = CountingMachine((difference_counter("A", "B"),), CondTrue())
+    state = m.initial()
+    for e in h:
+        state = m.step(state, e)
+    assert state == (h.count("A") - h.count("B"),)

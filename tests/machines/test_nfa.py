@@ -1,0 +1,97 @@
+"""Unit tests for the symbolic NFA internals: closure, binders, liveness."""
+
+from repro.core.events import Event
+from repro.core.sorts import OBJ, Sort
+from repro.core.values import ObjectId
+from repro.machines.regex.ast import Var, atom, bind, seq, star
+from repro.machines.regex.nfa import Config, compile_regex
+
+o = ObjectId("o")
+x1, x2 = ObjectId("x1"), ObjectId("x2")
+Env = OBJ.without(o)
+
+
+class TestCompilation:
+    def test_states_know_their_binders(self):
+        r = bind("x", Env, atom(Var("x"), o, "A"))
+        nfa = compile_regex(r)
+        # some states carry the binder, the outer ones do not
+        binder_sets = set(nfa.binders)
+        assert frozenset() in binder_sets
+        assert frozenset({"x"}) in binder_sets
+
+    def test_free_vars_active_everywhere(self):
+        r = atom(Var("y"), o, "A")
+        nfa = compile_regex(r, free_domains={"y": Env})
+        assert all("y" in b for b in nfa.binders)
+
+    def test_domains_registered(self):
+        r = bind("x", Env, atom(Var("x"), o, "A"))
+        nfa = compile_regex(r)
+        assert nfa.domains["x"] == Env
+
+
+class TestSimulation:
+    def test_closure_is_idempotent(self):
+        r = star(atom(Env, o, "A"))
+        nfa = compile_regex(r)
+        init = nfa.initial_configs()
+        assert nfa.closure(init) == init
+
+    def test_step_binds_variable(self):
+        r = bind("x", Env, seq(atom(Var("x"), o, "A"), atom(Var("x"), o, "B")))
+        nfa = compile_regex(r)
+        configs = nfa.step_configs(nfa.initial_configs(), Event(x1, o, "A"))
+        bound = {dict(c.env).get("x") for c in configs if c.env}
+        assert x1 in bound
+
+    def test_binder_released_outside_scope(self):
+        r = star(bind("x", Env, atom(Var("x"), o, "A")))
+        nfa = compile_regex(r)
+        configs = nfa.step_configs(nfa.initial_configs(), Event(x1, o, "A"))
+        # after completing the Bind body, re-entry configs have empty envs
+        assert any(not c.env for c in configs)
+        # the next iteration may use a different object
+        configs2 = nfa.step_configs(configs, Event(x2, o, "A"))
+        assert configs2
+
+    def test_dead_configs_dropped(self):
+        r = atom(x1, o, "A")
+        nfa = compile_regex(r)
+        configs = nfa.step_configs(nfa.initial_configs(), Event(x2, o, "A"))
+        assert not configs
+
+
+class TestLiveness:
+    def test_accepting_config_live(self):
+        r = atom(Env, o, "A")
+        nfa = compile_regex(r)
+        assert nfa.live(Config(nfa.accept, frozenset()))
+
+    def test_initial_live_when_word_exists(self):
+        r = seq(atom(Env, o, "A"), atom(Env, o, "B"))
+        nfa = compile_regex(r)
+        assert nfa.any_live(nfa.initial_configs())
+
+    def test_unsatisfiable_continuation_dead(self):
+        # after binding x, the continuation needs ⟨x,x,B⟩: impossible.
+        r = seq(atom(Var("x"), o, "A"), atom(Var("x"), Var("x"), "B"))
+        nfa = compile_regex(r, free_domains={"x": Env})
+        configs = nfa.step_configs(nfa.initial_configs(), Event(x1, o, "A"))
+        assert configs  # the A matched...
+        assert not nfa.any_live(configs)  # ...but nothing can follow
+
+    def test_finite_domain_enumeration_exact(self):
+        dom = Sort.values(x1)
+        r = seq(atom(Var("x"), o, "A"), atom(Var("x"), o, "B"))
+        nfa = compile_regex(r, free_domains={"x": dom})
+        # from the start, x must be x1; an A by x2 kills everything
+        configs = nfa.step_configs(nfa.initial_configs(), Event(x2, o, "A"))
+        assert not configs
+
+    def test_liveness_cache_effective(self):
+        r = star(atom(Env, o, "A"))
+        nfa = compile_regex(r)
+        c = next(iter(nfa.initial_configs()))
+        assert nfa.live(c)
+        assert (c.state, c.env) in nfa._live_cache

@@ -1,0 +1,62 @@
+"""Unit tests for projection machines (h/S and h/S = h)."""
+
+from repro.core.alphabet import Alphabet
+from repro.core.events import Event
+from repro.core.patterns import pattern
+from repro.core.sorts import OBJ, Sort
+from repro.core.traces import Trace
+from repro.core.values import ObjectId
+from repro.machines.counting import CounterDef, CountingMachine, Linear
+from repro.machines.projection import FilterMachine, OnlyMachine
+
+o, c, p = ObjectId("o"), ObjectId("c"), ObjectId("p")
+a_co = Event(c, o, "A")
+a_po = Event(p, o, "A")
+b_co = Event(c, o, "B")
+
+
+def at_most_one_a():
+    return CountingMachine((CounterDef((("A", 1),)),), Linear((1,), -1, "<="))
+
+
+class TestFilterMachine:
+    def test_projects_before_stepping(self):
+        alpha = Alphabet.of(pattern(Sort.values(c), Sort.values(o), "A"))
+        m = FilterMachine(alpha, at_most_one_a())
+        # Two A's, but only one within the filter alphabet.
+        assert m.accepts(Trace.of(a_co, a_po))
+        assert not m.accepts(Trace.of(a_co, a_co))
+
+    def test_equivalent_to_filtering_trace(self):
+        alpha = Alphabet.of(pattern(OBJ.without(o), Sort.values(o), "A"))
+        inner = at_most_one_a()
+        m = FilterMachine(alpha, inner)
+        h = Trace.of(a_co, b_co, a_po)
+        assert m.accepts(h) == inner.accepts(h.filter(alpha))
+
+    def test_accepts_plain_sets(self):
+        m = FilterMachine({a_co}, at_most_one_a())
+        assert m.accepts(Trace.of(a_co, a_po, a_po))
+
+    def test_mentioned_values_propagate(self):
+        alpha = Alphabet.of(pattern(Sort.values(c), Sort.values(o), "A"))
+        m = FilterMachine(alpha, at_most_one_a())
+        assert c in m.mentioned_values() and o in m.mentioned_values()
+
+
+class TestOnlyMachine:
+    def test_only_events_in_set(self):
+        m = OnlyMachine(lambda e: e.involves(c))
+        assert m.accepts(Trace.of(a_co, b_co))
+        assert not m.accepts(Trace.of(a_co, a_po))
+
+    def test_violation_is_permanent(self):
+        m = OnlyMachine(lambda e: e.involves(c))
+        s = m.initial()
+        s = m.step(s, a_po)
+        assert not m.ok(s)
+        s = m.step(s, a_co)
+        assert not m.ok(s)
+
+    def test_empty_trace_ok(self):
+        assert OnlyMachine(lambda e: False).accepts(Trace.empty())

@@ -1,0 +1,103 @@
+"""Property tests for prs semantics: prefix language vs brute force.
+
+Generates random small regexes and cross-checks the machine's prefix
+acceptance against the definition: ``h prs R`` iff some extension of ``h``
+is a word of ``L(R)`` — decided by brute-force search over bounded
+extensions (sound here because the generated languages' words are short).
+"""
+
+import itertools
+
+from hypothesis import assume, given, settings
+from hypothesis import strategies as st
+
+from repro.core.events import Event
+from repro.core.traces import Trace
+from repro.core.values import ObjectId
+from repro.machines.regex.ast import Atom, alt, atom, opt, seq, star
+from repro.machines.regex.machine import PrsMachine
+
+o, p, q = ObjectId("o"), ObjectId("p"), ObjectId("q")
+
+#: The tiny concrete alphabet the generated regexes range over.
+EVENTS = (
+    Event(p, o, "A"),
+    Event(q, o, "A"),
+    Event(p, o, "B"),
+)
+
+
+def _atom_for(e: Event):
+    return atom(e.caller, e.callee, e.method)
+
+
+@st.composite
+def regexes(draw, depth: int = 3):
+    if depth == 0:
+        return _atom_for(draw(st.sampled_from(EVENTS)))
+    kind = draw(st.integers(0, 4))
+    if kind == 0:
+        return _atom_for(draw(st.sampled_from(EVENTS)))
+    if kind == 1:
+        return seq(draw(regexes(depth=depth - 1)), draw(regexes(depth=depth - 1)))
+    if kind == 2:
+        return alt(draw(regexes(depth=depth - 1)), draw(regexes(depth=depth - 1)))
+    if kind == 3:
+        return star(draw(regexes(depth=depth - 1)))
+    return opt(draw(regexes(depth=depth - 1)))
+
+
+def words(max_len: int):
+    for k in range(max_len + 1):
+        yield from itertools.product(EVENTS, repeat=k)
+
+
+@settings(max_examples=60, deadline=None)
+@given(regexes(), st.integers(0, 3))
+def test_prefix_semantics_matches_bruteforce(r, n):
+    """For every word h of length ≤ 3: machine.accepts(h) iff h extends to a
+    word of L(R) with at most 4 further events.
+
+    The extension bound is sound once the regex carries at most 4 atoms:
+    stars can always pump *down*, so if any extension completes h, one of
+    length ≤ #atoms does.  Larger regexes are filtered out (they would
+    need a deeper — and exponentially more expensive — search).
+    """
+    assume(sum(1 for node in r.walk() if isinstance(node, Atom)) <= 4)
+    m = PrsMachine(r)
+    for h_tuple in itertools.product(EVENTS, repeat=n):
+        h = Trace(h_tuple)
+        accepted = m.accepts(h)
+        brute = any(
+            m.matches_word(Trace(h_tuple + ext))
+            for ext in words(4)
+        )
+        assert accepted == brute, f"{r} on {h}"
+
+
+@settings(max_examples=60, deadline=None)
+@given(regexes())
+def test_empty_trace_always_prs(r):
+    """ε is a prefix of every word, and L(R) is non-empty for this class
+    (no empty alternations), so ε prs R always holds."""
+    assert PrsMachine(r).accepts(Trace.empty())
+
+
+@settings(max_examples=60, deadline=None)
+@given(regexes(), st.integers(0, 2))
+def test_acceptance_is_prefix_closed(r, n):
+    m = PrsMachine(r)
+    for h_tuple in itertools.product(EVENTS, repeat=n):
+        h = Trace(h_tuple)
+        if m.accepts(h):
+            for g in h.prefixes():
+                assert m.accepts(g)
+
+
+@settings(max_examples=40, deadline=None)
+@given(regexes())
+def test_word_match_implies_prefix_accept(r):
+    m = PrsMachine(r)
+    for w in words(3):
+        if m.matches_word(Trace(w)):
+            assert m.accepts(Trace(w))

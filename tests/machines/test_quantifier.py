@@ -1,0 +1,93 @@
+"""Unit tests for the per-object quantifier machine."""
+
+import pytest
+
+from repro.core.errors import MachineError
+from repro.core.events import Event
+from repro.core.sorts import OBJ, Sort
+from repro.core.traces import Trace
+from repro.core.values import DataVal, ObjectId
+from repro.machines.counting import CounterDef, CountingMachine, Linear
+from repro.machines.quantifier import ForallMachine
+from repro.machines.regex.machine import PrsMachine
+from repro.machines.regex.parse import parse_regex
+
+o = ObjectId("o")
+x1, x2 = ObjectId("x1"), ObjectId("x2")
+d = DataVal("Data", "d")
+Env = OBJ.without(o)
+
+
+def session_machine():
+    """∀x ∈ Env : h/x prs [⟨x,o,OR⟩ ⟨x,o,R⟩* ⟨x,o,CR⟩]* (Example 2)."""
+    body = parse_regex(
+        "[<x,o,OR> <x,o,R(_)>* <x,o,CR>]*",
+        symbols={"o": o},
+        methods={"R": (Sort.base("Data"),), "OR": (), "CR": ()},
+        free_vars={"x": Env},
+    )
+    return ForallMachine(Env, lambda v: PrsMachine(body, free_env={"x": v}))
+
+
+def orr(x):
+    return Event(x, o, "OR")
+
+
+def r(x):
+    return Event(x, o, "R", (d,))
+
+
+def cr(x):
+    return Event(x, o, "CR")
+
+
+class TestForall:
+    def test_interleaved_sessions_allowed(self):
+        m = session_machine()
+        assert m.accepts(Trace.of(orr(x1), orr(x2), r(x2), r(x1), cr(x1), cr(x2)))
+
+    def test_per_object_violation_detected(self):
+        m = session_machine()
+        assert not m.accepts(Trace.of(orr(x1), r(x2)))
+
+    def test_unseen_objects_vacuous(self):
+        m = session_machine()
+        assert m.accepts(Trace.empty())
+
+    def test_irrelevant_events_skipped(self):
+        m = session_machine()
+        # an event not involving any Env member on the tracked side —
+        # everything involves the env caller here, so use an o-caller event
+        h = Trace.of(Event(o, x1, "PING"))
+        # PING involves x1 (callee), so x1's body sees it and the regex
+        # rejects: methods must be OR/R/CR.
+        assert not m.accepts(h)
+
+    def test_custom_relevance(self):
+        m = ForallMachine(
+            Env,
+            lambda v: CountingMachine(
+                (CounterDef((("A", 1),)),), Linear((1,), -1, "<=")
+            ),
+            relevant=lambda e: (e.caller,),
+        )
+        a1 = Event(x1, o, "A")
+        assert m.accepts(Trace.of(a1))
+        assert not m.accepts(Trace.of(a1, a1))
+        # as callee, x1's counter is untouched under the custom relevance
+        assert m.accepts(Trace.of(Event(o, x1, "A"), a1))
+
+    def test_empty_sort_rejected(self):
+        with pytest.raises(MachineError):
+            ForallMachine(Sort.empty(), lambda v: session_machine())
+
+    def test_state_is_hashable(self):
+        m = session_machine()
+        s = m.initial()
+        s = m.step(s, orr(x1))
+        assert hash(s) is not None
+
+    def test_mentioned_values(self):
+        m = session_machine()
+        vals = m.mentioned_values()
+        assert o in vals

@@ -1,0 +1,229 @@
+"""Unit tests for the trace-regex AST, parser, and prs machine."""
+
+import pytest
+
+from repro.core.errors import RegexError
+from repro.core.events import Event
+from repro.core.sorts import DATA, OBJ, Sort
+from repro.core.traces import Trace
+from repro.core.values import DataVal, ObjectId
+from repro.machines.regex.ast import (
+    Alt,
+    Atom,
+    Bind,
+    Eps,
+    Star,
+    Var,
+    atom,
+    bind,
+    meth,
+    opt,
+    plus,
+    seq,
+    star,
+    tmpl,
+)
+from repro.machines.regex.machine import PrsMachine
+from repro.machines.regex.nfa import compile_regex
+from repro.machines.regex.parse import parse_regex
+
+o = ObjectId("o")
+x1, x2 = ObjectId("x1"), ObjectId("x2")
+d1, d2 = DataVal("Data", "d1"), DataVal("Data", "d2")
+Env = OBJ.without(o)
+
+
+class TestTemplates:
+    def test_match_concrete(self):
+        t = tmpl(x1, o, "A")
+        env = t.match(Event(x1, o, "A"), {}, {})
+        assert env == {}
+        assert t.match(Event(x2, o, "A"), {}, {}) is None
+
+    def test_match_sort_position(self):
+        t = tmpl(Env, o, "A")
+        assert t.match(Event(x1, o, "A"), {}, {}) == {}
+        assert t.match(Event(o, x1, "A"), {}, {}) is None  # o not in Env... as caller
+
+    def test_match_binds_variable(self):
+        t = tmpl(Var("x"), o, "A")
+        env = t.match(Event(x1, o, "A"), {}, {"x": Env})
+        assert env == {"x": x1}
+
+    def test_bound_variable_must_agree(self):
+        t = tmpl(Var("x"), o, "A")
+        assert t.match(Event(x2, o, "A"), {"x": x1}, {"x": Env}) is None
+
+    def test_unbound_variable_without_domain_raises(self):
+        t = tmpl(Var("x"), o, "A")
+        with pytest.raises(RegexError):
+            t.match(Event(x1, o, "A"), {}, {})
+
+    def test_bare_method_matches_any_shape(self):
+        t = meth("A").template
+        assert t.match(Event(x1, o, "A", (d1,)), {}, {}) == {}
+        assert t.match(Event(x1, o, "A"), {}, {}) == {}
+        assert t.match(Event(x1, o, "B"), {}, {}) is None
+
+    def test_satisfiable(self):
+        assert tmpl(Env, o, "A").satisfiable({}, {})
+        assert not tmpl(o, o, "A").satisfiable({}, {})  # diagonal
+        assert not tmpl(Var("x"), Var("x"), "A").satisfiable({}, {"x": Env})
+
+
+class TestPrsSemantics:
+    def test_prefix_closure(self):
+        r = seq(atom(x1, o, "A"), atom(x1, o, "B"))
+        m = PrsMachine(r)
+        assert m.accepts(Trace.empty())
+        assert m.accepts(Trace.of(Event(x1, o, "A")))
+        assert m.accepts(Trace.of(Event(x1, o, "A"), Event(x1, o, "B")))
+        assert not m.accepts(Trace.of(Event(x1, o, "B")))
+
+    def test_no_extension_beyond_language(self):
+        r = atom(x1, o, "A")
+        m = PrsMachine(r)
+        a = Event(x1, o, "A")
+        assert not m.accepts(Trace.of(a, a))
+
+    def test_alternation(self):
+        r = star(seq(meth("A"), opt(meth("B"))))
+        m = PrsMachine(r)
+        a, b = Event(x1, o, "A"), Event(x1, o, "B")
+        assert m.accepts(Trace.of(a, a, b, a))
+        assert not m.accepts(Trace.of(b))
+
+    def test_plus_requires_one(self):
+        m = PrsMachine(seq(plus(meth("A")), meth("B")))
+        a, b = Event(x1, o, "A"), Event(x1, o, "B")
+        assert m.accepts(Trace.of(a, a, b))
+        assert not m.accepts(Trace.of(b))
+
+    def test_matches_word_vs_prefix(self):
+        m = PrsMachine(seq(meth("A"), meth("B")))
+        a, b = Event(x1, o, "A"), Event(x1, o, "B")
+        assert m.accepts(Trace.of(a)) and not m.matches_word(Trace.of(a))
+        assert m.matches_word(Trace.of(a, b))
+
+
+class TestBinding:
+    def _write_machine(self):
+        r = star(bind("x", Env, seq(
+            atom(Var("x"), o, "OW"),
+            star(atom(Var("x"), o, "W", DATA)),
+            atom(Var("x"), o, "CW"),
+        )))
+        return PrsMachine(r)
+
+    def test_binder_holds_within_session(self):
+        m = self._write_machine()
+        assert not m.accepts(
+            Trace.of(Event(x1, o, "OW"), Event(x2, o, "W", (d1,)))
+        )
+
+    def test_binder_rebinds_per_star_iteration(self):
+        m = self._write_machine()
+        assert m.accepts(
+            Trace.of(
+                Event(x1, o, "OW"),
+                Event(x1, o, "CW"),
+                Event(x2, o, "OW"),
+                Event(x2, o, "W", (d2,)),
+                Event(x2, o, "CW"),
+            )
+        )
+
+    def test_binder_shadowing_rejected(self):
+        r = bind("x", Env, bind("x", Env, atom(Var("x"), o, "A")))
+        with pytest.raises(RegexError):
+            compile_regex(r)
+
+    def test_unbound_variable_rejected(self):
+        with pytest.raises(RegexError):
+            compile_regex(atom(Var("x"), o, "A"))
+
+    def test_finite_domain_liveness_exact(self):
+        # x ranges over the two-element domain {x1, x2}; after an A from
+        # x1, a B from x2 is impossible (same binder), so the machine must
+        # not stay ok on ⟨x2,o,B⟩.
+        dom = Sort.values(x1, x2)
+        r = bind("x", dom, seq(atom(Var("x"), o, "A"), atom(Var("x"), o, "B")))
+        m = PrsMachine(r)
+        assert m.accepts(Trace.of(Event(x1, o, "A"), Event(x1, o, "B")))
+        assert not m.accepts(Trace.of(Event(x1, o, "A"), Event(x2, o, "B")))
+
+    def test_dead_binder_branch_not_live(self):
+        # After binding x:=x1, the continuation requires ⟨x,o,B⟩ with
+        # x = o — unsatisfiable — so even the first event must not be ok.
+        dom = Sort.values(o)
+        r = bind("x", Env, seq(atom(Var("x"), o, "A"), atom(Var("x"), Var("x"), "B")))
+        m = PrsMachine(r)
+        assert not m.accepts(Trace.of(Event(x1, o, "A")))
+
+
+class TestParser:
+    SYMS = {"o": o, "Objects": Env}
+    METHODS = {"W": (DATA,), "OW": (), "CW": (), "A": (), "B": ()}
+
+    def test_roundtrip_write_regex(self):
+        r = parse_regex(
+            "[[<x,o,OW> <x,o,W(_)>* <x,o,CW>] . x : Objects]*",
+            symbols=self.SYMS,
+            methods=self.METHODS,
+        )
+        assert isinstance(r, Star)
+        assert isinstance(r.body, Bind)
+
+    def test_bare_methods(self):
+        r = parse_regex("[A | B]*")
+        m = PrsMachine(r)
+        assert m.accepts(Trace.of(Event(x1, o, "A"), Event(x2, o, "B")))
+
+    def test_unresolved_identifier_reported(self):
+        with pytest.raises(RegexError, match="unresolved"):
+            parse_regex("<y,o,A>", symbols=self.SYMS, methods=self.METHODS)
+
+    def test_free_vars_allowed(self):
+        r = parse_regex(
+            "<y,o,A>", symbols=self.SYMS, methods=self.METHODS,
+            free_vars={"y": Env},
+        )
+        m = PrsMachine(r, free_env={"y": x1})
+        assert m.accepts(Trace.of(Event(x1, o, "A")))
+        assert not m.accepts(Trace.of(Event(x2, o, "A")))
+
+    def test_wildcard_needs_signature(self):
+        with pytest.raises(RegexError, match="wildcard"):
+            parse_regex("<x,o,Z(_)>", symbols=self.SYMS, methods=self.METHODS,
+                        free_vars={"x": Env})
+
+    def test_arity_checked(self):
+        with pytest.raises(RegexError, match="parameter"):
+            parse_regex("<x,o,W>", symbols=self.SYMS, methods=self.METHODS,
+                        free_vars={"x": Env})
+
+    def test_trailing_garbage_rejected(self):
+        with pytest.raises(RegexError, match="trailing"):
+            parse_regex("A ]", symbols=self.SYMS, methods=self.METHODS)
+
+    def test_binder_sort_must_be_sort(self):
+        with pytest.raises(RegexError, match="sort"):
+            parse_regex("[<x,o,A>] . x : o", symbols=self.SYMS, methods=self.METHODS)
+
+
+class TestAstHelpers:
+    def test_seq_flattens_and_drops_eps(self):
+        s = seq(meth("A"), Eps(), seq(meth("B"), meth("C")))
+        assert len(s.parts) == 3
+
+    def test_seq_of_nothing_is_eps(self):
+        assert isinstance(seq(), Eps)
+
+    def test_variables_collected(self):
+        r = bind("x", Env, atom(Var("x"), o, "A"))
+        assert r.variables() == frozenset({"x"})
+        assert r.bound_variables() == frozenset({"x"})
+
+    def test_mentioned_values(self):
+        r = bind("x", Env, atom(Var("x"), o, "A"))
+        assert o in r.mentioned_values()

@@ -1,0 +1,77 @@
+"""Unit tests for the renaming machine."""
+
+from repro.core.events import Event
+from repro.core.traces import Trace
+from repro.core.values import DataVal, ObjectId
+from repro.machines.counting import CounterDef, CountingMachine, Linear
+from repro.machines.rename import RenameMachine, rename_event
+from repro.core.patterns import pattern
+from repro.core.sorts import OBJ, Sort
+
+o, p, q = ObjectId("o"), ObjectId("p"), ObjectId("q")
+d1, d2 = DataVal("Data", "d1"), DataVal("Data", "d2")
+
+
+class TestRenameEvent:
+    def test_endpoints_renamed(self):
+        e = rename_event(Event(p, o, "M"), {o: q})
+        assert e == Event(p, q, "M")
+
+    def test_args_renamed(self):
+        e = rename_event(Event(p, o, "M", (q, d1)), {q: p, d1: d2})
+        assert e.args == (p, d2)
+
+    def test_unmapped_untouched(self):
+        e = Event(p, o, "M")
+        assert rename_event(e, {}) == e
+
+
+class TestRenameMachine:
+    def _counting_to(self, target):
+        pat = pattern(OBJ.without(target), Sort.values(target), "M")
+        return CountingMachine((CounterDef((("M", 1),), pat),), Linear((1,), -1, "<="))
+
+    SWAP = {q: o, o: q}  # the completed permutation for "o becomes q"
+
+    def test_accepts_image_traces(self):
+        # inner machine caps M-calls *to o*; renamed machine caps calls to q
+        inner = self._counting_to(o)
+        renamed = RenameMachine(self.SWAP, inner)
+        assert renamed.accepts(Trace.of(Event(p, q, "M")))
+        assert not renamed.accepts(Trace.of(Event(p, q, "M"), Event(p, q, "M")))
+
+    def test_original_names_not_special_after_rename(self):
+        inner = self._counting_to(o)
+        renamed = RenameMachine(self.SWAP, inner)
+        # calls to o are NOT counted by the renamed machine (under the
+        # swap, o took over q's old role as a plain environment name)
+        assert renamed.accepts(Trace.of(Event(p, o, "M"), Event(p, o, "M")))
+
+    def test_mentioned_values_mapped_forward(self):
+        inner = self._counting_to(o)
+        renamed = RenameMachine(self.SWAP, inner)
+        assert q in renamed.mentioned_values()
+        assert o not in renamed.mentioned_values()
+
+    def test_transform_completes_partial_mapping(self, cast):
+        # rename_objects closes {o ↦ q} into the swap: the old name o is
+        # no longer the protocol target in the renamed spec.
+        from repro.core.transform import rename_objects
+
+        renamed = rename_objects(cast.write(), {cast.o: q})
+        session_to_old_name = Trace.of(Event(p, cast.o, "W", (d1,)))
+        assert not renamed.admits(session_to_old_name)  # W without OW… to o?
+        # calls to o are simply outside the protocol's target: an OW to q
+        # (the new controller) is required first, and o-events are not
+        # even in the renamed alphabet's callee sort.
+        assert not renamed.alphabet.contains(Event(p, cast.o, "OW"))
+
+    def test_identity_rename_is_same_language(self):
+        inner = self._counting_to(o)
+        renamed = RenameMachine({}, inner)
+        for h in (
+            Trace.empty(),
+            Trace.of(Event(p, o, "M")),
+            Trace.of(Event(p, o, "M"), Event(q, o, "M")),
+        ):
+            assert renamed.accepts(h) == inner.accepts(h)

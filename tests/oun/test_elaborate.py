@@ -1,0 +1,157 @@
+"""Unit tests for OUN elaboration to core specifications."""
+
+import pytest
+
+from repro.checker.equality import specs_equal
+from repro.checker.refinement import check_refinement
+from repro.checker.result import Verdict
+from repro.core.errors import OUNElaborationError
+from repro.core.events import Event
+from repro.core.traces import Trace
+from repro.core.values import DataVal, ObjectId
+from repro.oun import load_specifications
+
+WRITE_DOC = """
+object o
+sort Objects = Obj \\ { o }
+specification Write {
+  objects o
+  method OW, CW, W(Data)
+  alphabet {
+    <x, o, OW>   where x : Objects;
+    <x, o, CW>   where x : Objects;
+    <x, o, W(_)> where x : Objects;
+  }
+  traces prs "[[<x,o,OW> <x,o,W(_)>* <x,o,CW>] . x : Objects]*"
+}
+"""
+
+o, x1, x2 = ObjectId("o"), ObjectId("x1"), ObjectId("x2")
+d = DataVal("Data", "d")
+
+
+class TestElaboration:
+    def test_write_matches_paper(self, cast):
+        specs = load_specifications(WRITE_DOC)
+        assert specs_equal(specs["Write"], cast.write()).holds
+
+    def test_forall_and_counting(self, cast):
+        doc = """
+        object o
+        sort Objects = Obj \\ { o }
+        specification RW {
+          objects o
+          method OW, CW, W(Data), OR, CR, R(Data)
+          alphabet {
+            <x, o, OW> where x : Objects;
+            <x, o, CW> where x : Objects;
+            <x, o, W(_)> where x : Objects;
+            <x, o, OR> where x : Objects;
+            <x, o, CR> where x : Objects;
+            <x, o, R(_)> where x : Objects;
+          }
+          traces (forall x : Objects . prs "[OW [W | R]* CW | OR R* CR]*")
+             and (#OW - #CW = 0 or #OR - #CR = 0)
+             and #OW - #CW <= 1
+        }
+        """
+        specs = load_specifications(doc)
+        assert specs_equal(specs["RW"], cast.rw()).holds
+
+    def test_only_constraint(self, cast):
+        doc = """
+        object o, c
+        sort Objects = Obj \\ { o }
+        specification V {
+          objects o
+          method W(Data)
+          alphabet { <x, o, W(_)> where x : Objects; }
+          traces only c
+        }
+        """
+        spec = load_specifications(doc)["V"]
+        assert spec.admits(Trace.of(Event(ObjectId("c"), o, "W", (d,))))
+        assert not spec.admits(Trace.of(Event(x1, o, "W", (d,))))
+
+    def test_component_spec_multiple_objects(self):
+        doc = """
+        object s, b
+        sort Env = Obj \\ { s, b }
+        specification Pair {
+          objects s, b
+          method M
+          alphabet { <x, s, M> where x : Env; }
+          traces true
+        }
+        """
+        spec = load_specifications(doc)["Pair"]
+        assert spec.objects == frozenset((ObjectId("s"), ObjectId("b")))
+
+
+class TestErrors:
+    def test_unknown_sort(self):
+        doc = WRITE_DOC.replace("x : Objects", "x : Nowhere", 1)
+        with pytest.raises(OUNElaborationError, match="unresolved|unknown"):
+            load_specifications(doc)
+
+    def test_undeclared_method_in_alphabet(self):
+        doc = """
+        object o
+        specification S {
+          objects o
+          alphabet { <Obj, o, M>; }
+          traces true
+        }
+        """
+        with pytest.raises(OUNElaborationError, match="undeclared method"):
+            load_specifications(doc)
+
+    def test_arity_mismatch(self):
+        doc = """
+        object o
+        specification S {
+          objects o
+          method M(Data)
+          alphabet { <Obj, o, M(_, _)>; }
+          traces true
+        }
+        """
+        with pytest.raises(OUNElaborationError, match="parameter"):
+            load_specifications(doc)
+
+    def test_undeclared_object_in_spec(self):
+        doc = """
+        specification S {
+          objects ghost
+          alphabet { }
+          traces true
+        }
+        """
+        with pytest.raises(OUNElaborationError, match="undeclared object"):
+            load_specifications(doc)
+
+    def test_redeclared_spec(self):
+        doc = WRITE_DOC + WRITE_DOC.replace("object o\nsort Objects = Obj \\ { o }\n", "")
+        with pytest.raises(OUNElaborationError, match="redeclared"):
+            load_specifications(doc)
+
+    def test_unknown_object_in_only(self):
+        doc = """
+        object o
+        sort Objects = Obj \\ { o }
+        specification S {
+          objects o
+          method M
+          alphabet { <x, o, M> where x : Objects; }
+          traces only ghost
+        }
+        """
+        with pytest.raises(OUNElaborationError, match="unknown object"):
+            load_specifications(doc)
+
+
+class TestCheckingRoundTrip:
+    def test_refinement_between_oun_specs(self, cast):
+        specs = load_specifications(WRITE_DOC)
+        r = check_refinement(cast.rw(), specs["Write"])
+        assert r.verdict is Verdict.PROVED

@@ -1,0 +1,53 @@
+"""Unit tests for the OUN lexer."""
+
+import pytest
+
+from repro.core.errors import OUNSyntaxError
+from repro.oun.lexer import tokenize
+
+
+def kinds(src):
+    return [t.kind for t in tokenize(src)]
+
+
+class TestTokens:
+    def test_idents_and_punct(self):
+        assert kinds("object o") == ["ident", "ident", "eof"]
+        assert kinds("{ } < > ( )") == ["{", "}", "<", ">", "(", ")", "eof"]
+
+    def test_multichar_comparators(self):
+        assert kinds("<= >= != =") == ["<=", ">=", "!=", "=", "eof"]
+
+    def test_comparator_vs_angle(self):
+        # '<x' must lex as '<' then ident, not '<='
+        assert kinds("<x,") == ["<", "ident", ",", "eof"]
+
+    def test_integers(self):
+        toks = tokenize("42 7")
+        assert [t.kind for t in toks] == ["int", "int", "eof"]
+        assert toks[0].text == "42"
+
+    def test_strings(self):
+        toks = tokenize('prs "[A | B]*"')
+        assert toks[1].kind == "string" and toks[1].text == "[A | B]*"
+
+    def test_unterminated_string(self):
+        with pytest.raises(OUNSyntaxError):
+            tokenize('"never ends')
+
+    def test_comments_skipped(self):
+        assert kinds("a // comment\n b") == ["ident", "ident", "eof"]
+
+    def test_positions_tracked(self):
+        toks = tokenize("a\n  b")
+        assert (toks[0].line, toks[0].column) == (1, 1)
+        assert (toks[1].line, toks[1].column) == (2, 3)
+
+    def test_unexpected_character(self):
+        with pytest.raises(OUNSyntaxError) as e:
+            tokenize("a @ b")
+        assert e.value.line == 1
+
+    def test_primed_identifiers(self):
+        toks = tokenize("o' x1")
+        assert toks[0].text == "o'"

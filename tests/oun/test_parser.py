@@ -1,0 +1,111 @@
+"""Unit tests for the OUN document parser."""
+
+import pytest
+
+from repro.core.errors import OUNSyntaxError
+from repro.oun.parser import (
+    CAnd,
+    CForall,
+    CLinear,
+    COnly,
+    COr,
+    CPrs,
+    CTrue,
+    parse_document,
+)
+
+MINIMAL = """
+object o
+sort Objects = Obj \\ { o }
+specification S {
+  objects o
+  method M(Data)
+  alphabet { <x, o, M(_)> where x : Objects; }
+  traces true
+}
+"""
+
+
+class TestDocuments:
+    def test_minimal(self):
+        doc = parse_document(MINIMAL)
+        assert doc.objects == ("o",)
+        assert doc.sorts[0].name == "Objects" and doc.sorts[0].removed == ("o",)
+        (spec,) = doc.specifications
+        assert spec.name == "S" and spec.objects == ("o",)
+        assert spec.methods[0].name == "M" and spec.methods[0].arg_sorts == ("Data",)
+        assert isinstance(spec.traces, CTrue)
+
+    def test_multiple_objects_comma(self):
+        doc = parse_document("object a, b, c")
+        assert doc.objects == ("a", "b", "c")
+
+    def test_alphabet_entries(self):
+        doc = parse_document(MINIMAL)
+        (entry,) = doc.specifications[0].alphabet
+        assert entry.caller == "x" and entry.callee == "o"
+        assert entry.method == "M" and entry.args == ("_",)
+        assert entry.bindings == (("x", "Objects"),)
+
+    def test_missing_alphabet_rejected(self):
+        with pytest.raises(OUNSyntaxError, match="alphabet"):
+            parse_document("object o specification S { objects o }")
+
+    def test_missing_objects_rejected(self):
+        with pytest.raises(OUNSyntaxError, match="objects"):
+            parse_document("specification S { alphabet { } }")
+
+    def test_unknown_toplevel_rejected(self):
+        with pytest.raises(OUNSyntaxError):
+            parse_document("widget w")
+
+
+class TestConstraints:
+    def _traces(self, text):
+        doc = parse_document(
+            "object o\nspecification S { objects o\n"
+            "method A, B\n"
+            "alphabet { <Obj, o, A>; }\n"
+            f"traces {text}\n}}"
+        )
+        return doc.specifications[0].traces
+
+    def test_prs_string(self):
+        c = self._traces('prs "[A]*"')
+        assert isinstance(c, CPrs) and c.regex_text == "[A]*"
+
+    def test_forall(self):
+        c = self._traces('forall x : Obj . prs "[A]*"')
+        assert isinstance(c, CForall) and c.var == "x" and c.sort == "Obj"
+
+    def test_only(self):
+        c = self._traces("only o")
+        assert isinstance(c, COnly) and c.name == "o"
+
+    def test_linear(self):
+        c = self._traces("#A - #B <= 1")
+        assert isinstance(c, CLinear)
+        assert c.terms == (("A", 1), ("B", -1))
+        assert c.op == "<=" and c.rhs == 1
+
+    def test_linear_equality_normalised(self):
+        c = self._traces("#A = 0")
+        assert c.op == "=="
+
+    def test_negative_rhs(self):
+        c = self._traces("#A - #B >= -2")
+        assert c.rhs == -2
+
+    def test_precedence_or_over_and(self):
+        c = self._traces("#A = 0 and #B = 0 or #A <= 1")
+        assert isinstance(c, COr)
+        assert isinstance(c.parts[0], CAnd)
+
+    def test_parentheses(self):
+        c = self._traces("#A = 0 and (#B = 0 or #A <= 1)")
+        assert isinstance(c, CAnd)
+        assert isinstance(c.parts[1], COr)
+
+    def test_bad_constraint_reported(self):
+        with pytest.raises(OUNSyntaxError, match="constraint"):
+            self._traces("42")

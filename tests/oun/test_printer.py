@@ -1,0 +1,111 @@
+"""Round-trip tests for the OUN pretty-printer."""
+
+import pytest
+
+from repro.checker.equality import specs_equal
+from repro.oun import (
+    elaborate,
+    format_constraint,
+    format_document,
+    parse_document,
+)
+from repro.oun.parser import CLinear
+
+FULL = """
+object o, c, mon
+sort Objects = Obj \\ { o }
+sort ClientEnv = Obj \\ { c }
+
+specification Read {
+  objects o
+  method R(Data)
+  alphabet { <x, o, R(_)> where x : Objects; }
+  traces true
+}
+
+specification RW {
+  objects o
+  method OW, CW, W(Data), OR, CR, R(Data)
+  alphabet {
+    <x, o, OW>   where x : Objects;
+    <x, o, CW>   where x : Objects;
+    <x, o, W(_)> where x : Objects;
+    <x, o, OR>   where x : Objects;
+    <x, o, CR>   where x : Objects;
+    <x, o, R(_)> where x : Objects;
+  }
+  traces (forall x : Objects . prs "[OW [W | R]* CW | OR R* CR]*")
+     and (#OW - #CW = 0 or #OR - #CR = 0)
+     and #OW - #CW <= 1
+}
+
+specification Client {
+  objects c
+  method W(Data), OK
+  alphabet {
+    <c, y, W(_)> where y : ClientEnv;
+    <c, y, OK>   where y : ClientEnv;
+  }
+  traces prs "[<c,o,W(_)> <c,mon,OK>]*"
+}
+
+specification RWc {
+  objects o
+  method W(Data)
+  alphabet { <x, o, W(_)> where x : Objects; }
+  traces only c and not #W >= 3
+}
+
+assert RW refines Read
+assert not Read refines RW
+"""
+
+
+class TestRoundTrip:
+    def test_ast_round_trip(self):
+        doc = parse_document(FULL)
+        printed = format_document(doc)
+        reparsed = parse_document(printed)
+        assert reparsed == doc
+
+    def test_idempotent(self):
+        doc = parse_document(FULL)
+        once = format_document(doc)
+        twice = format_document(parse_document(once))
+        assert once == twice
+
+    def test_semantics_preserved(self):
+        original = elaborate(parse_document(FULL))
+        reparsed = elaborate(parse_document(format_document(parse_document(FULL))))
+        for name in original:
+            assert specs_equal(original[name], reparsed[name]).holds, name
+
+    def test_round_trip_with_composition(self):
+        doc_text = FULL.replace(
+            "assert RW refines Read",
+            "composition Sys = Client || RW\nassert RW refines Read",
+        )
+        doc = parse_document(doc_text)
+        assert parse_document(format_document(doc)) == doc
+
+
+class TestConstraintFormatting:
+    def test_linear_reordering(self):
+        # A negative-first constraint is reordered to keep the syntax valid.
+        c = CLinear((("B", -1), ("A", 1)), "<=", 0)
+        text = format_constraint(c)
+        assert text == "#A - #B <= 0"
+
+    def test_all_negative_unprintable(self):
+        c = CLinear((("B", -1),), "<=", 0)
+        with pytest.raises(TypeError):
+            format_constraint(c)
+
+    def test_weight_beyond_one_unprintable(self):
+        c = CLinear((("B", 2),), "<=", 0)
+        with pytest.raises(TypeError):
+            format_constraint(c)
+
+    def test_equality_rendered_as_single_equals(self):
+        c = CLinear((("A", 1),), "==", 0)
+        assert format_constraint(c) == "#A = 0"

@@ -1,0 +1,162 @@
+"""Tests for OUN document assertions and named compositions."""
+
+import pytest
+
+from repro.core.errors import OUNElaborationError, OUNSyntaxError
+from repro.oun import load_specifications, parse_document, verify_text
+
+BASE = """
+object o, c, mon
+sort Objects = Obj \\ { o }
+sort ClientEnv = Obj \\ { c }
+
+specification Read {
+  objects o
+  method R(Data)
+  alphabet { <x, o, R(_)> where x : Objects; }
+  traces true
+}
+
+specification Read2 {
+  objects o
+  method OR, CR, R(Data)
+  alphabet {
+    <x, o, OR>   where x : Objects;
+    <x, o, CR>   where x : Objects;
+    <x, o, R(_)> where x : Objects;
+  }
+  traces forall x : Objects . prs "[<x,o,OR> <x,o,R(_)>* <x,o,CR>]*"
+}
+
+specification WriteAcc {
+  objects o
+  method OW, CW, W(Data)
+  alphabet {
+    <x, o, OW>   where x : Objects;
+    <x, o, CW>   where x : Objects;
+    <x, o, W(_)> where x : Objects;
+  }
+  traces prs "[<c,o,OW> <c,o,W(_)>* <c,o,CW>]*"
+}
+
+specification Client {
+  objects c
+  method W(Data), OK
+  alphabet {
+    <c, y, W(_)> where y : ClientEnv;
+    <c, y, OK>   where y : ClientEnv;
+  }
+  traces prs "[<c,o,W(_)> <c,mon,OK>]*"
+}
+"""
+
+
+class TestCompositions:
+    def test_named_composition_built(self):
+        doc = BASE + "composition System = Client || WriteAcc\n"
+        specs = load_specifications(doc)
+        assert "System" in specs
+        assert specs["System"].objects == frozenset(
+            spec_obj for spec_obj in specs["Client"].objects | specs["WriteAcc"].objects
+        )
+
+    def test_unknown_part_rejected(self):
+        doc = BASE + "composition S = Client || Ghost\n"
+        with pytest.raises(OUNElaborationError, match="unknown"):
+            load_specifications(doc)
+
+    def test_noncomposable_parts_rejected(self):
+        # System's internals overlap Read2's alphabet (⟨c,o,R⟩ is internal).
+        doc = (
+            BASE
+            + "composition System = Client || WriteAcc\n"
+            + "composition Bad = System || Read2\n"
+        )
+        with pytest.raises(OUNElaborationError, match="compos"):
+            load_specifications(doc)
+
+    def test_composition_usable_in_assertions(self):
+        doc = (
+            BASE
+            + "composition System = Client || WriteAcc\n"
+            + "assert System refines System\n"
+        )
+        outcomes = verify_text(doc)
+        assert all(o.passed for o in outcomes)
+
+
+class TestAssertions:
+    def test_positive_and_negative(self):
+        doc = (
+            BASE
+            + "assert Read2 refines Read\n"
+            + "assert not Read refines Read2\n"
+        )
+        outcomes = verify_text(doc)
+        assert len(outcomes) == 2
+        assert all(o.passed for o in outcomes)
+
+    def test_failing_assertion_reported(self):
+        doc = BASE + "assert Read refines Read2\n"
+        (outcome,) = verify_text(doc)
+        assert not outcome.passed
+        assert "FAILED" in outcome.describe()
+
+    def test_equals_assertion(self):
+        doc = BASE + "assert Read equals Read\nassert not Read equals Read2\n"
+        outcomes = verify_text(doc)
+        assert all(o.passed for o in outcomes)
+
+    def test_unknown_name_raises(self):
+        doc = BASE + "assert Ghost refines Read\n"
+        with pytest.raises(OUNElaborationError, match="unknown"):
+            verify_text(doc)
+
+    def test_bad_keyword_rejected(self):
+        with pytest.raises(OUNSyntaxError, match="refines"):
+            parse_document(BASE + "assert Read subsumes Read2\n")
+
+    def test_line_numbers_recorded(self):
+        doc = BASE + "assert Read2 refines Read\n"
+        parsed = parse_document(doc)
+        assert parsed.assertions[0].line == len(BASE.splitlines()) + 1
+
+
+class TestCliVerify:
+    def test_verify_command(self, tmp_path):
+        import io
+
+        from repro.cli import main
+
+        p = tmp_path / "doc.oun"
+        p.write_text(
+            BASE
+            + "composition System = Client || WriteAcc\n"
+            + "assert Read2 refines Read\n"
+            + "assert not Read refines Read2\n"
+        )
+        out = io.StringIO()
+        code = main(["verify", str(p)], out=out)
+        assert code == 0
+        assert "2/2 assertions hold" in out.getvalue()
+
+    def test_verify_failure_exit_code(self, tmp_path):
+        import io
+
+        from repro.cli import main
+
+        p = tmp_path / "doc.oun"
+        p.write_text(BASE + "assert Read refines Read2\n")
+        out = io.StringIO()
+        assert main(["verify", str(p)], out=out) == 1
+
+    def test_verify_no_assertions(self, tmp_path):
+        import io
+
+        from repro.cli import main
+
+        p = tmp_path / "doc.oun"
+        p.write_text(BASE)
+        out = io.StringIO()
+        assert main(["verify", str(p)], out=out) == 0
+        assert "no assertions" in out.getvalue()

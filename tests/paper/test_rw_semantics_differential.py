@@ -1,0 +1,120 @@
+"""Differential check of the RW specification (Example 3).
+
+Independent transcription of ``P_RW1 ∧ P_RW2``: per-caller session
+automata for the projection predicate, plus the global counting
+constraint — compared against the library's quantifier/counting machinery
+on random traces.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.events import Event
+from repro.core.traces import Trace
+from repro.core.values import DataVal, ObjectId
+
+CALLERS = tuple(ObjectId(f"x{i}") for i in range(3))
+D = DataVal("Data", "d")
+METHODS = ("OW", "CW", "W", "OR", "CR", "R")
+
+
+def _prw1_reference(trace: Trace) -> bool:
+    """∀x : h/x prs [OW [W|R]* CW | OR R* CR]* — explicit session automata."""
+    state: dict[ObjectId, str] = {}
+    for e in trace:
+        s = state.get(e.caller, "idle")
+        m = e.method
+        if s == "idle":
+            if m == "OW":
+                s = "writing"
+            elif m == "OR":
+                s = "reading"
+            else:
+                return False
+        elif s == "writing":
+            if m in ("W", "R"):
+                pass
+            elif m == "CW":
+                s = "idle"
+            else:
+                return False
+        elif s == "reading":
+            if m == "R":
+                pass
+            elif m == "CR":
+                s = "idle"
+            else:
+                return False
+        state[e.caller] = s
+    return True
+
+
+def _prw2_reference(trace: Trace) -> bool:
+    """(OW−CW = 0 ∨ OR−CR = 0) ∧ OW−CW ≤ 1, at every prefix."""
+    ow = cw = orr = cr = 0
+    for e in trace:
+        ow += e.method == "OW"
+        cw += e.method == "CW"
+        orr += e.method == "OR"
+        cr += e.method == "CR"
+        if not ((ow - cw == 0 or orr - cr == 0) and ow - cw <= 1):
+            return False
+    return True
+
+
+def reference_rw_check(trace: Trace, controller: ObjectId) -> bool:
+    if not all(e.callee == controller for e in trace):
+        return False
+    # prefix-closure: P_RW1's automaton is already prefix-safe; P_RW2 is
+    # checked per prefix inside its reference.
+    for prefix in trace.prefixes():
+        if not _prw1_reference(prefix):
+            return False
+    return _prw2_reference(trace)
+
+
+@st.composite
+def rw_traces(draw, controller: ObjectId, max_len: int = 8):
+    n = draw(st.integers(0, max_len))
+    events = []
+    for _ in range(n):
+        caller = draw(st.sampled_from(CALLERS))
+        method = draw(st.sampled_from(METHODS))
+        args = (D,) if method in ("W", "R") else ()
+        events.append(Event(caller, controller, method, args))
+    return Trace(tuple(events))
+
+
+@settings(max_examples=300, deadline=None)
+@given(st.data())
+def test_rw_machine_matches_reference(cast, data):
+    trace = data.draw(rw_traces(cast.o))
+    assert cast.rw().admits(trace) == reference_rw_check(trace, cast.o), trace
+
+
+@settings(max_examples=200, deadline=None)
+@given(st.data())
+def test_read2_machine_matches_reference(cast, data):
+    """Read2's reference: per-caller OR R* CR sessions only."""
+    trace = data.draw(rw_traces(cast.o))
+    in_alphabet = all(e.method in ("OR", "CR", "R") for e in trace)
+
+    def read2_ref() -> bool:
+        state: dict[ObjectId, bool] = {}
+        for e in trace:
+            open_ = state.get(e.caller, False)
+            if e.method == "OR":
+                if open_:
+                    return False
+                state[e.caller] = True
+            elif e.method == "R":
+                if not open_:
+                    return False
+            elif e.method == "CR":
+                if not open_:
+                    return False
+                state[e.caller] = False
+        return True
+
+    expected = in_alphabet and read2_ref()
+    assert cast.read2().admits(trace) == expected, trace

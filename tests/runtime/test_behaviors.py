@@ -1,0 +1,98 @@
+"""Unit tests for the behaviour primitives."""
+
+import random
+
+import pytest
+
+from repro.core.events import Event
+from repro.core.values import ObjectId
+from repro.runtime.behaviors import (
+    Behavior,
+    Call,
+    LoopBehavior,
+    PassiveBehavior,
+    ScriptedBehavior,
+)
+from repro.runtime.library import SequencedBehavior
+
+o, a, b = ObjectId("o"), ObjectId("a"), ObjectId("b")
+RNG = random.Random(0)
+
+
+class TestPrimitives:
+    def test_passive_does_nothing(self):
+        beh = PassiveBehavior()
+        state = beh.init_state()
+        state, calls = beh.on_tick(state, RNG, o)
+        assert calls == ()
+        state, calls = beh.on_event(state, Event(a, o, "M"), o)
+        assert calls == ()
+
+    def test_scripted_exhausts(self):
+        beh = ScriptedBehavior([Call(o, "M"), Call(o, "N")])
+        state = beh.init_state()
+        emitted = []
+        for _ in range(5):
+            state, calls = beh.on_tick(state, RNG, a)
+            emitted.extend(calls)
+        assert [c.method for c in emitted] == ["M", "N"]
+
+    def test_loop_cycles(self):
+        beh = LoopBehavior([Call(o, "M"), Call(o, "N")])
+        state = beh.init_state()
+        emitted = []
+        for _ in range(5):
+            state, calls = beh.on_tick(state, RNG, a)
+            emitted.extend(calls)
+        assert [c.method for c in emitted] == ["M", "N", "M", "N", "M"]
+
+    def test_empty_loop_rejected(self):
+        with pytest.raises(ValueError):
+            LoopBehavior([])
+
+
+class _TwoCalls(SequencedBehavior):
+    """Emits M then N, sequenced."""
+
+    def initial_phase(self):
+        return 0
+
+    def next_call(self, phase, rng, me):
+        if phase == 0:
+            return 1, Call(o, "M")
+        if phase == 1:
+            return 2, Call(o, "N")
+        return phase, None
+
+
+class TestSequencedBehavior:
+    def test_waits_for_delivery(self):
+        beh = _TwoCalls()
+        state = beh.init_state()
+        state, calls = beh.on_tick(state, RNG, a)
+        assert [c.method for c in calls] == ["M"]
+        # ticking again before delivery emits nothing
+        state, calls = beh.on_tick(state, RNG, a)
+        assert calls == ()
+        # observing the delivery releases the next call
+        state, _ = beh.on_event(state, Event(a, o, "M"), a)
+        state, calls = beh.on_tick(state, RNG, a)
+        assert [c.method for c in calls] == ["N"]
+
+    def test_foreign_events_do_not_release(self):
+        beh = _TwoCalls()
+        state = beh.init_state()
+        state, _ = beh.on_tick(state, RNG, a)
+        # an unrelated event (different method) does not clear the slot
+        state, _ = beh.on_event(state, Event(a, o, "X"), a)
+        state, calls = beh.on_tick(state, RNG, a)
+        assert calls == ()
+
+    def test_finishes_quiet(self):
+        beh = _TwoCalls()
+        state = beh.init_state()
+        for method in ("M", "N"):
+            state, calls = beh.on_tick(state, RNG, a)
+            state, _ = beh.on_event(state, Event(a, o, method), a)
+        state, calls = beh.on_tick(state, RNG, a)
+        assert calls == ()

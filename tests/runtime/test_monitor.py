@@ -1,0 +1,107 @@
+"""Unit tests for online monitors and the protocol behaviours."""
+
+import pytest
+
+from repro.core.errors import MonitorViolation, RuntimeModelError
+from repro.core.events import Event
+from repro.core.values import DataVal, ObjectId
+from repro.runtime import (
+    PassiveBehavior,
+    RandomScheduler,
+    ReaderBehavior,
+    RogueWriterBehavior,
+    RoundRobinScheduler,
+    SpecMonitor,
+    System,
+    WriterBehavior,
+    WriteThenConfirmBehavior,
+)
+
+o = ObjectId("o")
+d = DataVal("Data", "d")
+
+
+class TestSpecMonitor:
+    def test_accepting_stream(self, cast, x1):
+        m = SpecMonitor(cast.write())
+        assert m.observe(Event(x1, cast.o, "OW"))
+        assert m.observe(Event(x1, cast.o, "W", (d,)))
+        assert m.observe(Event(x1, cast.o, "CW"))
+        assert m.ok and not m.violations
+
+    def test_violation_detected_and_sticky(self, cast, x1, x2):
+        m = SpecMonitor(cast.write())
+        m.observe(Event(x1, cast.o, "OW"))
+        assert not m.observe(Event(x2, cast.o, "W", (d,)))
+        assert not m.ok
+        # stays violated even after a "good" event
+        assert not m.observe(Event(x1, cast.o, "CW"))
+        assert len(m.violations) == 1
+        v = m.violations[0]
+        assert v.index == 1 and v.event.method == "W"
+
+    def test_out_of_alphabet_events_skipped(self, cast, x1):
+        m = SpecMonitor(cast.write())
+        assert m.observe(Event(x1, cast.o, "UNRELATED"))
+        assert m.ok
+
+    def test_raise_mode(self, cast, x1):
+        m = SpecMonitor(cast.write(), raise_on_violation=True)
+        with pytest.raises(MonitorViolation):
+            m.observe(Event(x1, cast.o, "W", (d,)))
+
+    def test_reset(self, cast, x1):
+        m = SpecMonitor(cast.write())
+        m.observe(Event(x1, cast.o, "W", (d,)))
+        assert not m.ok
+        m.reset()
+        assert m.ok and not m.violations
+
+    def test_composed_specs_not_monitorable(self, cast):
+        from repro.core.composition import compose
+
+        comp = compose(cast.client(), cast.write_acc())
+        with pytest.raises(RuntimeModelError):
+            SpecMonitor(comp)
+
+
+class TestEndToEnd:
+    def test_wellbehaved_system_clean(self, cast):
+        sys = System(RandomScheduler(seed=11))
+        sys.add_object(cast.o, PassiveBehavior())
+        sys.add_object(ObjectId("r1"), ReaderBehavior(cast.o))
+        sys.add_object(ObjectId("w1"), WriterBehavior(cast.o, polite=True))
+        m2, mw = SpecMonitor(cast.read2()), SpecMonitor(cast.write())
+        sys.attach_monitor(m2)
+        sys.attach_monitor(mw)
+        sys.run(400)
+        assert m2.ok and mw.ok
+        assert len(sys.trace) > 20
+
+    def test_rogue_writer_caught(self, cast):
+        sys = System(RandomScheduler(seed=1))
+        sys.add_object(cast.o, PassiveBehavior())
+        sys.add_object(ObjectId("w"), RogueWriterBehavior(cast.o))
+        m = SpecMonitor(cast.write())
+        sys.attach_monitor(m)
+        sys.run(30)
+        assert not m.ok and sys.violations()
+
+    def test_two_impolite_writers_conflict(self, cast):
+        sys = System(RandomScheduler(seed=3))
+        sys.add_object(cast.o, PassiveBehavior())
+        sys.add_object(ObjectId("wa"), WriterBehavior(cast.o, writes_per_session=2))
+        sys.add_object(ObjectId("wb"), WriterBehavior(cast.o, writes_per_session=2))
+        m = SpecMonitor(cast.write())
+        sys.attach_monitor(m)
+        sys.run(300)
+        assert not m.ok
+
+    def test_client_behaviour_satisfies_client_spec(self, cast):
+        sys = System(RoundRobinScheduler())
+        sys.add_object(cast.o, PassiveBehavior())
+        sys.add_object(cast.c, WriteThenConfirmBehavior(cast.o, cast.mon))
+        m = SpecMonitor(cast.client())
+        sys.attach_monitor(m)
+        sys.run(50)
+        assert m.ok and len(sys.trace) >= 4

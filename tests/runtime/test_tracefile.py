@@ -1,0 +1,66 @@
+"""Tests for the trace-file serialisation."""
+
+import pytest
+from hypothesis import given, settings
+
+from repro.core.errors import ReproError
+from repro.core.events import Event
+from repro.core.traces import Trace
+from repro.core.values import DataVal, ObjectId
+from repro.runtime import tracefile
+
+import sys
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).parent.parent))
+from strategies import traces  # noqa: E402
+
+o, c = ObjectId("o"), ObjectId("c")
+d = DataVal("Data", "d1")
+
+
+class TestFormat:
+    def test_dumps_shape(self):
+        t = Trace.of(Event(c, o, "W", (d,)), Event(c, o, "CW"))
+        text = tracefile.dumps(t)
+        assert text == "c -> o : W(Data:d1)\nc -> o : CW\n"
+
+    def test_empty_trace(self):
+        assert tracefile.dumps(Trace.empty()) == ""
+        assert tracefile.loads("") == Trace.empty()
+
+    def test_comments_and_blanks_ignored(self):
+        text = "# a recorded run\n\nc -> o : CW\n"
+        assert tracefile.loads(text) == Trace.of(Event(c, o, "CW"))
+
+    def test_object_arguments(self):
+        t = Trace.of(Event(c, o, "INTRODUCE", (ObjectId("p"),)))
+        assert tracefile.loads(tracefile.dumps(t)) == t
+
+    def test_malformed_line_rejected(self):
+        with pytest.raises(ReproError, match="line 1"):
+            tracefile.loads("what is this")
+
+    def test_malformed_value_rejected(self):
+        with pytest.raises(ReproError, match="malformed value"):
+            tracefile.loads("c -> o : W(noseparator)")
+
+    def test_self_call_rejected(self):
+        with pytest.raises(ReproError, match="line 1"):
+            tracefile.loads("o -> o : M")
+
+    def test_save_and_load(self, tmp_path):
+        t = Trace.of(Event(c, o, "W", (d,)))
+        p = tmp_path / "run.trace"
+        tracefile.save(t, p)
+        assert tracefile.load(p) == t
+
+    def test_missing_file(self, tmp_path):
+        with pytest.raises(ReproError, match="cannot read"):
+            tracefile.load(tmp_path / "nope.trace")
+
+
+@settings(max_examples=100)
+@given(traces())
+def test_round_trip_property(t):
+    assert tracefile.loads(tracefile.dumps(t)) == t

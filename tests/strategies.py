@@ -1,0 +1,102 @@
+"""Shared hypothesis strategies for the property-based tests.
+
+Generates the raw material of the formalism — values, sorts, events,
+traces, alphabets — over a small closed cast of names so that generated
+structures interact (disjoint random namespaces would make most
+properties vacuous).
+"""
+
+from __future__ import annotations
+
+from hypothesis import strategies as st
+
+from repro.core.events import Event
+from repro.core.patterns import EventPattern
+from repro.core.sorts import Sort
+from repro.core.traces import Trace
+from repro.core.values import DataVal, ObjectId
+
+#: The closed cast used by all generated structures.
+OBJECT_NAMES = ("o", "c", "p", "q", "r")
+DATA_LABELS = ("d1", "d2", "d3")
+METHODS = ("A", "B", "C")
+
+OBJECTS = tuple(ObjectId(n) for n in OBJECT_NAMES)
+DATA = tuple(DataVal("Data", l) for l in DATA_LABELS)
+
+
+def object_ids():
+    return st.sampled_from(OBJECTS)
+
+
+def data_values():
+    return st.sampled_from(DATA)
+
+
+def values():
+    return st.one_of(object_ids(), data_values())
+
+
+@st.composite
+def events(draw, methods=METHODS, max_args: int = 1):
+    caller = draw(object_ids())
+    callee = draw(object_ids().filter(lambda o: o != caller))
+    method = draw(st.sampled_from(methods))
+    n_args = draw(st.integers(0, max_args))
+    args = tuple(draw(data_values()) for _ in range(n_args))
+    return Event(caller, callee, method, args)
+
+
+@st.composite
+def traces(draw, max_len: int = 8, methods=METHODS):
+    n = draw(st.integers(0, max_len))
+    return Trace(tuple(draw(events(methods=methods)) for _ in range(n)))
+
+
+@st.composite
+def finite_sorts(draw):
+    members = draw(st.lists(values(), max_size=4, unique=True))
+    return Sort.values(*members)
+
+
+@st.composite
+def cofinite_obj_sorts(draw):
+    removed = draw(st.lists(object_ids(), max_size=3, unique=True))
+    return Sort.base("Obj", removed)
+
+
+@st.composite
+def sorts(draw):
+    """Finite, cofinite, and small unions thereof."""
+    kind = draw(st.integers(0, 2))
+    if kind == 0:
+        return draw(finite_sorts())
+    if kind == 1:
+        return draw(cofinite_obj_sorts())
+    return draw(finite_sorts()).union(draw(cofinite_obj_sorts()))
+
+
+@st.composite
+def obj_sorts(draw):
+    """Sorts containing only object identities (for pattern endpoints)."""
+    kind = draw(st.integers(0, 2))
+    if kind == 0:
+        members = draw(st.lists(object_ids(), min_size=1, max_size=3, unique=True))
+        return Sort.values(*members)
+    if kind == 1:
+        return draw(cofinite_obj_sorts())
+    members = draw(st.lists(object_ids(), max_size=2, unique=True))
+    return Sort.values(*members).union(draw(cofinite_obj_sorts()))
+
+
+@st.composite
+def patterns(draw, methods=METHODS, max_args: int = 1):
+    caller = draw(obj_sorts())
+    callee = draw(obj_sorts())
+    method = draw(st.sampled_from(methods))
+    n_args = draw(st.integers(0, max_args))
+    args = tuple(
+        Sort.base("Data") if draw(st.booleans()) else Sort.values(draw(data_values()))
+        for _ in range(n_args)
+    )
+    return EventPattern(caller, callee, method, args)

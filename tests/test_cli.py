@@ -1,0 +1,144 @@
+"""Tests for the command-line interface."""
+
+import io
+
+import pytest
+
+from repro.cli import main
+
+DOC = """
+object o, c
+sort Objects = Obj \\ { o }
+specification Read {
+  objects o
+  method R(Data)
+  alphabet { <x, o, R(_)> where x : Objects; }
+  traces true
+}
+specification Read2 {
+  objects o
+  method OR, CR, R(Data)
+  alphabet {
+    <x, o, OR>   where x : Objects;
+    <x, o, CR>   where x : Objects;
+    <x, o, R(_)> where x : Objects;
+  }
+  traces forall x : Objects . prs "[<x,o,OR> <x,o,R(_)>* <x,o,CR>]*"
+}
+"""
+
+
+@pytest.fixture()
+def doc_file(tmp_path):
+    p = tmp_path / "rw.oun"
+    p.write_text(DOC)
+    return p
+
+
+def run(*argv):
+    out = io.StringIO()
+    code = main(list(argv), out=out)
+    return code, out.getvalue()
+
+
+class TestParse:
+    def test_lists_specs(self, doc_file):
+        code, text = run("parse", str(doc_file))
+        assert code == 0
+        assert "Read:" in text and "Read2:" in text
+        assert "OR" in text
+
+    def test_missing_file(self, tmp_path):
+        code, text = run("parse", str(tmp_path / "nope.oun"))
+        assert code == 2 and "error:" in text
+
+
+class TestCheck:
+    def test_refines_positive(self, doc_file):
+        code, text = run("check", str(doc_file), "--refines", "Read2", "Read")
+        assert code == 0 and "proved" in text
+
+    def test_refines_negative(self, doc_file):
+        code, text = run("check", str(doc_file), "--refines", "Read", "Read2")
+        assert code == 1 and "static-failed" in text
+
+    def test_equal(self, doc_file):
+        code, text = run("check", str(doc_file), "--equal", "Read", "Read")
+        assert code == 0 and "proved" in text
+
+    def test_unknown_spec_name(self, doc_file):
+        code, text = run("check", str(doc_file), "--refines", "Ghost", "Read")
+        assert code == 2 and "no specification named" in text
+
+    def test_bounded_strategy(self, doc_file):
+        code, text = run(
+            "check", str(doc_file), "--refines", "Read2", "Read",
+            "--strategy", "bounded", "--depth", "3",
+        )
+        assert code == 0 and "bounded-ok" in text
+
+    def test_compose(self, doc_file):
+        code, text = run("check", str(doc_file), "--compose", "Read", "Read2")
+        assert code == 0 and "composable" in text
+
+
+class TestDeadlock:
+    def test_single_spec_deadlock_free(self, doc_file):
+        code, text = run("deadlock", str(doc_file), "Read")
+        assert code == 0 and "deadlock-free" in text
+
+
+class TestMatrix:
+    def test_matrix_table(self, doc_file):
+        code, text = run("matrix", str(doc_file), "--env-objects", "1")
+        assert code == 0
+        assert "| ⊑ |" in text and "Hasse edges" in text
+        assert "('Read2', 'Read')" in text
+
+    def test_matrix_subset(self, doc_file):
+        code, text = run("matrix", str(doc_file), "Read", "Read2")
+        assert code == 0
+
+    def test_matrix_needs_two(self, doc_file):
+        code, text = run("matrix", str(doc_file), "Read")
+        assert code == 2 and "at least two" in text
+
+
+class TestFormat:
+    def test_format_round_trip(self, doc_file):
+        code, text = run("parse", str(doc_file), "--format")
+        assert code == 0
+        from repro.oun import parse_document
+
+        assert parse_document(text) == parse_document(DOC)
+
+
+class TestMonitor:
+    def test_satisfying_trace(self, doc_file, tmp_path):
+        trace_path = tmp_path / "good.trace"
+        trace_path.write_text(
+            "x -> o : OR\nx -> o : R(Data:d1)\nx -> o : CR\n"
+        )
+        code, text = run("monitor", str(doc_file), "Read2", str(trace_path))
+        assert code == 0 and "satisfies" in text
+
+    def test_violating_trace(self, doc_file, tmp_path):
+        trace_path = tmp_path / "bad.trace"
+        trace_path.write_text("x -> o : R(Data:d1)\n")
+        code, text = run("monitor", str(doc_file), "Read2", str(trace_path))
+        assert code == 1 and "violated" in text
+
+    def test_malformed_trace(self, doc_file, tmp_path):
+        trace_path = tmp_path / "broken.trace"
+        trace_path.write_text("gibberish\n")
+        code, text = run("monitor", str(doc_file), "Read2", str(trace_path))
+        assert code == 2 and "error:" in text
+
+
+class TestClaims:
+    def test_claims_smoke(self):
+        # env_objects=1 keeps the replay fast; agreement must still hold.
+        code, text = run("claims", "--env-objects", "1")
+        assert code == 0
+        assert "all obligations agree" in text
+        assert "| T16 |" in text
