@@ -1,0 +1,89 @@
+"""Service benchmarks: wire-protocol monitoring throughput vs shard count.
+
+Measures end-to-end events/sec over localhost TCP: several concurrent
+sessions each stream a clean ``Write``-spec workload and synchronise with
+``STATUS`` at the end.  Shards are asyncio tasks on one loop, so the axis
+measures routing/queueing overhead and pipelining, not CPU parallelism
+(DESIGN.md §5 notes process-based workers as the next step).
+
+Runs under the pytest-benchmark harness *and* standalone::
+
+    PYTHONPATH=src python -m pytest benchmarks/bench_service.py -q
+    PYTHONPATH=src python benchmarks/bench_service.py
+"""
+
+from __future__ import annotations
+
+import asyncio
+import time
+
+import pytest
+
+from repro.paper.specs import PaperCast
+from repro.service import MonitorClient, MonitorServer, SpecRegistry
+
+SESSIONS = 6
+EVENTS_PER_SESSION = 300
+
+_WORKLOAD = None
+
+
+def _workload() -> list[str]:
+    """A clean per-session event script (OW W* CW cycles), as raw lines."""
+    global _WORKLOAD
+    if _WORKLOAD is None:
+        lines = []
+        i = 0
+        while len(lines) < EVENTS_PER_SESSION:
+            writer = f"w{i % 3}"
+            lines.append(f"{writer} -> o : OW")
+            lines.append(f"{writer} -> o : W(Data:d{i % 5})")
+            lines.append(f"{writer} -> o : CW")
+            i += 1
+        _WORKLOAD = lines[:EVENTS_PER_SESSION]
+    return _WORKLOAD
+
+
+async def _blast(shards: int) -> int:
+    """Run the full workload against a fresh server; returns events sent."""
+    registry = SpecRegistry([PaperCast().write()])
+    lines = _workload()
+
+    async def one_session(port: int) -> None:
+        async with MonitorClient("127.0.0.1", port, spec="Write") as client:
+            for line in lines:
+                await client.send_event(line)
+            status = await client.status()
+            assert status.ok and status.events == len(lines)
+
+    async with MonitorServer(registry, shards=shards) as server:
+        await asyncio.gather(*(one_session(server.port) for _ in range(SESSIONS)))
+        total = server.metrics.events_observed
+    assert total == SESSIONS * len(lines)
+    return total
+
+
+@pytest.mark.parametrize("shards", [1, 4])
+def bench_service_throughput(benchmark, shards):
+    def run():
+        return asyncio.run(_blast(shards))
+
+    total = benchmark(run)
+    events_per_sec = total / benchmark.stats.stats.mean
+    benchmark.extra_info["shards"] = shards
+    benchmark.extra_info["events_per_sec"] = round(events_per_sec)
+
+
+def main() -> None:
+    for shards in (1, 4):
+        start = time.perf_counter()
+        total = asyncio.run(_blast(shards))
+        elapsed = time.perf_counter() - start
+        print(
+            f"shards={shards}: {total} events in {elapsed:.3f}s "
+            f"→ {total / elapsed:,.0f} events/sec"
+        )
+
+
+if __name__ == "__main__":
+    main()

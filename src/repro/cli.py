@@ -12,11 +12,18 @@ Commands:
 * ``check FILE.oun --compose A B`` — compose two specifications, printing
   the composability report and the observable alphabet;
 * ``deadlock FILE.oun SPEC`` — quiescence/deadlock analysis of a
-  specification over a finite universe.
+  specification over a finite universe;
+* ``monitor FILE.oun SPEC TRACE`` — check a recorded trace (or ``-`` to
+  stream events from stdin) against a specification;
+* ``serve FILE.oun`` — run the online-monitoring TCP service over the
+  document's specifications;
+* ``send TRACE`` — stream a trace to a running service and report the
+  session verdict.
 
 Exit status is 0 when the query's answer is positive (refines / equal /
-composable / deadlock-free; for ``claims``, full agreement), 1 otherwise,
-2 for usage or input errors.
+composable / deadlock-free; for ``claims``, full agreement; for
+``monitor``/``send``, no violation), 1 otherwise, 2 for usage or input
+errors.
 """
 
 from __future__ import annotations
@@ -61,7 +68,45 @@ def build_parser() -> argparse.ArgumentParser:
     )
     p_monitor.add_argument("file", type=Path, help="OUN document")
     p_monitor.add_argument("spec", help="specification name")
-    p_monitor.add_argument("trace", type=Path, help="trace file")
+    p_monitor.add_argument(
+        "trace", help="trace file, or '-' to stream events from stdin"
+    )
+
+    p_serve = sub.add_parser(
+        "serve", help="run the online-monitoring service over an OUN document"
+    )
+    p_serve.add_argument("file", type=Path, help="OUN document with the specs")
+    p_serve.add_argument("--host", default="127.0.0.1")
+    p_serve.add_argument(
+        "--port", type=int, default=7471, help="TCP port (0 picks one)"
+    )
+    p_serve.add_argument(
+        "--shards", type=int, default=4, help="monitor worker shards"
+    )
+    p_serve.add_argument(
+        "--history-limit",
+        type=int,
+        default=4096,
+        help="bounded per-monitor event window",
+    )
+    p_serve.add_argument(
+        "--metrics-interval",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help="periodically dump metrics to stderr",
+    )
+
+    p_send = sub.add_parser(
+        "send", help="stream a trace to a running monitoring service"
+    )
+    p_send.add_argument("trace", help="trace file, or '-' to read stdin")
+    p_send.add_argument("--spec", required=True, help="specification name")
+    p_send.add_argument("--host", default="127.0.0.1")
+    p_send.add_argument("--port", type=int, default=7471)
+    p_send.add_argument(
+        "--retries", type=int, default=5, help="connect retries (with backoff)"
+    )
 
     p_check = sub.add_parser("check", help="check a query over an OUN document")
     p_check.add_argument("file", type=Path)
@@ -166,11 +211,27 @@ def _cmd_monitor(args, out) -> int:
 
     specs = _load(args.file)
     spec = _pick(specs, args.spec)
-    trace = tracefile.load(args.trace)
-    try:
-        monitor = SpecMonitor(spec)
-    except ReproError as exc:
-        raise ReproError(str(exc)) from exc
+    monitor = SpecMonitor(spec)
+    if args.trace == "-":
+        # streaming mode: one event per stdin line, first violation wins —
+        # this is the offline end of the service's wire format (pipes compose)
+        events = 0
+        for lineno, raw in enumerate(sys.stdin, start=1):
+            event = tracefile.parse_line(raw, lineno)
+            if event is None:
+                continue
+            events += 1
+            if not monitor.observe(event):
+                v = monitor.violations[0]
+                print(f"line {lineno}: {v}", file=out)
+                return 1
+        print(
+            f"{spec.name}: stream of {events} events satisfies the "
+            f"specification",
+            file=out,
+        )
+        return 0
+    trace = tracefile.load(Path(args.trace))
     for event in trace:
         monitor.observe(event)
     if monitor.ok:
@@ -183,6 +244,83 @@ def _cmd_monitor(args, out) -> int:
     for v in monitor.violations:
         print(str(v), file=out)
     return 1
+
+
+def _cmd_serve(args, out) -> int:
+    import asyncio
+
+    from repro.service import MonitorServer, SpecRegistry
+
+    registry = SpecRegistry.from_file(args.file, history_limit=args.history_limit)
+    if not registry.names():
+        raise ReproError(f"{args.file}: no monitorable specifications")
+
+    async def run() -> None:
+        server = MonitorServer(
+            registry,
+            shards=args.shards,
+            host=args.host,
+            port=args.port,
+            metrics_interval=args.metrics_interval,
+        )
+        await server.start()
+        names = ", ".join(registry.names())
+        print(
+            f"repro service on {server.host}:{server.port} "
+            f"({args.shards} shards; specs: {names})",
+            file=out,
+            flush=True,
+        )
+        try:
+            await server.serve_forever()
+        finally:
+            await server.stop()
+
+    try:
+        asyncio.run(run())
+    except KeyboardInterrupt:
+        print("service stopped", file=out)
+    return 0
+
+
+def _cmd_send(args, out) -> int:
+    import asyncio
+
+    from repro.service import MonitorClient
+
+    async def run() -> int:
+        client = MonitorClient(
+            args.host, args.port, spec=args.spec, connect_retries=args.retries
+        )
+        await client.connect()
+        try:
+            if args.trace == "-":
+                for raw in sys.stdin:
+                    if raw.strip():
+                        await client.send_event(raw.strip())
+            else:
+                from repro.runtime import tracefile
+
+                await client.send_trace(tracefile.load(Path(args.trace)))
+            status = await client.status()
+        finally:
+            await client.close()
+        if status.ok:
+            print(
+                f"{args.spec}: {status.events} events ok "
+                f"({status.skipped} outside the alphabet, "
+                f"{status.errors} errors)",
+                file=out,
+            )
+            return 0
+        print(
+            f"{args.spec} violated at event #{status.violation_index}: "
+            f"{status.violation_event}",
+            file=out,
+        )
+        return 1
+
+    return asyncio.run(run())
 
 
 def _cmd_check(args, out) -> int:
@@ -294,6 +432,10 @@ def main(argv: list[str] | None = None, out=None) -> int:
             return _cmd_parse(args, out)
         if args.command == "monitor":
             return _cmd_monitor(args, out)
+        if args.command == "serve":
+            return _cmd_serve(args, out)
+        if args.command == "send":
+            return _cmd_send(args, out)
         if args.command == "check":
             return _cmd_check(args, out)
         if args.command == "matrix":

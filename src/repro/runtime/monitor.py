@@ -9,10 +9,16 @@ properties have finite witnesses (Alpern & Schneider, cited by the paper).
 
 Monitors are attachable to a :class:`~repro.runtime.system.System` and can
 either record violations or raise :class:`~repro.core.errors.MonitorViolation`.
+
+Monitors keep a *bounded* window of recent events (``history_limit``,
+default 4096): on unbounded streams — e.g. a long-running
+:mod:`repro.service` session — memory stays constant while the violation
+report still carries the true global event index.
 """
 
 from __future__ import annotations
 
+from collections import deque
 from dataclasses import dataclass
 
 from repro.core.errors import MonitorViolation, RuntimeModelError
@@ -20,13 +26,23 @@ from repro.core.events import Event
 from repro.core.specification import Specification
 from repro.core.traces import Trace
 from repro.core.tracesets import FullTraceSet, MachineTraceSet
+from repro.machines.base import TraceMachine
 
-__all__ = ["SpecMonitor", "Violation"]
+__all__ = ["SpecMonitor", "Violation", "DEFAULT_HISTORY_LIMIT"]
+
+#: Default size of the bounded event-history window.
+DEFAULT_HISTORY_LIMIT = 4096
 
 
 @dataclass(frozen=True, slots=True)
 class Violation:
-    """One detected violation: the global trace so far and the bad event."""
+    """One detected violation: a recent-event window and the bad event.
+
+    ``index`` is the *global* position of the offending event in the
+    observed stream (0-based), even when the stream is longer than the
+    monitor's bounded history; ``trace`` holds at most ``history_limit``
+    events ending with the offending one.
+    """
 
     spec_name: str
     trace: Trace
@@ -46,30 +62,53 @@ class SpecMonitor:
     Only machine-defined trace sets are monitorable (membership must be
     decidable per event); composed trace sets involve existential hiding
     and are checked offline via the checker instead.
+
+    ``machine`` may be supplied to share one compiled (pure, immutable)
+    trace machine across many monitors — the service's spec registry
+    compiles each specification once and hands the machine to every
+    session monitor.  ``history_limit`` bounds the retained event window
+    (``None`` keeps everything; only sensible for short offline runs).
     """
 
-    def __init__(self, spec: Specification, raise_on_violation: bool = False) -> None:
-        if not isinstance(spec.traces, (MachineTraceSet, FullTraceSet)):
-            raise RuntimeModelError(
-                f"{spec.name}: only machine trace sets are monitorable online"
-            )
+    def __init__(
+        self,
+        spec: Specification,
+        raise_on_violation: bool = False,
+        *,
+        machine: TraceMachine | None = None,
+        history_limit: int | None = DEFAULT_HISTORY_LIMIT,
+    ) -> None:
+        if machine is None:
+            if not isinstance(spec.traces, (MachineTraceSet, FullTraceSet)):
+                raise RuntimeModelError(
+                    f"{spec.name}: only machine trace sets are monitorable online"
+                )
+            machine = spec.traces.machine()
+        if history_limit is not None and history_limit < 1:
+            raise RuntimeModelError("history_limit must be positive (or None)")
         self.spec = spec
-        self.machine = spec.traces.machine()
+        self.machine = machine
         self.raise_on_violation = raise_on_violation
+        self.history_limit = history_limit
         self.state = self.machine.initial()
         self.alive = self.machine.ok(self.state)
         self.violations: list[Violation] = []
         self._seen = 0
-        self._history: list[Event] = []
+        self._history: deque[Event] = deque(maxlen=history_limit)
 
-    def observe(self, event: Event) -> bool:
+    def observe(self, event: Event, *, index: int | None = None) -> bool:
         """Feed one global event; returns whether the spec still holds.
 
         Events outside the specification's alphabet are skipped (the
         projection ``h/α(Γ)``); once violated, the monitor stays violated
-        (safety is irremediable).
+        (safety is irremediable).  ``index`` overrides the violation's
+        recorded global position — the sharded service uses this to stamp
+        the session-global event index when a session's stream is split
+        across per-callee shard monitors.
         """
         self._history.append(event)
+        if index is None:
+            index = self._seen
         self._seen += 1
         if not self.alive:
             return False
@@ -79,7 +118,7 @@ class SpecMonitor:
         if not self.machine.ok(self.state):
             self.alive = False
             v = Violation(
-                self.spec.name, Trace(tuple(self._history)), event, self._seen - 1
+                self.spec.name, Trace(tuple(self._history)), event, index
             )
             self.violations.append(v)
             if self.raise_on_violation:
@@ -90,6 +129,11 @@ class SpecMonitor:
     @property
     def ok(self) -> bool:
         return self.alive
+
+    @property
+    def events_seen(self) -> int:
+        """Total number of events observed (including skipped ones)."""
+        return self._seen
 
     def reset(self) -> None:
         self.state = self.machine.initial()

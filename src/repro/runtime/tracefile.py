@@ -20,7 +20,7 @@ from repro.core.events import Event
 from repro.core.traces import Trace
 from repro.core.values import DataVal, ObjectId, Value
 
-__all__ = ["dumps", "loads", "save", "load"]
+__all__ = ["dumps", "loads", "save", "load", "parse_line", "format_event"]
 
 _LINE_RE = re.compile(
     r"^\s*(?P<caller>\S+)\s*->\s*(?P<callee>\S+)\s*:\s*"
@@ -44,20 +44,55 @@ def _parse_value(text: str, lineno: int) -> Value:
     sort, label = text.split(":", 1)
     if not label:
         raise ReproError(f"trace line {lineno}: empty value label in {text!r}")
-    if sort == "obj":
-        return ObjectId(label)
-    return DataVal(sort, label)
+    try:
+        if sort == "obj":
+            return ObjectId(label)
+        return DataVal(sort, label)
+    except ValueError as exc:
+        raise ReproError(f"trace line {lineno}: bad value {text!r}: {exc}") from exc
+
+
+def format_event(e: Event) -> str:
+    """Serialise one event to its single-line text form."""
+    if e.args:
+        args = ", ".join(_format_value(a) for a in e.args)
+        return f"{e.caller.name} -> {e.callee.name} : {e.method}({args})"
+    return f"{e.caller.name} -> {e.callee.name} : {e.method}"
+
+
+def parse_line(line: str, lineno: int = 1) -> Event | None:
+    """Parse one line of the text format.
+
+    Returns ``None`` for blank lines and ``#`` comments; raises
+    :class:`~repro.core.errors.ReproError` (tagged with ``lineno``) for
+    malformed lines.  This is the unit shared by :func:`loads`, the
+    streaming ``repro monitor -`` CLI, and the service wire protocol.
+    """
+    line = line.strip()
+    if not line or line.startswith("#"):
+        return None
+    m = _LINE_RE.match(line)
+    if m is None:
+        raise ReproError(f"trace line {lineno}: cannot parse {line!r}")
+    args: tuple[Value, ...] = ()
+    if m.group("args") is not None and m.group("args").strip():
+        args = tuple(
+            _parse_value(part, lineno) for part in m.group("args").split(",")
+        )
+    try:
+        return Event(
+            ObjectId(m.group("caller")),
+            ObjectId(m.group("callee")),
+            m.group("method"),
+            args,
+        )
+    except ValueError as exc:
+        raise ReproError(f"trace line {lineno}: {exc}") from exc
 
 
 def dumps(trace: Trace) -> str:
     """Serialise a trace to the text format."""
-    lines = []
-    for e in trace:
-        if e.args:
-            args = ", ".join(_format_value(a) for a in e.args)
-            lines.append(f"{e.caller.name} -> {e.callee.name} : {e.method}({args})")
-        else:
-            lines.append(f"{e.caller.name} -> {e.callee.name} : {e.method}")
+    lines = [format_event(e) for e in trace]
     return "\n".join(lines) + ("\n" if lines else "")
 
 
@@ -65,29 +100,9 @@ def loads(text: str) -> Trace:
     """Parse the text format back into a trace."""
     events = []
     for lineno, raw in enumerate(text.splitlines(), start=1):
-        line = raw.strip()
-        if not line or line.startswith("#"):
-            continue
-        m = _LINE_RE.match(line)
-        if m is None:
-            raise ReproError(f"trace line {lineno}: cannot parse {line!r}")
-        args: tuple[Value, ...] = ()
-        if m.group("args") is not None and m.group("args").strip():
-            args = tuple(
-                _parse_value(part, lineno)
-                for part in m.group("args").split(",")
-            )
-        try:
-            events.append(
-                Event(
-                    ObjectId(m.group("caller")),
-                    ObjectId(m.group("callee")),
-                    m.group("method"),
-                    args,
-                )
-            )
-        except ValueError as exc:
-            raise ReproError(f"trace line {lineno}: {exc}") from exc
+        event = parse_line(raw, lineno)
+        if event is not None:
+            events.append(event)
     return Trace(tuple(events))
 
 

@@ -1,0 +1,56 @@
+"""Online-monitoring service: soundness checking as a network service.
+
+The paper's practical payoff is that prefix-closed (safety) trace sets
+are monitorable online.  This package turns the in-process
+:class:`~repro.runtime.monitor.SpecMonitor` into a server: many
+concurrent TCP sessions, each an event stream checked against a
+registered specification, with events sharded by callee so independent
+objects verify in parallel (per-object order preserved, as composition
+``Γ‖Δ`` interleaves per-object streams).
+
+Modules:
+
+* :mod:`~repro.service.protocol` — the newline-delimited wire protocol;
+* :mod:`~repro.service.registry` — compile specs once, share machines;
+* :mod:`~repro.service.shards`   — per-callee FIFO worker pool;
+* :mod:`~repro.service.metrics`  — counters and latency histograms;
+* :mod:`~repro.service.server`   — the asyncio TCP server;
+* :mod:`~repro.service.client`   — retrying, backpressured client.
+"""
+
+from repro.service.client import MonitorClient, ServiceUnavailable, backoff_delays
+from repro.service.metrics import LatencyHistogram, ServiceMetrics
+from repro.service.protocol import (
+    PROTOCOL_VERSION,
+    Command,
+    ProtocolError,
+    Reply,
+    SessionStatus,
+    format_status,
+    parse_command,
+    parse_reply,
+)
+from repro.service.registry import CompiledSpec, SpecRegistry
+from repro.service.server import MonitorServer
+from repro.service.shards import ShardPool, shard_index
+
+__all__ = [
+    "PROTOCOL_VERSION",
+    "Command",
+    "CompiledSpec",
+    "LatencyHistogram",
+    "MonitorClient",
+    "MonitorServer",
+    "ProtocolError",
+    "Reply",
+    "ServiceMetrics",
+    "ServiceUnavailable",
+    "SessionStatus",
+    "SpecRegistry",
+    "ShardPool",
+    "backoff_delays",
+    "format_status",
+    "parse_command",
+    "parse_reply",
+    "shard_index",
+]

@@ -1,0 +1,212 @@
+"""Monitoring-service client: retrying connector and pipelined sender.
+
+The client mirrors the protocol's asymmetry: events are *enqueued* into a
+bounded send queue (``await send_event`` blocks when the queue is full —
+backpressure propagates from the server's shard queues to the producer),
+while synchronising verbs (``HELLO``/``SPEC``/``STATUS``/``RESET``/``BYE``)
+first drain the queue, then perform one request/reply round-trip.
+
+Connection establishment retries with exponential backoff and full
+jitter; the delay schedule is a pure function (:func:`backoff_delays`) so
+tests can check it without sleeping.
+
+A client instance is designed to be driven from one task; it is not a
+connection pool.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import random
+from typing import Iterator
+
+from repro.core.errors import ReproError
+from repro.core.events import Event
+from repro.runtime import tracefile
+from repro.service.protocol import Reply, SessionStatus, parse_reply
+
+__all__ = ["MonitorClient", "ServiceUnavailable", "backoff_delays"]
+
+
+class ServiceUnavailable(ReproError):
+    """Raised when the server cannot be reached after all retries."""
+
+
+def backoff_delays(
+    retries: int,
+    *,
+    base: float = 0.05,
+    cap: float = 2.0,
+    rng: random.Random | None = None,
+) -> Iterator[float]:
+    """Exponential backoff with full jitter: ``U(0, min(cap, base·2ⁱ))``.
+
+    Yields one delay per retry (the first connection attempt is
+    immediate).  Full jitter decorrelates reconnect storms when many
+    clients lose the same server at once.
+    """
+    rng = rng if rng is not None else random.Random()
+    for attempt in range(retries):
+        yield rng.uniform(0.0, min(cap, base * (2.0**attempt)))
+
+
+class MonitorClient:
+    """One session against a :class:`~repro.service.server.MonitorServer`."""
+
+    def __init__(
+        self,
+        host: str,
+        port: int,
+        *,
+        spec: str | None = None,
+        connect_retries: int = 5,
+        backoff_base: float = 0.05,
+        backoff_cap: float = 2.0,
+        queue_size: int = 1024,
+        rng: random.Random | None = None,
+    ) -> None:
+        self.host = host
+        self.port = port
+        self.spec = spec
+        self.connect_retries = connect_retries
+        self.backoff_base = backoff_base
+        self.backoff_cap = backoff_cap
+        self._rng = rng
+        self._queue: asyncio.Queue[str | None] = asyncio.Queue(maxsize=queue_size)
+        self._reader: asyncio.StreamReader | None = None
+        self._writer: asyncio.StreamWriter | None = None
+        self._sender: asyncio.Task | None = None
+        self.server_specs: tuple[str, ...] = ()
+        self.events_sent = 0
+
+    # -- lifecycle -----------------------------------------------------------
+
+    async def connect(self) -> None:
+        """Connect (with retry), say HELLO, and bind ``spec`` if given."""
+        delays = backoff_delays(
+            self.connect_retries,
+            base=self.backoff_base,
+            cap=self.backoff_cap,
+            rng=self._rng,
+        )
+        last_error: Exception | None = None
+        for attempt in range(self.connect_retries + 1):
+            try:
+                self._reader, self._writer = await asyncio.open_connection(
+                    self.host, self.port
+                )
+                break
+            except OSError as exc:
+                last_error = exc
+                try:
+                    delay = next(delays)
+                except StopIteration:
+                    break
+                await asyncio.sleep(delay)
+        else:  # pragma: no cover - loop always breaks
+            pass
+        if self._writer is None:
+            raise ServiceUnavailable(
+                f"cannot reach {self.host}:{self.port} after "
+                f"{self.connect_retries + 1} attempts: {last_error}"
+            )
+        self._sender = asyncio.create_task(self._drain_queue(), name="repro-client-send")
+        hello = await self._sync("HELLO")
+        if hello.kind != "ok":
+            raise ReproError(f"server rejected HELLO: {hello.detail}")
+        specs_field = hello.detail.rpartition("specs=")[2]
+        self.server_specs = tuple(n for n in specs_field.split(",") if n)
+        if self.spec is not None:
+            await self.use_spec(self.spec)
+
+    async def close(self) -> SessionStatus | None:
+        """Gracefully drain, say BYE, and close; returns nothing on a dead link."""
+        if self._writer is None:
+            return None
+        try:
+            await self._sync("BYE")
+        except (ReproError, ConnectionError):
+            pass
+        finally:
+            await self._stop_sender()
+            self._writer.close()
+            try:
+                await self._writer.wait_closed()
+            except (ConnectionError, OSError):
+                pass
+            self._reader = self._writer = None
+        return None
+
+    async def __aenter__(self) -> "MonitorClient":
+        await self.connect()
+        return self
+
+    async def __aexit__(self, *exc) -> None:
+        await self.close()
+
+    # -- protocol ------------------------------------------------------------
+
+    async def use_spec(self, name: str) -> None:
+        reply = await self._sync(f"SPEC {name}")
+        if reply.kind != "ok":
+            raise ReproError(f"server rejected spec {name!r}: {reply.detail}")
+        self.spec = name
+
+    async def send_event(self, event: Event | str) -> None:
+        """Enqueue one event; blocks when the bounded queue is full."""
+        line = tracefile.format_event(event) if isinstance(event, Event) else event
+        await self._queue.put(f"EVENT {line}")
+        self.events_sent += 1
+
+    async def send_trace(self, events) -> None:
+        """Enqueue every event of an iterable (e.g. a loaded Trace)."""
+        for event in events:
+            await self.send_event(event)
+
+    async def status(self) -> SessionStatus:
+        """Synchronise and fetch the session verdict."""
+        reply = await self._sync("STATUS")
+        if reply.status is None:
+            raise ReproError(f"malformed status reply: {reply.detail}")
+        return reply.status
+
+    async def reset(self) -> None:
+        reply = await self._sync("RESET")
+        if reply.kind != "ok":
+            raise ReproError(f"server rejected RESET: {reply.detail}")
+
+    # -- internals -----------------------------------------------------------
+
+    async def _drain_queue(self) -> None:
+        assert self._writer is not None
+        while True:
+            item = await self._queue.get()
+            try:
+                if item is None:
+                    return
+                self._writer.write(item.encode("utf-8") + b"\n")
+                await self._writer.drain()
+            finally:
+                self._queue.task_done()
+
+    async def _stop_sender(self) -> None:
+        if self._sender is None:
+            return
+        await self._queue.put(None)
+        try:
+            await self._sender
+        except (ConnectionError, OSError):
+            pass
+        self._sender = None
+
+    async def _sync(self, line: str) -> Reply:
+        """Drain the send queue, then one request/reply round-trip."""
+        if self._writer is None or self._reader is None:
+            raise ReproError("client is not connected")
+        await self._queue.join()
+        self._writer.write(line.encode("utf-8") + b"\n")
+        await self._writer.drain()
+        raw = await self._reader.readline()
+        if not raw:
+            raise ConnectionError("server closed the connection")
+        return parse_reply(raw.decode("utf-8", errors="replace"))

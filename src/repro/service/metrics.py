@@ -1,0 +1,140 @@
+"""Service metrics: monotonic counters and per-spec latency histograms.
+
+All mutation happens on the server's single event loop (shard workers are
+tasks, not threads), so plain integers are race-free; the point of this
+module is a *stable snapshot shape* for tests, benchmarks, and the
+optional periodic text dump — not a client library for some external
+metrics system.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import bisect
+import time
+
+__all__ = ["LatencyHistogram", "ServiceMetrics", "DEFAULT_BUCKETS"]
+
+#: Upper bounds (seconds) of the latency buckets: 1µs … ~1s, log-spaced.
+DEFAULT_BUCKETS = tuple(1e-6 * 4**i for i in range(11))
+
+
+class LatencyHistogram:
+    """A fixed-bucket histogram of per-event check latencies (seconds)."""
+
+    __slots__ = ("bounds", "counts", "count", "total")
+
+    def __init__(self, bounds: tuple[float, ...] = DEFAULT_BUCKETS) -> None:
+        self.bounds = tuple(sorted(bounds))
+        # one overflow bucket past the last bound
+        self.counts = [0] * (len(self.bounds) + 1)
+        self.count = 0
+        self.total = 0.0
+
+    def observe(self, seconds: float) -> None:
+        self.counts[bisect.bisect_left(self.bounds, seconds)] += 1
+        self.count += 1
+        self.total += seconds
+
+    @property
+    def mean(self) -> float:
+        return self.total / self.count if self.count else 0.0
+
+    def snapshot(self) -> dict:
+        return {
+            "count": self.count,
+            "total_seconds": self.total,
+            "mean_seconds": self.mean,
+            "buckets": {
+                f"le_{bound:g}": n
+                for bound, n in zip(self.bounds, self.counts)
+            }
+            | {"overflow": self.counts[-1]},
+        }
+
+
+class ServiceMetrics:
+    """Counters and per-spec histograms for one server instance."""
+
+    def __init__(self, clock=time.perf_counter) -> None:
+        self.clock = clock
+        self.events_observed = 0
+        self.events_skipped = 0
+        self.events_malformed = 0
+        self.violations = 0
+        self.sessions_opened = 0
+        self.sessions_closed = 0
+        self.latency: dict[str, LatencyHistogram] = {}
+
+    # -- recording -----------------------------------------------------------
+
+    def record_event(self, spec: str, seconds: float, *, skipped: bool) -> None:
+        """One event checked (or projected away) for ``spec``."""
+        self.events_observed += 1
+        if skipped:
+            self.events_skipped += 1
+        hist = self.latency.get(spec)
+        if hist is None:
+            hist = self.latency[spec] = LatencyHistogram()
+        hist.observe(seconds)
+
+    def record_malformed(self) -> None:
+        self.events_malformed += 1
+
+    def record_violation(self) -> None:
+        self.violations += 1
+
+    def session_opened(self) -> None:
+        self.sessions_opened += 1
+
+    def session_closed(self) -> None:
+        self.sessions_closed += 1
+
+    # -- reporting -----------------------------------------------------------
+
+    def snapshot(self) -> dict:
+        """A plain-dict snapshot; keys are stable for tests and dumps."""
+        return {
+            "events_observed": self.events_observed,
+            "events_skipped": self.events_skipped,
+            "events_malformed": self.events_malformed,
+            "violations": self.violations,
+            "sessions_opened": self.sessions_opened,
+            "sessions_closed": self.sessions_closed,
+            "latency": {
+                name: hist.snapshot() for name, hist in sorted(self.latency.items())
+            },
+        }
+
+    def format_text(self) -> str:
+        """A compact human-readable dump (one counter per line)."""
+        snap = self.snapshot()
+        lines = [
+            f"{key}={snap[key]}"
+            for key in (
+                "events_observed",
+                "events_skipped",
+                "events_malformed",
+                "violations",
+                "sessions_opened",
+                "sessions_closed",
+            )
+        ]
+        for name, hist in snap["latency"].items():
+            lines.append(
+                f"latency[{name}]: count={hist['count']} "
+                f"mean={hist['mean_seconds'] * 1e6:.1f}µs"
+            )
+        return "\n".join(lines)
+
+    async def periodic_dump(self, interval: float, out=None) -> None:
+        """Print :meth:`format_text` every ``interval`` seconds until cancelled."""
+        import sys
+
+        out = out if out is not None else sys.stderr
+        try:
+            while True:
+                await asyncio.sleep(interval)
+                print(f"-- metrics --\n{self.format_text()}", file=out, flush=True)
+        except asyncio.CancelledError:
+            pass

@@ -1,0 +1,181 @@
+"""Wire protocol of the monitoring service: newline-delimited text.
+
+One TCP connection is one *session*: a stream of events checked against a
+single specification, exactly the paper's view of a system run as a trace
+``h`` with the soundness condition ``h/α(Γ) ∈ T(Γ)`` evaluated online.
+
+Requests (one per line)::
+
+    HELLO                 negotiate; server answers with its spec names
+    SPEC <name>           bind the session to a specification
+    EVENT <trace line>    feed one event (runtime/tracefile.py syntax)
+    STATUS                synchronise and report the session verdict
+    RESET                 synchronise, then forget the session's history
+    BYE                   synchronise, report, and close
+
+``EVENT`` is deliberately *silent*: events pipeline without per-event
+round-trips, and problems (malformed lines, no spec bound) are counted
+and surfaced by the next synchronising verb.  Only ``HELLO``, ``SPEC``,
+``STATUS``, ``RESET`` and ``BYE`` elicit exactly one reply line:
+
+    OK <detail...>
+    ERR <message>
+    VIOLATION spec=<name> index=<i> events=<n> skipped=<k> errors=<e> event=<trace line>
+
+The ``event=`` field is always last so the raw trace line (which contains
+spaces) needs no quoting.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.errors import ReproError
+
+__all__ = [
+    "PROTOCOL_VERSION",
+    "VERBS",
+    "Command",
+    "ProtocolError",
+    "Reply",
+    "SessionStatus",
+    "format_status",
+    "parse_command",
+    "parse_reply",
+]
+
+PROTOCOL_VERSION = 1
+
+#: Verbs that take an argument (rest of the line, may contain spaces).
+_ARG_VERBS = frozenset({"SPEC", "EVENT"})
+#: Verbs that take no argument.
+_BARE_VERBS = frozenset({"HELLO", "STATUS", "RESET", "BYE"})
+VERBS = _ARG_VERBS | _BARE_VERBS
+
+
+class ProtocolError(ReproError):
+    """Raised for lines that are not valid protocol messages."""
+
+
+@dataclass(frozen=True, slots=True)
+class Command:
+    """One parsed request line: a verb and its (possibly empty) argument."""
+
+    verb: str
+    arg: str = ""
+
+
+def parse_command(line: str) -> Command:
+    """Parse one request line into a :class:`Command`."""
+    line = line.strip()
+    if not line:
+        raise ProtocolError("empty command line")
+    verb, _, rest = line.partition(" ")
+    verb = verb.upper()
+    rest = rest.strip()
+    if verb not in VERBS:
+        raise ProtocolError(f"unknown command {verb!r}")
+    if verb in _ARG_VERBS and not rest:
+        raise ProtocolError(f"{verb} requires an argument")
+    if verb in _BARE_VERBS and rest:
+        raise ProtocolError(f"{verb} takes no argument")
+    return Command(verb, rest)
+
+
+@dataclass(frozen=True, slots=True)
+class SessionStatus:
+    """A session verdict: counters plus the first violation, if any.
+
+    ``events`` counts every ``EVENT`` accepted (in and out of alphabet),
+    ``skipped`` the out-of-alphabet subset, ``errors`` the malformed or
+    spec-less events.  ``violation_index`` is the 0-based session-global
+    index of the first violating event.
+    """
+
+    spec: str | None = None
+    events: int = 0
+    skipped: int = 0
+    errors: int = 0
+    violation_index: int | None = None
+    violation_event: str | None = None
+
+    @property
+    def ok(self) -> bool:
+        return self.violation_index is None
+
+
+def format_status(status: SessionStatus) -> str:
+    """Render a :class:`SessionStatus` as one reply line."""
+    spec = status.spec if status.spec is not None else "-"
+    counters = (
+        f"spec={spec} events={status.events} "
+        f"skipped={status.skipped} errors={status.errors}"
+    )
+    if status.ok:
+        return f"OK status {counters}"
+    return (
+        f"VIOLATION {counters} index={status.violation_index} "
+        f"event={status.violation_event or ''}"
+    )
+
+
+@dataclass(frozen=True, slots=True)
+class Reply:
+    """One parsed reply line.
+
+    ``kind`` is ``"ok"``, ``"err"`` or ``"violation"``; ``detail`` is the
+    raw text after the keyword; ``status`` is populated for status-shaped
+    replies (``OK status ...`` and ``VIOLATION ...``).
+    """
+
+    kind: str
+    detail: str
+    status: SessionStatus | None = None
+
+
+def _parse_fields(text: str) -> tuple[dict[str, str], str | None]:
+    """Split ``k=v`` fields; ``event=`` swallows the rest of the line."""
+    fields: dict[str, str] = {}
+    rest = text
+    while rest:
+        if rest.startswith("event="):
+            return fields, rest[len("event="):]
+        part, _, rest = rest.partition(" ")
+        key, eq, value = part.partition("=")
+        if not eq:
+            raise ProtocolError(f"malformed reply field {part!r}")
+        fields[key] = value
+        rest = rest.lstrip()
+    return fields, None
+
+
+def _parse_status(text: str, violated: bool) -> SessionStatus:
+    fields, event = _parse_fields(text)
+    try:
+        spec = fields.get("spec", "-")
+        return SessionStatus(
+            spec=None if spec == "-" else spec,
+            events=int(fields.get("events", 0)),
+            skipped=int(fields.get("skipped", 0)),
+            errors=int(fields.get("errors", 0)),
+            violation_index=int(fields["index"]) if violated else None,
+            violation_event=event if violated else None,
+        )
+    except (KeyError, ValueError) as exc:
+        raise ProtocolError(f"malformed status reply {text!r}: {exc}") from exc
+
+
+def parse_reply(line: str) -> Reply:
+    """Parse one reply line into a :class:`Reply` (client side)."""
+    line = line.strip()
+    keyword, _, rest = line.partition(" ")
+    if keyword == "OK":
+        status = None
+        if rest.startswith("status "):
+            status = _parse_status(rest[len("status "):], violated=False)
+        return Reply("ok", rest, status)
+    if keyword == "ERR":
+        return Reply("err", rest)
+    if keyword == "VIOLATION":
+        return Reply("violation", rest, _parse_status(rest, violated=True))
+    raise ProtocolError(f"malformed reply line {line!r}")

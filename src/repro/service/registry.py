@@ -1,0 +1,108 @@
+"""Spec registry: compile specifications once, share machines everywhere.
+
+Trace machines are pure (``step`` never mutates — see
+:mod:`repro.machines.base`), so one compiled machine can drive every
+session monitor concurrently; only the per-monitor *state* is private.
+The registry is the single place the service pays elaboration and
+compilation cost: sessions then spawn monitors in O(1).
+
+Specifications whose trace sets are not machine-defined (compositions
+involve existential hiding) are recorded as *unmonitorable* with the
+reason, so a session binding to one gets a precise error instead of a
+missing name.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Iterable
+
+from repro.core.errors import ReproError, RuntimeModelError
+from repro.core.specification import Specification
+from repro.core.tracesets import FullTraceSet, MachineTraceSet
+from repro.machines.base import TraceMachine
+from repro.runtime.monitor import DEFAULT_HISTORY_LIMIT, SpecMonitor
+
+__all__ = ["CompiledSpec", "SpecRegistry"]
+
+
+@dataclass(frozen=True, slots=True)
+class CompiledSpec:
+    """One monitorable specification with its shared compiled machine."""
+
+    name: str
+    spec: Specification
+    machine: TraceMachine
+
+
+class SpecRegistry:
+    """Immutable-after-construction registry of monitorable specifications."""
+
+    def __init__(
+        self,
+        specs: Iterable[Specification],
+        *,
+        history_limit: int | None = DEFAULT_HISTORY_LIMIT,
+    ) -> None:
+        self.history_limit = history_limit
+        self._compiled: dict[str, CompiledSpec] = {}
+        self._unmonitorable: dict[str, str] = {}
+        for spec in specs:
+            if isinstance(spec.traces, (MachineTraceSet, FullTraceSet)):
+                self._compiled[spec.name] = CompiledSpec(
+                    spec.name, spec, spec.traces.machine()
+                )
+            else:
+                self._unmonitorable[spec.name] = (
+                    "composed trace sets involve existential hiding and are "
+                    "checked offline, not monitored online"
+                )
+
+    @classmethod
+    def from_text(cls, text: str, **kwargs) -> "SpecRegistry":
+        """Build a registry from OUN document text."""
+        from repro.oun import load_specifications
+
+        return cls(load_specifications(text).values(), **kwargs)
+
+    @classmethod
+    def from_file(cls, path: str | Path, **kwargs) -> "SpecRegistry":
+        """Build a registry from an OUN document file."""
+        try:
+            text = Path(path).read_text()
+        except OSError as exc:
+            raise ReproError(f"cannot read {path}: {exc}") from exc
+        return cls.from_text(text, **kwargs)
+
+    def names(self) -> list[str]:
+        """Monitorable specification names, sorted."""
+        return sorted(self._compiled)
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._compiled
+
+    def __len__(self) -> int:
+        return len(self._compiled)
+
+    def get(self, name: str) -> CompiledSpec:
+        """Look up a compiled spec; raise a precise error if absent."""
+        compiled = self._compiled.get(name)
+        if compiled is not None:
+            return compiled
+        if name in self._unmonitorable:
+            raise RuntimeModelError(
+                f"specification {name!r} is not monitorable: "
+                f"{self._unmonitorable[name]}"
+            )
+        known = ", ".join(self.names()) or "none"
+        raise ReproError(f"no specification named {name!r} (have: {known})")
+
+    def new_monitor(self, name: str) -> SpecMonitor:
+        """A fresh monitor over the shared compiled machine."""
+        compiled = self.get(name)
+        return SpecMonitor(
+            compiled.spec,
+            machine=compiled.machine,
+            history_limit=self.history_limit,
+        )

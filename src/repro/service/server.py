@@ -1,0 +1,284 @@
+"""Asyncio TCP server: many concurrent monitoring sessions.
+
+Each connection is one session — an event stream checked online against
+one registered specification (the paper's soundness condition
+``h/α(Γ) ∈ T(Γ)`` per connection).  Events are routed to the shard pool
+by callee, so one session's independent objects check in parallel while
+per-object order is preserved; the first violation (smallest
+session-global index among the shard monitors) is what ``STATUS``
+reports.
+
+The server is single-loop: shard workers are tasks, not threads, so
+monitor state and metrics need no locks.
+"""
+
+from __future__ import annotations
+
+import asyncio
+
+from repro.core.errors import ReproError
+from repro.runtime import tracefile
+from repro.runtime.monitor import SpecMonitor, Violation
+from repro.service.metrics import ServiceMetrics
+from repro.service.protocol import (
+    PROTOCOL_VERSION,
+    Command,
+    ProtocolError,
+    SessionStatus,
+    format_status,
+    parse_command,
+)
+from repro.service.registry import CompiledSpec, SpecRegistry
+from repro.service.shards import DEFAULT_QUEUE_SIZE, ShardPool
+
+__all__ = ["MonitorServer"]
+
+
+class _Session:
+    """Per-connection state: bound spec, per-shard monitors, counters."""
+
+    __slots__ = (
+        "seq",
+        "compiled",
+        "monitors",
+        "touched",
+        "events",
+        "skipped",
+        "errors",
+        "violation",
+    )
+
+    def __init__(self, seq: int) -> None:
+        self.seq = seq
+        self.compiled: CompiledSpec | None = None
+        self.monitors: dict[int, SpecMonitor] = {}
+        self.touched: set[int] = set()
+        self.events = 0
+        self.skipped = 0
+        self.errors = 0
+        self.violation: Violation | None = None
+
+    def reset(self) -> None:
+        for monitor in self.monitors.values():
+            monitor.reset()
+        self.touched.clear()
+        self.events = 0
+        self.skipped = 0
+        self.errors = 0
+        self.violation = None
+
+    def status(self) -> SessionStatus:
+        violation = self.violation
+        return SessionStatus(
+            spec=self.compiled.name if self.compiled else None,
+            events=self.events,
+            skipped=self.skipped,
+            errors=self.errors,
+            violation_index=violation.index if violation else None,
+            violation_event=(
+                tracefile.format_event(violation.event) if violation else None
+            ),
+        )
+
+
+class MonitorServer:
+    """The monitoring service: registry + shard pool + metrics + TCP front."""
+
+    def __init__(
+        self,
+        registry: SpecRegistry,
+        *,
+        shards: int = 4,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        metrics: ServiceMetrics | None = None,
+        metrics_interval: float | None = None,
+        metrics_out=None,
+        queue_size: int = DEFAULT_QUEUE_SIZE,
+    ) -> None:
+        self.registry = registry
+        self.pool = ShardPool(shards, queue_size=queue_size)
+        self.metrics = metrics if metrics is not None else ServiceMetrics()
+        self.host = host
+        self.port = port
+        self._requested_port = port
+        self._server: asyncio.AbstractServer | None = None
+        self._session_seq = 0
+        self._dump_task: asyncio.Task | None = None
+        self._metrics_interval = metrics_interval
+        self._metrics_out = metrics_out
+
+    # -- lifecycle -----------------------------------------------------------
+
+    async def start(self) -> None:
+        """Bind the socket and start the shard workers.
+
+        With ``port=0`` the OS picks an ephemeral port; :attr:`port` holds
+        the actual one afterwards (tests and benchmarks rely on this).
+        """
+        await self.pool.start()
+        self._server = await asyncio.start_server(
+            self._handle_connection, self.host, self._requested_port
+        )
+        self.port = self._server.sockets[0].getsockname()[1]
+        if self._metrics_interval:
+            self._dump_task = asyncio.create_task(
+                self.metrics.periodic_dump(self._metrics_interval, self._metrics_out)
+            )
+
+    async def serve_forever(self) -> None:
+        assert self._server is not None, "call start() first"
+        async with self._server:
+            await self._server.serve_forever()
+
+    async def stop(self) -> None:
+        if self._dump_task is not None:
+            self._dump_task.cancel()
+            try:
+                await self._dump_task
+            except asyncio.CancelledError:
+                pass
+            self._dump_task = None
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+            self._server = None
+        await self.pool.stop()
+
+    async def __aenter__(self) -> "MonitorServer":
+        await self.start()
+        return self
+
+    async def __aexit__(self, *exc) -> None:
+        await self.stop()
+
+    # -- connection handling -------------------------------------------------
+
+    async def _handle_connection(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        self.metrics.session_opened()
+        self._session_seq += 1
+        session = _Session(self._session_seq)
+        try:
+            while True:
+                raw = await reader.readline()
+                if not raw:
+                    break
+                line = raw.decode("utf-8", errors="replace").strip()
+                if not line:
+                    continue
+                try:
+                    command = parse_command(line)
+                except ProtocolError as exc:
+                    await self._reply(writer, f"ERR {exc}")
+                    continue
+                if command.verb == "EVENT":
+                    await self._handle_event(session, command.arg)
+                    continue
+                done = await self._handle_sync(session, command, writer)
+                if done:
+                    break
+        except (ConnectionResetError, BrokenPipeError):
+            pass
+        finally:
+            self.metrics.session_closed()
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except (ConnectionResetError, BrokenPipeError, OSError):
+                pass
+
+    async def _reply(self, writer: asyncio.StreamWriter, line: str) -> None:
+        writer.write(line.encode("utf-8") + b"\n")
+        await writer.drain()
+
+    async def _handle_sync(
+        self, session: _Session, command: Command, writer: asyncio.StreamWriter
+    ) -> bool:
+        """Handle a reply-bearing verb; returns True when the session ends."""
+        if command.verb == "HELLO":
+            names = ",".join(self.registry.names())
+            await self._reply(
+                writer,
+                f"OK repro-service {PROTOCOL_VERSION} specs={names}",
+            )
+            return False
+        if command.verb == "SPEC":
+            try:
+                compiled = self.registry.get(command.arg)
+            except ReproError as exc:
+                await self._reply(writer, f"ERR {exc}")
+                return False
+            await self.pool.flush(session.touched)
+            session.reset()
+            session.compiled = compiled
+            session.monitors = {}
+            await self._reply(
+                writer, f"OK spec {compiled.name} shards={self.pool.shards}"
+            )
+            return False
+        if command.verb == "STATUS":
+            await self.pool.flush(session.touched)
+            await self._reply(writer, format_status(session.status()))
+            return False
+        if command.verb == "RESET":
+            await self.pool.flush(session.touched)
+            session.reset()
+            await self._reply(writer, "OK reset")
+            return False
+        if command.verb == "BYE":
+            await self.pool.flush(session.touched)
+            await self._reply(writer, f"OK bye events={session.events}")
+            return True
+        raise AssertionError(f"unhandled verb {command.verb}")  # pragma: no cover
+
+    async def _handle_event(self, session: _Session, arg: str) -> None:
+        """Feed one event: silent on success, counted on failure.
+
+        Problems never elicit a reply (events pipeline without per-event
+        round-trips); they are surfaced by the next synchronising verb.
+        """
+        try:
+            event = tracefile.parse_line(arg)
+        except ReproError:
+            session.errors += 1
+            self.metrics.record_malformed()
+            return
+        if event is None:  # comment / blank payload
+            return
+        if session.compiled is None:
+            session.errors += 1
+            self.metrics.record_malformed()
+            return
+        index = session.events
+        session.events += 1
+        # shard key is (session, callee): sessions are independent trace
+        # universes, so only per-callee order *within* a session must be
+        # preserved — namespacing spreads sessions over the workers even
+        # when every session's spec talks to the same object
+        shard_key = f"{session.seq}:{event.callee.name}"
+        shard = self.pool.shard_of(shard_key)
+        monitor = session.monitors.get(shard)
+        if monitor is None:
+            monitor = self.registry.new_monitor(session.compiled.name)
+            session.monitors[shard] = monitor
+        session.touched.add(shard)
+        spec_name = session.compiled.name
+        metrics = self.metrics
+
+        def check() -> None:
+            start = metrics.clock()
+            skipped = not monitor.spec.alphabet.contains(event)
+            was_ok = not monitor.violations
+            monitor.observe(event, index=index)
+            metrics.record_event(spec_name, metrics.clock() - start, skipped=skipped)
+            if skipped:
+                session.skipped += 1
+            if was_ok and monitor.violations:
+                metrics.record_violation()
+                violation = monitor.violations[-1]
+                if session.violation is None or violation.index < session.violation.index:
+                    session.violation = violation
+
+        await self.pool.submit(shard_key, check)

@@ -1,0 +1,123 @@
+"""Sharded monitor workers: parallel checking with per-callee order.
+
+Events are routed to one of ``n`` workers by a *stable* hash of the
+callee :class:`~repro.core.values.ObjectId` (CRC-32 of the name — Python's
+``hash`` is salted per process and would re-shard on restart).  Each
+worker drains its own FIFO queue, so:
+
+* all events with the same callee are checked in arrival order (the
+  paper's per-object projection ``h/o`` is order-preserving), while
+* events on distinct callees check in parallel, exactly as ``Γ‖Δ``
+  composes trace sets over interleaved streams.
+
+The pool is workload-agnostic: it executes submitted thunks. Sessions
+submit "feed event to my monitor for this shard" closures and use
+:meth:`ShardPool.flush` as a barrier before reporting status.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import zlib
+from dataclasses import dataclass
+from typing import Callable, Iterable
+
+__all__ = ["shard_index", "ShardPool"]
+
+DEFAULT_QUEUE_SIZE = 1024
+
+
+def shard_index(callee_name: str, shards: int) -> int:
+    """Stable shard of a callee name: identical across runs and processes."""
+    if shards < 1:
+        raise ValueError("shard count must be positive")
+    if shards == 1:
+        return 0
+    return zlib.crc32(callee_name.encode("utf-8")) % shards
+
+
+@dataclass(slots=True)
+class _Flush:
+    """Queue sentinel: resolves its future once the worker reaches it."""
+
+    future: asyncio.Future
+
+
+class ShardPool:
+    """``n`` single-consumer FIFO workers keyed by callee hash."""
+
+    def __init__(self, shards: int, *, queue_size: int = DEFAULT_QUEUE_SIZE) -> None:
+        if shards < 1:
+            raise ValueError("shard count must be positive")
+        self.shards = shards
+        self._queues: list[asyncio.Queue] = [
+            asyncio.Queue(maxsize=queue_size) for _ in range(shards)
+        ]
+        self._workers: list[asyncio.Task] = []
+        self.tasks_run = 0
+        self.task_errors = 0
+
+    def shard_of(self, callee_name: str) -> int:
+        return shard_index(callee_name, self.shards)
+
+    async def start(self) -> None:
+        if self._workers:
+            return
+        self._workers = [
+            asyncio.create_task(self._run(q), name=f"repro-shard-{i}")
+            for i, q in enumerate(self._queues)
+        ]
+
+    async def _run(self, queue: asyncio.Queue) -> None:
+        while True:
+            item = await queue.get()
+            try:
+                if item is None:
+                    return
+                if isinstance(item, _Flush):
+                    if not item.future.done():
+                        item.future.set_result(None)
+                    continue
+                self.tasks_run += 1
+                try:
+                    item()
+                except Exception:
+                    # a failing thunk must not kill the shard; sessions
+                    # account their own errors inside the thunk
+                    self.task_errors += 1
+            finally:
+                queue.task_done()
+
+    async def submit(self, callee_name: str, thunk: Callable[[], None]) -> int:
+        """Enqueue a thunk on the callee's shard; returns the shard index.
+
+        ``await`` blocks when the shard queue is full — natural
+        backpressure toward the submitting session.
+        """
+        shard = self.shard_of(callee_name)
+        await self._queues[shard].put(thunk)
+        return shard
+
+    async def flush(self, shard_ids: Iterable[int] | None = None) -> None:
+        """Barrier: resolves once every prior item on the shards is done."""
+        ids = range(self.shards) if shard_ids is None else sorted(set(shard_ids))
+        flushes = []
+        for i in ids:
+            loop = asyncio.get_running_loop()
+            sentinel = _Flush(loop.create_future())
+            await self._queues[i].put(sentinel)
+            flushes.append(sentinel.future)
+        if flushes:
+            await asyncio.gather(*flushes)
+
+    async def stop(self) -> None:
+        """Drain every queue and stop the workers."""
+        if not self._workers:
+            return
+        for q in self._queues:
+            await q.put(None)
+        await asyncio.gather(*self._workers)
+        self._workers = []
+
+    def __repr__(self) -> str:
+        return f"ShardPool(shards={self.shards}, run={self.tasks_run})"

@@ -65,6 +65,54 @@ class TestSpecMonitor:
             SpecMonitor(comp)
 
 
+class TestBoundedHistory:
+    def test_history_is_bounded_on_long_streams(self, cast, x1):
+        m = SpecMonitor(cast.write(), history_limit=8)
+        for _ in range(1000):
+            m.observe(Event(x1, cast.o, "OW"))
+            m.observe(Event(x1, cast.o, "W", (d,)))
+            m.observe(Event(x1, cast.o, "CW"))
+        assert m.ok
+        assert m.events_seen == 3000
+        assert len(m._history) == 8
+
+    def test_violation_carries_true_global_index(self, cast, x1, x2):
+        m = SpecMonitor(cast.write(), history_limit=4)
+        for _ in range(100):  # 300 clean events, far beyond the window
+            m.observe(Event(x1, cast.o, "OW"))
+            m.observe(Event(x1, cast.o, "W", (d,)))
+            m.observe(Event(x1, cast.o, "CW"))
+        m.observe(Event(x2, cast.o, "W", (d,)))  # W without OW
+        v = m.violations[0]
+        assert v.index == 300
+        # the recorded window is bounded but ends with the offending event
+        assert len(v.trace) == 4
+        assert v.trace[-1] == v.event
+
+    def test_explicit_index_overrides_counter(self, cast, x1):
+        m = SpecMonitor(cast.write())
+        m.observe(Event(x1, cast.o, "W", (d,)), index=41)
+        assert m.violations[0].index == 41
+
+    def test_unbounded_history_still_available(self, cast, x1):
+        m = SpecMonitor(cast.write(), history_limit=None)
+        for _ in range(50):
+            m.observe(Event(x1, cast.o, "OW"))
+            m.observe(Event(x1, cast.o, "W", (d,)))
+            m.observe(Event(x1, cast.o, "CW"))
+        assert len(m._history) == 150
+
+    def test_bad_history_limit_rejected(self, cast):
+        with pytest.raises(RuntimeModelError):
+            SpecMonitor(cast.write(), history_limit=0)
+
+    def test_reset_clears_bounded_history(self, cast, x1):
+        m = SpecMonitor(cast.write(), history_limit=4)
+        m.observe(Event(x1, cast.o, "W", (d,)))
+        m.reset()
+        assert m.ok and m.events_seen == 0 and len(m._history) == 0
+
+
 class TestEndToEnd:
     def test_wellbehaved_system_clean(self, cast):
         sys = System(RandomScheduler(seed=11))

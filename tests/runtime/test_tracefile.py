@@ -2,6 +2,7 @@
 
 import pytest
 from hypothesis import given, settings
+from hypothesis import strategies as st
 
 from repro.core.errors import ReproError
 from repro.core.events import Event
@@ -60,7 +61,75 @@ class TestFormat:
             tracefile.load(tmp_path / "nope.trace")
 
 
+class TestErrorPaths:
+    @pytest.mark.parametrize(
+        "line",
+        [
+            "c - > o : M",  # broken arrow
+            "-> o : M",  # missing caller
+            "c -> : M",  # missing callee
+            "c -> o",  # missing method separator
+            "c -> o : 1bad",  # method must start with a letter
+        ],
+    )
+    def test_malformed_arrow_lines(self, line):
+        with pytest.raises(ReproError, match="line 1"):
+            tracefile.loads(line)
+
+    def test_empty_value_label(self):
+        with pytest.raises(ReproError, match="empty value label"):
+            tracefile.loads("c -> o : W(Data:)")
+
+    def test_empty_object_name_argument(self):
+        with pytest.raises(ReproError, match="empty value label"):
+            tracefile.loads("c -> o : W(obj:)")
+
+    @pytest.mark.parametrize(
+        "value",
+        [":d1", "Obj:d1"],  # empty sort name; data value in the object sort
+    )
+    def test_bad_sort_label_values(self, value):
+        with pytest.raises(ReproError, match="bad value"):
+            tracefile.loads(f"c -> o : W({value})")
+
+    def test_error_reports_true_line_number(self):
+        text = "# header\nc -> o : CW\nc -> o : W(Data:)\n"
+        with pytest.raises(ReproError, match="line 3"):
+            tracefile.loads(text)
+
+    def test_parse_line_skips_blank_and_comment(self):
+        assert tracefile.parse_line("") is None
+        assert tracefile.parse_line("   # note") is None
+
+    def test_parse_line_tags_given_lineno(self):
+        with pytest.raises(ReproError, match="line 17"):
+            tracefile.parse_line("garbage", 17)
+
+
+@st.composite
+def mixed_arg_traces(draw, max_len: int = 8):
+    """Traces whose argument lists mix ObjectId and DataVal values."""
+    from strategies import METHODS, object_ids, values
+
+    n = draw(st.integers(0, max_len))
+    events = []
+    for _ in range(n):
+        caller = draw(object_ids())
+        callee = draw(object_ids().filter(lambda obj: obj != caller))
+        method = draw(st.sampled_from(METHODS))
+        args = tuple(draw(st.lists(values(), max_size=3)))
+        events.append(Event(caller, callee, method, args))
+    return Trace(tuple(events))
+
+
 @settings(max_examples=100)
 @given(traces())
 def test_round_trip_property(t):
+    assert tracefile.loads(tracefile.dumps(t)) == t
+
+
+@settings(max_examples=100)
+@given(mixed_arg_traces())
+def test_round_trip_property_mixed_args(t):
+    """dumps/loads is the identity on traces with object *and* data args."""
     assert tracefile.loads(tracefile.dumps(t)) == t

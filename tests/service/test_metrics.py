@@ -1,0 +1,74 @@
+"""Tests for service metrics: counters, histograms, snapshot shape."""
+
+import asyncio
+import io
+
+from repro.service.metrics import LatencyHistogram, ServiceMetrics
+
+
+class TestLatencyHistogram:
+    def test_counts_and_mean(self):
+        hist = LatencyHistogram()
+        hist.observe(1e-6)
+        hist.observe(3e-6)
+        assert hist.count == 2
+        assert abs(hist.mean - 2e-6) < 1e-12
+
+    def test_buckets_are_cumulative_ready(self):
+        hist = LatencyHistogram(bounds=(0.001, 0.01))
+        hist.observe(0.0005)
+        hist.observe(0.005)
+        hist.observe(5.0)  # overflow
+        snap = hist.snapshot()
+        assert snap["count"] == 3
+        assert snap["buckets"]["overflow"] == 1
+        assert sum(snap["buckets"].values()) == 3
+
+    def test_empty_mean_is_zero(self):
+        assert LatencyHistogram().mean == 0.0
+
+
+class TestServiceMetrics:
+    def test_event_counters(self):
+        metrics = ServiceMetrics()
+        metrics.record_event("Write", 1e-6, skipped=False)
+        metrics.record_event("Write", 1e-6, skipped=True)
+        metrics.record_event("Read2", 1e-6, skipped=False)
+        metrics.record_malformed()
+        metrics.record_violation()
+        snap = metrics.snapshot()
+        assert snap["events_observed"] == 3
+        assert snap["events_skipped"] == 1
+        assert snap["events_malformed"] == 1
+        assert snap["violations"] == 1
+        assert set(snap["latency"]) == {"Read2", "Write"}
+        assert snap["latency"]["Write"]["count"] == 2
+
+    def test_session_counters(self):
+        metrics = ServiceMetrics()
+        metrics.session_opened()
+        metrics.session_opened()
+        metrics.session_closed()
+        snap = metrics.snapshot()
+        assert snap["sessions_opened"] == 2 and snap["sessions_closed"] == 1
+
+    def test_format_text_mentions_every_counter(self):
+        metrics = ServiceMetrics()
+        metrics.record_event("Write", 2e-6, skipped=False)
+        text = metrics.format_text()
+        assert "events_observed=1" in text
+        assert "latency[Write]" in text
+
+    def test_periodic_dump_writes_and_cancels(self):
+        async def run():
+            metrics = ServiceMetrics()
+            out = io.StringIO()
+            task = asyncio.create_task(metrics.periodic_dump(0.01, out))
+            await asyncio.sleep(0.05)
+            task.cancel()
+            await task
+            return out.getvalue()
+
+        text = asyncio.run(run())
+        assert "-- metrics --" in text
+        assert "events_observed=0" in text

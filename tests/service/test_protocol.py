@@ -1,0 +1,90 @@
+"""Unit tests for the wire protocol: command and reply round-trips."""
+
+import pytest
+
+from repro.service.protocol import (
+    Command,
+    ProtocolError,
+    SessionStatus,
+    format_status,
+    parse_command,
+    parse_reply,
+)
+
+
+class TestParseCommand:
+    def test_bare_verbs(self):
+        for verb in ("HELLO", "STATUS", "RESET", "BYE"):
+            assert parse_command(verb) == Command(verb)
+
+    def test_case_insensitive_verb(self):
+        assert parse_command("hello") == Command("HELLO")
+
+    def test_spec_takes_argument(self):
+        assert parse_command("SPEC Write") == Command("SPEC", "Write")
+
+    def test_event_argument_keeps_spaces(self):
+        cmd = parse_command("EVENT c -> o : W(Data:d1)")
+        assert cmd == Command("EVENT", "c -> o : W(Data:d1)")
+
+    def test_unknown_verb_rejected(self):
+        with pytest.raises(ProtocolError, match="unknown command"):
+            parse_command("FROB x")
+
+    def test_empty_line_rejected(self):
+        with pytest.raises(ProtocolError, match="empty"):
+            parse_command("   ")
+
+    def test_missing_argument_rejected(self):
+        with pytest.raises(ProtocolError, match="requires an argument"):
+            parse_command("SPEC")
+
+    def test_stray_argument_rejected(self):
+        with pytest.raises(ProtocolError, match="takes no argument"):
+            parse_command("STATUS now")
+
+
+class TestStatusRoundTrip:
+    def test_ok_status(self):
+        status = SessionStatus(spec="Write", events=10, skipped=2, errors=1)
+        reply = parse_reply(format_status(status))
+        assert reply.kind == "ok"
+        assert reply.status == status
+
+    def test_violation_status_keeps_event_spaces(self):
+        status = SessionStatus(
+            spec="Write",
+            events=7,
+            skipped=0,
+            errors=0,
+            violation_index=3,
+            violation_event="c -> o : W(Data:d1)",
+        )
+        line = format_status(status)
+        reply = parse_reply(line)
+        assert reply.kind == "violation"
+        assert reply.status == status
+        assert not reply.status.ok
+
+    def test_unbound_spec_round_trips(self):
+        status = SessionStatus(spec=None, events=0)
+        assert parse_reply(format_status(status)).status == status
+
+
+class TestParseReply:
+    def test_plain_ok(self):
+        reply = parse_reply("OK repro-service 1 specs=Read,Write")
+        assert reply.kind == "ok" and reply.status is None
+        assert "specs=" in reply.detail
+
+    def test_err(self):
+        reply = parse_reply("ERR no such spec")
+        assert reply.kind == "err" and reply.detail == "no such spec"
+
+    def test_garbage_rejected(self):
+        with pytest.raises(ProtocolError, match="malformed reply"):
+            parse_reply("WAT 42")
+
+    def test_malformed_status_field_rejected(self):
+        with pytest.raises(ProtocolError):
+            parse_reply("VIOLATION spec=Write index=notanint event=x")

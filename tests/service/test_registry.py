@@ -1,0 +1,61 @@
+"""Tests for the spec registry: shared machines, precise errors."""
+
+from pathlib import Path
+
+import pytest
+
+from repro.core.errors import ReproError, RuntimeModelError
+from repro.core.events import Event
+from repro.core.values import DataVal, ObjectId
+from repro.service import SpecRegistry
+
+EXAMPLES = Path(__file__).parent.parent.parent / "examples"
+
+
+@pytest.fixture(scope="module")
+def registry(cast) -> SpecRegistry:
+    return SpecRegistry([cast.write(), cast.read2()])
+
+
+class TestLookup:
+    def test_names_sorted(self, registry):
+        assert registry.names() == ["Read2", "Write"]
+        assert "Write" in registry and len(registry) == 2
+
+    def test_unknown_name_lists_known(self, registry):
+        with pytest.raises(ReproError, match="Read2, Write"):
+            registry.get("Nope")
+
+    def test_from_file_skips_compositions_with_reason(self):
+        registry = SpecRegistry.from_file(EXAMPLES / "readers_writers.oun")
+        assert "Write" in registry
+        # the document's named compositions are not monitorable online
+        assert "System" not in registry
+        with pytest.raises(RuntimeModelError, match="existential hiding"):
+            registry.get("System")
+
+    def test_missing_file(self, tmp_path):
+        with pytest.raises(ReproError, match="cannot read"):
+            SpecRegistry.from_file(tmp_path / "nope.oun")
+
+
+class TestSharedMachines:
+    def test_monitors_share_one_compiled_machine(self, registry):
+        a = registry.new_monitor("Write")
+        b = registry.new_monitor("Write")
+        assert a.machine is b.machine
+        assert a.machine is registry.get("Write").machine
+
+    def test_monitor_state_is_private(self, registry, cast, x1, x2):
+        d = DataVal("Data", "d")
+        a = registry.new_monitor("Write")
+        b = registry.new_monitor("Write")
+        assert not a.observe(Event(x1, cast.o, "W", (d,)))  # W without OW
+        assert not a.ok
+        assert b.ok  # untouched by a's violation
+        assert b.observe(Event(x2, cast.o, "OW"))
+
+    def test_history_limit_propagates(self, cast):
+        registry = SpecRegistry([cast.write()], history_limit=16)
+        monitor = registry.new_monitor("Write")
+        assert monitor.history_limit == 16

@@ -1,0 +1,94 @@
+"""Tests for the shard pool: stable routing, per-key FIFO, barriers."""
+
+import asyncio
+import zlib
+
+import pytest
+
+from repro.service.shards import ShardPool, shard_index
+
+
+class TestShardIndex:
+    def test_stable_across_calls(self):
+        assert shard_index("o", 4) == shard_index("o", 4)
+        assert shard_index("o", 4) == zlib.crc32(b"o") % 4
+
+    def test_single_shard_takes_everything(self):
+        assert shard_index("anything", 1) == 0
+
+    def test_distributes_over_keys(self):
+        shards = {shard_index(f"obj{i}", 8) for i in range(64)}
+        assert len(shards) > 1
+
+    def test_rejects_nonpositive(self):
+        with pytest.raises(ValueError):
+            shard_index("o", 0)
+        with pytest.raises(ValueError):
+            ShardPool(0)
+
+
+class TestPool:
+    def test_per_key_order_preserved(self):
+        async def run():
+            pool = ShardPool(4)
+            await pool.start()
+            seen: dict[str, list[int]] = {}
+            for i in range(200):
+                key = f"obj{i % 7}"
+
+                def record(key=key, i=i):
+                    seen.setdefault(key, []).append(i)
+
+                await pool.submit(key, record)
+            await pool.flush()
+            await pool.stop()
+            return seen
+
+        seen = asyncio.run(run())
+        assert sum(len(v) for v in seen.values()) == 200
+        for order in seen.values():
+            assert order == sorted(order)
+
+    def test_flush_is_a_barrier(self):
+        async def run():
+            pool = ShardPool(2)
+            await pool.start()
+            done = []
+            for i in range(50):
+                await pool.submit(f"k{i}", lambda i=i: done.append(i))
+            await pool.flush()
+            count_at_barrier = len(done)
+            await pool.stop()
+            return count_at_barrier
+
+        assert asyncio.run(run()) == 50
+
+    def test_failing_thunk_keeps_worker_alive(self):
+        async def run():
+            pool = ShardPool(1)
+            await pool.start()
+
+            def boom():
+                raise RuntimeError("thunk failed")
+
+            ok = []
+            await pool.submit("k", boom)
+            await pool.submit("k", lambda: ok.append(1))
+            await pool.flush()
+            await pool.stop()
+            return pool.task_errors, ok
+
+        errors, ok = asyncio.run(run())
+        assert errors == 1 and ok == [1]
+
+    def test_flush_subset_of_shards(self):
+        async def run():
+            pool = ShardPool(4)
+            await pool.start()
+            hit = []
+            shard = await pool.submit("only-key", lambda: hit.append(1))
+            await pool.flush({shard})
+            assert hit == [1]
+            await pool.stop()
+
+        asyncio.run(run())

@@ -135,6 +135,59 @@ class TestMonitor:
         assert code == 2 and "error:" in text
 
 
+class TestMonitorStdin:
+    def _stream(self, monkeypatch, doc_file, text):
+        import io as _io
+
+        monkeypatch.setattr("sys.stdin", _io.StringIO(text))
+        return run("monitor", str(doc_file), "Read2", "-")
+
+    def test_clean_stream(self, monkeypatch, doc_file):
+        code, text = self._stream(
+            monkeypatch, doc_file, "x -> o : OR\nx -> o : R(Data:d1)\nx -> o : CR\n"
+        )
+        assert code == 0 and "stream of 3 events satisfies" in text
+
+    def test_first_violation_reported_with_line_number(self, monkeypatch, doc_file):
+        stream = (
+            "# recorded\n"
+            "x -> o : OR\n"
+            "\n"
+            "y -> o : R(Data:d1)\n"  # line 4: R without OR by y
+            "x -> o : CR\n"
+        )
+        code, text = self._stream(monkeypatch, doc_file, stream)
+        assert code == 1
+        assert "line 4:" in text and "violated by event #1" in text
+
+
+class TestService:
+    def test_serve_help(self):
+        with pytest.raises(SystemExit) as excinfo:
+            run("serve", "--help")
+        assert excinfo.value.code == 0
+
+    def test_serve_rejects_spec_free_document(self, tmp_path):
+        empty = tmp_path / "empty.oun"
+        empty.write_text("object o\n")
+        code, text = run("serve", str(empty))
+        assert code == 2 and "no monitorable specifications" in text
+
+    def test_send_against_unreachable_server(self, tmp_path):
+        trace_path = tmp_path / "t.trace"
+        trace_path.write_text("x -> o : OR\n")
+        import socket
+
+        with socket.socket() as sock:
+            sock.bind(("127.0.0.1", 0))
+            port = sock.getsockname()[1]
+        code, text = run(
+            "send", str(trace_path), "--spec", "Read2",
+            "--port", str(port), "--retries", "0",
+        )
+        assert code == 2 and "cannot reach" in text
+
+
 class TestClaims:
     def test_claims_smoke(self):
         # env_objects=1 keeps the replay fast; agreement must still hold.
