@@ -1,0 +1,158 @@
+"""Obligation-engine benchmarks: parallel speedup and cache warm-up.
+
+Two axes of the engine (DESIGN.md §8):
+
+* **jobs** — the full claims suite at ``env_objects=4`` (the universe
+  size where per-obligation DFA work dominates process overhead) on 1
+  vs 4 workers, reported as obligations/sec.  Acceptance target:
+  jobs=4 at least 2× jobs=1 on this workload — asserted only when the
+  host grants at least 4 CPUs (obligations are CPU-bound, so on a
+  single-core container the workers time-slice one core and the target
+  is physically unreachable; the harness then reports the measured
+  ratio and the core count instead of failing).
+* **cache** — the same suite cold (empty cache directory) vs warm
+  (directory populated by the cold run), reported as the fraction of
+  compilations skipped.  Acceptance target: the warm run serves at
+  least 90% of compilation lookups from the cache.
+
+Either way the verdicts must be identical — the harness asserts result
+equality, not just speed.
+
+Runs under the pytest-benchmark harness *and* standalone::
+
+    PYTHONPATH=src python -m pytest benchmarks/bench_engine.py -q
+    PYTHONPATH=src python benchmarks/bench_engine.py
+"""
+
+from __future__ import annotations
+
+import os
+import tempfile
+import time
+
+import pytest
+
+from repro.checker.engine import EngineConfig, ObligationEngine, ObligationSource
+
+
+def _cores() -> int:
+    try:
+        return len(os.sched_getaffinity(0))
+    except AttributeError:  # non-Linux
+        return os.cpu_count() or 1
+
+#: env_objects=4 makes each obligation's DFA compilation heavy enough
+#: that fan-out wins; at the default 2 a single slow law (L13) dominates
+#: the makespan and caps the achievable speedup well under 2×.
+ENV_OBJECTS = 4
+
+SOURCE = ObligationSource.of(
+    "repro.paper.claims:build_obligations", env_objects=ENV_OBJECTS
+)
+
+
+def _keys(run):
+    return [
+        (
+            o.obligation.ident,
+            o.error,
+            None if o.result is None else o.result.verdict,
+            o.agrees,
+        )
+        for o in run.session.outcomes
+    ]
+
+
+def _run(jobs: int, cache_dir: str | None = None):
+    return ObligationEngine(
+        EngineConfig(jobs=jobs, cache_dir=cache_dir)
+    ).run(SOURCE)
+
+
+# ----------------------------------------------------------------------
+# pytest-benchmark entry points
+# ----------------------------------------------------------------------
+
+
+@pytest.mark.parametrize("jobs", [1, 4])
+def bench_engine_jobs(benchmark, jobs):
+    run = benchmark.pedantic(_run, args=(jobs,), rounds=1, iterations=1)
+    assert run.all_agree
+    n = len(run.session.outcomes)
+    benchmark.extra_info["jobs"] = jobs
+    if benchmark.stats is not None:  # absent under --benchmark-disable
+        benchmark.extra_info["obligations_per_sec"] = round(
+            n / benchmark.stats.stats.mean, 2
+        )
+
+
+def bench_engine_cache_warm(benchmark):
+    with tempfile.TemporaryDirectory() as d:
+        cold = _run(1, cache_dir=d)  # populate outside the timed region
+        warm = benchmark.pedantic(
+            _run, args=(1,), kwargs={"cache_dir": d}, rounds=1, iterations=1
+        )
+    assert _keys(warm) == _keys(cold)
+    m = warm.metrics
+    skipped = m.cache_hits / m.cache_lookups if m.cache_lookups else 0.0
+    benchmark.extra_info["warm_skip_fraction"] = round(skipped, 3)
+    assert skipped >= 0.90, (
+        f"warm cache skipped only {skipped:.0%} of compilations"
+    )
+
+
+# ----------------------------------------------------------------------
+# standalone
+# ----------------------------------------------------------------------
+
+
+def main() -> None:
+    print(f"claims suite, env_objects={ENV_OBJECTS}")
+
+    runs = {}
+    for jobs in (1, 4):
+        start = time.perf_counter()
+        runs[jobs] = _run(jobs)
+        wall = time.perf_counter() - start
+        n = len(runs[jobs].session.outcomes)
+        print(
+            f"  jobs={jobs}: {n} obligations in {wall:6.2f}s "
+            f"({n / wall:5.1f} obligations/sec)"
+        )
+        runs[jobs].wall_seconds = wall
+    assert _keys(runs[1]) == _keys(runs[4]), "jobs changed the verdicts"
+    speedup = runs[1].wall_seconds / runs[4].wall_seconds
+    cores = _cores()
+    print(
+        f"  speedup jobs=4 vs jobs=1: {speedup:.2f}x "
+        f"(target >= 2.0x on >= 4 CPUs; this host grants {cores})"
+    )
+    if cores >= 4:
+        assert speedup >= 2.0, (
+            f"jobs=4 only {speedup:.2f}x faster than jobs=1 on {cores} CPUs"
+        )
+
+    with tempfile.TemporaryDirectory() as d:
+        start = time.perf_counter()
+        cold = _run(4, cache_dir=d)
+        cold_wall = time.perf_counter() - start
+        start = time.perf_counter()
+        warm = _run(4, cache_dir=d)
+        warm_wall = time.perf_counter() - start
+    assert _keys(cold) == _keys(warm), "cache changed the verdicts"
+    m = warm.metrics
+    skipped = m.cache_hits / m.cache_lookups if m.cache_lookups else 0.0
+    print(
+        f"  cache cold: {cold_wall:5.2f}s "
+        f"({cold.metrics.cache_misses} misses, "
+        f"{cold.metrics.cache_hits} intra-run hits)"
+    )
+    print(
+        f"  cache warm: {warm_wall:5.2f}s "
+        f"({m.cache_hits} hits, {m.cache_misses} misses; "
+        f"{skipped:.0%} of compilations skipped, target >= 90%)"
+    )
+
+
+if __name__ == "__main__":
+    main()

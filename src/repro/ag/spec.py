@@ -112,6 +112,9 @@ class AGMachine(TraceMachine):
             | self.guarantee.mentioned_values()
         )
 
+    def cache_key_parts(self):
+        return (self.obj, self.assumption, self.guarantee)
+
     def __repr__(self) -> str:
         return f"AGMachine({self.obj}, A={self.assumption!r}, G={self.guarantee!r})"
 

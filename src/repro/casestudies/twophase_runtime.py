@@ -9,6 +9,7 @@ votes without being prepared) exercises the monitors' fault detection.
 from __future__ import annotations
 
 import random
+import zlib
 from typing import Hashable
 
 from repro.core.events import Event
@@ -28,8 +29,11 @@ class CoordinatorBehavior(Behavior):
 
     One outgoing call in flight at a time (so the global delivery order
     matches the protocol order); one transaction at a time.  State is
-    ``(mode, client, votes, queue, outstanding)`` where ``queue`` holds
-    the calls still to issue for the current round.
+    ``(mode, client, votes, queue, outstanding, pending, round_number)``
+    where ``queue`` holds the calls still to issue for the current round
+    and ``pending`` a client whose BEGIN arrived mid-round (served as
+    soon as the current round's deliveries finish — dropping it would
+    stall the whole system, since the client waits for DONE).
     """
 
     def __init__(self, me: ObjectId, participants: tuple[ObjectId, ...]) -> None:
@@ -37,8 +41,8 @@ class CoordinatorBehavior(Behavior):
         self.participants = tuple(participants)
 
     def init_state(self) -> Hashable:
-        # (mode, client, votes, queue, outstanding, round_number)
-        return ("idle", None, (), (), None, 0)
+        # (mode, client, votes, queue, outstanding, pending, round_number)
+        return ("idle", None, (), (), None, None, 0)
 
     # -- helpers -----------------------------------------------------------
 
@@ -46,10 +50,15 @@ class CoordinatorBehavior(Behavior):
         verdict = "COMMIT" if all(v == "YES" for _, v in votes) else "ABORT"
         return tuple(Call(p, verdict) for p in self.participants)
 
+    def _start_round(self, client, rnd):
+        txn = DataVal("Data", f"t{rnd}")
+        queue = tuple(Call(p, "PREPARE", (txn,)) for p in self.participants)
+        return ("preparing", client, (), queue)
+
     # -- Behavior interface --------------------------------------------------
 
     def on_event(self, state, event: Event, me: ObjectId):
-        mode, client, votes, queue, outstanding, rnd = state
+        mode, client, votes, queue, outstanding, pending, rnd = state
         # acknowledge delivery of our own call
         if (
             outstanding is not None
@@ -58,15 +67,14 @@ class CoordinatorBehavior(Behavior):
             and event.method == outstanding.method
         ):
             outstanding = None
-        if event.callee == me and event.method == "BEGIN" and mode == "idle":
-            mode = "preparing"
-            client = event.caller
-            votes = ()
-            rnd += 1
-            txn = DataVal("Data", f"t{rnd}")
-            queue = tuple(
-                Call(p, "PREPARE", (txn,)) for p in self.participants
-            )
+        if event.callee == me and event.method == "BEGIN":
+            if mode == "idle":
+                rnd += 1
+                mode, client, votes, queue = self._start_round(
+                    event.caller, rnd
+                )
+            else:
+                pending = event.caller
         elif (
             event.callee == me
             and event.method in ("YES", "NO")
@@ -76,19 +84,26 @@ class CoordinatorBehavior(Behavior):
             if len(votes) == len(self.participants):
                 mode = "deciding"
                 queue = queue + self._decide(votes) + (Call(client, "DONE"),)
-        return (mode, client, votes, queue, outstanding, rnd), ()
+        return (mode, client, votes, queue, outstanding, pending, rnd), ()
 
     def on_tick(self, state, rng, me):
-        mode, client, votes, queue, outstanding, rnd = state
+        mode, client, votes, queue, outstanding, pending, rnd = state
         if outstanding is not None or not queue:
             # a finished round returns to idle once everything is delivered
+            # (or straight into the next round if a BEGIN arrived mid-round)
             if mode == "deciding" and outstanding is None and not queue:
-                return ("idle", None, (), (), None, rnd), ()
+                if pending is not None:
+                    rnd += 1
+                    mode, client, votes, queue = self._start_round(
+                        pending, rnd
+                    )
+                    return (mode, client, votes, queue, None, None, rnd), ()
+                return ("idle", None, (), (), None, None, rnd), ()
             return state, ()
         call, rest = queue[0], queue[1:]
         if mode == "preparing" and not rest:
             mode = "voting"
-        return (mode, client, votes, rest, call, rnd), (call,)
+        return (mode, client, votes, rest, call, pending, rnd), (call,)
 
 
 class ParticipantBehavior(Behavior):
@@ -99,7 +114,9 @@ class ParticipantBehavior(Behavior):
         self.me = me
         self.coordinator = coordinator
         self.p_yes = vote_yes_probability
-        self._rng = random.Random(hash(me.name) & 0xFFFF)
+        # str hash is salted per process (PYTHONHASHSEED); CRC-32 keeps the
+        # per-participant vote stream reproducible across runs.
+        self._rng = random.Random(zlib.crc32(me.name.encode()) & 0xFFFF)
 
     def on_event(self, state, event: Event, me: ObjectId):
         if event.callee == me and event.method == "PREPARE":

@@ -1,9 +1,25 @@
 """The checking environment: finite universes, DFA compilation, refinement
-and soundness strategies, trace-set equality, law replays, obligations."""
+and soundness strategies, trace-set equality, law replays, obligations —
+plus the parallel obligation engine and the content-addressed machine
+cache that back ``repro claims``/``check``/``verify`` (DESIGN.md §8)."""
 
 from repro.checker.bounded import enumerate_traces, find_violation
+from repro.checker.cache import (
+    ENGINE_CACHE_VERSION,
+    CacheStats,
+    MachineCache,
+    active_cache,
+    use_cache,
+)
 from repro.checker.compile import composed_hidden_events, spec_dfa, traceset_dfa
+from repro.checker.engine import (
+    EngineConfig,
+    EngineRun,
+    ObligationEngine,
+    ObligationSource,
+)
 from repro.checker.equality import alphabets_equal, specs_equal, trace_sets_equal
+from repro.checker.fingerprint import fingerprint, fingerprint_bytes
 from repro.checker.laws import (
     law_lemma6,
     law_lemma13,
@@ -26,6 +42,17 @@ from repro.checker.universe import FiniteUniverse
 __all__ = [
     "enumerate_traces",
     "find_violation",
+    "ENGINE_CACHE_VERSION",
+    "CacheStats",
+    "MachineCache",
+    "active_cache",
+    "use_cache",
+    "EngineConfig",
+    "EngineRun",
+    "ObligationEngine",
+    "ObligationSource",
+    "fingerprint",
+    "fingerprint_bytes",
     "composed_hidden_events",
     "spec_dfa",
     "traceset_dfa",

@@ -21,6 +21,43 @@ from repro.core.tracesets import ComposedTraceSet, FullTraceSet, MachineTraceSet
 __all__ = ["enumerate_traces", "find_violation"]
 
 
+def _bounded_bfs(
+    seed,
+    trace_of: Callable,
+    successors: Callable,
+    depth: int,
+    max_traces: int | None,
+) -> Iterator[Trace]:
+    """The shared breadth-first driver behind :func:`enumerate_traces`.
+
+    ``seed`` is the frontier entry for the empty trace (or None when the
+    empty trace is not in the set), ``trace_of`` extracts the trace from
+    a frontier entry, and ``successors`` yields the entries for its
+    one-event extensions.  Both trace-set representations enumerate
+    through this one loop, so counting against ``max_traces`` cannot
+    drift between them: every yield — and nothing else — consumes budget,
+    and expansion stops as soon as the queued frontier already covers the
+    remaining budget (``successors`` can be expensive for composed trace
+    sets, so never-yielded entries are never computed).
+    """
+    if seed is None:
+        return
+    queue: deque = deque([seed])
+    count = 0
+    while queue:
+        entry = queue.popleft()
+        yield trace_of(entry)
+        count += 1
+        if max_traces is not None:
+            if count >= max_traces:
+                return
+            if count + len(queue) >= max_traces:
+                continue  # frontier already covers the budget
+        if len(trace_of(entry)) >= depth:
+            continue
+        queue.extend(successors(entry))
+
+
 def enumerate_traces(
     spec: Specification,
     universe: FiniteUniverse,
@@ -29,49 +66,44 @@ def enumerate_traces(
 ) -> Iterator[Trace]:
     """Yield the traces of ``T(Γ)`` over the universe, up to ``depth`` events.
 
-    Breadth-first: all traces of length *n* before any of length *n+1*.
-    For machine trace sets the machine state rides along the frontier; for
-    composed trace sets each candidate extension re-runs the hidden-event
-    search (complete but slower — measured in the benchmarks).
+    Breadth-first: all traces of length *n* before any of length *n+1*,
+    at most ``max_traces`` in total.  For machine trace sets the machine
+    state rides along the frontier; for composed trace sets each candidate
+    extension re-runs the hidden-event search (complete but slower —
+    measured in the benchmarks).  Both branches share one driver, so the
+    enumeration order and the ``max_traces`` accounting are identical
+    whichever representation a specification uses.
     """
     events = universe.events_for(spec.alphabet)
     ts = spec.traces
-    count = 0
     if isinstance(ts, (FullTraceSet, MachineTraceSet)):
         machine = ts.machine()
         init = machine.initial()
-        if not machine.ok(init):
-            return
-        queue: deque[tuple[Trace, object]] = deque([(Trace.empty(), init)])
-        while queue:
-            trace, state = queue.popleft()
-            yield trace
-            count += 1
-            if max_traces is not None and count >= max_traces:
-                return
-            if len(trace) >= depth:
-                continue
+
+        def machine_successors(entry):
+            trace, state = entry
             for e in events:
                 nxt = machine.step(state, e)
                 if machine.ok(nxt):
-                    queue.append((trace.append(e), nxt))
+                    yield (trace.append(e), nxt)
+
+        seed = (Trace.empty(), init) if machine.ok(init) else None
+        yield from _bounded_bfs(
+            seed, lambda entry: entry[0], machine_successors, depth, max_traces
+        )
         return
     if isinstance(ts, ComposedTraceSet):
-        queue2: deque[Trace] = deque([Trace.empty()])
-        if not ts.contains(Trace.empty()):
-            return
-        while queue2:
-            trace = queue2.popleft()
-            yield trace
-            count += 1
-            if max_traces is not None and count >= max_traces:
-                return
-            if len(trace) >= depth:
-                continue
+
+        def composed_successors(trace):
             for e in events:
                 cand = trace.append(e)
                 if ts.contains(cand):
-                    queue2.append(cand)
+                    yield cand
+
+        seed2 = Trace.empty() if ts.contains(Trace.empty()) else None
+        yield from _bounded_bfs(
+            seed2, lambda trace: trace, composed_successors, depth, max_traces
+        )
         return
     raise TypeError(f"cannot enumerate trace set {ts!r}")
 

@@ -1,0 +1,217 @@
+"""Content-addressed on-disk cache for compiled machines.
+
+Compiling a trace set to a :class:`~repro.automata.dfa.DFA` over a finite
+universe (:mod:`repro.checker.compile`) is the dominant cost of every
+exact check, and the same (trace set, universe) pairs recur constantly:
+the claims suite rebuilds the paper's casts per obligation, the service
+registry recompiles per session, and re-running ``repro check`` repeats
+yesterday's work verbatim.  This module makes that work *content
+addressed*: the cache key is a stable structural fingerprint
+(:mod:`repro.checker.fingerprint`) of everything the compilation depends
+on —
+
+* the elaborated trace-set AST (machines expose their definitional
+  content via ``cache_key_parts``; derived state such as compiled NFAs
+  never enters the key),
+* the universe values and the compiler's ``state_limit``, and
+* a *code version salt* (:data:`ENGINE_CACHE_VERSION`), bumped whenever
+  the compiler or machine semantics change, which invalidates every
+  previously stored entry at once.
+
+Design rules (DESIGN.md §8):
+
+* **Misses are silent, errors are loud only in stats.**  A value without
+  a stable fingerprint (:class:`~repro.core.errors.FingerprintError`)
+  is *uncacheable* — compilation proceeds normally and the event is
+  counted.  A corrupted or unreadable cache file is treated as a miss,
+  counted as an error, and the entry is deleted; the cache can never
+  make a check wrong, only slower.
+* **Writes are atomic.**  Entries are pickled to a temporary file in the
+  cache directory and ``os.replace``-d into place, so concurrent
+  processes (the parallel engine's workers share one directory) never
+  observe half-written entries.
+* **Plumbing is ambient.**  ``use_cache(cache)`` installs the cache in a
+  :class:`contextvars.ContextVar`; :func:`repro.checker.compile.traceset_dfa`
+  consults :func:`active_cache`, so the laws/equality/soundness layers
+  pick the cache up without signature churn.
+"""
+
+from __future__ import annotations
+
+import contextlib
+import contextvars
+import os
+import pickle
+import tempfile
+from dataclasses import dataclass, field
+from pathlib import Path
+
+from repro.automata.dfa import DFA
+from repro.core.errors import CacheError, FingerprintError
+
+from repro.checker.fingerprint import fingerprint
+
+__all__ = [
+    "ENGINE_CACHE_VERSION",
+    "CacheStats",
+    "MachineCache",
+    "active_cache",
+    "use_cache",
+]
+
+#: Code-version salt mixed into every cache key.  Bump when the DFA
+#: compiler, machine semantics, or the fingerprint encoding change in a
+#: way that could alter compiled automata — every stored entry becomes
+#: unreachable (a cold cache), never silently stale.
+ENGINE_CACHE_VERSION = "repro-engine-1"
+
+
+@dataclass
+class CacheStats:
+    """Counters for one cache's lifetime (or a worker's delta)."""
+
+    hits: int = 0
+    misses: int = 0
+    stores: int = 0
+    errors: int = 0
+    uncacheable: int = 0
+
+    def as_dict(self) -> dict[str, int]:
+        return {
+            "hits": self.hits,
+            "misses": self.misses,
+            "stores": self.stores,
+            "errors": self.errors,
+            "uncacheable": self.uncacheable,
+        }
+
+    def merge(self, other: "CacheStats") -> None:
+        self.hits += other.hits
+        self.misses += other.misses
+        self.stores += other.stores
+        self.errors += other.errors
+        self.uncacheable += other.uncacheable
+
+    @property
+    def lookups(self) -> int:
+        return self.hits + self.misses + self.uncacheable
+
+    def __str__(self) -> str:
+        return (
+            f"{self.hits} hits, {self.misses} misses, "
+            f"{self.uncacheable} uncacheable, {self.errors} errors"
+        )
+
+
+class MachineCache:
+    """A content-addressed store of compiled DFAs under one directory."""
+
+    def __init__(self, directory: str | os.PathLike, salt: str = ENGINE_CACHE_VERSION) -> None:
+        self.directory = Path(directory)
+        if self.directory.exists() and not self.directory.is_dir():
+            raise CacheError(f"cache path {self.directory} is not a directory")
+        self.directory.mkdir(parents=True, exist_ok=True)
+        self.salt = salt
+        self.stats = CacheStats()
+
+    # -- keys -----------------------------------------------------------
+
+    def key_for(self, tag: str, *parts: object) -> str | None:
+        """The content address for a compilation, or None if uncacheable."""
+        try:
+            return fingerprint((self.salt, tag) + parts)
+        except FingerprintError:
+            self.stats.uncacheable += 1
+            return None
+
+    def _path(self, key: str) -> Path:
+        # Two-level fan-out keeps directory listings short for big caches.
+        return self.directory / key[:2] / f"{key}.dfa.pickle"
+
+    # -- lookup / store -------------------------------------------------
+
+    def get(self, key: str) -> DFA | None:
+        path = self._path(key)
+        try:
+            with open(path, "rb") as fh:
+                dfa = pickle.load(fh)
+        except FileNotFoundError:
+            self.stats.misses += 1
+            return None
+        except Exception:
+            # Corrupted, truncated, or unpicklable entry: drop it and
+            # recompile.  The cache must never be able to fail a check.
+            self.stats.errors += 1
+            self.stats.misses += 1
+            with contextlib.suppress(OSError):
+                path.unlink()
+            return None
+        if not isinstance(dfa, DFA):
+            self.stats.errors += 1
+            self.stats.misses += 1
+            with contextlib.suppress(OSError):
+                path.unlink()
+            return None
+        self.stats.hits += 1
+        return dfa
+
+    def put(self, key: str, dfa: DFA) -> None:
+        path = self._path(key)
+        try:
+            path.parent.mkdir(parents=True, exist_ok=True)
+            fd, tmp = tempfile.mkstemp(
+                dir=path.parent, prefix=".tmp-", suffix=".pickle"
+            )
+            try:
+                with os.fdopen(fd, "wb") as fh:
+                    pickle.dump(dfa, fh, protocol=pickle.HIGHEST_PROTOCOL)
+                os.replace(tmp, path)
+            except BaseException:
+                with contextlib.suppress(OSError):
+                    os.unlink(tmp)
+                raise
+        except OSError:
+            self.stats.errors += 1
+            return
+        self.stats.stores += 1
+
+    # -- maintenance ----------------------------------------------------
+
+    def entries(self) -> int:
+        return sum(1 for _ in self.directory.glob("??/*.dfa.pickle"))
+
+    def clear(self) -> int:
+        """Delete every entry; returns the number removed."""
+        n = 0
+        for p in self.directory.glob("??/*.dfa.pickle"):
+            with contextlib.suppress(OSError):
+                p.unlink()
+                n += 1
+        return n
+
+    def __repr__(self) -> str:
+        return f"MachineCache({str(self.directory)!r}, salt={self.salt!r})"
+
+
+# ----------------------------------------------------------------------
+# ambient cache plumbing
+# ----------------------------------------------------------------------
+
+_ACTIVE: contextvars.ContextVar[MachineCache | None] = contextvars.ContextVar(
+    "repro_machine_cache", default=None
+)
+
+
+def active_cache() -> MachineCache | None:
+    """The ambient cache consulted by the compiler, if any."""
+    return _ACTIVE.get()
+
+
+@contextlib.contextmanager
+def use_cache(cache: MachineCache | None):
+    """Install ``cache`` as the ambient compilation cache for a block."""
+    token = _ACTIVE.set(cache)
+    try:
+        yield cache
+    finally:
+        _ACTIVE.reset(token)

@@ -5,6 +5,14 @@ universe ``U`` that accepts exactly the traces of ``T(Γ)`` built from
 universe values.  For machine-defined trace sets this is reachable-state
 exploration; for composed trace sets it is the ε-erasing subset
 construction with the internal events instantiated over the universe.
+
+Compilation is transparently memoised through the content-addressed
+:class:`~repro.checker.cache.MachineCache` when one is active (passed
+explicitly or installed ambiently via
+:func:`~repro.checker.cache.use_cache`); the cache key covers the trace
+set's definitional content, the universe, and the ``state_limit``
+(DESIGN.md §8).  Trace sets without a stable fingerprint compile
+uncached — the cache changes performance, never results.
 """
 
 from __future__ import annotations
@@ -13,6 +21,7 @@ from typing import Sequence
 
 from repro.automata.build import hidden_closure_dfa, machine_to_dfa
 from repro.automata.dfa import DFA
+from repro.checker.cache import MachineCache, active_cache
 from repro.checker.universe import FiniteUniverse
 from repro.core.errors import SpecificationError
 from repro.core.events import Event
@@ -38,9 +47,35 @@ def composed_hidden_events(
 
 
 def traceset_dfa(
-    ts, universe: FiniteUniverse, state_limit: int = 100_000
+    ts,
+    universe: FiniteUniverse,
+    state_limit: int = 100_000,
+    cache: MachineCache | None = None,
 ) -> DFA:
-    """DFA for a trace set over the universe instantiation of its alphabet."""
+    """DFA for a trace set over the universe instantiation of its alphabet.
+
+    When a cache is supplied (or ambient via ``use_cache``), a previously
+    compiled DFA for the same definitional content is returned instead of
+    recompiling; fresh compilations are stored for later runs.
+    """
+    if cache is None:
+        cache = active_cache()
+    key = None
+    if cache is not None:
+        key = cache.key_for("traceset_dfa", ts, universe, state_limit)
+        if key is not None:
+            cached = cache.get(key)
+            if cached is not None:
+                return cached
+    dfa = _compile_traceset(ts, universe, state_limit)
+    if cache is not None and key is not None:
+        cache.put(key, dfa)
+    return dfa
+
+
+def _compile_traceset(
+    ts, universe: FiniteUniverse, state_limit: int
+) -> DFA:
     events = universe.events_for(ts.alphabet)
     if isinstance(ts, (FullTraceSet, MachineTraceSet)):
         return machine_to_dfa(ts.machine(), events, state_limit=state_limit)
@@ -67,6 +102,9 @@ def spec_dfa(
     spec: Specification,
     universe: FiniteUniverse,
     state_limit: int = 100_000,
+    cache: MachineCache | None = None,
 ) -> DFA:
     """DFA for ``T(Γ)`` over the universe instantiation of ``α(Γ)``."""
-    return traceset_dfa(spec.traces, universe, state_limit=state_limit)
+    return traceset_dfa(
+        spec.traces, universe, state_limit=state_limit, cache=cache
+    )

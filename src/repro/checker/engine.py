@@ -1,0 +1,334 @@
+"""The parallel obligation engine.
+
+Proof obligations (:mod:`repro.checker.obligations`) are independent by
+construction — each closes over its own specifications and universe — so
+a session of them is embarrassingly parallel.  This module fans a list of
+obligations out to a :class:`concurrent.futures.ProcessPoolExecutor` and
+collects the outcomes **in submission order**, so a parallel run is
+indistinguishable from a sequential one except for wall time (the
+*parallel-determinism invariant*, DESIGN.md §8).
+
+The one wrinkle is picklability: obligations carry closures (the claims
+suite builds them over shared cast objects), so :class:`Obligation`
+values cannot cross a process boundary.  Instead, the unit of work is an
+:class:`ObligationSource` — a ``"module:function"`` reference plus
+keyword arguments, both picklable — and every worker *rebuilds* the full
+obligation list once at pool start-up, then runs obligations by index.
+Workers ship back only picklable payloads (:class:`CheckResult`, error
+strings, timings, cache-stat deltas); the parent re-attaches its own
+:class:`Obligation` objects to the outcomes.
+
+Workers share one content-addressed :class:`~repro.checker.cache.MachineCache`
+directory when the engine is configured with one; the cache's atomic
+writes make concurrent sharing safe, and each worker reports its
+hit/miss delta for the parent's :class:`CheckerMetrics`.
+
+Timeouts are enforced per obligation in parallel runs by bounding
+``Future.result``.  A process-pool task cannot be cancelled once running,
+so on the first timeout the engine hard-terminates the pool: completed
+obligations keep their results, the timed-out one and any still
+unfinished are recorded as errors.  Inline runs (``jobs<=1``) execute in
+the calling process and therefore cannot enforce timeouts; the
+configuration is accepted but inert there.
+"""
+
+from __future__ import annotations
+
+import contextlib
+import importlib
+import time
+from concurrent.futures import ProcessPoolExecutor
+from concurrent.futures import TimeoutError as FutureTimeout
+from concurrent.futures.process import BrokenProcessPool
+from dataclasses import dataclass, field
+
+from repro.checker.cache import ENGINE_CACHE_VERSION, MachineCache, use_cache
+from repro.checker.obligations import (
+    Obligation,
+    ObligationOutcome,
+    ProofSession,
+)
+from repro.checker.result import CheckResult
+from repro.core.errors import EngineError, ReproError
+from repro.service.metrics import CheckerMetrics
+
+__all__ = [
+    "ObligationSource",
+    "EngineConfig",
+    "EngineRun",
+    "ObligationEngine",
+]
+
+
+@dataclass(frozen=True, slots=True)
+class ObligationSource:
+    """A picklable recipe for an obligation list.
+
+    ``factory`` names a callable as ``"package.module:function"``; calling
+    it with ``kwargs`` must yield an iterable of :class:`Obligation`.
+    The same source builds the same obligations (same idents, same order)
+    in every process — that is what lets workers address work by index.
+    """
+
+    factory: str
+    kwargs: tuple[tuple[str, object], ...] = ()
+
+    @staticmethod
+    def of(factory: str, **kwargs: object) -> "ObligationSource":
+        return ObligationSource(factory, tuple(sorted(kwargs.items())))
+
+    def build(self) -> list[Obligation]:
+        """Import the factory and materialise the obligation list."""
+        mod_name, sep, func_name = self.factory.partition(":")
+        if not sep or not mod_name or not func_name:
+            raise EngineError(
+                f"obligation factory must be 'module:function', got "
+                f"{self.factory!r}"
+            )
+        try:
+            module = importlib.import_module(mod_name)
+        except ImportError as exc:
+            raise EngineError(
+                f"cannot import obligation factory module {mod_name!r}: {exc}"
+            ) from exc
+        factory = getattr(module, func_name, None)
+        if not callable(factory):
+            raise EngineError(
+                f"{mod_name!r} has no callable {func_name!r}"
+            )
+        try:
+            obligations = list(factory(**dict(self.kwargs)))
+        except TypeError as exc:
+            raise EngineError(
+                f"obligation factory {self.factory!r} rejected its arguments "
+                f"or returned a non-iterable: {exc}"
+            ) from exc
+        for ob in obligations:
+            if not isinstance(ob, Obligation):
+                raise EngineError(
+                    f"factory {self.factory!r} produced {type(ob).__name__}, "
+                    f"expected Obligation"
+                )
+        return obligations
+
+
+@dataclass(frozen=True, slots=True)
+class EngineConfig:
+    """How to run an obligation session.
+
+    ``jobs <= 1`` runs inline (no worker processes, no timeout
+    enforcement).  ``timeout`` is seconds per obligation, parallel runs
+    only.  ``cache_dir`` enables the shared machine cache; ``salt``
+    versions its keys.
+    """
+
+    jobs: int = 1
+    timeout: float | None = None
+    cache_dir: str | None = None
+    salt: str = ENGINE_CACHE_VERSION
+
+    def __post_init__(self) -> None:
+        if self.jobs < 0:
+            raise EngineError(f"jobs must be >= 0, got {self.jobs}")
+        if self.timeout is not None and self.timeout <= 0:
+            raise EngineError(f"timeout must be positive, got {self.timeout}")
+
+
+@dataclass
+class EngineRun:
+    """The outcome of one engine invocation."""
+
+    session: ProofSession
+    metrics: CheckerMetrics
+    wall_seconds: float
+    jobs: int
+
+    @property
+    def all_agree(self) -> bool:
+        return self.session.all_agree
+
+
+@dataclass(frozen=True, slots=True)
+class _TaskResult:
+    """What a worker ships back for one obligation (all picklable)."""
+
+    index: int
+    result: CheckResult | None
+    error: str | None
+    seconds: float
+    cache_delta: dict[str, int] = field(default_factory=dict)
+
+
+def _run_obligation(ob: Obligation) -> tuple[CheckResult | None, str | None, float]:
+    """Run one obligation with ProofSession's exact error discipline."""
+    start = time.perf_counter()
+    result: CheckResult | None = None
+    error: str | None = None
+    try:
+        result = ob.check()
+    except ReproError as exc:  # premise failures, budget exhaustion
+        error = f"{type(exc).__name__}: {exc}"
+    return result, error, time.perf_counter() - start
+
+
+# ----------------------------------------------------------------------
+# worker side
+# ----------------------------------------------------------------------
+
+_WORKER_OBLIGATIONS: list[Obligation] | None = None
+_WORKER_CACHE: MachineCache | None = None
+
+
+def _worker_init(source: ObligationSource, cache_dir: str | None, salt: str) -> None:
+    """Pool initializer: rebuild obligations, open the shared cache."""
+    global _WORKER_OBLIGATIONS, _WORKER_CACHE
+    _WORKER_OBLIGATIONS = source.build()
+    _WORKER_CACHE = MachineCache(cache_dir, salt) if cache_dir else None
+
+
+def _worker_run(index: int) -> _TaskResult:
+    obligations = _WORKER_OBLIGATIONS
+    if obligations is None:
+        raise EngineError("worker used before initialisation")
+    ob = obligations[index]
+    cache = _WORKER_CACHE
+    before = cache.stats.as_dict() if cache is not None else {}
+    with use_cache(cache) if cache is not None else contextlib.nullcontext():
+        result, error, seconds = _run_obligation(ob)
+    delta: dict[str, int] = {}
+    if cache is not None:
+        after = cache.stats.as_dict()
+        delta = {k: after[k] - before[k] for k in after}
+    return _TaskResult(index, result, error, seconds, delta)
+
+
+# ----------------------------------------------------------------------
+# the engine
+# ----------------------------------------------------------------------
+
+
+class ObligationEngine:
+    """Runs an :class:`ObligationSource` under an :class:`EngineConfig`."""
+
+    def __init__(self, config: EngineConfig | None = None) -> None:
+        self.config = config or EngineConfig()
+
+    def run(self, source: ObligationSource) -> EngineRun:
+        # Build in the parent first: a bad factory or unknown spec name
+        # must raise here, before any worker process is spawned.
+        obligations = source.build()
+        metrics = CheckerMetrics()
+        start = time.perf_counter()
+        if self.config.jobs <= 1:
+            outcomes = self._run_inline(obligations, metrics)
+        else:
+            outcomes = self._run_parallel(source, obligations, metrics)
+        wall = time.perf_counter() - start
+        session = ProofSession(outcomes=outcomes)
+        for outcome in outcomes:
+            metrics.record_outcome(outcome)
+        return EngineRun(
+            session=session,
+            metrics=metrics,
+            wall_seconds=wall,
+            jobs=max(1, self.config.jobs),
+        )
+
+    # -- inline ---------------------------------------------------------
+
+    def _run_inline(
+        self, obligations: list[Obligation], metrics: CheckerMetrics
+    ) -> list[ObligationOutcome]:
+        cache = (
+            MachineCache(self.config.cache_dir, self.config.salt)
+            if self.config.cache_dir
+            else None
+        )
+        outcomes = []
+        with use_cache(cache) if cache is not None else contextlib.nullcontext():
+            for ob in obligations:
+                result, error, seconds = _run_obligation(ob)
+                outcomes.append(ObligationOutcome(ob, result, error, seconds))
+        if cache is not None:
+            metrics.record_cache(**cache.stats.as_dict())
+        return outcomes
+
+    # -- parallel --------------------------------------------------------
+
+    def _run_parallel(
+        self,
+        source: ObligationSource,
+        obligations: list[Obligation],
+        metrics: CheckerMetrics,
+    ) -> list[ObligationOutcome]:
+        n = len(obligations)
+        outcomes: list[ObligationOutcome | None] = [None] * n
+        workers = min(self.config.jobs, max(1, n))
+        pool = ProcessPoolExecutor(
+            max_workers=workers,
+            initializer=_worker_init,
+            initargs=(source, self.config.cache_dir, self.config.salt),
+        )
+        aborted_after: str | None = None
+        try:
+            futures = [pool.submit(_worker_run, i) for i in range(n)]
+            # Collect in submission order: outcome i is always obligation
+            # i's, whatever order the workers finished in.
+            for i, future in enumerate(futures):
+                ob = obligations[i]
+                if aborted_after is not None:
+                    # The pool was torn down; salvage tasks that had
+                    # already finished, mark the rest as aborted.
+                    outcomes[i] = self._salvage(ob, future, aborted_after)
+                    continue
+                try:
+                    task = future.result(timeout=self.config.timeout)
+                except FutureTimeout:
+                    self._terminate(pool)
+                    aborted_after = ob.ident
+                    outcomes[i] = ObligationOutcome(
+                        ob,
+                        None,
+                        f"EngineTimeout: exceeded {self.config.timeout}s",
+                        self.config.timeout or 0.0,
+                    )
+                    continue
+                except BrokenProcessPool as exc:
+                    raise EngineError(
+                        f"worker pool died while running {ob.ident}: {exc}"
+                    ) from exc
+                metrics.record_cache(**task.cache_delta)
+                outcomes[i] = ObligationOutcome(
+                    ob, task.result, task.error, task.seconds
+                )
+        finally:
+            # Waiting is safe even after a hard abort: terminated workers
+            # mark the pool broken and shutdown returns promptly.  Not
+            # waiting leaks the management thread into interpreter exit.
+            pool.shutdown(wait=True, cancel_futures=True)
+        return [o for o in outcomes if o is not None]
+
+    @staticmethod
+    def _salvage(
+        ob: Obligation, future, aborted_after: str
+    ) -> ObligationOutcome:
+        if future.done() and not future.cancelled():
+            with contextlib.suppress(BaseException):
+                task = future.result(timeout=0)
+                return ObligationOutcome(
+                    ob, task.result, task.error, task.seconds
+                )
+        return ObligationOutcome(
+            ob,
+            None,
+            f"EngineAborted: pool stopped after {aborted_after} timed out",
+            0.0,
+        )
+
+    @staticmethod
+    def _terminate(pool: ProcessPoolExecutor) -> None:
+        """Hard-stop a pool whose running tasks cannot be cancelled."""
+        processes = getattr(pool, "_processes", None) or {}
+        for proc in list(processes.values()):
+            with contextlib.suppress(Exception):
+                proc.terminate()

@@ -1,0 +1,199 @@
+"""Stable content fingerprints for cache keys.
+
+The content-addressed machine cache (:mod:`repro.checker.cache`) needs a
+hash of "the elaborated specification" that is identical across *processes*
+and *runs* whenever the specification denotes the same trace set, and
+different whenever anything semantically relevant changed.  Python's
+built-in ``hash``/``repr`` cannot provide this: string hashing is salted
+per process (``PYTHONHASHSEED``), so ``frozenset`` iteration order — and
+hence any repr containing one — varies between runs.
+
+:func:`fingerprint` therefore walks values *structurally* and feeds a
+canonical byte encoding to SHA-256:
+
+* primitives are tagged and encoded directly;
+* sequences preserve order; sets and dicts are sorted into a canonical
+  order by a content-only encoding of their entries *before* the shared
+  walk encodes them (order-independent and salt-independent even when
+  entries share substructure — back-reference indices are assigned in
+  canonical order, never in salted iteration order);
+* dataclasses encode their qualified class name plus every field in
+  declaration order — this covers the whole core layer (sorts, values,
+  events, patterns, alphabets, traces, trace sets, internal-event sets,
+  regex ASTs);
+* objects exposing ``cache_key_parts()`` (the trace machines, which hold
+  compiled NFAs, memo tables, and closures that must not leak into the
+  key) encode their class name plus the returned parts;
+* plain functions encode module, qualname, bytecode, defaults, and
+  closure-cell contents — enough for the rare machine that is
+  parameterised by a callable; bytecode drift across interpreter versions
+  is absorbed by the cache salt, which includes ``sys.version_info``.
+
+Shared substructure and cycles are handled with a pickle-style memo:
+revisited objects encode as a back-reference to their first visit index.
+
+Anything else raises :class:`~repro.core.errors.FingerprintError`; callers
+treat that value as *uncacheable* rather than guessing a key.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import enum
+import functools
+import hashlib
+import types
+
+from repro.core.errors import FingerprintError
+
+__all__ = ["fingerprint", "fingerprint_bytes"]
+
+
+def _tag(kind: bytes, payload: bytes = b"") -> bytes:
+    return kind + len(payload).to_bytes(8, "big") + payload
+
+
+class _Memo:
+    """Identity memo for shared substructure and cycles.
+
+    ``keep`` pins every memoised object for the duration of the walk —
+    temporaries produced by ``cache_key_parts()`` must not be collected
+    mid-walk, or a recycled ``id`` would alias two distinct objects.
+    """
+
+    __slots__ = ("index", "keep")
+
+    def __init__(self) -> None:
+        self.index: dict[int, int] = {}
+        self.keep: list = []
+
+
+def _content_sorted(values) -> list:
+    """Sort a salted-iteration container into a canonical order.
+
+    Sort keys are computed with a *fresh* memo so they depend only on each
+    element's content, never on where shared substructure happened to be
+    visited first in the enclosing walk.
+    """
+    try:
+        return sorted(values, key=lambda x: _encode(x, _Memo()))
+    except RecursionError as exc:
+        raise FingerprintError(
+            "cyclic structure through a set/dict cannot be canonically ordered"
+        ) from exc
+
+
+def _encode(obj, memo: _Memo) -> bytes:
+    # -- primitives (never memoised: small ints/strs may be interned) ------
+    if obj is None:
+        return _tag(b"N")
+    if obj is True:
+        return _tag(b"T")
+    if obj is False:
+        return _tag(b"F")
+    if isinstance(obj, int):
+        return _tag(b"i", str(obj).encode())
+    if isinstance(obj, float):
+        return _tag(b"f", repr(obj).encode())
+    if isinstance(obj, str):
+        return _tag(b"s", obj.encode("utf-8"))
+    if isinstance(obj, bytes):
+        return _tag(b"b", obj)
+    if isinstance(obj, enum.Enum):
+        cls = type(obj)
+        return _tag(b"E", f"{cls.__module__}.{cls.__qualname__}.{obj.name}".encode())
+    if isinstance(obj, type):
+        return _tag(b"C", f"{obj.__module__}.{obj.__qualname__}".encode())
+
+    # -- containers and objects: memoise on identity -----------------------
+    ref = memo.index.get(id(obj))
+    if ref is not None:
+        return _tag(b"R", str(ref).encode())
+    memo.index[id(obj)] = len(memo.index)
+    memo.keep.append(obj)
+
+    if isinstance(obj, (tuple, list)):
+        kind = b"t" if isinstance(obj, tuple) else b"l"
+        return _tag(kind, b"".join(_encode(x, memo) for x in obj))
+    if isinstance(obj, (set, frozenset)):
+        # Canonicalise the order BEFORE touching the shared memo: encoding
+        # elements in salted iteration order would assign back-reference
+        # indices for shared substructure in that order, leaking the salt
+        # into the sorted output (two events sharing one ObjectId encode
+        # differently depending on which is walked first).
+        return _tag(
+            b"S", b"".join(_encode(x, memo) for x in _content_sorted(obj))
+        )
+    if isinstance(obj, dict):
+        items = _content_sorted(obj.items())
+        return _tag(
+            b"d",
+            b"".join(_encode(k, memo) + _encode(v, memo) for k, v in items),
+        )
+
+    parts = getattr(obj, "cache_key_parts", None)
+    if parts is not None and callable(parts):
+        cls = type(obj)
+        body = _encode(parts(), memo)
+        return _tag(b"M", _tag(b"s", f"{cls.__module__}.{cls.__qualname__}".encode()) + body)
+
+    if dataclasses.is_dataclass(obj) and not isinstance(obj, type):
+        cls = type(obj)
+        body = [_tag(b"s", f"{cls.__module__}.{cls.__qualname__}".encode())]
+        for f in dataclasses.fields(obj):
+            body.append(_tag(b"s", f.name.encode()))
+            body.append(_encode(getattr(obj, f.name), memo))
+        return _tag(b"D", b"".join(body))
+
+    if isinstance(obj, functools.partial):
+        return _tag(
+            b"P",
+            _encode(obj.func, memo)
+            + _encode(obj.args, memo)
+            + _encode(dict(obj.keywords), memo),
+        )
+    if isinstance(obj, types.MethodType):
+        return _tag(
+            b"m", _encode(obj.__func__, memo) + _encode(obj.__self__, memo)
+        )
+    if isinstance(obj, types.FunctionType):
+        try:
+            cells = tuple(c.cell_contents for c in (obj.__closure__ or ()))
+        except ValueError as exc:  # unfilled cell: recursion still being set up
+            raise FingerprintError(
+                f"function {obj.__qualname__} has an unfilled closure cell"
+            ) from exc
+        body = [
+            _tag(b"s", f"{obj.__module__}.{obj.__qualname__}".encode()),
+            _encode(obj.__code__, memo),
+            _encode(obj.__defaults__, memo),
+            _encode(cells, memo),
+        ]
+        return _tag(b"L", b"".join(body))
+    if isinstance(obj, types.CodeType):
+        return _tag(
+            b"c",
+            _tag(b"b", obj.co_code)
+            + _encode(obj.co_names, memo)
+            + _encode(obj.co_consts, memo),
+        )
+
+    raise FingerprintError(
+        f"no stable fingerprint for {type(obj).__module__}."
+        f"{type(obj).__qualname__} instance {obj!r}"
+    )
+
+
+def fingerprint_bytes(obj) -> bytes:
+    """The canonical byte encoding of ``obj`` (mainly for tests)."""
+    return _encode(obj, _Memo())
+
+
+def fingerprint(obj) -> str:
+    """Hex SHA-256 of the canonical encoding of ``obj``.
+
+    Stable across processes and hash seeds; raises
+    :class:`~repro.core.errors.FingerprintError` for values outside the
+    encodable fragment.
+    """
+    return hashlib.sha256(fingerprint_bytes(obj)).hexdigest()

@@ -8,10 +8,34 @@ authors' PVS verification: every claim of Sections 4–7 is mechanically
 replayed, and the side conditions (composability, properness) can be
 *dropped* to confirm that the conclusions genuinely depend on them.
 
+The paper-to-function map (cross-referenced from DESIGN.md §3 and §8):
+
+========================  ===========================  ====================
+paper claim               statement (abbreviated)      function
+========================  ===========================  ====================
+Property 5                ``Γ‖Γ = Γ``                  :func:`law_property5`
+Lemma 6                   ``Γ₁‖Γ₂`` is the weakest     :func:`law_lemma6`
+                          common refinement
+Theorem 7                 ``Γ'⊑Γ ⇒ Γ'‖Δ ⊑ Γ‖Δ``        :func:`law_theorem7`
+                          (interface specs)
+Property 12               ``‖`` commutative/assoc.     :func:`law_property12`
+Lemma 13                  soundness closed under ``‖``  :func:`law_lemma13`
+Lemma 15                  hiding stable under           :func:`law_lemma15`
+                          properness (symbolic)
+Theorem 16                Theorem 7 for general specs  :func:`law_theorem16`
+                          (composable + proper)
+Property 17               composability preserved      :func:`law_property17`
+                          when no objects added
+Theorem 18                ``Γ'⊑Γ ∧ O(Γ')=O(Γ)``        :func:`law_theorem18`
+                          ``⇒ Γ'‖Δ ⊑ Γ‖Δ``
+========================  ===========================  ====================
+
 Functions raise :class:`~repro.core.errors.RefinementError` when a claim's
 *premise* fails on the supplied instance — a failed premise means the
 instance does not exercise the claim, which callers should know about
-rather than read as confirmation.
+rather than read as confirmation.  The claims suite
+(:func:`repro.paper.claims.build_obligations`) wraps these replays as
+engine-runnable obligations.
 """
 
 from __future__ import annotations

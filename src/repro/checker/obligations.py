@@ -1,10 +1,34 @@
 """Proof obligations: named, reproducible checking tasks with a log.
 
-The paper's PVS development is replayed here as a list of
-:class:`Obligation` values — one per numbered claim and worked example —
-run by a :class:`ProofSession` that collects verdicts, timings, and
-counterexamples, and renders them as a table (the content of
-EXPERIMENTS.md is generated from such a session).
+The paper (Johnsen & Owe, *Composition and Refinement for Partial
+Object Specifications*) verifies its claims in PVS; this repository
+replays them as a list of :class:`Obligation` values — one per numbered
+claim and worked example — run by a :class:`ProofSession` that collects
+verdicts, timings, and counterexamples, and renders them as a table (the
+content of EXPERIMENTS.md is generated from such a session).
+
+An obligation is a *closed* checking task: its ``check`` thunk captures
+the specifications, universe, and strategy it needs, takes no arguments,
+and returns a :class:`~repro.checker.result.CheckResult`.  ``expected``
+records what the paper claims (``True`` for theorems, ``False`` for
+deliberate non-examples such as "RW does not refine Read2"), so a
+session reports *agreement with the paper*, not bare verdicts.  The
+claims discharged per obligation map onto the paper as follows (see
+DESIGN.md §3 for the architecture and §8 for how the engine runs them):
+
+* refinement obligations decide Definition 2 via
+  :func:`repro.checker.refinement.check_refinement`;
+* law obligations replay Lemma 6, Theorem 7, Theorem 16 and the other
+  numbered claims via the ``law_*`` functions of
+  :mod:`repro.checker.laws`;
+* soundness obligations decide the Section 2 condition via
+  :func:`repro.checker.soundness.check_soundness` (Lemma 13 is the
+  composition-preserves-soundness law).
+
+Because obligations never share mutable state, a session of them is
+embarrassingly parallel; :mod:`repro.checker.engine` exploits exactly
+this, producing sessions indistinguishable from :meth:`ProofSession.run`
+up to wall time.
 """
 
 from __future__ import annotations

@@ -1,20 +1,40 @@
-"""Refinement checking strategies.
+"""Refinement checking strategies (paper Definition 2).
 
-``check_refinement(Γ', Γ)`` decides ``Γ' ⊑ Γ`` (Definition 2):
+Definition 2 of the paper declares ``Γ' ⊑ Γ`` — specification ``Γ'``
+*refines* ``Γ`` — when three conditions hold:
 
-1. conditions 1–2 (object set, alphabet inclusion) are decided exactly and
-   symbolically over the infinite alphabets;
-2. condition 3 (``∀h ∈ T(Γ') : h/α(Γ) ∈ T(Γ)``) is decided by strategy:
+1. ``Obj(Γ) ⊆ Obj(Γ')`` — the refining specification speaks for at least
+   the same objects;
+2. ``α(Γ) ⊆ α(Γ')`` — its alphabet extends the abstract one;
+3. ``∀h ∈ T(Γ') : h/α(Γ) ∈ T(Γ)`` — every concrete trace, projected to
+   the abstract alphabet, is an abstract trace.
 
-   * ``"automata"`` — compile both trace sets to DFAs over a finite
-     universe, lift the abstract side through the projection
-     (:func:`~repro.automata.build.lift_dfa`), and decide language
-     inclusion with a shortest counterexample.  Exact over the universe.
-   * ``"bounded"`` — breadth-first enumeration of ``T(Γ')`` up to a depth
-     bound, checking the projection of each trace.  Refutation-complete up
-     to the bound; never proves.
-   * ``"auto"`` — automata, falling back to bounded when a state budget is
-     exceeded.
+``check_refinement(Γ', Γ)`` decides all three.  Conditions 1–2 are
+*static*: decided exactly and symbolically over the infinite alphabets
+by :func:`repro.core.refinement.check_static` (a failure yields verdict
+``STATIC_FAILED`` with the violated condition named).  Condition 3 is a
+trace-set inclusion, decided over a finite universe by strategy:
+
+* ``"automata"`` — compile both trace sets to DFAs
+  (:func:`repro.checker.compile.spec_dfa`, cache-aware per DESIGN.md
+  §8), lift the abstract side through the projection
+  (:func:`~repro.automata.build.lift_dfa`), and decide language
+  inclusion with a shortest counterexample.  Exact over the universe:
+  verdict ``PROVED`` or ``REFUTED`` with a witness trace.
+* ``"bounded"`` — breadth-first enumeration of ``T(Γ')``
+  (:func:`repro.checker.bounded.enumerate_traces`) up to a depth bound,
+  checking the projection of each trace.  Refutation-complete up to the
+  bound; never proves (verdict ``BOUNDED_OK`` at best).
+* ``"auto"`` — automata, falling back to bounded when the state budget
+  (:class:`~repro.core.errors.StateSpaceLimitExceeded`) is exhausted.
+
+The paper's laws about refinement — Theorem 7 (for interface
+specifications, ``Γ' ⊑ Γ ⇒ Γ'‖Δ ⊑ Γ‖Δ``) and Theorem 16 (the same
+congruence for general specifications, under composability and
+properness side conditions) — are replayed on top of this checker by
+:mod:`repro.checker.laws`.  DESIGN.md §3 situates this module in the
+checker layer; §8 documents how the obligation engine parallelises and
+caches calls into it.
 """
 
 from __future__ import annotations

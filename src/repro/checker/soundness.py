@@ -1,10 +1,29 @@
 """Soundness of specifications with respect to semantic components.
 
-Section 2: an interface specification ``Γ`` of an object ``o`` is *sound*
-when ``∀h ∈ T^o : h/α(Γ) ∈ T(Γ)``; the component generalisation relates
-the traces of a semantic component ``C`` (Definition 9) to the
-specification's trace set.  Lemma 13 states that composition preserves
-soundness — replayed by the law harness on concrete components.
+Section 2 of the paper: an interface specification ``Γ`` of an object
+``o`` is *sound* when every trace the object can actually produce is
+admitted by the specification after projection —
+``∀h ∈ T^o : h/α(Γ) ∈ T(Γ)``.  The component generalisation relates the
+traces of a semantic component ``C`` (Definition 9: a set of objects
+with their machines and an alphabet hint) to the specification's trace
+set.  Soundness is what ties the partial-specification discipline to
+reality: a spec may say *less* than the component does (partiality),
+never *other* than it does.
+
+:func:`check_soundness` decides the condition over a finite universe as
+a DFA language inclusion, exactly like refinement condition 3 — the
+component's trace DFA (:func:`repro.checker.compile.traceset_dfa`)
+against the specification's, lifted through the alphabet projection.
+:func:`universe_for_component` builds the canonical universe covering
+the component's and the specifications' mentioned values.
+
+Lemma 13 — if ``Γ`` and ``Δ`` are sound specifications of ``C``, so is
+``Γ‖Δ`` — is replayed on concrete components by
+:func:`repro.checker.laws.law_lemma13`, with this module discharging
+both premises and the conclusion.  DESIGN.md §3 places this module in
+the checker layer; the obligation engine (§8) runs soundness obligations
+in parallel with the rest, with both DFA compilations served by the
+machine cache.
 """
 
 from __future__ import annotations

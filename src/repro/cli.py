@@ -24,23 +24,89 @@ Exit status is 0 when the query's answer is positive (refines / equal /
 composable / deadlock-free; for ``claims``, full agreement; for
 ``monitor``/``send``, no violation), 1 otherwise, 2 for usage or input
 errors.
+
+The obligation-running commands (``claims``, ``check --refines/--equal``,
+``verify``) accept ``--jobs N`` to fan independent obligations out to
+worker processes and ``--cache-dir DIR`` to reuse compiled machines
+across runs (``REPRO_CACHE_DIR`` sets a default; ``--no-cache`` forces
+the cache off).  Results are independent of both knobs — see
+``repro.checker.engine``.
 """
 
 from __future__ import annotations
 
 import argparse
+import os
 import sys
 from pathlib import Path
 
-from repro.checker.equality import specs_equal
-from repro.checker.obligations import ProofSession
-from repro.checker.refinement import check_refinement
+from repro.checker.engine import EngineConfig, ObligationEngine, ObligationSource
 from repro.checker.universe import FiniteUniverse
 from repro.core.composition import check_composable, compose
 from repro.core.errors import ReproError
 from repro.core.specification import Specification
 
 __all__ = ["main", "build_parser"]
+
+
+def _add_engine_flags(sub: argparse.ArgumentParser) -> None:
+    sub.add_argument(
+        "--jobs",
+        type=int,
+        default=1,
+        metavar="N",
+        help="run obligations on N worker processes (default 1: inline)",
+    )
+    sub.add_argument(
+        "--timeout",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help="per-obligation timeout (enforced when --jobs > 1)",
+    )
+    sub.add_argument(
+        "--cache-dir",
+        default=None,
+        metavar="DIR",
+        help="content-addressed machine cache directory "
+        "(default: $REPRO_CACHE_DIR if set, else no cache)",
+    )
+    sub.add_argument(
+        "--no-cache",
+        action="store_true",
+        help="disable the machine cache even if REPRO_CACHE_DIR is set",
+    )
+
+
+def _engine_config(args) -> EngineConfig:
+    cache_dir = args.cache_dir
+    if cache_dir is None:
+        cache_dir = os.environ.get("REPRO_CACHE_DIR") or None
+    if args.no_cache:
+        cache_dir = None
+    return EngineConfig(
+        jobs=args.jobs, timeout=args.timeout, cache_dir=cache_dir
+    )
+
+
+def _run_engine(source: ObligationSource, config: EngineConfig, out):
+    """Run a source through the engine, printing stats when interesting."""
+    run = ObligationEngine(config).run(source)
+    if config.cache_dir is not None:
+        m = run.metrics
+        print(
+            f"cache: {m.cache_hits} hits, {m.cache_misses} misses, "
+            f"{m.cache_uncacheable} uncacheable "
+            f"({m.cache_stores} stored; dir {config.cache_dir})",
+            file=out,
+        )
+    if config.jobs > 1:
+        print(
+            f"engine: {len(run.session.outcomes)} obligations on "
+            f"{run.jobs} workers in {run.wall_seconds:.2f}s",
+            file=out,
+        )
+    return run
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -54,6 +120,7 @@ def build_parser() -> argparse.ArgumentParser:
     p_claims = sub.add_parser("claims", help="replay the paper's claims")
     p_claims.add_argument("--details", action="store_true")
     p_claims.add_argument("--env-objects", type=int, default=2)
+    _add_engine_flags(p_claims)
 
     p_parse = sub.add_parser("parse", help="parse an OUN document")
     p_parse.add_argument("file", type=Path)
@@ -120,6 +187,7 @@ def build_parser() -> argparse.ArgumentParser:
         "--strategy", choices=("auto", "automata", "bounded"), default="auto"
     )
     p_check.add_argument("--depth", type=int, default=8)
+    _add_engine_flags(p_check)
 
     p_matrix = sub.add_parser(
         "matrix", help="pairwise refinement matrix of a document's specs"
@@ -137,6 +205,7 @@ def build_parser() -> argparse.ArgumentParser:
     p_verify.add_argument(
         "--strategy", choices=("auto", "automata", "bounded"), default="auto"
     )
+    _add_engine_flags(p_verify)
 
     p_dead = sub.add_parser("deadlock", help="quiescence analysis of a spec")
     p_dead.add_argument("file", type=Path)
@@ -165,11 +234,11 @@ def _pick(specs: dict[str, Specification], name: str) -> Specification:
 
 
 def _cmd_claims(args, out) -> int:
-    from repro.paper.claims import build_obligations
-
-    session = ProofSession().run(
-        build_obligations(env_objects=args.env_objects)
+    source = ObligationSource.of(
+        "repro.paper.claims:build_obligations", env_objects=args.env_objects
     )
+    run = _run_engine(source, _engine_config(args), out)
+    session = run.session
     print(session.format_table(), file=out)
     if args.details:
         print(file=out)
@@ -324,31 +393,35 @@ def _cmd_send(args, out) -> int:
 
 
 def _cmd_check(args, out) -> int:
+    if args.refines or args.equal:
+        # Both single-query forms run through the obligation engine so
+        # --jobs/--cache-dir apply; jobs=1 without a cache is the plain
+        # inline check it always was.
+        kind, (left, right) = (
+            ("refines", args.refines) if args.refines else ("equal", args.equal)
+        )
+        try:
+            text = args.file.read_text()
+        except OSError as exc:
+            raise ReproError(f"cannot read {args.file}: {exc}") from exc
+        source = ObligationSource.of(
+            "repro.oun.verify:query_obligations",
+            text=text,
+            queries=((kind, left, right),),
+            env_objects=args.env_objects,
+            data_values=args.data_values,
+            strategy=args.strategy,
+            depth=args.depth,
+        )
+        run = _run_engine(source, _engine_config(args), out)
+        outcome = run.session.outcomes[0]
+        if outcome.error is not None:
+            raise ReproError(outcome.error)
+        result = outcome.result
+        symbol = "⊑" if kind == "refines" else "≡"
+        print(f"{left} {symbol} {right}: {result.explain()}", file=out)
+        return 0 if result.holds else 1
     specs = _load(args.file)
-    if args.refines:
-        concrete = _pick(specs, args.refines[0])
-        abstract = _pick(specs, args.refines[1])
-        universe = FiniteUniverse.for_specs(
-            concrete, abstract,
-            env_objects=args.env_objects, data_values=args.data_values,
-        )
-        result = check_refinement(
-            concrete, abstract, universe,
-            strategy=args.strategy, depth=args.depth,
-        )
-        print(
-            f"{concrete.name} ⊑ {abstract.name}: {result.explain()}", file=out
-        )
-        return 0 if result.holds else 1
-    if args.equal:
-        a = _pick(specs, args.equal[0])
-        b = _pick(specs, args.equal[1])
-        universe = FiniteUniverse.for_specs(
-            a, b, env_objects=args.env_objects, data_values=args.data_values
-        )
-        result = specs_equal(a, b, universe)
-        print(f"{a.name} ≡ {b.name}: {result.explain()}", file=out)
-        return 0 if result.holds else 1
     a = _pick(specs, args.compose[0])
     b = _pick(specs, args.compose[1])
     report = check_composable(a, b)
@@ -380,28 +453,45 @@ def _cmd_matrix(args, out) -> int:
 
 
 def _cmd_verify(args, out) -> int:
-    from repro.oun import verify_text
+    from repro.oun.parser import parse_document
+    from repro.oun.verify import AssertionOutcome
 
     try:
         text = args.file.read_text()
     except OSError as exc:
         raise ReproError(f"cannot read {args.file}: {exc}") from exc
-    outcomes = verify_text(
-        text,
+    assertions = parse_document(text).assertions
+    if not assertions:
+        print("document declares no assertions", file=out)
+        return 0
+    source = ObligationSource.of(
+        "repro.oun.verify:assertion_obligations",
+        text=text,
         env_objects=args.env_objects,
         data_values=args.data_values,
         strategy=args.strategy,
     )
-    if not outcomes:
-        print("document declares no assertions", file=out)
-        return 0
-    for o in outcomes:
-        print(o.describe(), file=out)
-    failed = sum(1 for o in outcomes if not o.passed)
-    print(
-        f"\n{len(outcomes) - failed}/{len(outcomes)} assertions hold",
-        file=out,
-    )
+    run = _run_engine(source, _engine_config(args), out)
+    # assertion_obligations yields obligations in document order, so the
+    # engine's outcomes zip positionally with the parsed assertions.
+    failed = 0
+    for a, outcome in zip(assertions, run.session.outcomes):
+        if outcome.error is not None:
+            failed += 1
+            neg = "not " if a.negated else ""
+            print(
+                f"assert {neg}{a.left} {a.kind} {a.right} "
+                f"(line {a.line}): ERROR — {outcome.error}",
+                file=out,
+            )
+            continue
+        passed = outcome.result.holds != a.negated
+        failed += 0 if passed else 1
+        print(
+            AssertionOutcome(a, outcome.result, passed).describe(), file=out
+        )
+    n = len(run.session.outcomes)
+    print(f"\n{n - failed}/{n} assertions hold", file=out)
     return 0 if failed == 0 else 1
 
 

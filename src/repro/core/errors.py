@@ -23,6 +23,9 @@ __all__ = [
     "OUNElaborationError",
     "RuntimeModelError",
     "MonitorViolation",
+    "FingerprintError",
+    "CacheError",
+    "EngineError",
 ]
 
 
@@ -101,3 +104,20 @@ class MonitorViolation(ReproError):
         super().__init__(message)
         self.trace = trace
         self.event = event
+
+
+class FingerprintError(ReproError):
+    """Raised when a value has no stable content fingerprint.
+
+    Compiled-machine caching treats this as "uncacheable": the artifact is
+    compiled directly and never stored, so an unfingerprintable object can
+    degrade performance but never correctness.
+    """
+
+
+class CacheError(ReproError):
+    """Raised for ill-formed cache configurations (not for cache misses)."""
+
+
+class EngineError(ReproError):
+    """Raised for ill-formed obligation-engine configurations or sources."""

@@ -29,6 +29,7 @@ from __future__ import annotations
 from abc import ABC, abstractmethod
 from typing import Hashable, Iterable
 
+from repro.core.errors import FingerprintError
 from repro.core.events import Event
 from repro.core.traces import Trace
 
@@ -82,6 +83,23 @@ class TraceMachine(ABC):
         predicate, not in its alphabet.  Subclasses override.
         """
         return frozenset()
+
+    def cache_key_parts(self):
+        """The structural content that determines this machine's behaviour.
+
+        Used by :mod:`repro.checker.fingerprint` to derive content-addressed
+        cache keys for compiled artifacts (DESIGN.md §8).  Subclasses return
+        the *definition* of the predicate — regex ASTs, sorts, counter
+        definitions, sub-machines — never derived state such as compiled
+        NFAs or memo tables, which may differ between equal machines.
+
+        The default refuses: a machine without an explicit content key is
+        treated as uncacheable, which costs recompilation but can never
+        cause a stale-cache unsoundness.
+        """
+        raise FingerprintError(
+            f"{type(self).__qualname__} does not define cache_key_parts()"
+        )
 
     # ------------------------------------------------------------------
     # derived operations

@@ -35,6 +35,9 @@ class TrueMachine(TraceMachine):
     def ok(self, state: Hashable) -> bool:
         return True
 
+    def cache_key_parts(self):
+        return ()
+
     def __eq__(self, other) -> bool:
         return type(other) is TrueMachine
 
@@ -56,6 +59,9 @@ class FalseMachine(TraceMachine):
 
     def ok(self, state: Hashable) -> bool:
         return False
+
+    def cache_key_parts(self):
+        return ()
 
     def __eq__(self, other) -> bool:
         return type(other) is FalseMachine
@@ -84,6 +90,9 @@ class _Product(TraceMachine):
         for m in self.parts:
             out |= m.mentioned_values()
         return out
+
+    def cache_key_parts(self):
+        return self.parts
 
 
 class AndMachine(_Product):
@@ -123,6 +132,9 @@ class NotMachine(TraceMachine):
 
     def mentioned_values(self) -> frozenset:
         return self.inner.mentioned_values()
+
+    def cache_key_parts(self):
+        return (self.inner,)
 
     def __repr__(self) -> str:
         return f"NotMachine({self.inner!r})"

@@ -237,6 +237,9 @@ class CountingMachine(TraceMachine):
                 out |= c.pattern.mentioned_values()
         return out
 
+    def cache_key_parts(self):
+        return (self.counters, self.condition, self.saturate_at)
+
     def __repr__(self) -> str:
         names = ", ".join(str(c) for c in self.counters)
         return f"CountingMachine([{names}], {self.condition})"

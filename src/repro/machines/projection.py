@@ -49,6 +49,9 @@ class FilterMachine(TraceMachine):
             out = out | frozenset(mentioned())
         return out
 
+    def cache_key_parts(self):
+        return (self.event_set, self.inner)
+
     def __repr__(self) -> str:
         return f"FilterMachine({self.event_set!r}, {self.inner!r})"
 
@@ -78,6 +81,9 @@ class OnlyMachine(TraceMachine):
         if mentioned is not None:
             return frozenset(mentioned())
         return frozenset()
+
+    def cache_key_parts(self):
+        return (self.event_set,)
 
     def __repr__(self) -> str:
         return f"OnlyMachine({self.event_set!r})"

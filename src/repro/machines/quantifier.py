@@ -104,5 +104,14 @@ class ForallMachine(TraceMachine):
         body_mentions = self._body(witness).mentioned_values() - {witness}
         return frozenset(self.sort.mentioned_values()) | body_mentions
 
+    def cache_key_parts(self):
+        # By uniformity (module docstring), the body machine for the
+        # canonical witness determines the body for every value of the
+        # sort — so the factory closure itself never enters the key.
+        parts = (self.sort, self._body(self.sort.witness()))
+        if self._relevant is not None:
+            parts = parts + (self._relevant,)
+        return parts
+
     def __repr__(self) -> str:
         return f"ForallMachine(∀x ∈ {self.sort})"

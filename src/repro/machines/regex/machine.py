@@ -67,6 +67,11 @@ class PrsMachine(TraceMachine):
         out |= set(self.free_env.values())
         return frozenset(out)
 
+    def cache_key_parts(self):
+        # The regex AST plus the free-variable context fully determine the
+        # compiled NFA; the NFA itself stays out of the key.
+        return (self.regex, self.free_domains, self.free_env)
+
     # -- extras ----------------------------------------------------------
 
     def matches_word(self, trace) -> bool:

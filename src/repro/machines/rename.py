@@ -54,5 +54,8 @@ class RenameMachine(TraceMachine):
             forward.get(v, v) for v in self.inner.mentioned_values()
         )
 
+    def cache_key_parts(self):
+        return (self.inverse, self.inner)
+
     def __repr__(self) -> str:
         return f"RenameMachine({self.inverse!r}, {self.inner!r})"

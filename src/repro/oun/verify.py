@@ -11,21 +11,36 @@ specifications::
 ``verify_document`` elaborates the document and discharges every
 assertion with the checker, returning one outcome per assertion — the
 same develop-and-check loop the paper envisions for OUN, in one file.
+
+:func:`assertion_obligations` and :func:`query_obligations` expose the
+same checks as :class:`~repro.checker.obligations.Obligation` lists, in
+the picklable module-level-factory form the parallel obligation engine
+(:mod:`repro.checker.engine`) requires: the CLI hands the engine a
+``"repro.oun.verify:assertion_obligations"`` source plus the document
+text, and every worker re-elaborates the document for itself.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import Sequence
 
-from repro.checker.equality import trace_sets_equal
+from repro.checker.equality import specs_equal, trace_sets_equal
+from repro.checker.obligations import Obligation
 from repro.checker.refinement import check_refinement
 from repro.checker.result import CheckResult
 from repro.checker.universe import FiniteUniverse
-from repro.core.errors import OUNElaborationError
+from repro.core.errors import OUNElaborationError, ReproError
 from repro.core.specification import Specification
 from repro.oun.parser import Assertion, Document, parse_document
 
-__all__ = ["AssertionOutcome", "verify_document", "verify_text"]
+__all__ = [
+    "AssertionOutcome",
+    "verify_document",
+    "verify_text",
+    "assertion_obligations",
+    "query_obligations",
+]
 
 
 @dataclass(frozen=True, slots=True)
@@ -107,3 +122,129 @@ def verify_text(
         data_values=data_values,
         strategy=strategy,
     )
+
+
+# ----------------------------------------------------------------------
+# obligation factories (parallel-engine entry points)
+# ----------------------------------------------------------------------
+
+
+def _elaborate_text(text: str) -> dict[str, Specification]:
+    from repro.oun.elaborate import elaborate
+
+    return elaborate(parse_document(text))
+
+
+def _pick_spec(specs: dict[str, Specification], name: str) -> Specification:
+    spec = specs.get(name)
+    if spec is None:
+        known = ", ".join(sorted(specs))
+        raise ReproError(f"no specification named {name!r} (have: {known})")
+    return spec
+
+
+def _query_check(
+    specs: dict[str, Specification],
+    kind: str,
+    left_name: str,
+    right_name: str,
+    env_objects: int,
+    data_values: int,
+    strategy: str,
+    depth: int,
+):
+    left = _pick_spec(specs, left_name)
+    right = _pick_spec(specs, right_name)
+    universe = FiniteUniverse.for_specs(
+        left, right, env_objects=env_objects, data_values=data_values
+    )
+    if kind == "refines":
+        return lambda: check_refinement(
+            left, right, universe, strategy=strategy, depth=depth
+        )
+    if kind == "equal":
+        return lambda: specs_equal(left, right, universe)
+    raise ReproError(f"unknown query kind {kind!r}")
+
+
+def query_obligations(
+    text: str,
+    queries: Sequence[Sequence[str]],
+    env_objects: int = 2,
+    data_values: int = 1,
+    strategy: str = "auto",
+    depth: int = 8,
+) -> list[Obligation]:
+    """Obligations for explicit queries over an OUN document.
+
+    ``queries`` is a sequence of ``(kind, left, right)`` triples with
+    ``kind`` one of ``"refines"`` / ``"equal"`` — the shape of the CLI's
+    ``check --refines A B`` / ``--equal A B`` flags.  Unknown
+    specification names raise immediately (so the engine's parent-side
+    build fails before any worker is spawned).
+    """
+    specs = _elaborate_text(text)
+    obligations = []
+    for i, (kind, left, right) in enumerate(queries, start=1):
+        symbol = "⊑" if kind == "refines" else "≡"
+        obligations.append(
+            Obligation(
+                ident=f"Q{i}",
+                title=f"{left} {symbol} {right}",
+                check=_query_check(
+                    specs, kind, left, right,
+                    env_objects, data_values, strategy, depth,
+                ),
+                expected=True,
+                source=f"query {kind} {left} {right}",
+            )
+        )
+    return obligations
+
+
+def assertion_obligations(
+    text: str,
+    env_objects: int = 2,
+    data_values: int = 1,
+    strategy: str = "auto",
+) -> list[Obligation]:
+    """One obligation per ``assert`` line of an OUN document.
+
+    Obligations appear in document order, so engine outcomes zip
+    positionally with ``parse_document(text).assertions``.  A negated
+    assertion becomes an ``expected=False`` obligation — agreement then
+    demands an explicit refutation, exactly like the claims suite's
+    deliberate non-examples.
+    """
+    doc = parse_document(text)
+    from repro.oun.elaborate import elaborate
+
+    specs = elaborate(doc)
+    obligations = []
+    for i, a in enumerate(doc.assertions, start=1):
+        left = _pick_spec(specs, a.left)
+        right = _pick_spec(specs, a.right)
+        universe = FiniteUniverse.for_specs(
+            left, right, env_objects=env_objects, data_values=data_values
+        )
+        if a.kind == "refines":
+            check = (
+                lambda l=left, r=right, u=universe: check_refinement(
+                    l, r, u, strategy=strategy
+                )
+            )
+            symbol = "⊑"
+        else:
+            check = lambda l=left, r=right, u=universe: trace_sets_equal(l, r, u)
+            symbol = "≡"
+        neg = "¬ " if a.negated else ""
+        obligations.append(
+            Obligation(
+                ident=f"A{i}",
+                title=f"{neg}{a.left} {symbol} {a.right}",
+                check=check,
+                expected=not a.negated,
+                source=f"line {a.line}",
+            )
+        )
+    return obligations

@@ -13,10 +13,21 @@ import asyncio
 import bisect
 import time
 
-__all__ = ["LatencyHistogram", "ServiceMetrics", "DEFAULT_BUCKETS"]
+__all__ = [
+    "LatencyHistogram",
+    "ServiceMetrics",
+    "CheckerMetrics",
+    "DEFAULT_BUCKETS",
+    "OBLIGATION_BUCKETS",
+]
 
 #: Upper bounds (seconds) of the latency buckets: 1µs … ~1s, log-spaced.
 DEFAULT_BUCKETS = tuple(1e-6 * 4**i for i in range(11))
+
+#: Buckets for whole proof obligations: 1ms … ~1000s, log-spaced.  One
+#: obligation compiles DFAs and runs automaton products, so it lives three
+#: orders of magnitude above a single online event check.
+OBLIGATION_BUCKETS = tuple(1e-3 * 4**i for i in range(11))
 
 
 class LatencyHistogram:
@@ -51,6 +62,114 @@ class LatencyHistogram:
             }
             | {"overflow": self.counts[-1]},
         }
+
+
+class CheckerMetrics:
+    """Counters and wall-time histogram for one obligation-engine run.
+
+    Mirrors :class:`ServiceMetrics` in shape (monotonic counters + the
+    shared :class:`LatencyHistogram` type + a stable ``snapshot()``) but
+    measures the *offline* checker: whole proof obligations instead of
+    single events, plus the machine cache's hit/miss/store/error and
+    uncacheable counts.  Mutation happens either on one thread (inline
+    runs) or by merging per-worker deltas on the parent (parallel runs),
+    so plain integers are race-free here too.
+    """
+
+    def __init__(self) -> None:
+        self.obligations_run = 0
+        self.agreements = 0
+        self.disagreements = 0
+        self.errors = 0
+        self.timeouts = 0
+        self.cache_hits = 0
+        self.cache_misses = 0
+        self.cache_stores = 0
+        self.cache_errors = 0
+        self.cache_uncacheable = 0
+        self.wall = LatencyHistogram(OBLIGATION_BUCKETS)
+
+    # -- recording -----------------------------------------------------------
+
+    def record_outcome(self, outcome) -> None:
+        """One finished :class:`~repro.checker.obligations.ObligationOutcome`."""
+        self.obligations_run += 1
+        self.wall.observe(outcome.seconds)
+        if outcome.error is not None:
+            self.errors += 1
+            if "timeout" in outcome.error.lower():
+                self.timeouts += 1
+        elif outcome.agrees:
+            self.agreements += 1
+        else:
+            self.disagreements += 1
+
+    def record_cache(
+        self,
+        *,
+        hits: int = 0,
+        misses: int = 0,
+        stores: int = 0,
+        errors: int = 0,
+        uncacheable: int = 0,
+    ) -> None:
+        """Merge a cache-stats delta (one worker's, or a whole run's)."""
+        self.cache_hits += hits
+        self.cache_misses += misses
+        self.cache_stores += stores
+        self.cache_errors += errors
+        self.cache_uncacheable += uncacheable
+
+    @property
+    def cache_lookups(self) -> int:
+        return self.cache_hits + self.cache_misses + self.cache_uncacheable
+
+    @property
+    def cache_hit_rate(self) -> float:
+        lookups = self.cache_lookups
+        return self.cache_hits / lookups if lookups else 0.0
+
+    # -- reporting -----------------------------------------------------------
+
+    def snapshot(self) -> dict:
+        """A plain-dict snapshot; keys are stable for tests and dumps."""
+        return {
+            "obligations_run": self.obligations_run,
+            "agreements": self.agreements,
+            "disagreements": self.disagreements,
+            "errors": self.errors,
+            "timeouts": self.timeouts,
+            "cache_hits": self.cache_hits,
+            "cache_misses": self.cache_misses,
+            "cache_stores": self.cache_stores,
+            "cache_errors": self.cache_errors,
+            "cache_uncacheable": self.cache_uncacheable,
+            "wall": self.wall.snapshot(),
+        }
+
+    def format_text(self) -> str:
+        """A compact human-readable dump (one counter per line)."""
+        snap = self.snapshot()
+        lines = [
+            f"{key}={snap[key]}"
+            for key in (
+                "obligations_run",
+                "agreements",
+                "disagreements",
+                "errors",
+                "timeouts",
+                "cache_hits",
+                "cache_misses",
+                "cache_stores",
+                "cache_errors",
+                "cache_uncacheable",
+            )
+        ]
+        lines.append(
+            f"wall: count={self.wall.count} mean={self.wall.mean:.3f}s "
+            f"total={self.wall.total:.3f}s"
+        )
+        return "\n".join(lines)
 
 
 class ServiceMetrics:

@@ -10,6 +10,14 @@ Specifications whose trace sets are not machine-defined (compositions
 involve existential hiding) are recorded as *unmonitorable* with the
 reason, so a session binding to one gets a precise error instead of a
 missing name.
+
+Machines are additionally *interned* process-wide by content fingerprint
+(:mod:`repro.checker.fingerprint`): two registries — or two specs within
+one registry — whose trace sets have identical definitional content
+share one machine object, so repeated document loads (service restarts
+mid-process, tests, the engine's workers) reuse prior builds.  Machines
+hold closures and cannot live in the on-disk DFA cache; interning is the
+in-process analogue keyed by the same fingerprints (DESIGN.md §8).
 """
 
 from __future__ import annotations
@@ -18,13 +26,34 @@ from dataclasses import dataclass
 from pathlib import Path
 from typing import Iterable
 
-from repro.core.errors import ReproError, RuntimeModelError
+from repro.checker.fingerprint import fingerprint
+from repro.core.errors import FingerprintError, ReproError, RuntimeModelError
 from repro.core.specification import Specification
 from repro.core.tracesets import FullTraceSet, MachineTraceSet
 from repro.machines.base import TraceMachine
 from repro.runtime.monitor import DEFAULT_HISTORY_LIMIT, SpecMonitor
 
-__all__ = ["CompiledSpec", "SpecRegistry"]
+__all__ = ["CompiledSpec", "SpecRegistry", "shared_machine_count"]
+
+#: Process-wide machine interning table: trace-set fingerprint → machine.
+_SHARED_MACHINES: dict[str, TraceMachine] = {}
+
+
+def _intern_machine(traces) -> TraceMachine:
+    """The shared machine for a trace set, building it on first sight."""
+    try:
+        key = fingerprint(traces)
+    except FingerprintError:
+        return traces.machine()  # no stable identity: private machine
+    machine = _SHARED_MACHINES.get(key)
+    if machine is None:
+        machine = _SHARED_MACHINES[key] = traces.machine()
+    return machine
+
+
+def shared_machine_count() -> int:
+    """How many distinct machines the process-wide intern table holds."""
+    return len(_SHARED_MACHINES)
 
 
 @dataclass(frozen=True, slots=True)
@@ -44,14 +73,18 @@ class SpecRegistry:
         specs: Iterable[Specification],
         *,
         history_limit: int | None = DEFAULT_HISTORY_LIMIT,
+        share_machines: bool = True,
     ) -> None:
         self.history_limit = history_limit
         self._compiled: dict[str, CompiledSpec] = {}
         self._unmonitorable: dict[str, str] = {}
+        build = _intern_machine if share_machines else (
+            lambda traces: traces.machine()
+        )
         for spec in specs:
             if isinstance(spec.traces, (MachineTraceSet, FullTraceSet)):
                 self._compiled[spec.name] = CompiledSpec(
-                    spec.name, spec, spec.traces.machine()
+                    spec.name, spec, build(spec.traces)
                 )
             else:
                 self._unmonitorable[spec.name] = (

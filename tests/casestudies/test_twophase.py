@@ -213,6 +213,44 @@ class TestRuntime:
         assert m.ok and ma.ok
         assert trace.count("ABORT") >= 2  # some round aborted
 
+    def test_begin_mid_round_is_deferred_not_dropped(self, tp):
+        # Regression: a BEGIN delivered while the coordinator was still
+        # draining the previous round's decisions used to be dropped,
+        # stalling the whole system (the client waits for a DONE that
+        # never comes).  It must instead start the next round once the
+        # current one finishes.
+        import random
+
+        beh = CoordinatorBehavior(tp.co, (tp.p1, tp.p2))
+        cl = ObjectId("cl")
+        rng = random.Random(0)
+        emitted = []
+
+        def drain(state):
+            # tick until quiet, acknowledging each delivery like System does
+            while True:
+                state, calls = beh.on_tick(state, rng, tp.co)
+                if not calls:
+                    return state
+                (call,) = calls
+                emitted.append(call)
+                state, _ = beh.on_event(
+                    state, Event(tp.co, call.callee, call.method), tp.co
+                )
+
+        state = beh.init_state()
+        state, _ = beh.on_event(state, Event(cl, tp.co, "BEGIN"), tp.co)
+        state = drain(state)  # both PREPAREs delivered
+        state, _ = beh.on_event(state, Event(tp.p1, tp.co, "YES"), tp.co)
+        state, _ = beh.on_event(state, Event(tp.p2, tp.co, "NO"), tp.co)
+        # the client's next BEGIN races ahead of the decision deliveries
+        state, _ = beh.on_event(state, Event(cl, tp.co, "BEGIN"), tp.co)
+        state = drain(state)  # ABORT, ABORT, DONE — round 2 must follow
+        state = drain(state)
+        methods = [c.method for c in emitted]
+        assert methods.count("PREPARE") == 4  # both rounds reached p1 and p2
+        assert methods.count("ABORT") == 2 and methods.count("DONE") == 1
+
     def test_byzantine_participant_caught(self, tp):
         sys = System(RandomScheduler(seed=2))
         sys.add_object(tp.co, CoordinatorBehavior(tp.co, (tp.p1, tp.p2)))

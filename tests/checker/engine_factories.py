@@ -1,0 +1,75 @@
+"""Module-level obligation factories for the engine tests.
+
+The engine addresses work as ``"module:function"`` references and
+rebuilds obligations inside worker processes, so test fixtures must live
+in an importable module — lambdas defined inside a test function would
+be rebuilt fine (workers never pickle them) but the *factory itself*
+must resolve by name in every process.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+
+from repro.checker.obligations import Obligation
+from repro.checker.result import CheckResult, Verdict
+from repro.core.errors import RefinementError
+
+
+def _proved() -> CheckResult:
+    return CheckResult(Verdict.PROVED, note="trivially")
+
+
+def _refuted() -> CheckResult:
+    return CheckResult(Verdict.REFUTED, note="by construction")
+
+
+def _raises() -> CheckResult:
+    raise RefinementError("premise deliberately fails")
+
+
+def mixed_obligations(n: int = 6) -> list[Obligation]:
+    """A deterministic mix of proved / refuted-expected / erroring checks."""
+    checks = [
+        ("P", _proved, True),
+        ("N", _refuted, False),
+        ("E", _raises, True),
+    ]
+    out = []
+    for i in range(n):
+        tag, check, expected = checks[i % len(checks)]
+        out.append(
+            Obligation(
+                ident=f"{tag}{i}",
+                title=f"synthetic {tag} #{i}",
+                check=check,
+                expected=expected,
+            )
+        )
+    return out
+
+
+def _sleep_forever() -> CheckResult:
+    time.sleep(3600)
+    return CheckResult(Verdict.PROVED)
+
+
+def slow_obligations() -> list[Obligation]:
+    """One quick obligation, one that never finishes (timeout testing)."""
+    return [
+        Obligation(ident="quick", title="returns at once", check=_proved),
+        Obligation(ident="stuck", title="sleeps forever", check=_sleep_forever),
+    ]
+
+
+def pid_obligations() -> list[Obligation]:
+    """Obligations whose notes record the executing process id."""
+
+    def make(i: int):
+        return lambda: CheckResult(Verdict.PROVED, note=f"pid={os.getpid()}")
+
+    return [
+        Obligation(ident=f"W{i}", title=f"who ran me #{i}", check=make(i))
+        for i in range(8)
+    ]

@@ -45,6 +45,54 @@ class TestEnumeration:
                 assert e.method == "OK" and e.callee == cast.mon
 
 
+class TestMaxTracesUnification:
+    """Both trace-set representations must account max_traces identically."""
+
+    def test_cap_is_exact_for_machine_sets(self, cast):
+        spec = cast.read()
+        u = FiniteUniverse.for_specs(spec, env_objects=1)
+        total = len(list(enumerate_traces(spec, u, depth=4)))
+        for cap in (1, 2, total - 1, total + 4):
+            n = len(list(enumerate_traces(spec, u, depth=4, max_traces=cap)))
+            assert n == min(cap, total)
+
+    def test_cap_is_exact_for_composed_sets(self, cast):
+        comp = compose(cast.client(), cast.write_acc())
+        u = FiniteUniverse.for_specs(cast.client(), cast.write_acc(),
+                                     env_objects=1, data_values=1)
+        total = len(list(enumerate_traces(comp, u, depth=3)))
+        for cap in (1, 3, total - 1, total + 4):
+            n = len(list(enumerate_traces(comp, u, depth=3, max_traces=cap)))
+            assert n == min(cap, total)
+
+    def test_machine_and_composed_agree_on_capped_prefix(self, cast):
+        # Property 5: Γ‖Γ = Γ — the same trace set through both code
+        # paths, so the capped enumerations must match trace for trace.
+        spec = cast.read()
+        doubled = compose(spec, spec)
+        u = FiniteUniverse.for_specs(spec, env_objects=1)
+        for cap in (None, 4, 11):
+            direct = list(enumerate_traces(spec, u, depth=3, max_traces=cap))
+            composed = list(enumerate_traces(doubled, u, depth=3, max_traces=cap))
+            assert direct == composed
+
+    def test_cap_larger_than_set_yields_everything(self, cast):
+        spec = cast.read()
+        u = FiniteUniverse.for_specs(spec, env_objects=1)
+        unlimited = list(enumerate_traces(spec, u, depth=2))
+        capped = list(enumerate_traces(spec, u, depth=2, max_traces=10_000))
+        assert capped == unlimited
+
+    def test_budget_cutoff_does_not_change_yields(self, cast):
+        # The frontier-covers-budget optimisation must only skip work,
+        # never alter what is produced.
+        spec = cast.write()
+        u = FiniteUniverse.for_specs(spec, env_objects=1, data_values=1)
+        full = list(enumerate_traces(spec, u, depth=4))
+        for cap in range(1, len(full) + 1):
+            assert list(enumerate_traces(spec, u, depth=4, max_traces=cap)) == full[:cap]
+
+
 class TestFindViolation:
     def test_finds_projection_violation(self, cast):
         u = FiniteUniverse.for_specs(cast.rw(), cast.read2(), env_objects=1)

@@ -1,0 +1,131 @@
+"""The parallel obligation engine: determinism, workers, timeouts."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.checker.engine import (
+    EngineConfig,
+    ObligationEngine,
+    ObligationSource,
+)
+from repro.checker.obligations import ProofSession
+from repro.core.errors import EngineError
+
+MIXED = "tests.checker.engine_factories:mixed_obligations"
+PIDS = "tests.checker.engine_factories:pid_obligations"
+SLOW = "tests.checker.engine_factories:slow_obligations"
+CLAIMS = "repro.paper.claims:build_obligations"
+
+
+def outcome_keys(session: ProofSession):
+    return [
+        (
+            o.obligation.ident,
+            o.error,
+            None if o.result is None else o.result.verdict,
+            o.agrees,
+        )
+        for o in session.outcomes
+    ]
+
+
+class TestObligationSource:
+    def test_builds_from_reference(self):
+        source = ObligationSource.of(MIXED, n=4)
+        obligations = source.build()
+        assert [ob.ident for ob in obligations] == ["P0", "N1", "E2", "P3"]
+
+    def test_kwargs_order_is_canonical(self):
+        a = ObligationSource.of(MIXED, n=4)
+        b = ObligationSource(MIXED, (("n", 4),))
+        assert a == b
+
+    def test_bad_reference_shapes(self):
+        with pytest.raises(EngineError):
+            ObligationSource.of("no-colon-here").build()
+        with pytest.raises(EngineError):
+            ObligationSource.of("tests.checker.engine_factories:missing").build()
+        with pytest.raises(EngineError):
+            ObligationSource.of("no.such.module:factory").build()
+
+    def test_non_obligation_payload_rejected(self):
+        with pytest.raises(EngineError):
+            ObligationSource.of("builtins:dir").build()  # list of strings
+        with pytest.raises(EngineError):
+            ObligationSource.of(
+                "tests.checker.engine_factories:_proved"
+            ).build()  # returns a CheckResult, not an iterable of Obligation
+
+
+class TestInlineRun:
+    def test_matches_proof_session(self):
+        source = ObligationSource.of(MIXED, n=6)
+        run = ObligationEngine(EngineConfig(jobs=1)).run(source)
+        baseline = ProofSession().run(source.build())
+        assert outcome_keys(run.session) == outcome_keys(baseline)
+
+    def test_metrics_counters(self):
+        run = ObligationEngine(EngineConfig(jobs=1)).run(
+            ObligationSource.of(MIXED, n=6)
+        )
+        snap = run.metrics.snapshot()
+        # two of each kind: P (agrees), N (refuted as expected), E (error)
+        assert snap["obligations_run"] == 6
+        assert snap["agreements"] == 4
+        assert snap["errors"] == 2
+        assert snap["disagreements"] == 0
+        assert snap["wall"]["count"] == 6
+
+
+class TestParallelRun:
+    def test_results_identical_to_inline(self):
+        source = ObligationSource.of(MIXED, n=9)
+        inline = ObligationEngine(EngineConfig(jobs=1)).run(source)
+        parallel = ObligationEngine(EngineConfig(jobs=3)).run(source)
+        assert outcome_keys(parallel.session) == outcome_keys(inline.session)
+
+    def test_outcomes_keep_submission_order(self):
+        run = ObligationEngine(EngineConfig(jobs=4)).run(
+            ObligationSource.of(PIDS)
+        )
+        assert [o.obligation.ident for o in run.session.outcomes] == [
+            f"W{i}" for i in range(8)
+        ]
+
+    def test_work_spreads_over_processes(self):
+        run = ObligationEngine(EngineConfig(jobs=4)).run(
+            ObligationSource.of(PIDS)
+        )
+        pids = {o.result.note for o in run.session.outcomes}
+        # 8 obligations on 4 workers: more than one process did work
+        assert len(pids) > 1
+
+    def test_timeout_aborts_stuck_obligation(self):
+        run = ObligationEngine(EngineConfig(jobs=2, timeout=2.0)).run(
+            ObligationSource.of(SLOW)
+        )
+        by_ident = {o.obligation.ident: o for o in run.session.outcomes}
+        assert by_ident["quick"].result is not None
+        assert by_ident["quick"].agrees
+        stuck = by_ident["stuck"]
+        assert stuck.result is None
+        assert stuck.error is not None and "Timeout" in stuck.error
+        assert run.metrics.snapshot()["timeouts"] == 1
+
+    def test_claims_suite_agrees_at_any_job_count(self):
+        source = ObligationSource.of(CLAIMS, env_objects=1)
+        inline = ObligationEngine(EngineConfig(jobs=1)).run(source)
+        parallel = ObligationEngine(EngineConfig(jobs=4)).run(source)
+        assert inline.all_agree
+        assert outcome_keys(parallel.session) == outcome_keys(inline.session)
+
+
+class TestConfig:
+    def test_rejects_negative_jobs(self):
+        with pytest.raises(EngineError):
+            EngineConfig(jobs=-1)
+
+    def test_rejects_nonpositive_timeout(self):
+        with pytest.raises(EngineError):
+            EngineConfig(timeout=0)

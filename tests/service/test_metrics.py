@@ -3,7 +3,7 @@
 import asyncio
 import io
 
-from repro.service.metrics import LatencyHistogram, ServiceMetrics
+from repro.service.metrics import CheckerMetrics, LatencyHistogram, ServiceMetrics
 
 
 class TestLatencyHistogram:
@@ -72,3 +72,49 @@ class TestServiceMetrics:
         text = asyncio.run(run())
         assert "-- metrics --" in text
         assert "events_observed=0" in text
+
+
+class TestCheckerMetrics:
+    def _outcome(self, *, agrees=True, error=None, seconds=0.1):
+        class FakeOutcome:
+            pass
+
+        o = FakeOutcome()
+        o.agrees = agrees
+        o.error = error
+        o.seconds = seconds
+        return o
+
+    def test_outcome_counters(self):
+        m = CheckerMetrics()
+        m.record_outcome(self._outcome(agrees=True))
+        m.record_outcome(self._outcome(agrees=False))
+        m.record_outcome(self._outcome(error="RefinementError: nope"))
+        m.record_outcome(self._outcome(error="EngineTimeout: exceeded 2s"))
+        snap = m.snapshot()
+        assert snap["obligations_run"] == 4
+        assert snap["agreements"] == 1
+        assert snap["disagreements"] == 1
+        assert snap["errors"] == 2
+        assert snap["timeouts"] == 1
+        assert snap["wall"]["count"] == 4
+
+    def test_cache_delta_merge_and_hit_rate(self):
+        m = CheckerMetrics()
+        m.record_cache(hits=3, misses=1, stores=1)
+        m.record_cache(hits=1, uncacheable=1, errors=1)
+        assert m.cache_lookups == 6
+        assert abs(m.cache_hit_rate - 4 / 6) < 1e-12
+        snap = m.snapshot()
+        assert snap["cache_hits"] == 4
+        assert snap["cache_errors"] == 1
+
+    def test_format_text_mentions_every_counter(self):
+        m = CheckerMetrics()
+        m.record_outcome(self._outcome())
+        text = m.format_text()
+        for key in ("obligations_run=1", "cache_hits=0", "timeouts=0", "wall:"):
+            assert key in text
+
+    def test_empty_hit_rate_is_zero(self):
+        assert CheckerMetrics().cache_hit_rate == 0.0

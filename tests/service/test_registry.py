@@ -59,3 +59,43 @@ class TestSharedMachines:
         registry = SpecRegistry([cast.write()], history_limit=16)
         monitor = registry.new_monitor("Write")
         assert monitor.history_limit == 16
+
+
+class TestInterning:
+    """Registries intern machines process-wide by content fingerprint."""
+
+    def test_same_content_shares_across_registries(self, cast):
+        r1 = SpecRegistry([cast.write()])
+        r2 = SpecRegistry([cast.write()])
+        assert r1.get("Write").machine is r2.get("Write").machine
+
+    def test_repeated_document_load_adds_no_machines(self):
+        from repro.service.registry import shared_machine_count
+
+        text = (EXAMPLES / "readers_writers.oun").read_text()
+        SpecRegistry.from_text(text)
+        before = shared_machine_count()
+        SpecRegistry.from_text(text)
+        assert shared_machine_count() == before
+
+    def test_share_machines_false_builds_private(self, cast):
+        shared = SpecRegistry([cast.write()])
+        private = SpecRegistry([cast.write()], share_machines=False)
+        assert private.get("Write").machine is not shared.get("Write").machine
+
+    def test_shared_machine_behaviour_unchanged(self, cast, x1):
+        from repro.core.events import Event as Ev
+        from repro.core.values import DataVal as DV
+
+        shared = SpecRegistry([cast.write()]).new_monitor("Write")
+        private = SpecRegistry(
+            [cast.write()], share_machines=False
+        ).new_monitor("Write")
+        events = [
+            Ev(x1, cast.o, "OW"),
+            Ev(x1, cast.o, "W", (DV("Data", "d"),)),
+            Ev(x1, cast.o, "CW"),
+        ]
+        for e in events:
+            assert shared.observe(e) == private.observe(e)
+        assert shared.ok and private.ok

@@ -195,3 +195,65 @@ class TestClaims:
         assert code == 0
         assert "all obligations agree" in text
         assert "| T16 |" in text
+
+
+class TestEngineFlags:
+    """--jobs / --cache-dir / --no-cache on the obligation-running commands."""
+
+    def test_claims_parallel_agrees(self):
+        code, text = run("claims", "--env-objects", "1", "--jobs", "2")
+        assert code == 0
+        assert "all obligations agree" in text
+        assert "engine:" in text and "2 workers" in text
+
+    def test_check_with_cache_cold_then_warm(self, doc_file, tmp_path):
+        cache = str(tmp_path / "cache")
+        code1, text1 = run(
+            "check", str(doc_file), "--refines", "Read2", "Read",
+            "--cache-dir", cache,
+        )
+        code2, text2 = run(
+            "check", str(doc_file), "--refines", "Read2", "Read",
+            "--cache-dir", cache,
+        )
+        assert code1 == 0 and code2 == 0
+        assert "proved" in text1 and "proved" in text2
+        assert "cache: 0 hits" in text1
+        assert "0 misses" in text2 and "cache: 0 hits" not in text2
+
+    def test_cache_env_var_and_no_cache(self, doc_file, tmp_path, monkeypatch):
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "envcache"))
+        code, text = run("check", str(doc_file), "--refines", "Read2", "Read")
+        assert code == 0 and "cache:" in text
+        code, text = run(
+            "check", str(doc_file), "--refines", "Read2", "Read", "--no-cache"
+        )
+        assert code == 0 and "cache:" not in text
+
+    def test_check_parallel_unknown_spec_still_exit_2(self, doc_file):
+        code, text = run(
+            "check", str(doc_file), "--refines", "Ghost", "Read", "--jobs", "2"
+        )
+        assert code == 2 and "no specification named" in text
+
+    def test_check_parallel_negative_exit_1(self, doc_file):
+        code, text = run(
+            "check", str(doc_file), "--refines", "Read", "Read2", "--jobs", "2"
+        )
+        assert code == 1 and "static-failed" in text
+
+    def test_verify_parallel_matches_inline(self, tmp_path, doc_file):
+        doc = doc_file.read_text() + (
+            "\nassert Read2 refines Read\nassert not Read refines Read2\n"
+        )
+        p = tmp_path / "asserts.oun"
+        p.write_text(doc)
+        code1, text1 = run("verify", str(p))
+        code2, text2 = run("verify", str(p), "--jobs", "2")
+        assert code1 == code2 == 0
+        assert "2/2 assertions hold" in text1
+        assert "2/2 assertions hold" in text2
+        # identical per-assertion lines, modulo the engine summary line
+        lines1 = [l for l in text1.splitlines() if l.startswith("assert")]
+        lines2 = [l for l in text2.splitlines() if l.startswith("assert")]
+        assert lines1 == lines2
