@@ -102,6 +102,56 @@ def bench_engine_cache_warm(benchmark):
 
 
 # ----------------------------------------------------------------------
+# inclusion: the minimize-first threshold
+# ----------------------------------------------------------------------
+
+#: Universe size for the inclusion workload: RW compiles to ~950 states,
+#: past :data:`~repro.automata.ops.MINIMIZE_ABOVE_DEFAULT`, while its
+#: minimal form has ~21 — the asymmetry the threshold exploits.
+INCLUSION_ENV_OBJECTS = 4
+
+
+def _inclusion_workload():
+    """``RW ⊑ Write*`` as two DFAs over one universe (inclusion holds)."""
+    from repro.checker.compile import traceset_dfa
+    from repro.checker.universe import FiniteUniverse
+    from repro.core.transform import expand_alphabet
+    from repro.paper.specs import PaperCast
+
+    cast = PaperCast()
+    rw = cast.rw()
+    extra = [
+        p
+        for p in rw.alphabet.patterns
+        if p not in cast.write().alphabet.patterns
+    ]
+    wstar = expand_alphabet(cast.write(), extra, name="Write*")
+    u = FiniteUniverse.for_specs(
+        rw, wstar, env_objects=INCLUSION_ENV_OBJECTS
+    )
+    return traceset_dfa(rw.traces, u), traceset_dfa(wstar.traces, u)
+
+
+@pytest.mark.parametrize("minimize_above", [None, 0])
+def bench_inclusion_minimize_threshold(benchmark, minimize_above):
+    from repro.automata.ops import inclusion_counterexample
+
+    a, b = _inclusion_workload()
+    word = benchmark.pedantic(
+        inclusion_counterexample,
+        args=(a, b),
+        kwargs={"minimize_above": minimize_above},
+        rounds=3,
+        iterations=1,
+    )
+    # Minimisation is language-preserving: the verdict cannot depend on
+    # the threshold.
+    assert word is None
+    benchmark.extra_info["operand_states"] = (a.n_states, b.n_states)
+    benchmark.extra_info["minimize_above"] = minimize_above
+
+
+# ----------------------------------------------------------------------
 # standalone
 # ----------------------------------------------------------------------
 
@@ -152,6 +202,21 @@ def main() -> None:
         f"({m.cache_hits} hits, {m.cache_misses} misses; "
         f"{skipped:.0%} of compilations skipped, target >= 90%)"
     )
+
+    from repro.automata.ops import inclusion_counterexample
+
+    a, b = _inclusion_workload()
+    print(
+        f"  inclusion RW ⊑ Write*, env_objects={INCLUSION_ENV_OBJECTS} "
+        f"({a.n_states}x{b.n_states} states):"
+    )
+    for threshold in (None, 0):
+        start = time.perf_counter()
+        word = inclusion_counterexample(a, b, minimize_above=threshold)
+        wall = time.perf_counter() - start
+        assert word is None, "minimisation changed the inclusion verdict"
+        label = "no minimisation" if threshold is None else "minimize first"
+        print(f"    {label:<16} {wall * 1e3:7.1f}ms")
 
 
 if __name__ == "__main__":

@@ -29,6 +29,7 @@ from collections import deque
 from typing import Callable, Hashable, Sequence
 
 from repro.automata.dfa import DFA
+from repro.automata.stats import active_exploration_stats
 from repro.core.errors import AutomatonError, StateSpaceLimitExceeded
 from repro.core.events import Event
 from repro.machines.base import TraceMachine
@@ -73,6 +74,11 @@ def machine_to_dfa(
             row[e] = j
         rows.append(row)
         i += 1
+
+    stats = active_exploration_stats()
+    if stats is not None:
+        stats.dfa_states += len(order)
+        stats.machine_steps += len(order) * len(letters)
 
     sink = len(order)
     rows = [
@@ -137,6 +143,9 @@ def hidden_closure_dfa(
             row[e] = j
         rows.append(row)
         i += 1
+    stats = active_exploration_stats()
+    if stats is not None:
+        stats.dfa_states += len(order)
     accepting = frozenset(i for i, subset in enumerate(order) if subset)
     return DFA(letters, tuple(rows), 0, accepting)
 

@@ -27,15 +27,37 @@ __all__ = [
     "inclusion_counterexample",
     "equivalence_counterexample",
     "minimize",
+    "MINIMIZE_ABOVE_DEFAULT",
 ]
 
 
+def _format_letters(side: str, letters: list) -> str:
+    shown = ", ".join(str(x) for x in letters[:5])
+    more = f", … (+{len(letters) - 5} more)" if len(letters) > 5 else ""
+    return f"{len(letters)} only in {side} ({shown}{more})"
+
+
 def _check_same_alphabet(a: DFA, b: DFA) -> None:
-    if set(a.letters) != set(b.letters):
+    sa, sb = set(a.letters), set(b.letters)
+    if sa != sb:
+        # Name the offending letters: a universe-instantiation mismatch
+        # is undebuggable from bare counts.
+        parts = [
+            _format_letters(side, sorted(diff, key=repr))
+            for side, diff in (("left", sa - sb), ("right", sb - sa))
+            if diff
+        ]
         raise AutomatonError(
-            "DFA operations require identical alphabets; got "
-            f"{len(a.letters)} vs {len(b.letters)} letters"
+            "DFA operations require identical alphabets; " + "; ".join(parts)
         )
+
+
+def _canonical_letters(letters: Iterable[Hashable]) -> tuple[Hashable, ...]:
+    """A deterministic letter order independent of operand order."""
+    try:
+        return tuple(sorted(letters))
+    except TypeError:
+        return tuple(sorted(letters, key=repr))
 
 
 def complement(a: DFA) -> DFA:
@@ -49,9 +71,15 @@ def complement(a: DFA) -> DFA:
 
 
 def product(a: DFA, b: DFA, accept) -> DFA:
-    """Reachable product automaton; ``accept(in_a, in_b)`` marks acceptance."""
+    """Reachable product automaton; ``accept(in_a, in_b)`` marks acceptance.
+
+    The result's letters are in canonical (sorted) order, so callers may
+    pass operands whose letter tuples are ordered differently — only the
+    letter *sets* must agree — and ``product(a, b, f)`` explores states
+    in the same order as ``product(b, a, flip(f))``.
+    """
     _check_same_alphabet(a, b)
-    letters = a.letters
+    letters = _canonical_letters(a.letters)
     index: dict[tuple[int, int], int] = {(a.start, b.start): 0}
     order: list[tuple[int, int]] = [(a.start, b.start)]
     rows: list[dict] = []
@@ -120,8 +148,26 @@ def shortest_accepted(a: DFA) -> tuple[Hashable, ...] | None:
     return None
 
 
-def inclusion_counterexample(a: DFA, b: DFA) -> tuple[Hashable, ...] | None:
-    """Shortest word of ``L(A) − L(B)``, or ``None`` when ``L(A) ⊆ L(B)``."""
+#: State count above which :func:`inclusion_counterexample` minimises its
+#: operands before building the product.  The product explores up to
+#: ``|A|·|B|`` states; Hopcroft is ``O(n log n)`` per operand, so for
+#: large automata minimising first is a net win (see
+#: ``benchmarks/bench_engine.py``).  Language-preserving, so the shortest
+#: counterexample — a property of the languages alone — is unchanged.
+MINIMIZE_ABOVE_DEFAULT = 512
+
+
+def inclusion_counterexample(
+    a: DFA, b: DFA, minimize_above: int | None = MINIMIZE_ABOVE_DEFAULT
+) -> tuple[Hashable, ...] | None:
+    """Shortest word of ``L(A) − L(B)``, or ``None`` when ``L(A) ⊆ L(B)``.
+
+    When either operand exceeds ``minimize_above`` states, both are
+    Hopcroft-minimised before the product (``None`` disables).
+    """
+    if minimize_above is not None and max(a.n_states, b.n_states) > minimize_above:
+        a = minimize(a)
+        b = minimize(b)
     return shortest_accepted(difference(a, b))
 
 

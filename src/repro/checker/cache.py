@@ -63,7 +63,7 @@ __all__ = [
 #: compiler, machine semantics, or the fingerprint encoding change in a
 #: way that could alter compiled automata — every stored entry becomes
 #: unreachable (a cold cache), never silently stale.
-ENGINE_CACHE_VERSION = "repro-engine-1"
+ENGINE_CACHE_VERSION = "repro-engine-2"
 
 
 @dataclass

@@ -21,6 +21,7 @@ from typing import Sequence
 
 from repro.automata.build import hidden_closure_dfa, machine_to_dfa
 from repro.automata.dfa import DFA
+from repro.automata.stats import active_exploration_stats
 from repro.checker.cache import MachineCache, active_cache
 from repro.checker.universe import FiniteUniverse
 from repro.core.errors import SpecificationError
@@ -35,9 +36,14 @@ __all__ = ["spec_dfa", "composed_hidden_events", "traceset_dfa"]
 def composed_hidden_events(
     ts: ComposedTraceSet, universe: FiniteUniverse
 ) -> tuple[Event, ...]:
-    """The internal events of a composition, instantiated over a universe."""
+    """The internal events of a composition, instantiated over a universe.
+
+    Instantiates from ``ts.hidden_source()`` — ``combined`` unless the
+    normalization pipeline pruned the hidden pool to the patterns some
+    part alphabet can actually observe.
+    """
     out: set[Event] = set()
-    for p in ts.combined.patterns:
+    for p in ts.hidden_source().patterns:
         for a, b in ts.internal.ordered_pairs():
             if not (p.caller.contains(a) and p.callee.contains(b)):
                 continue
@@ -51,13 +57,34 @@ def traceset_dfa(
     universe: FiniteUniverse,
     state_limit: int = 100_000,
     cache: MachineCache | None = None,
+    normalize: bool | None = None,
 ) -> DFA:
     """DFA for a trace set over the universe instantiation of its alphabet.
+
+    The trace set is first normalized through the default pass pipeline
+    (compile scope) — trace-equivalent, so the DFA's language is
+    unchanged — and the cache key covers the *normalized* form, so
+    syntactic variants of one spec share a cache entry.  ``normalize``
+    overrides the ambient :func:`~repro.passes.use_normalization` toggle
+    (``None`` = follow it).
 
     When a cache is supplied (or ambient via ``use_cache``), a previously
     compiled DFA for the same definitional content is returned instead of
     recompiling; fresh compilations are stored for later runs.
     """
+    # Lazy import: repro.passes reaches back into this package
+    # (fingerprint-based dedup), so a module-level import would cycle
+    # through checker/__init__.
+    from repro.passes import (
+        COMPILE_SCOPE,
+        default_pipeline,
+        normalization_enabled,
+    )
+
+    if normalize is None:
+        normalize = normalization_enabled()
+    if normalize:
+        ts = default_pipeline().normalize_traceset(ts, COMPILE_SCOPE)
     if cache is None:
         cache = active_cache()
     key = None
@@ -83,15 +110,27 @@ def _compile_traceset(
         machines = tuple(
             FilterMachine(p.alphabet, p.machine) for p in ts.parts
         )
+        stats = active_exploration_stats()
+        width = len(machines)
 
-        def step(state, e):
-            return tuple(m.step(s, e) for m, s in zip(machines, state))
+        if stats is None:
+
+            def step(state, e):
+                return tuple(m.step(s, e) for m, s in zip(machines, state))
+
+        else:
+
+            def step(state, e):
+                stats.machine_steps += width
+                return tuple(m.step(s, e) for m, s in zip(machines, state))
 
         def ok(state):
             return all(m.ok(s) for m, s in zip(machines, state))
 
         init = tuple(m.initial() for m in machines)
         hidden = composed_hidden_events(ts, universe)
+        if stats is not None:
+            stats.hidden_events += len(hidden)
         return hidden_closure_dfa(
             [init], step, ok, events, hidden, state_limit=state_limit
         )

@@ -119,13 +119,18 @@ class EngineConfig:
     ``jobs <= 1`` runs inline (no worker processes, no timeout
     enforcement).  ``timeout`` is seconds per obligation, parallel runs
     only.  ``cache_dir`` enables the shared machine cache; ``salt``
-    versions its keys.
+    versions its keys.  ``normalize`` controls the trace-set
+    normalization pipeline in the compiler (on by default; the CLI's
+    ``--no-normalize`` turns it off) — installed ambiently in the parent
+    *and* in every worker, so parallel runs compile exactly what an
+    inline run would.
     """
 
     jobs: int = 1
     timeout: float | None = None
     cache_dir: str | None = None
     salt: str = ENGINE_CACHE_VERSION
+    normalize: bool = True
 
     def __post_init__(self) -> None:
         if self.jobs < 0:
@@ -177,24 +182,34 @@ def _run_obligation(ob: Obligation) -> tuple[CheckResult | None, str | None, flo
 
 _WORKER_OBLIGATIONS: list[Obligation] | None = None
 _WORKER_CACHE: MachineCache | None = None
+_WORKER_NORMALIZE: bool = True
 
 
-def _worker_init(source: ObligationSource, cache_dir: str | None, salt: str) -> None:
+def _worker_init(
+    source: ObligationSource,
+    cache_dir: str | None,
+    salt: str,
+    normalize: bool = True,
+) -> None:
     """Pool initializer: rebuild obligations, open the shared cache."""
-    global _WORKER_OBLIGATIONS, _WORKER_CACHE
+    global _WORKER_OBLIGATIONS, _WORKER_CACHE, _WORKER_NORMALIZE
     _WORKER_OBLIGATIONS = source.build()
     _WORKER_CACHE = MachineCache(cache_dir, salt) if cache_dir else None
+    _WORKER_NORMALIZE = normalize
 
 
 def _worker_run(index: int) -> _TaskResult:
+    from repro.passes import use_normalization
+
     obligations = _WORKER_OBLIGATIONS
     if obligations is None:
         raise EngineError("worker used before initialisation")
     ob = obligations[index]
     cache = _WORKER_CACHE
     before = cache.stats.as_dict() if cache is not None else {}
-    with use_cache(cache) if cache is not None else contextlib.nullcontext():
-        result, error, seconds = _run_obligation(ob)
+    with use_normalization(_WORKER_NORMALIZE):
+        with use_cache(cache) if cache is not None else contextlib.nullcontext():
+            result, error, seconds = _run_obligation(ob)
     delta: dict[str, int] = {}
     if cache is not None:
         after = cache.stats.as_dict()
@@ -239,16 +254,19 @@ class ObligationEngine:
     def _run_inline(
         self, obligations: list[Obligation], metrics: CheckerMetrics
     ) -> list[ObligationOutcome]:
+        from repro.passes import use_normalization
+
         cache = (
             MachineCache(self.config.cache_dir, self.config.salt)
             if self.config.cache_dir
             else None
         )
         outcomes = []
-        with use_cache(cache) if cache is not None else contextlib.nullcontext():
-            for ob in obligations:
-                result, error, seconds = _run_obligation(ob)
-                outcomes.append(ObligationOutcome(ob, result, error, seconds))
+        with use_normalization(self.config.normalize):
+            with use_cache(cache) if cache is not None else contextlib.nullcontext():
+                for ob in obligations:
+                    result, error, seconds = _run_obligation(ob)
+                    outcomes.append(ObligationOutcome(ob, result, error, seconds))
         if cache is not None:
             metrics.record_cache(**cache.stats.as_dict())
         return outcomes
@@ -267,7 +285,12 @@ class ObligationEngine:
         pool = ProcessPoolExecutor(
             max_workers=workers,
             initializer=_worker_init,
-            initargs=(source, self.config.cache_dir, self.config.salt),
+            initargs=(
+                source,
+                self.config.cache_dir,
+                self.config.salt,
+                self.config.normalize,
+            ),
         )
         aborted_after: str | None = None
         try:

@@ -18,7 +18,10 @@ Commands:
 * ``serve FILE.oun`` — run the online-monitoring TCP service over the
   document's specifications;
 * ``send TRACE`` — stream a trace to a running service and report the
-  session verdict.
+  session verdict;
+* ``explain FILE.oun SPEC [--compose OTHER ...]`` — show what the
+  normalization pipeline does to a specification: the machine tree
+  before and after, and per-pass rewrite counts.
 
 Exit status is 0 when the query's answer is positive (refines / equal /
 composable / deadlock-free; for ``claims``, full agreement; for
@@ -29,8 +32,9 @@ The obligation-running commands (``claims``, ``check --refines/--equal``,
 ``verify``) accept ``--jobs N`` to fan independent obligations out to
 worker processes and ``--cache-dir DIR`` to reuse compiled machines
 across runs (``REPRO_CACHE_DIR`` sets a default; ``--no-cache`` forces
-the cache off).  Results are independent of both knobs — see
-``repro.checker.engine``.
+the cache off).  ``--no-normalize`` compiles raw trace sets, skipping the
+normalization pipeline.  Results are independent of all three knobs — see
+``repro.checker.engine`` and ``repro.passes``.
 """
 
 from __future__ import annotations
@@ -76,6 +80,12 @@ def _add_engine_flags(sub: argparse.ArgumentParser) -> None:
         action="store_true",
         help="disable the machine cache even if REPRO_CACHE_DIR is set",
     )
+    sub.add_argument(
+        "--no-normalize",
+        action="store_true",
+        help="compile raw trace sets, skipping the normalization pipeline "
+        "(results are identical; only work and cache keys change)",
+    )
 
 
 def _engine_config(args) -> EngineConfig:
@@ -85,7 +95,10 @@ def _engine_config(args) -> EngineConfig:
     if args.no_cache:
         cache_dir = None
     return EngineConfig(
-        jobs=args.jobs, timeout=args.timeout, cache_dir=cache_dir
+        jobs=args.jobs,
+        timeout=args.timeout,
+        cache_dir=cache_dir,
+        normalize=not args.no_normalize,
     )
 
 
@@ -211,6 +224,22 @@ def build_parser() -> argparse.ArgumentParser:
     p_dead.add_argument("file", type=Path)
     p_dead.add_argument("spec", nargs="+")
     p_dead.add_argument("--env-objects", type=int, default=2)
+
+    p_explain = sub.add_parser(
+        "explain",
+        help="show what normalization does to a specification "
+        "(before/after machine tree, per-pass rewrite counts)",
+    )
+    p_explain.add_argument("file", type=Path, help="OUN document")
+    p_explain.add_argument("spec", help="specification name")
+    p_explain.add_argument(
+        "--compose",
+        nargs="+",
+        metavar="SPEC",
+        default=(),
+        help="compose the named specs onto SPEC first, then explain the "
+        "composition",
+    )
 
     return parser
 
@@ -495,6 +524,20 @@ def _cmd_verify(args, out) -> int:
     return 0 if failed == 0 else 1
 
 
+def _cmd_explain(args, out) -> int:
+    from repro.passes import explain_spec, use_normalization
+
+    # Elaborate with normalization off so the "before" tree is the raw
+    # shape the document spelled, not what oun.elaborate already fused.
+    with use_normalization(False):
+        specs = _load(args.file)
+        spec = _pick(specs, args.spec)
+        for name in args.compose:
+            spec = compose(spec, _pick(specs, name))
+    print(explain_spec(spec), file=out)
+    return 0
+
+
 def _cmd_deadlock(args, out) -> int:
     from repro.liveness import quiescence_analysis
 
@@ -534,6 +577,8 @@ def main(argv: list[str] | None = None, out=None) -> int:
             return _cmd_verify(args, out)
         if args.command == "deadlock":
             return _cmd_deadlock(args, out)
+        if args.command == "explain":
+            return _cmd_explain(args, out)
     except ReproError as exc:
         print(f"error: {exc}", file=out)
         return 2

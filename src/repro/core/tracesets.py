@@ -151,12 +151,27 @@ class ComposedTraceSet(TraceSet):
     harness verifies); ``internal`` is ``I(O)`` for the union object set;
     ``combined`` is ``α(Γ) ∪ α(Δ)`` before hiding and ``alphabet`` the
     observable alphabet after hiding.
+
+    ``hidden_pool`` optionally narrows the patterns from which hidden
+    candidate events are instantiated (witness search and DFA
+    compilation); ``None`` means "use ``combined``".  The normalization
+    pipeline's hidden-pool pruning sets it to the combined patterns that
+    intersect at least one part alphabet — an event matching *no* part
+    alphabet passes no part filter, so inserting it steps every product
+    component identically and can never enable a witness.  ``combined``
+    itself stays untouched: it defines the alphabet algebra of future
+    compositions and the base sorts universes must cover.
     """
 
     alphabet: Alphabet
     combined: Alphabet
     internal: InternalEvents
     parts: tuple[Part, ...]
+    hidden_pool: Alphabet | None = None
+
+    def hidden_source(self) -> Alphabet:
+        """The patterns hidden candidate events are instantiated from."""
+        return self.combined if self.hidden_pool is None else self.hidden_pool
 
     def mentioned_values(self) -> frozenset[Value]:
         out = set(self.combined.mentioned_values())
@@ -204,7 +219,7 @@ class ComposedTraceSet(TraceSet):
         )
         out: list[Event] = []
         seen: set[Event] = set()
-        for p in self.combined.patterns:
+        for p in self.hidden_source().patterns:
             for a, b in self.internal.ordered_pairs():
                 if not (p.caller.contains(a) and p.callee.contains(b)):
                     continue

@@ -17,9 +17,14 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Hashable, Sequence
 
+from typing import TYPE_CHECKING
+
 from repro.core.errors import MachineError
 from repro.core.events import Event
 from repro.core.patterns import EventPattern
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.core.alphabet import Alphabet
 
 from repro.machines.base import TraceMachine
 
@@ -52,7 +57,11 @@ class CounterDef:
 
     ``terms`` maps method names to integer weights; an event adds the
     weight of its method (0 if absent).  ``pattern`` optionally restricts
-    which events count at all (e.g. only calls *to* a particular object).
+    which events count at all (e.g. only calls *to* a particular object);
+    any event set with a ``contains`` method works — a single
+    :class:`~repro.core.patterns.EventPattern` or a whole
+    :class:`~repro.core.alphabet.Alphabet` (the normalization pipeline
+    pushes filters into counters as alphabet-valued patterns).
 
     Prefer *difference* counters (``#(h/OW) − #(h/CW)`` as one counter with
     weights ``+1/−1``) over raw totals: conditions in the paper only ever
@@ -62,7 +71,7 @@ class CounterDef:
     """
 
     terms: tuple[tuple[str, int], ...]
-    pattern: EventPattern | None = None
+    pattern: "EventPattern | Alphabet | None" = None
 
     def delta(self, e: Event) -> int:
         if self.pattern is not None and not self.pattern.contains(e):

@@ -253,6 +253,13 @@ def elaborate(doc: Document) -> dict[str, Specification]:
             *(_entry_pattern(scope, spec, e, sigs) for e in spec.alphabet)
         )
         machine = _build_machine(scope, spec, spec.traces, sigs, {}, {})
+        # Emit through the normalization pipeline: elaboration builds
+        # whatever shape the document spelled (nested renames, True
+        # conjuncts); downstream layers should see the canonical form.
+        # Respects the ambient use_normalization toggle.
+        from repro.passes import normalize_machine
+
+        machine = normalize_machine(machine)
         if isinstance(machine, TrueMachine):
             out[spec.name] = component_spec(spec.name, objects, alphabet)
         else:

@@ -1,0 +1,81 @@
+"""Normalization passes: a canonical IR between elaboration and compilation.
+
+Every layer of the checker used to consume trace sets in whatever raw
+shape :mod:`repro.oun.elaborate` or :mod:`repro.paper.specs` happened to
+build them — nested ``FilterMachine``\\ s, unfused renames, ``TrueMachine``
+conjuncts, hidden-event pools far wider than the events that can matter.
+Definition 1 (prefix-closed predicate sets) licenses a family of
+*trace-equivalent* rewrites; this package applies them once, up front, so
+that DFA exploration (:mod:`repro.automata.build`), cache fingerprints
+(:mod:`repro.checker.cache`) and registry interning
+(:mod:`repro.service.registry`) all see one canonical form.
+
+Two scopes (DESIGN.md §9):
+
+* ``spec`` passes preserve the machine's observable behaviour for *every*
+  consumer — composition re-wraps part machines in
+  ``FilterMachine(part.alphabet, ·)``, monitors project events to the
+  specification alphabet before stepping, and membership only evaluates
+  the predicate on traces over the alphabet — so they are safe at
+  elaboration time and for registry interning;
+* ``compile`` passes additionally rewrite the *structure* of a
+  ``ComposedTraceSet`` (dropping trivial parts, pruning the hidden-event
+  pool).  They preserve the denoted trace set of that trace set but not
+  the part list that :func:`~repro.core.composition.parts_of` reuses to
+  build *future* compositions, so they run only on the copy handed to the
+  DFA compiler.
+
+The invariant every pass carries — the denoted trace set is unchanged —
+is enforced by the randomized equivalence harness in
+``tests/passes/test_equivalence_random.py`` (normalized vs. raw DFA
+language equality over small universes).
+"""
+
+from __future__ import annotations
+
+from repro.passes.base import (
+    COMPILE_SCOPE,
+    SPEC_SCOPE,
+    Pass,
+    PassPipeline,
+    PipelineReport,
+    default_passes,
+    default_pipeline,
+    normalization_enabled,
+    normalize_machine,
+    normalize_spec,
+    normalize_traceset,
+    use_normalization,
+)
+from repro.passes.explain import explain_spec, format_machine_tree, format_traceset
+from repro.passes.machine_passes import (
+    BooleanFoldPass,
+    FilterFusionPass,
+    ProjectionPushdownPass,
+    RenameFusionPass,
+)
+from repro.passes.traceset_passes import PruneHiddenPoolPass, PruneTrivialPartsPass
+
+__all__ = [
+    "COMPILE_SCOPE",
+    "SPEC_SCOPE",
+    "Pass",
+    "PassPipeline",
+    "PipelineReport",
+    "default_passes",
+    "default_pipeline",
+    "normalization_enabled",
+    "normalize_machine",
+    "normalize_spec",
+    "normalize_traceset",
+    "use_normalization",
+    "explain_spec",
+    "format_machine_tree",
+    "format_traceset",
+    "BooleanFoldPass",
+    "FilterFusionPass",
+    "ProjectionPushdownPass",
+    "RenameFusionPass",
+    "PruneHiddenPoolPass",
+    "PruneTrivialPartsPass",
+]

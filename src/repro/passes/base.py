@@ -1,0 +1,275 @@
+"""The ``Pass`` protocol, the ``PassPipeline``, and the ambient toggle.
+
+A pass is a pure function on trace sets: ``run(ts)`` returns a rewritten
+trace set plus how many rewrites fired.  Passes never mutate their input
+and never change the trace set's alphabet — the pipeline checks that
+invariant after every pass (a violated alphabet would silently change the
+universe instantiation and hence the compiled DFA's letters).
+
+The pipeline applies its passes in order, round after round, until a full
+round fires no rewrite (or ``max_rounds`` is hit): passes interact —
+rename fusion can expose a filter fusion which can expose a boolean fold
+— and a bounded fixpoint keeps the interaction simple to reason about.
+Per-pass rewrite counts and wall time accumulate in a
+:class:`~repro.service.metrics.NormalizationMetrics` (surfaced through
+``service.metrics``) and in the per-run :class:`PipelineReport` used by
+``repro explain``.
+
+Normalization is *on* by default and ambiently toggleable
+(:func:`use_normalization`), mirroring the machine cache's ContextVar
+plumbing — the CLI's ``--no-normalize`` and the engine's workers use the
+same switch.
+"""
+
+from __future__ import annotations
+
+import contextlib
+import contextvars
+import time
+from dataclasses import dataclass, field
+
+from repro.core.errors import SpecificationError
+from repro.core.specification import Specification
+from repro.core.tracesets import TraceSet
+from repro.machines.base import TraceMachine
+
+__all__ = [
+    "SPEC_SCOPE",
+    "COMPILE_SCOPE",
+    "Pass",
+    "PassPipeline",
+    "PipelineReport",
+    "default_passes",
+    "default_pipeline",
+    "normalization_enabled",
+    "use_normalization",
+    "normalize_traceset",
+    "normalize_machine",
+    "normalize_spec",
+]
+
+#: Scope of passes that preserve behaviour for every consumer of the
+#: trace set (elaboration, registry interning, further composition).
+SPEC_SCOPE = "spec"
+#: Scope of passes that additionally rewrite composed-trace-set structure
+#: and are therefore applied only to the copy handed to the DFA compiler.
+COMPILE_SCOPE = "compile"
+
+
+class Pass:
+    """One trace-equivalent rewrite pass.
+
+    Subclasses set ``name`` and ``scope`` and implement :meth:`run`;
+    machine-level passes also implement :meth:`run_machine` so the
+    pipeline can normalize a bare machine (elaboration works on machines
+    before any trace set exists).
+
+    The proof obligation every subclass carries: for every trace ``h``
+    over the trace set's alphabet, ``h ∈ run(ts)[0] ⟺ h ∈ ts``
+    (DESIGN.md §9 states the per-pass argument).
+    """
+
+    name: str = "pass"
+    scope: str = SPEC_SCOPE
+
+    def run(self, ts: TraceSet) -> tuple[TraceSet, int]:
+        raise NotImplementedError
+
+    def run_machine(self, machine: TraceMachine) -> tuple[TraceMachine, int]:
+        """Rewrite a bare machine; trace-set-structure passes are no-ops."""
+        return machine, 0
+
+
+@dataclass
+class PassApplication:
+    """Accumulated effect of one pass across a pipeline run."""
+
+    name: str
+    scope: str
+    rewrites: int = 0
+    seconds: float = 0.0
+
+
+@dataclass
+class PipelineReport:
+    """What one pipeline run did: per-pass counters, in order."""
+
+    scope: str
+    rounds: int = 0
+    applications: list[PassApplication] = field(default_factory=list)
+
+    def record(self, name: str, scope: str, rewrites: int, seconds: float) -> None:
+        for app in self.applications:
+            if app.name == name:
+                app.rewrites += rewrites
+                app.seconds += seconds
+                return
+        self.applications.append(PassApplication(name, scope, rewrites, seconds))
+
+    @property
+    def total_rewrites(self) -> int:
+        return sum(app.rewrites for app in self.applications)
+
+    def format_text(self) -> str:
+        lines = []
+        for app in self.applications:
+            lines.append(
+                f"  {app.name:<22} {app.rewrites:4d} rewrite(s)  "
+                f"{app.seconds * 1e3:7.2f} ms  [{app.scope}]"
+            )
+        lines.append(
+            f"  total: {self.total_rewrites} rewrite(s) in "
+            f"{self.rounds} round(s)"
+        )
+        return "\n".join(lines)
+
+
+class PassPipeline:
+    """An ordered pass list applied to a bounded fixpoint."""
+
+    def __init__(
+        self,
+        passes,
+        max_rounds: int = 5,
+        metrics=None,
+    ) -> None:
+        self.passes = tuple(passes)
+        if max_rounds < 1:
+            raise SpecificationError("pipeline needs at least one round")
+        self.max_rounds = max_rounds
+        if metrics is None:
+            # Imported lazily: service.metrics lives above this layer and
+            # importing it at module load would cycle through
+            # service/__init__ → registry → passes.
+            from repro.service.metrics import NormalizationMetrics
+
+            metrics = NormalizationMetrics()
+        self.metrics = metrics
+
+    def passes_for(self, scope: str) -> tuple[Pass, ...]:
+        if scope == COMPILE_SCOPE:
+            return self.passes
+        return tuple(p for p in self.passes if p.scope == SPEC_SCOPE)
+
+    def run(self, ts: TraceSet, scope: str = COMPILE_SCOPE):
+        """Normalize a trace set; returns ``(trace set, PipelineReport)``."""
+        report = PipelineReport(scope=scope)
+        chosen = self.passes_for(scope)
+        for _ in range(self.max_rounds):
+            report.rounds += 1
+            fired = 0
+            for p in chosen:
+                start = time.perf_counter()
+                out, n = p.run(ts)
+                seconds = time.perf_counter() - start
+                if n and out.alphabet != ts.alphabet:
+                    raise SpecificationError(
+                        f"pass {p.name!r} changed the trace-set alphabet — "
+                        f"every pass must preserve it"
+                    )
+                ts = out
+                fired += n
+                report.record(p.name, p.scope, n, seconds)
+                self.metrics.record_pass(p.name, n, seconds)
+            if fired == 0:
+                break
+        self.metrics.record_run(report.total_rewrites)
+        return ts, report
+
+    def normalize_traceset(self, ts: TraceSet, scope: str = COMPILE_SCOPE) -> TraceSet:
+        return self.run(ts, scope)[0]
+
+    def normalize_machine(self, machine: TraceMachine) -> TraceMachine:
+        """Normalize a bare machine with the spec-scope machine passes."""
+        for _ in range(self.max_rounds):
+            fired = 0
+            for p in self.passes_for(SPEC_SCOPE):
+                start = time.perf_counter()
+                machine, n = p.run_machine(machine)
+                seconds = time.perf_counter() - start
+                fired += n
+                self.metrics.record_pass(p.name, n, seconds)
+            if fired == 0:
+                break
+        return machine
+
+
+# ----------------------------------------------------------------------
+# the default pipeline and the ambient toggle
+# ----------------------------------------------------------------------
+
+
+def default_passes() -> tuple[Pass, ...]:
+    """The standard pass order (each pass documents its equivalence proof)."""
+    from repro.passes.machine_passes import (
+        BooleanFoldPass,
+        FilterFusionPass,
+        ProjectionPushdownPass,
+        RenameFusionPass,
+    )
+    from repro.passes.traceset_passes import (
+        PruneHiddenPoolPass,
+        PruneTrivialPartsPass,
+    )
+
+    return (
+        RenameFusionPass(),
+        FilterFusionPass(),
+        BooleanFoldPass(),
+        ProjectionPushdownPass(),
+        PruneTrivialPartsPass(),
+        PruneHiddenPoolPass(),
+    )
+
+
+_DEFAULT_PIPELINE: PassPipeline | None = None
+
+
+def default_pipeline() -> PassPipeline:
+    """The process-wide pipeline (and its accumulated metrics)."""
+    global _DEFAULT_PIPELINE
+    if _DEFAULT_PIPELINE is None:
+        _DEFAULT_PIPELINE = PassPipeline(default_passes())
+    return _DEFAULT_PIPELINE
+
+
+_ENABLED: contextvars.ContextVar[bool] = contextvars.ContextVar(
+    "repro_normalization", default=True
+)
+
+
+def normalization_enabled() -> bool:
+    """Whether the ambient toggle currently enables normalization."""
+    return _ENABLED.get()
+
+
+@contextlib.contextmanager
+def use_normalization(enabled: bool):
+    """Ambiently enable/disable normalization for a block (ContextVar)."""
+    token = _ENABLED.set(bool(enabled))
+    try:
+        yield
+    finally:
+        _ENABLED.reset(token)
+
+
+def normalize_traceset(ts: TraceSet, scope: str = COMPILE_SCOPE) -> TraceSet:
+    """Normalize through the default pipeline, respecting the toggle."""
+    if not normalization_enabled():
+        return ts
+    return default_pipeline().normalize_traceset(ts, scope)
+
+
+def normalize_machine(machine: TraceMachine) -> TraceMachine:
+    """Normalize a bare machine (spec scope), respecting the toggle."""
+    if not normalization_enabled():
+        return machine
+    return default_pipeline().normalize_machine(machine)
+
+
+def normalize_spec(spec: Specification, scope: str = SPEC_SCOPE) -> Specification:
+    """A specification with its trace set normalized (alphabet unchanged)."""
+    traces = normalize_traceset(spec.traces, scope)
+    if traces is spec.traces:
+        return spec
+    return Specification(spec.name, spec.objects, spec.alphabet, traces)

@@ -1,0 +1,123 @@
+"""Human-readable machine trees and the ``repro explain`` report.
+
+``explain_spec`` shows what normalization does to one specification: the
+machine tree before, the tree after, and the per-pass rewrite counts —
+the observable half of the pipeline's "canonical IR" claim, and the
+quickest way to see why a cache key changed (or stopped changing).
+"""
+
+from __future__ import annotations
+
+from repro.core.tracesets import (
+    ComposedTraceSet,
+    FullTraceSet,
+    MachineTraceSet,
+    TraceSet,
+)
+from repro.machines.base import TraceMachine
+from repro.machines.boolean import (
+    AndMachine,
+    FalseMachine,
+    NotMachine,
+    OrMachine,
+    TrueMachine,
+)
+from repro.machines.projection import FilterMachine, OnlyMachine
+from repro.machines.rename import RenameMachine
+from repro.passes.base import (
+    COMPILE_SCOPE,
+    PassPipeline,
+    PipelineReport,
+    default_passes,
+)
+
+__all__ = ["format_machine_tree", "format_traceset", "explain_spec"]
+
+
+def _label(m: TraceMachine) -> str:
+    if isinstance(m, TrueMachine):
+        return "True"
+    if isinstance(m, FalseMachine):
+        return "False"
+    if isinstance(m, AndMachine):
+        return "And"
+    if isinstance(m, OrMachine):
+        return "Or"
+    if isinstance(m, NotMachine):
+        return "Not"
+    if isinstance(m, FilterMachine):
+        return f"Filter[{m.event_set}]"
+    if isinstance(m, RenameMachine):
+        pairs = ", ".join(
+            f"{k}→{v}" for k, v in sorted(m.inverse.items(), key=repr)
+        )
+        return f"Rename[{pairs}]"
+    if isinstance(m, OnlyMachine):
+        return f"Only[{m.event_set}]"
+    return repr(m)
+
+
+def _machine_children(m: TraceMachine) -> tuple[TraceMachine, ...]:
+    if isinstance(m, (AndMachine, OrMachine)):
+        return m.parts
+    if isinstance(m, (NotMachine, FilterMachine, RenameMachine)):
+        return (m.inner,)
+    return ()
+
+
+def format_machine_tree(machine: TraceMachine, indent: str = "") -> str:
+    """One line per node, children indented two spaces under the parent."""
+    lines = [indent + _label(machine)]
+    for child in _machine_children(machine):
+        lines.append(format_machine_tree(child, indent + "  "))
+    return "\n".join(lines)
+
+
+def format_traceset(ts: TraceSet, indent: str = "") -> str:
+    """The trace-set shape with each machine rendered as a tree."""
+    if isinstance(ts, FullTraceSet):
+        return indent + "FullTraceSet (Seq[α])"
+    if isinstance(ts, MachineTraceSet):
+        return (
+            indent
+            + "MachineTraceSet\n"
+            + format_machine_tree(ts.predicate, indent + "  ")
+        )
+    if isinstance(ts, ComposedTraceSet):
+        lines = [indent + f"ComposedTraceSet ({len(ts.parts)} part(s))"]
+        for i, p in enumerate(ts.parts):
+            lines.append(indent + f"  part {i}: α = {p.alphabet}")
+            lines.append(format_machine_tree(p.machine, indent + "    "))
+        source = ts.hidden_source()
+        lines.append(
+            indent
+            + f"  hidden pool: {len(source.patterns)} pattern(s)"
+            + ("" if ts.hidden_pool is None else " (pruned)")
+        )
+        return "\n".join(lines)
+    return indent + repr(ts)
+
+
+def explain_spec(spec, scope: str = COMPILE_SCOPE) -> str:
+    """The before/after normalization report for one specification.
+
+    Runs a *fresh* pipeline (so the report's counters cover exactly this
+    spec, not whatever the process-wide pipeline accumulated) at
+    ``scope`` — by default the compile scope the DFA builder uses.
+    """
+    pipeline = PassPipeline(default_passes())
+    normalized, report = pipeline.run(spec.traces, scope)
+    lines = [
+        f"specification {spec.name}",
+        f"  alphabet: {spec.alphabet}",
+        "",
+        "before normalization:",
+        format_traceset(spec.traces, "  "),
+        "",
+        "after normalization:",
+        format_traceset(normalized, "  "),
+        "",
+        "passes:",
+        report.format_text(),
+    ]
+    return "\n".join(lines)

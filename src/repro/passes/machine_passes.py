@@ -1,0 +1,404 @@
+"""Machine-tree rewrite passes (all ``spec`` scope).
+
+Each pass here rewrites a machine into one with *identical ``ok``
+behaviour on every event sequence* — not merely the same accepted
+language.  Pointwise equivalence is the strongest soundness notion and
+the easiest to audit: it survives every context a machine can appear in
+(under ``NotMachine``, under a ``FilterMachine`` that feeds a filtered
+subsequence, inside a composition product), so bottom-up application
+needs no side conditions.
+
+The one family of rewrites that is *not* pointwise — dropping a root
+``FilterMachine`` whose set covers the trace-set alphabet — needs the
+ambient alphabet as context and therefore lives in
+:class:`ProjectionPushdownPass`, which rewrites at the trace-set level
+where that alphabet is known (see the class docstring for why the
+covered-filter drop is still safe for every consumer).
+
+Rewrites are applied by :func:`rewrite_bottom_up`: children first (so a
+rename fusion can expose a filter fusion in one round), then the root
+rule to its own fixpoint.  Every rule strictly shrinks a syntactic
+measure (node count, or identity-entry count of a rename), so the loops
+terminate.
+"""
+
+from __future__ import annotations
+
+from repro.core.alphabet import Alphabet
+from repro.core.patterns import EventPattern
+from repro.core.tracesets import (
+    ComposedTraceSet,
+    FullTraceSet,
+    MachineTraceSet,
+    Part,
+    TraceSet,
+)
+from repro.machines.base import TraceMachine
+from repro.machines.boolean import (
+    AndMachine,
+    FalseMachine,
+    NotMachine,
+    OrMachine,
+    TrueMachine,
+)
+from repro.machines.counting import CounterDef, CountingMachine
+from repro.machines.projection import FilterMachine
+from repro.machines.rename import RenameMachine
+from repro.passes.base import SPEC_SCOPE, Pass
+
+__all__ = [
+    "MachinePass",
+    "rewrite_bottom_up",
+    "RenameFusionPass",
+    "FilterFusionPass",
+    "BooleanFoldPass",
+    "ProjectionPushdownPass",
+]
+
+
+# ----------------------------------------------------------------------
+# generic tree traversal
+# ----------------------------------------------------------------------
+
+def _children(m: TraceMachine) -> tuple[TraceMachine, ...]:
+    """Rewritable sub-machines.
+
+    ``ForallMachine`` bodies hide behind a factory closure and regex /
+    counting machines are leaves for tree purposes — both return ``()``.
+    """
+    if isinstance(m, (AndMachine, OrMachine)):
+        return m.parts
+    if isinstance(m, NotMachine):
+        return (m.inner,)
+    if isinstance(m, FilterMachine):
+        return (m.inner,)
+    if isinstance(m, RenameMachine):
+        return (m.inner,)
+    return ()
+
+
+def _rebuild(m: TraceMachine, children: tuple[TraceMachine, ...]) -> TraceMachine:
+    if isinstance(m, AndMachine):
+        return AndMachine(children)
+    if isinstance(m, OrMachine):
+        return OrMachine(children)
+    if isinstance(m, NotMachine):
+        return NotMachine(children[0])
+    if isinstance(m, FilterMachine):
+        return FilterMachine(m.event_set, children[0])
+    if isinstance(m, RenameMachine):
+        return RenameMachine(m.inverse, children[0])
+    raise AssertionError(f"not a rebuildable machine: {m!r}")
+
+
+def rewrite_bottom_up(machine: TraceMachine, rule) -> tuple[TraceMachine, int]:
+    """Apply ``rule(m) -> m' | None`` everywhere, children before parents.
+
+    Returns the rewritten machine and the number of rule firings.  The
+    root rule is looped to its own fixpoint (a firing may expose another
+    — ``Rename(Rename(Rename ...))`` fuses pairwise).
+    """
+    count = 0
+    kids = _children(machine)
+    if kids:
+        new_kids = []
+        changed = False
+        for k in kids:
+            nk, n = rewrite_bottom_up(k, rule)
+            count += n
+            changed = changed or nk is not k
+            new_kids.append(nk)
+        if changed:
+            machine = _rebuild(machine, tuple(new_kids))
+    while True:
+        out = rule(machine)
+        if out is None:
+            return machine, count
+        machine = out
+        count += 1
+
+
+class MachinePass(Pass):
+    """A pass defined by one local (pointwise-sound) rewrite rule."""
+
+    scope = SPEC_SCOPE
+
+    def rewrite(self, m: TraceMachine) -> TraceMachine | None:
+        """Rewrite ``m`` at the root, or ``None`` when nothing applies."""
+        raise NotImplementedError
+
+    def run_machine(self, machine: TraceMachine) -> tuple[TraceMachine, int]:
+        return rewrite_bottom_up(machine, self.rewrite)
+
+    def run(self, ts: TraceSet) -> tuple[TraceSet, int]:
+        if isinstance(ts, MachineTraceSet):
+            m, n = self.run_machine(ts.predicate)
+            if n == 0:
+                return ts, 0
+            return MachineTraceSet(ts.alphabet, m), n
+        if isinstance(ts, ComposedTraceSet):
+            # Part machines are only ever consumed under
+            # ``FilterMachine(part.alphabet, ·)`` (``_machines()`` in both
+            # the membership search and the compiler), so pointwise
+            # rewrites apply to them unconditionally.
+            count = 0
+            parts = []
+            for p in ts.parts:
+                m, n = self.run_machine(p.machine)
+                count += n
+                parts.append(Part(p.alphabet, m) if n else p)
+            if count == 0:
+                return ts, 0
+            return ComposedTraceSet(
+                alphabet=ts.alphabet,
+                combined=ts.combined,
+                internal=ts.internal,
+                parts=tuple(parts),
+                hidden_pool=ts.hidden_pool,
+            ), count
+        return ts, 0
+
+
+# ----------------------------------------------------------------------
+# the rules
+# ----------------------------------------------------------------------
+
+
+class RenameFusionPass(MachinePass):
+    """Fuse nested renames, drop identity entries and identity renames.
+
+    * ``Rename(σ, Rename(τ, M)) → Rename(τ∘σ, M)`` — the outer machine
+      translates each event through σ then hands it to the inner, which
+      translates through τ; one map computing ``τ(σ(v))`` per position is
+      pointwise identical (``rename_event`` applies its mapping once per
+      position).
+    * entries ``v ↦ v`` never change an event; dropping them is a no-op
+      on behaviour, and a rename whose map becomes empty *is* its inner
+      machine (same states, same steps, same ``ok``).
+    * ``Rename(σ, True/False)`` is the constant machine itself.
+    """
+
+    name = "rename-fusion"
+
+    def rewrite(self, m: TraceMachine) -> TraceMachine | None:
+        if not isinstance(m, RenameMachine):
+            return None
+        if isinstance(m.inner, (TrueMachine, FalseMachine)):
+            return m.inner
+        inv = {k: v for k, v in m.inverse.items() if k != v}
+        if not inv:
+            return m.inner
+        if isinstance(m.inner, RenameMachine):
+            outer, inner = inv, m.inner.inverse
+            fused = {}
+            for v in set(outer) | set(inner):
+                w = outer.get(v, v)
+                w = inner.get(w, w)
+                if w != v:
+                    fused[v] = w
+            return RenameMachine(fused, m.inner.inner)
+        if len(inv) != len(m.inverse):
+            return RenameMachine(inv, m.inner)
+        return None
+
+
+class FilterFusionPass(MachinePass):
+    """Fuse nested filters, collapse trivial filters, push into counters.
+
+    * ``Filter(S₁, Filter(S₂, M))`` steps ``M`` exactly on ``e ∈ S₁∩S₂``;
+      when one alphabet contains the other (decided exactly by
+      ``Alphabet.is_subset``) the smaller filter alone is pointwise
+      identical.
+    * ``Filter(S, True/False)`` is the constant machine (single state,
+      constant ``ok``).
+    * ``Filter(S, Counting)`` with every counter unpatterned becomes the
+      counting machine with each counter patterned by ``S``: a counter's
+      ``delta`` is 0 outside ``S`` either way, and re-writing an integer
+      tuple with all-zero deltas is the tuple itself (saturation clamps
+      already-clamped values).  This is the "pushdown into counting
+      machines" of the pipeline: the filter node disappears and the DFA
+      exploration steps one machine instead of two.  (Regex machines kill
+      configurations on non-matching events instead of skipping them, so
+      a filter can NOT be pushed into a ``PrsMachine``; for those the win
+      comes from :class:`ProjectionPushdownPass` dropping covered root
+      filters.)
+    """
+
+    name = "filter-fusion"
+
+    def rewrite(self, m: TraceMachine) -> TraceMachine | None:
+        if not isinstance(m, FilterMachine):
+            return None
+        if isinstance(m.inner, (TrueMachine, FalseMachine)):
+            return m.inner
+        if (
+            isinstance(m.inner, FilterMachine)
+            and isinstance(m.event_set, Alphabet)
+            and isinstance(m.inner.event_set, Alphabet)
+        ):
+            outer, inner = m.event_set, m.inner.event_set
+            if inner.is_subset(outer):
+                return m.inner
+            if outer.is_subset(inner):
+                return FilterMachine(outer, m.inner.inner)
+        if (
+            isinstance(m.inner, CountingMachine)
+            and isinstance(m.event_set, (Alphabet, EventPattern))
+            and all(c.pattern is None for c in m.inner.counters)
+        ):
+            counters = tuple(
+                CounterDef(c.terms, m.event_set) for c in m.inner.counters
+            )
+            return CountingMachine(
+                counters, m.inner.condition, m.inner.saturate_at
+            )
+        return None
+
+
+class BooleanFoldPass(MachinePass):
+    """Constant-fold boolean machines.
+
+    All pointwise: ``ok`` of a product state is a pure boolean function
+    of the component ``ok``\\ s, evaluated prefix by prefix.
+
+    * flatten ``And(And(a,b),c) → And(a,b,c)`` (and dually for ``Or``);
+    * ``True ∧ M → M``, ``False ∨ M → M`` (unit), ``False ∧ M → False``,
+      ``True ∨ M → True`` (absorption — constant at every prefix);
+    * drop duplicate operands, identified by structural fingerprint
+      (machines are deterministic functions of their definitional
+      content, so equal fingerprints mean pointwise-equal behaviour;
+      unfingerprintable operands are conservatively kept);
+    * unwrap singleton products, ``¬¬M → M``, ``¬True → False``,
+      ``¬False → True``.
+    """
+
+    name = "boolean-fold"
+
+    def rewrite(self, m: TraceMachine) -> TraceMachine | None:
+        if isinstance(m, NotMachine):
+            if isinstance(m.inner, TrueMachine):
+                return FalseMachine()
+            if isinstance(m.inner, FalseMachine):
+                return TrueMachine()
+            if isinstance(m.inner, NotMachine):
+                return m.inner.inner
+            return None
+        if not isinstance(m, (AndMachine, OrMachine)):
+            return None
+        is_and = isinstance(m, AndMachine)
+        unit = TrueMachine if is_and else FalseMachine
+        zero = FalseMachine if is_and else TrueMachine
+        parts: list[TraceMachine] = []
+        fingerprints: set[str] = set()
+        changed = False
+        stack = list(reversed(m.parts))
+        while stack:
+            p = stack.pop()
+            if type(p) is type(m):
+                stack.extend(reversed(p.parts))
+                changed = True
+                continue
+            if isinstance(p, unit):
+                changed = True
+                continue
+            if isinstance(p, zero):
+                return zero()
+            fp = _try_fingerprint(p)
+            if fp is not None:
+                if fp in fingerprints:
+                    changed = True
+                    continue
+                fingerprints.add(fp)
+            parts.append(p)
+        if not parts:
+            return unit()
+        if len(parts) == 1:
+            return parts[0]
+        if changed:
+            return AndMachine(parts) if is_and else OrMachine(parts)
+        return None
+
+
+def _try_fingerprint(machine: TraceMachine) -> str | None:
+    # Lazy: repro.checker imports repro.passes (via compile), so the
+    # reverse module-level import would cycle.
+    from repro.checker.fingerprint import fingerprint
+
+    from repro.core.errors import FingerprintError
+
+    try:
+        return fingerprint(machine)
+    except FingerprintError:
+        return None
+
+
+class ProjectionPushdownPass(Pass):
+    """Drop root filters covered by the ambient alphabet.
+
+    The one alphabet-*relative* pass: ``FilterMachine(S, M)`` at the top
+    of a trace-set predicate is pointless when ``α ⊆ S`` — every event
+    the machine will ever see is already in ``S``, so the filter passes
+    everything and the node is pure overhead per step.  "Every event it
+    will ever see" holds for all consumers of a trace set:
+
+    * membership (``MachineTraceSet.contains``) checks ``over_alphabet``
+      before running the predicate;
+    * runtime monitors project events to the specification alphabet
+      before stepping (``SpecMonitor.observe``);
+    * compilation enumerates letters from the trace-set alphabet;
+    * composition wraps every part machine in
+      ``FilterMachine(part.alphabet, ·)``, so a part machine only ever
+      sees events of its part alphabet — which makes the same drop valid
+      at the top of each part, relative to the *part* alphabet.
+
+    Also rewrites ``MachineTraceSet(α, True) → FullTraceSet(α)`` so the
+    trivial predicate has one canonical spelling (one fingerprint, one
+    cache entry, and a shape :class:`~repro.passes.traceset_passes.PruneTrivialPartsPass`
+    and the compiler's fast path recognise).
+    """
+
+    name = "projection-pushdown"
+    scope = SPEC_SCOPE
+
+    @staticmethod
+    def _drop_covered(machine: TraceMachine, alphabet: Alphabet):
+        n = 0
+        while (
+            isinstance(machine, FilterMachine)
+            and isinstance(machine.event_set, Alphabet)
+            and alphabet.is_subset(machine.event_set)
+        ):
+            machine = machine.inner
+            n += 1
+        return machine, n
+
+    def run(self, ts: TraceSet) -> tuple[TraceSet, int]:
+        if isinstance(ts, MachineTraceSet):
+            m, n = self._drop_covered(ts.predicate, ts.alphabet)
+            if isinstance(m, TrueMachine):
+                return FullTraceSet(ts.alphabet), n + 1
+            if n == 0:
+                return ts, 0
+            return MachineTraceSet(ts.alphabet, m), n
+        if isinstance(ts, ComposedTraceSet):
+            count = 0
+            parts = []
+            for p in ts.parts:
+                m, n = self._drop_covered(p.machine, p.alphabet)
+                count += n
+                parts.append(Part(p.alphabet, m) if n else p)
+            if count == 0:
+                return ts, 0
+            return ComposedTraceSet(
+                alphabet=ts.alphabet,
+                combined=ts.combined,
+                internal=ts.internal,
+                parts=tuple(parts),
+                hidden_pool=ts.hidden_pool,
+            ), count
+        return ts, 0
+
+    def run_machine(self, machine: TraceMachine) -> tuple[TraceMachine, int]:
+        # Without a trace set there is no ambient alphabet to compare
+        # against; nothing is safe to drop.
+        return machine, 0

@@ -1,0 +1,93 @@
+"""Composed-trace-set structure passes (``compile`` scope).
+
+These two passes preserve the *denoted trace set* of a
+``ComposedTraceSet`` but change structure that other layers reuse for
+purposes beyond denotation — ``parts_of`` flattens ``parts`` into future
+compositions (where a dropped trivial part would narrow the future
+combined alphabet), and ``combined`` feeds universe base-sort discovery.
+They therefore run only on the copy handed to the DFA compiler
+(:func:`repro.checker.compile.traceset_dfa`), never on the trace set a
+specification carries.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+from repro.core.alphabet import Alphabet
+from repro.core.tracesets import ComposedTraceSet, TraceSet
+from repro.machines.boolean import TrueMachine
+from repro.passes.base import COMPILE_SCOPE, Pass
+
+__all__ = ["PruneTrivialPartsPass", "PruneHiddenPoolPass"]
+
+
+class PruneTrivialPartsPass(Pass):
+    """Drop ``TrueMachine`` parts from a composition product.
+
+    A part contributes ``FilterMachine(part.alphabet, TrueMachine())`` to
+    the product — a single-state component whose ``ok`` is constantly
+    true.  Removing it is a bijection on product states that changes no
+    ``ok`` value, so the witness search and the subset construction
+    accept exactly the same observable traces while stepping one machine
+    fewer per event.  (``Read ‖ Client`` drops the ``Read`` component
+    entirely: Example 1's ``T(Read) = Seq[α]``.)
+
+    Compile scope: the part list also records which alphabets future
+    compositions union over (``parts_of``), and a full-trace-set part
+    must keep contributing its alphabet there.
+    """
+
+    name = "prune-trivial-parts"
+    scope = COMPILE_SCOPE
+
+    def run(self, ts: TraceSet) -> tuple[TraceSet, int]:
+        if not isinstance(ts, ComposedTraceSet):
+            return ts, 0
+        kept = tuple(
+            p for p in ts.parts if not isinstance(p.machine, TrueMachine)
+        )
+        dropped = len(ts.parts) - len(kept)
+        if dropped == 0:
+            return ts, 0
+        return dataclasses.replace(ts, parts=kept), dropped
+
+
+class PruneHiddenPoolPass(Pass):
+    """Restrict hidden-event instantiation to patterns some part can see.
+
+    Hidden candidate events are instantiated from the combined-alphabet
+    patterns; a pattern disjoint from *every* part alphabet (decided
+    exactly at the pattern level) yields only events that pass no part
+    filter — inserting such an event is an identity step of the whole
+    product, which the memoised witness search and the ε-closure both
+    already discard as a revisited state.  Pruning those patterns skips
+    the instantiation and the wasted identity steps without changing the
+    denoted trace set or the compiled DFA.
+
+    Compile scope: ``combined`` stays what composition algebra defined it
+    to be; the narrowing lives in the ``hidden_pool`` override that only
+    :meth:`~repro.core.tracesets.ComposedTraceSet.hidden_source`
+    consumers read.
+    """
+
+    name = "prune-hidden-pool"
+    scope = COMPILE_SCOPE
+
+    def run(self, ts: TraceSet) -> tuple[TraceSet, int]:
+        if not isinstance(ts, ComposedTraceSet):
+            return ts, 0
+        source = ts.hidden_source()
+        kept = tuple(
+            p
+            for p in source.patterns
+            if any(
+                p.intersection(q) is not None
+                for part in ts.parts
+                for q in part.alphabet.patterns
+            )
+        )
+        pruned = len(source.patterns) - len(kept)
+        if pruned == 0:
+            return ts, 0
+        return dataclasses.replace(ts, hidden_pool=Alphabet(kept)), pruned

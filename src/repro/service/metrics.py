@@ -17,6 +17,7 @@ __all__ = [
     "LatencyHistogram",
     "ServiceMetrics",
     "CheckerMetrics",
+    "NormalizationMetrics",
     "DEFAULT_BUCKETS",
     "OBLIGATION_BUCKETS",
 ]
@@ -169,6 +170,69 @@ class CheckerMetrics:
             f"wall: count={self.wall.count} mean={self.wall.mean:.3f}s "
             f"total={self.wall.total:.3f}s"
         )
+        return "\n".join(lines)
+
+
+class NormalizationMetrics:
+    """Per-pass rewrite counts and wall time for a normalization pipeline.
+
+    One instance lives on each :class:`~repro.passes.base.PassPipeline`
+    (the process-wide default pipeline accumulates across every
+    normalization the process runs).  Same conventions as the sibling
+    classes: monotonic counters mutated from one thread, a stable
+    ``snapshot()`` shape, a compact ``format_text()``.  Kept out of
+    :meth:`ServiceMetrics.snapshot` so the service snapshot shape stays
+    what existing tests and dashboards pin.
+    """
+
+    def __init__(self) -> None:
+        self.normalizations = 0
+        self.rewrites = 0
+        self.pass_rewrites: dict[str, int] = {}
+        self.pass_seconds: dict[str, float] = {}
+
+    # -- recording -----------------------------------------------------------
+
+    def record_pass(self, name: str, rewrites: int, seconds: float) -> None:
+        """One application of one pass (possibly zero rewrites)."""
+        self.pass_rewrites[name] = self.pass_rewrites.get(name, 0) + rewrites
+        self.pass_seconds[name] = self.pass_seconds.get(name, 0.0) + seconds
+
+    def record_run(self, rewrites: int) -> None:
+        """One whole pipeline run over one trace set."""
+        self.normalizations += 1
+        self.rewrites += rewrites
+
+    # -- reporting -----------------------------------------------------------
+
+    def snapshot(self) -> dict:
+        """A plain-dict snapshot; keys are stable for tests and dumps."""
+        return {
+            "normalizations": self.normalizations,
+            "rewrites": self.rewrites,
+            "passes": {
+                name: {
+                    "rewrites": self.pass_rewrites.get(name, 0),
+                    "seconds": self.pass_seconds.get(name, 0.0),
+                }
+                for name in sorted(
+                    set(self.pass_rewrites) | set(self.pass_seconds)
+                )
+            },
+        }
+
+    def format_text(self) -> str:
+        """A compact human-readable dump (one counter per line)."""
+        snap = self.snapshot()
+        lines = [
+            f"normalizations={snap['normalizations']}",
+            f"rewrites={snap['rewrites']}",
+        ]
+        for name, entry in snap["passes"].items():
+            lines.append(
+                f"pass[{name}]: rewrites={entry['rewrites']} "
+                f"seconds={entry['seconds']:.4f}"
+            )
         return "\n".join(lines)
 
 

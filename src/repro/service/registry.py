@@ -39,8 +39,23 @@ __all__ = ["CompiledSpec", "SpecRegistry", "shared_machine_count"]
 _SHARED_MACHINES: dict[str, TraceMachine] = {}
 
 
+def _normalized(traces):
+    """The trace set in canonical (spec-scope) normalized form.
+
+    Interning after normalization means syntactic variants of one spec
+    — an unfused rename, a redundant ``True`` conjunct — land on one
+    fingerprint and share one machine.  Spec-scope passes are monitor-safe:
+    monitors project events to the specification alphabet before stepping.
+    Respects the ambient :func:`~repro.passes.use_normalization` toggle.
+    """
+    from repro.passes import SPEC_SCOPE, normalize_traceset
+
+    return normalize_traceset(traces, SPEC_SCOPE)
+
+
 def _intern_machine(traces) -> TraceMachine:
     """The shared machine for a trace set, building it on first sight."""
+    traces = _normalized(traces)
     try:
         key = fingerprint(traces)
     except FingerprintError:
@@ -79,7 +94,7 @@ class SpecRegistry:
         self._compiled: dict[str, CompiledSpec] = {}
         self._unmonitorable: dict[str, str] = {}
         build = _intern_machine if share_machines else (
-            lambda traces: traces.machine()
+            lambda traces: _normalized(traces).machine()
         )
         for spec in specs:
             if isinstance(spec.traces, (MachineTraceSet, FullTraceSet)):

@@ -125,3 +125,55 @@ def test_equivalence_counterexample_direction():
     cex = equivalence_counterexample(only_a, full)
     assert cex is not None
     assert full.accepts(cex) != only_a.accepts(cex)
+
+
+def test_product_accepts_reordered_letter_tuples():
+    # Only the letter *sets* must agree; the result uses canonical order.
+    fwd = DFA(("a", "b"), ({"a": 0, "b": 1}, {"a": 1, "b": 1}), 0, frozenset({0}))
+    rev = DFA(("b", "a"), ({"b": 0, "a": 1}, {"b": 1, "a": 1}), 0, frozenset({0}))
+    both = intersection(fwd, rev)
+    assert both.letters == ("a", "b")
+    for w in words(4):
+        assert both.accepts(w) == (fwd.accepts(w) and rev.accepts(w))
+
+
+def test_alphabet_mismatch_error_names_letters():
+    import pytest
+
+    from repro.core.errors import AutomatonError
+
+    a = DFA(("a", "b"), ({"a": 0, "b": 0},), 0, frozenset({0}))
+    c = DFA(("a", "c"), ({"a": 0, "c": 0},), 0, frozenset({0}))
+    with pytest.raises(AutomatonError) as err:
+        intersection(a, c)
+    message = str(err.value)
+    assert "only in left" in message and "b" in message
+    assert "only in right" in message and "c" in message
+
+
+def test_alphabet_mismatch_error_truncates_long_diffs():
+    import pytest
+
+    from repro.core.errors import AutomatonError
+
+    many = tuple(f"x{i}" for i in range(8))
+    a = DFA(("a",), ({"a": 0},), 0, frozenset({0}))
+    b = DFA(("a",) + many, ({letter: 0 for letter in ("a",) + many},), 0, frozenset({0}))
+    with pytest.raises(AutomatonError) as err:
+        intersection(a, b)
+    assert "+3 more" in str(err.value)
+
+
+@settings(max_examples=40)
+@given(dfas(), dfas())
+def test_inclusion_minimize_threshold_preserves_answer(a, b):
+    # Minimising the operands is language-preserving, so the verdict and
+    # the (shortest) counterexample length cannot depend on the threshold.
+    eager = inclusion_counterexample(a, b, minimize_above=0)
+    never = inclusion_counterexample(a, b, minimize_above=None)
+    if eager is None:
+        assert never is None
+    else:
+        assert never is not None
+        assert len(eager) == len(never)
+        assert a.accepts(eager) and not b.accepts(eager)

@@ -1,0 +1,114 @@
+"""Spec transforms composed with normalization.
+
+The spec-scope passes are pointwise machine rewrites and the transforms
+of :mod:`repro.core.transform` are algebra on specifications — the two
+should commute up to trace equality: transforming a normalized spec and
+normalizing a transformed spec must denote the same trace set (checked
+as DFA language equality over a shared universe).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.automata.ops import equivalence_counterexample
+from repro.checker.compile import traceset_dfa
+from repro.checker.universe import FiniteUniverse
+from repro.core.sorts import DATA, Sort
+from repro.core.transform import (
+    expand_alphabet,
+    rename_objects,
+    restrict_communication,
+    strengthen,
+)
+from repro.core.patterns import EventPattern
+from repro.machines.boolean import AndMachine, TrueMachine
+from repro.machines.counting import CountingMachine, Linear, method_counter
+from repro.passes import SPEC_SCOPE, normalize_spec
+
+
+def _strengthen_noisy(spec):
+    """Strengthen with a redundant ``True`` conjunct wrapped in noise."""
+    extra = AndMachine((TrueMachine(), TrueMachine()))
+    return strengthen(spec, extra, name=f"{spec.name}+noise")
+
+
+def _strengthen_counting(spec):
+    machine = CountingMachine(
+        (method_counter("OW"),), Linear((1,), -2, "<="), saturate_at=3
+    )
+    return strengthen(spec, machine, name=f"{spec.name}+count")
+
+
+def _expand(spec):
+    extra = EventPattern(
+        Sort.base("Obj", [o for o in spec.objects]),
+        Sort.values(next(iter(spec.objects))),
+        "PING",
+        (),
+    )
+    return expand_alphabet(spec, (extra,), name=f"{spec.name}*ping")
+
+
+def _restrict(spec):
+    return restrict_communication(
+        spec, list(spec.objects), name=f"{spec.name}@self"
+    )
+
+
+def _rename_twice(cast):
+    """Two stacked renames — the shape rename fusion exists for."""
+
+    def transform(spec):
+        once = rename_objects(spec, {cast.o: cast.mon}, name=f"{spec.name}~1")
+        return rename_objects(once, {cast.mon: cast.o}, name=f"{spec.name}~2")
+
+    return transform
+
+
+def _language_equal(spec_a, spec_b):
+    u = FiniteUniverse.for_specs(spec_a, spec_b, env_objects=1)
+    a = traceset_dfa(spec_a.traces, u, normalize=False)
+    b = traceset_dfa(spec_b.traces, u, normalize=False)
+    return equivalence_counterexample(a, b)
+
+
+TRANSFORMS = {
+    "strengthen-noise": _strengthen_noisy,
+    "strengthen-counting": _strengthen_counting,
+    "expand-alphabet": _expand,
+    "restrict-communication": _restrict,
+}
+
+
+@pytest.mark.parametrize("name", sorted(TRANSFORMS))
+def test_transform_commutes_with_normalization(cast, name):
+    transform = TRANSFORMS[name]
+    spec = cast.write()
+    left = normalize_spec(transform(spec), SPEC_SCOPE)
+    right = transform(normalize_spec(spec, SPEC_SCOPE))
+    assert left.alphabet == right.alphabet
+    word = _language_equal(left, right)
+    assert word is None, f"{name}: distinguishing word {word!r}"
+
+
+def test_rename_objects_commutes_with_normalization(cast):
+    transform = _rename_twice(cast)
+    spec = cast.write()
+    left = normalize_spec(transform(spec), SPEC_SCOPE)
+    right = transform(normalize_spec(spec, SPEC_SCOPE))
+    assert left.alphabet == right.alphabet
+    word = _language_equal(left, right)
+    assert word is None, f"rename: distinguishing word {word!r}"
+    # And the normalized round trip has actually fused: a single rename
+    # of o→mon→o is the identity, so the machine carries no rename node.
+    from repro.machines.rename import RenameMachine
+
+    assert not isinstance(left.traces.predicate, RenameMachine)
+
+
+def test_normalize_collapses_redundant_strengthen(cast):
+    spec = _strengthen_noisy(cast.write())
+    normalized = normalize_spec(spec, SPEC_SCOPE)
+    # The True conjunct is gone: the predicate is the original machine.
+    assert not isinstance(normalized.traces.predicate, AndMachine)
