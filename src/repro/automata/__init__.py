@@ -1,9 +1,20 @@
 """Finite automata over event alphabets: DFAs, boolean operations,
 minimisation, inclusion with counterexamples, and compilation of trace
-machines (including composition with hiding) to DFAs."""
+machines (including composition with hiding) to DFAs.
 
-from repro.automata.build import hidden_closure_dfa, lift_dfa, machine_to_dfa
+The core is dense and integer-coded: letters are interned to ids through
+a shared :class:`LetterTable` and transitions live in flat successor
+arrays (DESIGN.md §10)."""
+
+from repro.automata.build import (
+    MachineImage,
+    hidden_closure_dfa,
+    lift_dfa,
+    machine_to_dense,
+    machine_to_dfa,
+)
 from repro.automata.dfa import DFA
+from repro.automata.letters import LetterTable, interned_table_count
 from repro.automata.ops import (
     count_words,
     complement,
@@ -20,7 +31,11 @@ from repro.automata.ops import (
 
 __all__ = [
     "DFA",
+    "LetterTable",
+    "MachineImage",
+    "interned_table_count",
     "machine_to_dfa",
+    "machine_to_dense",
     "hidden_closure_dfa",
     "lift_dfa",
     "count_words",

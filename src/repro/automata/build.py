@@ -21,45 +21,57 @@ Three constructions:
   events of ``α`` to the DFA for ``{h | h/α ∈ T}`` over a larger event
   list (events outside ``α`` self-loop).  This is the right-hand side of
   refinement condition 3.
+
+All constructions emit the dense representation directly: exploration
+assigns integer state ids in discovery order and appends successors to a
+flat ``array('i')``, so no per-state dicts are ever built.
+:func:`machine_to_dense` additionally retains the discovery order — the
+machine state behind each dense id — which is what lets an online monitor
+step by integer and still deoptimise to machine stepping when a live
+event falls outside the instantiated letter table.
 """
 
 from __future__ import annotations
 
-from collections import deque
+from array import array
+from dataclasses import dataclass
 from typing import Callable, Hashable, Sequence
 
 from repro.automata.dfa import DFA
+from repro.automata.letters import LetterTable
 from repro.automata.stats import active_exploration_stats
 from repro.core.errors import AutomatonError, StateSpaceLimitExceeded
 from repro.core.events import Event
 from repro.machines.base import TraceMachine
 
-__all__ = ["machine_to_dfa", "hidden_closure_dfa", "lift_dfa", "embed_dfa"]
+__all__ = [
+    "machine_to_dfa",
+    "machine_to_dense",
+    "MachineImage",
+    "hidden_closure_dfa",
+    "lift_dfa",
+    "embed_dfa",
+]
 
 
-def machine_to_dfa(
+def _explore(
     machine: TraceMachine,
-    events: Sequence[Event],
-    state_limit: int = 100_000,
-) -> DFA:
-    """Explore the machine's reachable states over ``events`` into a DFA."""
-    letters = tuple(events)
+    letters: tuple[Hashable, ...],
+    state_limit: int,
+) -> tuple[list[Hashable], array]:
+    """Reachable ``ok`` states in discovery order plus the flat successor
+    array (sink transitions encoded as the eventual sink id)."""
     init = machine.initial()
-    if not machine.ok(init):
-        return DFA.empty_language(letters)
-
     index: dict[Hashable, int] = {init: 0}
     order: list[Hashable] = [init]
-    rows: list[dict] = []
-    SINK = -1  # patched to a real id at the end
+    dense = array("i")
     i = 0
     while i < len(order):
         state = order[i]
-        row: dict = {}
         for e in letters:
             nxt = machine.step(state, e)
             if not machine.ok(nxt):
-                row[e] = SINK
+                dense.append(-1)
                 continue
             j = index.get(nxt)
             if j is None:
@@ -71,9 +83,54 @@ def machine_to_dfa(
                 j = len(order)
                 index[nxt] = j
                 order.append(nxt)
-            row[e] = j
-        rows.append(row)
+            dense.append(j)
         i += 1
+    sink = len(order)
+    for pos, t in enumerate(dense):
+        if t < 0:
+            dense[pos] = sink
+    return order, dense
+
+
+@dataclass(frozen=True, slots=True)
+class MachineImage:
+    """A dense compilation of one machine, keeping the state mapping.
+
+    ``dfa`` is the compiled automaton (states ``0..len(states)`` with the
+    sink last); ``states[i]`` is the machine state behind dense id ``i``
+    and ``index`` inverts it.  Online monitors step by id while events
+    stay inside ``dfa.table`` and use the mapping to fall back to (and
+    re-enter from) machine stepping for events outside the instantiated
+    universe.
+    """
+
+    dfa: DFA
+    states: tuple[Hashable, ...]
+    index: dict[Hashable, int]
+
+    @property
+    def sink(self) -> int:
+        return len(self.states)
+
+    def cache_key_parts(self):
+        return (self.dfa, self.states)
+
+
+def machine_to_dfa(
+    machine: TraceMachine,
+    events: Sequence[Event],
+    state_limit: int = 100_000,
+    table: LetterTable | None = None,
+) -> DFA:
+    """Explore the machine's reachable states over ``events`` into a DFA."""
+    if table is None:
+        table = LetterTable.intern(tuple(events))
+    letters = table.letters
+    init = machine.initial()
+    if not machine.ok(init):
+        return DFA.empty_language(letters)
+
+    order, dense = _explore(machine, letters, state_limit)
 
     stats = active_exploration_stats()
     if stats is not None:
@@ -81,11 +138,46 @@ def machine_to_dfa(
         stats.machine_steps += len(order) * len(letters)
 
     sink = len(order)
-    rows = [
-        {e: (sink if t == SINK else t) for e, t in row.items()} for row in rows
-    ]
-    rows.append({e: sink for e in letters})
-    return DFA(letters, tuple(rows), 0, frozenset(range(len(order))))
+    dense.extend([sink] * len(letters))
+    return DFA.from_dense(
+        letters,
+        sink + 1,
+        dense,
+        0,
+        frozenset(range(sink)),
+        table=table,
+        validated=True,
+    )
+
+
+def machine_to_dense(
+    machine: TraceMachine,
+    events: Sequence[Event],
+    state_limit: int = 100_000,
+    table: LetterTable | None = None,
+) -> MachineImage:
+    """Compile a machine keeping the dense-id ↔ machine-state mapping."""
+    if table is None:
+        table = LetterTable.intern(tuple(events))
+    letters = table.letters
+    init = machine.initial()
+    if not machine.ok(init):
+        return MachineImage(DFA.empty_language(letters), (), {})
+    order, dense = _explore(machine, letters, state_limit)
+    sink = len(order)
+    dense.extend([sink] * len(letters))
+    dfa = DFA.from_dense(
+        letters,
+        sink + 1,
+        dense,
+        0,
+        frozenset(range(sink)),
+        table=table,
+        validated=True,
+    )
+    return MachineImage(
+        dfa, tuple(order), {s: i for i, s in enumerate(order)}
+    )
 
 
 def hidden_closure_dfa(
@@ -95,6 +187,7 @@ def hidden_closure_dfa(
     observable: Sequence[Event],
     hidden: Sequence[Event],
     state_limit: int = 100_000,
+    table: LetterTable | None = None,
 ) -> DFA:
     """Subset construction treating hidden events as ε-moves.
 
@@ -102,7 +195,9 @@ def hidden_closure_dfa(
     machine; the DFA accepts exactly the observable traces that some
     interleaving with hidden events keeps ``ok`` throughout.
     """
-    letters = tuple(observable)
+    if table is None:
+        table = LetterTable.intern(tuple(observable))
+    letters = table.letters
 
     def closure(states: frozenset) -> frozenset:
         seen = set(states)
@@ -119,11 +214,10 @@ def hidden_closure_dfa(
     init = closure(frozenset(s for s in initial_states if ok(s)))
     index: dict[frozenset, int] = {init: 0}
     order: list[frozenset] = [init]
-    rows: list[dict] = []
+    dense = array("i")
     i = 0
     while i < len(order):
         subset = order[i]
-        row: dict = {}
         for e in letters:
             succ = frozenset(
                 t for t in (step(s, e) for s in subset) if ok(t)
@@ -140,14 +234,35 @@ def hidden_closure_dfa(
                 j = len(order)
                 index[succ] = j
                 order.append(succ)
-            row[e] = j
-        rows.append(row)
+            dense.append(j)
         i += 1
     stats = active_exploration_stats()
     if stats is not None:
         stats.dfa_states += len(order)
     accepting = frozenset(i for i, subset in enumerate(order) if subset)
-    return DFA(letters, tuple(rows), 0, accepting)
+    return DFA.from_dense(
+        letters, len(order), dense, 0, accepting, table=table, validated=True
+    )
+
+
+def _source_columns(
+    dfa: DFA, letters: tuple[Hashable, ...], alpha, alpha_kind: str, dfa_kind: str
+) -> list[int]:
+    """Map each target letter to a source letter id, or -1 when outside
+    ``alpha`` (meaning: handled by the caller's out-of-α rule)."""
+    cols: list[int] = []
+    for e in letters:
+        if alpha.contains(e):
+            lid = dfa.table.get(e)
+            if lid is None:
+                raise AutomatonError(
+                    f"event {e} is in the {alpha_kind} alphabet but not a "
+                    f"letter of the {dfa_kind} DFA"
+                )
+            cols.append(lid)
+        else:
+            cols.append(-1)
+    return cols
 
 
 def embed_dfa(dfa: DFA, events: Sequence[Event], alpha) -> DFA:
@@ -158,25 +273,27 @@ def embed_dfa(dfa: DFA, events: Sequence[Event], alpha) -> DFA:
     contains no trace using other events.  Used to compare trace sets of
     specifications with different alphabets over a common letter set.
     """
-    letters = tuple(events)
-    dfa_letters = set(dfa.letters)
+    table = LetterTable.intern(tuple(events))
+    letters = table.letters
+    cols = _source_columns(dfa, letters, alpha, "embedded", "embedded")
     sink = dfa.n_states
-    rows: list[dict] = []
+    ks = dfa.n_letters
+    src = dfa.dense
+    dense = array("i")
     for q in range(dfa.n_states):
-        row = {}
-        for e in letters:
-            if alpha.contains(e):
-                if e not in dfa_letters:
-                    raise AutomatonError(
-                        f"event {e} is in the embedded alphabet but not a "
-                        f"letter of the embedded DFA"
-                    )
-                row[e] = dfa.transitions[q][e]
-            else:
-                row[e] = sink
-        rows.append(row)
-    rows.append({e: sink for e in letters})
-    return DFA(letters, tuple(rows), dfa.start, dfa.accepting)
+        base = q * ks
+        for c in cols:
+            dense.append(sink if c < 0 else src[base + c])
+    dense.extend([sink] * len(letters))
+    return DFA.from_dense(
+        letters,
+        sink + 1,
+        dense,
+        dfa.start,
+        dfa.accepting,
+        table=table,
+        validated=True,
+    )
 
 
 def lift_dfa(dfa: DFA, events: Sequence[Event], alpha) -> DFA:
@@ -185,20 +302,22 @@ def lift_dfa(dfa: DFA, events: Sequence[Event], alpha) -> DFA:
     ``alpha`` is anything with a ``contains(event)`` method.  Events inside
     ``α`` must be letters of ``dfa``; events outside self-loop.
     """
-    letters = tuple(events)
-    dfa_letters = set(dfa.letters)
-    rows: list[dict] = []
+    table = LetterTable.intern(tuple(events))
+    letters = table.letters
+    cols = _source_columns(dfa, letters, alpha, "projection", "projected")
+    ks = dfa.n_letters
+    src = dfa.dense
+    dense = array("i")
     for q in range(dfa.n_states):
-        row = {}
-        for e in letters:
-            if alpha.contains(e):
-                if e not in dfa_letters:
-                    raise AutomatonError(
-                        f"event {e} is in the projection alphabet but not a "
-                        f"letter of the projected DFA"
-                    )
-                row[e] = dfa.transitions[q][e]
-            else:
-                row[e] = q
-        rows.append(row)
-    return DFA(letters, tuple(rows), dfa.start, dfa.accepting)
+        base = q * ks
+        for c in cols:
+            dense.append(q if c < 0 else src[base + c])
+    return DFA.from_dense(
+        letters,
+        dfa.n_states,
+        dense,
+        dfa.start,
+        dfa.accepting,
+        table=table,
+        validated=True,
+    )

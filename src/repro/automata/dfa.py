@@ -7,77 +7,204 @@ explicit sink when needed.  Letters are concrete
 :class:`~repro.core.events.Event` values (any hashable works, which the
 unit tests exploit).
 
-Design notes (per the HPC guides: simple first, then measured):
-transitions are stored as one dict per state, letters are indexed once at
-construction, and the hot loops (product, Hopcroft, BFS) work on integer
-state ids only.
+Storage is **dense** (DESIGN.md §10): letters are interned to integer ids
+through a shared :class:`~repro.automata.letters.LetterTable` and the
+transition function is one flat ``array('i')`` of ``n_states * n_letters``
+successors indexed by ``state * n_letters + letter_id``.  Every hot kernel
+(product, Hopcroft, BFS, online stepping) works purely on ints; structured
+letters are hashed only at the boundary — encoding a word once on the way
+in, decoding a counterexample on the way out.
+
+The historical event-keyed API is preserved as a thin shim: the
+constructor still accepts per-state ``{letter: state}`` dicts (encoded
+once, eagerly validated) and :attr:`transitions` materialises them back on
+demand, so callers migrate to ids incrementally.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from array import array
 from typing import Hashable, Iterable, Sequence
 
+from repro.automata.letters import LetterTable
+from repro.automata.stats import active_exploration_stats
 from repro.core.errors import AutomatonError
 
 __all__ = ["DFA"]
 
 
-@dataclass(frozen=True, slots=True)
 class DFA:
-    """A total DFA: states ``0..n-1``, transition dicts keyed by letter."""
+    """A total DFA: states ``0..n-1``, dense integer-coded transitions.
 
-    letters: tuple[Hashable, ...]
-    transitions: tuple[dict, ...]  # state -> {letter: state}
-    start: int
-    accepting: frozenset[int]
+    ``DFA(letters, rows, start, accepting)`` takes event-keyed row dicts
+    (the legacy shim, fully validated); the kernels construct directly via
+    :meth:`from_dense`.  Instances are immutable by convention: ``dense``
+    and ``table`` must never be mutated — boolean operations share them.
+    """
 
-    def __post_init__(self) -> None:
-        n = len(self.transitions)
-        if not (0 <= self.start < n):
-            raise AutomatonError(f"start state {self.start} out of range")
-        letter_set = set(self.letters)
-        if len(letter_set) != len(self.letters):
-            raise AutomatonError("duplicate letters in alphabet")
-        for q, row in enumerate(self.transitions):
+    __slots__ = (
+        "letters",
+        "table",
+        "dense",
+        "n_states",
+        "n_letters",
+        "start",
+        "accepting",
+        "_rows",
+    )
+
+    def __init__(
+        self,
+        letters: Sequence[Hashable],
+        transitions: Sequence[dict],
+        start: int,
+        accepting: Iterable[int],
+    ) -> None:
+        table = LetterTable.intern(letters)
+        letters_t = table.letters
+        n = len(transitions)
+        letter_set = set(letters_t)
+        dense = array("i")
+        for q, row in enumerate(transitions):
             if set(row) != letter_set:
                 raise AutomatonError(
                     f"state {q} is not total over the alphabet"
                 )
-            for t in row.values():
+            for a in letters_t:
+                t = row[a]
                 if not (0 <= t < n):
                     raise AutomatonError(
                         f"transition target {t} out of range in state {q}"
                     )
-        for q in self.accepting:
-            if not (0 <= q < n):
+                dense.append(t)
+        self._init_dense(table, n, dense, start, frozenset(accepting))
+
+    # ------------------------------------------------------------------
+    # dense construction
+    # ------------------------------------------------------------------
+
+    def _init_dense(
+        self,
+        table: LetterTable,
+        n_states: int,
+        dense: array,
+        start: int,
+        accepting: frozenset[int],
+    ) -> None:
+        if not (0 <= start < n_states):
+            raise AutomatonError(f"start state {start} out of range")
+        for q in accepting:
+            if not (0 <= q < n_states):
                 raise AutomatonError(f"accepting state {q} out of range")
+        self.letters = table.letters
+        self.table = table
+        self.dense = dense
+        self.n_states = n_states
+        self.n_letters = len(table.letters)
+        self.start = start
+        self.accepting = accepting
+        self._rows = None
+
+    @classmethod
+    def from_dense(
+        cls,
+        letters: Sequence[Hashable],
+        n_states: int,
+        dense: array,
+        start: int,
+        accepting: Iterable[int],
+        *,
+        table: LetterTable | None = None,
+        validated: bool = False,
+    ) -> "DFA":
+        """Build from a flat successor array (the kernels' constructor).
+
+        ``validated=True`` skips the target-range scan for arrays the
+        caller built from in-range ids (exploration orders, products).
+        """
+        if table is None:
+            table = LetterTable.intern(letters)
+        k = len(table.letters)
+        if len(dense) != n_states * k:
+            raise AutomatonError(
+                f"dense table has {len(dense)} entries, expected "
+                f"{n_states} states x {k} letters"
+            )
+        if not validated and len(dense) and not (
+            0 <= min(dense) and max(dense) < n_states
+        ):
+            raise AutomatonError("dense transition target out of range")
+        self = cls.__new__(cls)
+        self._init_dense(table, n_states, dense, start, frozenset(accepting))
+        return self
 
     # ------------------------------------------------------------------
     # basics
     # ------------------------------------------------------------------
 
-    @property
-    def n_states(self) -> int:
-        return len(self.transitions)
-
     def step(self, state: int, letter: Hashable) -> int:
-        try:
-            return self.transitions[state][letter]
-        except KeyError:
-            raise AutomatonError(f"letter {letter!r} not in the alphabet")
+        """One transition by letter (encoding at the boundary).
 
-    def accepts(self, word: Iterable[Hashable]) -> bool:
-        q = self.start
-        for a in word:
-            q = self.step(q, a)
-        return q in self.accepting
+        Unknown letters raise an :class:`AutomatonError` naming the letter
+        and the nearest alphabet letters by method name — a universe or
+        spec-alphabet mismatch is undebuggable from a bare miss.
+        """
+        lid = self.table.get(letter)
+        if lid is None:
+            raise AutomatonError(self.table.unknown_letter_message(letter))
+        return self.dense[state * self.n_letters + lid]
+
+    def step_id(self, state: int, letter_id: int) -> int:
+        """One transition by letter id (the hot path: no hashing)."""
+        return self.dense[state * self.n_letters + letter_id]
 
     def run(self, word: Iterable[Hashable]) -> int:
         q = self.start
+        k = self.n_letters
+        dense = self.dense
+        get = self.table.get
+        steps = 0
         for a in word:
-            q = self.step(q, a)
+            lid = get(a)
+            if lid is None:
+                raise AutomatonError(self.table.unknown_letter_message(a))
+            q = dense[q * k + lid]
+            steps += 1
+        stats = active_exploration_stats()
+        if stats is not None:
+            stats.letters_encoded += steps
+            stats.dense_steps += steps
         return q
+
+    def run_ids(self, ids: Sequence[int], state: int | None = None) -> int:
+        """Run a pre-encoded word of letter ids from ``state`` (or start)."""
+        q = self.start if state is None else state
+        k = self.n_letters
+        dense = self.dense
+        for lid in ids:
+            q = dense[q * k + lid]
+        stats = active_exploration_stats()
+        if stats is not None:
+            stats.dense_steps += len(ids)
+        return q
+
+    def accepts(self, word: Iterable[Hashable]) -> bool:
+        return self.run(word) in self.accepting
+
+    @property
+    def transitions(self) -> tuple[dict, ...]:
+        """Event-keyed row dicts (the legacy shim, materialised lazily)."""
+        rows = self._rows
+        if rows is None:
+            letters = self.letters
+            k = self.n_letters
+            dense = self.dense
+            rows = tuple(
+                dict(zip(letters, dense[q * k : (q + 1) * k]))
+                for q in range(self.n_states)
+            )
+            self._rows = rows
+        return rows
 
     # ------------------------------------------------------------------
     # construction helpers
@@ -96,84 +223,157 @@ class DFA:
 
         ``default=None`` requires the edge dict to be total.
         """
-        letters_t = tuple(letters)
-        rows: list[dict] = []
+        table = LetterTable.intern(letters)
+        dense = array("i")
         for q in range(n_states):
-            row = {}
-            for a in letters_t:
+            for a in table.letters:
                 t = edges.get((q, a), default)
                 if t is None:
                     raise AutomatonError(
                         f"missing transition ({q}, {a!r}) and no default"
                     )
-                row[a] = t
-            rows.append(row)
-        return DFA(letters_t, tuple(rows), start, frozenset(accepting))
+                dense.append(t)
+        return DFA.from_dense(
+            table.letters, n_states, dense, start, accepting, table=table
+        )
 
     @staticmethod
     def empty_language(letters: Sequence[Hashable]) -> "DFA":
         """The DFA accepting no word."""
-        letters_t = tuple(letters)
-        return DFA(letters_t, ({a: 0 for a in letters_t},), 0, frozenset())
+        table = LetterTable.intern(letters)
+        dense = array("i", [0] * len(table.letters))
+        return DFA.from_dense(
+            table.letters, 1, dense, 0, frozenset(), table=table,
+            validated=True,
+        )
 
     @staticmethod
     def full_language(letters: Sequence[Hashable]) -> "DFA":
         """The DFA accepting every word."""
-        letters_t = tuple(letters)
-        return DFA(letters_t, ({a: 0 for a in letters_t},), 0, frozenset({0}))
+        table = LetterTable.intern(letters)
+        dense = array("i", [0] * len(table.letters))
+        return DFA.from_dense(
+            table.letters, 1, dense, 0, frozenset({0}), table=table,
+            validated=True,
+        )
 
     # ------------------------------------------------------------------
     # reachability
     # ------------------------------------------------------------------
 
     def reachable_states(self) -> frozenset[int]:
-        seen = {self.start}
+        n, k, dense = self.n_states, self.n_letters, self.dense
+        seen = bytearray(n)
+        seen[self.start] = 1
         stack = [self.start]
         while stack:
             q = stack.pop()
-            for t in self.transitions[q].values():
-                if t not in seen:
-                    seen.add(t)
+            for t in dense[q * k : (q + 1) * k]:
+                if not seen[t]:
+                    seen[t] = 1
                     stack.append(t)
-        return frozenset(seen)
+        return frozenset(q for q in range(n) if seen[q])
 
     def trim(self) -> "DFA":
         """Drop unreachable states (renumbering; language preserved)."""
         reach = sorted(self.reachable_states())
+        if len(reach) == self.n_states:
+            return self
         index = {q: i for i, q in enumerate(reach)}
-        rows = tuple(
-            {a: index[t] for a, t in self.transitions[q].items()} for q in reach
-        )
-        return DFA(
+        k = self.n_letters
+        dense = self.dense
+        out = array("i")
+        for q in reach:
+            for t in dense[q * k : (q + 1) * k]:
+                out.append(index[t])
+        return DFA.from_dense(
             self.letters,
-            rows,
+            len(reach),
+            out,
             index[self.start],
             frozenset(index[q] for q in self.accepting if q in index),
+            table=self.table,
+            validated=True,
         )
 
     def is_prefix_closed(self) -> bool:
         """Is the accepted language prefix closed?
 
-        True iff no accepting state is reachable from a reachable
-        non-accepting state — equivalently, every reachable non-accepting
-        state only reaches non-accepting states.
+        True iff no accepting state is reachable (in one or more steps)
+        from a reachable non-accepting state.  Decided by one backward
+        co-reachability pass from the accepting states over reversed
+        edges — O(states x letters), not a BFS per state.
         """
-        reach = self.reachable_states()
-        for q in reach:
-            if q in self.accepting:
-                continue
-            # BFS from q must avoid accepting states
-            seen = {q}
-            stack = [q]
-            while stack:
-                s = stack.pop()
-                for t in self.transitions[s].values():
-                    if t in self.accepting:
-                        return False
-                    if t not in seen:
-                        seen.add(t)
-                        stack.append(t)
-        return True
+        n, k, dense = self.n_states, self.n_letters, self.dense
+        preds: list[list[int]] = [[] for _ in range(n)]
+        for q in range(n):
+            for t in dense[q * k : (q + 1) * k]:
+                preds[t].append(q)
+        # co[q]: some path of length >= 1 from q hits an accepting state.
+        co = bytearray(n)
+        stack: list[int] = []
+        for t in self.accepting:
+            for p in preds[t]:
+                if not co[p]:
+                    co[p] = 1
+                    stack.append(p)
+        while stack:
+            s = stack.pop()
+            for p in preds[s]:
+                if not co[p]:
+                    co[p] = 1
+                    stack.append(p)
+        accepting = self.accepting
+        return not any(
+            co[q] and q not in accepting for q in self.reachable_states()
+        )
+
+    # ------------------------------------------------------------------
+    # identity, pickling, fingerprints
+    # ------------------------------------------------------------------
+
+    def __eq__(self, other: object) -> bool:
+        if isinstance(other, DFA):
+            return (
+                self.letters == other.letters
+                and self.start == other.start
+                and self.accepting == other.accepting
+                and self.dense == other.dense
+            )
+        return NotImplemented
+
+    def __hash__(self) -> int:
+        return hash(
+            (self.letters, self.start, self.accepting, self.dense.tobytes())
+        )
+
+    def cache_key_parts(self):
+        """Fingerprint content: the dense form is the definitional one."""
+        return (
+            self.letters,
+            self.n_states,
+            self.dense.tobytes(),
+            self.start,
+            self.accepting,
+        )
+
+    def __getstate__(self):
+        # Dense arrays pickle as one bytes blob — the compact wire form
+        # crossing the engine's process boundary and the on-disk cache.
+        return (
+            self.letters,
+            self.n_states,
+            self.dense.tobytes(),
+            self.start,
+            self.accepting,
+        )
+
+    def __setstate__(self, state) -> None:
+        letters, n_states, blob, start, accepting = state
+        dense = array("i")
+        dense.frombytes(blob)
+        table = LetterTable.intern(letters)
+        self._init_dense(table, n_states, dense, start, frozenset(accepting))
 
     def __repr__(self) -> str:
         return (

@@ -1,0 +1,183 @@
+"""Interned letter tables: the Event ↔ int bijection of the dense core.
+
+Every exact kernel in the automata layer — product, Hopcroft, subset
+construction, online stepping — used to consume letters as full
+:class:`~repro.core.events.Event` values, re-hashing structured tuples on
+every transition.  A :class:`LetterTable` fixes one *canonical* letter
+order for a finite letter universe and assigns each letter a dense
+integer id; every kernel then works on ids, and letters are hashed only
+at the *boundary* (encoding an incoming event once, decoding a
+counterexample word back for reports).
+
+Tables are **interned** per letter tuple (:meth:`LetterTable.intern`):
+the compiler, the normalization pipeline, and the service registry all
+derive their letters from the same ``(universe, alphabet)``
+instantiation, so interning makes "same letters" mean "same table
+object" process-wide — monitors sharing one compiled machine also share
+one encoding dict, and repeated compilations (raw vs. normalized, per
+obligation, per session) never rebuild the bijection.
+
+The invariant the dense :class:`~repro.automata.dfa.DFA` relies on: a
+table is immutable, and a compiled machine's table is fixed for the
+machine's lifetime (DESIGN.md §10).
+"""
+
+from __future__ import annotations
+
+import difflib
+from typing import Hashable, Iterable, Iterator, Sequence
+
+from repro.automata.stats import active_exploration_stats
+from repro.core.errors import AutomatonError
+
+__all__ = ["LetterTable", "interned_table_count"]
+
+#: Process-wide intern pool: letter tuple → table.  Letter tuples are
+#: per-(universe, alphabet) instantiations — a small, bounded population.
+_INTERNED: dict[tuple, "LetterTable"] = {}
+
+
+def interned_table_count() -> int:
+    """How many distinct letter tables the intern pool holds."""
+    return len(_INTERNED)
+
+
+class LetterTable:
+    """An immutable bijection between letters and dense ids ``0..k-1``.
+
+    The id order is exactly the order of the ``letters`` tuple — callers
+    that need a canonical order (the compiler sorts universe
+    instantiations, :func:`~repro.automata.ops.product` sorts operand
+    letters) establish it *before* building the table.
+    """
+
+    __slots__ = ("letters", "_ids")
+
+    def __init__(self, letters: Sequence[Hashable]) -> None:
+        letters_t = tuple(letters)
+        ids: dict[Hashable, int] = {}
+        for i, letter in enumerate(letters_t):
+            ids[letter] = i
+        if len(ids) != len(letters_t):
+            raise AutomatonError("duplicate letters in alphabet")
+        self.letters: tuple[Hashable, ...] = letters_t
+        self._ids = ids
+
+    @staticmethod
+    def intern(letters: Sequence[Hashable]) -> "LetterTable":
+        """The shared table for a letter tuple (built on first sight)."""
+        key = tuple(letters)
+        table = _INTERNED.get(key)
+        if table is None:
+            table = _INTERNED[key] = LetterTable(key)
+        return table
+
+    # ------------------------------------------------------------------
+    # encoding
+    # ------------------------------------------------------------------
+
+    def id_of(self, letter: Hashable) -> int:
+        """The dense id of a letter; unknown letters raise with a hint."""
+        lid = self._ids.get(letter)
+        if lid is None:
+            raise AutomatonError(self.unknown_letter_message(letter))
+        return lid
+
+    def get(self, letter: Hashable) -> int | None:
+        """The dense id of a letter, or ``None`` when not in the table."""
+        return self._ids.get(letter)
+
+    def encode(self, word: Iterable[Hashable]) -> list[int]:
+        """Encode a word to letter ids (raising on unknown letters)."""
+        ids = self._ids
+        try:
+            out = [ids[a] for a in word]
+        except KeyError as exc:
+            raise AutomatonError(
+                self.unknown_letter_message(exc.args[0])
+            ) from None
+        stats = active_exploration_stats()
+        if stats is not None:
+            stats.letters_encoded += len(out)
+        return out
+
+    def decode(self, ids: Iterable[int]) -> tuple[Hashable, ...]:
+        """Decode letter ids back to letters."""
+        letters = self.letters
+        return tuple(letters[i] for i in ids)
+
+    # ------------------------------------------------------------------
+    # diagnostics
+    # ------------------------------------------------------------------
+
+    def unknown_letter_message(self, letter: Hashable) -> str:
+        """An error message naming the letter and its nearest neighbours.
+
+        Events are matched by method name first — "which spec's alphabet
+        was violated" is almost always answered by showing the alphabet's
+        letters for the same method; other letter types fall back to
+        close string matches.
+        """
+        method = getattr(letter, "method", None)
+        near: list = []
+        if method is not None:
+            near = [
+                a
+                for a in self.letters
+                if getattr(a, "method", None) == method
+            ][:3]
+            if near:
+                hint = (
+                    f"nearest letters by method {method!r}: "
+                    + ", ".join(str(a) for a in near)
+                )
+                return (
+                    f"letter {letter!r} not in the alphabet "
+                    f"({len(self.letters)} letters); {hint}"
+                )
+        close = difflib.get_close_matches(
+            str(letter), [str(a) for a in self.letters], n=3, cutoff=0.0
+        )
+        hint = (
+            "nearest letters: " + ", ".join(close)
+            if close
+            else "the alphabet is empty"
+        )
+        return (
+            f"letter {letter!r} not in the alphabet "
+            f"({len(self.letters)} letters); {hint}"
+        )
+
+    # ------------------------------------------------------------------
+    # container protocol
+    # ------------------------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self.letters)
+
+    def __iter__(self) -> Iterator[Hashable]:
+        return iter(self.letters)
+
+    def __contains__(self, letter: Hashable) -> bool:
+        return letter in self._ids
+
+    def __eq__(self, other: object) -> bool:
+        if isinstance(other, LetterTable):
+            return self.letters == other.letters
+        return NotImplemented
+
+    def __hash__(self) -> int:
+        return hash(self.letters)
+
+    def __getstate__(self):
+        return self.letters
+
+    def __setstate__(self, letters) -> None:
+        # Re-intern on unpickle so worker processes and cache loads share
+        # one table per letter tuple, like freshly built ones do.
+        shared = LetterTable.intern(letters)
+        object.__setattr__(self, "letters", shared.letters)
+        object.__setattr__(self, "_ids", shared._ids)
+
+    def __repr__(self) -> str:
+        return f"LetterTable({len(self.letters)} letters)"

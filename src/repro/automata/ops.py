@@ -5,14 +5,23 @@ These are the decision procedures behind the exact refinement strategy:
 extracted by BFS over the product.  Hopcroft's algorithm provides
 canonical minimal forms, used both as an ablation knob in the benchmarks
 and for language-equality checks (Example 6).
+
+All kernels operate purely on dense letter ids (DESIGN.md §10): the
+product walks two flat successor arrays with one shared canonical column
+order, Hopcroft's splitter queue carries ``(block, letter_id)`` pairs,
+and BFS parents record ids that are decoded to letters only when a
+counterexample word is reported.
 """
 
 from __future__ import annotations
 
+from array import array
 from collections import deque
 from typing import Hashable, Iterable
 
 from repro.automata.dfa import DFA
+from repro.automata.letters import LetterTable
+from repro.automata.stats import active_exploration_stats
 from repro.core.errors import AutomatonError
 
 __all__ = [
@@ -38,6 +47,8 @@ def _format_letters(side: str, letters: list) -> str:
 
 
 def _check_same_alphabet(a: DFA, b: DFA) -> None:
+    if a.table is b.table:  # interned: same tuple, same set
+        return
     sa, sb = set(a.letters), set(b.letters)
     if sa != sb:
         # Name the offending letters: a universe-instantiation mismatch
@@ -61,12 +72,19 @@ def _canonical_letters(letters: Iterable[Hashable]) -> tuple[Hashable, ...]:
 
 
 def complement(a: DFA) -> DFA:
-    """The DFA for the complement language (totality makes this flipping)."""
-    return DFA(
+    """The DFA for the complement language (totality makes this flipping).
+
+    Shares the operand's dense array — complement is O(accepting), not
+    O(states x letters).
+    """
+    return DFA.from_dense(
         a.letters,
-        a.transitions,
+        a.n_states,
+        a.dense,
         a.start,
         frozenset(range(a.n_states)) - a.accepting,
+        table=a.table,
+        validated=True,
     )
 
 
@@ -80,31 +98,51 @@ def product(a: DFA, b: DFA, accept) -> DFA:
     """
     _check_same_alphabet(a, b)
     letters = _canonical_letters(a.letters)
+    k = len(letters)
+    table = LetterTable.intern(letters)
+    # Column maps: canonical letter id -> operand letter id.  The common
+    # case (both operands compiled over one sorted universe) is the
+    # identity on both sides.
+    acol = (
+        range(k)
+        if letters == a.letters
+        else [a.table.id_of(x) for x in letters]
+    )
+    bcol = (
+        range(k)
+        if letters == b.letters
+        else [b.table.id_of(x) for x in letters]
+    )
+    ad, bd = a.dense, b.dense
     index: dict[tuple[int, int], int] = {(a.start, b.start): 0}
     order: list[tuple[int, int]] = [(a.start, b.start)]
-    rows: list[dict] = []
+    out = array("i")
     i = 0
     while i < len(order):
         qa, qb = order[i]
-        row = {}
-        for letter in letters:
-            ta = a.transitions[qa][letter]
-            tb = b.transitions[qb][letter]
-            key = (ta, tb)
+        ra = qa * k
+        rb = qb * k
+        for c in range(k):
+            key = (ad[ra + acol[c]], bd[rb + bcol[c]])
             j = index.get(key)
             if j is None:
                 j = len(order)
                 index[key] = j
                 order.append(key)
-            row[letter] = j
-        rows.append(row)
+            out.append(j)
         i += 1
+    a_acc, b_acc = a.accepting, b.accepting
     accepting = frozenset(
         i
         for i, (qa, qb) in enumerate(order)
-        if accept(qa in a.accepting, qb in b.accepting)
+        if accept(qa in a_acc, qb in b_acc)
     )
-    return DFA(letters, tuple(rows), 0, accepting)
+    stats = active_exploration_stats()
+    if stats is not None:
+        stats.dense_steps += len(out)
+    return DFA.from_dense(
+        letters, len(order), out, 0, accepting, table=table, validated=True
+    )
 
 
 def intersection(a: DFA, b: DFA) -> DFA:
@@ -128,22 +166,28 @@ def shortest_accepted(a: DFA) -> tuple[Hashable, ...] | None:
     """Shortest accepted word (BFS), or ``None`` for the empty language."""
     if a.start in a.accepting:
         return ()
-    parent: dict[int, tuple[int, Hashable]] = {a.start: None}  # type: ignore[dict-item]
+    k = a.n_letters
+    dense = a.dense
+    accepting = a.accepting
+    parent: dict[int, tuple[int, int]] = {a.start: None}  # type: ignore[dict-item]
     queue: deque[int] = deque([a.start])
     while queue:
         q = queue.popleft()
-        for letter, t in a.transitions[q].items():
+        base = q * k
+        for c in range(k):
+            t = dense[base + c]
             if t in parent:
                 continue
-            parent[t] = (q, letter)
-            if t in a.accepting:
-                word: list[Hashable] = []
+            parent[t] = (q, c)
+            if t in accepting:
+                ids: list[int] = []
                 node = t
                 while parent[node] is not None:
-                    prev, a_letter = parent[node]
-                    word.append(a_letter)
+                    prev, cid = parent[node]
+                    ids.append(cid)
                     node = prev
-                return tuple(reversed(word))
+                ids.reverse()
+                return a.table.decode(ids)
             queue.append(t)
     return None
 
@@ -189,6 +233,8 @@ def count_words(a: DFA, max_len: int) -> list[int]:
     tests.
     """
     n = a.n_states
+    k = a.n_letters
+    dense = a.dense
     occupancy = [0] * n
     occupancy[a.start] = 1
     counts = [sum(occupancy[q] for q in a.accepting)]
@@ -197,8 +243,9 @@ def count_words(a: DFA, max_len: int) -> list[int]:
         for q, ways in enumerate(occupancy):
             if ways == 0:
                 continue
-            for t in a.transitions[q].values():
-                nxt[t] += ways
+            base = q * k
+            for c in range(k):
+                nxt[dense[base + c]] += ways
         occupancy = nxt
         counts.append(sum(occupancy[q] for q in a.accepting))
     return counts
@@ -208,17 +255,19 @@ def minimize(a: DFA) -> DFA:
     """Hopcroft minimisation (on the reachable part)."""
     a = a.trim()
     n = a.n_states
-    letters = a.letters
+    k = a.n_letters
     if n == 0:
         return a
+    dense = a.dense
 
-    # Pre-compute reverse transitions per letter.
-    rev: dict[Hashable, list[list[int]]] = {
-        letter: [[] for _ in range(n)] for letter in letters
-    }
+    # Pre-compute reverse transitions per letter id.
+    rev: list[list[list[int]]] = [
+        [[] for _ in range(n)] for _ in range(k)
+    ]
     for q in range(n):
-        for letter, t in a.transitions[q].items():
-            rev[letter][t].append(q)
+        base = q * k
+        for c in range(k):
+            rev[c][dense[base + c]].append(q)
 
     accepting = set(a.accepting)
     non_accepting = set(range(n)) - accepting
@@ -228,16 +277,17 @@ def minimize(a: DFA) -> DFA:
         for q in block:
             in_part[q] = i
 
-    work: deque[tuple[int, Hashable]] = deque(
-        (i, letter) for i in range(len(partition)) for letter in letters
+    work: deque[tuple[int, int]] = deque(
+        (i, c) for i in range(len(partition)) for c in range(k)
     )
     while work:
-        i, letter = work.popleft()
+        i, c = work.popleft()
         block = partition[i]
-        # states with a `letter` transition into `block`
+        # states with a letter-c transition into `block`
         pre: set[int] = set()
+        rev_c = rev[c]
         for t in block:
-            pre.update(rev[letter][t])
+            pre.update(rev_c[t])
         touched: dict[int, set[int]] = {}
         for q in pre:
             touched.setdefault(in_part[q], set()).add(q)
@@ -247,23 +297,33 @@ def minimize(a: DFA) -> DFA:
                 continue
             rest = whole - hit
             partition[j] = hit
-            k = len(partition)
+            knew = len(partition)
             partition.append(rest)
             for q in rest:
-                in_part[q] = k
+                in_part[q] = knew
             # keep splitter invariant
-            for l2 in letters:
-                work.append((k, l2))
+            for c2 in range(k):
+                work.append((knew, c2))
 
     index = {}
     for i, block in enumerate(partition):
         for q in block:
             index[q] = i
-    rows = []
+    out = array("i")
     starts = [next(iter(b)) for b in partition]
     for rep in starts:
-        rows.append({letter: index[t] for letter, t in a.transitions[rep].items()})
+        base = rep * k
+        for c in range(k):
+            out.append(index[dense[base + c]])
     accepting_blocks = frozenset(
         i for i, b in enumerate(partition) if next(iter(b)) in a.accepting
     )
-    return DFA(letters, tuple(rows), index[a.start], accepting_blocks)
+    return DFA.from_dense(
+        a.letters,
+        len(partition),
+        out,
+        index[a.start],
+        accepting_blocks,
+        table=a.table,
+        validated=True,
+    )

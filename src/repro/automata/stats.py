@@ -26,17 +26,29 @@ __all__ = ["ExplorationStats", "collect_exploration", "active_exploration_stats"
 
 @dataclass
 class ExplorationStats:
-    """Counters accumulated across every exploration while installed."""
+    """Counters accumulated across every exploration while installed.
+
+    ``letters_encoded`` counts boundary work — structured letters hashed
+    into dense ids — while ``dense_steps`` counts integer-indexed
+    transitions taken over the dense core (stepping, product edges).  The
+    dense refactor's whole point is that the second number dwarfs the
+    first: each letter is encoded once and then stepped many times
+    (``benchmarks/bench_dense.py`` reports the ratio).
+    """
 
     dfa_states: int = 0
     machine_steps: int = 0
     hidden_events: int = 0
+    letters_encoded: int = 0
+    dense_steps: int = 0
 
     def snapshot(self) -> dict:
         return {
             "dfa_states": self.dfa_states,
             "machine_steps": self.machine_steps,
             "hidden_events": self.hidden_events,
+            "letters_encoded": self.letters_encoded,
+            "dense_steps": self.dense_steps,
         }
 
 

@@ -63,7 +63,10 @@ __all__ = [
 #: compiler, machine semantics, or the fingerprint encoding change in a
 #: way that could alter compiled automata — every stored entry becomes
 #: unreachable (a cold cache), never silently stale.
-ENGINE_CACHE_VERSION = "repro-engine-2"
+#: ``repro-engine-3``: the dense interned-alphabet automata core — DFAs
+#: pickle as flat successor arrays and fingerprint their dense form, so
+#: every ``repro-engine-2`` entry (per-state dict pickles) is retired.
+ENGINE_CACHE_VERSION = "repro-engine-3"
 
 
 @dataclass

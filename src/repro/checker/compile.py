@@ -17,20 +17,46 @@ uncached — the cache changes performance, never results.
 
 from __future__ import annotations
 
+import functools
 from typing import Sequence
 
 from repro.automata.build import hidden_closure_dfa, machine_to_dfa
 from repro.automata.dfa import DFA
+from repro.automata.letters import LetterTable
 from repro.automata.stats import active_exploration_stats
 from repro.checker.cache import MachineCache, active_cache
 from repro.checker.universe import FiniteUniverse
+from repro.core.alphabet import Alphabet
 from repro.core.errors import SpecificationError
 from repro.core.events import Event
 from repro.core.specification import Specification
 from repro.core.tracesets import ComposedTraceSet, FullTraceSet, MachineTraceSet
 from repro.machines.projection import FilterMachine
 
-__all__ = ["spec_dfa", "composed_hidden_events", "traceset_dfa"]
+__all__ = [
+    "spec_dfa",
+    "composed_hidden_events",
+    "traceset_dfa",
+    "instantiated_letters",
+]
+
+
+@functools.lru_cache(maxsize=256)
+def instantiated_letters(
+    universe: FiniteUniverse, alphabet: Alphabet
+) -> LetterTable:
+    """The interned letter table for an alphabet over a universe.
+
+    Enumerating ``universe.events_for(alphabet)`` walks every pattern over
+    the full value pool — real work that used to repeat on every compile.
+    Memoising on the (hashable, immutable) pair makes the derivation
+    happen once per instantiation: the normalization pipeline preserves
+    trace-set alphabets (enforced in :mod:`repro.passes.base`), so raw and
+    normalized compiles of one spec, every obligation touching it, and
+    the service registry all reuse one table instead of re-deriving the
+    letters.
+    """
+    return LetterTable.intern(universe.events_for(alphabet))
 
 
 def composed_hidden_events(
@@ -103,9 +129,12 @@ def traceset_dfa(
 def _compile_traceset(
     ts, universe: FiniteUniverse, state_limit: int
 ) -> DFA:
-    events = universe.events_for(ts.alphabet)
+    table = instantiated_letters(universe, ts.alphabet)
+    events = table.letters
     if isinstance(ts, (FullTraceSet, MachineTraceSet)):
-        return machine_to_dfa(ts.machine(), events, state_limit=state_limit)
+        return machine_to_dfa(
+            ts.machine(), events, state_limit=state_limit, table=table
+        )
     if isinstance(ts, ComposedTraceSet):
         machines = tuple(
             FilterMachine(p.alphabet, p.machine) for p in ts.parts
@@ -132,7 +161,8 @@ def _compile_traceset(
         if stats is not None:
             stats.hidden_events += len(hidden)
         return hidden_closure_dfa(
-            [init], step, ok, events, hidden, state_limit=state_limit
+            [init], step, ok, events, hidden, state_limit=state_limit,
+            table=table,
         )
     raise SpecificationError(f"cannot compile trace set {ts!r} to a DFA")
 

@@ -21,7 +21,11 @@ strings, timings, cache-stat deltas); the parent re-attaches its own
 Workers share one content-addressed :class:`~repro.checker.cache.MachineCache`
 directory when the engine is configured with one; the cache's atomic
 writes make concurrent sharing safe, and each worker reports its
-hit/miss delta for the parent's :class:`CheckerMetrics`.
+hit/miss delta for the parent's :class:`CheckerMetrics`.  DFAs cross both
+boundaries — worker pickles and on-disk cache entries — in their dense
+form: a letter tuple plus the flat successor array's bytes
+(:meth:`~repro.automata.dfa.DFA.__getstate__`), with the interned
+:class:`~repro.automata.letters.LetterTable` re-attached on load.
 
 Timeouts are enforced per obligation in parallel runs by bounding
 ``Future.result``.  A process-pool task cannot be cancelled once running,

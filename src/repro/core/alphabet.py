@@ -45,10 +45,13 @@ class Alphabet:
 
     @staticmethod
     def of(*patterns: EventPattern) -> "Alphabet":
-        seen: list[EventPattern] = []
+        # Order-preserving dedup keyed by pattern: hiding and renaming
+        # funnel every derived alphabet through here, so the O(n²)
+        # membership scan over a list was quadratic in pattern count.
+        seen: dict[EventPattern, None] = {}
         for p in patterns:
-            if not p.is_empty() and p not in seen:
-                seen.append(p)
+            if not p.is_empty():
+                seen.setdefault(p, None)
         return Alphabet(tuple(seen))
 
     @staticmethod

@@ -47,7 +47,10 @@ __all__ = [
 
 
 def _accepting_successors(dfa: DFA, q: int) -> list[int]:
-    return [t for t in dfa.transitions[q].values() if t in dfa.accepting]
+    k = dfa.n_letters
+    return [
+        t for t in dfa.dense[q * k : (q + 1) * k] if t in dfa.accepting
+    ]
 
 
 def _shortest_word_to(dfa: DFA, targets: frozenset[int]) -> tuple | None:
@@ -56,22 +59,28 @@ def _shortest_word_to(dfa: DFA, targets: frozenset[int]) -> tuple | None:
         return None
     if dfa.start in targets:
         return ()
+    k = dfa.n_letters
+    dense = dfa.dense
+    accepting = dfa.accepting
     parent: dict[int, tuple] = {dfa.start: None}  # type: ignore[dict-item]
     queue = deque([dfa.start])
     while queue:
         q = queue.popleft()
-        for letter, t in dfa.transitions[q].items():
-            if t not in dfa.accepting or t in parent:
+        base = q * k
+        for c in range(k):
+            t = dense[base + c]
+            if t not in accepting or t in parent:
                 continue
-            parent[t] = (q, letter)
+            parent[t] = (q, c)
             if t in targets:
-                word = []
+                ids = []
                 node = t
                 while parent[node] is not None:
-                    prev, a = parent[node]
-                    word.append(a)
+                    prev, cid = parent[node]
+                    ids.append(cid)
                     node = prev
-                return tuple(reversed(word))
+                ids.reverse()
+                return dfa.table.decode(ids)
             queue.append(t)
     return None
 
@@ -174,12 +183,15 @@ def responsiveness_analysis(
     index[start] = 0
     order.append(start)
     edges: list[list[int]] = []
+    k = spec_d.n_letters
+    dense = spec_d.dense
     i = 0
     while i < len(order):
         qs, qg = order[i]
         row = []
-        for letter in spec_d.letters:
-            ts = spec_d.transitions[qs][letter]
+        base = qs * k
+        for c, letter in enumerate(spec_d.letters):
+            ts = dense[base + c]
             if ts not in spec_d.accepting:
                 continue
             tg = goal.step(qg, letter)
@@ -220,8 +232,9 @@ def responsiveness_analysis(
     while queue and witness is None:
         i = queue.popleft()
         qs, qg = order[i]
-        for letter in spec_d.letters:
-            ts = spec_d.transitions[qs][letter]
+        base = qs * k
+        for c, letter in enumerate(spec_d.letters):
+            ts = dense[base + c]
             if ts not in spec_d.accepting:
                 continue
             tg = goal.step(qg, letter)

@@ -162,7 +162,12 @@ class PassPipeline:
                 start = time.perf_counter()
                 out, n = p.run(ts)
                 seconds = time.perf_counter() - start
-                if n and out.alphabet != ts.alphabet:
+                # The alphabet invariant is what lets the compiler reuse
+                # one interned letter table across raw and normalized
+                # forms (repro.checker.compile.instantiated_letters):
+                # enforce it whenever a pass returns a new object, even
+                # one it claims rewrote nothing.
+                if out is not ts and out.alphabet != ts.alphabet:
                     raise SpecificationError(
                         f"pass {p.name!r} changed the trace-set alphabet — "
                         f"every pass must preserve it"

@@ -14,6 +14,14 @@ Monitors keep a *bounded* window of recent events (``history_limit``,
 default 4096): on unbounded streams — e.g. a long-running
 :mod:`repro.service` session — memory stays constant while the violation
 report still carries the true global event index.
+
+When a :class:`~repro.automata.build.MachineImage` is supplied, the
+monitor steps by integer through the image's flat successor array instead
+of re-running the trace machine per event: each in-alphabet event is
+encoded to a letter id once and the step is two array reads.  Events in
+the alphabet but outside the instantiated letter table (live values the
+finite universe never saw) deoptimise to machine stepping and re-enter the
+dense array as soon as the machine state is one the image knows.
 """
 
 from __future__ import annotations
@@ -21,6 +29,7 @@ from __future__ import annotations
 from collections import deque
 from dataclasses import dataclass
 
+from repro.automata.build import MachineImage
 from repro.core.errors import MonitorViolation, RuntimeModelError
 from repro.core.events import Event
 from repro.core.specification import Specification
@@ -66,8 +75,12 @@ class SpecMonitor:
     ``machine`` may be supplied to share one compiled (pure, immutable)
     trace machine across many monitors — the service's spec registry
     compiles each specification once and hands the machine to every
-    session monitor.  ``history_limit`` bounds the retained event window
-    (``None`` keeps everything; only sensible for short offline runs).
+    session monitor.  ``dense`` additionally supplies the machine's
+    :class:`~repro.automata.build.MachineImage` so in-table events step
+    through the flat successor array (``dense_steps``) and only
+    out-of-table events fall back to the machine (``fallback_steps``).
+    ``history_limit`` bounds the retained event window (``None`` keeps
+    everything; only sensible for short offline runs).
     """
 
     def __init__(
@@ -76,6 +89,7 @@ class SpecMonitor:
         raise_on_violation: bool = False,
         *,
         machine: TraceMachine | None = None,
+        dense: MachineImage | None = None,
         history_limit: int | None = DEFAULT_HISTORY_LIMIT,
     ) -> None:
         if machine is None:
@@ -88,13 +102,23 @@ class SpecMonitor:
             raise RuntimeModelError("history_limit must be positive (or None)")
         self.spec = spec
         self.machine = machine
+        self.dense = dense
         self.raise_on_violation = raise_on_violation
         self.history_limit = history_limit
         self.state = self.machine.initial()
         self.alive = self.machine.ok(self.state)
         self.violations: list[Violation] = []
+        self.dense_steps = 0
+        self.fallback_steps = 0
         self._seen = 0
         self._history: deque[Event] = deque(maxlen=history_limit)
+        self._dstate = self._dense_entry()
+
+    def _dense_entry(self) -> int | None:
+        """The dense id of the current machine state, if the image has it."""
+        if self.dense is None or not self.alive:
+            return None
+        return self.dense.index.get(self.state)
 
     def observe(self, event: Event, *, index: int | None = None) -> bool:
         """Feed one global event; returns whether the spec still holds.
@@ -114,17 +138,40 @@ class SpecMonitor:
             return False
         if not self.spec.alphabet.contains(event):
             return True
+        image = self.dense
+        if image is not None and self._dstate is not None:
+            lid = image.dfa.table.get(event)
+            if lid is not None:
+                self.dense_steps += 1
+                nxt = image.dfa.dense[self._dstate * image.dfa.n_letters + lid]
+                if nxt < len(image.states):
+                    self._dstate = nxt
+                    self.state = image.states[nxt]
+                    return True
+                return self._violate(event, index)
+        # In the alphabet but outside the instantiated table (a live
+        # value the finite universe never saw), or already off the dense
+        # array from an earlier such event: step the machine and re-enter
+        # the dense array as soon as the state is a known one.
+        if image is not None:
+            self.fallback_steps += 1
         self.state = self.machine.step(self.state, event)
         if not self.machine.ok(self.state):
-            self.alive = False
-            v = Violation(
-                self.spec.name, Trace(tuple(self._history)), event, index
-            )
-            self.violations.append(v)
-            if self.raise_on_violation:
-                raise MonitorViolation(str(v), v.trace, event)
-            return False
+            return self._violate(event, index)
+        if image is not None:
+            self._dstate = image.index.get(self.state)
         return True
+
+    def _violate(self, event: Event, index: int) -> bool:
+        self.alive = False
+        self._dstate = None
+        v = Violation(
+            self.spec.name, Trace(tuple(self._history)), event, index
+        )
+        self.violations.append(v)
+        if self.raise_on_violation:
+            raise MonitorViolation(str(v), v.trace, event)
+        return False
 
     @property
     def ok(self) -> bool:
@@ -139,8 +186,11 @@ class SpecMonitor:
         self.state = self.machine.initial()
         self.alive = self.machine.ok(self.state)
         self.violations.clear()
+        self.dense_steps = 0
+        self.fallback_steps = 0
         self._seen = 0
         self._history.clear()
+        self._dstate = self._dense_entry()
 
     def __repr__(self) -> str:
         status = "ok" if self.alive else "violated"

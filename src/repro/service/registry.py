@@ -26,6 +26,7 @@ from dataclasses import dataclass
 from pathlib import Path
 from typing import Iterable
 
+from repro.automata.build import MachineImage, machine_to_dense
 from repro.checker.fingerprint import fingerprint
 from repro.core.errors import FingerprintError, ReproError, RuntimeModelError
 from repro.core.specification import Specification
@@ -33,10 +34,26 @@ from repro.core.tracesets import FullTraceSet, MachineTraceSet
 from repro.machines.base import TraceMachine
 from repro.runtime.monitor import DEFAULT_HISTORY_LIMIT, SpecMonitor
 
-__all__ = ["CompiledSpec", "SpecRegistry", "shared_machine_count"]
+__all__ = [
+    "CompiledSpec",
+    "SpecRegistry",
+    "shared_machine_count",
+    "shared_image_count",
+    "DEFAULT_DENSE_STATE_LIMIT",
+]
+
+#: State budget for the registry's dense pre-compilation.  Deliberately
+#: far below the checker's default: a spec whose reachable space is this
+#: large is cheaper to monitor by machine stepping than to tabulate.
+DEFAULT_DENSE_STATE_LIMIT = 20_000
 
 #: Process-wide machine interning table: trace-set fingerprint → machine.
 _SHARED_MACHINES: dict[str, TraceMachine] = {}
+
+#: Process-wide dense-image interning table, keyed by the fingerprint of
+#: (normalized trace set, universe, state limit) — the full input of
+#: :func:`~repro.automata.build.machine_to_dense`.
+_SHARED_IMAGES: dict[str, MachineImage] = {}
 
 
 def _normalized(traces):
@@ -71,13 +88,70 @@ def shared_machine_count() -> int:
     return len(_SHARED_MACHINES)
 
 
+def shared_image_count() -> int:
+    """How many distinct dense images the process-wide table holds."""
+    return len(_SHARED_IMAGES)
+
+
+def _dense_image(
+    spec: Specification,
+    machine: TraceMachine,
+    state_limit: int,
+    share: bool,
+) -> MachineImage | None:
+    """Pre-compile a spec's machine to a dense image, or ``None``.
+
+    ``None`` means "monitor by machine stepping": the spec's universe
+    cannot be derived, the reachable space exceeds ``state_limit``, or the
+    compilation fails for any model-level reason.  Dense monitoring is an
+    optimisation, never a requirement.
+    """
+    # Lazy imports: the checker layer reaches back into passes/service
+    # metrics, so module-level imports would cycle.
+    from repro.checker.compile import instantiated_letters
+    from repro.checker.universe import FiniteUniverse
+
+    try:
+        universe = FiniteUniverse.for_specs(spec)
+        table = instantiated_letters(universe, spec.alphabet)
+    except ReproError:
+        return None
+    key = None
+    if share:
+        try:
+            key = fingerprint((_normalized(spec.traces), universe, state_limit))
+        except FingerprintError:
+            key = None
+        if key is not None:
+            cached = _SHARED_IMAGES.get(key)
+            if cached is not None:
+                return cached
+    try:
+        image = machine_to_dense(
+            machine, table.letters, state_limit=state_limit, table=table
+        )
+    except ReproError:
+        return None
+    if key is not None:
+        _SHARED_IMAGES[key] = image
+    return image
+
+
 @dataclass(frozen=True, slots=True)
 class CompiledSpec:
-    """One monitorable specification with its shared compiled machine."""
+    """One monitorable specification with its shared compiled machine.
+
+    ``dense`` is the machine's pre-compiled
+    :class:`~repro.automata.build.MachineImage` when the registry could
+    tabulate it within its state budget (``None`` otherwise); monitors
+    step through it by letter id and fall back to ``machine`` for events
+    outside the instantiated universe.
+    """
 
     name: str
     spec: Specification
     machine: TraceMachine
+    dense: MachineImage | None = None
 
 
 class SpecRegistry:
@@ -89,6 +163,8 @@ class SpecRegistry:
         *,
         history_limit: int | None = DEFAULT_HISTORY_LIMIT,
         share_machines: bool = True,
+        dense: bool = True,
+        dense_state_limit: int = DEFAULT_DENSE_STATE_LIMIT,
     ) -> None:
         self.history_limit = history_limit
         self._compiled: dict[str, CompiledSpec] = {}
@@ -98,8 +174,14 @@ class SpecRegistry:
         )
         for spec in specs:
             if isinstance(spec.traces, (MachineTraceSet, FullTraceSet)):
+                machine = build(spec.traces)
+                image = (
+                    _dense_image(spec, machine, dense_state_limit, share_machines)
+                    if dense
+                    else None
+                )
                 self._compiled[spec.name] = CompiledSpec(
-                    spec.name, spec, build(spec.traces)
+                    spec.name, spec, machine, image
                 )
             else:
                 self._unmonitorable[spec.name] = (
@@ -147,10 +229,11 @@ class SpecRegistry:
         raise ReproError(f"no specification named {name!r} (have: {known})")
 
     def new_monitor(self, name: str) -> SpecMonitor:
-        """A fresh monitor over the shared compiled machine."""
+        """A fresh monitor over the shared compiled machine and image."""
         compiled = self.get(name)
         return SpecMonitor(
             compiled.spec,
             machine=compiled.machine,
+            dense=compiled.dense,
             history_limit=self.history_limit,
         )

@@ -39,6 +39,7 @@ class _Session:
 
     __slots__ = (
         "seq",
+        "router",
         "compiled",
         "monitors",
         "touched",
@@ -48,8 +49,9 @@ class _Session:
         "violation",
     )
 
-    def __init__(self, seq: int) -> None:
+    def __init__(self, seq: int, router) -> None:
         self.seq = seq
+        self.router = router
         self.compiled: CompiledSpec | None = None
         self.monitors: dict[int, SpecMonitor] = {}
         self.touched: set[int] = set()
@@ -159,7 +161,13 @@ class MonitorServer:
     ) -> None:
         self.metrics.session_opened()
         self._session_seq += 1
-        session = _Session(self._session_seq)
+        # Sessions are independent trace universes, so only per-callee
+        # order *within* a session must be preserved — the seq-number
+        # prefix spreads sessions over the workers even when every
+        # session's spec talks to the same objects.
+        session = _Session(
+            self._session_seq, self.pool.router(prefix=f"{self._session_seq}:")
+        )
         try:
             while True:
                 raw = await reader.readline()
@@ -253,12 +261,9 @@ class MonitorServer:
             return
         index = session.events
         session.events += 1
-        # shard key is (session, callee): sessions are independent trace
-        # universes, so only per-callee order *within* a session must be
-        # preserved — namespacing spreads sessions over the workers even
-        # when every session's spec talks to the same object
-        shard_key = f"{session.seq}:{event.callee.name}"
-        shard = self.pool.shard_of(shard_key)
+        # The session router resolves (session, callee) → shard with the
+        # key formatting and CRC paid once per distinct callee.
+        shard = session.router.shard_of(event.callee.name)
         monitor = session.monitors.get(shard)
         if monitor is None:
             monitor = self.registry.new_monitor(session.compiled.name)
@@ -281,4 +286,4 @@ class MonitorServer:
                 if session.violation is None or violation.index < session.violation.index:
                     session.violation = violation
 
-        await self.pool.submit(shard_key, check)
+        await self.pool.submit_to(shard, check)

@@ -13,6 +13,11 @@ worker drains its own FIFO queue, so:
 The pool is workload-agnostic: it executes submitted thunks. Sessions
 submit "feed event to my monitor for this shard" closures and use
 :meth:`ShardPool.flush` as a barrier before reporting status.
+
+A :class:`ShardRouter` memoises the callee → shard mapping for one event
+stream: the key formatting and CRC run once per *distinct* callee instead
+of once per event, which matters on the server's hot path where a session
+streams thousands of events at a handful of objects.
 """
 
 from __future__ import annotations
@@ -22,7 +27,7 @@ import zlib
 from dataclasses import dataclass
 from typing import Callable, Iterable
 
-__all__ = ["shard_index", "ShardPool"]
+__all__ = ["shard_index", "ShardPool", "ShardRouter"]
 
 DEFAULT_QUEUE_SIZE = 1024
 
@@ -95,8 +100,16 @@ class ShardPool:
         backpressure toward the submitting session.
         """
         shard = self.shard_of(callee_name)
-        await self._queues[shard].put(thunk)
+        await self.submit_to(shard, thunk)
         return shard
+
+    async def submit_to(self, shard: int, thunk: Callable[[], None]) -> None:
+        """Enqueue a thunk on an already-resolved shard (same backpressure)."""
+        await self._queues[shard].put(thunk)
+
+    def router(self, prefix: str = "") -> "ShardRouter":
+        """A memoising router over this pool namespaced by ``prefix``."""
+        return ShardRouter(self, prefix)
 
     async def flush(self, shard_ids: Iterable[int] | None = None) -> None:
         """Barrier: resolves once every prior item on the shards is done."""
@@ -121,3 +134,40 @@ class ShardPool:
 
     def __repr__(self) -> str:
         return f"ShardPool(shards={self.shards}, run={self.tasks_run})"
+
+
+class ShardRouter:
+    """Memoised callee → shard routing for one event stream.
+
+    ``prefix`` is the stream's namespace (the server uses the session
+    sequence number): independent sessions spread across the workers even
+    when every session's spec talks to the same object names, while the
+    mapping for one stream stays stable across the stream's lifetime.
+    """
+
+    __slots__ = ("pool", "prefix", "_shards")
+
+    def __init__(self, pool: ShardPool, prefix: str = "") -> None:
+        self.pool = pool
+        self.prefix = prefix
+        self._shards: dict[str, int] = {}
+
+    def shard_of(self, callee_name: str) -> int:
+        shard = self._shards.get(callee_name)
+        if shard is None:
+            shard = self._shards[callee_name] = shard_index(
+                self.prefix + callee_name, self.pool.shards
+            )
+        return shard
+
+    async def submit(self, callee_name: str, thunk: Callable[[], None]) -> int:
+        """Enqueue on the callee's shard; returns the shard index."""
+        shard = self.shard_of(callee_name)
+        await self.pool.submit_to(shard, thunk)
+        return shard
+
+    def __repr__(self) -> str:
+        return (
+            f"ShardRouter(prefix={self.prefix!r}, "
+            f"callees={len(self._shards)})"
+        )

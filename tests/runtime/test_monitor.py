@@ -153,3 +153,83 @@ class TestEndToEnd:
         sys.attach_monitor(m)
         sys.run(50)
         assert m.ok and len(sys.trace) >= 4
+
+
+class TestDenseMonitor:
+    """The MachineImage fast path: integer steps, fallback, re-entry."""
+
+    @pytest.fixture()
+    def image(self, cast):
+        from repro.automata.build import machine_to_dense
+        from repro.checker.universe import FiniteUniverse
+
+        spec = cast.write()
+        u = FiniteUniverse.for_specs(spec)
+        return spec, machine_to_dense(
+            spec.traces.machine(), u.events_for(spec.alphabet)
+        )
+
+    def _letter(self, image, method, caller=None):
+        spec, img = image
+        for e in img.dfa.letters:
+            if e.method == method and (caller is None or e.caller == caller):
+                return e
+        raise AssertionError(f"no letter with method {method}")
+
+    def test_in_table_events_step_densely(self, image):
+        spec, img = image
+        m = SpecMonitor(spec, dense=img)
+        w = self._letter(image, "OW").caller
+        assert m.observe(self._letter(image, "OW", w))
+        assert m.observe(self._letter(image, "W", w))
+        assert m.observe(self._letter(image, "CW", w))
+        assert m.ok
+        assert m.dense_steps == 3 and m.fallback_steps == 0
+
+    def test_dense_agrees_with_machine_on_violation(self, image):
+        spec, img = image
+        dense = SpecMonitor(spec, dense=img)
+        plain = SpecMonitor(spec)
+        # W without OW first: rejected by the write-session protocol.
+        bad = self._letter(image, "W")
+        assert dense.observe(bad) == plain.observe(bad) == False
+        assert not dense.ok and not plain.ok
+        assert dense.violations[0].index == plain.violations[0].index == 0
+        assert dense.dense_steps == 1
+
+    def test_out_of_table_events_fall_back_and_reenter(self, image, cast, x1):
+        spec, img = image
+        m = SpecMonitor(spec, dense=img)
+        # x1 is in α(Write) but outside the instantiated universe: the
+        # monitor must deoptimise to machine stepping...
+        assert m.observe(Event(x1, cast.o, "OW"))
+        assert m.fallback_steps == 1
+        assert m.observe(Event(x1, cast.o, "W", (d,)))
+        assert m.observe(Event(x1, cast.o, "CW"))
+        assert m.ok and m.fallback_steps == 3
+        assert m.dense_steps == 0
+
+    def test_reentry_after_fallback(self, cast, x1, d1):
+        # Read's machine state survives off-universe events unchanged, so
+        # the monitor re-enters the dense array on the next indexed state.
+        from repro.automata.build import machine_to_dense
+        from repro.checker.universe import FiniteUniverse
+
+        spec = cast.read()
+        u = FiniteUniverse.for_specs(spec)
+        img = machine_to_dense(spec.traces.machine(), u.events_for(spec.alphabet))
+        m = SpecMonitor(spec, dense=img)
+        assert m.observe(Event(x1, cast.o, "R", (d1,)))  # off-universe
+        assert m.fallback_steps == 1
+        assert m.observe(img.dfa.letters[0])  # a universe letter
+        assert m.dense_steps == 1 and m.ok
+
+    def test_reset_restores_dense_entry(self, image):
+        spec, img = image
+        m = SpecMonitor(spec, dense=img)
+        m.observe(self._letter(image, "W"))
+        assert not m.ok
+        m.reset()
+        assert m.ok and m.dense_steps == 0
+        assert m.observe(self._letter(image, "OW"))
+        assert m.dense_steps == 1

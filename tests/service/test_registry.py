@@ -99,3 +99,42 @@ class TestInterning:
         for e in events:
             assert shared.observe(e) == private.observe(e)
         assert shared.ok and private.ok
+
+
+class TestDenseImages:
+    def test_registry_precompiles_dense_images(self, cast):
+        reg = SpecRegistry([cast.write()])
+        compiled = reg.get("Write")
+        assert compiled.dense is not None
+        assert compiled.dense.dfa.n_states == len(compiled.dense.states) + 1
+
+    def test_dense_off_leaves_machine_monitoring(self, cast):
+        reg = SpecRegistry([cast.write()], dense=False)
+        assert reg.get("Write").dense is None
+        monitor = reg.new_monitor("Write")
+        assert monitor.dense is None
+
+    def test_images_shared_across_registries(self, cast):
+        a = SpecRegistry([cast.write()]).get("Write").dense
+        b = SpecRegistry([cast.write()]).get("Write").dense
+        assert a is not None and a is b
+
+    def test_state_budget_falls_back_to_machine(self, cast):
+        reg = SpecRegistry([cast.write()], dense_state_limit=1)
+        compiled = reg.get("Write")
+        assert compiled.dense is None  # budget exceeded: machine stepping
+        monitor = reg.new_monitor("Write")
+        x = ObjectId("x9")
+        assert monitor.observe(Event(x, cast.o, "OW"))
+        assert monitor.ok
+
+    def test_dense_monitor_agrees_with_machine_monitor(self, cast, x1):
+        dense_reg = SpecRegistry([cast.write()])
+        plain_reg = SpecRegistry([cast.write()], dense=False)
+        dm = dense_reg.new_monitor("Write")
+        pm = plain_reg.new_monitor("Write")
+        letters = dense_reg.get("Write").dense.dfa.letters
+        stream = [e for e in letters[:3]] + [Event(x1, cast.o, "OW")]
+        for e in stream:
+            assert dm.observe(e) == pm.observe(e)
+        assert dm.ok == pm.ok
