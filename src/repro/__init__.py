@@ -7,8 +7,45 @@ refinement relation with alphabet expansion, composition with hiding, an
 exact symbolic/automata-based checker, an OUN-style notation, and a
 runtime simulator with online monitors.
 
+The stable public surface lives in :mod:`repro.api` and is re-exported
+here lazily (PEP 562), so ``import repro.some.submodule`` never pays for
+the full checker stack::
+
+    from repro import load, verify_refinement
+
+    specs = load(Path("spec.oun").read_text())
+    print(verify_refinement(specs["Read2"], specs["Read"]).holds)
+
 See DESIGN.md for the system inventory and EXPERIMENTS.md for the
 paper-claim index.
 """
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
+
+#: Names resolved lazily from :mod:`repro.api` on first attribute access.
+_API_NAMES = frozenset(
+    {
+        "Monitor",
+        "check",
+        "compile_spec",
+        "elaborate",
+        "load",
+        "parse",
+        "serve",
+        "verify_refinement",
+    }
+)
+
+__all__ = sorted(_API_NAMES | {"__version__"})
+
+
+def __getattr__(name: str):
+    if name in _API_NAMES:
+        from repro import api
+
+        return getattr(api, name)
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
+
+
+def __dir__() -> list:
+    return sorted(set(globals()) | _API_NAMES)

@@ -1,0 +1,136 @@
+"""The stable public API of ``repro`` — one flat, documented surface.
+
+Everything a library consumer needs, re-exported (or thinly wrapped) from
+the internal layers so those layers can keep moving without breaking
+callers:
+
+* :func:`parse` — OUN text → document AST;
+* :func:`elaborate` — document AST → named core specifications;
+* :func:`load` — both steps in one call (text → specifications);
+* :func:`compile_spec` — specification → dense DFA over a finite
+  universe (derived from the spec when not given);
+* :func:`check` — a recorded trace against a specification, returning
+  the monitor so callers can inspect violations;
+* :func:`verify_refinement` — the paper's refinement relation
+  ``concrete ⊑ abstract``, returning an explainable conclusion;
+* :class:`Monitor` — the online monitor (``repro.runtime.SpecMonitor``);
+* :func:`serve` — run the online-monitoring TCP service over a document.
+
+These names are also importable from the top-level package
+(``from repro import verify_refinement``); the package ``__init__``
+resolves them lazily so importing a single submodule stays cheap.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import Iterable
+
+from repro.runtime.monitor import SpecMonitor as Monitor
+
+__all__ = [
+    "Monitor",
+    "check",
+    "compile_spec",
+    "elaborate",
+    "load",
+    "parse",
+    "serve",
+    "verify_refinement",
+]
+
+
+def parse(text: str):
+    """Parse OUN document text into its AST (:class:`~repro.oun.parser.Document`)."""
+    from repro.oun.parser import parse_document
+
+    return parse_document(text)
+
+
+def elaborate(doc):
+    """Elaborate a parsed document into named core specifications."""
+    from repro.oun.elaborate import elaborate as _elaborate
+
+    return _elaborate(doc)
+
+
+def load(text: str):
+    """Parse and elaborate OUN text: ``{name: Specification}``."""
+    return elaborate(parse(text))
+
+
+def compile_spec(spec, universe=None, *, state_limit: int = 100_000):
+    """Compile a specification's trace set to a dense DFA.
+
+    ``universe`` defaults to the finite universe derived from the
+    specification itself (its objects plus the standard environment).
+    """
+    from repro.checker.compile import spec_dfa
+    from repro.checker.universe import FiniteUniverse
+
+    if universe is None:
+        universe = FiniteUniverse.for_specs(spec)
+    return spec_dfa(spec, universe, state_limit=state_limit)
+
+
+def check(spec, events: Iterable) -> Monitor:
+    """Check a recorded event sequence against a specification.
+
+    Feeds every event to a fresh :class:`Monitor` and returns it —
+    ``monitor.ok`` is the verdict, ``monitor.violations`` the evidence.
+    """
+    monitor = Monitor(spec)
+    for event in events:
+        monitor.observe(event)
+    return monitor
+
+
+def verify_refinement(concrete, abstract, universe=None, **kwargs):
+    """Decide ``concrete ⊑ abstract`` (Definition 8, alphabet expansion).
+
+    Returns the checker's conclusion object: truthy ``.holds`` plus an
+    ``explain()`` narrative.  Keyword arguments (``strategy``, ``depth``,
+    …) pass through to :func:`repro.checker.refinement.check_refinement`.
+    """
+    from repro.checker.refinement import check_refinement
+
+    return check_refinement(concrete, abstract, universe, **kwargs)
+
+
+def serve(
+    document: str | Path,
+    *,
+    host: str = "127.0.0.1",
+    port: int = 7471,
+    shards: int = 4,
+    metrics_port: int | None = None,
+) -> None:
+    """Run the online-monitoring TCP service over an OUN document (blocking).
+
+    ``document`` is a path to an ``.oun`` file.  ``metrics_port`` also
+    exposes a Prometheus text scrape endpoint.  Returns when interrupted.
+    """
+    import asyncio
+
+    from repro.service import MonitorServer, SpecRegistry
+
+    registry = SpecRegistry.from_file(document)
+
+    async def run() -> None:
+        server = MonitorServer(
+            registry,
+            shards=shards,
+            host=host,
+            port=port,
+            metrics_port=metrics_port,
+        )
+        await server.start()
+        try:
+            await server.serve_forever()
+        finally:
+            await server.stop()
+
+    try:
+        asyncio.run(run())
+    except KeyboardInterrupt:
+        pass

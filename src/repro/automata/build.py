@@ -39,7 +39,7 @@ from typing import Callable, Hashable, Sequence
 
 from repro.automata.dfa import DFA
 from repro.automata.letters import LetterTable
-from repro.automata.stats import active_exploration_stats
+from repro.obs.exploration import active_exploration_stats
 from repro.core.errors import AutomatonError, StateSpaceLimitExceeded
 from repro.core.events import Event
 from repro.machines.base import TraceMachine

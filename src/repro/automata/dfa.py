@@ -23,12 +23,16 @@ demand, so callers migrate to ids incrementally.
 
 from __future__ import annotations
 
+import warnings
 from array import array
 from typing import Hashable, Iterable, Sequence
 
 from repro.automata.letters import LetterTable
-from repro.automata.stats import active_exploration_stats
+from repro.obs.exploration import active_exploration_stats
 from repro.core.errors import AutomatonError
+
+#: Once-per-process latch for the ``DFA.transitions`` deprecation notice.
+_WARNED_TRANSITIONS = False
 
 __all__ = ["DFA"]
 
@@ -193,7 +197,23 @@ class DFA:
 
     @property
     def transitions(self) -> tuple[dict, ...]:
-        """Event-keyed row dicts (the legacy shim, materialised lazily)."""
+        """Event-keyed row dicts (the legacy shim, materialised lazily).
+
+        .. deprecated:: 1.1
+           Step through :meth:`step` / :meth:`step_id` / :meth:`run_ids`
+           (dense, allocation-free) instead; the dict rows exist only for
+           pre-dense callers and cost ``n_states * n_letters`` dict
+           entries to materialise.
+        """
+        global _WARNED_TRANSITIONS
+        if not _WARNED_TRANSITIONS:
+            _WARNED_TRANSITIONS = True
+            warnings.warn(
+                "DFA.transitions is deprecated; use the dense accessors "
+                "(step/step_id/run_ids) instead",
+                DeprecationWarning,
+                stacklevel=2,
+            )
         rows = self._rows
         if rows is None:
             letters = self.letters

@@ -27,7 +27,7 @@ from __future__ import annotations
 import difflib
 from typing import Hashable, Iterable, Iterator, Sequence
 
-from repro.automata.stats import active_exploration_stats
+from repro.obs.exploration import active_exploration_stats
 from repro.core.errors import AutomatonError
 
 __all__ = ["LetterTable", "interned_table_count"]

@@ -21,7 +21,7 @@ from typing import Hashable, Iterable
 
 from repro.automata.dfa import DFA
 from repro.automata.letters import LetterTable
-from repro.automata.stats import active_exploration_stats
+from repro.obs.exploration import active_exploration_stats
 from repro.core.errors import AutomatonError
 
 __all__ = [

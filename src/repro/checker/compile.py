@@ -23,7 +23,8 @@ from typing import Sequence
 from repro.automata.build import hidden_closure_dfa, machine_to_dfa
 from repro.automata.dfa import DFA
 from repro.automata.letters import LetterTable
-from repro.automata.stats import active_exploration_stats
+from repro.obs.exploration import active_exploration_stats
+from repro.obs.trace import span
 from repro.checker.cache import MachineCache, active_cache
 from repro.checker.universe import FiniteUniverse
 from repro.core.alphabet import Alphabet
@@ -107,23 +108,31 @@ def traceset_dfa(
         normalization_enabled,
     )
 
-    if normalize is None:
-        normalize = normalization_enabled()
-    if normalize:
-        ts = default_pipeline().normalize_traceset(ts, COMPILE_SCOPE)
-    if cache is None:
-        cache = active_cache()
-    key = None
-    if cache is not None:
-        key = cache.key_for("traceset_dfa", ts, universe, state_limit)
-        if key is not None:
-            cached = cache.get(key)
-            if cached is not None:
-                return cached
-    dfa = _compile_traceset(ts, universe, state_limit)
-    if cache is not None and key is not None:
-        cache.put(key, dfa)
-    return dfa
+    with span("compile.traceset_dfa", traceset=type(ts).__name__) as sp:
+        if normalize is None:
+            normalize = normalization_enabled()
+        if normalize:
+            ts = default_pipeline().normalize_traceset(ts, COMPILE_SCOPE)
+        if cache is None:
+            cache = active_cache()
+        key = None
+        if cache is None:
+            sp.set(cache="off")
+        else:
+            key = cache.key_for("traceset_dfa", ts, universe, state_limit)
+            if key is None:
+                sp.set(cache="uncacheable")
+            else:
+                cached = cache.get(key)
+                if cached is not None:
+                    sp.set(cache="hit", states=cached.n_states)
+                    return cached
+                sp.set(cache="miss")
+        dfa = _compile_traceset(ts, universe, state_limit)
+        sp.set(states=dfa.n_states, letters=dfa.n_letters)
+        if cache is not None and key is not None:
+            cache.put(key, dfa)
+        return dfa
 
 
 def _compile_traceset(

@@ -40,6 +40,7 @@ from __future__ import annotations
 
 import contextlib
 import importlib
+import os
 import time
 from concurrent.futures import ProcessPoolExecutor
 from concurrent.futures import TimeoutError as FutureTimeout
@@ -54,7 +55,16 @@ from repro.checker.obligations import (
 )
 from repro.checker.result import CheckResult
 from repro.core.errors import EngineError, ReproError
-from repro.service.metrics import CheckerMetrics
+from repro.obs.metrics import CheckerMetrics
+from repro.obs.trace import (
+    SpanRecord,
+    adopt_parent,
+    current_span_id,
+    replay,
+    span,
+    tracing_enabled,
+    use_sink,
+)
 
 __all__ = [
     "ObligationSource",
@@ -166,6 +176,7 @@ class _TaskResult:
     error: str | None
     seconds: float
     cache_delta: dict[str, int] = field(default_factory=dict)
+    spans: tuple[SpanRecord, ...] = ()
 
 
 def _run_obligation(ob: Obligation) -> tuple[CheckResult | None, str | None, float]:
@@ -202,7 +213,7 @@ def _worker_init(
     _WORKER_NORMALIZE = normalize
 
 
-def _worker_run(index: int) -> _TaskResult:
+def _worker_run(index: int, parent_span_id: str | None = None) -> _TaskResult:
     from repro.passes import use_normalization
 
     obligations = _WORKER_OBLIGATIONS
@@ -211,14 +222,32 @@ def _worker_run(index: int) -> _TaskResult:
     ob = obligations[index]
     cache = _WORKER_CACHE
     before = cache.stats.as_dict() if cache is not None else {}
-    with use_normalization(_WORKER_NORMALIZE):
-        with use_cache(cache) if cache is not None else contextlib.nullcontext():
-            result, error, seconds = _run_obligation(ob)
+    # When the parent is tracing it ships its ambient span id with the
+    # job; the worker records its own spans into a private collector and
+    # ships the finished records back in the _TaskResult, where the
+    # parent replays them — re-parented — into its sinks.
+    collector = None
+    with contextlib.ExitStack() as stack:
+        if parent_span_id is not None:
+            from repro.obs.export import InMemoryCollector
+
+            collector = stack.enter_context(use_sink(InMemoryCollector()))
+            stack.enter_context(adopt_parent(parent_span_id))
+            sp = stack.enter_context(
+                span("engine.obligation", ident=ob.ident, worker=os.getpid())
+            )
+        stack.enter_context(use_normalization(_WORKER_NORMALIZE))
+        if cache is not None:
+            stack.enter_context(use_cache(cache))
+        result, error, seconds = _run_obligation(ob)
+        if collector is not None and error is not None:
+            sp.set(error=error)
     delta: dict[str, int] = {}
     if cache is not None:
         after = cache.stats.as_dict()
         delta = {k: after[k] - before[k] for k in after}
-    return _TaskResult(index, result, error, seconds, delta)
+    spans = tuple(collector.records) if collector is not None else ()
+    return _TaskResult(index, result, error, seconds, delta, spans)
 
 
 # ----------------------------------------------------------------------
@@ -238,12 +267,18 @@ class ObligationEngine:
         obligations = source.build()
         metrics = CheckerMetrics()
         start = time.perf_counter()
-        if self.config.jobs <= 1:
-            outcomes = self._run_inline(obligations, metrics)
-        else:
-            outcomes = self._run_parallel(source, obligations, metrics)
-        wall = time.perf_counter() - start
-        session = ProofSession(outcomes=outcomes)
+        with span(
+            "engine.run",
+            obligations=len(obligations),
+            jobs=max(1, self.config.jobs),
+        ) as sp:
+            if self.config.jobs <= 1:
+                outcomes = self._run_inline(obligations, metrics)
+            else:
+                outcomes = self._run_parallel(source, obligations, metrics)
+            wall = time.perf_counter() - start
+            session = ProofSession(outcomes=outcomes)
+            sp.set(agree=session.all_agree)
         for outcome in outcomes:
             metrics.record_outcome(outcome)
         return EngineRun(
@@ -269,7 +304,10 @@ class ObligationEngine:
         with use_normalization(self.config.normalize):
             with use_cache(cache) if cache is not None else contextlib.nullcontext():
                 for ob in obligations:
-                    result, error, seconds = _run_obligation(ob)
+                    with span("engine.obligation", ident=ob.ident) as sp:
+                        result, error, seconds = _run_obligation(ob)
+                        if error is not None:
+                            sp.set(error=error)
                     outcomes.append(ObligationOutcome(ob, result, error, seconds))
         if cache is not None:
             metrics.record_cache(**cache.stats.as_dict())
@@ -297,8 +335,9 @@ class ObligationEngine:
             ),
         )
         aborted_after: str | None = None
+        parent_span = current_span_id() if tracing_enabled() else None
         try:
-            futures = [pool.submit(_worker_run, i) for i in range(n)]
+            futures = [pool.submit(_worker_run, i, parent_span) for i in range(n)]
             # Collect in submission order: outcome i is always obligation
             # i's, whatever order the workers finished in.
             for i, future in enumerate(futures):
@@ -325,6 +364,8 @@ class ObligationEngine:
                         f"worker pool died while running {ob.ident}: {exc}"
                     ) from exc
                 metrics.record_cache(**task.cache_delta)
+                if task.spans:
+                    replay(task.spans)
                 outcomes[i] = ObligationOutcome(
                     ob, task.result, task.error, task.seconds
                 )
@@ -342,6 +383,8 @@ class ObligationEngine:
         if future.done() and not future.cancelled():
             with contextlib.suppress(BaseException):
                 task = future.result(timeout=0)
+                if task.spans:
+                    replay(task.spans)
                 return ObligationOutcome(
                     ob, task.result, task.error, task.seconds
                 )

@@ -21,7 +21,10 @@ Commands:
   session verdict;
 * ``explain FILE.oun SPEC [--compose OTHER ...]`` — show what the
   normalization pipeline does to a specification: the machine tree
-  before and after, and per-pass rewrite counts.
+  before and after, and per-pass rewrite counts;
+* ``profile FILE.oun SPEC`` — run the full pipeline (elaborate →
+  normalize → compile cold and warm → check) with tracing on and print
+  the nested span tree with per-phase wall time.
 
 Exit status is 0 when the query's answer is positive (refines / equal /
 composable / deadlock-free; for ``claims``, full agreement; for
@@ -34,12 +37,15 @@ worker processes and ``--cache-dir DIR`` to reuse compiled machines
 across runs (``REPRO_CACHE_DIR`` sets a default; ``--no-cache`` forces
 the cache off).  ``--no-normalize`` compiles raw trace sets, skipping the
 normalization pipeline.  Results are independent of all three knobs — see
-``repro.checker.engine`` and ``repro.passes``.
+``repro.checker.engine`` and ``repro.passes``.  These flags live on one
+shared parent parser, as does ``--obs-spans PATH`` (every subcommand):
+stream every finished span of the run to a JSON-lines file.
 """
 
 from __future__ import annotations
 
 import argparse
+import contextlib
 import os
 import sys
 from pathlib import Path
@@ -53,39 +59,54 @@ from repro.core.specification import Specification
 __all__ = ["main", "build_parser"]
 
 
-def _add_engine_flags(sub: argparse.ArgumentParser) -> None:
-    sub.add_argument(
+def _obs_parent() -> argparse.ArgumentParser:
+    """Shared observability flags: every subcommand accepts these."""
+    parent = argparse.ArgumentParser(add_help=False)
+    parent.add_argument(
+        "--obs-spans",
+        default=None,
+        metavar="PATH",
+        help="write every finished span of this run to PATH as JSON lines",
+    )
+    return parent
+
+
+def _engine_parent() -> argparse.ArgumentParser:
+    """Shared engine flags for the obligation-running subcommands."""
+    parent = argparse.ArgumentParser(add_help=False)
+    parent.add_argument(
         "--jobs",
         type=int,
         default=1,
         metavar="N",
         help="run obligations on N worker processes (default 1: inline)",
     )
-    sub.add_argument(
+    parent.add_argument(
         "--timeout",
         type=float,
         default=None,
         metavar="SECONDS",
         help="per-obligation timeout (enforced when --jobs > 1)",
     )
-    sub.add_argument(
+    parent.add_argument(
         "--cache-dir",
         default=None,
         metavar="DIR",
         help="content-addressed machine cache directory "
         "(default: $REPRO_CACHE_DIR if set, else no cache)",
     )
-    sub.add_argument(
+    parent.add_argument(
         "--no-cache",
         action="store_true",
         help="disable the machine cache even if REPRO_CACHE_DIR is set",
     )
-    sub.add_argument(
+    parent.add_argument(
         "--no-normalize",
         action="store_true",
         help="compile raw trace sets, skipping the normalization pipeline "
         "(results are identical; only work and cache keys change)",
     )
+    return parent
 
 
 def _engine_config(args) -> EngineConfig:
@@ -129,13 +150,18 @@ def build_parser() -> argparse.ArgumentParser:
         "specifications — checker CLI",
     )
     sub = parser.add_subparsers(dest="command", required=True)
+    obs = _obs_parent()
+    engine = _engine_parent()
 
-    p_claims = sub.add_parser("claims", help="replay the paper's claims")
+    p_claims = sub.add_parser(
+        "claims", help="replay the paper's claims", parents=[obs, engine]
+    )
     p_claims.add_argument("--details", action="store_true")
     p_claims.add_argument("--env-objects", type=int, default=2)
-    _add_engine_flags(p_claims)
 
-    p_parse = sub.add_parser("parse", help="parse an OUN document")
+    p_parse = sub.add_parser(
+        "parse", help="parse an OUN document", parents=[obs]
+    )
     p_parse.add_argument("file", type=Path)
     p_parse.add_argument(
         "--format",
@@ -144,7 +170,9 @@ def build_parser() -> argparse.ArgumentParser:
     )
 
     p_monitor = sub.add_parser(
-        "monitor", help="check a recorded trace file against a specification"
+        "monitor",
+        help="check a recorded trace file against a specification",
+        parents=[obs],
     )
     p_monitor.add_argument("file", type=Path, help="OUN document")
     p_monitor.add_argument("spec", help="specification name")
@@ -153,7 +181,9 @@ def build_parser() -> argparse.ArgumentParser:
     )
 
     p_serve = sub.add_parser(
-        "serve", help="run the online-monitoring service over an OUN document"
+        "serve",
+        help="run the online-monitoring service over an OUN document",
+        parents=[obs],
     )
     p_serve.add_argument("file", type=Path, help="OUN document with the specs")
     p_serve.add_argument("--host", default="127.0.0.1")
@@ -176,9 +206,19 @@ def build_parser() -> argparse.ArgumentParser:
         metavar="SECONDS",
         help="periodically dump metrics to stderr",
     )
+    p_serve.add_argument(
+        "--metrics-port",
+        type=int,
+        default=None,
+        metavar="PORT",
+        help="also serve a Prometheus text scrape endpoint on PORT "
+        "(0 picks one)",
+    )
 
     p_send = sub.add_parser(
-        "send", help="stream a trace to a running monitoring service"
+        "send",
+        help="stream a trace to a running monitoring service",
+        parents=[obs],
     )
     p_send.add_argument("trace", help="trace file, or '-' to read stdin")
     p_send.add_argument("--spec", required=True, help="specification name")
@@ -188,7 +228,11 @@ def build_parser() -> argparse.ArgumentParser:
         "--retries", type=int, default=5, help="connect retries (with backoff)"
     )
 
-    p_check = sub.add_parser("check", help="check a query over an OUN document")
+    p_check = sub.add_parser(
+        "check",
+        help="check a query over an OUN document",
+        parents=[obs, engine],
+    )
     p_check.add_argument("file", type=Path)
     group = p_check.add_mutually_exclusive_group(required=True)
     group.add_argument("--refines", nargs=2, metavar=("CONCRETE", "ABSTRACT"))
@@ -200,17 +244,20 @@ def build_parser() -> argparse.ArgumentParser:
         "--strategy", choices=("auto", "automata", "bounded"), default="auto"
     )
     p_check.add_argument("--depth", type=int, default=8)
-    _add_engine_flags(p_check)
 
     p_matrix = sub.add_parser(
-        "matrix", help="pairwise refinement matrix of a document's specs"
+        "matrix",
+        help="pairwise refinement matrix of a document's specs",
+        parents=[obs],
     )
     p_matrix.add_argument("file", type=Path)
     p_matrix.add_argument("spec", nargs="*", help="subset of specs (default all)")
     p_matrix.add_argument("--env-objects", type=int, default=2)
 
     p_verify = sub.add_parser(
-        "verify", help="discharge the assertions of an OUN document"
+        "verify",
+        help="discharge the assertions of an OUN document",
+        parents=[obs, engine],
     )
     p_verify.add_argument("file", type=Path)
     p_verify.add_argument("--env-objects", type=int, default=2)
@@ -218,9 +265,10 @@ def build_parser() -> argparse.ArgumentParser:
     p_verify.add_argument(
         "--strategy", choices=("auto", "automata", "bounded"), default="auto"
     )
-    _add_engine_flags(p_verify)
 
-    p_dead = sub.add_parser("deadlock", help="quiescence analysis of a spec")
+    p_dead = sub.add_parser(
+        "deadlock", help="quiescence analysis of a spec", parents=[obs]
+    )
     p_dead.add_argument("file", type=Path)
     p_dead.add_argument("spec", nargs="+")
     p_dead.add_argument("--env-objects", type=int, default=2)
@@ -229,6 +277,7 @@ def build_parser() -> argparse.ArgumentParser:
         "explain",
         help="show what normalization does to a specification "
         "(before/after machine tree, per-pass rewrite counts)",
+        parents=[obs],
     )
     p_explain.add_argument("file", type=Path, help="OUN document")
     p_explain.add_argument("spec", help="specification name")
@@ -239,6 +288,28 @@ def build_parser() -> argparse.ArgumentParser:
         default=(),
         help="compose the named specs onto SPEC first, then explain the "
         "composition",
+    )
+
+    p_profile = sub.add_parser(
+        "profile",
+        help="trace one full pipeline run (elaborate → normalize → compile "
+        "cold/warm → check) and print the span tree with per-phase time",
+        parents=[obs],
+    )
+    p_profile.add_argument("file", type=Path, help="OUN document")
+    p_profile.add_argument("spec", help="specification name")
+    p_profile.add_argument("--env-objects", type=int, default=2)
+    p_profile.add_argument(
+        "--cache-dir",
+        default=None,
+        metavar="DIR",
+        help="machine cache for the cold/warm compile pair "
+        "(default: a temporary directory)",
+    )
+    p_profile.add_argument(
+        "--no-normalize",
+        action="store_true",
+        help="profile with the normalization pipeline off",
     )
 
     return parser
@@ -360,12 +431,18 @@ def _cmd_serve(args, out) -> int:
             host=args.host,
             port=args.port,
             metrics_interval=args.metrics_interval,
+            metrics_port=args.metrics_port,
         )
         await server.start()
         names = ", ".join(registry.names())
+        scrape = (
+            f"; metrics on :{server.metrics_port}"
+            if server.metrics_port is not None
+            else ""
+        )
         print(
             f"repro service on {server.host}:{server.port} "
-            f"({args.shards} shards; specs: {names})",
+            f"({args.shards} shards; specs: {names}{scrape})",
             file=out,
             flush=True,
         )
@@ -538,6 +615,79 @@ def _cmd_explain(args, out) -> int:
     return 0
 
 
+def _phase_rows(records) -> list[tuple[str, str]]:
+    """Aggregate span records into per-phase wall-time rows.
+
+    A record's phase is the first dotted segment of its span name
+    (``compile.traceset_dfa`` → ``compile``); nested spans of the same
+    phase are not double-counted because their enclosing span already
+    covers their time.
+    """
+    by_id = {r.span_id: r for r in records}
+    totals: dict[str, float] = {}
+    first_start: dict[str, float] = {}
+    for r in records:
+        phase = r.name.split(".", 1)[0]
+        first_start[phase] = min(first_start.get(phase, r.start), r.start)
+        parent = by_id.get(r.parent_id)
+        if parent is not None and parent.name.split(".", 1)[0] == phase:
+            continue
+        totals[phase] = totals.get(phase, 0.0) + r.seconds
+    return [
+        (phase, f"{totals[phase] * 1e3:9.2f} ms")
+        for phase in sorted(totals, key=first_start.__getitem__)
+    ]
+
+
+def _cmd_profile(args, out) -> int:
+    import tempfile
+
+    from repro.checker.cache import MachineCache, use_cache
+    from repro.checker.compile import traceset_dfa
+    from repro.checker.refinement import check_refinement
+    from repro.obs.export import InMemoryCollector, format_columns
+    from repro.obs.trace import span, use_sink
+    from repro.passes import use_normalization
+
+    collector = InMemoryCollector()
+    with contextlib.ExitStack() as stack:
+        stack.enter_context(use_sink(collector))
+        stack.enter_context(use_normalization(not args.no_normalize))
+        cache_dir = args.cache_dir
+        if cache_dir is None:
+            cache_dir = stack.enter_context(
+                tempfile.TemporaryDirectory(prefix="repro-profile-")
+            )
+        profile_span = stack.enter_context(
+            span("profile", spec=args.spec, file=str(args.file))
+        )
+        specs = _load(args.file)  # the elaborate span nests here
+        spec = _pick(specs, args.spec)
+        universe = FiniteUniverse.for_specs(
+            spec, env_objects=args.env_objects
+        )
+        # Compile twice through one cache: the first populates it (the
+        # span is annotated cache=miss), the second returns the stored
+        # DFA (cache=hit) — both shapes show up in the printed tree.
+        stack.enter_context(use_cache(MachineCache(cache_dir)))
+        traceset_dfa(spec.traces, universe)
+        traceset_dfa(spec.traces, universe)
+        with span("check", query=f"{spec.name} refines {spec.name}") as sp:
+            conclusion = check_refinement(spec, spec, universe)
+            sp.set(holds=conclusion.holds)
+        profile_span.set(universe=len(universe.values))
+    print(f"profile of {args.spec} ({args.file}):", file=out)
+    print(file=out)
+    print(collector.format_tree(), file=out)
+    print(file=out)
+    print("per-phase wall time:", file=out)
+    rows = [
+        r for r in _phase_rows(collector.records) if r[0] != "profile"
+    ]
+    print(format_columns(rows, indent="  "), file=out)
+    return 0
+
+
 def _cmd_deadlock(args, out) -> int:
     from repro.liveness import quiescence_analysis
 
@@ -554,35 +704,45 @@ def _cmd_deadlock(args, out) -> int:
     return 0 if report.deadlock_free else 1
 
 
+_COMMANDS = {
+    "claims": _cmd_claims,
+    "parse": _cmd_parse,
+    "monitor": _cmd_monitor,
+    "serve": _cmd_serve,
+    "send": _cmd_send,
+    "check": _cmd_check,
+    "matrix": _cmd_matrix,
+    "verify": _cmd_verify,
+    "deadlock": _cmd_deadlock,
+    "explain": _cmd_explain,
+    "profile": _cmd_profile,
+}
+
+
 def main(argv: list[str] | None = None, out=None) -> int:
     out = out if out is not None else sys.stdout
     parser = build_parser()
     args = parser.parse_args(argv)
+    command = _COMMANDS.get(args.command)
+    if command is None:  # pragma: no cover - argparse rejects unknown verbs
+        raise AssertionError(f"unhandled command {args.command!r}")
+    exporter = None
     try:
-        if args.command == "claims":
-            return _cmd_claims(args, out)
-        if args.command == "parse":
-            return _cmd_parse(args, out)
-        if args.command == "monitor":
-            return _cmd_monitor(args, out)
-        if args.command == "serve":
-            return _cmd_serve(args, out)
-        if args.command == "send":
-            return _cmd_send(args, out)
-        if args.command == "check":
-            return _cmd_check(args, out)
-        if args.command == "matrix":
-            return _cmd_matrix(args, out)
-        if args.command == "verify":
-            return _cmd_verify(args, out)
-        if args.command == "deadlock":
-            return _cmd_deadlock(args, out)
-        if args.command == "explain":
-            return _cmd_explain(args, out)
+        if getattr(args, "obs_spans", None):
+            from repro.obs.export import JsonLinesExporter
+            from repro.obs.trace import add_sink, remove_sink
+
+            exporter = JsonLinesExporter(args.obs_spans)
+            add_sink(exporter)
+        try:
+            return command(args, out)
+        finally:
+            if exporter is not None:
+                remove_sink(exporter)
+                exporter.close()
     except ReproError as exc:
         print(f"error: {exc}", file=out)
         return 2
-    raise AssertionError("unreachable")
 
 
 if __name__ == "__main__":  # pragma: no cover

@@ -26,6 +26,7 @@ __all__ = [
     "FingerprintError",
     "CacheError",
     "EngineError",
+    "ObservabilityError",
 ]
 
 
@@ -121,3 +122,7 @@ class CacheError(ReproError):
 
 class EngineError(ReproError):
     """Raised for ill-formed obligation-engine configurations or sources."""
+
+
+class ObservabilityError(ReproError):
+    """Raised for ill-formed metrics registrations or span exporters."""

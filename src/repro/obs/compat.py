@@ -1,0 +1,47 @@
+"""Deprecated-import machinery for names that moved into ``repro.obs``.
+
+``repro.service.metrics`` and ``repro.automata.stats`` are kept as thin
+shims: every public name still imports from its old home, but the first
+access warns (``DeprecationWarning``, exactly once per name per process)
+and points at the new location.  The shims use PEP 562 module
+``__getattr__``, so the old modules carry no stale copies — there is one
+implementation, in :mod:`repro.obs`.
+"""
+
+from __future__ import annotations
+
+import importlib
+import warnings
+
+__all__ = ["deprecated_module_attrs"]
+
+#: (shim module, attribute) pairs that already warned this process.
+_WARNED: set[tuple[str, str]] = set()
+
+
+def deprecated_module_attrs(module_name: str, moved: dict[str, str]):
+    """Build a module ``__getattr__`` forwarding ``moved`` names.
+
+    ``moved`` maps attribute name → new module path.  Each name warns on
+    first access only; later accesses (and re-imports in the same
+    process) resolve silently, so instrumented hot paths that still go
+    through a legacy alias pay one warning, not one per call.
+    """
+
+    def __getattr__(name: str):
+        target = moved.get(name)
+        if target is None:
+            raise AttributeError(
+                f"module {module_name!r} has no attribute {name!r}"
+            )
+        if (module_name, name) not in _WARNED:
+            _WARNED.add((module_name, name))
+            warnings.warn(
+                f"{module_name}.{name} moved to {target}.{name}; "
+                f"import it from there (or from repro.obs)",
+                DeprecationWarning,
+                stacklevel=2,
+            )
+        return getattr(importlib.import_module(target), name)
+
+    return __getattr__

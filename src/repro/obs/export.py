@@ -1,0 +1,162 @@
+"""Span sinks and renderers: JSON-lines files, in-memory trees, tables.
+
+Three consumers of finished :class:`~repro.obs.trace.SpanRecord` values:
+
+* :class:`InMemoryCollector` — the test and ``repro profile`` sink:
+  keeps records in order, reconstructs the parent/child tree, renders it
+  with per-phase wall time;
+* :class:`JsonLinesExporter` — one JSON object per line, append-friendly
+  and greppable; every CLI subcommand grows ``--obs-spans PATH`` on top
+  of it;
+* :func:`format_columns` — the shared column-aligner behind the span
+  tree and the ``repro explain`` pass table, so the two reports line up
+  the same way.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Iterable, Sequence
+
+from repro.core.errors import ObservabilityError
+from repro.obs.trace import SpanRecord
+
+__all__ = [
+    "InMemoryCollector",
+    "JsonLinesExporter",
+    "format_columns",
+    "render_span_tree",
+]
+
+
+def format_columns(rows: Sequence[Sequence[str]], indent: str = "") -> str:
+    """Align rows into left-justified columns (last column ragged)."""
+    if not rows:
+        return ""
+    widths = [0] * max(len(r) for r in rows)
+    for row in rows:
+        for i, cell in enumerate(row[:-1]):
+            widths[i] = max(widths[i], len(cell))
+    lines = []
+    for row in rows:
+        cells = [cell.ljust(widths[i]) for i, cell in enumerate(row[:-1])]
+        cells.append(row[-1])
+        lines.append((indent + "  ".join(cells)).rstrip())
+    return "\n".join(lines)
+
+
+class InMemoryCollector:
+    """Collects records in emission order; reconstructs the span tree."""
+
+    def __init__(self) -> None:
+        self.records: list[SpanRecord] = []
+
+    def emit(self, record: SpanRecord) -> None:
+        self.records.append(record)
+
+    def clear(self) -> None:
+        self.records.clear()
+
+    def by_name(self, name: str) -> list[SpanRecord]:
+        """All records with a given span name, in emission order."""
+        return [r for r in self.records if r.name == name]
+
+    def roots(self) -> list[SpanRecord]:
+        """Records whose parent was never recorded here, by start time.
+
+        A span whose parent lives in another collector (or another
+        process and was never replayed) counts as a root.
+        """
+        known = {r.span_id for r in self.records}
+        return sorted(
+            (r for r in self.records if r.parent_id not in known),
+            key=lambda r: r.start,
+        )
+
+    def children_of(self, span_id: str) -> list[SpanRecord]:
+        return sorted(
+            (r for r in self.records if r.parent_id == span_id),
+            key=lambda r: r.start,
+        )
+
+    def format_tree(self) -> str:
+        """The nested span tree with per-span wall time (see module doc)."""
+        return render_span_tree(self.records)
+
+
+def _attr_text(record: SpanRecord) -> str:
+    if not record.attrs:
+        return ""
+    return " ".join(f"{k}={v}" for k, v in record.attrs.items())
+
+
+def render_span_tree(records: Iterable[SpanRecord]) -> str:
+    """Render records as an indented tree: name, wall time, attributes.
+
+    Spans are nested under their recorded parent (children ordered by
+    start time); spans whose parent is absent from ``records`` print as
+    roots.  This is the ``repro profile`` output format.
+    """
+    records = list(records)
+    known = {r.span_id for r in records}
+    children: dict[str | None, list[SpanRecord]] = {}
+    for r in records:
+        parent = r.parent_id if r.parent_id in known else None
+        children.setdefault(parent, []).append(r)
+    for siblings in children.values():
+        siblings.sort(key=lambda r: r.start)
+
+    rows: list[tuple[str, str, str]] = []
+
+    def walk(record: SpanRecord, depth: int) -> None:
+        rows.append(
+            (
+                "  " * depth + record.name,
+                f"{record.seconds * 1e3:9.2f} ms",
+                _attr_text(record),
+            )
+        )
+        for child in children.get(record.span_id, ()):
+            walk(child, depth + 1)
+
+    for root in children.get(None, ()):
+        walk(root, 0)
+    return format_columns(rows)
+
+
+class JsonLinesExporter:
+    """Writes each finished span as one JSON line to a file.
+
+    Opened eagerly so a bad path fails at configuration time, flushed per
+    record so a crashed run still leaves its spans on disk.  Usable as a
+    context manager; :meth:`close` is idempotent.
+    """
+
+    def __init__(self, path) -> None:
+        try:
+            self._fh = open(path, "w", encoding="utf-8")
+        except OSError as exc:
+            raise ObservabilityError(
+                f"cannot open span file {path}: {exc}"
+            ) from exc
+        self.path = path
+        self.written = 0
+
+    def emit(self, record: SpanRecord) -> None:
+        if self._fh is None:
+            return
+        json.dump(record.as_dict(), self._fh, default=repr)
+        self._fh.write("\n")
+        self._fh.flush()
+        self.written += 1
+
+    def close(self) -> None:
+        if self._fh is not None:
+            self._fh.close()
+            self._fh = None
+
+    def __enter__(self) -> "JsonLinesExporter":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()

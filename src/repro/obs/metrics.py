@@ -1,0 +1,411 @@
+"""Layer-level metric bundles, unified on the :mod:`repro.obs` registry.
+
+:class:`ServiceMetrics` (online monitoring), :class:`CheckerMetrics`
+(obligation engine + machine cache) and :class:`NormalizationMetrics`
+(pass pipeline) historically lived in ``repro.service.metrics`` as three
+unrelated counter bags.  They now share one spine: every instance keeps
+its own counters — the per-instance ``snapshot()`` shapes are pinned by
+tests and dashboards and unchanged — *and* mirrors each increment into
+the process-wide :class:`~repro.obs.registry.MetricsRegistry`, so one
+Prometheus scrape sees the whole system regardless of which layer did the
+work.
+
+Registry metric objects are resolved once at construction (a dict lookup
+per event would not survive on the service's hot path); per-pass labelled
+counters resolve per distinct pass name.  All mutation is single-threaded
+or delta-merged on a parent, as before — no locks.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import time
+
+from repro.obs.registry import (
+    DEFAULT_BUCKETS,
+    LatencyHistogram,
+    MetricsRegistry,
+    OBLIGATION_BUCKETS,
+    get_registry,
+)
+
+__all__ = [
+    "LatencyHistogram",
+    "ServiceMetrics",
+    "CheckerMetrics",
+    "NormalizationMetrics",
+    "DEFAULT_BUCKETS",
+    "OBLIGATION_BUCKETS",
+    "declare_cache_counters",
+]
+
+
+def declare_cache_counters(registry: MetricsRegistry) -> dict:
+    """Resolve (creating on first touch) the machine-cache counter family.
+
+    Shared by :class:`CheckerMetrics` and the service's metrics endpoint:
+    the service pre-touches them so a scrape shows the family at zero
+    even before any offline check ran in the process.
+    """
+    return {
+        "hits": registry.counter(
+            "repro_cache_hits_total", help="machine-cache lookups served from disk"
+        ),
+        "misses": registry.counter(
+            "repro_cache_misses_total", help="machine-cache lookups that compiled"
+        ),
+        "stores": registry.counter(
+            "repro_cache_stores_total", help="compiled machines written to the cache"
+        ),
+        "errors": registry.counter(
+            "repro_cache_errors_total", help="corrupt or unwritable cache entries"
+        ),
+        "uncacheable": registry.counter(
+            "repro_cache_uncacheable_total",
+            help="compilations without a stable fingerprint",
+        ),
+    }
+
+
+class CheckerMetrics:
+    """Counters and wall-time histogram for one obligation-engine run.
+
+    Mirrors :class:`ServiceMetrics` in shape (monotonic counters + the
+    shared :class:`LatencyHistogram` type + a stable ``snapshot()``) but
+    measures the *offline* checker: whole proof obligations instead of
+    single events, plus the machine cache's hit/miss/store/error and
+    uncacheable counts.  Mutation happens either on one thread (inline
+    runs) or by merging per-worker deltas on the parent (parallel runs),
+    so plain integers are race-free here too.
+    """
+
+    def __init__(self) -> None:
+        self.obligations_run = 0
+        self.agreements = 0
+        self.disagreements = 0
+        self.errors = 0
+        self.timeouts = 0
+        self.cache_hits = 0
+        self.cache_misses = 0
+        self.cache_stores = 0
+        self.cache_errors = 0
+        self.cache_uncacheable = 0
+        self.wall = LatencyHistogram(OBLIGATION_BUCKETS)
+        registry = get_registry()
+        self._g_cache = declare_cache_counters(registry)
+        self._c_obligations = registry.counter(
+            "repro_obligations_total", help="proof obligations run"
+        )
+        self._c_errors = registry.counter(
+            "repro_obligation_errors_total", help="obligations ending in error"
+        )
+        self._c_timeouts = registry.counter(
+            "repro_obligation_timeouts_total", help="obligations killed by timeout"
+        )
+        self._h_wall = registry.histogram(
+            "repro_obligation_seconds",
+            buckets=OBLIGATION_BUCKETS,
+            help="wall seconds per proof obligation",
+        )
+
+    # -- recording -----------------------------------------------------------
+
+    def record_outcome(self, outcome) -> None:
+        """One finished :class:`~repro.checker.obligations.ObligationOutcome`."""
+        self.obligations_run += 1
+        self._c_obligations.inc()
+        self.wall.observe(outcome.seconds)
+        self._h_wall.observe(outcome.seconds)
+        if outcome.error is not None:
+            self.errors += 1
+            self._c_errors.inc()
+            if "timeout" in outcome.error.lower():
+                self.timeouts += 1
+                self._c_timeouts.inc()
+        elif outcome.agrees:
+            self.agreements += 1
+        else:
+            self.disagreements += 1
+
+    def record_cache(
+        self,
+        *,
+        hits: int = 0,
+        misses: int = 0,
+        stores: int = 0,
+        errors: int = 0,
+        uncacheable: int = 0,
+    ) -> None:
+        """Merge a cache-stats delta (one worker's, or a whole run's)."""
+        self.cache_hits += hits
+        self.cache_misses += misses
+        self.cache_stores += stores
+        self.cache_errors += errors
+        self.cache_uncacheable += uncacheable
+        self._g_cache["hits"].inc(hits)
+        self._g_cache["misses"].inc(misses)
+        self._g_cache["stores"].inc(stores)
+        self._g_cache["errors"].inc(errors)
+        self._g_cache["uncacheable"].inc(uncacheable)
+
+    @property
+    def cache_lookups(self) -> int:
+        return self.cache_hits + self.cache_misses + self.cache_uncacheable
+
+    @property
+    def cache_hit_rate(self) -> float:
+        lookups = self.cache_lookups
+        return self.cache_hits / lookups if lookups else 0.0
+
+    # -- reporting -----------------------------------------------------------
+
+    def snapshot(self) -> dict:
+        """A plain-dict snapshot; keys are stable for tests and dumps."""
+        return {
+            "obligations_run": self.obligations_run,
+            "agreements": self.agreements,
+            "disagreements": self.disagreements,
+            "errors": self.errors,
+            "timeouts": self.timeouts,
+            "cache_hits": self.cache_hits,
+            "cache_misses": self.cache_misses,
+            "cache_stores": self.cache_stores,
+            "cache_errors": self.cache_errors,
+            "cache_uncacheable": self.cache_uncacheable,
+            "wall": self.wall.snapshot(),
+        }
+
+    def format_text(self) -> str:
+        """A compact human-readable dump (one counter per line)."""
+        snap = self.snapshot()
+        lines = [
+            f"{key}={snap[key]}"
+            for key in (
+                "obligations_run",
+                "agreements",
+                "disagreements",
+                "errors",
+                "timeouts",
+                "cache_hits",
+                "cache_misses",
+                "cache_stores",
+                "cache_errors",
+                "cache_uncacheable",
+            )
+        ]
+        lines.append(
+            f"wall: count={self.wall.count} mean={self.wall.mean:.3f}s "
+            f"total={self.wall.total:.3f}s"
+        )
+        return "\n".join(lines)
+
+
+class NormalizationMetrics:
+    """Per-pass rewrite counts and wall time for a normalization pipeline.
+
+    One instance lives on each :class:`~repro.passes.base.PassPipeline`
+    (the process-wide default pipeline accumulates across every
+    normalization the process runs).  Same conventions as the sibling
+    classes: monotonic counters mutated from one thread, a stable
+    ``snapshot()`` shape, a compact ``format_text()``.
+    """
+
+    def __init__(self) -> None:
+        self.normalizations = 0
+        self.rewrites = 0
+        self.pass_rewrites: dict[str, int] = {}
+        self.pass_seconds: dict[str, float] = {}
+        registry = get_registry()
+        self._registry = registry
+        self._c_runs = registry.counter(
+            "repro_normalize_runs_total", help="whole pipeline runs"
+        )
+        self._c_rewrites = registry.counter(
+            "repro_normalize_rewrites_total", help="rewrites fired, all passes"
+        )
+        self._c_pass: dict[str, tuple] = {}
+
+    # -- recording -----------------------------------------------------------
+
+    def record_pass(self, name: str, rewrites: int, seconds: float) -> None:
+        """One application of one pass (possibly zero rewrites)."""
+        self.pass_rewrites[name] = self.pass_rewrites.get(name, 0) + rewrites
+        self.pass_seconds[name] = self.pass_seconds.get(name, 0.0) + seconds
+        counters = self._c_pass.get(name)
+        if counters is None:
+            labels = (("pass", name),)
+            counters = self._c_pass[name] = (
+                self._registry.counter(
+                    "repro_normalize_pass_rewrites_total",
+                    labels,
+                    help="rewrites fired per pass",
+                ),
+                self._registry.counter(
+                    "repro_normalize_pass_seconds_total",
+                    labels,
+                    help="wall seconds spent per pass",
+                ),
+            )
+        counters[0].inc(rewrites)
+        counters[1].inc(seconds)
+
+    def record_run(self, rewrites: int) -> None:
+        """One whole pipeline run over one trace set."""
+        self.normalizations += 1
+        self.rewrites += rewrites
+        self._c_runs.inc()
+        self._c_rewrites.inc(rewrites)
+
+    # -- reporting -----------------------------------------------------------
+
+    def snapshot(self) -> dict:
+        """A plain-dict snapshot; keys are stable for tests and dumps."""
+        return {
+            "normalizations": self.normalizations,
+            "rewrites": self.rewrites,
+            "passes": {
+                name: {
+                    "rewrites": self.pass_rewrites.get(name, 0),
+                    "seconds": self.pass_seconds.get(name, 0.0),
+                }
+                for name in sorted(
+                    set(self.pass_rewrites) | set(self.pass_seconds)
+                )
+            },
+        }
+
+    def format_text(self) -> str:
+        """A compact human-readable dump (one counter per line)."""
+        snap = self.snapshot()
+        lines = [
+            f"normalizations={snap['normalizations']}",
+            f"rewrites={snap['rewrites']}",
+        ]
+        for name, entry in snap["passes"].items():
+            lines.append(
+                f"pass[{name}]: rewrites={entry['rewrites']} "
+                f"seconds={entry['seconds']:.4f}"
+            )
+        return "\n".join(lines)
+
+
+class ServiceMetrics:
+    """Counters and per-spec histograms for one server instance."""
+
+    def __init__(self, clock=time.perf_counter) -> None:
+        self.clock = clock
+        self.events_observed = 0
+        self.events_skipped = 0
+        self.events_malformed = 0
+        self.violations = 0
+        self.sessions_opened = 0
+        self.sessions_closed = 0
+        self.latency: dict[str, LatencyHistogram] = {}
+        registry = get_registry()
+        self._c_events = registry.counter(
+            "repro_monitor_events_total", help="events accepted by sessions"
+        )
+        self._c_steps = registry.counter(
+            "repro_monitor_steps_total",
+            help="in-alphabet events stepped through a monitor",
+        )
+        self._c_skipped = registry.counter(
+            "repro_monitor_skipped_total", help="events outside the bound alphabet"
+        )
+        self._c_malformed = registry.counter(
+            "repro_monitor_malformed_total", help="unparseable or spec-less events"
+        )
+        self._c_violations = registry.counter(
+            "repro_monitor_violations_total", help="first violations detected"
+        )
+        self._c_opened = registry.counter(
+            "repro_sessions_opened_total", help="TCP sessions accepted"
+        )
+        self._c_closed = registry.counter(
+            "repro_sessions_closed_total", help="TCP sessions finished"
+        )
+        self._h_check = registry.histogram(
+            "repro_event_check_seconds", help="per-event check latency, all specs"
+        )
+
+    # -- recording -----------------------------------------------------------
+
+    def record_event(self, spec: str, seconds: float, *, skipped: bool) -> None:
+        """One event checked (or projected away) for ``spec``."""
+        self.events_observed += 1
+        self._c_events.inc()
+        if skipped:
+            self.events_skipped += 1
+            self._c_skipped.inc()
+        else:
+            self._c_steps.inc()
+        hist = self.latency.get(spec)
+        if hist is None:
+            hist = self.latency[spec] = LatencyHistogram()
+        hist.observe(seconds)
+        self._h_check.observe(seconds)
+
+    def record_malformed(self) -> None:
+        self.events_malformed += 1
+        self._c_malformed.inc()
+
+    def record_violation(self) -> None:
+        self.violations += 1
+        self._c_violations.inc()
+
+    def session_opened(self) -> None:
+        self.sessions_opened += 1
+        self._c_opened.inc()
+
+    def session_closed(self) -> None:
+        self.sessions_closed += 1
+        self._c_closed.inc()
+
+    # -- reporting -----------------------------------------------------------
+
+    def snapshot(self) -> dict:
+        """A plain-dict snapshot; keys are stable for tests and dumps."""
+        return {
+            "events_observed": self.events_observed,
+            "events_skipped": self.events_skipped,
+            "events_malformed": self.events_malformed,
+            "violations": self.violations,
+            "sessions_opened": self.sessions_opened,
+            "sessions_closed": self.sessions_closed,
+            "latency": {
+                name: hist.snapshot() for name, hist in sorted(self.latency.items())
+            },
+        }
+
+    def format_text(self) -> str:
+        """A compact human-readable dump (one counter per line)."""
+        snap = self.snapshot()
+        lines = [
+            f"{key}={snap[key]}"
+            for key in (
+                "events_observed",
+                "events_skipped",
+                "events_malformed",
+                "violations",
+                "sessions_opened",
+                "sessions_closed",
+            )
+        ]
+        for name, hist in snap["latency"].items():
+            lines.append(
+                f"latency[{name}]: count={hist['count']} "
+                f"mean={hist['mean_seconds'] * 1e6:.1f}µs"
+            )
+        return "\n".join(lines)
+
+    async def periodic_dump(self, interval: float, out=None) -> None:
+        """Print :meth:`format_text` every ``interval`` seconds until cancelled."""
+        import sys
+
+        out = out if out is not None else sys.stderr
+        try:
+            while True:
+                await asyncio.sleep(interval)
+                print(f"-- metrics --\n{self.format_text()}", file=out, flush=True)
+        except asyncio.CancelledError:
+            pass

@@ -35,6 +35,7 @@ from repro.machines.projection import OnlyMachine
 from repro.machines.quantifier import ForallMachine
 from repro.machines.regex.machine import PrsMachine
 from repro.machines.regex.parse import parse_regex
+from repro.obs.trace import span
 from repro.oun.parser import (
     AlphabetEntry,
     CAnd,
@@ -219,6 +220,65 @@ def _build_machine(
     raise OUNElaborationError(f"unknown constraint node {node!r}")
 
 
+def _elaborate_spec(scope: _Scope, spec: SpecDecl) -> Specification:
+    """Elaborate one ``specification`` block into a component spec."""
+    objects = []
+    for name in spec.objects:
+        o = scope.objects.get(name)
+        if o is None:
+            raise OUNElaborationError(
+                f"specification {spec.name!r}: undeclared object {name!r}"
+            )
+        objects.append(o)
+    sigs: dict[str, tuple[Sort, ...]] = {}
+    for m in spec.methods:
+        if m.name in sigs:
+            raise OUNElaborationError(
+                f"specification {spec.name!r}: method {m.name!r} redeclared"
+            )
+        sigs[m.name] = tuple(
+            _resolve_sort(scope, s, f"method {m.name!r}") for s in m.arg_sorts
+        )
+    alphabet = Alphabet.of(
+        *(_entry_pattern(scope, spec, e, sigs) for e in spec.alphabet)
+    )
+    machine = _build_machine(scope, spec, spec.traces, sigs, {}, {})
+    # Emit through the normalization pipeline: elaboration builds
+    # whatever shape the document spelled (nested renames, True
+    # conjuncts); downstream layers should see the canonical form.
+    # Respects the ambient use_normalization toggle.
+    from repro.passes import normalize_machine
+
+    machine = normalize_machine(machine)
+    if isinstance(machine, TrueMachine):
+        return component_spec(spec.name, objects, alphabet)
+    return component_spec(spec.name, objects, alphabet, machine)
+
+
+def _elaborate_composition(out: dict[str, Specification], comp) -> Specification:
+    """Build one named composition from already-elaborated parts."""
+    parts = []
+    for part_name in comp.parts:
+        part = out.get(part_name)
+        if part is None:
+            raise OUNElaborationError(
+                f"composition {comp.name!r}: unknown specification "
+                f"{part_name!r}"
+            )
+        parts.append(part)
+    try:
+        built = parts[0]
+        for part in parts[1:]:
+            built = compose(built, part)
+    except CompositionError as exc:
+        raise OUNElaborationError(
+            f"composition {comp.name!r}: {exc}"
+        ) from exc
+    return Specification(
+        comp.name, built.objects, built.alphabet, built.traces
+    )
+
+
 def elaborate(doc: Document) -> dict[str, Specification]:
     """Resolve a document into named core specifications.
 
@@ -227,71 +287,28 @@ def elaborate(doc: Document) -> dict[str, Specification]:
     composability check of Definition 10 applies and failures surface as
     :class:`OUNElaborationError`.
     """
-    scope = _Scope(doc)
-    out: dict[str, Specification] = {}
-    for spec in doc.specifications:
-        if spec.name in out:
-            raise OUNElaborationError(f"specification {spec.name!r} redeclared")
-        objects = []
-        for name in spec.objects:
-            o = scope.objects.get(name)
-            if o is None:
+    with span(
+        "elaborate",
+        specs=len(doc.specifications),
+        compositions=len(doc.compositions),
+    ):
+        scope = _Scope(doc)
+        out: dict[str, Specification] = {}
+        for spec in doc.specifications:
+            if spec.name in out:
                 raise OUNElaborationError(
-                    f"specification {spec.name!r}: undeclared object {name!r}"
+                    f"specification {spec.name!r} redeclared"
                 )
-            objects.append(o)
-        sigs: dict[str, tuple[Sort, ...]] = {}
-        for m in spec.methods:
-            if m.name in sigs:
+            with span("elaborate.spec", name=spec.name):
+                out[spec.name] = _elaborate_spec(scope, spec)
+        for comp in doc.compositions:
+            if comp.name in out:
                 raise OUNElaborationError(
-                    f"specification {spec.name!r}: method {m.name!r} redeclared"
+                    f"composition {comp.name!r} redeclares an existing name"
                 )
-            sigs[m.name] = tuple(
-                _resolve_sort(scope, s, f"method {m.name!r}") for s in m.arg_sorts
-            )
-        alphabet = Alphabet.of(
-            *(_entry_pattern(scope, spec, e, sigs) for e in spec.alphabet)
-        )
-        machine = _build_machine(scope, spec, spec.traces, sigs, {}, {})
-        # Emit through the normalization pipeline: elaboration builds
-        # whatever shape the document spelled (nested renames, True
-        # conjuncts); downstream layers should see the canonical form.
-        # Respects the ambient use_normalization toggle.
-        from repro.passes import normalize_machine
-
-        machine = normalize_machine(machine)
-        if isinstance(machine, TrueMachine):
-            out[spec.name] = component_spec(spec.name, objects, alphabet)
-        else:
-            out[spec.name] = component_spec(
-                spec.name, objects, alphabet, machine
-            )
-    for comp in doc.compositions:
-        if comp.name in out:
-            raise OUNElaborationError(
-                f"composition {comp.name!r} redeclares an existing name"
-            )
-        parts = []
-        for part_name in comp.parts:
-            part = out.get(part_name)
-            if part is None:
-                raise OUNElaborationError(
-                    f"composition {comp.name!r}: unknown specification "
-                    f"{part_name!r}"
-                )
-            parts.append(part)
-        try:
-            built = parts[0]
-            for part in parts[1:]:
-                built = compose(built, part)
-        except CompositionError as exc:
-            raise OUNElaborationError(
-                f"composition {comp.name!r}: {exc}"
-            ) from exc
-        out[comp.name] = Specification(
-            comp.name, built.objects, built.alphabet, built.traces
-        )
-    return out
+            with span("elaborate.composition", name=comp.name):
+                out[comp.name] = _elaborate_composition(out, comp)
+        return out
 
 
 def load_specifications(text: str) -> dict[str, Specification]:

@@ -11,9 +11,10 @@ round fires no rewrite (or ``max_rounds`` is hit): passes interact —
 rename fusion can expose a filter fusion which can expose a boolean fold
 — and a bounded fixpoint keeps the interaction simple to reason about.
 Per-pass rewrite counts and wall time accumulate in a
-:class:`~repro.service.metrics.NormalizationMetrics` (surfaced through
-``service.metrics``) and in the per-run :class:`PipelineReport` used by
-``repro explain``.
+:class:`~repro.obs.metrics.NormalizationMetrics` (mirrored into the
+unified :mod:`repro.obs` registry) and in the per-run
+:class:`PipelineReport` used by ``repro explain``; each pass application
+also opens a ``normalize.<pass>`` span when tracing is on.
 
 Normalization is *on* by default and ambiently toggleable
 (:func:`use_normalization`), mirroring the machine cache's ContextVar
@@ -32,6 +33,7 @@ from repro.core.errors import SpecificationError
 from repro.core.specification import Specification
 from repro.core.tracesets import TraceSet
 from repro.machines.base import TraceMachine
+from repro.obs.trace import span
 
 __all__ = [
     "SPEC_SCOPE",
@@ -111,17 +113,23 @@ class PipelineReport:
         return sum(app.rewrites for app in self.applications)
 
     def format_text(self) -> str:
-        lines = []
-        for app in self.applications:
-            lines.append(
-                f"  {app.name:<22} {app.rewrites:4d} rewrite(s)  "
-                f"{app.seconds * 1e3:7.2f} ms  [{app.scope}]"
+        from repro.obs.export import format_columns
+
+        rows = [
+            (
+                app.name,
+                f"{app.rewrites:4d} rewrite(s)",
+                f"{app.seconds * 1e3:7.2f} ms",
+                f"[{app.scope}]",
             )
-        lines.append(
+            for app in self.applications
+        ]
+        table = format_columns(rows, indent="  ")
+        total = (
             f"  total: {self.total_rewrites} rewrite(s) in "
             f"{self.rounds} round(s)"
         )
-        return "\n".join(lines)
+        return f"{table}\n{total}" if table else total
 
 
 class PassPipeline:
@@ -138,10 +146,7 @@ class PassPipeline:
             raise SpecificationError("pipeline needs at least one round")
         self.max_rounds = max_rounds
         if metrics is None:
-            # Imported lazily: service.metrics lives above this layer and
-            # importing it at module load would cycle through
-            # service/__init__ → registry → passes.
-            from repro.service.metrics import NormalizationMetrics
+            from repro.obs.metrics import NormalizationMetrics
 
             metrics = NormalizationMetrics()
         self.metrics = metrics
@@ -155,12 +160,23 @@ class PassPipeline:
         """Normalize a trace set; returns ``(trace set, PipelineReport)``."""
         report = PipelineReport(scope=scope)
         chosen = self.passes_for(scope)
+        with span("normalize.pipeline", scope=scope) as pipeline_span:
+            ts = self._run_rounds(ts, chosen, report)
+            pipeline_span.set(
+                rewrites=report.total_rewrites, rounds=report.rounds
+            )
+        self.metrics.record_run(report.total_rewrites)
+        return ts, report
+
+    def _run_rounds(self, ts: TraceSet, chosen, report: PipelineReport) -> TraceSet:
         for _ in range(self.max_rounds):
             report.rounds += 1
             fired = 0
             for p in chosen:
                 start = time.perf_counter()
-                out, n = p.run(ts)
+                with span(f"normalize.{p.name}") as pass_span:
+                    out, n = p.run(ts)
+                    pass_span.set(rewrites=n)
                 seconds = time.perf_counter() - start
                 # The alphabet invariant is what lets the compiler reuse
                 # one interned letter table across raw and normalized
@@ -178,24 +194,29 @@ class PassPipeline:
                 self.metrics.record_pass(p.name, n, seconds)
             if fired == 0:
                 break
-        self.metrics.record_run(report.total_rewrites)
-        return ts, report
+        return ts
 
     def normalize_traceset(self, ts: TraceSet, scope: str = COMPILE_SCOPE) -> TraceSet:
         return self.run(ts, scope)[0]
 
     def normalize_machine(self, machine: TraceMachine) -> TraceMachine:
         """Normalize a bare machine with the spec-scope machine passes."""
-        for _ in range(self.max_rounds):
-            fired = 0
-            for p in self.passes_for(SPEC_SCOPE):
-                start = time.perf_counter()
-                machine, n = p.run_machine(machine)
-                seconds = time.perf_counter() - start
-                fired += n
-                self.metrics.record_pass(p.name, n, seconds)
-            if fired == 0:
-                break
+        with span("normalize.machine") as machine_span:
+            total = 0
+            for _ in range(self.max_rounds):
+                fired = 0
+                for p in self.passes_for(SPEC_SCOPE):
+                    start = time.perf_counter()
+                    with span(f"normalize.{p.name}") as pass_span:
+                        machine, n = p.run_machine(machine)
+                        pass_span.set(rewrites=n)
+                    seconds = time.perf_counter() - start
+                    fired += n
+                    self.metrics.record_pass(p.name, n, seconds)
+                total += fired
+                if fired == 0:
+                    break
+            machine_span.set(rewrites=total)
         return machine
 
 

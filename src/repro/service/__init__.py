@@ -18,8 +18,8 @@ Modules:
 * :mod:`~repro.service.client`   — retrying, backpressured client.
 """
 
+from repro.obs.metrics import LatencyHistogram, ServiceMetrics
 from repro.service.client import MonitorClient, ServiceUnavailable, backoff_delays
-from repro.service.metrics import LatencyHistogram, ServiceMetrics
 from repro.service.protocol import (
     PROTOCOL_VERSION,
     Command,

@@ -175,6 +175,31 @@ class MonitorClient:
         if reply.kind != "ok":
             raise ReproError(f"server rejected RESET: {reply.detail}")
 
+    async def metrics(self) -> str:
+        """Fetch the server's Prometheus text dump via the METRICS verb.
+
+        The reply is the protocol's one multi-line shape: ``OK metrics
+        lines=<n>`` followed by exactly ``n`` raw exposition lines, read
+        here by count so embedded text never confuses the framing.
+        """
+        reply = await self._sync("METRICS")
+        if reply.kind != "ok" or not reply.detail.startswith("metrics "):
+            raise ReproError(f"server rejected METRICS: {reply.detail}")
+        try:
+            count = int(reply.detail.rpartition("lines=")[2])
+        except ValueError as exc:
+            raise ReproError(
+                f"malformed METRICS reply: {reply.detail}"
+            ) from exc
+        assert self._reader is not None
+        lines = []
+        for _ in range(count):
+            raw = await self._reader.readline()
+            if not raw:
+                raise ConnectionError("server closed mid-METRICS")
+            lines.append(raw.decode("utf-8", errors="replace").rstrip("\n"))
+        return "\n".join(lines) + ("\n" if lines else "")
+
     # -- internals -----------------------------------------------------------
 
     async def _drain_queue(self) -> None:

@@ -1,17 +1,22 @@
-"""Service metrics: monotonic counters and per-spec latency histograms.
+"""Deprecated shim: service metrics moved to :mod:`repro.obs`.
 
-All mutation happens on the server's single event loop (shard workers are
-tasks, not threads), so plain integers are race-free; the point of this
-module is a *stable snapshot shape* for tests, benchmarks, and the
-optional periodic text dump — not a client library for some external
-metrics system.
+.. deprecated:: 1.1
+   Every class here now lives in the unified observability layer —
+   :class:`~repro.obs.metrics.ServiceMetrics`,
+   :class:`~repro.obs.metrics.CheckerMetrics` and
+   :class:`~repro.obs.metrics.NormalizationMetrics` in
+   ``repro.obs.metrics``; :class:`~repro.obs.registry.LatencyHistogram`
+   (now also ``Histogram``) and the bucket presets in
+   ``repro.obs.registry`` — and mirrors every increment into the
+   process-wide :class:`~repro.obs.registry.MetricsRegistry`.  Import
+   from ``repro.obs`` instead; this module will be removed one release
+   after 1.1.  Each name warns with ``DeprecationWarning`` exactly once
+   per process on first access.
 """
 
 from __future__ import annotations
 
-import asyncio
-import bisect
-import time
+from repro.obs.compat import deprecated_module_attrs
 
 __all__ = [
     "LatencyHistogram",
@@ -22,302 +27,14 @@ __all__ = [
     "OBLIGATION_BUCKETS",
 ]
 
-#: Upper bounds (seconds) of the latency buckets: 1µs … ~1s, log-spaced.
-DEFAULT_BUCKETS = tuple(1e-6 * 4**i for i in range(11))
-
-#: Buckets for whole proof obligations: 1ms … ~1000s, log-spaced.  One
-#: obligation compiles DFAs and runs automaton products, so it lives three
-#: orders of magnitude above a single online event check.
-OBLIGATION_BUCKETS = tuple(1e-3 * 4**i for i in range(11))
-
-
-class LatencyHistogram:
-    """A fixed-bucket histogram of per-event check latencies (seconds)."""
-
-    __slots__ = ("bounds", "counts", "count", "total")
-
-    def __init__(self, bounds: tuple[float, ...] = DEFAULT_BUCKETS) -> None:
-        self.bounds = tuple(sorted(bounds))
-        # one overflow bucket past the last bound
-        self.counts = [0] * (len(self.bounds) + 1)
-        self.count = 0
-        self.total = 0.0
-
-    def observe(self, seconds: float) -> None:
-        self.counts[bisect.bisect_left(self.bounds, seconds)] += 1
-        self.count += 1
-        self.total += seconds
-
-    @property
-    def mean(self) -> float:
-        return self.total / self.count if self.count else 0.0
-
-    def snapshot(self) -> dict:
-        return {
-            "count": self.count,
-            "total_seconds": self.total,
-            "mean_seconds": self.mean,
-            "buckets": {
-                f"le_{bound:g}": n
-                for bound, n in zip(self.bounds, self.counts)
-            }
-            | {"overflow": self.counts[-1]},
-        }
-
-
-class CheckerMetrics:
-    """Counters and wall-time histogram for one obligation-engine run.
-
-    Mirrors :class:`ServiceMetrics` in shape (monotonic counters + the
-    shared :class:`LatencyHistogram` type + a stable ``snapshot()``) but
-    measures the *offline* checker: whole proof obligations instead of
-    single events, plus the machine cache's hit/miss/store/error and
-    uncacheable counts.  Mutation happens either on one thread (inline
-    runs) or by merging per-worker deltas on the parent (parallel runs),
-    so plain integers are race-free here too.
-    """
-
-    def __init__(self) -> None:
-        self.obligations_run = 0
-        self.agreements = 0
-        self.disagreements = 0
-        self.errors = 0
-        self.timeouts = 0
-        self.cache_hits = 0
-        self.cache_misses = 0
-        self.cache_stores = 0
-        self.cache_errors = 0
-        self.cache_uncacheable = 0
-        self.wall = LatencyHistogram(OBLIGATION_BUCKETS)
-
-    # -- recording -----------------------------------------------------------
-
-    def record_outcome(self, outcome) -> None:
-        """One finished :class:`~repro.checker.obligations.ObligationOutcome`."""
-        self.obligations_run += 1
-        self.wall.observe(outcome.seconds)
-        if outcome.error is not None:
-            self.errors += 1
-            if "timeout" in outcome.error.lower():
-                self.timeouts += 1
-        elif outcome.agrees:
-            self.agreements += 1
-        else:
-            self.disagreements += 1
-
-    def record_cache(
-        self,
-        *,
-        hits: int = 0,
-        misses: int = 0,
-        stores: int = 0,
-        errors: int = 0,
-        uncacheable: int = 0,
-    ) -> None:
-        """Merge a cache-stats delta (one worker's, or a whole run's)."""
-        self.cache_hits += hits
-        self.cache_misses += misses
-        self.cache_stores += stores
-        self.cache_errors += errors
-        self.cache_uncacheable += uncacheable
-
-    @property
-    def cache_lookups(self) -> int:
-        return self.cache_hits + self.cache_misses + self.cache_uncacheable
-
-    @property
-    def cache_hit_rate(self) -> float:
-        lookups = self.cache_lookups
-        return self.cache_hits / lookups if lookups else 0.0
-
-    # -- reporting -----------------------------------------------------------
-
-    def snapshot(self) -> dict:
-        """A plain-dict snapshot; keys are stable for tests and dumps."""
-        return {
-            "obligations_run": self.obligations_run,
-            "agreements": self.agreements,
-            "disagreements": self.disagreements,
-            "errors": self.errors,
-            "timeouts": self.timeouts,
-            "cache_hits": self.cache_hits,
-            "cache_misses": self.cache_misses,
-            "cache_stores": self.cache_stores,
-            "cache_errors": self.cache_errors,
-            "cache_uncacheable": self.cache_uncacheable,
-            "wall": self.wall.snapshot(),
-        }
-
-    def format_text(self) -> str:
-        """A compact human-readable dump (one counter per line)."""
-        snap = self.snapshot()
-        lines = [
-            f"{key}={snap[key]}"
-            for key in (
-                "obligations_run",
-                "agreements",
-                "disagreements",
-                "errors",
-                "timeouts",
-                "cache_hits",
-                "cache_misses",
-                "cache_stores",
-                "cache_errors",
-                "cache_uncacheable",
-            )
-        ]
-        lines.append(
-            f"wall: count={self.wall.count} mean={self.wall.mean:.3f}s "
-            f"total={self.wall.total:.3f}s"
-        )
-        return "\n".join(lines)
-
-
-class NormalizationMetrics:
-    """Per-pass rewrite counts and wall time for a normalization pipeline.
-
-    One instance lives on each :class:`~repro.passes.base.PassPipeline`
-    (the process-wide default pipeline accumulates across every
-    normalization the process runs).  Same conventions as the sibling
-    classes: monotonic counters mutated from one thread, a stable
-    ``snapshot()`` shape, a compact ``format_text()``.  Kept out of
-    :meth:`ServiceMetrics.snapshot` so the service snapshot shape stays
-    what existing tests and dashboards pin.
-    """
-
-    def __init__(self) -> None:
-        self.normalizations = 0
-        self.rewrites = 0
-        self.pass_rewrites: dict[str, int] = {}
-        self.pass_seconds: dict[str, float] = {}
-
-    # -- recording -----------------------------------------------------------
-
-    def record_pass(self, name: str, rewrites: int, seconds: float) -> None:
-        """One application of one pass (possibly zero rewrites)."""
-        self.pass_rewrites[name] = self.pass_rewrites.get(name, 0) + rewrites
-        self.pass_seconds[name] = self.pass_seconds.get(name, 0.0) + seconds
-
-    def record_run(self, rewrites: int) -> None:
-        """One whole pipeline run over one trace set."""
-        self.normalizations += 1
-        self.rewrites += rewrites
-
-    # -- reporting -----------------------------------------------------------
-
-    def snapshot(self) -> dict:
-        """A plain-dict snapshot; keys are stable for tests and dumps."""
-        return {
-            "normalizations": self.normalizations,
-            "rewrites": self.rewrites,
-            "passes": {
-                name: {
-                    "rewrites": self.pass_rewrites.get(name, 0),
-                    "seconds": self.pass_seconds.get(name, 0.0),
-                }
-                for name in sorted(
-                    set(self.pass_rewrites) | set(self.pass_seconds)
-                )
-            },
-        }
-
-    def format_text(self) -> str:
-        """A compact human-readable dump (one counter per line)."""
-        snap = self.snapshot()
-        lines = [
-            f"normalizations={snap['normalizations']}",
-            f"rewrites={snap['rewrites']}",
-        ]
-        for name, entry in snap["passes"].items():
-            lines.append(
-                f"pass[{name}]: rewrites={entry['rewrites']} "
-                f"seconds={entry['seconds']:.4f}"
-            )
-        return "\n".join(lines)
-
-
-class ServiceMetrics:
-    """Counters and per-spec histograms for one server instance."""
-
-    def __init__(self, clock=time.perf_counter) -> None:
-        self.clock = clock
-        self.events_observed = 0
-        self.events_skipped = 0
-        self.events_malformed = 0
-        self.violations = 0
-        self.sessions_opened = 0
-        self.sessions_closed = 0
-        self.latency: dict[str, LatencyHistogram] = {}
-
-    # -- recording -----------------------------------------------------------
-
-    def record_event(self, spec: str, seconds: float, *, skipped: bool) -> None:
-        """One event checked (or projected away) for ``spec``."""
-        self.events_observed += 1
-        if skipped:
-            self.events_skipped += 1
-        hist = self.latency.get(spec)
-        if hist is None:
-            hist = self.latency[spec] = LatencyHistogram()
-        hist.observe(seconds)
-
-    def record_malformed(self) -> None:
-        self.events_malformed += 1
-
-    def record_violation(self) -> None:
-        self.violations += 1
-
-    def session_opened(self) -> None:
-        self.sessions_opened += 1
-
-    def session_closed(self) -> None:
-        self.sessions_closed += 1
-
-    # -- reporting -----------------------------------------------------------
-
-    def snapshot(self) -> dict:
-        """A plain-dict snapshot; keys are stable for tests and dumps."""
-        return {
-            "events_observed": self.events_observed,
-            "events_skipped": self.events_skipped,
-            "events_malformed": self.events_malformed,
-            "violations": self.violations,
-            "sessions_opened": self.sessions_opened,
-            "sessions_closed": self.sessions_closed,
-            "latency": {
-                name: hist.snapshot() for name, hist in sorted(self.latency.items())
-            },
-        }
-
-    def format_text(self) -> str:
-        """A compact human-readable dump (one counter per line)."""
-        snap = self.snapshot()
-        lines = [
-            f"{key}={snap[key]}"
-            for key in (
-                "events_observed",
-                "events_skipped",
-                "events_malformed",
-                "violations",
-                "sessions_opened",
-                "sessions_closed",
-            )
-        ]
-        for name, hist in snap["latency"].items():
-            lines.append(
-                f"latency[{name}]: count={hist['count']} "
-                f"mean={hist['mean_seconds'] * 1e6:.1f}µs"
-            )
-        return "\n".join(lines)
-
-    async def periodic_dump(self, interval: float, out=None) -> None:
-        """Print :meth:`format_text` every ``interval`` seconds until cancelled."""
-        import sys
-
-        out = out if out is not None else sys.stderr
-        try:
-            while True:
-                await asyncio.sleep(interval)
-                print(f"-- metrics --\n{self.format_text()}", file=out, flush=True)
-        except asyncio.CancelledError:
-            pass
+__getattr__ = deprecated_module_attrs(
+    __name__,
+    {
+        "LatencyHistogram": "repro.obs.registry",
+        "DEFAULT_BUCKETS": "repro.obs.registry",
+        "OBLIGATION_BUCKETS": "repro.obs.registry",
+        "ServiceMetrics": "repro.obs.metrics",
+        "CheckerMetrics": "repro.obs.metrics",
+        "NormalizationMetrics": "repro.obs.metrics",
+    },
+)

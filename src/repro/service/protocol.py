@@ -10,6 +10,7 @@ Requests (one per line)::
     SPEC <name>           bind the session to a specification
     EVENT <trace line>    feed one event (runtime/tracefile.py syntax)
     STATUS                synchronise and report the session verdict
+    METRICS               dump the process metrics (Prometheus text)
     RESET                 synchronise, then forget the session's history
     BYE                   synchronise, report, and close
 
@@ -24,6 +25,11 @@ and surfaced by the next synchronising verb.  Only ``HELLO``, ``SPEC``,
 
 The ``event=`` field is always last so the raw trace line (which contains
 spaces) needs no quoting.
+
+``METRICS`` is the one multi-line reply: ``OK metrics lines=<n>``
+followed by exactly ``n`` raw lines of Prometheus text exposition from
+the process-wide :mod:`repro.obs` registry — the line count up front
+keeps the framing unambiguous inside the otherwise one-line protocol.
 """
 
 from __future__ import annotations
@@ -49,7 +55,7 @@ PROTOCOL_VERSION = 1
 #: Verbs that take an argument (rest of the line, may contain spaces).
 _ARG_VERBS = frozenset({"SPEC", "EVENT"})
 #: Verbs that take no argument.
-_BARE_VERBS = frozenset({"HELLO", "STATUS", "RESET", "BYE"})
+_BARE_VERBS = frozenset({"HELLO", "STATUS", "METRICS", "RESET", "BYE"})
 VERBS = _ARG_VERBS | _BARE_VERBS
 
 

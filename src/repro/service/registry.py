@@ -32,6 +32,7 @@ from repro.core.errors import FingerprintError, ReproError, RuntimeModelError
 from repro.core.specification import Specification
 from repro.core.tracesets import FullTraceSet, MachineTraceSet
 from repro.machines.base import TraceMachine
+from repro.obs.registry import get_registry
 from repro.runtime.monitor import DEFAULT_HISTORY_LIMIT, SpecMonitor
 
 __all__ = [
@@ -54,6 +55,19 @@ _SHARED_MACHINES: dict[str, TraceMachine] = {}
 #: (normalized trace set, universe, state limit) — the full input of
 #: :func:`~repro.automata.build.machine_to_dense`.
 _SHARED_IMAGES: dict[str, MachineImage] = {}
+
+
+def _sync_intern_gauges() -> None:
+    """Mirror the intern-table sizes into the unified metrics registry."""
+    registry = get_registry()
+    registry.gauge(
+        "repro_interned_machines",
+        help="Distinct machines in the process-wide intern table.",
+    ).set(len(_SHARED_MACHINES))
+    registry.gauge(
+        "repro_interned_images",
+        help="Distinct dense images in the process-wide intern table.",
+    ).set(len(_SHARED_IMAGES))
 
 
 def _normalized(traces):
@@ -80,6 +94,7 @@ def _intern_machine(traces) -> TraceMachine:
     machine = _SHARED_MACHINES.get(key)
     if machine is None:
         machine = _SHARED_MACHINES[key] = traces.machine()
+        _sync_intern_gauges()
     return machine
 
 
@@ -134,6 +149,7 @@ def _dense_image(
         return None
     if key is not None:
         _SHARED_IMAGES[key] = image
+        _sync_intern_gauges()
     return image
 
 
@@ -188,6 +204,9 @@ class SpecRegistry:
                     "composed trace sets involve existential hiding and are "
                     "checked offline, not monitored online"
                 )
+        # Refresh even when everything hit the intern tables: a scrape
+        # after a registry build should always see current table sizes.
+        _sync_intern_gauges()
 
     @classmethod
     def from_text(cls, text: str, **kwargs) -> "SpecRegistry":

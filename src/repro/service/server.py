@@ -17,9 +17,10 @@ from __future__ import annotations
 import asyncio
 
 from repro.core.errors import ReproError
+from repro.obs.metrics import ServiceMetrics, declare_cache_counters
+from repro.obs.registry import get_registry
 from repro.runtime import tracefile
 from repro.runtime.monitor import SpecMonitor, Violation
-from repro.service.metrics import ServiceMetrics
 from repro.service.protocol import (
     PROTOCOL_VERSION,
     Command,
@@ -96,6 +97,7 @@ class MonitorServer:
         metrics: ServiceMetrics | None = None,
         metrics_interval: float | None = None,
         metrics_out=None,
+        metrics_port: int | None = None,
         queue_size: int = DEFAULT_QUEUE_SIZE,
     ) -> None:
         self.registry = registry
@@ -109,6 +111,11 @@ class MonitorServer:
         self._dump_task: asyncio.Task | None = None
         self._metrics_interval = metrics_interval
         self._metrics_out = metrics_out
+        self.metrics_port = metrics_port
+        self._metrics_server: asyncio.AbstractServer | None = None
+        # Pre-declare the engine's cache counter families so a scrape of a
+        # fresh server exposes them at zero instead of omitting them.
+        declare_cache_counters(get_registry())
 
     # -- lifecycle -----------------------------------------------------------
 
@@ -123,6 +130,13 @@ class MonitorServer:
             self._handle_connection, self.host, self._requested_port
         )
         self.port = self._server.sockets[0].getsockname()[1]
+        if self.metrics_port is not None:
+            self._metrics_server = await asyncio.start_server(
+                self._handle_scrape, self.host, self.metrics_port
+            )
+            self.metrics_port = (
+                self._metrics_server.sockets[0].getsockname()[1]
+            )
         if self._metrics_interval:
             self._dump_task = asyncio.create_task(
                 self.metrics.periodic_dump(self._metrics_interval, self._metrics_out)
@@ -141,6 +155,10 @@ class MonitorServer:
             except asyncio.CancelledError:
                 pass
             self._dump_task = None
+        if self._metrics_server is not None:
+            self._metrics_server.close()
+            await self._metrics_server.wait_closed()
+            self._metrics_server = None
         if self._server is not None:
             self._server.close()
             await self._server.wait_closed()
@@ -201,6 +219,40 @@ class MonitorServer:
         writer.write(line.encode("utf-8") + b"\n")
         await writer.drain()
 
+    # -- Prometheus scrape endpoint ------------------------------------------
+
+    async def _handle_scrape(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        """Answer one HTTP scrape with the Prometheus text exposition.
+
+        A deliberately minimal HTTP/1.0 responder — every path returns the
+        full dump, the connection closes after one response — which is all
+        a Prometheus scraper (or ``curl``) needs.
+        """
+        try:
+            while True:  # drain the request head; body-less GETs only
+                line = await reader.readline()
+                if not line or line in (b"\r\n", b"\n"):
+                    break
+            body = get_registry().format_prometheus().encode("utf-8")
+            head = (
+                b"HTTP/1.0 200 OK\r\n"
+                b"Content-Type: text/plain; version=0.0.4; charset=utf-8\r\n"
+                + f"Content-Length: {len(body)}\r\n".encode("ascii")
+                + b"Connection: close\r\n\r\n"
+            )
+            writer.write(head + body)
+            await writer.drain()
+        except (ConnectionResetError, BrokenPipeError):
+            pass
+        finally:
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except (ConnectionResetError, BrokenPipeError, OSError):
+                pass
+
     async def _handle_sync(
         self, session: _Session, command: Command, writer: asyncio.StreamWriter
     ) -> bool:
@@ -229,6 +281,17 @@ class MonitorServer:
         if command.verb == "STATUS":
             await self.pool.flush(session.touched)
             await self._reply(writer, format_status(session.status()))
+            return False
+        if command.verb == "METRICS":
+            # Flush first so counters include every event already fed on
+            # this session, then frame the multi-line Prometheus dump with
+            # an up-front line count.
+            await self.pool.flush(session.touched)
+            text = get_registry().format_prometheus()
+            lines = text.splitlines()
+            await self._reply(writer, f"OK metrics lines={len(lines)}")
+            for line in lines:
+                await self._reply(writer, line)
             return False
         if command.verb == "RESET":
             await self.pool.flush(session.touched)

@@ -27,6 +27,8 @@ import zlib
 from dataclasses import dataclass
 from typing import Callable, Iterable
 
+from repro.obs.registry import get_registry
+
 __all__ = ["shard_index", "ShardPool", "ShardRouter"]
 
 DEFAULT_QUEUE_SIZE = 1024
@@ -61,6 +63,14 @@ class ShardPool:
         self._workers: list[asyncio.Task] = []
         self.tasks_run = 0
         self.task_errors = 0
+        registry = get_registry()
+        self._c_tasks = registry.counter(
+            "repro_shard_tasks_total", help="Thunks executed by shard workers."
+        )
+        self._c_errors = registry.counter(
+            "repro_shard_task_errors_total",
+            help="Shard thunks that raised (the worker survives).",
+        )
 
     def shard_of(self, callee_name: str) -> int:
         return shard_index(callee_name, self.shards)
@@ -84,12 +94,14 @@ class ShardPool:
                         item.future.set_result(None)
                     continue
                 self.tasks_run += 1
+                self._c_tasks.inc()
                 try:
                     item()
                 except Exception:
                     # a failing thunk must not kill the shard; sessions
                     # account their own errors inside the thunk
                     self.task_errors += 1
+                    self._c_errors.inc()
             finally:
                 queue.task_done()
 
@@ -145,12 +157,16 @@ class ShardRouter:
     mapping for one stream stays stable across the stream's lifetime.
     """
 
-    __slots__ = ("pool", "prefix", "_shards")
+    __slots__ = ("pool", "prefix", "_shards", "_c_routed")
 
     def __init__(self, pool: ShardPool, prefix: str = "") -> None:
         self.pool = pool
         self.prefix = prefix
         self._shards: dict[str, int] = {}
+        self._c_routed = get_registry().counter(
+            "repro_shard_routed_callees_total",
+            help="Distinct callees resolved to a shard (router cache fills).",
+        )
 
     def shard_of(self, callee_name: str) -> int:
         shard = self._shards.get(callee_name)
@@ -158,6 +174,7 @@ class ShardRouter:
             shard = self._shards[callee_name] = shard_index(
                 self.prefix + callee_name, self.pool.shards
             )
+            self._c_routed.inc()
         return shard
 
     async def submit(self, callee_name: str, thunk: Callable[[], None]) -> int:

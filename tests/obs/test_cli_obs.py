@@ -1,0 +1,127 @@
+"""CLI observability: ``repro profile`` and the shared ``--obs-spans`` flag."""
+
+import io
+import json
+
+import pytest
+
+from repro.cli import main
+
+DOC = """
+object o, c
+sort Objects = Obj \\ { o }
+specification Read {
+  objects o
+  method R(Data)
+  alphabet { <x, o, R(_)> where x : Objects; }
+  traces true
+}
+specification Read2 {
+  objects o
+  method OR, CR, R(Data)
+  alphabet {
+    <x, o, OR>   where x : Objects;
+    <x, o, CR>   where x : Objects;
+    <x, o, R(_)> where x : Objects;
+  }
+  traces forall x : Objects . prs "[<x,o,OR> <x,o,R(_)>* <x,o,CR>]*"
+}
+"""
+
+
+@pytest.fixture()
+def doc_file(tmp_path):
+    p = tmp_path / "rw.oun"
+    p.write_text(DOC)
+    return p
+
+
+def run(*argv):
+    out = io.StringIO()
+    code = main(list(argv), out=out)
+    return code, out.getvalue()
+
+
+class TestProfile:
+    def test_prints_nested_span_tree(self, doc_file):
+        code, text = run("profile", str(doc_file), "Read2")
+        assert code == 0
+        # the tree covers every pipeline phase…
+        assert "elaborate" in text
+        assert "normalize." in text
+        assert "compile.traceset_dfa" in text
+        assert "check" in text
+        # …with cache behaviour annotated: a cold compile then a warm one
+        assert "cache=miss" in text
+        assert "cache=hit" in text
+        # nesting is visible: elaborate.spec sits indented under elaborate
+        tree = text[: text.index("per-phase wall time")]
+        lines = tree.splitlines()
+        (parent_idx,) = [
+            i
+            for i, l in enumerate(lines)
+            if l.lstrip().startswith("elaborate")
+            and not l.lstrip().startswith("elaborate.")
+        ]
+        parent, child = lines[parent_idx], lines[parent_idx + 1]
+        assert child.lstrip().startswith("elaborate.spec")
+        assert len(child) - len(child.lstrip()) > len(parent) - len(
+            parent.lstrip()
+        )
+        # and the per-phase rollup table follows
+        assert "per-phase wall time" in text
+        tail = text[text.index("per-phase wall time") :]
+        for phase in ("elaborate", "compile", "check"):
+            assert phase in tail
+
+    def test_unknown_spec_is_an_error(self, doc_file):
+        code, text = run("profile", str(doc_file), "Nope")
+        assert code == 2 and "error:" in text
+
+
+class TestObsSpansFlag:
+    def test_writes_json_lines(self, doc_file, tmp_path):
+        path = tmp_path / "spans.jsonl"
+        code, _ = run("parse", str(doc_file), "--obs-spans", str(path))
+        assert code == 0
+        lines = [json.loads(l) for l in path.read_text().splitlines()]
+        assert lines
+        names = {l["name"] for l in lines}
+        assert "elaborate" in names
+        by_id = {l["span_id"]: l for l in lines}
+        for l in lines:
+            assert {"name", "span_id", "parent_id", "start", "end"} <= set(l)
+            if l["parent_id"] is not None:
+                assert l["parent_id"] in by_id
+
+    def test_available_on_engine_subcommands(self, doc_file, tmp_path):
+        path = tmp_path / "spans.jsonl"
+        code, text = run(
+            "check",
+            str(doc_file),
+            "--refines",
+            "Read2",
+            "Read",
+            "--obs-spans",
+            str(path),
+        )
+        assert code == 0 and "proved" in text
+        names = {
+            json.loads(l)["name"] for l in path.read_text().splitlines()
+        }
+        assert "engine.run" in names or "compile.traceset_dfa" in names
+
+    def test_sink_removed_after_run(self, doc_file, tmp_path):
+        from repro.obs.trace import tracing_enabled
+
+        run("parse", str(doc_file), "--obs-spans", str(tmp_path / "s.jsonl"))
+        assert not tracing_enabled()
+
+    def test_bad_span_path_is_a_cli_error(self, doc_file, tmp_path):
+        code, text = run(
+            "parse",
+            str(doc_file),
+            "--obs-spans",
+            str(tmp_path / "no-dir" / "s.jsonl"),
+        )
+        assert code == 2 and "error:" in text

@@ -1,0 +1,96 @@
+"""Legacy import paths keep working but warn exactly once per name."""
+
+import warnings
+
+import pytest
+
+import repro.automata.dfa as dfa_mod
+import repro.automata.stats as legacy_stats
+import repro.service.metrics as legacy_metrics
+from repro.automata.dfa import DFA
+from repro.obs import compat
+
+
+def access_fresh(module, name):
+    """Access a shim attribute twice with its once-per-process latch reset."""
+    compat._WARNED.discard((module.__name__, name))
+    with warnings.catch_warnings(record=True) as caught:
+        warnings.simplefilter("always")
+        first = getattr(module, name)
+        second = getattr(module, name)
+    deprecations = [
+        w for w in caught if issubclass(w.category, DeprecationWarning)
+    ]
+    return first, second, deprecations
+
+
+LEGACY = [
+    (legacy_metrics, "ServiceMetrics", "repro.obs.metrics"),
+    (legacy_metrics, "CheckerMetrics", "repro.obs.metrics"),
+    (legacy_metrics, "NormalizationMetrics", "repro.obs.metrics"),
+    (legacy_metrics, "LatencyHistogram", "repro.obs.registry"),
+    (legacy_metrics, "DEFAULT_BUCKETS", "repro.obs.registry"),
+    (legacy_metrics, "OBLIGATION_BUCKETS", "repro.obs.registry"),
+    (legacy_stats, "ExplorationStats", "repro.obs.exploration"),
+    (legacy_stats, "collect_exploration", "repro.obs.exploration"),
+    (legacy_stats, "active_exploration_stats", "repro.obs.exploration"),
+]
+
+
+class TestLegacyShims:
+    @pytest.mark.parametrize(
+        "module, name, target", LEGACY, ids=[n for _, n, _ in LEGACY]
+    )
+    def test_warns_once_and_resolves_to_obs(self, module, name, target):
+        import importlib
+
+        first, second, deprecations = access_fresh(module, name)
+        assert first is second
+        assert first is getattr(importlib.import_module(target), name)
+        assert len(deprecations) == 1
+        message = str(deprecations[0].message)
+        assert f"{module.__name__}.{name}" in message
+        assert target in message
+
+    def test_second_process_lifetime_access_is_silent(self):
+        access_fresh(legacy_metrics, "ServiceMetrics")  # latch now set
+        with warnings.catch_warnings(record=True) as caught:
+            warnings.simplefilter("always")
+            legacy_metrics.ServiceMetrics
+        assert not [
+            w for w in caught if issubclass(w.category, DeprecationWarning)
+        ]
+
+    def test_unknown_attribute_still_raises(self):
+        with pytest.raises(AttributeError):
+            legacy_metrics.NoSuchThing
+        with pytest.raises(AttributeError):
+            legacy_stats.NoSuchThing
+
+    def test_shims_declare_their_surface(self):
+        assert set(legacy_metrics.__all__) >= {
+            "ServiceMetrics",
+            "LatencyHistogram",
+        }
+        assert set(legacy_stats.__all__) == {
+            "ExplorationStats",
+            "collect_exploration",
+            "active_exploration_stats",
+        }
+
+
+class TestDfaTransitionsShim:
+    def test_warns_once_then_memoises(self, monkeypatch):
+        monkeypatch.setattr(dfa_mod, "_WARNED_TRANSITIONS", False)
+        d = DFA.full_language(["a", "b"])
+        with warnings.catch_warnings(record=True) as caught:
+            warnings.simplefilter("always")
+            rows = d.transitions
+            again = d.transitions
+        deprecations = [
+            w for w in caught if issubclass(w.category, DeprecationWarning)
+        ]
+        assert len(deprecations) == 1
+        assert "step" in str(deprecations[0].message)
+        assert rows is again  # materialised once
+        assert rows == ({"a": 0, "b": 0},)

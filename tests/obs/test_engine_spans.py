@@ -1,0 +1,83 @@
+"""Spans through the checker: worker re-parenting, cache hit/miss attrs."""
+
+import os
+
+from repro.checker.cache import MachineCache, use_cache
+from repro.checker.compile import traceset_dfa
+from repro.checker.engine import (
+    EngineConfig,
+    ObligationEngine,
+    ObligationSource,
+)
+from repro.checker.universe import FiniteUniverse
+from repro.obs.export import InMemoryCollector
+from repro.obs.trace import use_sink
+
+MIXED = "tests.checker.engine_factories:mixed_obligations"
+PIDS = "tests.checker.engine_factories:pid_obligations"
+
+
+class TestEngineSpans:
+    def test_inline_run_nests_obligations_under_run(self):
+        source = ObligationSource.of(MIXED, n=6)
+        with use_sink(InMemoryCollector()) as collector:
+            run = ObligationEngine(EngineConfig(jobs=1)).run(source)
+        (run_span,) = collector.by_name("engine.run")
+        obligations = collector.by_name("engine.obligation")
+        assert len(obligations) == 6
+        assert {o.parent_id for o in obligations} == {run_span.span_id}
+        assert run_span.attrs["obligations"] == 6
+        assert run_span.attrs["jobs"] == 1
+        # the raising obligations carry their error on the span
+        errored = [o for o in obligations if "error" in o.attrs]
+        assert len(errored) == 2
+
+    def test_worker_spans_reparent_under_run_with_jobs_4(self):
+        source = ObligationSource.of(PIDS)
+        expected = len(source.build())
+        with use_sink(InMemoryCollector()) as collector:
+            run = ObligationEngine(EngineConfig(jobs=4)).run(source)
+        assert run.session.all_agree
+
+        (run_span,) = collector.by_name("engine.run")
+        assert run_span.attrs["jobs"] == 4
+        obligations = collector.by_name("engine.obligation")
+        assert len(obligations) == expected
+        # every worker span is re-parented under the parent's run span
+        assert {o.parent_id for o in obligations} == {run_span.span_id}
+        # and genuinely crossed the process boundary
+        workers = {o.attrs["worker"] for o in obligations}
+        assert workers and os.getpid() not in workers
+        idents = {o.attrs["ident"] for o in obligations}
+        assert len(idents) == expected
+
+
+class TestCompileSpans:
+    def test_cache_miss_then_hit(self, cast, tmp_path):
+        spec = cast.read2()
+        universe = FiniteUniverse.for_specs(spec)
+        with use_sink(InMemoryCollector()) as collector:
+            with use_cache(MachineCache(tmp_path)):
+                first = traceset_dfa(spec.traces, universe)
+                second = traceset_dfa(spec.traces, universe)
+        assert first == second
+        roots = [
+            r
+            for r in collector.by_name("compile.traceset_dfa")
+            if r.parent_id is None
+        ]
+        assert [r.attrs["cache"] for r in roots] == ["miss", "hit"]
+        assert roots[0].attrs["states"] == roots[1].attrs["states"] > 0
+        assert roots[0].attrs["letters"] > 0
+
+    def test_no_cache_is_annotated_off(self, cast):
+        spec = cast.read()
+        universe = FiniteUniverse.for_specs(spec)
+        with use_sink(InMemoryCollector()) as collector:
+            traceset_dfa(spec.traces, universe)
+        roots = [
+            r
+            for r in collector.by_name("compile.traceset_dfa")
+            if r.parent_id is None
+        ]
+        assert roots and roots[0].attrs["cache"] == "off"

@@ -1,0 +1,109 @@
+"""Span sinks and renderers: collector trees, JSON lines, column tables."""
+
+import json
+
+import pytest
+
+from repro.core.errors import ObservabilityError
+from repro.obs.export import (
+    InMemoryCollector,
+    JsonLinesExporter,
+    format_columns,
+    render_span_tree,
+)
+from repro.obs.trace import SpanRecord, span, use_sink
+
+
+def rec(name, span_id, parent_id=None, start=0.0, end=0.001, **attrs):
+    return SpanRecord(name, span_id, parent_id, start, end, attrs)
+
+
+class TestFormatColumns:
+    def test_aligns_all_but_last_column(self):
+        text = format_columns([("a", "bb", "c"), ("dddd", "e", "f")])
+        assert text == "a     bb  c\ndddd  e   f"
+
+    def test_indent_and_trailing_space_stripped(self):
+        text = format_columns([("x", ""), ("yy", "z")], indent="  ")
+        assert text == "  x\n  yy  z"
+
+    def test_empty(self):
+        assert format_columns([]) == ""
+
+
+class TestInMemoryCollector:
+    def test_tree_queries(self):
+        collector = InMemoryCollector()
+        with use_sink(collector):
+            with span("root"):
+                with span("child", k="v"):
+                    pass
+                with span("child"):
+                    pass
+        (root,) = collector.roots()
+        assert root.name == "root"
+        children = collector.children_of(root.span_id)
+        assert [c.name for c in children] == ["child", "child"]
+        assert len(collector.by_name("child")) == 2
+        collector.clear()
+        assert collector.records == []
+
+    def test_orphan_counts_as_root(self):
+        collector = InMemoryCollector()
+        collector.emit(rec("orphan", "1-9", parent_id="never-recorded"))
+        assert [r.name for r in collector.roots()] == ["orphan"]
+
+
+class TestRenderSpanTree:
+    def test_nesting_and_attrs(self):
+        text = render_span_tree(
+            [
+                rec("child", "1-2", "1-1", start=0.1, end=0.2, cache="hit"),
+                rec("root", "1-1", None, start=0.0, end=1.0),
+            ]
+        )
+        lines = text.splitlines()
+        assert lines[0].startswith("root")
+        assert lines[1].startswith("  child")
+        assert "cache=hit" in lines[1]
+        assert "ms" in lines[0]
+
+    def test_children_ordered_by_start_time(self):
+        text = render_span_tree(
+            [
+                rec("late", "1-3", "1-1", start=0.5),
+                rec("early", "1-2", "1-1", start=0.1),
+                rec("root", "1-1", None),
+            ]
+        )
+        lines = text.splitlines()
+        assert lines[1].lstrip().startswith("early")
+        assert lines[2].lstrip().startswith("late")
+
+
+class TestJsonLinesExporter:
+    def test_writes_one_json_object_per_span(self, tmp_path):
+        path = tmp_path / "spans.jsonl"
+        with JsonLinesExporter(path) as exporter:
+            with use_sink(exporter):
+                with span("outer", n=1):
+                    with span("inner"):
+                        pass
+            assert exporter.written == 2
+        lines = [json.loads(l) for l in path.read_text().splitlines()]
+        assert [l["name"] for l in lines] == ["inner", "outer"]
+        for l in lines:
+            assert {"name", "span_id", "parent_id", "start", "end", "seconds", "attrs"} <= set(l)
+        assert lines[1]["attrs"] == {"n": 1}
+        assert lines[0]["parent_id"] == lines[1]["span_id"]
+
+    def test_close_is_idempotent_and_stops_writing(self, tmp_path):
+        exporter = JsonLinesExporter(tmp_path / "s.jsonl")
+        exporter.close()
+        exporter.close()
+        exporter.emit(rec("after", "1-1"))
+        assert exporter.written == 0
+
+    def test_bad_path_fails_at_configuration_time(self, tmp_path):
+        with pytest.raises(ObservabilityError):
+            JsonLinesExporter(tmp_path / "missing-dir" / "s.jsonl")

@@ -1,0 +1,91 @@
+"""The stable public facade: ``repro.api`` and the lazy top-level exports."""
+
+import warnings
+
+import pytest
+
+import repro
+import repro.api as api
+
+DOC = """
+object o, c
+sort Objects = Obj \\ { o }
+specification Read {
+  objects o
+  method R(Data)
+  alphabet { <x, o, R(_)> where x : Objects; }
+  traces true
+}
+specification Read2 {
+  objects o
+  method OR, CR, R(Data)
+  alphabet {
+    <x, o, OR>   where x : Objects;
+    <x, o, CR>   where x : Objects;
+    <x, o, R(_)> where x : Objects;
+  }
+  traces forall x : Objects . prs "[<x,o,OR> <x,o,R(_)>* <x,o,CR>]*"
+}
+"""
+
+
+class TestSurface:
+    def test_top_level_names_resolve_lazily(self):
+        for name in repro.__all__:
+            assert getattr(repro, name) is not None
+
+    def test_top_level_mirrors_api(self):
+        for name in api.__all__:
+            assert getattr(repro, name) is getattr(api, name)
+        assert set(api.__all__) <= set(repro.__all__)
+
+    def test_dir_lists_the_api(self):
+        assert set(api.__all__) <= set(dir(repro))
+
+    def test_unknown_attribute_raises(self):
+        with pytest.raises(AttributeError):
+            repro.not_a_thing
+
+    def test_version(self):
+        assert repro.__version__.count(".") == 2
+
+    def test_facade_imports_warn_nothing(self):
+        with warnings.catch_warnings():
+            warnings.simplefilter("error", DeprecationWarning)
+            from repro import (  # noqa: F401
+                Monitor,
+                check,
+                compile_spec,
+                elaborate,
+                load,
+                parse,
+                serve,
+                verify_refinement,
+            )
+
+
+class TestRoundTrip:
+    def test_parse_elaborate_load(self):
+        doc = repro.parse(DOC)
+        specs = repro.elaborate(doc)
+        assert set(specs) == {"Read", "Read2"}
+        assert set(repro.load(DOC)) == {"Read", "Read2"}
+
+    def test_verify_refinement(self):
+        specs = repro.load(DOC)
+        conclusion = repro.verify_refinement(specs["Read2"], specs["Read"])
+        assert conclusion.holds
+        assert not repro.verify_refinement(
+            specs["Read"], specs["Read2"]
+        ).holds
+
+    def test_compile_spec_defaults_universe(self):
+        specs = repro.load(DOC)
+        dfa = repro.compile_spec(specs["Read2"])
+        assert dfa.n_states > 0 and dfa.n_letters > 0
+
+    def test_check_returns_a_monitor(self):
+        specs = repro.load(DOC)
+        monitor = repro.check(specs["Read2"], [])
+        assert isinstance(monitor, repro.Monitor)
+        assert monitor.ok
