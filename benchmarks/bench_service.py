@@ -75,6 +75,9 @@ def bench_service_throughput(benchmark, shards):
 
 
 def main() -> None:
+    from repro.workload.results import maybe_write_bench
+
+    runs = []
     for shards in (1, 4):
         start = time.perf_counter()
         total = asyncio.run(_blast(shards))
@@ -83,6 +86,21 @@ def main() -> None:
             f"shards={shards}: {total} events in {elapsed:.3f}s "
             f"→ {total / elapsed:,.0f} events/sec"
         )
+        runs.append(
+            {
+                "label": f"shards={shards}",
+                "events": total,
+                "seconds": round(elapsed, 6),
+                "events_per_sec": round(total / elapsed, 1),
+            }
+        )
+    path = maybe_write_bench(
+        "service_throughput",
+        {"sessions": SESSIONS, "events_per_session": EVENTS_PER_SESSION},
+        runs,
+    )
+    if path is not None:
+        print(f"→ {path}")
 
 
 if __name__ == "__main__":

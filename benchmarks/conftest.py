@@ -1,4 +1,12 @@
-"""Shared fixtures for the benchmark harness."""
+"""Shared fixtures for the benchmark harness.
+
+Persistence: any ``bench_*.py`` can record results in the repo-wide
+``repro-bench/1`` schema with one call — the :func:`persist_bench`
+fixture under pytest, or :func:`repro.workload.results.maybe_write_bench`
+directly from a standalone ``main()``.  Both are no-ops unless the
+``REPRO_BENCH_DIR`` environment variable names an output directory, so
+interactive runs stay side-effect free.
+"""
 
 from __future__ import annotations
 
@@ -6,6 +14,7 @@ import pytest
 
 from repro.paper.specs import PaperCast
 from repro.paper.upgrade import UpgradeCast
+from repro.workload.results import maybe_write_bench
 
 
 @pytest.fixture(scope="session")
@@ -16,3 +25,14 @@ def cast() -> PaperCast:
 @pytest.fixture(scope="session")
 def upgrade() -> UpgradeCast:
     return UpgradeCast()
+
+
+@pytest.fixture(scope="session")
+def persist_bench():
+    """One-call BENCH_*.json writer: ``persist_bench(name, params, runs)``.
+
+    Returns the written path, or ``None`` when ``REPRO_BENCH_DIR`` is
+    unset.  ``runs`` entries should carry at least ``label``, ``events``,
+    ``seconds``, ``events_per_sec`` (see ``repro.workload.results``).
+    """
+    return maybe_write_bench

@@ -17,10 +17,10 @@ Run:  python examples/two_phase_commit.py
 """
 
 from repro.casestudies import (
+    TWO_PHASE,
     ByzantineParticipant,
     CoordinatorBehavior,
     ParticipantBehavior,
-    TwoPhaseCast,
     TxClientBehavior,
 )
 from repro.checker import check_conformance, check_refinement, trace_sets_equal
@@ -28,7 +28,7 @@ from repro.core import obj
 from repro.liveness import quiescence_analysis
 from repro.runtime import RandomScheduler, SpecMonitor, System
 
-tp = TwoPhaseCast()
+tp = TWO_PHASE  # the canonical cast shared with tests and benchmarks
 coordinator = tp.coordinator_spec()
 
 print("1. atomicity as refinement:")

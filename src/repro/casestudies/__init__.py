@@ -1,6 +1,12 @@
 """Case studies: the library applied beyond the paper's worked examples."""
 
+from repro.casestudies.election import ELECTION, ElectionCast
+from repro.casestudies.pubsub import PUBSUB, PubSubCast
 from repro.casestudies.twophase import TWO_PHASE, TwoPhaseCast
+from repro.casestudies.twophase_dynamic import (
+    DYNAMIC_TWO_PHASE,
+    DynamicTwoPhaseCast,
+)
 from repro.casestudies.twophase_runtime import (
     ByzantineParticipant,
     CoordinatorBehavior,
@@ -9,6 +15,12 @@ from repro.casestudies.twophase_runtime import (
 )
 
 __all__ = [
+    "DYNAMIC_TWO_PHASE",
+    "DynamicTwoPhaseCast",
+    "ELECTION",
+    "ElectionCast",
+    "PUBSUB",
+    "PubSubCast",
     "TWO_PHASE",
     "TwoPhaseCast",
     "ByzantineParticipant",

@@ -1,0 +1,203 @@
+"""Case study: a leader-election handshake as a partial object specification.
+
+Candidates ``c1``/``c2``/``c3`` campaign at a ballot box ``bx`` (an
+arbiter object — all traffic is star-shaped through it, so the spec's
+alphabet satisfies Definition 1's no-internal-events condition).  The
+first campaigner of a term is elected; later campaigners are defeated
+until the leader concedes, which opens the next term.  ``CAMPAIGN``
+carries a ballot payload, keeping every alphabet infinite.
+
+The election safety facts become refinement/composition results:
+
+* **mutual exclusion as refinement** — the full handshake
+  (:meth:`election_spec`) refines the partial *grant view*
+  (:meth:`single_leader_view`): at most one leader at a time, and only
+  the current leader concedes (``LeaderElection ⊑ SingleLeader``);
+* **no monopoly (a non-example)** — the election does *not* refine
+  :meth:`c1_monopoly`, the view in which only ``c1`` is ever elected;
+  the checker refutes it with a witness trace, the paper's
+  deliberate-non-example pattern;
+* **candidate conformance** — the election's projection onto each
+  candidate's alphabet satisfies that candidate's own view
+  (:meth:`candidate_view`): campaign, then either lead-and-concede or
+  lose — repeatedly;
+* **Property 5** — each candidate view is idempotent under
+  self-composition (``Γ‖Γ = Γ``).
+
+Methods: ``CAMPAIGN(b)`` (candidate→bx), ``ELECTED``/``DEFEATED``
+(bx→candidate), ``CONCEDE`` (candidate→bx).
+"""
+
+from __future__ import annotations
+
+from repro.core.alphabet import Alphabet
+from repro.core.patterns import pattern
+from repro.core.sorts import DATA, Sort
+from repro.core.specification import Specification, interface_spec
+from repro.core.values import ObjectId, obj
+from repro.machines.projection import FilterMachine
+from repro.machines.regex.machine import PrsMachine
+from repro.machines.regex.parse import parse_regex
+
+__all__ = ["ElectionCast", "ELECTION"]
+
+_CANDIDATES = ("c1", "c2", "c3")
+
+
+class ElectionCast:
+    """Objects, sorts, and specifications of the election cell."""
+
+    def __init__(self) -> None:
+        self.bx: ObjectId = obj("bx")
+        self.c1: ObjectId = obj("c1")
+        self.c2: ObjectId = obj("c2")
+        self.c3: ObjectId = obj("c3")
+
+    # -- sorts -------------------------------------------------------------
+
+    @property
+    def candidates(self) -> tuple[ObjectId, ObjectId, ObjectId]:
+        return (self.c1, self.c2, self.c3)
+
+    @property
+    def candidate_sort(self) -> Sort:
+        return Sort.values(*self.candidates)
+
+    def symbols(self) -> dict:
+        return {
+            "bx": self.bx,
+            "c1": self.c1,
+            "c2": self.c2,
+            "c3": self.c3,
+            "Candidates": self.candidate_sort,
+        }
+
+    @property
+    def methods(self) -> dict[str, tuple[Sort, ...]]:
+        return {
+            "CAMPAIGN": (DATA,),
+            "ELECTED": (),
+            "DEFEATED": (),
+            "CONCEDE": (),
+        }
+
+    # -- alphabets ---------------------------------------------------------
+
+    def election_alphabet(self) -> Alphabet:
+        bx = Sort.values(self.bx)
+        cands = self.candidate_sort
+        return Alphabet.of(
+            pattern(cands, bx, "CAMPAIGN", DATA),
+            pattern(bx, cands, "ELECTED"),
+            pattern(bx, cands, "DEFEATED"),
+            pattern(cands, bx, "CONCEDE"),
+        )
+
+    def grant_alphabet(self) -> Alphabet:
+        bx = Sort.values(self.bx)
+        cands = self.candidate_sort
+        return Alphabet.of(
+            pattern(bx, cands, "ELECTED"),
+            pattern(cands, bx, "CONCEDE"),
+        )
+
+    def candidate_alphabet(self, c: ObjectId) -> Alphabet:
+        bx = Sort.values(self.bx)
+        me = Sort.values(c)
+        return Alphabet.of(
+            pattern(me, bx, "CAMPAIGN", DATA),
+            pattern(bx, me, "ELECTED"),
+            pattern(bx, me, "DEFEATED"),
+            pattern(me, bx, "CONCEDE"),
+        )
+
+    # -- specifications ----------------------------------------------------
+
+    def election_spec(self) -> Specification:
+        """``LeaderElection``: the full handshake, one term at a time.
+
+        Per term: some candidate campaigns and is elected; while it
+        leads, any *other* candidate may campaign and is defeated; the
+        leader concedes, closing the term.
+        """
+        terms = []
+        for i in _CANDIDATES:
+            losers = " | ".join(
+                f"<{j},bx,CAMPAIGN(_)> <bx,{j},DEFEATED>"
+                for j in _CANDIDATES
+                if j != i
+            )
+            terms.append(
+                f"<{i},bx,CAMPAIGN(_)> <bx,{i},ELECTED> "
+                f"[{losers}]* <{i},bx,CONCEDE>"
+            )
+        regex = parse_regex(
+            f"[{' | '.join(terms)}]*",
+            symbols=self.symbols(),
+            methods=self.methods,
+        )
+        return interface_spec(
+            "LeaderElection", self.bx, self.election_alphabet(), PrsMachine(regex)
+        )
+
+    def single_leader_view(self) -> Specification:
+        """``SingleLeader``: the partial view stating mutual exclusion.
+
+        Constrains the *grant projection* only: ELECTED/CONCEDE strictly
+        alternate, and the conceder is the current leader.  CAMPAIGN is
+        in the alphabet but unconstrained (it keeps the alphabet
+        infinite, as Definition 1 requires).
+        """
+        grants = " | ".join(
+            f"<bx,{i},ELECTED> <{i},bx,CONCEDE>" for i in _CANDIDATES
+        )
+        regex = parse_regex(
+            f"[{grants}]*", symbols=self.symbols(), methods=self.methods
+        )
+        alphabet = self.grant_alphabet().union(
+            Alphabet.of(
+                pattern(self.candidate_sort, Sort.values(self.bx), "CAMPAIGN", DATA)
+            )
+        )
+        machine = FilterMachine(self.grant_alphabet(), PrsMachine(regex))
+        return interface_spec("SingleLeader", self.bx, alphabet, machine)
+
+    def c1_monopoly(self) -> Specification:
+        """``C1Monopoly``: the deliberate non-example — only ``c1`` leads.
+
+        The election does *not* refine this view: any term led by ``c2``
+        or ``c3`` is a witness.
+        """
+        regex = parse_regex(
+            "[<bx,c1,ELECTED> <c1,bx,CONCEDE>]*",
+            symbols=self.symbols(),
+            methods=self.methods,
+        )
+        alphabet = self.grant_alphabet().union(
+            Alphabet.of(
+                pattern(self.candidate_sort, Sort.values(self.bx), "CAMPAIGN", DATA)
+            )
+        )
+        machine = FilterMachine(self.grant_alphabet(), PrsMachine(regex))
+        return interface_spec("C1Monopoly", self.bx, alphabet, machine)
+
+    def candidate_view(self, c: ObjectId, name: str | None = None) -> Specification:
+        """``Candidate``: one candidate's own view of its campaigns."""
+        symbols = dict(self.symbols())
+        symbols["c"] = c
+        regex = parse_regex(
+            "[<c,bx,CAMPAIGN(_)> "
+            "[<bx,c,ELECTED> <c,bx,CONCEDE> | <bx,c,DEFEATED>]]*",
+            symbols=symbols,
+            methods=self.methods,
+        )
+        return interface_spec(
+            name or f"Candidate({c})",
+            c,
+            self.candidate_alphabet(c),
+            PrsMachine(regex),
+        )
+
+
+#: Shared instance for tests, scenarios, and benchmarks.
+ELECTION = ElectionCast()

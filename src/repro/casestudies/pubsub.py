@@ -1,0 +1,208 @@
+"""Case study: a pub/sub fan-out broker as a partial object specification.
+
+A broker ``bk`` fans every published message out to a fixed set of
+subscribers ``s1``/``s2`` and collects their acknowledgements before
+accepting the next publication (a serial, at-most-one-in-flight broker —
+the simplest shape that already exhibits the fan-out safety core).  The
+publisher pool is a small concrete sort so every instantiated event is
+expressible in the service wire format; the ``DATA`` payload on ``PUB``
+and ``DELIVER`` keeps each alphabet infinite, as Definition 1 demands.
+
+The classic fan-out facts become refinement/composition results:
+
+* **fan-out as refinement** — the broker's full protocol
+  (:meth:`broker_spec`) refines the partial *delivery view*
+  (:meth:`delivery_view`): deliveries only ever occur in complete
+  ``s1``/``s2`` pairs (``FanOutBroker ⊑ DeliveryFanOut``);
+* **subscriber conformance** — the broker's projection onto each
+  subscriber's alphabet satisfies that subscriber's own view
+  (:meth:`subscriber_view`): deliver, then await the ack;
+* **Theorem 7 at work** — ``ReliableSubscriber ⊑ LossySubscriber``
+  lifts through composition with the broker (:meth:`lossy_subscriber`
+  is the unconstrained abstraction);
+* **encapsulation** — composing broker and subscriber views hides the
+  delivery/ack machinery: observably the cell just accepts
+  publications (:meth:`publish_oracle`).
+
+Methods: ``PUB(d)`` (publisher→bk), ``DELIVER(d)`` (bk→subscriber),
+``ACK`` (subscriber→bk).
+"""
+
+from __future__ import annotations
+
+from repro.core.alphabet import Alphabet
+from repro.core.patterns import pattern
+from repro.core.sorts import DATA, Sort
+from repro.core.specification import Specification, interface_spec
+from repro.core.tracesets import FullTraceSet
+from repro.core.values import ObjectId, obj
+from repro.machines.regex.machine import PrsMachine
+from repro.machines.regex.parse import parse_regex
+
+__all__ = ["PubSubCast", "PUBSUB"]
+
+
+class PubSubCast:
+    """Objects, sorts, and specifications of the pub/sub cell."""
+
+    def __init__(self) -> None:
+        self.bk: ObjectId = obj("bk")
+        self.s1: ObjectId = obj("s1")
+        self.s2: ObjectId = obj("s2")
+        self.pb1: ObjectId = obj("pb1")
+        self.pb2: ObjectId = obj("pb2")
+
+    # -- sorts -------------------------------------------------------------
+
+    @property
+    def publishers(self) -> Sort:
+        return Sort.values(self.pb1, self.pb2)
+
+    @property
+    def subscribers(self) -> tuple[ObjectId, ObjectId]:
+        return (self.s1, self.s2)
+
+    def symbols(self) -> dict:
+        return {
+            "bk": self.bk,
+            "s1": self.s1,
+            "s2": self.s2,
+            "pb1": self.pb1,
+            "pb2": self.pb2,
+            "Publishers": self.publishers,
+        }
+
+    @property
+    def methods(self) -> dict[str, tuple[Sort, ...]]:
+        return {"PUB": (DATA,), "DELIVER": (DATA,), "ACK": ()}
+
+    # -- alphabets ---------------------------------------------------------
+
+    def broker_alphabet(self) -> Alphabet:
+        bk = Sort.values(self.bk)
+        subs = Sort.values(self.s1, self.s2)
+        return Alphabet.of(
+            pattern(self.publishers, bk, "PUB", DATA),
+            pattern(bk, subs, "DELIVER", DATA),
+            pattern(subs, bk, "ACK"),
+        )
+
+    def delivery_alphabet(self) -> Alphabet:
+        bk = Sort.values(self.bk)
+        subs = Sort.values(self.s1, self.s2)
+        return Alphabet.of(pattern(bk, subs, "DELIVER", DATA))
+
+    def subscriber_alphabet(self, s: ObjectId) -> Alphabet:
+        bk = Sort.values(self.bk)
+        me = Sort.values(s)
+        return Alphabet.of(
+            pattern(bk, me, "DELIVER", DATA),
+            pattern(me, bk, "ACK"),
+        )
+
+    # -- specifications ----------------------------------------------------
+
+    def broker_spec(self) -> Specification:
+        """``FanOutBroker``: publish, deliver to both, collect both acks.
+
+        Per round: one publisher publishes; the broker delivers to both
+        subscribers (in either order); both acknowledgements arrive (in
+        either order); only then is the next publication accepted.
+        """
+        deliveries = (
+            "[<bk,s1,DELIVER(_)> <bk,s2,DELIVER(_)> "
+            "| <bk,s2,DELIVER(_)> <bk,s1,DELIVER(_)>]"
+        )
+        acks = "[<s1,bk,ACK> <s2,bk,ACK> | <s2,bk,ACK> <s1,bk,ACK>]"
+        rounds = " | ".join(
+            f"<{pb},bk,PUB(_)> {deliveries} {acks}" for pb in ("pb1", "pb2")
+        )
+        regex = parse_regex(
+            f"[{rounds}]*", symbols=self.symbols(), methods=self.methods
+        )
+        return interface_spec(
+            "FanOutBroker", self.bk, self.broker_alphabet(), PrsMachine(regex)
+        )
+
+    def delivery_view(self) -> Specification:
+        """``DeliveryFanOut``: the partial view stating the fan-out core.
+
+        Constrains the *delivery projection* only: deliveries occur in
+        complete ``s1``/``s2`` pairs, one message's pair never
+        interleaving with another's — "if any subscriber receives a
+        message, every subscriber receives it".
+        """
+        regex = parse_regex(
+            "[<bk,s1,DELIVER(_)> <bk,s2,DELIVER(_)> "
+            "| <bk,s2,DELIVER(_)> <bk,s1,DELIVER(_)>]*",
+            symbols=self.symbols(),
+            methods=self.methods,
+        )
+        return interface_spec(
+            "DeliveryFanOut", self.bk, self.delivery_alphabet(), PrsMachine(regex)
+        )
+
+    def subscriber_view(self, s: ObjectId, name: str | None = None) -> Specification:
+        """``ReliableSubscriber``: deliver, then the ack — repeatedly."""
+        symbols = dict(self.symbols())
+        symbols["s"] = s
+        regex = parse_regex(
+            "[<bk,s,DELIVER(_)> <s,bk,ACK>]*",
+            symbols=symbols,
+            methods=self.methods,
+        )
+        return interface_spec(
+            name or f"ReliableSubscriber({s})",
+            s,
+            self.subscriber_alphabet(s),
+            PrsMachine(regex),
+        )
+
+    def lossy_subscriber(self, s: ObjectId) -> Specification:
+        """``LossySubscriber``: the unconstrained abstraction of a subscriber.
+
+        Admits every trace over the subscriber's alphabet; the reliable
+        view refines it, and Theorem 7 lifts that refinement through
+        composition with the broker.
+        """
+        alphabet = self.subscriber_alphabet(s)
+        return Specification(
+            f"LossySubscriber({s})",
+            frozenset((s,)),
+            alphabet,
+            FullTraceSet(alphabet),
+        )
+
+    def cell_spec(self) -> Specification:
+        """The composed cell: broker ‖ subscriber views.
+
+        Everything between {bk, s1, s2} is hidden; only PUB remains
+        observable.
+        """
+        from repro.core.composition import compose
+
+        return compose(
+            compose(self.broker_spec(), self.subscriber_view(self.s1)),
+            self.subscriber_view(self.s2),
+            name="PubSubCell",
+        )
+
+    def publish_oracle(self) -> Specification:
+        """What the cell should look like from outside: publications only."""
+        from repro.core.tracesets import MachineTraceSet
+
+        cell = self.cell_spec()
+        rounds = " | ".join(f"<{pb},bk,PUB(_)>" for pb in ("pb1", "pb2"))
+        regex = parse_regex(
+            f"[{rounds}]*", symbols=self.symbols(), methods=self.methods
+        )
+        return Specification(
+            "PublishService",
+            cell.objects,
+            cell.alphabet,
+            MachineTraceSet(cell.alphabet, PrsMachine(regex)),
+        )
+
+
+#: Shared instance for tests, scenarios, and benchmarks.
+PUBSUB = PubSubCast()

@@ -1,0 +1,252 @@
+"""Case study: two-phase commit with *dynamic* participant enlistment.
+
+Extends :mod:`repro.casestudies.twophase`: instead of a fixed pair of
+participants, the coordinator ``co`` enlists a per-round *prefix* of the
+participant pool ``p1..p3`` — round ``k`` prepares exactly ``p1..pk``
+(``k`` chosen dynamically per transaction), collects all ``k`` votes in
+enlistment order, and decides uniformly.  The client pool is a small
+concrete sort so every instantiated event is expressible in the service
+wire format; ``PREPARE``'s transaction-id payload keeps every alphabet
+infinite, as Definition 1 demands.
+
+The dynamic-enlistment facts become refinement/composition results:
+
+* **prefix atomicity as refinement** — the coordinator
+  (:meth:`coordinator_spec`) refines the partial *decision view*
+  (:meth:`decision_view`): decisions occur in uniform enlistment-prefix
+  blocks — whatever subset was enlisted, all of it commits or all of it
+  aborts (``DynamicCoordinator ⊑ PrefixAtomicDecision``);
+* **fixed-set atomicity fails (a non-example)** — the coordinator does
+  *not* refine :meth:`full_decision_view`, the static-membership view
+  that expects every decision block to cover all three participants;
+* **participant conformance** — each enlisted participant's own view
+  (:meth:`participant_view`) is satisfied by the coordinator's
+  projection, enlisted or not;
+* **Theorem 7 at work** — ``DynamicVote ⊑ LossyParticipant`` lifts
+  through composition with the coordinator (:meth:`lossy_participant`
+  is the unconstrained abstraction).
+
+Methods are those of the static study: ``BEGIN``, ``PREPARE(t)``,
+``YES``/``NO``, ``COMMIT``/``ABORT``, ``DONE``.
+"""
+
+from __future__ import annotations
+
+from itertools import product
+
+from repro.core.alphabet import Alphabet
+from repro.core.patterns import pattern
+from repro.core.sorts import DATA, Sort
+from repro.core.specification import Specification, interface_spec
+from repro.core.values import ObjectId, obj
+from repro.machines.projection import FilterMachine
+from repro.machines.regex.machine import PrsMachine
+from repro.machines.regex.parse import parse_regex
+
+__all__ = ["DynamicTwoPhaseCast", "DYNAMIC_TWO_PHASE"]
+
+_PARTS = ("p1", "p2", "p3")
+_CLIENTS = ("cl1", "cl2")
+
+
+class DynamicTwoPhaseCast:
+    """Objects, sorts, and specifications of the dynamic 2PC cell."""
+
+    def __init__(self) -> None:
+        self.co: ObjectId = obj("co")
+        self.p1: ObjectId = obj("p1")
+        self.p2: ObjectId = obj("p2")
+        self.p3: ObjectId = obj("p3")
+        self.cl1: ObjectId = obj("cl1")
+        self.cl2: ObjectId = obj("cl2")
+
+    # -- sorts -------------------------------------------------------------
+
+    @property
+    def participants(self) -> tuple[ObjectId, ObjectId, ObjectId]:
+        return (self.p1, self.p2, self.p3)
+
+    @property
+    def participant_sort(self) -> Sort:
+        return Sort.values(*self.participants)
+
+    @property
+    def client_sort(self) -> Sort:
+        return Sort.values(self.cl1, self.cl2)
+
+    def symbols(self) -> dict:
+        return {
+            "co": self.co,
+            "p1": self.p1,
+            "p2": self.p2,
+            "p3": self.p3,
+            "cl1": self.cl1,
+            "cl2": self.cl2,
+            "Parts": self.participant_sort,
+            "Clients": self.client_sort,
+        }
+
+    @property
+    def methods(self) -> dict[str, tuple[Sort, ...]]:
+        return {
+            "BEGIN": (),
+            "PREPARE": (DATA,),
+            "YES": (),
+            "NO": (),
+            "COMMIT": (),
+            "ABORT": (),
+            "DONE": (),
+        }
+
+    # -- alphabets ---------------------------------------------------------
+
+    def coordinator_alphabet(self) -> Alphabet:
+        co = Sort.values(self.co)
+        parts = self.participant_sort
+        cl = self.client_sort
+        return Alphabet.of(
+            pattern(cl, co, "BEGIN"),
+            pattern(co, cl, "DONE"),
+            pattern(co, parts, "PREPARE", DATA),
+            pattern(parts, co, "YES"),
+            pattern(parts, co, "NO"),
+            pattern(co, parts, "COMMIT"),
+            pattern(co, parts, "ABORT"),
+        )
+
+    def decision_alphabet(self) -> Alphabet:
+        co = Sort.values(self.co)
+        parts = self.participant_sort
+        return Alphabet.of(
+            pattern(co, parts, "COMMIT"),
+            pattern(co, parts, "ABORT"),
+        )
+
+    def participant_alphabet(self, p: ObjectId) -> Alphabet:
+        co = Sort.values(self.co)
+        me = Sort.values(p)
+        return Alphabet.of(
+            pattern(co, me, "PREPARE", DATA),
+            pattern(me, co, "YES"),
+            pattern(me, co, "NO"),
+            pattern(co, me, "COMMIT"),
+            pattern(co, me, "ABORT"),
+        )
+
+    # -- specifications ----------------------------------------------------
+
+    def coordinator_spec(self) -> Specification:
+        """``DynamicCoordinator``: per-round prefix enlistment, full protocol.
+
+        Per round: a client begins; the coordinator enlists the prefix
+        ``p1..pk`` for some ``k ∈ {1,2,3}`` (prepares issued in order);
+        all ``k`` votes arrive in enlistment order; unanimous YES commits
+        the whole prefix, any NO aborts it (decisions in order); the
+        initiating client is notified.
+        """
+        rounds = []
+        for k in range(1, len(_PARTS) + 1):
+            enlisted = _PARTS[:k]
+            preps = " ".join(f"<co,{p},PREPARE(_)>" for p in enlisted)
+            outcomes = []
+            for votes in product(("YES", "NO"), repeat=k):
+                vote_str = " ".join(
+                    f"<{p},co,{v}>" for p, v in zip(enlisted, votes)
+                )
+                kind = "COMMIT" if all(v == "YES" for v in votes) else "ABORT"
+                decisions = " ".join(f"<co,{p},{kind}>" for p in enlisted)
+                outcomes.append(f"{vote_str} {decisions}")
+            rounds.append(f"{preps} [{' | '.join(outcomes)}]")
+        per_client = " | ".join(
+            f"<{cl},co,BEGIN> [{' | '.join(rounds)}] <co,{cl},DONE>"
+            for cl in _CLIENTS
+        )
+        regex = parse_regex(
+            f"[{per_client}]*", symbols=self.symbols(), methods=self.methods
+        )
+        return interface_spec(
+            "DynamicCoordinator",
+            self.co,
+            self.coordinator_alphabet(),
+            PrsMachine(regex),
+        )
+
+    def _decision_view(self, name: str, sizes: tuple[int, ...]) -> Specification:
+        blocks = []
+        for k in sizes:
+            for kind in ("COMMIT", "ABORT"):
+                blocks.append(
+                    " ".join(f"<co,{p},{kind}>" for p in _PARTS[:k])
+                )
+        regex = parse_regex(
+            f"[{' | '.join(blocks)}]*",
+            symbols=self.symbols(),
+            methods=self.methods,
+        )
+        alphabet = self.decision_alphabet().union(
+            Alphabet.of(
+                pattern(
+                    Sort.values(self.co), self.participant_sort, "PREPARE", DATA
+                )
+            )
+        )
+        machine = FilterMachine(self.decision_alphabet(), PrsMachine(regex))
+        return interface_spec(name, self.co, alphabet, machine)
+
+    def decision_view(self) -> Specification:
+        """``PrefixAtomicDecision``: the partial view of prefix atomicity.
+
+        Constrains the *decision projection* only: decisions arrive in
+        uniform blocks covering some enlistment prefix ``p1..pk`` — one
+        round's block never interleaves with another's, and a block never
+        mixes COMMIT with ABORT.  PREPARE is in the alphabet but
+        unconstrained (keeping it infinite, as Definition 1 requires).
+        """
+        return self._decision_view(
+            "PrefixAtomicDecision", tuple(range(1, len(_PARTS) + 1))
+        )
+
+    def full_decision_view(self) -> Specification:
+        """``FullSetDecision``: the static-membership non-example.
+
+        Expects every decision block to cover all three participants;
+        any round that enlists a shorter prefix refutes the refinement.
+        """
+        return self._decision_view("FullSetDecision", (len(_PARTS),))
+
+    def participant_view(self, p: ObjectId, name: str | None = None) -> Specification:
+        """``DynamicVote``: a participant's own view — identical in shape
+        to the static study's, because enlistment is invisible to the
+        participant (it either takes part in a round or hears nothing)."""
+        symbols = dict(self.symbols())
+        symbols["p"] = p
+        regex = parse_regex(
+            "[<co,p,PREPARE(_)> [<p,co,YES> | <p,co,NO>] "
+            "[<co,p,COMMIT> | <co,p,ABORT>]]*",
+            symbols=symbols,
+            methods=self.methods,
+        )
+        return interface_spec(
+            name or f"DynamicVote({p})",
+            p,
+            self.participant_alphabet(p),
+            PrsMachine(regex),
+        )
+
+    def lossy_participant(self, p: ObjectId) -> Specification:
+        """``LossyParticipant``: the unconstrained abstraction of a
+        participant; :meth:`participant_view` refines it, and Theorem 7
+        lifts that refinement through composition with the coordinator."""
+        from repro.core.tracesets import FullTraceSet
+
+        alphabet = self.participant_alphabet(p)
+        return Specification(
+            f"LossyParticipant({p})",
+            frozenset((p,)),
+            alphabet,
+            FullTraceSet(alphabet),
+        )
+
+
+#: Shared instance for tests, scenarios, and benchmarks.
+DYNAMIC_TWO_PHASE = DynamicTwoPhaseCast()

@@ -15,10 +15,18 @@ Commands:
   specification over a finite universe;
 * ``monitor FILE.oun SPEC TRACE`` — check a recorded trace (or ``-`` to
   stream events from stdin) against a specification;
-* ``serve FILE.oun`` — run the online-monitoring TCP service over the
-  document's specifications;
+* ``serve FILE.oun`` / ``serve --scenario NAME`` — run the
+  online-monitoring TCP service over the document's specifications, or
+  over a built-in workload scenario's;
 * ``send TRACE`` — stream a trace to a running service and report the
   session verdict;
+* ``workload list`` — list the built-in multiparty-protocol scenarios;
+* ``workload run SCENARIO`` — generate seeded (optionally
+  fault-injected) event streams from a scenario, drive them through the
+  service, and check the observed verdicts against the generator's
+  violation oracle;
+* ``workload verify SCENARIO`` — discharge a scenario's
+  refinement/composition claims through the obligation engine;
 * ``explain FILE.oun SPEC [--compose OTHER ...]`` — show what the
   normalization pipeline does to a specification: the machine tree
   before and after, and per-pass rewrite counts;
@@ -28,8 +36,8 @@ Commands:
 
 Exit status is 0 when the query's answer is positive (refines / equal /
 composable / deadlock-free; for ``claims``, full agreement; for
-``monitor``/``send``, no violation), 1 otherwise, 2 for usage or input
-errors.
+``monitor``/``send``, no violation; for ``workload run``, every session
+agreeing with the oracle), 1 otherwise, 2 for usage or input errors.
 
 The obligation-running commands (``claims``, ``check --refines/--equal``,
 ``verify``) accept ``--jobs N`` to fan independent obligations out to
@@ -185,7 +193,19 @@ def build_parser() -> argparse.ArgumentParser:
         help="run the online-monitoring service over an OUN document",
         parents=[obs],
     )
-    p_serve.add_argument("file", type=Path, help="OUN document with the specs")
+    p_serve.add_argument(
+        "file",
+        type=Path,
+        nargs="?",
+        help="OUN document with the specs (or use --scenario)",
+    )
+    p_serve.add_argument(
+        "--scenario",
+        default=None,
+        metavar="NAME",
+        help="serve a built-in workload scenario's specifications instead "
+        "of an OUN document (see 'repro workload list')",
+    )
     p_serve.add_argument("--host", default="127.0.0.1")
     p_serve.add_argument(
         "--port", type=int, default=7471, help="TCP port (0 picks one)"
@@ -289,6 +309,84 @@ def build_parser() -> argparse.ArgumentParser:
         help="compose the named specs onto SPEC first, then explain the "
         "composition",
     )
+
+    p_workload = sub.add_parser(
+        "workload",
+        help="multiparty-protocol scenarios: generate fault-injected "
+        "streams, drive the service, check the violation oracle",
+    )
+    wsub = p_workload.add_subparsers(dest="workload_command", required=True)
+
+    wsub.add_parser(
+        "list", help="list the built-in scenarios", parents=[obs]
+    )
+
+    w_run = wsub.add_parser(
+        "run",
+        help="drive one scenario's streams through the service and "
+        "compare verdicts with the oracle",
+        parents=[obs],
+    )
+    w_run.add_argument("scenario", help="scenario name")
+    w_run.add_argument(
+        "--seed", type=int, default=0, help="run seed (session i uses SEED:i)"
+    )
+    w_run.add_argument(
+        "--faults",
+        default="",
+        metavar="reorder=P,dup=P,drop=P",
+        help="per-event fault probabilities (default: none)",
+    )
+    w_run.add_argument(
+        "--sessions", type=int, default=4, help="concurrent sessions"
+    )
+    w_run.add_argument(
+        "--events",
+        type=int,
+        default=200,
+        metavar="N",
+        help="happy-path events per session (per batch with --duration)",
+    )
+    w_run.add_argument(
+        "--duration",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help="keep streaming batches until the deadline instead of "
+        "stopping after one batch of --events",
+    )
+    w_run.add_argument(
+        "--host", default=None, help="drive an external service (with --port)"
+    )
+    w_run.add_argument(
+        "--port",
+        type=int,
+        default=None,
+        help="external service port (default: a hermetic in-process server)",
+    )
+    w_run.add_argument(
+        "--shards", type=int, default=4, help="in-process server shards"
+    )
+    w_run.add_argument(
+        "--history-limit",
+        type=int,
+        default=4096,
+        help="bounded per-monitor event window (in-process server)",
+    )
+    w_run.add_argument(
+        "--bench-out",
+        default=None,
+        metavar="PATH",
+        help="persist a BENCH_workload_<scenario>.json (fault-free "
+        "baseline plus the requested run) to PATH (file or directory)",
+    )
+
+    w_verify = wsub.add_parser(
+        "verify",
+        help="discharge a scenario's refinement/composition claims",
+        parents=[obs, engine],
+    )
+    w_verify.add_argument("scenario", help="scenario name")
 
     p_profile = sub.add_parser(
         "profile",
@@ -420,7 +518,20 @@ def _cmd_serve(args, out) -> int:
 
     from repro.service import MonitorServer, SpecRegistry
 
-    registry = SpecRegistry.from_file(args.file, history_limit=args.history_limit)
+    if (args.file is None) == (args.scenario is None):
+        raise ReproError(
+            "serve needs exactly one of FILE.oun or --scenario NAME"
+        )
+    if args.scenario is not None:
+        from repro.workload.scenarios import get_scenario
+
+        registry = get_scenario(args.scenario).registry(
+            history_limit=args.history_limit
+        )
+    else:
+        registry = SpecRegistry.from_file(
+            args.file, history_limit=args.history_limit
+        )
     if not registry.names():
         raise ReproError(f"{args.file}: no monitorable specifications")
 
@@ -496,6 +607,92 @@ def _cmd_send(args, out) -> int:
         return 1
 
     return asyncio.run(run())
+
+
+def _cmd_workload(args, out) -> int:
+    from repro import workload
+
+    if args.workload_command == "list":
+        for sc in workload.all_scenarios():
+            print(f"{sc.name}: {sc.title}", file=out)
+            print(f"  monitored spec: {sc.monitored}", file=out)
+            print(f"  {sc.description}", file=out)
+        return 0
+
+    if args.workload_command == "verify":
+        source = ObligationSource.of(
+            "repro.workload.scenarios:scenario_obligations",
+            scenario=args.scenario,
+        )
+        run = _run_engine(source, _engine_config(args), out)
+        session = run.session
+        print(session.format_table(), file=out)
+        print(file=out)
+        if session.all_agree:
+            print(
+                f"all {args.scenario} claims agree with the corpus", file=out
+            )
+            return 0
+        print("DISAGREEMENTS:", file=out)
+        for outcome in session.failures():
+            print(
+                f"  {outcome.obligation.ident}: "
+                f"{outcome.error or outcome.result.explain()}",
+                file=out,
+            )
+        return 1
+
+    faults = (
+        workload.FaultSpec.parse(args.faults)
+        if args.faults
+        else workload.FaultSpec()
+    )
+    if (args.host is not None) and (args.port is None):
+        raise ReproError("--host needs --port (an external service address)")
+    knobs = dict(
+        sessions=args.sessions,
+        events=args.events,
+        duration=args.duration,
+        host=args.host,
+        port=args.port,
+        shards=args.shards,
+        history_limit=args.history_limit,
+    )
+    report = workload.run_workload(
+        args.scenario, seed=args.seed, faults=faults, **knobs
+    )
+    print(report.describe(), file=out)
+    ok = report.all_agree
+    if args.bench_out:
+        runs = []
+        if faults.active:
+            baseline = workload.run_workload(
+                args.scenario, seed=args.seed, **knobs
+            )
+            ok = ok and baseline.all_agree
+            runs.append(baseline.run_record("fault-free"))
+        runs.append(
+            report.run_record("faulted" if faults.active else "fault-free")
+        )
+        path = workload.write_bench_json(
+            args.bench_out,
+            f"workload_{args.scenario}",
+            {
+                "scenario": args.scenario,
+                "seed": args.seed,
+                "faults": faults.as_dict(),
+                "sessions": args.sessions,
+                "events": args.events,
+                "duration": args.duration,
+                "mode": "external" if args.port is not None else "in-process",
+                "shards": args.shards,
+            },
+            runs,
+        )
+        print(f"bench results written to {path}", file=out)
+    if not ok:
+        print("ORACLE DISAGREEMENT (see sessions above)", file=out)
+    return 0 if ok else 1
 
 
 def _cmd_check(args, out) -> int:
@@ -710,6 +907,7 @@ _COMMANDS = {
     "monitor": _cmd_monitor,
     "serve": _cmd_serve,
     "send": _cmd_send,
+    "workload": _cmd_workload,
     "check": _cmd_check,
     "matrix": _cmd_matrix,
     "verify": _cmd_verify,

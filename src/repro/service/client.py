@@ -8,7 +8,10 @@ first drain the queue, then perform one request/reply round-trip.
 
 Connection establishment retries with exponential backoff and full
 jitter; the delay schedule is a pure function (:func:`backoff_delays`) so
-tests can check it without sleeping.
+tests can check it without sleeping.  If the link dies mid-stream, the
+sender records the failure and keeps consuming the queue — producers
+never deadlock on a dead connection — and the next synchronising verb
+raises ``ConnectionError``.
 
 A client instance is designed to be driven from one task; it is not a
 connection pool.
@@ -22,6 +25,7 @@ from typing import Iterator
 
 from repro.core.errors import ReproError
 from repro.core.events import Event
+from repro.obs.registry import get_registry
 from repro.runtime import tracefile
 from repro.service.protocol import Reply, SessionStatus, parse_reply
 
@@ -76,8 +80,13 @@ class MonitorClient:
         self._reader: asyncio.StreamReader | None = None
         self._writer: asyncio.StreamWriter | None = None
         self._sender: asyncio.Task | None = None
+        self._send_error: Exception | None = None
         self.server_specs: tuple[str, ...] = ()
         self.events_sent = 0
+        #: Connection attempts made by the last :meth:`connect` (≥ 1 on
+        #: success; retries beyond the first also feed the
+        #: ``repro_client_connect_retries_total`` counter).
+        self.connect_attempts = 0
 
     # -- lifecycle -----------------------------------------------------------
 
@@ -90,7 +99,10 @@ class MonitorClient:
             rng=self._rng,
         )
         last_error: Exception | None = None
+        self._send_error = None
+        self.connect_attempts = 0
         for attempt in range(self.connect_retries + 1):
+            self.connect_attempts = attempt + 1
             try:
                 self._reader, self._writer = await asyncio.open_connection(
                     self.host, self.port
@@ -105,6 +117,11 @@ class MonitorClient:
                 await asyncio.sleep(delay)
         else:  # pragma: no cover - loop always breaks
             pass
+        if self.connect_attempts > 1:
+            get_registry().counter(
+                "repro_client_connect_retries_total",
+                help="client reconnect attempts beyond the first",
+            ).inc(self.connect_attempts - 1)
         if self._writer is None:
             raise ServiceUnavailable(
                 f"cannot reach {self.host}:{self.port} after "
@@ -209,8 +226,13 @@ class MonitorClient:
             try:
                 if item is None:
                     return
-                self._writer.write(item.encode("utf-8") + b"\n")
-                await self._writer.drain()
+                if self._send_error is not None:
+                    continue  # link is dead: consume so producers never block
+                try:
+                    self._writer.write(item.encode("utf-8") + b"\n")
+                    await self._writer.drain()
+                except (ConnectionError, OSError) as exc:
+                    self._send_error = exc
             finally:
                 self._queue.task_done()
 
@@ -229,6 +251,10 @@ class MonitorClient:
         if self._writer is None or self._reader is None:
             raise ReproError("client is not connected")
         await self._queue.join()
+        if self._send_error is not None:
+            raise ConnectionError(
+                f"send failed mid-stream: {self._send_error}"
+            ) from self._send_error
         self._writer.write(line.encode("utf-8") + b"\n")
         await self._writer.drain()
         raw = await self._reader.readline()

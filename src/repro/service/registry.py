@@ -29,6 +29,7 @@ from typing import Iterable
 from repro.automata.build import MachineImage, machine_to_dense
 from repro.checker.fingerprint import fingerprint
 from repro.core.errors import FingerprintError, ReproError, RuntimeModelError
+from repro.core.sorts import Sort
 from repro.core.specification import Specification
 from repro.core.tracesets import FullTraceSet, MachineTraceSet
 from repro.machines.base import TraceMachine
@@ -153,6 +154,24 @@ def _dense_image(
     return image
 
 
+def _coupled_callees(spec: Specification) -> bool:
+    """Whether the spec constrains the *order across* distinct callees.
+
+    The server shards a session's events by callee, which is sound only
+    when the spec's alphabet addresses a single callee (every event then
+    lands on one monitor that sees the whole projected stream).  A spec
+    whose patterns range over several callees — a coordinator driving
+    participants, a broker fanning out to subscribers — couples their
+    relative order, so its sessions must be routed as a unit.  This is a
+    conservative syntactic test: a multi-callee spec that happened to be
+    order-insensitive would merely lose parallelism, never soundness.
+    """
+    callees = Sort.empty()
+    for p in spec.alphabet.patterns:
+        callees = callees.union(p.callee)
+    return not callees.is_singleton()
+
+
 @dataclass(frozen=True, slots=True)
 class CompiledSpec:
     """One monitorable specification with its shared compiled machine.
@@ -161,13 +180,17 @@ class CompiledSpec:
     :class:`~repro.automata.build.MachineImage` when the registry could
     tabulate it within its state budget (``None`` otherwise); monitors
     step through it by letter id and fall back to ``machine`` for events
-    outside the instantiated universe.
+    outside the instantiated universe.  ``coupled`` records whether the
+    spec's alphabet addresses more than one callee, in which case the
+    server routes each session's whole stream to one shard (cross-callee
+    order matters) instead of spreading it per callee.
     """
 
     name: str
     spec: Specification
     machine: TraceMachine
     dense: MachineImage | None = None
+    coupled: bool = False
 
 
 class SpecRegistry:
@@ -197,7 +220,7 @@ class SpecRegistry:
                     else None
                 )
                 self._compiled[spec.name] = CompiledSpec(
-                    spec.name, spec, machine, image
+                    spec.name, spec, machine, image, _coupled_callees(spec)
                 )
             else:
                 self._unmonitorable[spec.name] = (

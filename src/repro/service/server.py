@@ -2,11 +2,14 @@
 
 Each connection is one session — an event stream checked online against
 one registered specification (the paper's soundness condition
-``h/α(Γ) ∈ T(Γ)`` per connection).  Events are routed to the shard pool
-by callee, so one session's independent objects check in parallel while
-per-object order is preserved; the first violation (smallest
-session-global index among the shard monitors) is what ``STATUS``
-reports.
+``h/α(Γ) ∈ T(Γ)`` per connection).  Events of a single-callee spec are
+routed to the shard pool by callee, so one session's independent objects
+check in parallel while per-object order is preserved; a *coupled* spec
+(alphabet addressing several callees — see
+:func:`~repro.service.registry._coupled_callees`) pins each session to
+one shard, preserving cross-callee order while different sessions still
+spread over the pool.  The first violation (smallest session-global
+index among the shard monitors) is what ``STATUS`` reports.
 
 The server is single-loop: shard workers are tasks, not threads, so
 monitor state and metrics need no locks.
@@ -33,6 +36,11 @@ from repro.service.registry import CompiledSpec, SpecRegistry
 from repro.service.shards import DEFAULT_QUEUE_SIZE, ShardPool
 
 __all__ = ["MonitorServer"]
+
+#: Router key pinning a coupled spec's session to one shard.  The NUL
+#: byte cannot occur in an object name parsed off the wire, so the key
+#: never collides with a real callee.
+_COUPLED_KEY = "\x00session"
 
 
 class _Session:
@@ -325,8 +333,12 @@ class MonitorServer:
         index = session.events
         session.events += 1
         # The session router resolves (session, callee) → shard with the
-        # key formatting and CRC paid once per distinct callee.
-        shard = session.router.shard_of(event.callee.name)
+        # key formatting and CRC paid once per distinct callee.  Coupled
+        # specs constrain the order *across* callees, so their sessions
+        # route on one constant key instead of splitting per callee.
+        shard = session.router.shard_of(
+            _COUPLED_KEY if session.compiled.coupled else event.callee.name
+        )
         monitor = session.monitors.get(shard)
         if monitor is None:
             monitor = self.registry.new_monitor(session.compiled.name)

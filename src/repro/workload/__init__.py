@@ -1,0 +1,64 @@
+"""Workload subsystem: scenario corpus + fault-injecting stream driver.
+
+The paper's online-monitoring payoff, exercised end to end (DESIGN.md
+§12): realistic multiparty protocols from :mod:`repro.casestudies` are
+packaged as :class:`~repro.workload.scenarios.Scenario` values; a seeded
+generator walks their dense automata for happy-path traffic and injects
+reorder/duplicate/drop faults while tracking an *oracle* of expected
+violation positions; the runner drives the streams through the live
+service and asserts the observed verdicts match — with results persisted
+in the shared ``BENCH_*.json`` schema.
+
+Modules:
+
+* :mod:`~repro.workload.scenarios` — the protocol corpus with its
+  refinement/composition claims wired into the checker law harness;
+* :mod:`~repro.workload.generator` — seeded happy-path walks, fault
+  injection, and the dense-stepping violation oracle;
+* :mod:`~repro.workload.runner`    — session driving over the real
+  client/server wire path, with obs spans and metrics;
+* :mod:`~repro.workload.results`   — the ``repro-bench/1`` JSON schema
+  shared by every persisted benchmark.
+"""
+
+from repro.workload.generator import (
+    FaultSpec,
+    GeneratedStream,
+    StreamSession,
+    generate_stream,
+)
+from repro.workload.results import (
+    BENCH_SCHEMA,
+    bench_payload,
+    latency_summary,
+    maybe_write_bench,
+    percentiles_from_histogram,
+    write_bench_json,
+)
+from repro.workload.runner import SessionOutcome, WorkloadReport, run_workload
+from repro.workload.scenarios import (
+    Scenario,
+    all_scenarios,
+    get_scenario,
+    scenario_obligations,
+)
+
+__all__ = [
+    "BENCH_SCHEMA",
+    "FaultSpec",
+    "GeneratedStream",
+    "Scenario",
+    "SessionOutcome",
+    "StreamSession",
+    "WorkloadReport",
+    "all_scenarios",
+    "bench_payload",
+    "generate_stream",
+    "get_scenario",
+    "latency_summary",
+    "maybe_write_bench",
+    "percentiles_from_histogram",
+    "run_workload",
+    "scenario_obligations",
+    "write_bench_json",
+]

@@ -1,0 +1,153 @@
+"""Persisted run results: the ``BENCH_*.json`` schema and its writer.
+
+Every persisted benchmark in this repository — workload runs and the
+``benchmarks/bench_*.py`` harnesses alike — shares one JSON shape, so a
+future re-anchor can diff perf trajectories without per-file parsers:
+
+.. code-block:: json
+
+    {
+      "schema": "repro-bench/1",
+      "name": "workload_pubsub_fanout",
+      "created_unix": 1754700000.0,
+      "params": {"scenario": "pubsub_fanout", "seed": 7, "...": "..."},
+      "runs": [
+        {
+          "label": "faulted",
+          "events": 1200,
+          "seconds": 0.41,
+          "events_per_sec": 2926.8,
+          "latency": {"count": 1200, "mean_us": 11.2, "p50_us": 10.0,
+                       "p90_us": 25.0, "p99_us": 100.0},
+          "...": "run-specific keys (fault counts, oracle agreement)"
+        }
+      ]
+    }
+
+``params`` holds whatever identifies the run's configuration; ``runs``
+is a list so one file can record fault-free and faulted passes side by
+side.  Latency percentiles are *conservative upper estimates* read off
+the metrics registry's fixed histogram buckets (the value reported for
+quantile ``q`` is the upper bound of the bucket containing it).
+
+``REPRO_BENCH_DIR`` opts any harness into persistence with one call
+(:func:`maybe_write_bench`); unset, nothing is written.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+from pathlib import Path
+from typing import Iterable, Mapping, Sequence
+
+__all__ = [
+    "BENCH_SCHEMA",
+    "percentiles_from_histogram",
+    "latency_summary",
+    "bench_payload",
+    "write_bench_json",
+    "maybe_write_bench",
+]
+
+BENCH_SCHEMA = "repro-bench/1"
+
+#: Quantiles reported by :func:`latency_summary`.
+LATENCY_QUANTILES = (0.5, 0.9, 0.99)
+
+
+def percentiles_from_histogram(
+    bounds: Sequence[float],
+    counts: Sequence[int],
+    qs: Iterable[float] = LATENCY_QUANTILES,
+) -> dict[float, float]:
+    """Quantile upper estimates from fixed-bucket counts.
+
+    ``counts`` has one entry per bound plus a trailing overflow bucket
+    (the :class:`repro.obs.registry.Histogram` layout).  The estimate
+    for ``q`` is the upper bound of the bucket holding the ``q``-th
+    observation; observations past the last bound clamp to it (the
+    histogram records no finite upper edge for them).
+    """
+    total = sum(counts)
+    out: dict[float, float] = {}
+    top = float(bounds[-1]) if bounds else 0.0
+    for q in qs:
+        if total == 0:
+            out[q] = 0.0
+            continue
+        rank = q * total
+        cumulative = 0
+        value = top
+        for bound, n in zip(bounds, counts):
+            cumulative += n
+            if cumulative >= rank:
+                value = float(bound)
+                break
+        out[q] = value
+    return out
+
+def latency_summary(hist) -> dict:
+    """A BENCH-ready summary (µs) of one registry histogram."""
+    ps = percentiles_from_histogram(hist.bounds, hist.counts)
+    summary = {
+        "count": hist.count,
+        "mean_us": round(hist.mean * 1e6, 3),
+    }
+    for q, seconds in ps.items():
+        summary[f"p{int(q * 100)}_us"] = round(seconds * 1e6, 3)
+    return summary
+
+
+def bench_payload(
+    name: str,
+    params: Mapping[str, object],
+    runs: Sequence[Mapping[str, object]],
+) -> dict:
+    """The full ``repro-bench/1`` document for a named benchmark."""
+    return {
+        "schema": BENCH_SCHEMA,
+        "name": name,
+        "created_unix": round(time.time(), 3),
+        "params": dict(params),
+        "runs": [dict(run) for run in runs],
+    }
+
+
+def write_bench_json(
+    path: str | Path,
+    name: str,
+    params: Mapping[str, object],
+    runs: Sequence[Mapping[str, object]],
+) -> Path:
+    """Write one BENCH document; ``path`` may be a directory or a file.
+
+    A directory (existing, or a path with no ``.json`` suffix) receives
+    the conventional file name ``BENCH_<name>.json``.
+    """
+    target = Path(path)
+    if target.is_dir() or target.suffix != ".json":
+        target.mkdir(parents=True, exist_ok=True)
+        target = target / f"BENCH_{name}.json"
+    target.write_text(
+        json.dumps(bench_payload(name, params, runs), indent=2, sort_keys=False)
+        + "\n"
+    )
+    return target
+
+
+def maybe_write_bench(
+    name: str,
+    params: Mapping[str, object],
+    runs: Sequence[Mapping[str, object]],
+) -> Path | None:
+    """Persist a BENCH document iff ``REPRO_BENCH_DIR`` is set.
+
+    The one-call opt-in for existing benchmark harnesses: unset, it is
+    a no-op, so interactive runs stay side-effect free.
+    """
+    out_dir = os.environ.get("REPRO_BENCH_DIR")
+    if not out_dir:
+        return None
+    return write_bench_json(out_dir, name, params, runs)

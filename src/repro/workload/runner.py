@@ -1,0 +1,401 @@
+"""Drive generated streams through the live service; check the oracle.
+
+The runner is the workload subsystem's executable claim: *violations are
+detected exactly where the theory says they must be*.  For each session
+it generates a seeded, fault-injected stream (session ``i`` of a run
+with seed ``S`` uses stream seed ``"S:i"``), computes the expected
+violation position by independent dense stepping, feeds the stream to a
+:class:`~repro.service.server.MonitorServer` through the real
+:class:`~repro.service.client.MonitorClient` wire path, and compares the
+service's ``STATUS`` verdict to the oracle.
+
+By default the server is spun up in-process on an ephemeral port (the
+hermetic mode tests and benchmarks use); pass ``port`` (and ``host``) to
+drive an external ``repro serve --scenario`` instance instead — latency
+percentiles are then read back over the wire from the server's
+``METRICS`` Prometheus dump.
+
+Instrumented with :mod:`repro.obs`: a ``workload.run`` span wrapping
+per-session ``workload.session`` spans, plus counters for events sent,
+injected faults by kind, expected/observed violations, and oracle
+disagreements.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import time
+from dataclasses import dataclass
+
+from repro.obs.registry import Histogram, get_registry
+from repro.obs.trace import span
+from repro.service.client import MonitorClient
+from repro.workload.generator import FaultSpec, StreamSession
+from repro.workload.results import latency_summary
+from repro.workload.scenarios import Scenario, get_scenario
+
+__all__ = ["SessionOutcome", "WorkloadReport", "run_workload"]
+
+#: Per-event check latency family exposed by the service (see
+#: :class:`repro.obs.metrics.ServiceMetrics`), parsed back in external mode.
+_LATENCY_FAMILY = "repro_event_check_seconds"
+
+
+@dataclass(frozen=True, slots=True)
+class SessionOutcome:
+    """One session's verdict versus its oracle."""
+
+    session: int
+    events_sent: int
+    expected: int | None
+    observed: int | None
+    faults: dict[str, int]
+    errors: int
+
+    @property
+    def agreed(self) -> bool:
+        return self.errors == 0 and self.expected == self.observed
+
+
+@dataclass(frozen=True, slots=True)
+class WorkloadReport:
+    """A full run: per-session outcomes plus throughput and latency."""
+
+    scenario: str
+    spec: str
+    seed: int
+    faults: FaultSpec
+    sessions: tuple[SessionOutcome, ...]
+    seconds: float
+    latency: dict | None
+
+    @property
+    def events_total(self) -> int:
+        return sum(s.events_sent for s in self.sessions)
+
+    @property
+    def events_per_sec(self) -> float:
+        return self.events_total / self.seconds if self.seconds else 0.0
+
+    @property
+    def expected_violations(self) -> int:
+        return sum(1 for s in self.sessions if s.expected is not None)
+
+    @property
+    def observed_violations(self) -> int:
+        return sum(1 for s in self.sessions if s.observed is not None)
+
+    @property
+    def agreement(self) -> float:
+        """Fraction of sessions whose verdict matched the oracle."""
+        if not self.sessions:
+            return 1.0
+        return sum(1 for s in self.sessions if s.agreed) / len(self.sessions)
+
+    @property
+    def all_agree(self) -> bool:
+        return all(s.agreed for s in self.sessions)
+
+    def fault_counts(self) -> dict[str, int]:
+        totals: dict[str, int] = {"reorder": 0, "dup": 0, "drop": 0}
+        for s in self.sessions:
+            for kind, count in s.faults.items():
+                totals[kind] += count
+        return totals
+
+    def run_record(self, label: str) -> dict:
+        """This run as one ``runs[]`` entry of the BENCH schema."""
+        return {
+            "label": label,
+            "sessions": len(self.sessions),
+            "events": self.events_total,
+            "seconds": round(self.seconds, 6),
+            "events_per_sec": round(self.events_per_sec, 1),
+            "latency": self.latency,
+            "faults": self.fault_counts(),
+            "violations": {
+                "expected": self.expected_violations,
+                "observed": self.observed_violations,
+                "agreement": round(self.agreement, 4),
+            },
+        }
+
+    def describe(self) -> str:
+        """A compact human-readable summary."""
+        faults = self.fault_counts()
+        lines = [
+            f"{self.scenario} (spec {self.spec}, seed {self.seed}, "
+            f"faults {self.faults.describe()})",
+            f"  {len(self.sessions)} sessions, {self.events_total} events "
+            f"in {self.seconds:.3f}s ({self.events_per_sec:,.0f} events/s)",
+            f"  faults injected: reorder={faults['reorder']} "
+            f"dup={faults['dup']} drop={faults['drop']}",
+            f"  violations: expected {self.expected_violations}, observed "
+            f"{self.observed_violations}; oracle agreement "
+            f"{self.agreement:.0%}",
+        ]
+        if self.latency:
+            lines.append(
+                f"  check latency: p50={self.latency.get('p50_us')}µs "
+                f"p90={self.latency.get('p90_us')}µs "
+                f"p99={self.latency.get('p99_us')}µs"
+            )
+        for s in self.sessions:
+            if not s.agreed:
+                lines.append(
+                    f"  DISAGREEMENT session {s.session}: expected "
+                    f"{s.expected}, observed {s.observed} "
+                    f"({s.errors} wire errors)"
+                )
+        return "\n".join(lines)
+
+
+def _workload_counters():
+    registry = get_registry()
+    return {
+        "events": registry.counter(
+            "repro_workload_events_total",
+            help="events sent by workload sessions",
+        ),
+        "sessions": registry.counter(
+            "repro_workload_sessions_total", help="workload sessions driven"
+        ),
+        "expected": registry.counter(
+            "repro_workload_expected_violations_total",
+            help="sessions whose oracle predicted a violation",
+        ),
+        "observed": registry.counter(
+            "repro_workload_observed_violations_total",
+            help="sessions the service flagged as violated",
+        ),
+        "disagreements": registry.counter(
+            "repro_workload_disagreements_total",
+            help="sessions whose verdict differed from the oracle",
+        ),
+    }
+
+
+def _fault_counter(kind: str):
+    return get_registry().counter(
+        "repro_workload_faults_total",
+        labels={"kind": kind},
+        help="faults injected into workload streams, by kind",
+    )
+
+
+def _histogram_from_prometheus(text: str, family: str) -> Histogram | None:
+    """Rebuild one (unlabeled) histogram family from exposition text."""
+    bounds: list[float] = []
+    cumulative: list[int] = []
+    count: int | None = None
+    total = 0.0
+    for line in text.splitlines():
+        if line.startswith(f"{family}_bucket{{"):
+            labels, _, value = line.partition(" ")
+            le = labels.partition('le="')[2].partition('"')[0]
+            if le == "+Inf":
+                continue
+            bounds.append(float(le))
+            cumulative.append(int(float(value)))
+        elif line.startswith(f"{family}_count"):
+            count = int(float(line.rpartition(" ")[2]))
+        elif line.startswith(f"{family}_sum"):
+            total = float(line.rpartition(" ")[2])
+    if count is None or not bounds:
+        return None
+    hist = Histogram(tuple(bounds))
+    previous = 0
+    counts = []
+    for value in cumulative:
+        counts.append(value - previous)
+        previous = value
+    counts.append(count - previous)
+    hist.counts = counts
+    hist.count = count
+    hist.total = total
+    return hist
+
+
+async def _drive_session(
+    index: int,
+    host: str,
+    port: int,
+    scenario: Scenario,
+    compiled,
+    *,
+    seed: int,
+    faults: FaultSpec,
+    events: int,
+    duration: float | None,
+    counters,
+) -> SessionOutcome:
+    stream = StreamSession(compiled, faults, seed=f"{seed}:{index}")
+    errors = 0
+    with span("workload.session", scenario=scenario.name, session=index):
+        client = MonitorClient(host, port, spec=scenario.monitored)
+        await client.connect()
+        try:
+            deadline = (
+                time.monotonic() + duration if duration is not None else None
+            )
+            while True:
+                batch = stream.next_batch(events)
+                for event in batch:
+                    await client.send_event(event)
+                if not batch:
+                    break  # walk hit a dead end; the stream is complete
+                if deadline is None or time.monotonic() >= deadline:
+                    break
+            status = await client.status()
+            errors = status.errors
+            observed = status.violation_index
+        finally:
+            await client.close()
+    counters["sessions"].inc()
+    counters["events"].inc(stream.events_emitted)
+    for kind, count in stream.fault_counts.items():
+        if count:
+            _fault_counter(kind).inc(count)
+    expected = stream.expected_violation
+    if expected is not None:
+        counters["expected"].inc()
+    if observed is not None:
+        counters["observed"].inc()
+    outcome = SessionOutcome(
+        session=index,
+        events_sent=stream.events_emitted,
+        expected=expected,
+        observed=observed,
+        faults=dict(stream.fault_counts),
+        errors=errors,
+    )
+    if not outcome.agreed:
+        counters["disagreements"].inc()
+    return outcome
+
+
+async def _run(
+    scenario: Scenario,
+    *,
+    seed: int,
+    faults: FaultSpec,
+    sessions: int,
+    events: int,
+    duration: float | None,
+    host: str | None,
+    port: int | None,
+    shards: int,
+    history_limit: int | None,
+) -> WorkloadReport:
+    registry = scenario.registry(history_limit=history_limit)
+    compiled = registry.get(scenario.monitored)
+    counters = _workload_counters()
+
+    async def drive(target_host: str, target_port: int, metrics_source):
+        started = time.monotonic()
+        outcomes = await asyncio.gather(
+            *(
+                _drive_session(
+                    i,
+                    target_host,
+                    target_port,
+                    scenario,
+                    compiled,
+                    seed=seed,
+                    faults=faults,
+                    events=events,
+                    duration=duration,
+                    counters=counters,
+                )
+                for i in range(sessions)
+            )
+        )
+        seconds = time.monotonic() - started
+        latency = await metrics_source()
+        return WorkloadReport(
+            scenario=scenario.name,
+            spec=scenario.monitored,
+            seed=seed,
+            faults=faults,
+            sessions=tuple(outcomes),
+            seconds=seconds,
+            latency=latency,
+        )
+
+    with span(
+        "workload.run",
+        scenario=scenario.name,
+        seed=seed,
+        sessions=sessions,
+        faults=faults.describe(),
+    ) as sp:
+        if port is not None:
+            target_host = host or "127.0.0.1"
+
+            async def remote_latency():
+                client = MonitorClient(target_host, port)
+                await client.connect()
+                try:
+                    text = await client.metrics()
+                finally:
+                    await client.close()
+                hist = _histogram_from_prometheus(text, _LATENCY_FAMILY)
+                return latency_summary(hist) if hist is not None else None
+
+            report = await drive(target_host, port, remote_latency)
+        else:
+            from repro.service.server import MonitorServer
+
+            async with MonitorServer(registry, shards=shards) as server:
+
+                async def local_latency():
+                    hist = server.metrics.latency.get(scenario.monitored)
+                    return latency_summary(hist) if hist is not None else None
+
+                report = await drive("127.0.0.1", server.port, local_latency)
+        sp.set(
+            events=report.events_total,
+            agreement=report.agreement,
+            expected=report.expected_violations,
+            observed=report.observed_violations,
+        )
+    return report
+
+
+def run_workload(
+    scenario_name: str,
+    *,
+    seed: int = 0,
+    faults: FaultSpec | None = None,
+    sessions: int = 4,
+    events: int = 200,
+    duration: float | None = None,
+    host: str | None = None,
+    port: int | None = None,
+    shards: int = 4,
+    history_limit: int | None = 4096,
+) -> WorkloadReport:
+    """Run one scenario workload and report oracle agreement.
+
+    ``events`` is the happy-path batch size per session; with
+    ``duration`` set, each session keeps streaming batches until the
+    deadline passes.  ``port=None`` (the default) runs a hermetic
+    in-process server with ``shards`` workers; otherwise the stream is
+    driven at ``host:port``, which must be a ``repro serve`` instance
+    with the scenario's specs registered (``repro serve --scenario``).
+    """
+    scenario = get_scenario(scenario_name)
+    return asyncio.run(
+        _run(
+            scenario,
+            seed=seed,
+            faults=faults if faults is not None else FaultSpec(),
+            sessions=sessions,
+            events=events,
+            duration=duration,
+            host=host,
+            port=port,
+            shards=shards,
+            history_limit=history_limit,
+        )
+    )

@@ -1,0 +1,295 @@
+"""The scenario corpus: multiparty protocols packaged for the driver.
+
+A :class:`Scenario` bundles one case-study protocol for the workload
+subsystem: the specification sessions bind to (the *monitored* spec —
+always the protocol's full interface spec, whose violations under faults
+are the interesting ones), the supporting views that accompany it into a
+service registry, and the protocol's refinement/composition claims as
+checker-law :class:`~repro.checker.obligations.Obligation` lists.
+
+:func:`scenario_obligations` is an
+:class:`~repro.checker.engine.ObligationSource`-compatible factory
+(``repro.workload.scenarios:scenario_obligations``), so a scenario's
+claims run through the same engine — with the same caching and fan-out —
+as the paper's own claims (``repro workload verify``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable
+
+from repro.checker.obligations import Obligation
+from repro.core.errors import ReproError
+from repro.core.specification import Specification
+
+__all__ = [
+    "Scenario",
+    "all_scenarios",
+    "get_scenario",
+    "scenario_obligations",
+]
+
+
+@dataclass(frozen=True, slots=True)
+class Scenario:
+    """One workload scenario: a monitored protocol and its claims."""
+
+    name: str
+    title: str
+    monitored: str
+    description: str
+    specifications: Callable[[], tuple[Specification, ...]]
+    obligations: Callable[[], list[Obligation]]
+
+    def registry(self, **kwargs):
+        """A service registry over the scenario's specifications."""
+        from repro.service.registry import SpecRegistry
+
+        return SpecRegistry(self.specifications(), **kwargs)
+
+
+def _obligation_list(prefix: str, entries) -> list[Obligation]:
+    return [
+        Obligation(
+            ident=f"{prefix}-{i}",
+            title=title,
+            check=check,
+            expected=expected,
+            source=f"workload scenario {prefix}",
+        )
+        for i, (title, check, expected) in enumerate(entries, start=1)
+    ]
+
+
+# -- two-phase commit with dynamic participants ----------------------------
+
+
+def _twophase_dynamic_specs() -> tuple[Specification, ...]:
+    from repro.casestudies import DYNAMIC_TWO_PHASE as d
+
+    return (
+        d.coordinator_spec(),
+        d.decision_view(),
+        d.participant_view(d.p1),
+        d.participant_view(d.p2),
+        d.participant_view(d.p3),
+    )
+
+
+def _twophase_dynamic_obligations() -> list[Obligation]:
+    from repro.casestudies import DYNAMIC_TWO_PHASE as d
+    from repro.checker import check_conformance, check_refinement, law_theorem7
+
+    coordinator = d.coordinator_spec()
+    entries = [
+        (
+            "DynamicCoordinator ⊑ PrefixAtomicDecision",
+            lambda: check_refinement(coordinator, d.decision_view()),
+            True,
+        ),
+        (
+            "DynamicCoordinator ⋢ FullSetDecision (non-example)",
+            lambda: check_refinement(coordinator, d.full_decision_view()),
+            False,
+        ),
+    ]
+    for p in d.participants:
+        entries.append(
+            (
+                f"coordinator conforms to DynamicVote({p})",
+                lambda p=p: check_conformance(coordinator, d.participant_view(p)),
+                True,
+            )
+        )
+    entries.append(
+        (
+            "Theorem 7: DynamicVote(p1) ⊑ LossyParticipant(p1) lifts "
+            "through ‖ coordinator",
+            lambda: law_theorem7(
+                d.lossy_participant(d.p1), d.participant_view(d.p1), coordinator
+            ),
+            True,
+        )
+    )
+    return _obligation_list("w2pc", entries)
+
+
+# -- pub/sub fan-out -------------------------------------------------------
+
+
+def _pubsub_specs() -> tuple[Specification, ...]:
+    from repro.casestudies import PUBSUB as ps
+
+    return (
+        ps.broker_spec(),
+        ps.delivery_view(),
+        ps.subscriber_view(ps.s1),
+        ps.subscriber_view(ps.s2),
+    )
+
+
+def _pubsub_obligations() -> list[Obligation]:
+    from repro.casestudies import PUBSUB as ps
+    from repro.checker import (
+        check_conformance,
+        check_refinement,
+        law_theorem7,
+        trace_sets_equal,
+    )
+
+    broker = ps.broker_spec()
+    entries = [
+        (
+            "FanOutBroker ⊑ DeliveryFanOut",
+            lambda: check_refinement(broker, ps.delivery_view()),
+            True,
+        ),
+    ]
+    for s in ps.subscribers:
+        entries.append(
+            (
+                f"broker conforms to ReliableSubscriber({s})",
+                lambda s=s: check_conformance(broker, ps.subscriber_view(s)),
+                True,
+            )
+        )
+    entries.extend(
+        [
+            (
+                "Theorem 7: ReliableSubscriber(s1) ⊑ LossySubscriber(s1) "
+                "lifts through ‖ broker",
+                lambda: law_theorem7(
+                    ps.lossy_subscriber(ps.s1), ps.subscriber_view(ps.s1), broker
+                ),
+                True,
+            ),
+            (
+                "T(PubSubCell) = T(PublishService) (encapsulation)",
+                lambda: trace_sets_equal(ps.cell_spec(), ps.publish_oracle()),
+                True,
+            ),
+        ]
+    )
+    return _obligation_list("wps", entries)
+
+
+# -- leader election -------------------------------------------------------
+
+
+def _election_specs() -> tuple[Specification, ...]:
+    from repro.casestudies import ELECTION as el
+
+    return (
+        el.election_spec(),
+        el.single_leader_view(),
+        el.candidate_view(el.c1),
+        el.candidate_view(el.c2),
+        el.candidate_view(el.c3),
+    )
+
+
+def _election_obligations() -> list[Obligation]:
+    from repro.casestudies import ELECTION as el
+    from repro.checker import (
+        check_conformance,
+        check_refinement,
+        law_property5,
+    )
+
+    election = el.election_spec()
+    entries = [
+        (
+            "LeaderElection ⊑ SingleLeader",
+            lambda: check_refinement(election, el.single_leader_view()),
+            True,
+        ),
+        (
+            "LeaderElection ⋢ C1Monopoly (non-example)",
+            lambda: check_refinement(election, el.c1_monopoly()),
+            False,
+        ),
+    ]
+    for c in el.candidates:
+        entries.append(
+            (
+                f"election conforms to Candidate({c})",
+                lambda c=c: check_conformance(election, el.candidate_view(c)),
+                True,
+            )
+        )
+    entries.append(
+        (
+            "Property 5: Candidate(c1) ‖ Candidate(c1) = Candidate(c1)",
+            lambda: law_property5(el.candidate_view(el.c1)),
+            True,
+        )
+    )
+    return _obligation_list("wel", entries)
+
+
+_SCENARIOS: dict[str, Scenario] = {
+    s.name: s
+    for s in (
+        Scenario(
+            name="two_phase_dynamic",
+            title="two-phase commit, dynamic participant enlistment",
+            monitored="DynamicCoordinator",
+            description=(
+                "A coordinator enlists a per-round prefix of p1..p3, "
+                "collects votes, and decides uniformly; faults break "
+                "vote/decision order or atomicity."
+            ),
+            specifications=_twophase_dynamic_specs,
+            obligations=_twophase_dynamic_obligations,
+        ),
+        Scenario(
+            name="pubsub_fanout",
+            title="pub/sub broker fanning out to two subscribers",
+            monitored="FanOutBroker",
+            description=(
+                "A broker delivers every publication to both subscribers "
+                "and collects both acks before the next; faults break "
+                "pairing or ack discipline."
+            ),
+            specifications=_pubsub_specs,
+            obligations=_pubsub_obligations,
+        ),
+        Scenario(
+            name="leader_election",
+            title="leader-election handshake at an arbiter",
+            monitored="LeaderElection",
+            description=(
+                "Candidates campaign at a ballot box; one leads per term "
+                "while others are defeated; faults elect two leaders or "
+                "drop concessions."
+            ),
+            specifications=_election_specs,
+            obligations=_election_obligations,
+        ),
+    )
+}
+
+
+def all_scenarios() -> tuple[Scenario, ...]:
+    """Every scenario, in corpus order."""
+    return tuple(_SCENARIOS.values())
+
+
+def get_scenario(name: str) -> Scenario:
+    """Look up a scenario; raise a precise error if absent."""
+    scenario = _SCENARIOS.get(name)
+    if scenario is None:
+        known = ", ".join(sorted(_SCENARIOS))
+        raise ReproError(f"no scenario named {name!r} (have: {known})")
+    return scenario
+
+
+def scenario_obligations(scenario: str) -> list[Obligation]:
+    """Obligation-engine factory: one scenario's claims.
+
+    Referenced as ``repro.workload.scenarios:scenario_obligations`` by
+    :class:`~repro.checker.engine.ObligationSource`, so the claims can
+    run on worker processes with machine caching.
+    """
+    return get_scenario(scenario).obligations()

@@ -1,0 +1,236 @@
+"""Trace-level tests for the workload corpus protocols.
+
+The refinement/composition claims of these protocols run through the
+obligation engine in ``tests/workload/test_scenarios.py``; here we pin
+the *trace semantics* each claim quantifies over — which concrete
+histories each specification admits and rejects — plus composability of
+the cells.
+"""
+
+import pytest
+
+from repro.casestudies import DYNAMIC_TWO_PHASE, ELECTION, PUBSUB
+from repro.core.composition import check_composable
+from repro.core.events import Event
+from repro.core.traces import Trace
+from repro.core.values import DataVal
+
+d1 = DataVal("Data", "d1")
+d2 = DataVal("Data", "d2")
+
+
+@pytest.fixture(scope="module")
+def ps():
+    return PUBSUB
+
+
+@pytest.fixture(scope="module")
+def el():
+    return ELECTION
+
+
+@pytest.fixture(scope="module")
+def dt():
+    return DYNAMIC_TWO_PHASE
+
+
+class TestFanOutBroker:
+    def _round(self, ps, pb, data, flip_deliver=False, flip_ack=False):
+        bk, s1, s2 = ps.bk, ps.s1, ps.s2
+        deliver = [Event(bk, s1, "DELIVER", (data,)), Event(bk, s2, "DELIVER", (data,))]
+        ack = [Event(s1, bk, "ACK"), Event(s2, bk, "ACK")]
+        if flip_deliver:
+            deliver.reverse()
+        if flip_ack:
+            ack.reverse()
+        return [Event(pb, bk, "PUB", (data,))] + deliver + ack
+
+    def test_round_admitted_in_either_order(self, ps):
+        spec = ps.broker_spec()
+        assert spec.admits(Trace(tuple(self._round(ps, ps.pb1, d1))))
+        assert spec.admits(
+            Trace(
+                tuple(
+                    self._round(ps, ps.pb1, d1, flip_deliver=True, flip_ack=True)
+                    + self._round(ps, ps.pb2, d2)
+                )
+            )
+        )
+
+    def test_ack_before_delivery_rejected(self, ps):
+        spec = ps.broker_spec()
+        h = Trace.of(
+            Event(ps.pb1, ps.bk, "PUB", (d1,)),
+            Event(ps.s1, ps.bk, "ACK"),
+        )
+        assert not spec.admits(h)
+
+    def test_second_pub_before_acks_rejected(self, ps):
+        spec = ps.broker_spec()
+        h = Trace.of(
+            Event(ps.pb1, ps.bk, "PUB", (d1,)),
+            Event(ps.bk, ps.s1, "DELIVER", (d1,)),
+            Event(ps.bk, ps.s2, "DELIVER", (d1,)),
+            Event(ps.pb2, ps.bk, "PUB", (d2,)),
+        )
+        assert not spec.admits(h)
+
+    def test_double_delivery_to_one_subscriber_rejected(self, ps):
+        spec = ps.broker_spec()
+        h = Trace.of(
+            Event(ps.pb1, ps.bk, "PUB", (d1,)),
+            Event(ps.bk, ps.s1, "DELIVER", (d1,)),
+            Event(ps.bk, ps.s1, "DELIVER", (d1,)),
+        )
+        assert not spec.admits(h)
+
+    def test_delivery_view_ignores_pub_and_ack_positions(self, ps):
+        # The partial view constrains only the delivery projection.
+        view = ps.delivery_view()
+        assert view.admits(
+            Trace.of(
+                Event(ps.bk, ps.s2, "DELIVER", (d1,)),
+                Event(ps.bk, ps.s1, "DELIVER", (d1,)),
+            )
+        )
+        assert not view.admits(
+            Trace.of(
+                Event(ps.bk, ps.s1, "DELIVER", (d1,)),
+                Event(ps.bk, ps.s1, "DELIVER", (d2,)),
+            )
+        )
+
+    def test_cell_composable(self, ps):
+        assert check_composable(ps.broker_spec(), ps.subscriber_view(ps.s1)).composable
+        assert check_composable(
+            ps.cell_spec(), ps.publish_oracle()
+        ).composable is not None  # report shape, no exception
+
+
+class TestLeaderElection:
+    def test_term_with_defeated_challengers_admitted(self, el):
+        spec = el.election_spec()
+        h = Trace.of(
+            Event(el.c1, el.bx, "CAMPAIGN", (d1,)),
+            Event(el.bx, el.c1, "ELECTED"),
+            Event(el.c2, el.bx, "CAMPAIGN", (d1,)),
+            Event(el.bx, el.c2, "DEFEATED"),
+            Event(el.c3, el.bx, "CAMPAIGN", (d2,)),
+            Event(el.bx, el.c3, "DEFEATED"),
+            Event(el.c1, el.bx, "CONCEDE"),
+            Event(el.c2, el.bx, "CAMPAIGN", (d2,)),
+            Event(el.bx, el.c2, "ELECTED"),
+            Event(el.c2, el.bx, "CONCEDE"),
+        )
+        assert spec.admits(h)
+
+    def test_two_simultaneous_leaders_rejected(self, el):
+        spec = el.election_spec()
+        h = Trace.of(
+            Event(el.c1, el.bx, "CAMPAIGN", (d1,)),
+            Event(el.bx, el.c1, "ELECTED"),
+            Event(el.c2, el.bx, "CAMPAIGN", (d1,)),
+            Event(el.bx, el.c2, "ELECTED"),
+        )
+        assert not spec.admits(h)
+
+    def test_concede_by_non_leader_rejected(self, el):
+        spec = el.election_spec()
+        h = Trace.of(
+            Event(el.c1, el.bx, "CAMPAIGN", (d1,)),
+            Event(el.bx, el.c1, "ELECTED"),
+            Event(el.c2, el.bx, "CONCEDE"),
+        )
+        assert not spec.admits(h)
+
+    def test_single_leader_view_only_sees_grants(self, el):
+        view = el.single_leader_view()
+        # campaigns interleave freely; grants must alternate correctly
+        assert view.admits(
+            Trace.of(
+                Event(el.c2, el.bx, "CAMPAIGN", (d1,)),
+                Event(el.bx, el.c2, "ELECTED"),
+                Event(el.c1, el.bx, "CAMPAIGN", (d2,)),
+                Event(el.c2, el.bx, "CONCEDE"),
+            )
+        )
+        assert not view.admits(
+            Trace.of(
+                Event(el.bx, el.c1, "ELECTED"),
+                Event(el.bx, el.c2, "ELECTED"),
+            )
+        )
+
+
+class TestDynamicCoordinator:
+    def _round(self, dt, cl, k, votes, kind):
+        co = dt.co
+        enlisted = dt.participants[:k]
+        events = [Event(cl, co, "BEGIN")]
+        events += [Event(co, p, "PREPARE", (d1,)) for p in enlisted]
+        events += [Event(p, co, v) for p, v in zip(enlisted, votes)]
+        events += [Event(co, p, kind) for p in enlisted]
+        events.append(Event(co, cl, "DONE"))
+        return events
+
+    def test_unanimous_prefix_commits(self, dt):
+        spec = dt.coordinator_spec()
+        for k in (1, 2, 3):
+            h = Trace(tuple(self._round(dt, dt.cl1, k, ["YES"] * k, "COMMIT")))
+            assert spec.admits(h), f"k={k}"
+
+    def test_any_no_aborts_all(self, dt):
+        spec = dt.coordinator_spec()
+        h = Trace(
+            tuple(self._round(dt, dt.cl2, 2, ["YES", "NO"], "ABORT"))
+        )
+        assert spec.admits(h)
+
+    def test_commit_despite_no_rejected(self, dt):
+        spec = dt.coordinator_spec()
+        h = Trace(
+            tuple(self._round(dt, dt.cl1, 2, ["YES", "NO"], "COMMIT"))
+        )
+        assert not spec.admits(h)
+
+    def test_non_prefix_enlistment_rejected(self, dt):
+        # dynamic ≠ arbitrary: enlistment is always the prefix p1..pk,
+        # so preparing p2 without p1 is outside the protocol
+        spec = dt.coordinator_spec()
+        h = Trace.of(
+            Event(dt.cl1, dt.co, "BEGIN"),
+            Event(dt.co, dt.p2, "PREPARE", (d1,)),
+        )
+        assert not spec.admits(h)
+
+    def test_votes_out_of_enlistment_order_rejected(self, dt):
+        spec = dt.coordinator_spec()
+        h = Trace.of(
+            Event(dt.cl1, dt.co, "BEGIN"),
+            Event(dt.co, dt.p1, "PREPARE", (d1,)),
+            Event(dt.co, dt.p2, "PREPARE", (d1,)),
+            Event(dt.p2, dt.co, "YES"),
+            Event(dt.p1, dt.co, "YES"),
+        )
+        assert not spec.admits(h)
+
+    def test_decision_view_sees_uniform_blocks(self, dt):
+        view = dt.decision_view()
+        assert view.admits(
+            Trace.of(
+                Event(dt.co, dt.p1, "COMMIT"),
+                Event(dt.co, dt.p2, "COMMIT"),
+                Event(dt.co, dt.p1, "ABORT"),
+            )
+        )
+        assert not view.admits(
+            Trace.of(
+                Event(dt.co, dt.p1, "COMMIT"),
+                Event(dt.co, dt.p2, "ABORT"),
+            )
+        )
+
+    def test_participant_composable_with_coordinator(self, dt):
+        assert check_composable(
+            dt.coordinator_spec(), dt.participant_view(dt.p1)
+        ).composable

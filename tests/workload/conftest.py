@@ -1,0 +1,20 @@
+"""Shared workload fixtures: compiled scenario specs (session-scoped)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.workload.scenarios import all_scenarios, get_scenario
+
+SCENARIO_NAMES = tuple(s.name for s in all_scenarios())
+
+
+@pytest.fixture(scope="session")
+def compiled_by_scenario():
+    """Scenario name → (registry, compiled monitored spec), built once."""
+    out = {}
+    for name in SCENARIO_NAMES:
+        scenario = get_scenario(name)
+        registry = scenario.registry()
+        out[name] = (registry, registry.get(scenario.monitored))
+    return out

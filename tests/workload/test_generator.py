@@ -1,0 +1,174 @@
+"""Generator tests: determinism, fault injection, and the oracle.
+
+The load-bearing property is the last class: the generator's dense
+violation oracle must agree with :class:`repro.runtime.SpecMonitor` —
+the reference first-violation semantics — on every stream it emits,
+faulted or not, across scenarios and seeds.
+"""
+
+import random
+
+import pytest
+
+from repro.core.errors import ReproError
+from repro.runtime import SpecMonitor
+from repro.workload.generator import (
+    FaultSpec,
+    StreamSession,
+    generate_stream,
+    inject_faults,
+    wire_safe_letters,
+)
+
+from .conftest import SCENARIO_NAMES
+
+
+class TestFaultSpec:
+    def test_parse_full_and_subset_any_order(self):
+        f = FaultSpec.parse("drop=0.1,reorder=0.2")
+        assert f == FaultSpec(reorder=0.2, drop=0.1)
+        assert FaultSpec.parse("") == FaultSpec()
+        assert FaultSpec.parse("dup=1") == FaultSpec(dup=1.0)
+
+    @pytest.mark.parametrize("bad", ["flip=0.1", "dup", "drop=x", "dup=0.1 drop=0.2"])
+    def test_parse_rejects_malformed(self, bad):
+        with pytest.raises(ReproError, match="bad fault"):
+            FaultSpec.parse(bad)
+
+    def test_rates_outside_unit_interval_rejected(self):
+        with pytest.raises(ReproError, match="outside"):
+            FaultSpec(drop=1.5)
+        with pytest.raises(ReproError, match="outside"):
+            FaultSpec.parse("reorder=-0.1")
+
+    def test_active_and_round_trips(self):
+        assert not FaultSpec().active
+        f = FaultSpec(reorder=0.25)
+        assert f.active
+        assert FaultSpec.parse(f.describe()) == f
+        assert f.as_dict() == {"reorder": 0.25, "dup": 0.0, "drop": 0.0}
+
+
+class TestInjectFaults:
+    def test_no_faults_is_identity(self):
+        events = list(range(20))  # injection is type-agnostic
+        out, counts = inject_faults(events, FaultSpec(), random.Random(0))
+        assert out == events
+        assert counts == {"reorder": 0, "dup": 0, "drop": 0}
+
+    def test_drop_removes_and_dup_duplicates(self):
+        events = list(range(200))
+        rng = random.Random(1)
+        out, counts = inject_faults(events, FaultSpec(drop=1.0), rng)
+        assert out == [] and counts["drop"] == 200
+        out, counts = inject_faults(events, FaultSpec(dup=1.0), rng)
+        assert len(out) == 400 and counts["dup"] == 200
+        assert out[0] == out[1] == 0  # duplicates are adjacent
+
+    def test_reorder_swaps_adjacent_pairs_once(self):
+        events = list(range(6))
+        out, counts = inject_faults(events, FaultSpec(reorder=1.0), random.Random(0))
+        assert out == [1, 0, 3, 2, 5, 4]  # disjoint adjacent swaps
+        assert counts["reorder"] == 3
+        assert sorted(out) == events  # reorder is a permutation
+
+
+class TestDeterminism:
+    @pytest.mark.parametrize("name", SCENARIO_NAMES)
+    def test_same_seed_same_stream(self, compiled_by_scenario, name):
+        _, compiled = compiled_by_scenario[name]
+        faults = FaultSpec(reorder=0.05, dup=0.05, drop=0.05)
+        a = generate_stream(compiled, events=150, faults=faults, seed=99)
+        b = generate_stream(compiled, events=150, faults=faults, seed=99)
+        assert a == b
+
+    def test_different_seeds_diverge(self, compiled_by_scenario):
+        _, compiled = compiled_by_scenario["pubsub_fanout"]
+        a = generate_stream(compiled, events=150, seed=1)
+        b = generate_stream(compiled, events=150, seed=2)
+        assert a.events != b.events
+
+    def test_incremental_batches_match_one_shot(self, compiled_by_scenario):
+        _, compiled = compiled_by_scenario["leader_election"]
+        one = generate_stream(compiled, events=120, seed=5)
+        session = StreamSession(compiled, seed=5)
+        parts = session.next_batch(120)
+        assert tuple(parts) == one.events
+        assert session.expected_violation == one.expected_violation
+
+
+class TestHappyPath:
+    @pytest.mark.parametrize("name", SCENARIO_NAMES)
+    def test_fault_free_stream_never_violates(self, compiled_by_scenario, name):
+        registry, compiled = compiled_by_scenario[name]
+        stream = generate_stream(compiled, events=300, seed=7)
+        assert stream.expected_violation is None
+        assert stream.happy_events == len(stream.events) == 300
+        monitor = SpecMonitor(compiled.spec)
+        for event in stream.events:
+            assert monitor.observe(event), f"happy event {event} violated"
+
+    def test_all_letters_wire_safe_in_corpus(self, compiled_by_scenario):
+        # The corpus uses concrete object/data pools, so every letter of
+        # every monitored spec survives the wire round-trip.
+        for name, (_, compiled) in compiled_by_scenario.items():
+            n = len(compiled.dense.dfa.table.letters)
+            assert len(wire_safe_letters(compiled.dense)) == n, name
+
+
+class TestOracleAgainstSpecMonitor:
+    """The independent dense oracle vs the reference monitor semantics."""
+
+    @pytest.mark.parametrize("name", SCENARIO_NAMES)
+    @pytest.mark.parametrize("seed", range(8))
+    def test_oracle_matches_monitor_under_faults(
+        self, compiled_by_scenario, name, seed
+    ):
+        _, compiled = compiled_by_scenario[name]
+        faults = FaultSpec(reorder=0.08, dup=0.08, drop=0.08)
+        stream = generate_stream(compiled, events=120, faults=faults, seed=seed)
+        monitor = SpecMonitor(compiled.spec)
+        for event in stream.events:
+            monitor.observe(event)
+        observed = monitor.violations[0].index if monitor.violations else None
+        assert stream.expected_violation == observed
+
+    def test_reorder_of_unordered_pair_can_stay_legal(self, compiled_by_scenario):
+        # Fault injection does not imply violation: the oracle reports
+        # None whenever the mutation stays in the trace set — here a swap
+        # of the two DELIVERs, which the broker spec leaves unordered.
+        _, compiled = compiled_by_scenario["pubsub_fanout"]
+        legal_faulted = 0
+        for seed in range(40):
+            stream = generate_stream(
+                compiled,
+                events=40,
+                faults=FaultSpec(reorder=0.05),
+                seed=seed,
+            )
+            if sum(stream.faults.values()) and stream.expected_violation is None:
+                legal_faulted += 1
+        assert legal_faulted > 0
+
+
+class TestSessionBookkeeping:
+    def test_counts_accumulate_across_batches(self, compiled_by_scenario):
+        _, compiled = compiled_by_scenario["pubsub_fanout"]
+        faults = FaultSpec(dup=0.2, drop=0.2)
+        session = StreamSession(compiled, faults, seed=3)
+        emitted = len(session.next_batch(100)) + len(session.next_batch(100))
+        assert session.happy_events == 200
+        assert session.events_emitted == emitted
+        assert session.fault_counts["dup"] > 0
+        assert session.fault_counts["drop"] > 0
+        assert session.fault_counts["reorder"] == 0
+
+    def test_undense_spec_rejected(self, compiled_by_scenario):
+        _, compiled = compiled_by_scenario["pubsub_fanout"]
+
+        class Undense:
+            name = compiled.name
+            dense = None
+
+        with pytest.raises(ReproError, match="no dense image"):
+            StreamSession(Undense(), seed=0)

@@ -1,0 +1,74 @@
+"""BENCH schema helpers: percentiles, payload shape, writers."""
+
+import json
+
+from repro.obs.registry import Histogram
+from repro.workload.results import (  # bench_payload via the module: the
+    BENCH_SCHEMA,  # repo collects bench_* names as benchmark entry points
+    latency_summary,
+    maybe_write_bench,
+    percentiles_from_histogram,
+    write_bench_json,
+)
+from repro.workload import results
+
+
+class TestPercentiles:
+    def test_upper_bound_of_holding_bucket(self):
+        # counts: 90 at ≤0.001, 9 at ≤0.01, 1 at ≤0.1, 0 overflow
+        ps = percentiles_from_histogram((0.001, 0.01, 0.1), (90, 9, 1, 0))
+        assert ps[0.5] == 0.001
+        assert ps[0.9] == 0.001
+        assert ps[0.99] == 0.01
+
+    def test_overflow_clamps_to_last_bound(self):
+        ps = percentiles_from_histogram((0.001,), (0, 10), qs=(0.5,))
+        assert ps[0.5] == 0.001
+
+    def test_empty_histogram_reports_zero(self):
+        assert percentiles_from_histogram((0.001,), (0, 0), qs=(0.9,)) == {
+            0.9: 0.0
+        }
+
+
+class TestLatencySummary:
+    def test_micros_and_quantile_keys(self):
+        hist = Histogram((0.001, 0.01))
+        for _ in range(99):
+            hist.observe(0.0005)
+        hist.observe(0.005)
+        summary = latency_summary(hist)
+        assert summary["count"] == 100
+        assert summary["p50_us"] == 1000.0
+        assert summary["p99_us"] == 1000.0
+        assert 0 < summary["mean_us"] < 1000.0
+
+
+class TestWriters:
+    RUNS = [{"label": "fault-free", "events": 10, "seconds": 0.1}]
+
+    def test_payload_shape(self):
+        doc = results.bench_payload("x", {"seed": 1}, self.RUNS)
+        assert doc["schema"] == BENCH_SCHEMA
+        assert doc["name"] == "x"
+        assert doc["params"] == {"seed": 1}
+        assert doc["runs"] == self.RUNS
+        assert isinstance(doc["created_unix"], float)
+
+    def test_directory_gets_conventional_name(self, tmp_path):
+        path = write_bench_json(tmp_path / "out", "spam", {}, self.RUNS)
+        assert path == tmp_path / "out" / "BENCH_spam.json"
+        doc = json.loads(path.read_text())
+        assert doc["schema"] == BENCH_SCHEMA and doc["runs"] == self.RUNS
+
+    def test_explicit_json_file_kept(self, tmp_path):
+        target = tmp_path / "custom.json"
+        assert write_bench_json(target, "spam", {}, self.RUNS) == target
+        assert json.loads(target.read_text())["name"] == "spam"
+
+    def test_maybe_write_gated_on_env(self, tmp_path, monkeypatch):
+        monkeypatch.delenv("REPRO_BENCH_DIR", raising=False)
+        assert maybe_write_bench("x", {}, self.RUNS) is None
+        monkeypatch.setenv("REPRO_BENCH_DIR", str(tmp_path))
+        path = maybe_write_bench("x", {}, self.RUNS)
+        assert path == tmp_path / "BENCH_x.json" and path.exists()
