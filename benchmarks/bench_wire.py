@@ -1,0 +1,109 @@
+"""Wire-framing benchmark: text proto=1 vs binary EVENTS batches.
+
+Drives the ``two_phase_dynamic`` workload scenario end-to-end over
+localhost TCP four ways — text lines, and binary ``EVENTS`` batches of
+1, 64 and 1024 letter ids — through the *same* generator, server, and
+oracle.  Two claims are checked on every run:
+
+* **equivalence** — each configuration's verdicts agree with the
+  independent dense oracle (and therefore with each other: same seeds,
+  same streams);
+* **speedup** — binary at batch=1024 sustains at least ``MIN_SPEEDUP``×
+  the text throughput (the acceptance gate of the batching work; see
+  DESIGN.md §13 and docs/wire-protocol.md).
+
+Runs under the pytest-benchmark harness *and* standalone::
+
+    PYTHONPATH=src python -m pytest benchmarks/bench_wire.py -q
+    PYTHONPATH=src python benchmarks/bench_wire.py
+
+The standalone form persists ``BENCH_wire_<scenario>.json`` when
+``REPRO_BENCH_DIR`` is set (repro-bench/1 schema).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.workload import run_workload
+
+SCENARIO = "two_phase_dynamic"
+SESSIONS = 4
+EVENTS_PER_SESSION = 1000
+SEED = 2026
+
+#: The acceptance gate: binary-batched (batch=1024) events/sec must be at
+#: least this multiple of text-1 events/sec on the same scenario.
+MIN_SPEEDUP = 3.0
+
+#: (label, binary, batch) — batch is meaningless for the text run.
+CONFIGS = [
+    ("text-1", False, None),
+    ("binary-b1", True, 1),
+    ("binary-b64", True, 64),
+    ("binary-b1024", True, 1024),
+]
+
+
+def _drive(binary: bool, batch: int | None):
+    """One full run; returns the report (seconds covers streaming only)."""
+    report = run_workload(
+        SCENARIO,
+        seed=SEED,
+        sessions=SESSIONS,
+        events=EVENTS_PER_SESSION,
+        binary=binary,
+        batch=batch,
+    )
+    assert report.all_agree, (
+        f"oracle disagreement on the {'binary' if binary else 'text'} wire"
+    )
+    return report
+
+
+@pytest.mark.parametrize("label,binary,batch", CONFIGS)
+def bench_wire_throughput(benchmark, label, binary, batch):
+    report = benchmark(lambda: _drive(binary, batch))
+    benchmark.extra_info["wire"] = label
+    benchmark.extra_info["events_per_sec"] = round(report.events_per_sec)
+
+
+def main() -> None:
+    from repro.workload.results import maybe_write_bench
+
+    runs = []
+    rates: dict[str, float] = {}
+    for label, binary, batch in CONFIGS:
+        report = _drive(binary, batch)
+        rates[label] = report.events_per_sec
+        print(
+            f"{label}: {report.events_total} events in {report.seconds:.3f}s "
+            f"→ {report.events_per_sec:,.0f} events/sec"
+        )
+        record = report.run_record(label)
+        record["batch"] = batch
+        runs.append(record)
+    speedup = rates["binary-b1024"] / rates["text-1"]
+    print(f"binary-b1024 / text-1 speedup: {speedup:.1f}×")
+    assert speedup >= MIN_SPEEDUP, (
+        f"binary batch=1024 is only {speedup:.1f}× text "
+        f"(gate: {MIN_SPEEDUP}×)"
+    )
+    path = maybe_write_bench(
+        f"wire_{SCENARIO}",
+        {
+            "scenario": SCENARIO,
+            "seed": SEED,
+            "sessions": SESSIONS,
+            "events": EVENTS_PER_SESSION,
+            "min_speedup": MIN_SPEEDUP,
+            "speedup_b1024": round(speedup, 2),
+        },
+        runs,
+    )
+    if path is not None:
+        print(f"→ {path}")
+
+
+if __name__ == "__main__":
+    main()

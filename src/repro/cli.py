@@ -247,6 +247,19 @@ def build_parser() -> argparse.ArgumentParser:
     p_send.add_argument(
         "--retries", type=int, default=5, help="connect retries (with backoff)"
     )
+    p_send.add_argument(
+        "--binary",
+        action="store_true",
+        help="request the proto=2 binary framing (falls back to text "
+        "against an older server)",
+    )
+    p_send.add_argument(
+        "--batch",
+        type=int,
+        default=None,
+        metavar="N",
+        help="EVENTS ids per binary batch (default: the client's)",
+    )
 
     p_check = sub.add_parser(
         "check",
@@ -372,6 +385,18 @@ def build_parser() -> argparse.ArgumentParser:
         type=int,
         default=4096,
         help="bounded per-monitor event window (in-process server)",
+    )
+    w_run.add_argument(
+        "--binary",
+        action="store_true",
+        help="drive the streams over the proto=2 binary framing",
+    )
+    w_run.add_argument(
+        "--batch",
+        type=int,
+        default=None,
+        metavar="N",
+        help="EVENTS ids per binary batch (default: the client's)",
     )
     w_run.add_argument(
         "--bench-out",
@@ -575,8 +600,17 @@ def _cmd_send(args, out) -> int:
     from repro.service import MonitorClient
 
     async def run() -> int:
+        extra = {}
+        if args.binary:
+            extra["proto"] = 2
+        if args.batch is not None:
+            extra["batch"] = args.batch
         client = MonitorClient(
-            args.host, args.port, spec=args.spec, connect_retries=args.retries
+            args.host,
+            args.port,
+            spec=args.spec,
+            connect_retries=args.retries,
+            **extra,
         )
         await client.connect()
         try:
@@ -657,6 +691,8 @@ def _cmd_workload(args, out) -> int:
         port=args.port,
         shards=args.shards,
         history_limit=args.history_limit,
+        binary=args.binary,
+        batch=args.batch,
     )
     report = workload.run_workload(
         args.scenario, seed=args.seed, faults=faults, **knobs
@@ -685,6 +721,8 @@ def _cmd_workload(args, out) -> int:
                 "events": args.events,
                 "duration": args.duration,
                 "mode": "external" if args.port is not None else "in-process",
+                "wire": "binary" if args.binary else "text",
+                "batch": args.batch,
                 "shards": args.shards,
             },
             runs,

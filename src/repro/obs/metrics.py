@@ -327,8 +327,35 @@ class ServiceMetrics:
         self._h_check = registry.histogram(
             "repro_event_check_seconds", help="per-event check latency, all specs"
         )
+        self._c_batches = registry.counter(
+            "repro_monitor_batches_total",
+            help="EVENTS batches stepped by binary sessions",
+        )
+        self._c_batched = registry.counter(
+            "repro_monitor_batched_events_total",
+            help="events carried by EVENTS batches",
+        )
 
     # -- recording -----------------------------------------------------------
+
+    def record_batch(self, spec: str, n: int, seconds: float) -> None:
+        """One ``EVENTS`` batch of ``n`` in-alphabet events checked.
+
+        The whole point of batching is to amortise accounting, so this is
+        *one* histogram observation (the batch's wall time — per-event
+        latency is ``seconds / n``) and counter increments of ``n``,
+        not ``n`` per-event records.
+        """
+        self.events_observed += n
+        self._c_events.inc(n)
+        self._c_steps.inc(n)
+        self._c_batches.inc()
+        self._c_batched.inc(n)
+        hist = self.latency.get(spec)
+        if hist is None:
+            hist = self.latency[spec] = LatencyHistogram()
+        hist.observe(seconds)
+        self._h_check.observe(seconds)
 
     def record_event(self, spec: str, seconds: float, *, skipped: bool) -> None:
         """One event checked (or projected away) for ``spec``."""
@@ -345,9 +372,9 @@ class ServiceMetrics:
         hist.observe(seconds)
         self._h_check.observe(seconds)
 
-    def record_malformed(self) -> None:
-        self.events_malformed += 1
-        self._c_malformed.inc()
+    def record_malformed(self, n: int = 1) -> None:
+        self.events_malformed += n
+        self._c_malformed.inc(n)
 
     def record_violation(self) -> None:
         self.violations += 1

@@ -162,6 +162,79 @@ class SpecMonitor:
             self._dstate = image.index.get(self.state)
         return True
 
+    def observe_ids(self, ids, *, base_index: int | None = None) -> int | None:
+        """Step a whole batch of letter ids through the dense array.
+
+        ``ids`` are letter ids of the monitor's image table (the binary
+        wire protocol's ``EVENTS`` payload); event ``j`` of the batch has
+        session-global index ``base_index + j``.  Returns the
+        *batch-relative* offset of the first violation detected inside
+        this batch, or ``None`` — the recorded
+        :class:`Violation`'s ``index`` is already resolved to the global
+        position, so callers never do the arithmetic twice.
+
+        Semantics match feeding the decoded events through
+        :meth:`observe` one by one (tested as a law): every batch event
+        counts as seen and enters the bounded history, events after a
+        violation no longer step, and a deoptimised monitor (off the
+        dense array after an out-of-table event) falls back to machine
+        stepping per event.  The fast path is one tight loop over the
+        flat successor array — no per-event dict lookups, spans, or
+        clock reads.
+        """
+        n = len(ids)
+        if base_index is None:
+            base_index = self._seen
+        image = self.dense
+        if image is None:
+            raise RuntimeModelError(
+                f"{self.spec.name}: observe_ids needs a dense image"
+            )
+        letters = image.dfa.table.letters
+        if self.alive and self._dstate is None:
+            # Deoptimised: an earlier out-of-table event pushed the
+            # monitor off the dense array.  Correctness over speed.
+            offset = None
+            for j in range(n):
+                was_alive = self.alive
+                self.observe(letters[ids[j]], index=base_index + j)
+                if was_alive and not self.alive:
+                    offset = j
+            return offset
+        if not self.alive:
+            # Irremediable: count and record, never step.
+            self._seen += n
+            self._history.extend(letters[lid] for lid in ids)
+            return None
+        dfa = image.dfa
+        dense = dfa.dense
+        k = dfa.n_letters
+        live = len(image.states)
+        state = self._dstate
+        offset: int | None = None
+        for j in range(n):
+            nxt = dense[state * k + ids[j]]
+            if nxt < live:
+                state = nxt
+            else:
+                offset = j
+                break
+        consumed = n if offset is None else offset + 1
+        self._seen += n
+        self.dense_steps += consumed
+        self._history.extend(letters[ids[j]] for j in range(consumed))
+        # Commit the machine state reached by the last *good* step —
+        # exactly where per-event observe() leaves it on a violation.
+        self.state = image.states[state]
+        if offset is None:
+            self._dstate = state
+            return None
+        self._violate(letters[ids[offset]], base_index + offset)
+        # Post-violation batch events still enter the bounded history,
+        # exactly as per-event observe() would have recorded them.
+        self._history.extend(letters[ids[j]] for j in range(consumed, n))
+        return offset
+
     def _violate(self, event: Event, index: int) -> bool:
         self.alive = False
         self._dstate = None

@@ -13,6 +13,16 @@ sender records the failure and keeps consuming the queue — producers
 never deadlock on a dead connection — and the next synchronising verb
 raises ``ConnectionError``.
 
+A client constructed with ``proto=2`` asks the server to upgrade to the
+binary framing (:mod:`repro.service.wire`): after ``SPEC`` it stores the
+synced letter table and :meth:`send_event` then accumulates letter ids
+into an ``array('i')`` batch, flushed as one ``EVENTS`` frame every
+``batch`` events (and before any synchronising verb, so ordering and
+verdicts are indistinguishable from the text path).  Events outside the
+table fall back to per-event ``EVENT`` frames in stream order.  When the
+server is older than the binary protocol the client degrades to text
+automatically — ``proto=2`` is a request, not a requirement.
+
 A client instance is designed to be driven from one task; it is not a
 connection pool.
 """
@@ -21,15 +31,39 @@ from __future__ import annotations
 
 import asyncio
 import random
+from array import array
 from typing import Iterator
 
 from repro.core.errors import ReproError
 from repro.core.events import Event
 from repro.obs.registry import get_registry
 from repro.runtime import tracefile
+from repro.service import wire
 from repro.service.protocol import Reply, SessionStatus, parse_reply
 
-__all__ = ["MonitorClient", "ServiceUnavailable", "backoff_delays"]
+__all__ = ["MonitorClient", "ServiceUnavailable", "backoff_delays", "DEFAULT_BATCH"]
+
+#: Default ``EVENTS`` batch size for binary sessions.  Large enough to
+#: amortise framing and queue traffic, small enough that a violation
+#: surfaces within a few thousand events of being fed.
+DEFAULT_BATCH = 256
+
+#: Synchronising verb → request opcode (binary sessions translate the
+#: same text verbs the caller-facing API has always used).
+_VERB_OPS = {
+    "SPEC": wire.OP_SPEC,
+    "STATUS": wire.OP_STATUS,
+    "METRICS": wire.OP_METRICS,
+    "RESET": wire.OP_RESET,
+    "BYE": wire.OP_BYE,
+}
+
+#: Reply opcode → the text keyword whose grammar the payload reuses.
+_REPLY_KEYWORDS = {
+    wire.OP_OK: "OK",
+    wire.OP_ERR: "ERR",
+    wire.OP_VIOLATION: "VIOLATION",
+}
 
 
 class ServiceUnavailable(ReproError):
@@ -68,7 +102,11 @@ class MonitorClient:
         backoff_cap: float = 2.0,
         queue_size: int = 1024,
         rng: random.Random | None = None,
+        proto: int = 1,
+        batch: int = DEFAULT_BATCH,
     ) -> None:
+        if batch < 1:
+            raise ReproError("batch size must be positive")
         self.host = host
         self.port = port
         self.spec = spec
@@ -76,7 +114,18 @@ class MonitorClient:
         self.backoff_base = backoff_base
         self.backoff_cap = backoff_cap
         self._rng = rng
-        self._queue: asyncio.Queue[str | None] = asyncio.Queue(maxsize=queue_size)
+        #: Protocol version to *request*; :attr:`proto` holds what the
+        #: server actually agreed to once connected.
+        self.requested_proto = proto
+        self.proto = 1
+        self.batch = batch
+        self.letters: tuple[str, ...] = ()
+        self._line_ids: dict[str, int] = {}
+        self._event_ids: dict[Event, int | None] = {}
+        self._pending = array("i")
+        self._queue: asyncio.Queue[str | bytes | None] = asyncio.Queue(
+            maxsize=queue_size
+        )
         self._reader: asyncio.StreamReader | None = None
         self._writer: asyncio.StreamWriter | None = None
         self._sender: asyncio.Task | None = None
@@ -128,13 +177,34 @@ class MonitorClient:
                 f"{self.connect_retries + 1} attempts: {last_error}"
             )
         self._sender = asyncio.create_task(self._drain_queue(), name="repro-client-send")
-        hello = await self._sync("HELLO")
+        self.proto = 1  # negotiation itself is always text
+        want = self.requested_proto
+        hello = await self._sync("HELLO" if want <= 1 else f"HELLO proto={want}")
+        if hello.kind != "ok" and want > 1:
+            # A server from before negotiation rejects the argument
+            # ("HELLO takes no argument"); fall back to the plain form
+            # and stay on the text protocol.
+            hello = await self._sync("HELLO")
         if hello.kind != "ok":
             raise ReproError(f"server rejected HELLO: {hello.detail}")
+        # agreed = min(requested, server max); the min() here is only a
+        # guard against a server granting more than we asked for.
+        self.proto = min(self._agreed_proto(hello.detail), want) if want > 1 else 1
         specs_field = hello.detail.rpartition("specs=")[2]
         self.server_specs = tuple(n for n in specs_field.split(",") if n)
         if self.spec is not None:
             await self.use_spec(self.spec)
+
+    @staticmethod
+    def _agreed_proto(detail: str) -> int:
+        """The version a HELLO reply grants: ``repro-service <ver> ...``."""
+        parts = detail.split()
+        if len(parts) >= 2:
+            try:
+                return max(1, int(parts[1]))
+            except ValueError:
+                pass
+        return 1
 
     async def close(self) -> SessionStatus | None:
         """Gracefully drain, say BYE, and close; returns nothing on a dead link."""
@@ -168,9 +238,58 @@ class MonitorClient:
         if reply.kind != "ok":
             raise ReproError(f"server rejected spec {name!r}: {reply.detail}")
         self.spec = name
+        self.letters = ()
+        self._line_ids = {}
+        self._event_ids = {}
+        if self.proto >= 2:
+            # ``letters=<k>`` with k > 0 promises exactly one OP_LETTERS
+            # frame back to back with the OK reply.
+            field = reply.detail.rpartition("letters=")[2]
+            try:
+                count = int(field) if field else 0
+            except ValueError:
+                count = 0
+            if count:
+                opcode, payload = await self._read_frame()
+                if opcode != wire.OP_LETTERS:
+                    raise ReproError(
+                        f"expected a LETTERS frame after SPEC, "
+                        f"got opcode 0x{opcode:02x}"
+                    )
+                self.letters = tuple(wire.unpack_letters(payload))
+                self._line_ids = {
+                    line: i for i, line in enumerate(self.letters)
+                }
 
     async def send_event(self, event: Event | str) -> None:
-        """Enqueue one event; blocks when the bounded queue is full."""
+        """Enqueue one event; blocks when the bounded queue is full.
+
+        On a binary session an event found in the synced letter table
+        joins the pending ``array('i')`` batch (flushed as one ``EVENTS``
+        frame at :attr:`batch` ids, or by the next synchronising verb);
+        anything else — out-of-table events, sessions without a letter
+        table — flushes the batch first and travels as a per-event
+        ``EVENT`` frame, so stream order is preserved exactly.
+        """
+        if self.proto >= 2:
+            lid = self._letter_id(event)
+            if lid is not None:
+                self._pending.append(lid)
+                self.events_sent += 1
+                if len(self._pending) >= self.batch:
+                    await self._flush_pending()
+                return
+            line = (
+                tracefile.format_event(event)
+                if isinstance(event, Event)
+                else event
+            )
+            await self._flush_pending()
+            await self._queue.put(
+                wire.encode_frame(wire.OP_EVENT, line.encode("utf-8"))
+            )
+            self.events_sent += 1
+            return
         line = tracefile.format_event(event) if isinstance(event, Event) else event
         await self._queue.put(f"EVENT {line}")
         self.events_sent += 1
@@ -195,10 +314,18 @@ class MonitorClient:
     async def metrics(self) -> str:
         """Fetch the server's Prometheus text dump via the METRICS verb.
 
-        The reply is the protocol's one multi-line shape: ``OK metrics
-        lines=<n>`` followed by exactly ``n`` raw exposition lines, read
-        here by count so embedded text never confuses the framing.
+        On the text protocol the reply is its one multi-line shape: ``OK
+        metrics lines=<n>`` followed by exactly ``n`` raw exposition
+        lines, read here by count so embedded text never confuses the
+        framing.  A binary session gets the whole dump in one frame —
+        payload ``metrics\\n`` + exposition — with no counting at all.
         """
+        if self.proto >= 2:
+            opcode, payload = await self._request_frame(wire.OP_METRICS)
+            text = payload.decode("utf-8", errors="replace")
+            if opcode != wire.OP_OK or not text.startswith("metrics"):
+                raise ReproError(f"server rejected METRICS: {text}")
+            return text.partition("\n")[2]
         reply = await self._sync("METRICS")
         if reply.kind != "ok" or not reply.detail.startswith("metrics "):
             raise ReproError(f"server rejected METRICS: {reply.detail}")
@@ -219,6 +346,32 @@ class MonitorClient:
 
     # -- internals -----------------------------------------------------------
 
+    def _letter_id(self, event: Event | str) -> int | None:
+        """The synced letter id of an event, or None for out-of-table.
+
+        :class:`~repro.core.events.Event` lookups are memoised (including
+        negative results): a session streams many occurrences of few
+        distinct events, so the ``format_event`` rendering runs once per
+        distinct event, not once per occurrence.
+        """
+        if not self._line_ids:
+            return None
+        if isinstance(event, Event):
+            if event in self._event_ids:
+                return self._event_ids[event]
+            lid = self._line_ids.get(tracefile.format_event(event))
+            self._event_ids[event] = lid
+            return lid
+        return self._line_ids.get(event)
+
+    async def _flush_pending(self) -> None:
+        """Enqueue the pending letter-id batch as one ``EVENTS`` frame."""
+        if not self._pending:
+            return
+        payload = wire.pack_event_ids(self._pending)
+        del self._pending[:]
+        await self._queue.put(wire.encode_frame(wire.OP_EVENTS, payload))
+
     async def _drain_queue(self) -> None:
         assert self._writer is not None
         while True:
@@ -229,12 +382,38 @@ class MonitorClient:
                 if self._send_error is not None:
                     continue  # link is dead: consume so producers never block
                 try:
-                    self._writer.write(item.encode("utf-8") + b"\n")
+                    if isinstance(item, bytes):  # a pre-encoded frame
+                        self._writer.write(item)
+                    else:
+                        self._writer.write(item.encode("utf-8") + b"\n")
                     await self._writer.drain()
                 except (ConnectionError, OSError) as exc:
                     self._send_error = exc
             finally:
                 self._queue.task_done()
+
+    async def _read_frame(self) -> tuple[int, bytes]:
+        assert self._reader is not None
+        try:
+            return await wire.read_frame(self._reader)
+        except asyncio.IncompleteReadError:
+            raise ConnectionError("server closed the connection") from None
+
+    async def _request_frame(
+        self, opcode: int, payload: bytes = b""
+    ) -> tuple[int, bytes]:
+        """Drain queued events, then one framed request/reply round-trip."""
+        if self._writer is None or self._reader is None:
+            raise ReproError("client is not connected")
+        await self._flush_pending()
+        await self._queue.join()
+        if self._send_error is not None:
+            raise ConnectionError(
+                f"send failed mid-stream: {self._send_error}"
+            ) from self._send_error
+        self._writer.write(wire.encode_frame(opcode, payload))
+        await self._writer.drain()
+        return await self._read_frame()
 
     async def _stop_sender(self) -> None:
         if self._sender is None:
@@ -247,9 +426,25 @@ class MonitorClient:
         self._sender = None
 
     async def _sync(self, line: str) -> Reply:
-        """Drain the send queue, then one request/reply round-trip."""
+        """Drain the send queue, then one request/reply round-trip.
+
+        Binary sessions translate the verb line to its frame and parse
+        the reply payload with the *same* grammar as the text keyword it
+        replaces — one :class:`~repro.service.protocol.Reply` shape
+        either way, so every caller above is framing-agnostic.
+        """
         if self._writer is None or self._reader is None:
             raise ReproError("client is not connected")
+        if self.proto >= 2:
+            verb, _, arg = line.partition(" ")
+            opcode, payload = await self._request_frame(
+                _VERB_OPS[verb], arg.encode("utf-8")
+            )
+            keyword = _REPLY_KEYWORDS.get(opcode)
+            if keyword is None:
+                raise ReproError(f"unexpected reply frame 0x{opcode:02x}")
+            text = payload.decode("utf-8", errors="replace")
+            return parse_reply(f"{keyword} {text}" if text else keyword)
         await self._queue.join()
         if self._send_error is not None:
             raise ConnectionError(

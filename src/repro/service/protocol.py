@@ -4,9 +4,14 @@ One TCP connection is one *session*: a stream of events checked against a
 single specification, exactly the paper's view of a system run as a trace
 ``h`` with the soundness condition ``h/α(Γ) ∈ T(Γ)`` evaluated online.
 
-Requests (one per line)::
+The **normative specification** of this text framing (proto=1) *and* of
+the length-prefixed binary framing it can upgrade to (proto=2, module
+:mod:`repro.service.wire`) is ``docs/wire-protocol.md``; what follows is
+the working summary.  Requests, one per line::
 
-    HELLO                 negotiate; server answers with its spec names
+    HELLO [proto=N]       negotiate; the server answers its agreed
+                          protocol version and spec names, and a session
+                          agreeing on proto>=2 switches to binary frames
     SPEC <name>           bind the session to a specification
     EVENT <trace line>    feed one event (runtime/tracefile.py syntax)
     STATUS                synchronise and report the session verdict
@@ -17,11 +22,12 @@ Requests (one per line)::
 ``EVENT`` is deliberately *silent*: events pipeline without per-event
 round-trips, and problems (malformed lines, no spec bound) are counted
 and surfaced by the next synchronising verb.  Only ``HELLO``, ``SPEC``,
-``STATUS``, ``RESET`` and ``BYE`` elicit exactly one reply line:
+``STATUS``, ``METRICS``, ``RESET`` and ``BYE`` elicit exactly one reply
+line::
 
     OK <detail...>
     ERR <message>
-    VIOLATION spec=<name> index=<i> events=<n> skipped=<k> errors=<e> event=<trace line>
+    VIOLATION spec=<name> events=<n> skipped=<k> errors=<e> index=<i> event=<trace line>
 
 The ``event=`` field is always last so the raw trace line (which contains
 spaces) needs no quoting.
@@ -30,6 +36,13 @@ spaces) needs no quoting.
 followed by exactly ``n`` raw lines of Prometheus text exposition from
 the process-wide :mod:`repro.obs` registry — the line count up front
 keeps the framing unambiguous inside the otherwise one-line protocol.
+
+An unknown verb (including ``EVENTS``, which exists only as a binary
+opcode) elicits a clean ``ERR`` and the connection stays up — this is
+what lets mixed-version clients and servers interoperate.
+
+The verb table above is asserted against :data:`VERBS` by
+``tests/service/test_protocol.py``, so it cannot drift again.
 """
 
 from __future__ import annotations
@@ -47,6 +60,7 @@ __all__ = [
     "SessionStatus",
     "format_status",
     "parse_command",
+    "parse_hello_proto",
     "parse_reply",
 ]
 
@@ -55,8 +69,32 @@ PROTOCOL_VERSION = 1
 #: Verbs that take an argument (rest of the line, may contain spaces).
 _ARG_VERBS = frozenset({"SPEC", "EVENT"})
 #: Verbs that take no argument.
-_BARE_VERBS = frozenset({"HELLO", "STATUS", "METRICS", "RESET", "BYE"})
-VERBS = _ARG_VERBS | _BARE_VERBS
+_BARE_VERBS = frozenset({"STATUS", "METRICS", "RESET", "BYE"})
+#: Verbs whose argument is optional (``HELLO`` vs ``HELLO proto=2``).
+_OPT_ARG_VERBS = frozenset({"HELLO"})
+VERBS = _ARG_VERBS | _BARE_VERBS | _OPT_ARG_VERBS
+
+
+def parse_hello_proto(arg: str) -> int:
+    """The protocol version a ``HELLO`` argument requests.
+
+    An empty argument is the proto=1 form every client has always sent;
+    the only other accepted shape is ``proto=N`` with integer ``N >= 1``
+    (a server answers ``min(N, its own maximum)``, so clients may ask
+    for versions that do not exist yet).
+    """
+    if not arg:
+        return 1
+    key, _, value = arg.partition("=")
+    if key != "proto":
+        raise ProtocolError(f"malformed HELLO argument {arg!r}")
+    try:
+        proto = int(value)
+    except ValueError as exc:
+        raise ProtocolError(f"malformed HELLO proto {value!r}") from exc
+    if proto < 1:
+        raise ProtocolError(f"HELLO proto must be >= 1, got {proto}")
+    return proto
 
 
 class ProtocolError(ReproError):
@@ -85,6 +123,8 @@ def parse_command(line: str) -> Command:
         raise ProtocolError(f"{verb} requires an argument")
     if verb in _BARE_VERBS and rest:
         raise ProtocolError(f"{verb} takes no argument")
+    if verb in _OPT_ARG_VERBS and rest:
+        parse_hello_proto(rest)  # reject malformed negotiation upfront
     return Command(verb, rest)
 
 

@@ -208,6 +208,7 @@ class SpecRegistry:
         self.history_limit = history_limit
         self._compiled: dict[str, CompiledSpec] = {}
         self._unmonitorable: dict[str, str] = {}
+        self._letter_lines: dict[str, tuple[str, ...]] = {}
         build = _intern_machine if share_machines else (
             lambda traces: _normalized(traces).machine()
         )
@@ -269,6 +270,34 @@ class SpecRegistry:
             )
         known = ", ".join(self.names()) or "none"
         raise ReproError(f"no specification named {name!r} (have: {known})")
+
+    def letter_lines(self, name: str) -> tuple[str, ...]:
+        """The spec's interned alphabet as wire lines, indexed by letter id.
+
+        This is the per-connection letter table the binary protocol syncs
+        after ``SPEC``: entry ``i`` is the canonical trace-file line of
+        the dense image's letter ``i``, so a client can encode events to
+        ``array('i')`` ids and the server can step them without any text
+        parsing.  Empty when the spec has no dense image (state space
+        above the registry budget) — such sessions fall back to per-event
+        text frames.  Computed once per spec and cached: the table is as
+        immutable as the interned :class:`~repro.automata.letters.LetterTable`
+        behind it.
+        """
+        lines = self._letter_lines.get(name)
+        if lines is None:
+            from repro.runtime.tracefile import format_event
+
+            compiled = self.get(name)
+            if compiled.dense is None:
+                lines = ()
+            else:
+                lines = tuple(
+                    format_event(letter)
+                    for letter in compiled.dense.dfa.table.letters
+                )
+            self._letter_lines[name] = lines
+        return lines
 
     def new_monitor(self, name: str) -> SpecMonitor:
         """A fresh monitor over the shared compiled machine and image."""

@@ -18,22 +18,25 @@ monitor state and metrics need no locks.
 from __future__ import annotations
 
 import asyncio
+from array import array
 
 from repro.core.errors import ReproError
 from repro.obs.metrics import ServiceMetrics, declare_cache_counters
 from repro.obs.registry import get_registry
+from repro.obs.trace import span
 from repro.runtime import tracefile
 from repro.runtime.monitor import SpecMonitor, Violation
+from repro.service import wire
 from repro.service.protocol import (
-    PROTOCOL_VERSION,
     Command,
     ProtocolError,
     SessionStatus,
     format_status,
     parse_command,
+    parse_hello_proto,
 )
 from repro.service.registry import CompiledSpec, SpecRegistry
-from repro.service.shards import DEFAULT_QUEUE_SIZE, ShardPool
+from repro.service.shards import DEFAULT_QUEUE_SIZE, BatchTask, ShardPool
 
 __all__ = ["MonitorServer"]
 
@@ -49,6 +52,7 @@ class _Session:
     __slots__ = (
         "seq",
         "router",
+        "proto",
         "compiled",
         "monitors",
         "touched",
@@ -61,6 +65,7 @@ class _Session:
     def __init__(self, seq: int, router) -> None:
         self.seq = seq
         self.router = router
+        self.proto = 1
         self.compiled: CompiledSpec | None = None
         self.monitors: dict[int, SpecMonitor] = {}
         self.touched: set[int] = set()
@@ -68,6 +73,19 @@ class _Session:
         self.skipped = 0
         self.errors = 0
         self.violation: Violation | None = None
+
+    def shard_for(self, callee_name: str) -> int:
+        """The shard an event routes to, honouring the session's proto.
+
+        A binary (proto>=2) session is pinned whole to one shard — batch
+        stepping interleaves with out-of-table fallback events, and the
+        relative order of the two streams is only preserved when both
+        land on the same FIFO (DESIGN.md §13).  Coupled specs pin in
+        every proto, as before.
+        """
+        if self.proto >= 2 or (self.compiled is not None and self.compiled.coupled):
+            return self.router.shard_of(_COUPLED_KEY)
+        return self.router.shard_of(callee_name)
 
     def reset(self) -> None:
         for monitor in self.monitors.values():
@@ -107,9 +125,14 @@ class MonitorServer:
         metrics_out=None,
         metrics_port: int | None = None,
         queue_size: int = DEFAULT_QUEUE_SIZE,
+        max_proto: int = wire.WIRE_VERSION,
     ) -> None:
         self.registry = registry
         self.pool = ShardPool(shards, queue_size=queue_size)
+        #: Highest protocol version this server negotiates up to.
+        #: ``max_proto=1`` emulates a pre-binary server (interop tests).
+        self.max_proto = max_proto
+        self._letters_frames: dict[str, bytes] = {}
         self.metrics = metrics if metrics is not None else ServiceMetrics()
         self.host = host
         self.port = port
@@ -213,6 +236,11 @@ class MonitorServer:
                 done = await self._handle_sync(session, command, writer)
                 if done:
                     break
+                if session.proto >= 2:
+                    # HELLO agreed on the binary framing: the negotiation
+                    # reply above was the last text line on this wire.
+                    await self._binary_loop(session, reader, writer)
+                    break
         except (ConnectionResetError, BrokenPipeError):
             pass
         finally:
@@ -266,11 +294,15 @@ class MonitorServer:
     ) -> bool:
         """Handle a reply-bearing verb; returns True when the session ends."""
         if command.verb == "HELLO":
+            agreed = min(parse_hello_proto(command.arg), self.max_proto)
             names = ",".join(self.registry.names())
             await self._reply(
                 writer,
-                f"OK repro-service {PROTOCOL_VERSION} specs={names}",
+                f"OK repro-service {agreed} specs={names}",
             )
+            # The switch happens *after* this reply: negotiation is
+            # always text, everything past it is framed when agreed >= 2.
+            session.proto = agreed
             return False
         if command.verb == "SPEC":
             try:
@@ -312,6 +344,201 @@ class MonitorServer:
             return True
         raise AssertionError(f"unhandled verb {command.verb}")  # pragma: no cover
 
+    # -- binary framing (proto >= 2) -----------------------------------------
+
+    async def _send_frame(
+        self, writer: asyncio.StreamWriter, opcode: int, payload: bytes = b""
+    ) -> None:
+        writer.write(wire.encode_frame(opcode, payload))
+        await writer.drain()
+
+    def _letters_frame(self, name: str) -> bytes:
+        """The spec's pre-packed ``OP_LETTERS`` frame (cached per spec).
+
+        The table is immutable (it mirrors the interned letter table of
+        the spec's dense image), so one encoding serves every session
+        that binds the spec.
+        """
+        frame = self._letters_frames.get(name)
+        if frame is None:
+            lines = self.registry.letter_lines(name)
+            frame = wire.encode_frame(wire.OP_LETTERS, wire.pack_letters(lines))
+            self._letters_frames[name] = frame
+        return frame
+
+    async def _binary_loop(
+        self,
+        session: _Session,
+        reader: asyncio.StreamReader,
+        writer: asyncio.StreamWriter,
+    ) -> None:
+        """Serve framed requests until ``BYE``, EOF, or an unsyncable frame.
+
+        Error handling mirrors the framing guarantees: a malformed
+        *payload* of a well-framed message elicits an ``ERR`` frame and
+        the session continues (the stream is still in sync), while a
+        bogus *length field* cannot be skipped past, so the error is
+        reported and the connection closed.
+        """
+        while True:
+            try:
+                opcode, payload = await wire.read_frame(reader)
+            except asyncio.IncompleteReadError:
+                return  # clean EOF between frames: client vanished
+            except wire.FrameError as exc:
+                await self._send_frame(writer, wire.OP_ERR, str(exc).encode())
+                return
+            try:
+                done = await self._handle_frame(session, opcode, payload, writer)
+            except wire.FrameError as exc:
+                await self._send_frame(writer, wire.OP_ERR, str(exc).encode())
+                continue
+            if done:
+                return
+
+    async def _handle_frame(
+        self,
+        session: _Session,
+        opcode: int,
+        payload: bytes,
+        writer: asyncio.StreamWriter,
+    ) -> bool:
+        """Dispatch one request frame; returns True when the session ends."""
+        if opcode == wire.OP_EVENTS:
+            await self._handle_events(session, payload)
+            return False
+        if opcode == wire.OP_EVENT:
+            await self._handle_event(
+                session, payload.decode("utf-8", errors="replace")
+            )
+            return False
+        if opcode == wire.OP_SPEC:
+            name = payload.decode("utf-8", errors="replace").strip()
+            try:
+                compiled = self.registry.get(name)
+            except ReproError as exc:
+                await self._send_frame(writer, wire.OP_ERR, str(exc).encode())
+                return False
+            await self.pool.flush(session.touched)
+            session.reset()
+            session.compiled = compiled
+            session.monitors = {}
+            count = len(self.registry.letter_lines(compiled.name))
+            detail = (
+                f"spec {compiled.name} shards={self.pool.shards} "
+                f"letters={count}"
+            )
+            # The OK reply and the letter table travel back to back: the
+            # client knows from ``letters=<k>`` (k > 0) that exactly one
+            # OP_LETTERS frame follows before any other reply.
+            writer.write(wire.encode_frame(wire.OP_OK, detail.encode()))
+            if count:
+                writer.write(self._letters_frame(compiled.name))
+            await writer.drain()
+            return False
+        if opcode == wire.OP_STATUS:
+            await self.pool.flush(session.touched)
+            await self._send_status_frame(writer, session)
+            return False
+        if opcode == wire.OP_METRICS:
+            await self.pool.flush(session.touched)
+            text = get_registry().format_prometheus()
+            await self._send_frame(
+                writer, wire.OP_OK, b"metrics\n" + text.encode("utf-8")
+            )
+            return False
+        if opcode == wire.OP_RESET:
+            await self.pool.flush(session.touched)
+            session.reset()
+            await self._send_frame(writer, wire.OP_OK, b"reset")
+            return False
+        if opcode == wire.OP_BYE:
+            await self.pool.flush(session.touched)
+            await self._send_frame(
+                writer, wire.OP_OK, f"bye events={session.events}".encode()
+            )
+            return True
+        # Unknown opcode: the frame boundary is intact, so report and
+        # continue — the binary analogue of the text ``ERR`` for an
+        # unknown verb.
+        await self._send_frame(
+            writer, wire.OP_ERR, f"unknown opcode 0x{opcode:02x}".encode()
+        )
+        return False
+
+    async def _send_status_frame(
+        self, writer: asyncio.StreamWriter, session: _Session
+    ) -> None:
+        """The status reply as a frame: text keyword → opcode, rest → payload."""
+        reply = format_status(session.status())
+        keyword, _, detail = reply.partition(" ")
+        op = wire.OP_OK if keyword == "OK" else wire.OP_VIOLATION
+        await self._send_frame(writer, op, detail.encode("utf-8"))
+
+    async def _handle_events(self, session: _Session, payload: bytes) -> None:
+        """Feed one ``EVENTS`` batch: silent on success, like text ``EVENT``.
+
+        A structurally malformed payload raises
+        :class:`~repro.service.wire.FrameError` (the loop answers with an
+        ``ERR`` frame); ids outside the letter table are dropped and
+        counted as errors per id, so valid events keep consecutive
+        session-global indices exactly as if the bad ids had been
+        malformed text lines.  The whole batch becomes *one* shard-queue
+        unit and one monitor call — the amortisation the binary protocol
+        exists for.
+        """
+        ids = wire.unpack_event_ids(payload)
+        n = len(ids)
+        if n == 0:
+            return
+        compiled = session.compiled
+        if compiled is None or compiled.dense is None:
+            # No spec bound, or a spec the registry could not tabulate —
+            # either way no letter table was ever sent, so the ids cannot
+            # mean anything.
+            session.errors += n
+            self.metrics.record_malformed(n)
+            return
+        k = compiled.dense.dfa.n_letters
+        if min(ids) < 0 or max(ids) >= k:
+            valid = array("i", (lid for lid in ids if 0 <= lid < k))
+            bad = n - len(valid)
+            session.errors += bad
+            self.metrics.record_malformed(bad)
+            ids = valid
+            n = len(ids)
+            if n == 0:
+                return
+        base = session.events
+        session.events += n
+        # EVENTS exists only on binary sessions, which are always pinned
+        # (see _Session.shard_for) — route on the pinned key directly.
+        shard = session.router.shard_of(_COUPLED_KEY)
+        monitor = session.monitors.get(shard)
+        if monitor is None:
+            monitor = self.registry.new_monitor(compiled.name)
+            session.monitors[shard] = monitor
+        session.touched.add(shard)
+        spec_name = compiled.name
+        metrics = self.metrics
+
+        def check() -> None:
+            with span("service.batch", spec=spec_name, events=n):
+                start = metrics.clock()
+                was_ok = not monitor.violations
+                monitor.observe_ids(ids, base_index=base)
+                metrics.record_batch(spec_name, n, metrics.clock() - start)
+                if was_ok and monitor.violations:
+                    metrics.record_violation()
+                    violation = monitor.violations[-1]
+                    if (
+                        session.violation is None
+                        or violation.index < session.violation.index
+                    ):
+                        session.violation = violation
+
+        await self.pool.submit_to(shard, BatchTask(check, n))
+
     async def _handle_event(self, session: _Session, arg: str) -> None:
         """Feed one event: silent on success, counted on failure.
 
@@ -334,11 +561,10 @@ class MonitorServer:
         session.events += 1
         # The session router resolves (session, callee) → shard with the
         # key formatting and CRC paid once per distinct callee.  Coupled
-        # specs constrain the order *across* callees, so their sessions
-        # route on one constant key instead of splitting per callee.
-        shard = session.router.shard_of(
-            _COUPLED_KEY if session.compiled.coupled else event.callee.name
-        )
+        # specs constrain the order *across* callees, and binary sessions
+        # interleave batches with fallback events, so both route on one
+        # constant key instead of splitting per callee.
+        shard = session.shard_for(event.callee.name)
         monitor = session.monitors.get(shard)
         if monitor is None:
             monitor = self.registry.new_monitor(session.compiled.name)

@@ -29,7 +29,7 @@ from typing import Callable, Iterable
 
 from repro.obs.registry import get_registry
 
-__all__ = ["shard_index", "ShardPool", "ShardRouter"]
+__all__ = ["shard_index", "BatchTask", "ShardPool", "ShardRouter"]
 
 DEFAULT_QUEUE_SIZE = 1024
 
@@ -48,6 +48,22 @@ class _Flush:
     """Queue sentinel: resolves its future once the worker reaches it."""
 
     future: asyncio.Future
+
+
+@dataclass(slots=True)
+class BatchTask:
+    """One queue unit carrying a whole batch of ``size`` events.
+
+    The binary protocol's ``EVENTS`` verb submits one of these per frame
+    instead of one thunk per event, so queue traffic (put/get, task_done,
+    backpressure checks) is paid once per batch.  Workers account the
+    carried event count separately from the task count — the ratio of
+    ``repro_shard_batched_events_total`` to ``repro_shard_tasks_total``
+    is the realised amortisation factor.
+    """
+
+    thunk: Callable[[], None]
+    size: int
 
 
 class ShardPool:
@@ -71,6 +87,10 @@ class ShardPool:
             "repro_shard_task_errors_total",
             help="Shard thunks that raised (the worker survives).",
         )
+        self._c_batched = registry.counter(
+            "repro_shard_batched_events_total",
+            help="Events carried by BatchTask queue units.",
+        )
 
     def shard_of(self, callee_name: str) -> int:
         return shard_index(callee_name, self.shards)
@@ -93,6 +113,9 @@ class ShardPool:
                     if not item.future.done():
                         item.future.set_result(None)
                     continue
+                if isinstance(item, BatchTask):
+                    self._c_batched.inc(item.size)
+                    item = item.thunk
                 self.tasks_run += 1
                 self._c_tasks.inc()
                 try:

@@ -1,0 +1,200 @@
+"""Binary framing of the monitoring service (wire protocol 2).
+
+The normative specification of both wire framings lives in
+``docs/wire-protocol.md``; this module is the proto=2 codec.  In one
+sentence: after a text-mode ``HELLO proto=2`` negotiation, every message
+in both directions is a length-prefixed frame
+
+.. code-block:: text
+
+    +--------+----------------------+------------------+
+    | opcode |   payload length     |     payload      |
+    | u8     |   u32 little-endian  |  `length` bytes  |
+    +--------+----------------------+------------------+
+
+and event streams travel as ``EVENTS`` frames — arrays of little-endian
+``i32`` *letter ids* resolved against the per-connection letter table the
+server sends after ``SPEC`` — instead of per-event text lines.  The
+monitor then steps a whole batch through the dense successor array in one
+tight loop (:meth:`repro.runtime.monitor.SpecMonitor.observe_ids`).
+
+Integer encoding matches :mod:`array`'s ``"i"`` typecode on
+little-endian hosts; :func:`pack_event_ids`/:func:`unpack_event_ids`
+byte-swap on big-endian ones, so the wire is platform-independent while
+the hot path on commodity hardware is a zero-copy ``tobytes``/
+``frombytes`` pair.
+"""
+
+from __future__ import annotations
+
+import struct
+import sys
+from array import array
+from typing import Iterable, Sequence
+
+from repro.core.errors import ReproError
+
+__all__ = [
+    "WIRE_VERSION",
+    "MAX_FRAME",
+    "FrameError",
+    "OP_SPEC",
+    "OP_EVENT",
+    "OP_EVENTS",
+    "OP_STATUS",
+    "OP_METRICS",
+    "OP_RESET",
+    "OP_BYE",
+    "OP_OK",
+    "OP_ERR",
+    "OP_VIOLATION",
+    "OP_LETTERS",
+    "REQUEST_OPS",
+    "REPLY_OPS",
+    "encode_frame",
+    "read_frame",
+    "pack_event_ids",
+    "unpack_event_ids",
+    "pack_letters",
+    "unpack_letters",
+]
+
+#: The protocol version negotiated by ``HELLO proto=2``.
+WIRE_VERSION = 2
+
+#: Hard cap on one frame's payload (bytes).  Large enough for any sane
+#: batch (16 Mi ÷ 4 ≈ 4M letter ids) or metrics dump; anything larger is
+#: a corrupt or hostile stream and the connection is closed — a bogus
+#: length field cannot be resynchronised past.
+MAX_FRAME = 16 * 1024 * 1024
+
+# -- request opcodes (client → server) --------------------------------------
+OP_SPEC = 0x01  # payload: utf-8 spec name
+OP_EVENT = 0x02  # payload: utf-8 trace line (out-of-table fallback)
+OP_EVENTS = 0x03  # payload: u32 count + count × i32 letter ids
+OP_STATUS = 0x04  # empty payload
+OP_METRICS = 0x05  # empty payload
+OP_RESET = 0x06  # empty payload
+OP_BYE = 0x07  # empty payload
+
+# -- reply opcodes (server → client) ----------------------------------------
+OP_OK = 0x80  # payload: utf-8, the text reply minus the "OK " keyword
+OP_ERR = 0x81  # payload: utf-8 error message
+OP_VIOLATION = 0x82  # payload: utf-8, the text reply minus "VIOLATION "
+OP_LETTERS = 0x83  # payload: the letter table (see pack_letters)
+
+REQUEST_OPS = frozenset(
+    {OP_SPEC, OP_EVENT, OP_EVENTS, OP_STATUS, OP_METRICS, OP_RESET, OP_BYE}
+)
+REPLY_OPS = frozenset({OP_OK, OP_ERR, OP_VIOLATION, OP_LETTERS})
+
+_HEADER = struct.Struct("<BI")
+_U32 = struct.Struct("<I")
+_U16 = struct.Struct("<H")
+
+_BIG_ENDIAN = sys.byteorder == "big"
+
+
+class FrameError(ReproError):
+    """Raised for frames that violate the binary framing."""
+
+
+def encode_frame(opcode: int, payload: bytes = b"") -> bytes:
+    """One complete frame: header plus payload."""
+    if len(payload) > MAX_FRAME:
+        raise FrameError(
+            f"frame payload of {len(payload)} bytes exceeds the "
+            f"{MAX_FRAME}-byte cap"
+        )
+    return _HEADER.pack(opcode, len(payload)) + payload
+
+
+async def read_frame(reader) -> tuple[int, bytes]:
+    """Read one frame off an ``asyncio.StreamReader``.
+
+    Raises :class:`FrameError` for an over-cap length field (the stream
+    cannot be resynchronised — callers must close the connection) and
+    lets ``asyncio.IncompleteReadError`` propagate for a clean EOF.
+    """
+    header = await reader.readexactly(_HEADER.size)
+    opcode, length = _HEADER.unpack(header)
+    if length > MAX_FRAME:
+        raise FrameError(
+            f"frame 0x{opcode:02x} declares {length} payload bytes "
+            f"(cap {MAX_FRAME}); closing the unsynchronisable stream"
+        )
+    payload = await reader.readexactly(length) if length else b""
+    return opcode, payload
+
+
+# -- EVENTS payload ---------------------------------------------------------
+
+
+def pack_event_ids(ids: Sequence[int] | array) -> bytes:
+    """The ``EVENTS`` payload: u32 count + count little-endian i32 ids."""
+    arr = ids if isinstance(ids, array) and ids.typecode == "i" else array("i", ids)
+    if _BIG_ENDIAN:  # pragma: no cover - little-endian CI
+        arr = array("i", arr)
+        arr.byteswap()
+    return _U32.pack(len(arr)) + arr.tobytes()
+
+
+def unpack_event_ids(payload: bytes) -> array:
+    """Decode an ``EVENTS`` payload back to an ``array('i')`` of ids."""
+    if len(payload) < _U32.size:
+        raise FrameError("EVENTS payload shorter than its count field")
+    (count,) = _U32.unpack_from(payload)
+    body = payload[_U32.size:]
+    arr = array("i")
+    if len(body) != 4 * count:
+        raise FrameError(
+            f"EVENTS payload declares {count} ids but carries "
+            f"{len(body)} bytes"
+        )
+    arr.frombytes(body)
+    if _BIG_ENDIAN:  # pragma: no cover - little-endian CI
+        arr.byteswap()
+    return arr
+
+
+# -- LETTERS payload --------------------------------------------------------
+
+
+def pack_letters(lines: Iterable[str]) -> bytes:
+    """The letter-table payload: u32 count + per letter (u16 len + utf-8).
+
+    Index ``i`` of the sequence is letter id ``i`` — the payload order
+    *is* the id assignment, which is why the table is resent whenever
+    ``SPEC`` rebinds the session.
+    """
+    parts = []
+    count = 0
+    for line in lines:
+        raw = line.encode("utf-8")
+        if len(raw) > 0xFFFF:
+            raise FrameError(f"letter line of {len(raw)} bytes exceeds u16")
+        parts.append(_U16.pack(len(raw)) + raw)
+        count += 1
+    return _U32.pack(count) + b"".join(parts)
+
+
+def unpack_letters(payload: bytes) -> list[str]:
+    """Decode a letter-table payload to lines indexed by letter id."""
+    if len(payload) < _U32.size:
+        raise FrameError("LETTERS payload shorter than its count field")
+    (count,) = _U32.unpack_from(payload)
+    lines: list[str] = []
+    offset = _U32.size
+    for _ in range(count):
+        if offset + _U16.size > len(payload):
+            raise FrameError("LETTERS payload truncated mid-entry")
+        (length,) = _U16.unpack_from(payload, offset)
+        offset += _U16.size
+        raw = payload[offset:offset + length]
+        if len(raw) != length:
+            raise FrameError("LETTERS payload truncated mid-line")
+        offset += length
+        lines.append(raw.decode("utf-8"))
+    if offset != len(payload):
+        raise FrameError("LETTERS payload carries trailing bytes")
+    return lines

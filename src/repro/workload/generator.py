@@ -231,6 +231,7 @@ class StreamSession:
         self._walker = _HappyWalker(compiled, self._rng)
         self._oracle = _DenseOracle(compiled)
         self._faults = faults if faults is not None else FaultSpec()
+        self._lines: dict[Event, str] = {}
         self.fault_counts = dict.fromkeys(_FAULT_KINDS, 0)
         self.happy_events = 0
         self.events_emitted = 0
@@ -244,6 +245,25 @@ class StreamSession:
         self._oracle.feed(mutated)
         self.events_emitted += len(mutated)
         return mutated
+
+    def next_batch_lines(self, n: int) -> list[str]:
+        """Like :meth:`next_batch`, pre-rendered as trace-file lines.
+
+        Rendering is memoised per distinct event — a stream repeats few
+        letters many times — so load generators measuring the *service*
+        (``repro send``, ``benchmarks/bench_wire.py``) pay formatting
+        once per letter, not once per event.  The oracle still runs on
+        the event objects, so verdicts are identical to
+        :meth:`next_batch`.
+        """
+        lines = self._lines
+        out = []
+        for event in self.next_batch(n):
+            line = lines.get(event)
+            if line is None:
+                line = lines[event] = tracefile.format_event(event)
+            out.append(line)
+        return out
 
     @property
     def expected_violation(self) -> int | None:

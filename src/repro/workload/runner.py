@@ -68,6 +68,7 @@ class WorkloadReport:
     sessions: tuple[SessionOutcome, ...]
     seconds: float
     latency: dict | None
+    binary: bool = False
 
     @property
     def events_total(self) -> int:
@@ -107,6 +108,7 @@ class WorkloadReport:
         """This run as one ``runs[]`` entry of the BENCH schema."""
         return {
             "label": label,
+            "wire": "binary" if self.binary else "text",
             "sessions": len(self.sessions),
             "events": self.events_total,
             "seconds": round(self.seconds, 6),
@@ -123,9 +125,10 @@ class WorkloadReport:
     def describe(self) -> str:
         """A compact human-readable summary."""
         faults = self.fault_counts()
+        wire = "binary" if self.binary else "text"
         lines = [
             f"{self.scenario} (spec {self.spec}, seed {self.seed}, "
-            f"faults {self.faults.describe()})",
+            f"faults {self.faults.describe()}, {wire} wire)",
             f"  {len(self.sessions)} sessions, {self.events_total} events "
             f"in {self.seconds:.3f}s ({self.events_per_sec:,.0f} events/s)",
             f"  faults injected: reorder={faults['reorder']} "
@@ -227,12 +230,25 @@ async def _drive_session(
     faults: FaultSpec,
     events: int,
     duration: float | None,
+    binary: bool,
+    batch: int | None,
     counters,
 ) -> SessionOutcome:
     stream = StreamSession(compiled, faults, seed=f"{seed}:{index}")
     errors = 0
-    with span("workload.session", scenario=scenario.name, session=index):
-        client = MonitorClient(host, port, spec=scenario.monitored)
+    with span(
+        "workload.session",
+        scenario=scenario.name,
+        session=index,
+        binary=binary,
+    ):
+        client = MonitorClient(
+            host,
+            port,
+            spec=scenario.monitored,
+            proto=2 if binary else 1,
+            **({"batch": batch} if batch is not None else {}),
+        )
         await client.connect()
         try:
             deadline = (
@@ -286,6 +302,8 @@ async def _run(
     port: int | None,
     shards: int,
     history_limit: int | None,
+    binary: bool,
+    batch: int | None,
 ) -> WorkloadReport:
     registry = scenario.registry(history_limit=history_limit)
     compiled = registry.get(scenario.monitored)
@@ -305,6 +323,8 @@ async def _run(
                     faults=faults,
                     events=events,
                     duration=duration,
+                    binary=binary,
+                    batch=batch,
                     counters=counters,
                 )
                 for i in range(sessions)
@@ -320,6 +340,7 @@ async def _run(
             sessions=tuple(outcomes),
             seconds=seconds,
             latency=latency,
+            binary=binary,
         )
 
     with span(
@@ -328,6 +349,7 @@ async def _run(
         seed=seed,
         sessions=sessions,
         faults=faults.describe(),
+        binary=binary,
     ) as sp:
         if port is not None:
             target_host = host or "127.0.0.1"
@@ -374,6 +396,8 @@ def run_workload(
     port: int | None = None,
     shards: int = 4,
     history_limit: int | None = 4096,
+    binary: bool = False,
+    batch: int | None = None,
 ) -> WorkloadReport:
     """Run one scenario workload and report oracle agreement.
 
@@ -383,6 +407,12 @@ def run_workload(
     in-process server with ``shards`` workers; otherwise the stream is
     driven at ``host:port``, which must be a ``repro serve`` instance
     with the scenario's specs registered (``repro serve --scenario``).
+
+    ``binary=True`` drives the same streams over the proto=2 framing
+    (clients request ``HELLO proto=2`` and ship ``EVENTS`` id batches of
+    ``batch`` ids — the client default when ``None``); the oracle check
+    is framing-independent, which is exactly what makes this runner the
+    verdict-equivalence gate between the two wire paths.
     """
     scenario = get_scenario(scenario_name)
     return asyncio.run(
@@ -397,5 +427,7 @@ def run_workload(
             port=port,
             shards=shards,
             history_limit=history_limit,
+            binary=binary,
+            batch=batch,
         )
     )

@@ -233,3 +233,116 @@ class TestDenseMonitor:
         assert m.ok and m.dense_steps == 0
         assert m.observe(self._letter(image, "OW"))
         assert m.dense_steps == 1
+
+
+class TestObserveIds:
+    """observe_ids ≡ per-event observe — the EVENTS batch path's law."""
+
+    @pytest.fixture()
+    def image(self, cast):
+        from repro.automata.build import machine_to_dense
+        from repro.checker.universe import FiniteUniverse
+
+        spec = cast.write()
+        u = FiniteUniverse.for_specs(spec)
+        return spec, machine_to_dense(
+            spec.traces.machine(), u.events_for(spec.alphabet)
+        )
+
+    def _ids(self, img, *methods):
+        """Letter ids of one caller's methods, in the order given."""
+        caller = next(e.caller for e in img.dfa.letters if e.method == "OW")
+        out = []
+        for method in methods:
+            event = next(
+                e
+                for e in img.dfa.letters
+                if e.method == method and e.caller == caller
+            )
+            out.append(img.dfa.table.id_of(event))
+        return out
+
+    @staticmethod
+    def _same(batched: SpecMonitor, stepped: SpecMonitor) -> None:
+        assert batched.alive == stepped.alive
+        assert batched.events_seen == stepped.events_seen
+        assert batched.state == stepped.state
+        assert list(batched._history) == list(stepped._history)
+        assert [
+            (v.index, v.event, v.trace) for v in batched.violations
+        ] == [(v.index, v.event, v.trace) for v in stepped.violations]
+
+    def test_clean_batch_equals_per_event(self, image):
+        spec, img = image
+        ids = self._ids(img, "OW", "W", "CW") * 10
+        batched = SpecMonitor(spec, dense=img)
+        stepped = SpecMonitor(spec, dense=img)
+        assert batched.observe_ids(ids) is None
+        for lid in ids:
+            stepped.observe(img.dfa.table.letters[lid])
+        self._same(batched, stepped)
+        assert batched.dense_steps == len(ids)
+
+    def test_violation_offset_is_batch_relative_index_global(self, image):
+        spec, img = image
+        # OW W CW, then a bare W: the write-session protocol rejects it
+        ids = self._ids(img, "OW", "W", "CW", "W", "OW", "CW")
+        batched = SpecMonitor(spec, dense=img)
+        stepped = SpecMonitor(spec, dense=img)
+        assert batched.observe_ids(ids, base_index=100) == 3
+        for j, lid in enumerate(ids):
+            stepped.observe(img.dfa.table.letters[lid], index=100 + j)
+        self._same(batched, stepped)
+        assert batched.violations[0].index == 103
+        # post-violation events are counted and recorded, never stepped
+        assert batched.events_seen == len(ids)
+        assert batched.dense_steps == 4  # up to and including the bad W
+
+    def test_violation_across_batch_split_keeps_global_index(self, image):
+        spec, img = image
+        ids = self._ids(img, "OW", "W", "CW", "W")
+        whole = SpecMonitor(spec, dense=img)
+        split = SpecMonitor(spec, dense=img)
+        assert whole.observe_ids(ids) == 3
+        assert split.observe_ids(ids[:2]) is None
+        assert split.observe_ids(ids[2:]) == 1  # batch-relative
+        self._same(whole, split)
+        assert split.violations[0].index == 3  # global
+
+    def test_batch_after_violation_only_counts(self, image):
+        spec, img = image
+        ids = self._ids(img, "W")  # violates immediately
+        m = SpecMonitor(spec, dense=img)
+        assert m.observe_ids(ids) == 0
+        more = self._ids(img, "OW", "W", "CW")
+        assert m.observe_ids(more) is None
+        assert len(m.violations) == 1 and m.events_seen == 4
+        assert m.dense_steps == 1  # the post-violation batch never stepped
+
+    def test_base_index_defaults_to_events_seen(self, image):
+        spec, img = image
+        m = SpecMonitor(spec, dense=img)
+        m.observe_ids(self._ids(img, "OW", "W", "CW"))
+        m.observe_ids(self._ids(img, "W", "W"))
+        assert m.violations[0].index == 3
+
+    def test_deoptimised_monitor_matches_per_event(self, image, cast, x1):
+        spec, img = image
+        off = Event(x1, cast.o, "OW")  # in α(Write), outside the universe
+        ids = self._ids(img, "OW", "W", "CW")
+        batched = SpecMonitor(spec, dense=img)
+        stepped = SpecMonitor(spec, dense=img)
+        batched.observe(off)
+        stepped.observe(off)
+        assert batched._dstate is None  # pushed off the dense array
+        offset = batched.observe_ids(ids)
+        for lid in ids:
+            stepped.observe(img.dfa.table.letters[lid])
+        self._same(batched, stepped)
+        # OW after an open OW violates: offset is batch-relative
+        assert offset == 0 and batched.violations[0].index == 1
+
+    def test_requires_dense_image(self, cast):
+        m = SpecMonitor(cast.write())
+        with pytest.raises(RuntimeModelError):
+            m.observe_ids([0])

@@ -8,6 +8,7 @@ from repro.service.protocol import (
     SessionStatus,
     format_status,
     parse_command,
+    parse_hello_proto,
     parse_reply,
 )
 
@@ -88,3 +89,77 @@ class TestParseReply:
     def test_malformed_status_field_rejected(self):
         with pytest.raises(ProtocolError):
             parse_reply("VIOLATION spec=Write index=notanint event=x")
+
+
+class TestParseHelloProto:
+    def test_empty_argument_is_proto_1(self):
+        assert parse_hello_proto("") == 1
+
+    def test_proto_field_parsed(self):
+        assert parse_hello_proto("proto=2") == 2
+        assert parse_hello_proto("proto=7") == 7
+
+    def test_malformed_key_rejected(self):
+        with pytest.raises(ProtocolError):
+            parse_hello_proto("version=2")
+
+    def test_non_integer_rejected(self):
+        with pytest.raises(ProtocolError):
+            parse_hello_proto("proto=two")
+
+    def test_zero_and_negative_rejected(self):
+        with pytest.raises(ProtocolError):
+            parse_hello_proto("proto=0")
+        with pytest.raises(ProtocolError):
+            parse_hello_proto("proto=-1")
+
+    def test_parse_command_validates_hello_argument(self):
+        assert parse_command("HELLO proto=2") == Command("HELLO", "proto=2")
+        with pytest.raises(ProtocolError):
+            parse_command("HELLO banana")
+
+
+class TestDocstringAgreement:
+    """The module docstring's verb table must match the parser's VERBS.
+
+    The table drifted once (PR 7 found VIOLATION fields documented in
+    the wrong order); this pins the request verbs so additions and
+    removals fail loudly until both places change together.
+    """
+
+    def test_documented_verbs_equal_parsed_verbs(self):
+        import re
+
+        import repro.service.protocol as protocol
+
+        doc = protocol.__doc__
+        assert doc is not None
+        documented = set(re.findall(r"^    ([A-Z][A-Z0-9]*)\b", doc, re.M))
+        replies = {"OK", "ERR", "VIOLATION"}
+        assert documented - replies == protocol.VERBS
+        assert replies <= documented  # reply keywords stay documented too
+
+    def test_violation_reply_field_order_matches_format_status(self):
+        import repro.service.protocol as protocol
+
+        rendered = format_status(
+            SessionStatus(
+                spec="S",
+                events=3,
+                skipped=1,
+                errors=0,
+                violation_index=2,
+                violation_event="a -> o : M",
+            )
+        )
+        # the docstring documents this exact field order
+        documented = (
+            "VIOLATION spec=<name> events=<n> skipped=<k> errors=<e> "
+            "index=<i> event=<trace line>"
+        )
+        assert documented in protocol.__doc__
+        import re
+
+        doc_keys = re.findall(r"(\w+)=<", documented)
+        real_keys = re.findall(r"(\w+)=", rendered)
+        assert doc_keys == real_keys

@@ -1,0 +1,55 @@
+"""Text-vs-binary verdict equivalence: the two framings are one protocol.
+
+The round-trip property the binary wire must satisfy (docs/wire-protocol.md,
+DESIGN.md §13): a faulted workload stream driven over text proto=1 and
+over binary proto=2 yields *identical* per-session verdicts — same
+violation presence and same global violation indices — and both agree
+with the independent dense oracle.  The streams themselves are identical
+by the generator's seeding contract, so any divergence is the framing's
+fault.
+"""
+
+import pytest
+
+from repro.workload.generator import FaultSpec
+from repro.workload.runner import run_workload
+
+FAULTS = FaultSpec(reorder=0.03, dup=0.02, drop=0.02)
+
+
+def _verdicts(report):
+    return [(s.expected, s.observed) for s in report.sessions]
+
+
+class TestWireEquivalence:
+    @pytest.mark.parametrize("seed", [0, 7, 2026])
+    def test_faulted_verdicts_identical_across_framings(self, seed):
+        kwargs = dict(
+            seed=seed, faults=FAULTS, sessions=3, events=150
+        )
+        text = run_workload("two_phase_dynamic", **kwargs)
+        binary = run_workload(
+            "two_phase_dynamic", binary=True, batch=16, **kwargs
+        )
+        assert not text.binary and binary.binary
+        assert text.all_agree, text.describe()
+        assert binary.all_agree, binary.describe()
+        assert _verdicts(text) == _verdicts(binary)
+
+    @pytest.mark.parametrize("batch", [1, 7, 64, 1000])
+    def test_batch_size_never_changes_verdicts(self, batch):
+        kwargs = dict(seed=11, faults=FAULTS, sessions=2, events=120)
+        text = run_workload("leader_election", **kwargs)
+        binary = run_workload(
+            "leader_election", binary=True, batch=batch, **kwargs
+        )
+        assert binary.all_agree, binary.describe()
+        assert _verdicts(text) == _verdicts(binary)
+
+    def test_fault_free_binary_run_is_clean(self):
+        report = run_workload(
+            "pubsub_fanout", seed=5, sessions=2, events=100,
+            binary=True, batch=32,
+        )
+        assert report.all_agree and report.observed_violations == 0
+        assert all(s.errors == 0 for s in report.sessions)
