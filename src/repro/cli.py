@@ -261,6 +261,40 @@ def build_parser() -> argparse.ArgumentParser:
         help="EVENTS ids per binary batch (default: the client's)",
     )
 
+    p_reload = sub.add_parser(
+        "reload",
+        help="hot-swap the compiled specs of a running monitoring service",
+        parents=[obs],
+    )
+    p_reload.add_argument(
+        "file",
+        type=Path,
+        nargs="?",
+        help="OUN document with the new specs (or use --scenario)",
+    )
+    p_reload.add_argument(
+        "--scenario",
+        default=None,
+        metavar="NAME",
+        help="rebuild a built-in workload scenario's specs instead of "
+        "sending an OUN document",
+    )
+    p_reload.add_argument("--host", default="127.0.0.1")
+    p_reload.add_argument("--port", type=int, default=7471)
+    p_reload.add_argument(
+        "--retries", type=int, default=5, help="connect retries (with backoff)"
+    )
+    p_reload.add_argument(
+        "--binary",
+        action="store_true",
+        help="send the update over the proto=2 binary framing",
+    )
+    p_reload.add_argument(
+        "--force",
+        action="store_true",
+        help="swap in freshly compiled machines even for unchanged specs",
+    )
+
     p_check = sub.add_parser(
         "check",
         help="check a query over an OUN document",
@@ -309,11 +343,16 @@ def build_parser() -> argparse.ArgumentParser:
     p_explain = sub.add_parser(
         "explain",
         help="show what normalization does to a specification "
-        "(before/after machine tree, per-pass rewrite counts)",
+        "(before/after machine tree, per-pass rewrite counts), or diff "
+        "two documents post-normalization with --diff",
         parents=[obs],
     )
-    p_explain.add_argument("file", type=Path, help="OUN document")
-    p_explain.add_argument("spec", help="specification name")
+    p_explain.add_argument(
+        "file", type=Path, nargs="?", help="OUN document (omit with --diff)"
+    )
+    p_explain.add_argument(
+        "spec", nargs="?", help="specification name (omit with --diff)"
+    )
     p_explain.add_argument(
         "--compose",
         nargs="+",
@@ -321,6 +360,16 @@ def build_parser() -> argparse.ArgumentParser:
         default=(),
         help="compose the named specs onto SPEC first, then explain the "
         "composition",
+    )
+    p_explain.add_argument(
+        "--diff",
+        nargs=2,
+        type=Path,
+        metavar=("OLD", "NEW"),
+        default=None,
+        help="diff two OUN documents post-normalization: specs "
+        "added/removed, machines changed by content fingerprint, "
+        "alphabet deltas (exit 1 when the documents differ)",
     )
 
     p_workload = sub.add_parser(
@@ -643,6 +692,48 @@ def _cmd_send(args, out) -> int:
     return asyncio.run(run())
 
 
+def _cmd_reload(args, out) -> int:
+    import asyncio
+
+    from repro.service import MonitorClient
+
+    if (args.file is None) == (args.scenario is None):
+        raise ReproError(
+            "reload needs exactly one of FILE.oun or --scenario NAME"
+        )
+
+    async def run() -> int:
+        extra = {"proto": 2} if args.binary else {}
+        client = MonitorClient(
+            args.host,
+            args.port,
+            connect_retries=args.retries,
+            **extra,
+        )
+        await client.connect()
+        try:
+            if args.scenario is not None:
+                report = await client.update_document(
+                    scenario=args.scenario, force=args.force
+                )
+            else:
+                report = await client.update_document(
+                    text=args.file.read_text(encoding="utf-8"),
+                    force=args.force,
+                )
+        finally:
+            await client.close()
+        print(
+            f"swapped {report['changed']} changed, "
+            f"{report['unchanged']} unchanged, "
+            f"{report['added']} added (specs: {report['specs']})",
+            file=out,
+        )
+        return 0
+
+    return asyncio.run(run())
+
+
 def _cmd_workload(args, out) -> int:
     from repro import workload
 
@@ -839,6 +930,19 @@ def _cmd_verify(args, out) -> int:
 def _cmd_explain(args, out) -> int:
     from repro.passes import explain_spec, use_normalization
 
+    if args.diff is not None:
+        from repro.passes import diff_specifications, format_spec_diff
+
+        if args.file is not None or args.spec is not None or args.compose:
+            raise ReproError(
+                "explain --diff takes no FILE/SPEC/--compose arguments"
+            )
+        old_path, new_path = args.diff
+        diff = diff_specifications(_load(old_path), _load(new_path))
+        print(format_spec_diff(diff), file=out)
+        return 1 if diff.differs else 0
+    if args.file is None or args.spec is None:
+        raise ReproError("explain needs FILE and SPEC (or --diff OLD NEW)")
     # Elaborate with normalization off so the "before" tree is the raw
     # shape the document spelled, not what oun.elaborate already fused.
     with use_normalization(False):
@@ -945,6 +1049,7 @@ _COMMANDS = {
     "monitor": _cmd_monitor,
     "serve": _cmd_serve,
     "send": _cmd_send,
+    "reload": _cmd_reload,
     "workload": _cmd_workload,
     "check": _cmd_check,
     "matrix": _cmd_matrix,

@@ -1,7 +1,21 @@
 """OUN-style textual notation for specifications (the paper's "syntactic
 coating"): lexer, parser, and elaborator to core specifications."""
 
-from repro.oun.elaborate import InvolvesFilter, elaborate, load_specifications
+from repro.oun.elaborate import (
+    InvolvesFilter,
+    document_scope,
+    elaborate,
+    elaborate_composition,
+    elaborate_spec_decl,
+    load_specifications,
+)
+from repro.oun.identity import (
+    composition_node_key,
+    document_node_keys,
+    parse_key,
+    scope_signature,
+    spec_node_key,
+)
 from repro.oun.lexer import Token, tokenize
 from repro.oun.parser import (
     Assertion,
@@ -15,8 +29,16 @@ from repro.oun.verify import AssertionOutcome, verify_document, verify_text
 
 __all__ = [
     "InvolvesFilter",
+    "document_scope",
     "elaborate",
+    "elaborate_composition",
+    "elaborate_spec_decl",
     "load_specifications",
+    "composition_node_key",
+    "document_node_keys",
+    "parse_key",
+    "scope_signature",
+    "spec_node_key",
     "Token",
     "tokenize",
     "Assertion",

@@ -51,7 +51,14 @@ from repro.oun.parser import (
     parse_document,
 )
 
-__all__ = ["elaborate", "load_specifications", "InvolvesFilter"]
+__all__ = [
+    "elaborate",
+    "load_specifications",
+    "InvolvesFilter",
+    "document_scope",
+    "elaborate_spec_decl",
+    "elaborate_composition",
+]
 
 
 @dataclass(frozen=True, slots=True)
@@ -220,8 +227,26 @@ def _build_machine(
     raise OUNElaborationError(f"unknown constraint node {node!r}")
 
 
-def _elaborate_spec(scope: _Scope, spec: SpecDecl) -> Specification:
-    """Elaborate one ``specification`` block into a component spec."""
+def document_scope(doc: Document) -> _Scope:
+    """Resolve a document's global declarations (objects, sorts).
+
+    The scope is the only global state ``specification`` elaboration
+    reads; :mod:`repro.pipeline` keys its memo entries on the scope's
+    AST signature (:func:`repro.oun.identity.scope_signature`) so a
+    cached scope and a freshly built one are interchangeable.
+    """
+    return _Scope(doc)
+
+
+def elaborate_spec_decl(
+    scope: _Scope, spec: SpecDecl, *, normalize: bool = True
+) -> Specification:
+    """Elaborate one ``specification`` block into a component spec.
+
+    With ``normalize=False`` the machine is emitted exactly as the
+    document spelled it — the incremental pipeline uses this to keep
+    the elaborate and normalize stages separately memoizable.
+    """
     objects = []
     for name in spec.objects:
         o = scope.objects.get(name)
@@ -243,19 +268,24 @@ def _elaborate_spec(scope: _Scope, spec: SpecDecl) -> Specification:
         *(_entry_pattern(scope, spec, e, sigs) for e in spec.alphabet)
     )
     machine = _build_machine(scope, spec, spec.traces, sigs, {}, {})
-    # Emit through the normalization pipeline: elaboration builds
-    # whatever shape the document spelled (nested renames, True
-    # conjuncts); downstream layers should see the canonical form.
-    # Respects the ambient use_normalization toggle.
-    from repro.passes import normalize_machine
+    if normalize:
+        # Emit through the normalization pipeline: elaboration builds
+        # whatever shape the document spelled (nested renames, True
+        # conjuncts); downstream layers should see the canonical form.
+        # Respects the ambient use_normalization toggle.
+        from repro.passes import normalize_machine
 
-    machine = normalize_machine(machine)
-    if isinstance(machine, TrueMachine):
-        return component_spec(spec.name, objects, alphabet)
+        machine = normalize_machine(machine)
+        if isinstance(machine, TrueMachine):
+            return component_spec(spec.name, objects, alphabet)
     return component_spec(spec.name, objects, alphabet, machine)
 
 
-def _elaborate_composition(out: dict[str, Specification], comp) -> Specification:
+def _elaborate_spec(scope: _Scope, spec: SpecDecl) -> Specification:
+    return elaborate_spec_decl(scope, spec)
+
+
+def elaborate_composition(out: dict[str, Specification], comp) -> Specification:
     """Build one named composition from already-elaborated parts."""
     parts = []
     for part_name in comp.parts:
@@ -277,6 +307,9 @@ def _elaborate_composition(out: dict[str, Specification], comp) -> Specification
     return Specification(
         comp.name, built.objects, built.alphabet, built.traces
     )
+
+
+_elaborate_composition = elaborate_composition
 
 
 def elaborate(doc: Document) -> dict[str, Specification]:

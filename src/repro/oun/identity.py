@@ -1,0 +1,81 @@
+"""Stable per-node identity for incremental elaboration.
+
+The incremental build graph (:mod:`repro.pipeline`) re-elaborates only
+the document nodes whose *inputs* changed.  Elaborated machines cannot
+be fingerprinted — ``ForallMachine`` wraps instantiation closures — so
+stage keys are derived from the **AST** instead: every key is the
+structural fingerprint (:func:`repro.checker.fingerprint.fingerprint`)
+of the declaration node plus the global scope it elaborates under.
+
+* a ``specification`` block's key covers the block and the document's
+  ``object``/``sort`` prelude (the only global state elaboration reads);
+* a ``composition``'s key covers its declaration plus the keys of the
+  parts it composes, so an edit anywhere below propagates upward;
+* the parse key is simply the document text's SHA-256.
+
+Two documents that spell a node identically therefore share its key
+even across edits elsewhere in the file — which is exactly the reuse
+the paper's local-composition story promises.
+"""
+
+from __future__ import annotations
+
+import hashlib
+
+from repro.checker.fingerprint import fingerprint
+from repro.oun.parser import CompositionDecl, Document, SpecDecl
+
+__all__ = [
+    "scope_signature",
+    "spec_node_key",
+    "composition_node_key",
+    "document_node_keys",
+    "parse_key",
+]
+
+#: Salts versioning the key derivations; bump when the covered inputs
+#: change shape so stale memo entries cannot be misattributed.
+_SPEC_SALT = "oun-spec-node/1"
+_COMPOSITION_SALT = "oun-composition-node/1"
+
+
+def scope_signature(doc: Document) -> tuple:
+    """The part of a document every elaboration reads: objects + sorts."""
+    return (doc.objects, doc.sorts)
+
+
+def spec_node_key(signature: tuple, decl: SpecDecl) -> str:
+    """Stable identity of one ``specification`` block under a scope."""
+    return fingerprint((_SPEC_SALT, signature, decl))
+
+
+def composition_node_key(
+    signature: tuple, comp: CompositionDecl, part_keys: tuple
+) -> str:
+    """Identity of a ``composition``: its declaration plus its parts' keys."""
+    return fingerprint((_COMPOSITION_SALT, signature, comp.name, part_keys))
+
+
+def document_node_keys(doc: Document) -> dict[str, str]:
+    """Node key for every named declaration, in declaration order.
+
+    Compositions may reference earlier compositions; their keys chain
+    through ``part_keys`` so any transitive edit changes the key.  A
+    part name that resolves to nothing keys as ``("unresolved", name)``
+    — elaboration will reject the document, but the keys stay total.
+    """
+    signature = scope_signature(doc)
+    keys: dict[str, str] = {}
+    for decl in doc.specifications:
+        keys[decl.name] = spec_node_key(signature, decl)
+    for comp in doc.compositions:
+        part_keys = tuple(
+            keys.get(name, ("unresolved", name)) for name in comp.parts
+        )
+        keys[comp.name] = composition_node_key(signature, comp, part_keys)
+    return keys
+
+
+def parse_key(text: str) -> str:
+    """Memo key of the parse stage: the raw document text."""
+    return hashlib.sha256(text.encode("utf-8")).hexdigest()

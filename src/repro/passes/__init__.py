@@ -47,7 +47,15 @@ from repro.passes.base import (
     normalize_traceset,
     use_normalization,
 )
-from repro.passes.explain import explain_spec, format_machine_tree, format_traceset
+from repro.passes.explain import (
+    SpecDiff,
+    diff_specifications,
+    explain_diff,
+    format_spec_diff,
+    explain_spec,
+    format_machine_tree,
+    format_traceset,
+)
 from repro.passes.machine_passes import (
     BooleanFoldPass,
     FilterFusionPass,
@@ -69,6 +77,10 @@ __all__ = [
     "normalize_spec",
     "normalize_traceset",
     "use_normalization",
+    "SpecDiff",
+    "diff_specifications",
+    "explain_diff",
+    "format_spec_diff",
     "explain_spec",
     "format_machine_tree",
     "format_traceset",

@@ -4,10 +4,18 @@
 machine tree before, the tree after, and the per-pass rewrite counts —
 the observable half of the pipeline's "canonical IR" claim, and the
 quickest way to see why a cache key changed (or stopped changing).
+
+``explain_diff`` compares two whole documents *post-normalization* —
+specs added/removed, machines changed by content fingerprint, alphabet
+deltas — which is refinement-step granularity: what actually changed
+between two spellings of a system, not how the text moved around.
 """
 
 from __future__ import annotations
 
+from dataclasses import dataclass
+
+from repro.core.specification import Specification
 from repro.core.tracesets import (
     ComposedTraceSet,
     FullTraceSet,
@@ -31,7 +39,15 @@ from repro.passes.base import (
     default_passes,
 )
 
-__all__ = ["format_machine_tree", "format_traceset", "explain_spec"]
+__all__ = [
+    "format_machine_tree",
+    "format_traceset",
+    "explain_spec",
+    "SpecDiff",
+    "diff_specifications",
+    "explain_diff",
+    "format_spec_diff",
+]
 
 
 def _label(m: TraceMachine) -> str:
@@ -120,4 +136,149 @@ def explain_spec(spec, scope: str = COMPILE_SCOPE) -> str:
         "passes:",
         report.format_text(),
     ]
+    return "\n".join(lines)
+
+
+# -- document diffing --------------------------------------------------------
+
+#: Rendered fingerprint width: enough to tell any two machines apart in
+#: a report while keeping the columns readable.
+_SHORT_FP = 12
+
+
+def _content_key(spec: Specification) -> str | None:
+    """The spec's post-normalization content fingerprint, or ``None``.
+
+    ``None`` means the trace set has no stable identity (machines built
+    from unfingerprintable closures); the diff conservatively reports
+    such a spec as changed whenever it appears on both sides.
+    """
+    # Function-level import: the checker layer imports repro.passes, so
+    # a module-level import here would cycle.
+    from repro.checker.fingerprint import fingerprint
+
+    from repro.core.errors import FingerprintError
+    from repro.passes.base import SPEC_SCOPE, normalize_traceset
+
+    try:
+        return fingerprint(normalize_traceset(spec.traces, SPEC_SCOPE))
+    except FingerprintError:
+        return None
+
+
+@dataclass(frozen=True, slots=True)
+class SpecDiff:
+    """What changed between two documents, post-normalization.
+
+    ``fingerprints`` maps every name present on either side to its
+    ``(old, new)`` content fingerprints (``None`` for absent or
+    unfingerprintable sides); ``alphabet_deltas`` maps each *changed*
+    name to the pattern spellings ``(removed, added)`` by its alphabet.
+    """
+
+    added: tuple[str, ...]
+    removed: tuple[str, ...]
+    changed: tuple[str, ...]
+    unchanged: tuple[str, ...]
+    fingerprints: dict[str, tuple[str | None, str | None]]
+    alphabet_deltas: dict[str, tuple[tuple[str, ...], tuple[str, ...]]]
+
+    @property
+    def differs(self) -> bool:
+        return bool(self.added or self.removed or self.changed)
+
+
+def diff_specifications(
+    old: dict[str, Specification], new: dict[str, Specification]
+) -> SpecDiff:
+    """Diff two elaborated documents by normalized machine content.
+
+    Change detection fingerprints each spec's trace set in canonical
+    spec-scope normalized form — the same identity the registry interns
+    machines under — so reordering declarations, renaming bound
+    variables the regex parser erases, or adding a redundant ``True``
+    conjunct all diff as *unchanged*.
+    """
+    added, removed, changed, unchanged = [], [], [], []
+    fingerprints: dict[str, tuple[str | None, str | None]] = {}
+    alphabet_deltas: dict[str, tuple[tuple[str, ...], tuple[str, ...]]] = {}
+    for name in list(old) + [n for n in new if n not in old]:
+        old_spec = old.get(name)
+        new_spec = new.get(name)
+        old_fp = _content_key(old_spec) if old_spec is not None else None
+        new_fp = _content_key(new_spec) if new_spec is not None else None
+        fingerprints[name] = (old_fp, new_fp)
+        if old_spec is None:
+            added.append(name)
+            continue
+        if new_spec is None:
+            removed.append(name)
+            continue
+        same = (
+            old_fp is not None
+            and old_fp == new_fp
+            and old_spec.alphabet == new_spec.alphabet
+        )
+        if same:
+            unchanged.append(name)
+            continue
+        changed.append(name)
+        old_patterns = {str(p) for p in old_spec.alphabet.patterns}
+        new_patterns = {str(p) for p in new_spec.alphabet.patterns}
+        alphabet_deltas[name] = (
+            tuple(sorted(old_patterns - new_patterns)),
+            tuple(sorted(new_patterns - old_patterns)),
+        )
+    return SpecDiff(
+        tuple(added),
+        tuple(removed),
+        tuple(changed),
+        tuple(unchanged),
+        fingerprints,
+        alphabet_deltas,
+    )
+
+
+def _short(fp: str | None) -> str:
+    return fp[:_SHORT_FP] if fp else "-"
+
+
+def explain_diff(
+    old: dict[str, Specification], new: dict[str, Specification]
+) -> str:
+    """The ``repro explain --diff`` report over two elaborated documents."""
+    return format_spec_diff(diff_specifications(old, new))
+
+
+def format_spec_diff(diff: SpecDiff) -> str:
+    """Render one computed :class:`SpecDiff` as the column report."""
+    from repro.obs.export import format_columns
+
+    rows = [("spec", "status", "old", "new")]
+    for name, status in (
+        [(n, "added") for n in diff.added]
+        + [(n, "removed") for n in diff.removed]
+        + [(n, "changed") for n in diff.changed]
+        + [(n, "unchanged") for n in diff.unchanged]
+    ):
+        old_fp, new_fp = diff.fingerprints[name]
+        rows.append((name, status, _short(old_fp), _short(new_fp)))
+    lines = [
+        f"post-normalization diff: {len(diff.added)} added, "
+        f"{len(diff.removed)} removed, {len(diff.changed)} changed, "
+        f"{len(diff.unchanged)} unchanged",
+        "",
+        format_columns(rows, "  "),
+    ]
+    for name in diff.changed:
+        gone, came = diff.alphabet_deltas[name]
+        if not gone and not came:
+            continue
+        lines.append("")
+        lines.append(f"alphabet delta of {name}:")
+        lines.extend(f"  - {p}" for p in gone)
+        lines.extend(f"  + {p}" for p in came)
+    if not diff.differs:
+        lines.append("")
+        lines.append("documents are equivalent post-normalization")
     return "\n".join(lines)

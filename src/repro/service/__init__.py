@@ -13,7 +13,8 @@ Modules:
 * :mod:`~repro.service.protocol` — the newline-delimited wire protocol;
 * :mod:`~repro.service.registry` — compile specs once, share machines;
 * :mod:`~repro.service.shards`   — per-callee FIFO worker pool;
-* :mod:`~repro.service.metrics`  — counters and latency histograms;
+* :mod:`~repro.service.metrics`  — deprecated shim; metrics live in
+  :mod:`repro.obs` (``repro.obs.metrics`` / ``repro.obs.registry``);
 * :mod:`~repro.service.server`   — the asyncio TCP server;
 * :mod:`~repro.service.client`   — retrying, backpressured client.
 """
@@ -30,7 +31,7 @@ from repro.service.protocol import (
     parse_command,
     parse_reply,
 )
-from repro.service.registry import CompiledSpec, SpecRegistry
+from repro.service.registry import CompiledSpec, SpecRegistry, UpdateReport
 from repro.service.server import MonitorServer
 from repro.service.shards import ShardPool, shard_index
 
@@ -48,6 +49,7 @@ __all__ = [
     "SessionStatus",
     "SpecRegistry",
     "ShardPool",
+    "UpdateReport",
     "backoff_delays",
     "format_status",
     "parse_command",

@@ -52,6 +52,7 @@ DEFAULT_BATCH = 256
 #: same text verbs the caller-facing API has always used).
 _VERB_OPS = {
     "SPEC": wire.OP_SPEC,
+    "UPDATE": wire.OP_UPDATE,
     "STATUS": wire.OP_STATUS,
     "METRICS": wire.OP_METRICS,
     "RESET": wire.OP_RESET,
@@ -260,6 +261,75 @@ class MonitorClient:
                 self._line_ids = {
                     line: i for i, line in enumerate(self.letters)
                 }
+
+    async def update_document(
+        self,
+        *,
+        text: str | None = None,
+        scenario: str | None = None,
+        force: bool = False,
+    ) -> dict[str, str]:
+        """Hot-swap the server's compiled specs; returns the reply fields.
+
+        Exactly one of ``text`` (an OUN document) or ``scenario`` (a
+        built-in workload scenario name) selects the source;
+        ``force=True`` swaps in freshly compiled machines even when the
+        content is unchanged.  The reply fields are ``{"changed": "1",
+        "unchanged": "2", "added": "0", "specs": "A"}``-shaped.
+
+        Deliberately does **not** rebind this session: by the drain
+        guarantee, a bound session keeps its current machine until it
+        rebinds.  Call :meth:`use_spec` afterwards to attach to the
+        swapped spec — on a binary session that rebind re-syncs the
+        letter table (the ``LETTERS`` resync), and like any ``SPEC`` it
+        resets the session's counters and history.
+        """
+        if (text is None) == (scenario is None):
+            raise ReproError(
+                "update_document needs exactly one of text= or scenario="
+            )
+        suffix = " force=1" if force else ""
+        if scenario is not None:
+            # one header line in both framings (the binary payload is
+            # byte-for-byte the text argument).
+            reply = await self._sync(f"UPDATE scenario={scenario}{suffix}")
+        elif self.proto >= 2:
+            payload = f"doc{suffix}\n{text}".encode("utf-8")
+            opcode, raw = await self._request_frame(wire.OP_UPDATE, payload)
+            keyword = _REPLY_KEYWORDS.get(opcode)
+            if keyword is None:
+                raise ReproError(f"unexpected reply frame 0x{opcode:02x}")
+            body = raw.decode("utf-8", errors="replace")
+            reply = parse_reply(f"{keyword} {body}" if body else keyword)
+        else:
+            reply = await self._update_text_document(text or "", suffix)
+        if reply.kind != "ok" or not reply.detail.startswith("update "):
+            raise ReproError(f"server rejected UPDATE: {reply.detail}")
+        from repro.service.protocol import _parse_fields
+
+        fields, _ = _parse_fields(reply.detail[len("update "):])
+        return fields
+
+    async def _update_text_document(self, text: str, suffix: str) -> Reply:
+        """The text protocol's one multi-line request: header + body lines."""
+        if self._writer is None or self._reader is None:
+            raise ReproError("client is not connected")
+        await self._queue.join()
+        if self._send_error is not None:
+            raise ConnectionError(
+                f"send failed mid-stream: {self._send_error}"
+            ) from self._send_error
+        lines = text.split("\n")
+        self._writer.write(
+            f"UPDATE lines={len(lines)}{suffix}\n".encode("utf-8")
+        )
+        for line in lines:
+            self._writer.write(line.encode("utf-8") + b"\n")
+        await self._writer.drain()
+        raw = await self._reader.readline()
+        if not raw:
+            raise ConnectionError("server closed the connection")
+        return parse_reply(raw.decode("utf-8", errors="replace"))
 
     async def send_event(self, event: Event | str) -> None:
         """Enqueue one event; blocks when the bounded queue is full.

@@ -14,6 +14,12 @@ the working summary.  Requests, one per line::
                           agreeing on proto>=2 switches to binary frames
     SPEC <name>           bind the session to a specification
     EVENT <trace line>    feed one event (runtime/tracefile.py syntax)
+    UPDATE <fields>       hot-swap compiled specs in the live registry:
+                          ``scenario=<name>`` rebuilds a built-in
+                          scenario's specs, ``lines=<n>`` announces that
+                          exactly n raw lines of OUN document text
+                          follow this line; ``force=1`` swaps in fresh
+                          machines even for unchanged content
     STATUS                synchronise and report the session verdict
     METRICS               dump the process metrics (Prometheus text)
     RESET                 synchronise, then forget the session's history
@@ -21,9 +27,13 @@ the working summary.  Requests, one per line::
 
 ``EVENT`` is deliberately *silent*: events pipeline without per-event
 round-trips, and problems (malformed lines, no spec bound) are counted
-and surfaced by the next synchronising verb.  Only ``HELLO``, ``SPEC``,
-``STATUS``, ``METRICS``, ``RESET`` and ``BYE`` elicit exactly one reply
-line::
+and surfaced by the next synchronising verb.  ``UPDATE`` is the one
+verb whose *request* may span lines — its ``lines=<n>`` form carries
+the document body as exactly ``n`` raw lines after the command line
+(blank lines included), mirroring how ``METRICS`` frames its reply.
+Every other verb except ``EVENT`` — ``HELLO``, ``SPEC``, ``UPDATE``,
+``STATUS``, ``METRICS``, ``RESET`` and ``BYE`` — elicits exactly one
+reply line::
 
     OK <detail...>
     ERR <message>
@@ -67,7 +77,7 @@ __all__ = [
 PROTOCOL_VERSION = 1
 
 #: Verbs that take an argument (rest of the line, may contain spaces).
-_ARG_VERBS = frozenset({"SPEC", "EVENT"})
+_ARG_VERBS = frozenset({"SPEC", "EVENT", "UPDATE"})
 #: Verbs that take no argument.
 _BARE_VERBS = frozenset({"STATUS", "METRICS", "RESET", "BYE"})
 #: Verbs whose argument is optional (``HELLO`` vs ``HELLO proto=2``).

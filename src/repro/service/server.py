@@ -132,7 +132,10 @@ class MonitorServer:
         #: Highest protocol version this server negotiates up to.
         #: ``max_proto=1`` emulates a pre-binary server (interop tests).
         self.max_proto = max_proto
-        self._letters_frames: dict[str, bytes] = {}
+        #: Pre-packed OP_LETTERS frames keyed by (spec name, version):
+        #: a hot swap bumps the version, so rebinding sessions always
+        #: sync the *current* table while the stale frame is purged.
+        self._letters_frames: dict[tuple[str, int], bytes] = {}
         self.metrics = metrics if metrics is not None else ServiceMetrics()
         self.host = host
         self.port = port
@@ -232,6 +235,15 @@ class MonitorServer:
                     continue
                 if command.verb == "EVENT":
                     await self._handle_event(session, command.arg)
+                    continue
+                if command.verb == "UPDATE":
+                    # Handled here, not in _handle_sync: the lines=<n>
+                    # form reads its document body off the same reader.
+                    ok = await self._handle_update_text(
+                        command.arg, reader, writer
+                    )
+                    if not ok:
+                        break  # EOF inside the announced body
                     continue
                 done = await self._handle_sync(session, command, writer)
                 if done:
@@ -344,6 +356,102 @@ class MonitorServer:
             return True
         raise AssertionError(f"unhandled verb {command.verb}")  # pragma: no cover
 
+    # -- hot updates ---------------------------------------------------------
+
+    def _apply_update(
+        self,
+        *,
+        scenario: str | None = None,
+        text: str | None = None,
+        force: bool = False,
+    ) -> str:
+        """Hot-swap the registry from a scenario or document; OK detail.
+
+        Existing sessions keep draining on the ``CompiledSpec`` they
+        bound (monitors are pinned — see :meth:`_handle_event`); new
+        binds pick up the swapped machines, and the purge below makes a
+        binary rebind sync the new letter table instead of a stale
+        frame.  Raises :class:`ReproError` on unknown scenarios or
+        documents that fail to parse/elaborate — the registry is left
+        untouched in that case.
+        """
+        if scenario is not None:
+            from repro.workload.scenarios import get_scenario
+
+            specs = get_scenario(scenario).specifications()
+            report = self.registry.update(specs, force=force)
+        else:
+            report = self.registry.update_from_text(text or "", force=force)
+        touched = set(report.changed) | set(report.added)
+        for key in [k for k in self._letters_frames if k[0] in touched]:
+            del self._letters_frames[key]
+        names = ",".join(sorted(touched)) or "-"
+        return (
+            f"update changed={len(report.changed)} "
+            f"unchanged={len(report.unchanged)} added={len(report.added)} "
+            f"specs={names}"
+        )
+
+    async def _handle_update_text(
+        self,
+        arg: str,
+        reader: asyncio.StreamReader,
+        writer: asyncio.StreamWriter,
+    ) -> bool:
+        """Handle a text ``UPDATE``; False when EOF truncated the body.
+
+        ``UPDATE scenario=<name> [force=1]`` is self-contained;
+        ``UPDATE lines=<n> [force=1]`` reads exactly n raw document
+        lines (blank lines included — they are body, not commands)
+        before replying, mirroring the ``METRICS`` reply framing.
+        """
+        scenario: str | None = None
+        count: int | None = None
+        force = False
+        for token in arg.split():
+            key, eq, value = token.partition("=")
+            if key == "scenario" and eq:
+                scenario = value
+            elif key == "lines" and eq:
+                try:
+                    count = int(value)
+                except ValueError:
+                    await self._reply(writer, f"ERR malformed lines={value!r}")
+                    return True
+                if count < 0:
+                    await self._reply(writer, f"ERR malformed lines={value!r}")
+                    return True
+            elif key == "force" and eq:
+                force = value == "1"
+            else:
+                await self._reply(writer, f"ERR malformed UPDATE field {token!r}")
+                return True
+        if (scenario is None) == (count is None):
+            await self._reply(
+                writer, "ERR UPDATE needs exactly one of scenario=/lines="
+            )
+            return True
+        text: str | None = None
+        if count is not None:
+            body: list[str] = []
+            for _ in range(count):
+                raw = await reader.readline()
+                if not raw:
+                    return False  # client vanished mid-body
+                body.append(
+                    raw.decode("utf-8", errors="replace").rstrip("\r\n")
+                )
+            text = "\n".join(body)
+        try:
+            detail = self._apply_update(
+                scenario=scenario, text=text, force=force
+            )
+        except ReproError as exc:
+            await self._reply(writer, f"ERR {exc}")
+            return True
+        await self._reply(writer, f"OK {detail}")
+        return True
+
     # -- binary framing (proto >= 2) -----------------------------------------
 
     async def _send_frame(
@@ -352,18 +460,21 @@ class MonitorServer:
         writer.write(wire.encode_frame(opcode, payload))
         await writer.drain()
 
-    def _letters_frame(self, name: str) -> bytes:
-        """The spec's pre-packed ``OP_LETTERS`` frame (cached per spec).
+    def _letters_frame(self, compiled: CompiledSpec) -> bytes:
+        """The spec's pre-packed ``OP_LETTERS`` frame (cached per version).
 
-        The table is immutable (it mirrors the interned letter table of
-        the spec's dense image), so one encoding serves every session
-        that binds the spec.
+        A compiled spec's table is immutable, so one encoding serves
+        every session that binds it; the cache key carries the spec's
+        hot-swap ``version`` because an update may change the interned
+        alphabet, and a rebind after the swap must sync the new table,
+        not a stale frame.
         """
-        frame = self._letters_frames.get(name)
+        key = (compiled.name, compiled.version)
+        frame = self._letters_frames.get(key)
         if frame is None:
-            lines = self.registry.letter_lines(name)
+            lines = self.registry.letter_lines(compiled.name)
             frame = wire.encode_frame(wire.OP_LETTERS, wire.pack_letters(lines))
-            self._letters_frames[name] = frame
+            self._letters_frames[key] = frame
         return frame
 
     async def _binary_loop(
@@ -433,8 +544,33 @@ class MonitorServer:
             # OP_LETTERS frame follows before any other reply.
             writer.write(wire.encode_frame(wire.OP_OK, detail.encode()))
             if count:
-                writer.write(self._letters_frame(compiled.name))
+                writer.write(self._letters_frame(compiled))
             await writer.drain()
+            return False
+        if opcode == wire.OP_UPDATE:
+            # utf-8 payload: a header line then the optional body.
+            # ``scenario=<name> [force=1]`` or ``doc [force=1]\n<text>``.
+            text = payload.decode("utf-8", errors="replace")
+            header, _, body = text.partition("\n")
+            tokens = header.split()
+            force = "force=1" in tokens[1:]
+            detail = None
+            try:
+                if tokens and tokens[0].startswith("scenario="):
+                    detail = self._apply_update(
+                        scenario=tokens[0][len("scenario="):], force=force
+                    )
+                elif tokens and tokens[0] == "doc":
+                    detail = self._apply_update(text=body, force=force)
+            except ReproError as exc:
+                await self._send_frame(writer, wire.OP_ERR, str(exc).encode())
+                return False
+            if detail is None:
+                await self._send_frame(
+                    writer, wire.OP_ERR, b"malformed UPDATE header"
+                )
+                return False
+            await self._send_frame(writer, wire.OP_OK, detail.encode())
             return False
         if opcode == wire.OP_STATUS:
             await self.pool.flush(session.touched)
@@ -516,7 +652,9 @@ class MonitorServer:
         shard = session.router.shard_of(_COUPLED_KEY)
         monitor = session.monitors.get(shard)
         if monitor is None:
-            monitor = self.registry.new_monitor(compiled.name)
+            # Pin to the session's CompiledSpec, not a name lookup: a
+            # concurrent hot swap must not mix machines mid-session.
+            monitor = self.registry.new_monitor_for(compiled)
             session.monitors[shard] = monitor
         session.touched.add(shard)
         spec_name = compiled.name
@@ -567,7 +705,9 @@ class MonitorServer:
         shard = session.shard_for(event.callee.name)
         monitor = session.monitors.get(shard)
         if monitor is None:
-            monitor = self.registry.new_monitor(session.compiled.name)
+            # Pinned like the batch path: sessions drain on the machine
+            # they bound even while an UPDATE swaps the registry entry.
+            monitor = self.registry.new_monitor_for(session.compiled)
             session.monitors[shard] = monitor
         session.touched.add(shard)
         spec_name = session.compiled.name

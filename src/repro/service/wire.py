@@ -45,6 +45,7 @@ __all__ = [
     "OP_METRICS",
     "OP_RESET",
     "OP_BYE",
+    "OP_UPDATE",
     "OP_OK",
     "OP_ERR",
     "OP_VIOLATION",
@@ -76,6 +77,7 @@ OP_STATUS = 0x04  # empty payload
 OP_METRICS = 0x05  # empty payload
 OP_RESET = 0x06  # empty payload
 OP_BYE = 0x07  # empty payload
+OP_UPDATE = 0x08  # payload: utf-8 header line + optional OUN document body
 
 # -- reply opcodes (server → client) ----------------------------------------
 OP_OK = 0x80  # payload: utf-8, the text reply minus the "OK " keyword
@@ -84,7 +86,8 @@ OP_VIOLATION = 0x82  # payload: utf-8, the text reply minus "VIOLATION "
 OP_LETTERS = 0x83  # payload: the letter table (see pack_letters)
 
 REQUEST_OPS = frozenset(
-    {OP_SPEC, OP_EVENT, OP_EVENTS, OP_STATUS, OP_METRICS, OP_RESET, OP_BYE}
+    {OP_SPEC, OP_EVENT, OP_EVENTS, OP_STATUS, OP_METRICS, OP_RESET,
+     OP_BYE, OP_UPDATE}
 )
 REPLY_OPS = frozenset({OP_OK, OP_ERR, OP_VIOLATION, OP_LETTERS})
 

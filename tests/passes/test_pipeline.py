@@ -50,7 +50,7 @@ from repro.passes import (
     normalize_traceset,
     use_normalization,
 )
-from repro.service.metrics import NormalizationMetrics
+from repro.obs.metrics import NormalizationMetrics
 
 O, C, Q = ObjectId("o"), ObjectId("c"), ObjectId("q")
 

@@ -3,7 +3,8 @@
 import asyncio
 import io
 
-from repro.service.metrics import CheckerMetrics, LatencyHistogram, ServiceMetrics
+from repro.obs.metrics import CheckerMetrics, ServiceMetrics
+from repro.obs.registry import LatencyHistogram
 
 
 class TestLatencyHistogram:

@@ -138,3 +138,40 @@ class TestDenseImages:
         for e in stream:
             assert dm.observe(e) == pm.observe(e)
         assert dm.ok == pm.ok
+
+
+class TestReRegistrationEviction:
+    """Regression: re-registering under a name must not leak interned
+    entries — the tables were once process-global and never evicted."""
+
+    @pytest.fixture(autouse=True)
+    def fresh_intern_tables(self):
+        from repro.service.registry import _reset_shared_state
+
+        _reset_shared_state()
+        yield
+        _reset_shared_state()
+
+    def test_repeated_swaps_keep_the_tables_bounded(self, cast):
+        from repro.service.registry import (
+            shared_image_count,
+            shared_machine_count,
+        )
+
+        registry = SpecRegistry([cast.write()])
+        baseline = (shared_machine_count(), shared_image_count())
+        for _ in range(5):
+            registry.update([cast.read2()], force=True)
+            registry.update([cast.write()], force=True)
+        # force builds are private, and each swap released the previous
+        # pins, so five round-trips leave the tables no larger
+        assert (shared_machine_count(), shared_image_count()) <= baseline
+
+    def test_gauges_track_eviction(self, cast):
+        from repro.obs.registry import get_registry
+        from repro.service.registry import shared_machine_count
+
+        registry = SpecRegistry([cast.write()])
+        registry.update([cast.write()], force=True)
+        gauge = get_registry().gauge("repro_interned_machines")
+        assert gauge.value == shared_machine_count()

@@ -9,8 +9,11 @@ by the generator's seeding contract, so any divergence is the framing's
 fault.
 """
 
+import asyncio
+
 import pytest
 
+from repro.service import MonitorClient, MonitorServer, SpecRegistry
 from repro.workload.generator import FaultSpec
 from repro.workload.runner import run_workload
 
@@ -53,3 +56,79 @@ class TestWireEquivalence:
         )
         assert report.all_agree and report.observed_violations == 0
         assert all(s.errors == 0 for s in report.sessions)
+
+
+OLD_DOC = """
+object o
+object c
+specification Alt {
+  objects o
+  method A(Data)
+  method B(Data)
+  alphabet { <c, o, A(_)> ; <c, o, B(_)> ; }
+  traces prs "[<c,o,A(_)> <c,o,B(_)>]*"
+}
+"""
+
+#: Same name and alphabet, stricter machine: only B events allowed.
+NEW_DOC = OLD_DOC.replace(
+    '"[<c,o,A(_)> <c,o,B(_)>]*"', '"<c,o,B(_)>*"'
+)
+
+EV_A = "c -> o : A(Data:d)"
+EV_B = "c -> o : B(Data:d)"
+
+
+class TestHotSwapEquivalence:
+    """The cross-framing law for live SPEC swaps: a hot swap mid-session
+    yields identical verdicts over text proto=1 and binary proto=2 —
+    before the swap (both drain on the old machine) and after a rebind
+    (both attach to the new one; binary additionally resyncs letters)."""
+
+    async def _run(self, proto: int):
+        registry = SpecRegistry.from_text(OLD_DOC)
+        async with MonitorServer(registry, shards=2) as server:
+            async with MonitorClient(
+                "127.0.0.1", server.port, spec="Alt", proto=proto
+            ) as session:
+                await session.send_event(EV_A)
+                await session.send_event(EV_B)
+                async with MonitorClient(
+                    "127.0.0.1", server.port, proto=proto
+                ) as admin:
+                    fields = await admin.update_document(text=NEW_DOC)
+                # still bound to the old machine: A-B alternation stays ok
+                await session.send_event(EV_A)
+                await session.send_event(EV_B)
+                mid = await session.status()
+                # rebind: attach to the swapped machine (and, on binary,
+                # resync the letter table), then violate the new spec
+                await session.use_spec("Alt")
+                await session.send_event(EV_A)
+                end = await session.status()
+        return fields, mid, end
+
+    def _normalize(self, status):
+        return (
+            status.ok,
+            status.events,
+            status.skipped,
+            status.errors,
+            status.violation_index,
+            status.violation_event,
+        )
+
+    def test_hot_swap_verdicts_identical_across_framings(self):
+        text = asyncio.run(self._run(proto=1))
+        binary = asyncio.run(self._run(proto=2))
+
+        for fields, mid, end in (text, binary):
+            assert fields["changed"] == "1"
+            # drain guarantee: the bound session never saw the swap
+            assert mid.ok and mid.events == 4
+            # after rebind the new machine rejects the A event
+            assert not end.ok and end.violation_index == 0
+
+        assert text[0] == binary[0]
+        assert self._normalize(text[1]) == self._normalize(binary[1])
+        assert self._normalize(text[2]) == self._normalize(binary[2])
