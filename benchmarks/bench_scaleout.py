@@ -1,0 +1,205 @@
+"""Scale-out serving benchmark: N worker processes + durability cost.
+
+Drives the ``two_phase_dynamic`` scenario over localhost TCP (binary
+framing, ``EVENTS`` batches of 256) through three topologies and checks
+two acceptance gates from the scale-out work (DESIGN.md §15,
+docs/operations.md):
+
+* **scale-out speedup** — ``--procs 4`` sustains at least
+  ``MIN_SPEEDUP``× the single-process events/sec.  The gate only runs
+  when the host grants ≥ 4 CPU cores: four workers time-slicing one
+  core measure the scheduler, not the topology.  A skipped gate is
+  recorded as ``"skipped"`` in the BENCH artifact rather than silently
+  dropped.
+* **durability overhead** — a single process with the write-ahead event
+  log and snapshots enabled stays within ``MAX_DURABILITY_OVERHEAD``×
+  of the same process with durability off (best-of-``ROUNDS`` each, so
+  one slow fsync outlier cannot fail the gate).
+
+Every run's verdicts are checked against the dense-stepping oracle —
+throughput that miscounts violations is not throughput.
+
+Runs under the pytest-benchmark harness *and* standalone::
+
+    PYTHONPATH=src python -m pytest benchmarks/bench_scaleout.py -q
+    PYTHONPATH=src python benchmarks/bench_scaleout.py
+
+The standalone form persists ``BENCH_scaleout_<scenario>.json`` when
+``REPRO_BENCH_DIR`` is set (repro-bench/1 schema).
+"""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+from repro.workload import run_workload
+
+SCENARIO = "two_phase_dynamic"
+SESSIONS = 4
+EVENTS_PER_SESSION = 2000  # long enough to amortise log/snapshot setup
+SEED = 2026
+BATCH = 256
+PROCS = 4
+ROUNDS = 3
+
+#: procs=4 must beat one process by this factor (with ≥ 4 real cores).
+MIN_SPEEDUP = 2.0
+
+#: durability-off events/sec divided by durability-on events/sec must
+#: not exceed this (i.e. the log + snapshots cost at most 25%).
+MAX_DURABILITY_OVERHEAD = 1.25
+
+
+def _cores() -> int:
+    return os.cpu_count() or 1
+
+
+def _drive(*, procs: int | None = None, durable: bool = False):
+    """One full run; the oracle check is the price of admission."""
+    report = run_workload(
+        SCENARIO,
+        seed=SEED,
+        sessions=SESSIONS,
+        events=EVENTS_PER_SESSION,
+        binary=True,
+        batch=BATCH,
+        procs=procs,
+        durable=durable,
+    )
+    assert report.all_agree, (
+        f"oracle disagreement (procs={procs}, durable={durable})"
+    )
+    return report
+
+
+def _best(label: str, **kwargs):
+    """Best-of-ROUNDS run record for one configuration."""
+    best = None
+    for _ in range(ROUNDS):
+        report = _drive(**kwargs)
+        if best is None or report.events_per_sec > best.events_per_sec:
+            best = report
+    record = best.run_record(label)
+    record.update(procs=kwargs.get("procs") or 1, durable=kwargs.get("durable", False))
+    return best, record
+
+
+# -- pytest-benchmark form ---------------------------------------------------
+
+
+def bench_single_process(benchmark):
+    report = benchmark(lambda: _drive())
+    benchmark.extra_info["events_per_sec"] = round(report.events_per_sec)
+
+
+def bench_single_process_durable(benchmark):
+    report = benchmark(lambda: _drive(durable=True))
+    benchmark.extra_info["events_per_sec"] = round(report.events_per_sec)
+
+
+@pytest.mark.skipif(
+    _cores() < PROCS,
+    reason=f"scale-out gate needs >= {PROCS} cores (got {_cores()})",
+)
+def bench_scaleout_procs(benchmark):
+    report = benchmark(lambda: _drive(procs=PROCS))
+    benchmark.extra_info["events_per_sec"] = round(report.events_per_sec)
+
+
+def test_durability_overhead_gate():
+    plain, _ = _best("single", procs=None)
+    durable, _ = _best("single-durable", procs=None, durable=True)
+    overhead = plain.events_per_sec / durable.events_per_sec
+    assert overhead <= MAX_DURABILITY_OVERHEAD, (
+        f"durability costs {overhead:.2f}× "
+        f"(gate: {MAX_DURABILITY_OVERHEAD}×)"
+    )
+
+
+@pytest.mark.skipif(
+    _cores() < PROCS,
+    reason=f"scale-out gate needs >= {PROCS} cores (got {_cores()})",
+)
+def test_scaleout_speedup_gate():
+    single, _ = _best("single", procs=None)
+    scaled, _ = _best(f"procs-{PROCS}", procs=PROCS)
+    speedup = scaled.events_per_sec / single.events_per_sec
+    assert speedup >= MIN_SPEEDUP, (
+        f"procs={PROCS} is only {speedup:.2f}× one process "
+        f"(gate: {MIN_SPEEDUP}×)"
+    )
+
+
+# -- standalone form ---------------------------------------------------------
+
+
+def main() -> None:
+    from repro.workload.results import maybe_write_bench
+
+    runs = []
+
+    plain, record = _best("single", procs=None)
+    runs.append(record)
+    print(
+        f"single: {plain.events_total} events in {plain.seconds:.3f}s "
+        f"→ {plain.events_per_sec:,.0f} events/sec"
+    )
+
+    durable, record = _best("single-durable", procs=None, durable=True)
+    runs.append(record)
+    overhead = plain.events_per_sec / durable.events_per_sec
+    print(
+        f"single-durable: {durable.events_per_sec:,.0f} events/sec "
+        f"(overhead {overhead:.2f}×, gate ≤ {MAX_DURABILITY_OVERHEAD}×)"
+    )
+    assert overhead <= MAX_DURABILITY_OVERHEAD, (
+        f"durability costs {overhead:.2f}× "
+        f"(gate: {MAX_DURABILITY_OVERHEAD}×)"
+    )
+
+    speedup: float | str
+    if _cores() >= PROCS:
+        scaled, record = _best(f"procs-{PROCS}", procs=PROCS)
+        runs.append(record)
+        speedup = round(scaled.events_per_sec / plain.events_per_sec, 2)
+        print(
+            f"procs-{PROCS}: {scaled.events_per_sec:,.0f} events/sec "
+            f"(speedup {speedup}×, gate ≥ {MIN_SPEEDUP}×)"
+        )
+        assert speedup >= MIN_SPEEDUP, (
+            f"procs={PROCS} is only {speedup}× one process "
+            f"(gate: {MIN_SPEEDUP}×)"
+        )
+    else:
+        speedup = "skipped"
+        print(
+            f"procs-{PROCS}: skipped "
+            f"(gate needs >= {PROCS} cores, host grants {_cores()})"
+        )
+
+    path = maybe_write_bench(
+        f"scaleout_{SCENARIO}",
+        {
+            "scenario": SCENARIO,
+            "seed": SEED,
+            "sessions": SESSIONS,
+            "events": EVENTS_PER_SESSION,
+            "batch": BATCH,
+            "rounds": ROUNDS,
+            "procs": PROCS,
+            "cores": _cores(),
+            "min_speedup": MIN_SPEEDUP,
+            "speedup": speedup,
+            "max_durability_overhead": MAX_DURABILITY_OVERHEAD,
+            "durability_overhead": round(overhead, 2),
+        },
+        runs,
+    )
+    if path is not None:
+        print(f"→ {path}")
+
+
+if __name__ == "__main__":
+    main()

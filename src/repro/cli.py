@@ -220,6 +220,32 @@ def build_parser() -> argparse.ArgumentParser:
         help="bounded per-monitor event window",
     )
     p_serve.add_argument(
+        "--procs",
+        type=int,
+        default=1,
+        metavar="N",
+        help="worker processes (N > 1 runs the scale-out topology: "
+        "SO_REUSEPORT where available, a socket-handoff router otherwise)",
+    )
+    p_serve.add_argument(
+        "--data-dir",
+        type=Path,
+        default=None,
+        metavar="PATH",
+        help="durable-session data directory: append-only event logs + "
+        "monitor snapshots, replayed when a session key reconnects "
+        "(survives worker crashes and restarts)",
+    )
+    p_serve.add_argument(
+        "--watch",
+        nargs="?",
+        const="",
+        default=None,
+        metavar="FILE",
+        help="poll a document for edits and hot-swap the live registry "
+        "(bare --watch follows the served FILE.oun)",
+    )
+    p_serve.add_argument(
         "--metrics-interval",
         type=float,
         default=None,
@@ -448,6 +474,36 @@ def build_parser() -> argparse.ArgumentParser:
         help="EVENTS ids per binary batch (default: the client's)",
     )
     w_run.add_argument(
+        "--procs",
+        type=int,
+        default=None,
+        metavar="N",
+        help="drive a hermetic N-process scale-out server instead of the "
+        "in-process one",
+    )
+    w_run.add_argument(
+        "--data-dir",
+        default=None,
+        metavar="PATH",
+        help="durable-session data directory for the hermetic server "
+        "(default with --durable: a temporary directory)",
+    )
+    w_run.add_argument(
+        "--durable",
+        action="store_true",
+        help="give every session an idempotency key so streams survive "
+        "server crashes exactly-once",
+    )
+    w_run.add_argument(
+        "--kill-at",
+        type=int,
+        action="append",
+        default=None,
+        metavar="N",
+        help="SIGKILL a random worker once N total events have been sent "
+        "(repeatable; needs --procs and --durable)",
+    )
+    w_run.add_argument(
         "--bench-out",
         default=None,
         metavar="PATH",
@@ -596,6 +652,11 @@ def _cmd_serve(args, out) -> int:
         raise ReproError(
             "serve needs exactly one of FILE.oun or --scenario NAME"
         )
+    watch = args.watch
+    if watch == "":
+        if args.file is None:
+            raise ReproError("bare --watch needs a served FILE.oun")
+        watch = args.file
     if args.scenario is not None:
         from repro.workload.scenarios import get_scenario
 
@@ -608,6 +669,50 @@ def _cmd_serve(args, out) -> int:
         )
     if not registry.names():
         raise ReproError(f"{args.file}: no monitorable specifications")
+    names = ", ".join(registry.names())
+
+    if args.procs > 1:
+        if args.metrics_interval is not None or args.metrics_port is not None:
+            raise ReproError(
+                "--metrics-interval/--metrics-port are single-process "
+                "knobs; scrape workers individually with --procs > 1"
+            )
+        from repro.service.topology import ScaleOutServer
+
+        async def run_scaleout() -> None:
+            server = ScaleOutServer(
+                scenario=args.scenario,
+                document=(
+                    args.file.read_text(encoding="utf-8")
+                    if args.scenario is None
+                    else None
+                ),
+                procs=args.procs,
+                shards=args.shards,
+                host=args.host,
+                port=args.port,
+                data_dir=args.data_dir,
+                history_limit=args.history_limit,
+                watch=watch,
+            )
+            await server.start()
+            print(
+                f"repro service on {server.host}:{server.port} "
+                f"({args.procs} procs x {args.shards} shards, "
+                f"{server.mode} listener; specs: {names})",
+                file=out,
+                flush=True,
+            )
+            try:
+                await asyncio.Event().wait()
+            finally:
+                await server.stop()
+
+        try:
+            asyncio.run(run_scaleout())
+        except KeyboardInterrupt:
+            print("service stopped", file=out)
+        return 0
 
     async def run() -> None:
         server = MonitorServer(
@@ -617,9 +722,10 @@ def _cmd_serve(args, out) -> int:
             port=args.port,
             metrics_interval=args.metrics_interval,
             metrics_port=args.metrics_port,
+            data_dir=args.data_dir,
+            watch=watch,
         )
         await server.start()
-        names = ", ".join(registry.names())
         scrape = (
             f"; metrics on :{server.metrics_port}"
             if server.metrics_port is not None
@@ -774,6 +880,9 @@ def _cmd_workload(args, out) -> int:
     )
     if (args.host is not None) and (args.port is None):
         raise ReproError("--host needs --port (an external service address)")
+    kill_at = tuple(args.kill_at or ())
+    if kill_at and not (args.procs and args.durable):
+        raise ReproError("--kill-at needs --procs and --durable")
     knobs = dict(
         sessions=args.sessions,
         events=args.events,
@@ -784,6 +893,10 @@ def _cmd_workload(args, out) -> int:
         history_limit=args.history_limit,
         binary=args.binary,
         batch=args.batch,
+        procs=args.procs,
+        data_dir=args.data_dir,
+        durable=args.durable,
+        kill_at=kill_at,
     )
     report = workload.run_workload(
         args.scenario, seed=args.seed, faults=faults, **knobs
@@ -792,14 +905,18 @@ def _cmd_workload(args, out) -> int:
     ok = report.all_agree
     if args.bench_out:
         runs = []
-        if faults.active:
+        if faults.active or kill_at:
             baseline = workload.run_workload(
-                args.scenario, seed=args.seed, **knobs
+                args.scenario,
+                seed=args.seed,
+                **{**knobs, "kill_at": ()},
             )
             ok = ok and baseline.all_agree
             runs.append(baseline.run_record("fault-free"))
         runs.append(
-            report.run_record("faulted" if faults.active else "fault-free")
+            report.run_record(
+                "faulted" if (faults.active or kill_at) else "fault-free"
+            )
         )
         path = workload.write_bench_json(
             args.bench_out,
@@ -815,6 +932,9 @@ def _cmd_workload(args, out) -> int:
                 "wire": "binary" if args.binary else "text",
                 "batch": args.batch,
                 "shards": args.shards,
+                "procs": args.procs,
+                "durable": args.durable,
+                "kill_at": list(kill_at),
             },
             runs,
         )

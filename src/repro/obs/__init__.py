@@ -21,8 +21,9 @@ One subsystem for the system's self-knowledge, in two halves:
   (:mod:`repro.obs.exploration`).  The registry renders Prometheus text
   for the service's ``METRICS`` verb and ``repro serve --metrics-port``.
 
-The legacy import paths (``repro.service.metrics``,
-``repro.automata.stats``) keep working through deprecation shims.
+The legacy ``repro.automata.stats`` path keeps working through a
+deprecation shim; ``repro.service.metrics`` is down to an import-time
+warning stub and disappears next release.
 """
 
 from repro.obs.export import (

@@ -13,10 +13,30 @@ from __future__ import annotations
 import importlib
 import warnings
 
-__all__ = ["deprecated_module_attrs"]
+__all__ = ["deprecated_module_attrs", "warn_deprecated_module"]
 
-#: (shim module, attribute) pairs that already warned this process.
+#: (shim module, attribute) pairs that already warned this process.  A
+#: whole-module warning uses the empty attribute name.
 _WARNED: set[tuple[str, str]] = set()
+
+
+def warn_deprecated_module(module_name: str, replacement: str) -> None:
+    """Warn once per process that an entire module is deprecated.
+
+    The terminal stage of a shim's life: after one release of per-name
+    forwarding the names stop resolving, and the module body itself
+    calls this so any surviving ``import`` site gets one clear pointer
+    at the new home before the module disappears for good.
+    """
+    if (module_name, "") in _WARNED:
+        return
+    _WARNED.add((module_name, ""))
+    warnings.warn(
+        f"{module_name} is deprecated and will be removed in the next "
+        f"release; use {replacement} instead",
+        DeprecationWarning,
+        stacklevel=3,
+    )
 
 
 def deprecated_module_attrs(module_name: str, moved: dict[str, str]):

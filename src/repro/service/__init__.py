@@ -13,8 +13,8 @@ Modules:
 * :mod:`~repro.service.protocol` — the newline-delimited wire protocol;
 * :mod:`~repro.service.registry` — compile specs once, share machines;
 * :mod:`~repro.service.shards`   — per-callee FIFO worker pool;
-* :mod:`~repro.service.metrics`  — deprecated shim; metrics live in
-  :mod:`repro.obs` (``repro.obs.metrics`` / ``repro.obs.registry``);
+* :mod:`~repro.service.durability` — per-shard event log + snapshots;
+* :mod:`~repro.service.topology` — multi-process serving (scale-out);
 * :mod:`~repro.service.server`   — the asyncio TCP server;
 * :mod:`~repro.service.client`   — retrying, backpressured client.
 """

@@ -23,6 +23,17 @@ table fall back to per-event ``EVENT`` frames in stream order.  When the
 server is older than the binary protocol the client degrades to text
 automatically — ``proto=2`` is a request, not a requirement.
 
+A client constructed with ``session="key"`` asks for a *durable* session
+(:mod:`repro.service.durability`): the HELLO carries the key, and when
+the server confirms ``durable=1`` the client keeps every sent event line
+in an in-memory resend log, trimmed as ``applied=`` watermarks come back
+on status-shaped replies.  If the connection dies, the next
+synchronising verb transparently reconnects, re-attaches the same spec,
+and resends exactly the suffix the server had not yet logged — the
+watermark makes at-least-once delivery exactly-once.  Servers without a
+data directory (or predating the feature) simply never confirm, and the
+client behaves as a plain session.
+
 A client instance is designed to be driven from one task; it is not a
 connection pool.
 """
@@ -105,12 +116,27 @@ class MonitorClient:
         rng: random.Random | None = None,
         proto: int = 1,
         batch: int = DEFAULT_BATCH,
+        session: str | None = None,
+        resume: bool = True,
     ) -> None:
         if batch < 1:
             raise ReproError("batch size must be positive")
         self.host = host
         self.port = port
         self.spec = spec
+        #: Durable-session key (None = plain session).  :attr:`durable`
+        #: records whether the server actually confirmed the key;
+        #: ``resume=False`` keeps the resend log but disables the
+        #: transparent reconnect (tests drive the pieces separately).
+        self.session = session
+        self.resume = resume
+        self.durable = False
+        self._sent_log: list[str] = []
+        self._base = 0  # inputs the server had before this client object
+        self._trimmed = 0  # acked lines dropped from the front of the log
+        self._bound_spec: str | None = None
+        self._resuming = False
+        self._closing = False
         self.connect_retries = connect_retries
         self.backoff_base = backoff_base
         self.backoff_cap = backoff_cap
@@ -179,18 +205,33 @@ class MonitorClient:
             )
         self._sender = asyncio.create_task(self._drain_queue(), name="repro-client-send")
         self.proto = 1  # negotiation itself is always text
+        self.durable = False
         want = self.requested_proto
-        hello = await self._sync("HELLO" if want <= 1 else f"HELLO proto={want}")
-        if hello.kind != "ok" and want > 1:
-            # A server from before negotiation rejects the argument
-            # ("HELLO takes no argument"); fall back to the plain form
-            # and stay on the text protocol.
-            hello = await self._sync("HELLO")
+        # Fallback ladder for older servers, which reject unknown HELLO
+        # arguments with a clean ERR: first the full form, then (when a
+        # session key was the novelty) proto-only, then the bare HELLO
+        # every server has always answered.
+        parts = []
+        if want > 1:
+            parts.append(f"proto={want}")
+        if self.session is not None:
+            parts.append(f"session={self.session}")
+        attempts = ["HELLO " + " ".join(parts) if parts else "HELLO"]
+        if want > 1 and self.session is not None:
+            attempts.append(f"HELLO proto={want}")
+        if attempts[-1] != "HELLO":
+            attempts.append("HELLO")
+        hello = await self._sync(attempts[0])
+        for fallback in attempts[1:]:
+            if hello.kind == "ok":
+                break
+            hello = await self._sync(fallback)
         if hello.kind != "ok":
             raise ReproError(f"server rejected HELLO: {hello.detail}")
         # agreed = min(requested, server max); the min() here is only a
         # guard against a server granting more than we asked for.
         self.proto = min(self._agreed_proto(hello.detail), want) if want > 1 else 1
+        self.durable = "durable=1" in hello.detail.split()
         specs_field = hello.detail.rpartition("specs=")[2]
         self.server_specs = tuple(n for n in specs_field.split(",") if n)
         if self.spec is not None:
@@ -211,18 +252,24 @@ class MonitorClient:
         """Gracefully drain, say BYE, and close; returns nothing on a dead link."""
         if self._writer is None:
             return None
+        self._closing = True
         try:
             await self._sync("BYE")
         except (ReproError, ConnectionError):
             pass
         finally:
             await self._stop_sender()
-            self._writer.close()
-            try:
-                await self._writer.wait_closed()
-            except (ConnectionError, OSError):
-                pass
+            # Re-read the attribute: a resume attempt racing the BYE can
+            # have torn down and nulled the writer underneath us.
+            writer = self._writer
+            if writer is not None:
+                writer.close()
+                try:
+                    await writer.wait_closed()
+                except (ConnectionError, OSError):
+                    pass
             self._reader = self._writer = None
+            self._closing = False
         return None
 
     async def __aenter__(self) -> "MonitorClient":
@@ -238,6 +285,7 @@ class MonitorClient:
         reply = await self._sync(f"SPEC {name}")
         if reply.kind != "ok":
             raise ReproError(f"server rejected spec {name!r}: {reply.detail}")
+        applied = self._applied_field(reply.detail)
         self.spec = name
         self.letters = ()
         self._line_ids = {}
@@ -261,6 +309,42 @@ class MonitorClient:
                 self._line_ids = {
                     line: i for i, line in enumerate(self.letters)
                 }
+        if self.durable and applied is not None:
+            if name == self._bound_spec:
+                # Re-attach after a reconnect: trim what the server has
+                # durably applied, resend the rest through the fresh
+                # letter table (ids may differ after a hot swap).
+                self._note_applied(applied)
+                for line in self._sent_log:
+                    await self._send_input(line)
+            else:
+                # New binding (or a brand-new client adopting recovered
+                # server state): the server's watermark becomes the base
+                # this client's resend log counts from.
+                self._sent_log = []
+                self._base = applied
+                self._trimmed = 0
+                self._bound_spec = name
+
+    @staticmethod
+    def _applied_field(detail: str) -> int | None:
+        """The ``applied=<n>`` watermark of a reply detail, if present."""
+        for token in detail.split():
+            if token.startswith("applied="):
+                try:
+                    return int(token[len("applied="):])
+                except ValueError:
+                    return None
+        return None
+
+    def _note_applied(self, applied: int | None) -> None:
+        """Trim the resend log's prefix the server has durably applied."""
+        if applied is None:
+            return
+        acked = applied - self._base - self._trimmed
+        if acked > 0:
+            del self._sent_log[:acked]
+            self._trimmed += acked
 
     async def update_document(
         self,
@@ -341,6 +425,19 @@ class MonitorClient:
         table — flushes the batch first and travels as a per-event
         ``EVENT`` frame, so stream order is preserved exactly.
         """
+        if self.session is not None and self.durable:
+            # Durable sessions render the line eagerly: the resend log
+            # must hold wire-identical text so a replayed suffix means
+            # byte-for-byte what the lost original meant.
+            line = (
+                tracefile.format_event(event)
+                if isinstance(event, Event)
+                else event
+            )
+            self._sent_log.append(line)
+            await self._send_input(line)
+            self.events_sent += 1
+            return
         if self.proto >= 2:
             lid = self._letter_id(event)
             if lid is not None:
@@ -364,6 +461,22 @@ class MonitorClient:
         await self._queue.put(f"EVENT {line}")
         self.events_sent += 1
 
+    async def _send_input(self, line: str) -> None:
+        """Enqueue one already-rendered event line, batching when binary."""
+        if self.proto >= 2:
+            lid = self._line_ids.get(line) if self._line_ids else None
+            if lid is not None:
+                self._pending.append(lid)
+                if len(self._pending) >= self.batch:
+                    await self._flush_pending()
+                return
+            await self._flush_pending()
+            await self._queue.put(
+                wire.encode_frame(wire.OP_EVENT, line.encode("utf-8"))
+            )
+            return
+        await self._queue.put(f"EVENT {line}")
+
     async def send_trace(self, events) -> None:
         """Enqueue every event of an iterable (e.g. a loaded Trace)."""
         for event in events:
@@ -374,6 +487,8 @@ class MonitorClient:
         reply = await self._sync("STATUS")
         if reply.status is None:
             raise ReproError(f"malformed status reply: {reply.detail}")
+        if self.durable:
+            self._note_applied(reply.status.applied)
         return reply.status
 
     async def reset(self) -> None:
@@ -496,6 +611,51 @@ class MonitorClient:
         self._sender = None
 
     async def _sync(self, line: str) -> Reply:
+        """One synchronising round-trip, resuming a durable session once.
+
+        A dead link on a plain session raises ``ConnectionError`` as
+        ever.  On a confirmed-durable session (with ``resume`` enabled)
+        the client instead reconnects, re-attaches the bound spec —
+        which resends the unacked log suffix — and retries the verb
+        once.  The guard flag keeps a failure *during* the resume from
+        recursing.
+        """
+        try:
+            return await self._sync_once(line)
+        except ConnectionError:
+            if not (
+                self.durable
+                and self.resume
+                and not self._resuming
+                and not self._closing
+            ):
+                raise
+            await self._resume()
+            return await self._sync_once(line)
+
+    async def _resume(self) -> None:
+        """Tear down the dead link and rebuild the durable session."""
+        self._resuming = True
+        try:
+            await self._stop_sender()
+            if self._writer is not None:
+                # close() without wait_closed(): the old transport is
+                # already dead, and its close waiter can surface the
+                # reset (or a spurious cancel) instead of completing.
+                self._writer.close()
+            self._reader = self._writer = None
+            self._send_error = None
+            self._pending = array("i")
+            self._queue = asyncio.Queue(maxsize=self._queue.maxsize)
+            get_registry().counter(
+                "repro_client_resumes_total",
+                help="Durable-session reconnect-and-resend recoveries.",
+            ).inc()
+            await self.connect()
+        finally:
+            self._resuming = False
+
+    async def _sync_once(self, line: str) -> Reply:
         """Drain the send queue, then one request/reply round-trip.
 
         Binary sessions translate the verb line to its frame and parse

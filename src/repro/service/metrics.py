@@ -1,40 +1,30 @@
-"""Deprecated shim: service metrics moved to :mod:`repro.obs`.
+"""Removed: service metrics live in :mod:`repro.obs`.
 
 .. deprecated:: 1.1
-   Every class here now lives in the unified observability layer —
-   :class:`~repro.obs.metrics.ServiceMetrics`,
+   The per-name forwarding shim that lived here served its one release
+   and was deleted; this stub warns once on import and raises a pointed
+   ``AttributeError`` for every name lookup, and will itself be removed
+   next release.  Import :class:`~repro.obs.metrics.ServiceMetrics`,
    :class:`~repro.obs.metrics.CheckerMetrics` and
-   :class:`~repro.obs.metrics.NormalizationMetrics` in
-   ``repro.obs.metrics``; :class:`~repro.obs.registry.LatencyHistogram`
-   (now also ``Histogram``) and the bucket presets in
-   ``repro.obs.registry`` — and mirrors every increment into the
-   process-wide :class:`~repro.obs.registry.MetricsRegistry`.  Import
-   from ``repro.obs`` instead; this module will be removed one release
-   after 1.1.  Each name warns with ``DeprecationWarning`` exactly once
-   per process on first access.
+   :class:`~repro.obs.metrics.NormalizationMetrics` from
+   ``repro.obs.metrics``, and
+   :class:`~repro.obs.registry.LatencyHistogram` (also ``Histogram``)
+   plus the bucket presets from ``repro.obs.registry`` — all re-exported
+   by ``repro.obs``.
 """
 
 from __future__ import annotations
 
-from repro.obs.compat import deprecated_module_attrs
+from repro.obs.compat import warn_deprecated_module
 
-__all__ = [
-    "LatencyHistogram",
-    "ServiceMetrics",
-    "CheckerMetrics",
-    "NormalizationMetrics",
-    "DEFAULT_BUCKETS",
-    "OBLIGATION_BUCKETS",
-]
+__all__: list[str] = []
 
-__getattr__ = deprecated_module_attrs(
-    __name__,
-    {
-        "LatencyHistogram": "repro.obs.registry",
-        "DEFAULT_BUCKETS": "repro.obs.registry",
-        "OBLIGATION_BUCKETS": "repro.obs.registry",
-        "ServiceMetrics": "repro.obs.metrics",
-        "CheckerMetrics": "repro.obs.metrics",
-        "NormalizationMetrics": "repro.obs.metrics",
-    },
-)
+warn_deprecated_module(__name__, "repro.obs")
+
+
+def __getattr__(name: str):
+    raise AttributeError(
+        f"{__name__}.{name} no longer exists; the service metrics "
+        f"classes moved to repro.obs (see repro.obs.metrics and "
+        f"repro.obs.registry)"
+    )

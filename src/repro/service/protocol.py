@@ -9,9 +9,14 @@ the length-prefixed binary framing it can upgrade to (proto=2, module
 :mod:`repro.service.wire`) is ``docs/wire-protocol.md``; what follows is
 the working summary.  Requests, one per line::
 
-    HELLO [proto=N]       negotiate; the server answers its agreed
+    HELLO [proto=N] [session=K]
+                          negotiate; the server answers its agreed
                           protocol version and spec names, and a session
-                          agreeing on proto>=2 switches to binary frames
+                          agreeing on proto>=2 switches to binary frames.
+                          ``session=K`` names a durable session key: on a
+                          server with a data directory the session's
+                          inputs are logged and replayed across restarts
+                          (the reply then carries ``durable=1``)
     SPEC <name>           bind the session to a specification
     EVENT <trace line>    feed one event (runtime/tracefile.py syntax)
     UPDATE <fields>       hot-swap compiled specs in the live registry:
@@ -40,7 +45,12 @@ reply line::
     VIOLATION spec=<name> events=<n> skipped=<k> errors=<e> index=<i> event=<trace line>
 
 The ``event=`` field is always last so the raw trace line (which contains
-spaces) needs no quoting.
+spaces) needs no quoting.  Status-shaped replies for a *durable* session
+additionally carry ``applied=<a>`` (after ``errors=``): the number of
+event inputs the server has durably logged and applied — the client's
+resend watermark after a reconnect (see
+:mod:`repro.service.durability`).  Non-durable sessions omit the field,
+so their replies are byte-identical to earlier releases.
 
 ``METRICS`` is the one multi-line reply: ``OK metrics lines=<n>``
 followed by exactly ``n`` raw lines of Prometheus text exposition from
@@ -70,6 +80,7 @@ __all__ = [
     "SessionStatus",
     "format_status",
     "parse_command",
+    "parse_hello",
     "parse_hello_proto",
     "parse_reply",
 ]
@@ -107,6 +118,31 @@ def parse_hello_proto(arg: str) -> int:
     return proto
 
 
+def parse_hello(arg: str) -> tuple[int, str | None]:
+    """Parse a full ``HELLO`` argument: ``(proto, session key or None)``.
+
+    Accepts space-separated ``proto=N`` and ``session=K`` fields in any
+    order (a repeated field keeps its last value).
+    :func:`parse_hello_proto` is the
+    single-field subset kept for compatibility — servers from before
+    durable sessions reject ``session=`` through it, which is exactly
+    the signal a new client needs to fall back to a plain ``HELLO``.
+    """
+    proto = 1
+    session: str | None = None
+    for token in arg.split():
+        key, eq, value = token.partition("=")
+        if key == "proto" and eq:
+            proto = parse_hello_proto(token)
+        elif key == "session" and eq:
+            if not value:
+                raise ProtocolError("HELLO session key must be non-empty")
+            session = value
+        else:
+            raise ProtocolError(f"malformed HELLO argument {token!r}")
+    return proto, session
+
+
 class ProtocolError(ReproError):
     """Raised for lines that are not valid protocol messages."""
 
@@ -134,7 +170,7 @@ def parse_command(line: str) -> Command:
     if verb in _BARE_VERBS and rest:
         raise ProtocolError(f"{verb} takes no argument")
     if verb in _OPT_ARG_VERBS and rest:
-        parse_hello_proto(rest)  # reject malformed negotiation upfront
+        parse_hello(rest)  # reject malformed negotiation upfront
     return Command(verb, rest)
 
 
@@ -145,7 +181,10 @@ class SessionStatus:
     ``events`` counts every ``EVENT`` accepted (in and out of alphabet),
     ``skipped`` the out-of-alphabet subset, ``errors`` the malformed or
     spec-less events.  ``violation_index`` is the 0-based session-global
-    index of the first violating event.
+    index of the first violating event.  ``applied`` is the durable
+    session's idempotency watermark (total event inputs logged and
+    applied, never reset); ``None`` on non-durable sessions, whose
+    replies then render without the field.
     """
 
     spec: str | None = None
@@ -154,6 +193,7 @@ class SessionStatus:
     errors: int = 0
     violation_index: int | None = None
     violation_event: str | None = None
+    applied: int | None = None
 
     @property
     def ok(self) -> bool:
@@ -167,6 +207,8 @@ def format_status(status: SessionStatus) -> str:
         f"spec={spec} events={status.events} "
         f"skipped={status.skipped} errors={status.errors}"
     )
+    if status.applied is not None:
+        counters += f" applied={status.applied}"
     if status.ok:
         return f"OK status {counters}"
     return (
@@ -216,6 +258,7 @@ def _parse_status(text: str, violated: bool) -> SessionStatus:
             errors=int(fields.get("errors", 0)),
             violation_index=int(fields["index"]) if violated else None,
             violation_event=event if violated else None,
+            applied=int(fields["applied"]) if "applied" in fields else None,
         )
     except (KeyError, ValueError) as exc:
         raise ProtocolError(f"malformed status reply {text!r}: {exc}") from exc

@@ -19,6 +19,7 @@ from __future__ import annotations
 
 import asyncio
 from array import array
+from pathlib import Path
 
 from repro.core.errors import ReproError
 from repro.obs.metrics import ServiceMetrics, declare_cache_counters
@@ -26,14 +27,14 @@ from repro.obs.registry import get_registry
 from repro.obs.trace import span
 from repro.runtime import tracefile
 from repro.runtime.monitor import SpecMonitor, Violation
-from repro.service import wire
+from repro.service import durability, wire
 from repro.service.protocol import (
     Command,
     ProtocolError,
     SessionStatus,
     format_status,
     parse_command,
-    parse_hello_proto,
+    parse_hello,
 )
 from repro.service.registry import CompiledSpec, SpecRegistry
 from repro.service.shards import DEFAULT_QUEUE_SIZE, BatchTask, ShardPool
@@ -60,6 +61,11 @@ class _Session:
         "skipped",
         "errors",
         "violation",
+        "key",
+        "received",
+        "lsn",
+        "since_snapshot",
+        "restored_violation",
     )
 
     def __init__(self, seq: int, router) -> None:
@@ -73,6 +79,19 @@ class _Session:
         self.skipped = 0
         self.errors = 0
         self.violation: Violation | None = None
+        #: Durable-session state.  ``key`` is the client's idempotency
+        #: key (None on plain sessions); ``received`` the monotonic input
+        #: watermark (every EVENT line and every EVENTS id counts one,
+        #: never reset — it is what ``applied=`` reports); ``lsn`` the
+        #: next log sequence number.  ``restored_violation`` carries a
+        #: violation recovered from the log as ``(index, line)`` — the
+        #: Violation object itself cannot be rebuilt because the bounded
+        #: history that produced it is gone.
+        self.key: str | None = None
+        self.received = 0
+        self.lsn = 0
+        self.since_snapshot = 0
+        self.restored_violation: tuple[int, str] | None = None
 
     def shard_for(self, callee_name: str) -> int:
         """The shard an event routes to, honouring the session's proto.
@@ -81,9 +100,15 @@ class _Session:
         stepping interleaves with out-of-table fallback events, and the
         relative order of the two streams is only preserved when both
         land on the same FIFO (DESIGN.md §13).  Coupled specs pin in
-        every proto, as before.
+        every proto, as before, and so do durable sessions: replay
+        applies the log in lsn order, which is only the order the
+        monitor saw when the whole session drained through one FIFO.
         """
-        if self.proto >= 2 or (self.compiled is not None and self.compiled.coupled):
+        if (
+            self.proto >= 2
+            or self.key is not None
+            or (self.compiled is not None and self.compiled.coupled)
+        ):
             return self.router.shard_of(_COUPLED_KEY)
         return self.router.shard_of(callee_name)
 
@@ -95,18 +120,25 @@ class _Session:
         self.skipped = 0
         self.errors = 0
         self.violation = None
+        # ``received``/``lsn`` survive on purpose: the idempotency
+        # watermark counts inputs consumed, not monitor state, and must
+        # stay monotonic across RESET for resend dedup to stay sound.
+        self.restored_violation = None
 
     def status(self) -> SessionStatus:
         violation = self.violation
+        index = violation.index if violation else None
+        line = tracefile.format_event(violation.event) if violation else None
+        if violation is None and self.restored_violation is not None:
+            index, line = self.restored_violation
         return SessionStatus(
             spec=self.compiled.name if self.compiled else None,
             events=self.events,
             skipped=self.skipped,
             errors=self.errors,
-            violation_index=violation.index if violation else None,
-            violation_event=(
-                tracefile.format_event(violation.event) if violation else None
-            ),
+            violation_index=index,
+            violation_event=line,
+            applied=self.received if self.key is not None else None,
         )
 
 
@@ -126,9 +158,40 @@ class MonitorServer:
         metrics_port: int | None = None,
         queue_size: int = DEFAULT_QUEUE_SIZE,
         max_proto: int = wire.WIRE_VERSION,
+        data_dir: str | Path | None = None,
+        worker_id: int = 0,
+        fsync_every: int = durability.DEFAULT_FSYNC_EVERY,
+        snapshot_every: int = durability.DEFAULT_SNAPSHOT_EVERY,
+        watch: str | Path | None = None,
+        watch_interval: float = 0.5,
+        sock=None,
+        listen: bool = True,
     ) -> None:
         self.registry = registry
         self.pool = ShardPool(shards, queue_size=queue_size)
+        #: Durable-session support: with a data directory the server
+        #: write-ahead logs every input of a keyed session and replays
+        #: the log on the session's next attach (same or later process).
+        #: One connection per key at a time is the operator's contract —
+        #: the server does not arbitrate concurrent writers of one key.
+        self.data_dir = Path(data_dir) if data_dir is not None else None
+        self._store = (
+            durability.WorkerStore(
+                self.data_dir, worker_id, fsync_every=fsync_every
+            )
+            if self.data_dir is not None
+            else None
+        )
+        self.snapshot_every = snapshot_every
+        self._watch = Path(watch) if watch is not None else None
+        self._watch_interval = watch_interval
+        self._watch_task: asyncio.Task | None = None
+        #: ``sock``: serve an externally prepared listening socket (the
+        #: SO_REUSEPORT workers of :mod:`~repro.service.topology`).
+        #: ``listen=False``: no acceptor at all — handoff workers feed
+        #: :meth:`_handle_connection` with sockets received over a pipe.
+        self._sock = sock
+        self._listen = listen
         #: Highest protocol version this server negotiates up to.
         #: ``max_proto=1`` emulates a pre-binary server (interop tests).
         self.max_proto = max_proto
@@ -142,6 +205,8 @@ class MonitorServer:
         self._requested_port = port
         self._server: asyncio.AbstractServer | None = None
         self._session_seq = 0
+        self._conn_tasks: set[asyncio.Task] = set()
+        self._conn_writers: set[asyncio.StreamWriter] = set()
         self._dump_task: asyncio.Task | None = None
         self._metrics_interval = metrics_interval
         self._metrics_out = metrics_out
@@ -160,10 +225,20 @@ class MonitorServer:
         the actual one afterwards (tests and benchmarks rely on this).
         """
         await self.pool.start()
-        self._server = await asyncio.start_server(
-            self._handle_connection, self.host, self._requested_port
-        )
-        self.port = self._server.sockets[0].getsockname()[1]
+        if not self._listen:
+            pass  # handoff worker: connections arrive by file descriptor
+        elif self._sock is not None:
+            self._server = await asyncio.start_server(
+                self._handle_connection, sock=self._sock
+            )
+            self.port = self._server.sockets[0].getsockname()[1]
+        else:
+            self._server = await asyncio.start_server(
+                self._handle_connection, self.host, self._requested_port
+            )
+            self.port = self._server.sockets[0].getsockname()[1]
+        if self._watch is not None:
+            self._watch_task = asyncio.create_task(self._watch_loop())
         if self.metrics_port is not None:
             self._metrics_server = await asyncio.start_server(
                 self._handle_scrape, self.host, self.metrics_port
@@ -182,6 +257,13 @@ class MonitorServer:
             await self._server.serve_forever()
 
     async def stop(self) -> None:
+        if self._watch_task is not None:
+            self._watch_task.cancel()
+            try:
+                await self._watch_task
+            except asyncio.CancelledError:
+                pass
+            self._watch_task = None
         if self._dump_task is not None:
             self._dump_task.cancel()
             try:
@@ -197,7 +279,16 @@ class MonitorServer:
             self._server.close()
             await self._server.wait_closed()
             self._server = None
+        # Sever live connections and let their handlers finish (they
+        # drain through the still-running pool, durable sessions write a
+        # farewell snapshot) *before* the shard workers go away.
+        for conn_writer in list(self._conn_writers):
+            conn_writer.close()
+        if self._conn_tasks:
+            await asyncio.gather(*self._conn_tasks, return_exceptions=True)
         await self.pool.stop()
+        if self._store is not None:
+            self._store.close()
 
     async def __aenter__(self) -> "MonitorServer":
         await self.start()
@@ -212,6 +303,10 @@ class MonitorServer:
         self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
     ) -> None:
         self.metrics.session_opened()
+        task = asyncio.current_task()
+        if task is not None:
+            self._conn_tasks.add(task)
+        self._conn_writers.add(writer)
         self._session_seq += 1
         # Sessions are independent trace universes, so only per-callee
         # order *within* a session must be preserved — the seq-number
@@ -257,6 +352,14 @@ class MonitorServer:
             pass
         finally:
             self.metrics.session_closed()
+            self._conn_writers.discard(writer)
+            if task is not None:
+                self._conn_tasks.discard(task)
+            if self._durable(session):
+                try:
+                    await self._snapshot_session(session)
+                except Exception:
+                    pass  # the log already has everything; replay covers it
             writer.close()
             try:
                 await writer.wait_closed()
@@ -266,6 +369,175 @@ class MonitorServer:
     async def _reply(self, writer: asyncio.StreamWriter, line: str) -> None:
         writer.write(line.encode("utf-8") + b"\n")
         await writer.drain()
+
+    # -- document watching (--watch) -----------------------------------------
+
+    @staticmethod
+    def _watch_stamp(path: Path) -> tuple[int, int] | None:
+        try:
+            st = path.stat()
+        except OSError:
+            return None
+        return (st.st_mtime_ns, st.st_size)
+
+    async def _watch_loop(self) -> None:
+        """Poll the watched document and hot-swap on change.
+
+        Polling (mtime + size) keeps this dependency-free; a failed
+        reload — the classic half-saved document — counts an error and
+        leaves the registry on the last good build, exactly like a
+        rejected ``UPDATE``.  Bound sessions drain on their pinned
+        machines either way.
+        """
+        reg = get_registry()
+        reloads = reg.counter(
+            "repro_watch_reloads_total",
+            help="Successful --watch document hot-swaps.",
+        )
+        failures = reg.counter(
+            "repro_watch_errors_total",
+            help="--watch reloads rejected (unreadable or invalid document).",
+        )
+        last = self._watch_stamp(self._watch)
+        while True:
+            await asyncio.sleep(self._watch_interval)
+            stamp = self._watch_stamp(self._watch)
+            if stamp is None or stamp == last:
+                continue
+            last = stamp
+            try:
+                text = self._watch.read_text(encoding="utf-8")
+                self._apply_update(text=text)
+            except (OSError, ReproError):
+                failures.inc()
+                continue
+            reloads.inc()
+
+    # -- durable sessions ----------------------------------------------------
+
+    def _durable(self, session: _Session) -> bool:
+        return session.key is not None and self._store is not None
+
+    def _append_record(
+        self, session: _Session, opcode: int, body: bytes, inputs: int
+    ) -> None:
+        """Write-ahead log one record and advance the session watermark."""
+        record = durability.encode_record(
+            opcode, session.key, session.lsn, session.received, body
+        )
+        shard = session.router.shard_of(_COUPLED_KEY)
+        self._store.append(shard, record)
+        session.lsn += 1
+        session.received += inputs
+        session.since_snapshot += inputs
+
+    def _snapshot_payload(self, session: _Session) -> dict | None:
+        """The session's snapshot, or None when it cannot be snapshotted.
+
+        A deoptimised monitor (alive but fallen off the dense table) has
+        no stable integer state to persist — recovery replays more log
+        instead, which is always correct, just slower.
+        """
+        monitor_state = None
+        shard = session.router.shard_of(_COUPLED_KEY)
+        monitor = session.monitors.get(shard)
+        if monitor is not None:
+            if monitor.alive and monitor._dstate is None:
+                return None
+            monitor_state = {"alive": monitor.alive, "dstate": monitor._dstate}
+        violation = None
+        if session.violation is not None:
+            violation = {
+                "index": session.violation.index,
+                "event": tracefile.format_event(session.violation.event),
+            }
+        elif session.restored_violation is not None:
+            violation = {
+                "index": session.restored_violation[0],
+                "event": session.restored_violation[1],
+            }
+        return {
+            "key": session.key,
+            "spec": session.compiled.name if session.compiled else None,
+            "lsn": session.lsn,
+            "received": session.received,
+            "events": session.events,
+            "skipped": session.skipped,
+            "errors": session.errors,
+            "violation": violation,
+            "monitor": monitor_state,
+        }
+
+    async def _snapshot_session(self, session: _Session) -> None:
+        """Checkpoint a durable session so recovery can skip log prefix.
+
+        Order matters: flush the shard (the monitor must have applied
+        everything the snapshot claims), fsync the log (a snapshot must
+        never cover records that could still be lost), then write.
+        """
+        session.since_snapshot = 0
+        await self.pool.flush(session.touched)
+        self._store.sync()
+        payload = self._snapshot_payload(session)
+        if payload is not None:
+            self._store.write_snapshot(payload)
+
+    def _install_recovery(
+        self, session: _Session, recovered: durability.RecoveredSession
+    ) -> None:
+        """Adopt a recovered session's counters, monitor and watermark."""
+        session.received = recovered.received
+        session.lsn = recovered.next_lsn
+        session.since_snapshot = 0
+        session.events = recovered.events
+        session.skipped = recovered.skipped
+        session.errors = recovered.errors
+        session.compiled = recovered.compiled
+        session.monitors = {}
+        session.violation = None
+        session.restored_violation = None
+        if recovered.monitor is not None:
+            shard = session.router.shard_of(_COUPLED_KEY)
+            session.monitors[shard] = recovered.monitor
+            session.touched.add(shard)
+        if recovered.violation_index is not None:
+            session.restored_violation = (
+                recovered.violation_index,
+                recovered.violation_line or "",
+            )
+
+    async def _bind_session(
+        self, session: _Session, compiled: CompiledSpec
+    ) -> int | None:
+        """Bind (or durable re-attach) a spec; the ``applied=`` watermark.
+
+        On a plain session SPEC means "fresh stream" and returns None.
+        On a durable session re-binding the *already attached* spec it is
+        an idempotent attach — the reconnecting client resumes the same
+        logical stream, so nothing resets and no record is written; only
+        a bind to a *different* spec starts over (logged as REC_BIND, the
+        input watermark still monotonic).
+        """
+        await self.pool.flush(session.touched)
+        durable = self._durable(session)
+        if (
+            durable
+            and session.compiled is not None
+            and session.compiled.name == compiled.name
+        ):
+            return session.received
+        session.reset()
+        session.compiled = compiled
+        session.monitors = {}
+        if durable:
+            self._append_record(
+                session,
+                durability.REC_BIND,
+                compiled.name.encode("utf-8"),
+                0,
+            )
+            return session.received
+        return None
 
     # -- Prometheus scrape endpoint ------------------------------------------
 
@@ -306,11 +578,23 @@ class MonitorServer:
     ) -> bool:
         """Handle a reply-bearing verb; returns True when the session ends."""
         if command.verb == "HELLO":
-            agreed = min(parse_hello_proto(command.arg), self.max_proto)
+            proto, key = parse_hello(command.arg)
+            agreed = min(proto, self.max_proto)
+            durable = ""
+            if key is not None and self._store is not None:
+                # Recover before the reply: ``durable=1`` promises the
+                # log is attached, so the watermark must already be
+                # loaded when the client's SPEC asks for ``applied=``.
+                session.key = key
+                self._install_recovery(
+                    session,
+                    durability.recover(self.data_dir, key, self.registry),
+                )
+                durable = " durable=1"
             names = ",".join(self.registry.names())
             await self._reply(
                 writer,
-                f"OK repro-service {agreed} specs={names}",
+                f"OK repro-service {agreed}{durable} specs={names}",
             )
             # The switch happens *after* this reply: negotiation is
             # always text, everything past it is framed when agreed >= 2.
@@ -322,12 +606,11 @@ class MonitorServer:
             except ReproError as exc:
                 await self._reply(writer, f"ERR {exc}")
                 return False
-            await self.pool.flush(session.touched)
-            session.reset()
-            session.compiled = compiled
-            session.monitors = {}
+            applied = await self._bind_session(session, compiled)
+            suffix = "" if applied is None else f" applied={applied}"
             await self._reply(
-                writer, f"OK spec {compiled.name} shards={self.pool.shards}"
+                writer,
+                f"OK spec {compiled.name} shards={self.pool.shards}{suffix}",
             )
             return False
         if command.verb == "STATUS":
@@ -347,11 +630,15 @@ class MonitorServer:
             return False
         if command.verb == "RESET":
             await self.pool.flush(session.touched)
+            if self._durable(session):
+                self._append_record(session, durability.REC_RESET, b"", 0)
             session.reset()
             await self._reply(writer, "OK reset")
             return False
         if command.verb == "BYE":
             await self.pool.flush(session.touched)
+            if self._durable(session):
+                await self._snapshot_session(session)
             await self._reply(writer, f"OK bye events={session.events}")
             return True
         raise AssertionError(f"unhandled verb {command.verb}")  # pragma: no cover
@@ -530,14 +817,15 @@ class MonitorServer:
             except ReproError as exc:
                 await self._send_frame(writer, wire.OP_ERR, str(exc).encode())
                 return False
-            await self.pool.flush(session.touched)
-            session.reset()
-            session.compiled = compiled
-            session.monitors = {}
+            applied = await self._bind_session(session, compiled)
+            # A durable re-attach keeps the recovered pinned build; sync
+            # the letter table of *that* build, not a post-swap one.
+            compiled = session.compiled
+            suffix = "" if applied is None else f" applied={applied}"
             count = len(self.registry.letter_lines(compiled.name))
             detail = (
-                f"spec {compiled.name} shards={self.pool.shards} "
-                f"letters={count}"
+                f"spec {compiled.name} shards={self.pool.shards}"
+                f"{suffix} letters={count}"
             )
             # The OK reply and the letter table travel back to back: the
             # client knows from ``letters=<k>`` (k > 0) that exactly one
@@ -585,11 +873,15 @@ class MonitorServer:
             return False
         if opcode == wire.OP_RESET:
             await self.pool.flush(session.touched)
+            if self._durable(session):
+                self._append_record(session, durability.REC_RESET, b"", 0)
             session.reset()
             await self._send_frame(writer, wire.OP_OK, b"reset")
             return False
         if opcode == wire.OP_BYE:
             await self.pool.flush(session.touched)
+            if self._durable(session):
+                await self._snapshot_session(session)
             await self._send_frame(
                 writer, wire.OP_OK, f"bye events={session.events}".encode()
             )
@@ -627,6 +919,13 @@ class MonitorServer:
         n = len(ids)
         if n == 0:
             return
+        if self._durable(session):
+            # Log the payload verbatim *before* validation: replay then
+            # re-runs the identical validation, so dropped/invalid ids
+            # are re-counted as errors exactly as they were live.
+            if session.since_snapshot >= self.snapshot_every:
+                await self._snapshot_session(session)
+            self._append_record(session, durability.REC_IDS, payload, n)
         compiled = session.compiled
         if compiled is None or compiled.dense is None:
             # No spec bound, or a spec the registry could not tabulate —
@@ -683,6 +982,15 @@ class MonitorServer:
         Problems never elicit a reply (events pipeline without per-event
         round-trips); they are surfaced by the next synchronising verb.
         """
+        if self._durable(session):
+            # Write-ahead: the raw line (malformed or not) is one input.
+            # The snapshot check runs first so the checkpoint covers
+            # exactly the records before this one, all already applied.
+            if session.since_snapshot >= self.snapshot_every:
+                await self._snapshot_session(session)
+            self._append_record(
+                session, durability.REC_LINE, arg.encode("utf-8"), 1
+            )
         try:
             event = tracefile.parse_line(arg)
         except ReproError:

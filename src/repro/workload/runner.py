@@ -24,6 +24,8 @@ disagreements.
 from __future__ import annotations
 
 import asyncio
+import random
+import tempfile
 import time
 from dataclasses import dataclass
 
@@ -69,6 +71,8 @@ class WorkloadReport:
     seconds: float
     latency: dict | None
     binary: bool = False
+    kills: int = 0
+    restarts: int = 0
 
     @property
     def events_total(self) -> int:
@@ -120,6 +124,7 @@ class WorkloadReport:
                 "observed": self.observed_violations,
                 "agreement": round(self.agreement, 4),
             },
+            "chaos": {"kills": self.kills, "restarts": self.restarts},
         }
 
     def describe(self) -> str:
@@ -137,6 +142,11 @@ class WorkloadReport:
             f"{self.observed_violations}; oracle agreement "
             f"{self.agreement:.0%}",
         ]
+        if self.kills:
+            lines.append(
+                f"  chaos: killed {self.kills} worker(s), "
+                f"restarts={self.restarts}"
+            )
         if self.latency:
             lines.append(
                 f"  check latency: p50={self.latency.get('p50_us')}µs "
@@ -219,6 +229,28 @@ def _histogram_from_prometheus(text: str, family: str) -> Histogram | None:
     return hist
 
 
+async def _chaos_killer(
+    server, kill_at: tuple[int, ...], clients: list, seed, record: dict
+) -> None:
+    """SIGKILL a seeded-random worker at each sent-events threshold.
+
+    Watches the *client-side* send counters (the only vantage point that
+    exists while a worker is dying) and leaves respawning to the
+    server's supervisor; durable sessions then resume exactly-once.
+    """
+    rng = random.Random(f"{seed}:chaos")
+    for threshold in sorted(kill_at):
+        while sum(c.events_sent for c in clients) < threshold:
+            await asyncio.sleep(0.01)
+        index = rng.randrange(server.procs)
+        server.kill_worker(index)
+        record["kills"] += 1
+        get_registry().counter(
+            "repro_workload_kills_total",
+            help="workers SIGKILLed by the chaos fault injector",
+        ).inc()
+
+
 async def _drive_session(
     index: int,
     host: str,
@@ -233,6 +265,8 @@ async def _drive_session(
     binary: bool,
     batch: int | None,
     counters,
+    session_key: str | None = None,
+    client_sink: list | None = None,
 ) -> SessionOutcome:
     stream = StreamSession(compiled, faults, seed=f"{seed}:{index}")
     errors = 0
@@ -247,9 +281,12 @@ async def _drive_session(
             port,
             spec=scenario.monitored,
             proto=2 if binary else 1,
+            session=session_key,
             **({"batch": batch} if batch is not None else {}),
         )
         await client.connect()
+        if client_sink is not None:
+            client_sink.append(client)
         try:
             deadline = (
                 time.monotonic() + duration if duration is not None else None
@@ -304,34 +341,66 @@ async def _run(
     history_limit: int | None,
     binary: bool,
     batch: int | None,
+    procs: int | None,
+    data_dir,
+    durable: bool,
+    kill_at: tuple[int, ...],
 ) -> WorkloadReport:
     registry = scenario.registry(history_limit=history_limit)
     compiled = registry.get(scenario.monitored)
     counters = _workload_counters()
+    chaos = {"kills": 0, "restarts": 0}
 
-    async def drive(target_host: str, target_port: int, metrics_source):
+    async def drive(
+        target_host: str,
+        target_port: int,
+        metrics_source,
+        chaos_server=None,
+    ):
+        clients: list = []
         started = time.monotonic()
-        outcomes = await asyncio.gather(
-            *(
-                _drive_session(
-                    i,
-                    target_host,
-                    target_port,
-                    scenario,
-                    compiled,
-                    seed=seed,
-                    faults=faults,
-                    events=events,
-                    duration=duration,
-                    binary=binary,
-                    batch=batch,
-                    counters=counters,
-                )
-                for i in range(sessions)
+        chaos_task = (
+            asyncio.create_task(
+                _chaos_killer(chaos_server, kill_at, clients, seed, chaos)
             )
+            if chaos_server is not None and kill_at
+            else None
         )
+        try:
+            outcomes = await asyncio.gather(
+                *(
+                    _drive_session(
+                        i,
+                        target_host,
+                        target_port,
+                        scenario,
+                        compiled,
+                        seed=seed,
+                        faults=faults,
+                        events=events,
+                        duration=duration,
+                        binary=binary,
+                        batch=batch,
+                        counters=counters,
+                        session_key=(
+                            f"{scenario.name}-{seed}:{i}" if durable else None
+                        ),
+                        client_sink=clients,
+                    )
+                    for i in range(sessions)
+                )
+            )
+        finally:
+            if chaos_task is not None:
+                chaos_task.cancel()
+                try:
+                    await chaos_task
+                except asyncio.CancelledError:
+                    pass
         seconds = time.monotonic() - started
         latency = await metrics_source()
+        if chaos_server is not None:
+            chaos["restarts"] = chaos_server.restarts
         return WorkloadReport(
             scenario=scenario.name,
             spec=scenario.monitored,
@@ -341,6 +410,8 @@ async def _run(
             seconds=seconds,
             latency=latency,
             binary=binary,
+            kills=chaos["kills"],
+            restarts=chaos["restarts"],
         )
 
     with span(
@@ -365,16 +436,46 @@ async def _run(
                 return latency_summary(hist) if hist is not None else None
 
             report = await drive(target_host, port, remote_latency)
+        elif procs is not None and procs > 1:
+            from repro.service.topology import ScaleOutServer
+
+            async def no_latency():
+                # Per-worker histograms live in N processes; percentile
+                # aggregation across them is not meaningful here.
+                return None
+
+            with tempfile.TemporaryDirectory() as tmp:
+                store = data_dir if data_dir is not None else (
+                    tmp if durable or kill_at else None
+                )
+                async with ScaleOutServer(
+                    scenario=scenario.name,
+                    procs=procs,
+                    shards=shards,
+                    data_dir=store,
+                    history_limit=history_limit,
+                ) as server:
+                    report = await drive(
+                        "127.0.0.1", server.port, no_latency,
+                        chaos_server=server,
+                    )
         else:
             from repro.service.server import MonitorServer
 
-            async with MonitorServer(registry, shards=shards) as server:
+            async def local_latency():
+                hist = server.metrics.latency.get(scenario.monitored)
+                return latency_summary(hist) if hist is not None else None
 
-                async def local_latency():
-                    hist = server.metrics.latency.get(scenario.monitored)
-                    return latency_summary(hist) if hist is not None else None
-
-                report = await drive("127.0.0.1", server.port, local_latency)
+            with tempfile.TemporaryDirectory() as tmp:
+                store = data_dir if data_dir is not None else (
+                    tmp if durable else None
+                )
+                async with MonitorServer(
+                    registry, shards=shards, data_dir=store
+                ) as server:
+                    report = await drive(
+                        "127.0.0.1", server.port, local_latency
+                    )
         sp.set(
             events=report.events_total,
             agreement=report.agreement,
@@ -398,6 +499,10 @@ def run_workload(
     history_limit: int | None = 4096,
     binary: bool = False,
     batch: int | None = None,
+    procs: int | None = None,
+    data_dir=None,
+    durable: bool = False,
+    kill_at: tuple[int, ...] = (),
 ) -> WorkloadReport:
     """Run one scenario workload and report oracle agreement.
 
@@ -413,6 +518,16 @@ def run_workload(
     ``batch`` ids — the client default when ``None``); the oracle check
     is framing-independent, which is exactly what makes this runner the
     verdict-equivalence gate between the two wire paths.
+
+    ``procs=N`` (N > 1) runs a hermetic
+    :class:`~repro.service.topology.ScaleOutServer` instead of the
+    in-process server.  ``durable=True`` gives session ``i`` the
+    idempotency key ``"<scenario>-<seed>:i"`` (over ``data_dir``, or a
+    run-scoped temporary directory); ``kill_at=(n, ...)`` then SIGKILLs
+    a seeded-random worker each time the run's total sent-event count
+    crosses ``n`` — the supervisor respawns it, durable clients resume,
+    and the oracle check is the replay-correctness law: verdicts must
+    match an uninterrupted run exactly.
     """
     scenario = get_scenario(scenario_name)
     return asyncio.run(
@@ -429,5 +544,9 @@ def run_workload(
             history_limit=history_limit,
             binary=binary,
             batch=batch,
+            procs=procs,
+            data_dir=data_dir,
+            durable=durable,
+            kill_at=tuple(kill_at),
         )
     )

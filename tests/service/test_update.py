@@ -177,3 +177,72 @@ class TestUpdateVerb:
             asyncio.run(client.update_document())
         with pytest.raises(ReproError, match="exactly one"):
             asyncio.run(client.update_document(text="x", scenario="y"))
+
+
+#: OLD_DOC with B's alphabet *widened* by a second method N — the letter
+#: table of (B, version 1) strictly contains version 0's.
+WIDER_DOC = """
+object o
+object c
+specification A {
+  objects o
+  method M(Data)
+  alphabet { <c, o, M(_)> ; }
+  traces prs "<c,o,M(_)>*"
+}
+specification B {
+  objects o
+  method M(Data)
+  method N(Data)
+  alphabet { <c, o, M(_)> ; <c, o, N(_)> ; }
+  traces prs "<c,o,M(_)>* <c,o,N(_)>*"
+}
+"""
+
+N_EVENT = "c -> o : N(Data:d)"
+
+
+class TestBinaryUpdateRace:
+    """UPDATE racing proto=2 EVENTS batches (PR 9 satellite check).
+
+    A bound binary session keeps draining its pinned build — its queued
+    letter ids mean what they meant when the table was synced — while a
+    rebind resyncs the LETTERS table keyed ``(name, version)`` and only
+    then sees the new alphabet.
+    """
+
+    def test_batches_drain_pinned_build_and_rebind_resyncs_letters(self):
+        async def run():
+            registry = SpecRegistry.from_text(OLD_DOC)
+            async with MonitorServer(registry, shards=2) as server:
+                async with MonitorClient(
+                    "127.0.0.1", server.port, spec="B", proto=2, batch=8
+                ) as session:
+                    letters_v0 = session.letters
+                    # half a batch queued, then the document swaps under it
+                    await session.send_event(EVENT)
+                    async with MonitorClient(
+                        "127.0.0.1", server.port, proto=2
+                    ) as admin:
+                        await admin.update_document(text=WIDER_DOC)
+                    await session.send_event(EVENT)
+                    mid = await session.status()  # flush: both ids hit old B
+                    # the widened alphabet is invisible to the pinned build:
+                    # N travels as a raw EVENT frame and is skipped
+                    await session.send_event(N_EVENT)
+                    drained = await session.status()
+                    # rebinding resyncs LETTERS for (B, 1): N now validates
+                    await session.use_spec("B")
+                    letters_v1 = session.letters
+                    await session.send_event(EVENT)
+                    await session.send_event(N_EVENT)
+                    end = await session.status()
+            return letters_v0, letters_v1, mid, drained, end
+
+        letters_v0, letters_v1, mid, drained, end = asyncio.run(run())
+        # old B needs two M events; the queued batch drained on it
+        assert mid.ok and mid.events == 2 and mid.skipped == 0
+        assert drained.events == 3 and drained.skipped == 1
+        # the rebind fetched a strictly larger letter table
+        assert set(letters_v0) < set(letters_v1)
+        assert end.ok and end.events == 2 and end.skipped == 0
