@@ -20,18 +20,24 @@ See DESIGN.md for the system inventory and EXPERIMENTS.md for the
 paper-claim index.
 """
 
-__version__ = "1.1.0"
+__version__ = "1.2.0"
 
 #: Names resolved lazily from :mod:`repro.api` on first attribute access.
+#: Kept equal to ``api.__all__`` — tests/test_api.py enforces the sync.
 _API_NAMES = frozenset(
     {
+        "API_VERSION",
+        "Gateway",
         "Monitor",
         "check",
         "compile_spec",
         "elaborate",
         "load",
+        "metrics_text",
         "parse",
         "serve",
+        "serve_http",
+        "update_from_text",
         "verify_refinement",
     }
 )

@@ -17,7 +17,10 @@ Commands:
   stream events from stdin) against a specification;
 * ``serve FILE.oun`` / ``serve --scenario NAME`` — run the
   online-monitoring TCP service over the document's specifications, or
-  over a built-in workload scenario's;
+  over a built-in workload scenario's (``--http-port N`` also serves
+  the HTTP/JSON gateway, see docs/http-api.md);
+* ``gateway`` — run the HTTP/JSON gateway standalone, in front of an
+  already-running monitoring service;
 * ``send TRACE`` — stream a trace to a running service and report the
   session verdict;
 * ``workload list`` — list the built-in multiparty-protocol scenarios;
@@ -258,7 +261,53 @@ def build_parser() -> argparse.ArgumentParser:
         default=None,
         metavar="PORT",
         help="also serve a Prometheus text scrape endpoint on PORT "
-        "(0 picks one)",
+        "(0 picks one; with --procs > 1 the gateway aggregates all "
+        "workers' metrics here)",
+    )
+    p_serve.add_argument(
+        "--http-port",
+        type=int,
+        default=None,
+        metavar="PORT",
+        help="also serve the HTTP/JSON gateway on PORT (0 picks one); "
+        "REST endpoints over the same service — see docs/http-api.md",
+    )
+
+    p_gateway = sub.add_parser(
+        "gateway",
+        help="HTTP/JSON gateway in front of a running monitoring service",
+        parents=[obs],
+    )
+    p_gateway.add_argument("--host", default="127.0.0.1", help="HTTP bind host")
+    p_gateway.add_argument(
+        "--http-port",
+        type=int,
+        default=8080,
+        metavar="PORT",
+        help="HTTP port (0 picks one)",
+    )
+    p_gateway.add_argument(
+        "--backend-host", default="127.0.0.1", help="monitoring service host"
+    )
+    p_gateway.add_argument(
+        "--backend-port",
+        type=int,
+        default=7471,
+        help="monitoring service TCP port",
+    )
+    p_gateway.add_argument(
+        "--metrics-backend",
+        action="append",
+        default=None,
+        metavar="HOST:PORT",
+        help="aggregate GET /v1/metrics over these endpoints instead of "
+        "the backend (repeat once per worker direct port)",
+    )
+    p_gateway.add_argument(
+        "--retries",
+        type=int,
+        default=5,
+        help="backend connect retries (with backoff)",
     )
 
     p_send = sub.add_parser(
@@ -643,6 +692,66 @@ def _cmd_monitor(args, out) -> int:
     return 1
 
 
+def _backend_host(host: str) -> str:
+    """A connectable address for a service bound to ``host``."""
+    return "127.0.0.1" if host in ("0.0.0.0", "::") else host
+
+
+async def _start_gateway(
+    args, backend_port, *, metrics_targets=None, metrics_port=None
+):
+    """Open an api.Gateway + HTTP front(s) next to a started server.
+
+    Returns ``(gateway, fronts)``; fronts are the bound
+    :class:`~repro.gateway.GatewayServer` objects, ``--http-port`` first
+    and the aggregated ``--metrics-port`` endpoint (when asked) last.
+    The gateway speaks TCP to the server this loop runs, so its blocking
+    open happens off-loop.
+    """
+    import asyncio
+
+    from repro.api import Gateway
+    from repro.gateway import GatewayServer
+
+    loop = asyncio.get_running_loop()
+    gateway = Gateway(
+        _backend_host(args.host),
+        backend_port,
+        metrics_targets=metrics_targets,
+    )
+    await loop.run_in_executor(None, gateway.open)
+    fronts = []
+    try:
+        if args.http_port is not None:
+            fronts.append(
+                GatewayServer(
+                    gateway, host=args.host, port=args.http_port
+                ).start()
+            )
+        if metrics_port is not None:
+            fronts.append(
+                GatewayServer(
+                    gateway, host=args.host, port=metrics_port
+                ).start()
+            )
+    except BaseException:
+        for front in fronts:
+            front.close()
+        await loop.run_in_executor(None, gateway.close)
+        raise
+    return gateway, fronts
+
+
+async def _stop_gateway(gateway, fronts) -> None:
+    import asyncio
+
+    loop = asyncio.get_running_loop()
+    for front in fronts:
+        await loop.run_in_executor(None, front.close)
+    if gateway is not None:
+        await loop.run_in_executor(None, gateway.close)
+
+
 def _cmd_serve(args, out) -> int:
     import asyncio
 
@@ -672,10 +781,11 @@ def _cmd_serve(args, out) -> int:
     names = ", ".join(registry.names())
 
     if args.procs > 1:
-        if args.metrics_interval is not None or args.metrics_port is not None:
+        if args.metrics_interval is not None:
             raise ReproError(
-                "--metrics-interval/--metrics-port are single-process "
-                "knobs; scrape workers individually with --procs > 1"
+                "--metrics-interval is a single-process knob; with "
+                "--procs > 1 use --metrics-port (the gateway aggregates "
+                "all workers) or scrape worker direct ports individually"
             )
         from repro.service.topology import ScaleOutServer
 
@@ -696,16 +806,35 @@ def _cmd_serve(args, out) -> int:
                 watch=watch,
             )
             await server.start()
+            gateway, fronts = None, []
+            if args.http_port is not None or args.metrics_port is not None:
+                host = _backend_host(args.host)
+                gateway, fronts = await _start_gateway(
+                    args,
+                    server.port,
+                    # Re-evaluated per scrape: respawned workers come
+                    # back on fresh direct ports.
+                    metrics_targets=lambda: [
+                        (host, port) for port in server.worker_ports if port
+                    ],
+                    metrics_port=args.metrics_port,
+                )
+            notes = ""
+            if args.http_port is not None:
+                notes += f"; http on :{fronts[0].port}"
+            if args.metrics_port is not None:
+                notes += f"; metrics on :{fronts[-1].port}"
             print(
                 f"repro service on {server.host}:{server.port} "
                 f"({args.procs} procs x {args.shards} shards, "
-                f"{server.mode} listener; specs: {names})",
+                f"{server.mode} listener; specs: {names}{notes})",
                 file=out,
                 flush=True,
             )
             try:
                 await asyncio.Event().wait()
             finally:
+                await _stop_gateway(gateway, fronts)
                 await server.stop()
 
         try:
@@ -726,20 +855,25 @@ def _cmd_serve(args, out) -> int:
             watch=watch,
         )
         await server.start()
+        gateway, fronts = None, []
+        if args.http_port is not None:
+            gateway, fronts = await _start_gateway(args, server.port)
         scrape = (
             f"; metrics on :{server.metrics_port}"
             if server.metrics_port is not None
             else ""
         )
+        http_note = f"; http on :{fronts[0].port}" if fronts else ""
         print(
             f"repro service on {server.host}:{server.port} "
-            f"({args.shards} shards; specs: {names}{scrape})",
+            f"({args.shards} shards; specs: {names}{scrape}{http_note})",
             file=out,
             flush=True,
         )
         try:
             await server.serve_forever()
         finally:
+            await _stop_gateway(gateway, fronts)
             await server.stop()
 
     try:
@@ -798,46 +932,73 @@ def _cmd_send(args, out) -> int:
     return asyncio.run(run())
 
 
-def _cmd_reload(args, out) -> int:
-    import asyncio
+def _cmd_gateway(args, out) -> int:
+    import threading
 
-    from repro.service import MonitorClient
+    from repro.api import Gateway
+    from repro.gateway import GatewayServer
+
+    targets = None
+    if args.metrics_backend:
+        targets = []
+        for entry in args.metrics_backend:
+            host, sep, port = entry.rpartition(":")
+            if not sep or not port.isdigit():
+                raise ReproError(
+                    f"--metrics-backend needs HOST:PORT, got {entry!r}"
+                )
+            targets.append((host or "127.0.0.1", int(port)))
+    gateway = Gateway(
+        args.backend_host,
+        args.backend_port,
+        connect_retries=args.retries,
+        metrics_targets=targets,
+    )
+    with gateway:
+        front = GatewayServer(gateway, host=args.host, port=args.http_port)
+        front.start()
+        print(
+            f"repro gateway on {front.host}:{front.port} -> "
+            f"{args.backend_host}:{args.backend_port}",
+            file=out,
+            flush=True,
+        )
+        try:
+            threading.Event().wait()
+        except KeyboardInterrupt:
+            print("gateway stopped", file=out)
+        finally:
+            front.close()
+    return 0
+
+
+def _cmd_reload(args, out) -> int:
+    from repro.api import update_from_text
 
     if (args.file is None) == (args.scenario is None):
         raise ReproError(
             "reload needs exactly one of FILE.oun or --scenario NAME"
         )
-
-    async def run() -> int:
-        extra = {"proto": 2} if args.binary else {}
-        client = MonitorClient(
-            args.host,
-            args.port,
-            connect_retries=args.retries,
-            **extra,
-        )
-        await client.connect()
-        try:
-            if args.scenario is not None:
-                report = await client.update_document(
-                    scenario=args.scenario, force=args.force
-                )
-            else:
-                report = await client.update_document(
-                    text=args.file.read_text(encoding="utf-8"),
-                    force=args.force,
-                )
-        finally:
-            await client.close()
-        print(
-            f"swapped {report['changed']} changed, "
-            f"{report['unchanged']} unchanged, "
-            f"{report['added']} added (specs: {report['specs']})",
-            file=out,
-        )
-        return 0
-
-    return asyncio.run(run())
+    report = update_from_text(
+        (
+            args.file.read_text(encoding="utf-8")
+            if args.file is not None
+            else None
+        ),
+        scenario=args.scenario,
+        host=args.host,
+        port=args.port,
+        force=args.force,
+        proto=2 if args.binary else 1,
+        retries=args.retries,
+    )
+    print(
+        f"swapped {report['changed']} changed, "
+        f"{report['unchanged']} unchanged, "
+        f"{report['added']} added (specs: {','.join(report['specs']) or '-'})",
+        file=out,
+    )
+    return 0
 
 
 def _cmd_workload(args, out) -> int:
@@ -1168,6 +1329,7 @@ _COMMANDS = {
     "parse": _cmd_parse,
     "monitor": _cmd_monitor,
     "serve": _cmd_serve,
+    "gateway": _cmd_gateway,
     "send": _cmd_send,
     "reload": _cmd_reload,
     "workload": _cmd_workload,

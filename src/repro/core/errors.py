@@ -23,6 +23,9 @@ __all__ = [
     "OUNElaborationError",
     "RuntimeModelError",
     "MonitorViolation",
+    "UnknownSpecificationError",
+    "UnknownSessionError",
+    "SessionStateError",
     "FingerprintError",
     "CacheError",
     "EngineError",
@@ -105,6 +108,28 @@ class MonitorViolation(ReproError):
         super().__init__(message)
         self.trace = trace
         self.event = event
+
+
+class UnknownSpecificationError(ReproError):
+    """Raised when a request names a specification the service doesn't have.
+
+    The management surface (:class:`repro.api.Gateway`, HTTP gateway)
+    maps this to a 404 — the caller asked for a resource, not an
+    operation, and the resource doesn't exist.
+    """
+
+
+class UnknownSessionError(ReproError):
+    """Raised when a request names a monitoring session that isn't open."""
+
+
+class SessionStateError(ReproError):
+    """Raised when a request conflicts with a session's current binding.
+
+    E.g. posting events for spec B to a session already bound to spec A:
+    honouring it would silently reset the session's counters, so the
+    management surface refuses (HTTP 409) instead.
+    """
 
 
 class FingerprintError(ReproError):

@@ -1,0 +1,18 @@
+"""HTTP/JSON gateway over the :mod:`repro.api` facade.
+
+REST endpoints for the online-monitoring service — register documents,
+stream events, query verdicts, scrape merged metrics — served by the
+stdlib ``http.server`` stack with zero new dependencies.  The package
+deliberately knows nothing about the TCP service: handlers call only the
+:class:`repro.api.Gateway` facade (tests/gateway/test_lint.py bans
+``repro.service`` imports here), so the wire protocol can keep evolving
+behind the stable API surface.
+
+Entry points: ``repro serve --http-port N``, ``repro gateway``, and
+:func:`repro.api.serve_http`.  Endpoint reference: ``docs/http-api.md``.
+"""
+
+from repro.gateway.app import GatewayServer
+from repro.gateway.errors import error_envelope, status_for
+
+__all__ = ["GatewayServer", "error_envelope", "status_for"]

@@ -1,0 +1,92 @@
+"""The gateway's uniform JSON error envelope.
+
+Every failure an HTTP handler can hit — bad bodies, unknown resources,
+typed :class:`~repro.core.errors.ReproError` subclasses raised by the
+:class:`repro.api.Gateway` facade, transport trouble — renders as one
+shape::
+
+    {"error": {"kind": "<exception class>", "message": "...", "detail": ...}}
+
+with the HTTP status picked by walking the exception's MRO through
+:data:`_STATUS_BY_KIND`.  Matching is *by class name*, not by class
+object, so service-layer exceptions (``ProtocolError``,
+``ServiceUnavailable``) map correctly without this module ever importing
+``repro.service`` — the import ban tests/gateway/test_lint.py enforces.
+"""
+
+from __future__ import annotations
+
+from repro.core.errors import ReproError
+
+__all__ = [
+    "BadRequestError",
+    "MethodNotAllowedError",
+    "NotFoundError",
+    "error_envelope",
+    "status_for",
+]
+
+
+class BadRequestError(ReproError):
+    """A malformed HTTP request (body, JSON shape, header) — 400."""
+
+
+class NotFoundError(ReproError):
+    """No route matches the request path — 404."""
+
+
+class MethodNotAllowedError(ReproError):
+    """The path exists but not under this HTTP method — 405."""
+
+
+#: Exception class name → HTTP status.  Order within an MRO decides:
+#: the most specific ancestor with an entry wins, ``ReproError`` is the
+#: 400 backstop for library errors, anything unmapped is a 500.
+_STATUS_BY_KIND = {
+    "BadRequestError": 400,
+    "NotFoundError": 404,
+    "MethodNotAllowedError": 405,
+    "OUNSyntaxError": 400,
+    "OUNElaborationError": 400,
+    "SpecificationError": 400,
+    "StateSpaceLimitExceeded": 400,
+    "ProtocolError": 400,
+    "UnknownSpecificationError": 404,
+    "UnknownSessionError": 404,
+    "SessionStateError": 409,
+    "ServiceUnavailable": 503,
+    "ReproError": 400,
+    "ConnectionError": 502,
+    "TimeoutError": 504,
+}
+
+
+def status_for(exc: BaseException) -> int:
+    """The HTTP status for an exception (most specific MRO entry)."""
+    for klass in type(exc).__mro__:
+        status = _STATUS_BY_KIND.get(klass.__name__)
+        if status is not None:
+            return status
+    return 500
+
+
+def error_envelope(exc: BaseException) -> tuple[int, dict]:
+    """``(status, payload)`` for the uniform JSON error envelope.
+
+    ``detail`` carries machine-usable position info when the exception
+    has it (parser line/column, state-space ``explored``), else null.
+    """
+    status = status_for(exc)
+    detail = {}
+    for attr in ("line", "column", "explored"):
+        value = getattr(exc, attr, None)
+        if isinstance(value, int):
+            detail[attr] = value
+    payload = {
+        "error": {
+            "kind": type(exc).__name__,
+            "message": str(exc) or type(exc).__name__,
+            "detail": detail or None,
+        }
+    }
+    return status, payload

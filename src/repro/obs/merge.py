@@ -1,0 +1,171 @@
+"""Merge Prometheus text dumps from N workers into one exposition.
+
+A ``--procs N`` topology runs N independent processes, each with its own
+:class:`~repro.obs.registry.MetricsRegistry` — so "the service's metrics"
+are N scrapes, not one.  This module folds them into a single exposition
+the way a federation-aware scraper would:
+
+* **counters** sum across workers (events checked anywhere are events
+  checked);
+* **histograms** merge bucket-wise — cumulative ``_bucket`` series,
+  ``_sum`` and ``_count`` are all plain sums, which is exactly the
+  semantics of concatenating the underlying observation streams;
+* **gauges** must *not* be summed (an intern-table size summed over
+  workers counts shared structure N times), so each worker's series
+  keeps its value and gains a ``worker="<i>"`` label.
+
+The parser is deliberately narrow: it understands the subset of the text
+exposition format that :meth:`MetricsRegistry.format_prometheus` emits
+(``# HELP`` / ``# TYPE`` lines, samples with sorted labels, no escaping
+beyond what label *values* in this codebase contain).  Families without
+a ``TYPE`` line are treated as gauges — labeling by worker is the only
+merge that is safe without knowing the semantics.
+"""
+
+from __future__ import annotations
+
+import math
+import re
+from typing import Iterable
+
+from repro.obs.registry import _fmt_labels, _fmt_value
+
+__all__ = ["merge_prometheus"]
+
+_SAMPLE = re.compile(r"^([A-Za-z_:][A-Za-z0-9_:]*)(\{[^}]*\})?\s+(\S+)$")
+_LABEL = re.compile(r'([A-Za-z_][A-Za-z0-9_]*)="((?:\\.|[^"\\])*)"')
+_HISTOGRAM_SUFFIXES = ("_bucket", "_sum", "_count")
+
+
+def _parse_value(token: str) -> int | float:
+    if re.fullmatch(r"[+-]?\d+", token):
+        return int(token)
+    if token == "+Inf":
+        return math.inf
+    if token == "-Inf":
+        return -math.inf
+    return float(token)
+
+
+class _Family:
+    __slots__ = ("kind", "help", "series")
+
+    def __init__(self, kind: str) -> None:
+        self.kind = kind
+        self.help = ""
+        #: (suffix, labels) → merged value.  ``suffix`` is "" for plain
+        #: samples and one of ``_HISTOGRAM_SUFFIXES`` for histogram rows.
+        self.series: dict[tuple[str, tuple[tuple[str, str], ...]], int | float] = {}
+
+
+def _split_histogram_name(
+    name: str, kinds: dict[str, str]
+) -> tuple[str, str]:
+    """``repro_x_bucket`` → (``repro_x``, ``_bucket``) when x is a histogram."""
+    for suffix in _HISTOGRAM_SUFFIXES:
+        if name.endswith(suffix):
+            base = name[: -len(suffix)]
+            if kinds.get(base) == "histogram":
+                return base, suffix
+    return name, ""
+
+
+def merge_prometheus(
+    dumps: Iterable[tuple[object, str]], *, label: str = "worker"
+) -> str:
+    """Fold per-worker expositions into one.
+
+    ``dumps`` yields ``(worker, text)`` pairs; ``worker`` (stringified)
+    becomes the gauge label value.  Counter and histogram series with
+    identical label sets are summed; gauges are kept per worker under an
+    added ``label`` ("worker" by default).
+    """
+    families: dict[str, _Family] = {}
+    for worker, text in dumps:
+        kinds: dict[str, str] = {}
+        lines = text.splitlines()
+        for line in lines:
+            if line.startswith("# TYPE "):
+                parts = line.split(None, 3)
+                if len(parts) >= 4:
+                    name, kind = parts[2], parts[3]
+                    kinds[name] = kind
+                    family = families.setdefault(name, _Family(kind))
+                    if family.kind == "untyped":
+                        # a HELP line (or an untyped dump) got here first
+                        family.kind = kind
+            elif line.startswith("# HELP "):
+                parts = line.split(None, 3)
+                if len(parts) >= 3:
+                    name = parts[2]
+                    help_text = parts[3] if len(parts) == 4 else ""
+                    family = families.setdefault(name, _Family("untyped"))
+                    if help_text and not family.help:
+                        family.help = help_text
+        for line in lines:
+            if not line or line.startswith("#"):
+                continue
+            match = _SAMPLE.match(line)
+            if match is None:
+                continue
+            sample_name, label_blob, token = match.groups()
+            labels = tuple(sorted(_LABEL.findall(label_blob or "")))
+            value = _parse_value(token)
+            base, suffix = _split_histogram_name(sample_name, kinds)
+            family = families.setdefault(base, _Family("untyped"))
+            if family.kind in ("counter", "histogram"):
+                key = (suffix, labels)
+                family.series[key] = family.series.get(key, 0) + value
+            else:
+                key = (suffix, tuple(sorted(labels + ((label, str(worker)),))))
+                family.series[key] = value
+    return _render(families)
+
+
+def _le_sort_key(entry: tuple[str, int | float]) -> float:
+    le_raw, _ = entry
+    return math.inf if le_raw == "+Inf" else float(le_raw)
+
+
+def _render(families: dict[str, _Family]) -> str:
+    lines: list[str] = []
+    for name in sorted(families):
+        family = families[name]
+        if not family.series:
+            continue
+        if family.help:
+            lines.append(f"# HELP {name} {family.help}")
+        lines.append(f"# TYPE {name} {family.kind}")
+        if family.kind == "histogram":
+            _render_histogram(lines, name, family)
+            continue
+        for (_suffix, labels), value in sorted(family.series.items()):
+            lines.append(f"{name}{_fmt_labels(labels)} {_fmt_value(value)}")
+    return "\n".join(lines) + "\n" if lines else ""
+
+
+def _render_histogram(lines: list[str], name: str, family: _Family) -> None:
+    buckets: dict[tuple, list[tuple[str, int | float]]] = {}
+    sums: dict[tuple, int | float] = {}
+    counts: dict[tuple, int | float] = {}
+    for (suffix, labels), value in family.series.items():
+        if suffix == "_bucket":
+            le_raw = dict(labels).get("le", "+Inf")
+            base = tuple(pair for pair in labels if pair[0] != "le")
+            buckets.setdefault(base, []).append((le_raw, value))
+        elif suffix == "_sum":
+            sums[labels] = value
+        elif suffix == "_count":
+            counts[labels] = value
+    for base in sorted(set(buckets) | set(sums) | set(counts)):
+        for le_raw, value in sorted(buckets.get(base, ()), key=_le_sort_key):
+            le = _fmt_labels(base, f'le="{le_raw}"')
+            lines.append(f"{name}_bucket{le} {_fmt_value(value)}")
+        if base in sums:
+            lines.append(
+                f"{name}_sum{_fmt_labels(base)} {_fmt_value(sums[base])}"
+            )
+        if base in counts:
+            lines.append(
+                f"{name}_count{_fmt_labels(base)} {_fmt_value(counts[base])}"
+            )

@@ -156,6 +156,7 @@ class MonitorServer:
         metrics_interval: float | None = None,
         metrics_out=None,
         metrics_port: int | None = None,
+        direct_port: int | None = None,
         queue_size: int = DEFAULT_QUEUE_SIZE,
         max_proto: int = wire.WIRE_VERSION,
         data_dir: str | Path | None = None,
@@ -212,6 +213,13 @@ class MonitorServer:
         self._metrics_out = metrics_out
         self.metrics_port = metrics_port
         self._metrics_server: asyncio.AbstractServer | None = None
+        #: Optional second listener on the *same* connection handler.
+        #: Scale-out workers share one advertised port (SO_REUSEPORT or
+        #: descriptor handoff), which makes an individual worker
+        #: unaddressable; ``direct_port=0`` gives each one a private
+        #: ephemeral port so the gateway can fan in per-worker METRICS.
+        self.direct_port = direct_port
+        self._direct_server: asyncio.AbstractServer | None = None
         # Pre-declare the engine's cache counter families so a scrape of a
         # fresh server exposes them at zero instead of omitting them.
         declare_cache_counters(get_registry())
@@ -237,6 +245,13 @@ class MonitorServer:
                 self._handle_connection, self.host, self._requested_port
             )
             self.port = self._server.sockets[0].getsockname()[1]
+        if self.direct_port is not None:
+            self._direct_server = await asyncio.start_server(
+                self._handle_connection, self.host, self.direct_port
+            )
+            self.direct_port = (
+                self._direct_server.sockets[0].getsockname()[1]
+            )
         if self._watch is not None:
             self._watch_task = asyncio.create_task(self._watch_loop())
         if self.metrics_port is not None:
@@ -275,6 +290,10 @@ class MonitorServer:
             self._metrics_server.close()
             await self._metrics_server.wait_closed()
             self._metrics_server = None
+        if self._direct_server is not None:
+            self._direct_server.close()
+            await self._direct_server.wait_closed()
+            self._direct_server = None
         if self._server is not None:
             self._server.close()
             await self._server.wait_closed()

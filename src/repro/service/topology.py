@@ -107,6 +107,12 @@ class WorkerConfig:
     fsync_every: int = 64
     snapshot_every: int = 1024
     watch: str | None = None
+    #: Requested per-worker direct port (0 = ephemeral, None = off).
+    #: The *resolved* port travels back in the worker's ready message so
+    #: the parent can publish :attr:`ScaleOutServer.worker_ports` for
+    #: metrics fan-in (workers share the advertised port, so they are
+    #: not individually addressable through it).
+    direct_port: int | None = 0
 
 
 def _build_registry(config: WorkerConfig):
@@ -167,11 +173,12 @@ async def _worker_main(config: WorkerConfig, conn) -> None:
         snapshot_every=config.snapshot_every,
         watch=config.watch,
         max_proto=config.max_proto,
+        direct_port=config.direct_port,
         sock=sock,
         listen=config.mode == "reuseport",
     )
     await server.start()
-    conn.send(("ready", config.worker_index, os.getpid()))
+    conn.send(("ready", config.worker_index, os.getpid(), server.direct_port))
     if config.mode == "handoff":
         await _serve_handoff(server, conn)
         await server.stop()
@@ -255,10 +262,21 @@ class ScaleOutServer:
         self._supervisor_task: asyncio.Task | None = None
         self._ring: HashRing | None = None
         self._conn_seq = 0
+        self._worker_ports: dict[int, int | None] = {}
 
     @property
     def worker_pids(self) -> tuple[int, ...]:
         return tuple(proc.pid for proc, _ in self._workers)
+
+    @property
+    def worker_ports(self) -> tuple[int | None, ...]:
+        """Each worker's private direct port, by index.
+
+        These bypass the shared advertised port, so a client (the
+        gateway's METRICS fan-in) can address one specific worker.
+        Respawns re-resolve them, so read this per use, not once.
+        """
+        return tuple(self._worker_ports.get(i) for i in range(self.procs))
 
     # -- lifecycle -----------------------------------------------------------
 
@@ -309,6 +327,7 @@ class ScaleOutServer:
             ) from exc
         if ready[0] != "ready":  # pragma: no cover - defensive
             raise ReproError(f"worker {index} sent unexpected {ready!r}")
+        self._worker_ports[index] = ready[3] if len(ready) > 3 else None
         return proc, parent_conn
 
     async def stop(self) -> None:
@@ -329,6 +348,7 @@ class ScaleOutServer:
             if proc.is_alive():  # pragma: no cover - stuck worker
                 proc.kill()
         self._workers = []
+        self._worker_ports = {}
         for sock in (self._reserve_sock, self._listen_sock):
             if sock is not None:
                 sock.close()

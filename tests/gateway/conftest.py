@@ -1,0 +1,145 @@
+"""Shared gateway-test plumbing: a live threaded service + HTTP client.
+
+Gateway methods are synchronous and block on TCP round-trips, so these
+tests cannot run them on the same event loop as the server (the classic
+self-deadlock).  ``live_server`` runs a real :class:`MonitorServer` on a
+background thread's loop instead, and the test body stays plain
+synchronous code — exactly the shape of a real gateway deployment.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import contextlib
+import http.client
+import json
+import threading
+
+from repro.api import Gateway
+from repro.gateway import GatewayServer
+from repro.service import MonitorServer
+
+#: A document with a permissive spec (A), a strict one (B: at least one
+#: M), and a bounded one (One: at most one M — easy to violate).
+DOC = """
+object o
+object c
+specification A {
+  objects o
+  method M(Data)
+  alphabet { <c, o, M(_)> ; }
+  traces prs "<c,o,M(_)>*"
+}
+specification B {
+  objects o
+  method M(Data)
+  alphabet { <c, o, M(_)> ; }
+  traces prs "<c,o,M(_)> <c,o,M(_)>*"
+}
+specification One {
+  objects o
+  method M(Data)
+  alphabet { <c, o, M(_)> ; }
+  traces prs "[<c,o,M(_)>]"
+}
+"""
+
+#: A document declaring one extra spec, for PUT-registration tests.
+EXTRA_DOC = """
+object o
+object c
+specification Extra {
+  objects o
+  method N(Data)
+  alphabet { <c, o, N(_)> ; }
+  traces prs "<c,o,N(_)>*"
+}
+"""
+
+EVENT = "c -> o : M(Data:d)"
+
+
+@contextlib.contextmanager
+def live_server(registry, **kwargs):
+    """Run a MonitorServer on a background thread; yields its port."""
+    box: dict = {}
+    started = threading.Event()
+
+    def run() -> None:
+        async def main() -> None:
+            try:
+                async with MonitorServer(registry, **kwargs) as server:
+                    box["port"] = server.port
+                    box["loop"] = asyncio.get_running_loop()
+                    box["stop"] = asyncio.Event()
+                    started.set()
+                    await box["stop"].wait()
+            except BaseException as exc:  # surface startup failures
+                box["error"] = exc
+                started.set()
+                raise
+
+        asyncio.run(main())
+
+    thread = threading.Thread(target=run, name="gateway-test-server", daemon=True)
+    thread.start()
+    assert started.wait(timeout=60), "server thread did not start"
+    if "error" in box:
+        raise box["error"]
+    try:
+        yield box["port"]
+    finally:
+        box["loop"].call_soon_threadsafe(box["stop"].set)
+        thread.join(timeout=30)
+
+
+class HttpApi:
+    """A minimal JSON-speaking client over one keep-alive connection."""
+
+    def __init__(self, port: int, host: str = "127.0.0.1") -> None:
+        self.conn = http.client.HTTPConnection(host, port, timeout=60)
+
+    def request(
+        self,
+        method: str,
+        path: str,
+        body=None,
+        *,
+        content_type: str | None = None,
+        raw: bool = False,
+    ):
+        headers = {}
+        data = None
+        if body is not None:
+            if isinstance(body, (dict, list)):
+                data = json.dumps(body).encode("utf-8")
+                headers["Content-Type"] = "application/json"
+            elif isinstance(body, bytes):
+                data = body
+            else:
+                data = str(body).encode("utf-8")
+                headers["Content-Type"] = "text/plain"
+        if content_type is not None:
+            headers["Content-Type"] = content_type
+        self.conn.request(method, path, body=data, headers=headers)
+        response = self.conn.getresponse()
+        payload = response.read()
+        if raw:
+            return response.status, payload
+        return response.status, json.loads(payload) if payload else None
+
+    def close(self) -> None:
+        self.conn.close()
+
+
+@contextlib.contextmanager
+def live_gateway(registry, *, server_kwargs=None, gateway_kwargs=None):
+    """Full stack: threaded server + Gateway + HTTP front; yields (api, gw)."""
+    with live_server(registry, **(server_kwargs or {})) as port:
+        with Gateway("127.0.0.1", port, **(gateway_kwargs or {})) as gateway:
+            with GatewayServer(gateway, host="127.0.0.1", port=0) as front:
+                client = HttpApi(front.port)
+                try:
+                    yield client, gateway
+                finally:
+                    client.close()

@@ -1,0 +1,91 @@
+"""The gateway parity law: HTTP verdicts == proto=2 TCP verdicts == oracle.
+
+The HTTP surface is a third framing of the same protocol, so it owes the
+same equivalence law the binary wire does (tests/workload/
+test_wire_equivalence.py): a seeded, fault-injected stream posted through
+``POST /v1/sessions/{key}/events`` must yield the violation index the
+dense oracle predicts, and the exact verdict a direct binary-wire client
+observes for the identical stream.
+"""
+
+from __future__ import annotations
+
+import asyncio
+
+import pytest
+
+from repro.service import MonitorClient
+from repro.workload.generator import FaultSpec, StreamSession
+from repro.workload.scenarios import get_scenario
+
+from tests.gateway.conftest import live_gateway, live_server
+
+FAULTS = FaultSpec(reorder=0.03, dup=0.02, drop=0.02)
+SESSIONS = 2
+EVENTS = 150
+
+
+def _streams(scenario, seed):
+    """(lines, expected) per session — the one seeded source of truth."""
+    compiled = scenario.registry().get(scenario.monitored)
+    out = []
+    for index in range(SESSIONS):
+        stream = StreamSession(compiled, FAULTS, seed=f"{seed}:{index}")
+        lines = stream.next_batch_lines(EVENTS)
+        out.append((lines, stream.expected_violation))
+    return out
+
+
+def _tcp_verdicts(port, scenario, streams):
+    async def drive():
+        verdicts = []
+        for lines, _expected in streams:
+            async with MonitorClient(
+                "127.0.0.1", port, spec=scenario.monitored, proto=2, batch=16
+            ) as client:
+                for line in lines:
+                    await client.send_event(line)
+                status = await client.status()
+                assert status.errors == 0
+                verdicts.append(status.violation_index)
+        return verdicts
+
+    return asyncio.run(drive())
+
+
+class TestGatewayParity:
+    @pytest.mark.parametrize("scenario_name", ["two_phase_dynamic", "pubsub_fanout"])
+    @pytest.mark.parametrize("seed", [0, 7])
+    def test_http_matches_binary_wire_and_oracle(self, scenario_name, seed):
+        scenario = get_scenario(scenario_name)
+        streams = _streams(scenario, seed)
+        oracle = [expected for _lines, expected in streams]
+
+        with live_gateway(scenario.registry()) as (api, _gw):
+            http = []
+            for index, (lines, _expected) in enumerate(streams):
+                status, body = api.request(
+                    "POST",
+                    f"/v1/sessions/parity-{index}/events",
+                    {"spec": scenario.monitored, "events": lines},
+                )
+                assert status == 200 and body["errors"] == 0
+                violation = body["violation"]
+                http.append(violation["index"] if violation else None)
+
+        with live_server(scenario.registry()) as port:
+            tcp = _tcp_verdicts(port, scenario, streams)
+
+        assert http == oracle, f"HTTP diverged from the dense oracle: {http} != {oracle}"
+        assert http == tcp, f"HTTP diverged from the binary wire: {http} != {tcp}"
+
+    def test_the_law_is_not_vacuous(self):
+        # at least one (scenario, seed) cell must actually violate, or
+        # the parity above is three lists of None agreeing about nothing
+        expected = [
+            e
+            for name in ("two_phase_dynamic", "pubsub_fanout")
+            for seed in (0, 7)
+            for _lines, e in _streams(get_scenario(name), seed)
+        ]
+        assert any(e is not None for e in expected)

@@ -1,0 +1,139 @@
+"""merge_prometheus: fold N per-worker expositions into one scrape."""
+
+from __future__ import annotations
+
+import re
+
+from repro.obs.merge import merge_prometheus
+from repro.obs.registry import MetricsRegistry
+
+
+def _dump(build) -> str:
+    registry = MetricsRegistry()
+    build(registry)
+    return registry.format_prometheus()
+
+
+class TestCounters:
+    def test_counters_sum_across_workers(self):
+        dumps = [
+            (i, _dump(lambda r, n=n: r.counter("repro_x_total", help="x").inc(n)))
+            for i, n in enumerate((3, 4))
+        ]
+        merged = merge_prometheus(dumps)
+        assert "# TYPE repro_x_total counter" in merged
+        assert "\nrepro_x_total 7\n" in merged
+        assert "worker" not in merged
+
+    def test_labeled_counter_series_sum_per_label_set(self):
+        def build(n):
+            def inner(r):
+                r.counter("repro_f_total", labels={"kind": "a"}).inc(n)
+                r.counter("repro_f_total", labels={"kind": "b"}).inc(1)
+
+            return inner
+
+        merged = merge_prometheus(
+            [(0, _dump(build(5))), (1, _dump(build(2)))]
+        )
+        assert 'repro_f_total{kind="a"} 7' in merged
+        assert 'repro_f_total{kind="b"} 2' in merged
+
+    def test_counter_missing_from_one_worker_keeps_its_value(self):
+        merged = merge_prometheus(
+            [
+                (0, _dump(lambda r: r.counter("repro_only_total").inc(9))),
+                (1, _dump(lambda r: r.counter("repro_other_total").inc(1))),
+            ]
+        )
+        assert "repro_only_total 9" in merged
+        assert "repro_other_total 1" in merged
+
+
+class TestGauges:
+    def test_gauges_are_worker_labeled_not_summed(self):
+        dumps = [
+            (i, _dump(lambda r, v=v: r.gauge("repro_open_files").set(v)))
+            for i, v in enumerate((11, 22))
+        ]
+        merged = merge_prometheus(dumps)
+        assert "# TYPE repro_open_files gauge" in merged
+        assert 'repro_open_files{worker="0"} 11' in merged
+        assert 'repro_open_files{worker="1"} 22' in merged
+        assert "\nrepro_open_files 33" not in merged
+
+    def test_custom_label_name(self):
+        merged = merge_prometheus(
+            [("a", _dump(lambda r: r.gauge("repro_g").set(1)))],
+            label="shard",
+        )
+        assert 'repro_g{shard="a"} 1' in merged
+
+
+class TestHistograms:
+    def test_buckets_sum_bucketwise(self):
+        def build(values):
+            def inner(r):
+                h = r.histogram("repro_h_seconds", buckets=(0.1, 1.0))
+                for v in values:
+                    h.observe(v)
+
+            return inner
+
+        merged = merge_prometheus(
+            [(0, _dump(build([0.05, 0.5]))), (1, _dump(build([0.05, 5.0])))]
+        )
+        assert "# TYPE repro_h_seconds histogram" in merged
+        assert 'repro_h_seconds_bucket{le="0.1"} 2' in merged
+        assert 'repro_h_seconds_bucket{le="1.0"} 3' in merged
+        assert 'repro_h_seconds_bucket{le="+Inf"} 4' in merged
+        assert "repro_h_seconds_count 4" in merged
+        total = re.search(r"repro_h_seconds_sum (\S+)", merged).group(1)
+        assert abs(float(total) - 5.6) < 1e-9
+
+    def test_bucket_rows_keep_cumulative_order(self):
+        merged = merge_prometheus(
+            [(0, _dump(lambda r: r.histogram("repro_o_seconds").observe(0.01)))]
+        )
+        rows = [
+            line
+            for line in merged.splitlines()
+            if line.startswith("repro_o_seconds_bucket")
+        ]
+        les = [re.search(r'le="([^"]+)"', row).group(1) for row in rows]
+        assert les[-1] == "+Inf"
+        numeric = [float(le) for le in les[:-1]]
+        assert numeric == sorted(numeric)
+
+
+class TestFormatQuirks:
+    def test_help_before_type_still_merges_counters(self):
+        # format_prometheus emits "# HELP" first; a naive parser that
+        # fixes the family kind on first sight would then worker-label
+        # (i.e. gauge-merge) every counter.  Regression for that bug.
+        text = (
+            "# HELP repro_c_total things\n"
+            "# TYPE repro_c_total counter\n"
+            "repro_c_total 1\n"
+        )
+        merged = merge_prometheus([(0, text), (1, text)])
+        assert "repro_c_total 2" in merged
+        assert "worker" not in merged
+        assert "# HELP repro_c_total things" in merged
+
+    def test_family_without_type_line_is_gauge_merged(self):
+        text = "repro_mystery 5\n"
+        merged = merge_prometheus([(0, text), (1, text)])
+        assert "# TYPE repro_mystery untyped" in merged
+        assert 'repro_mystery{worker="0"} 5' in merged
+        assert 'repro_mystery{worker="1"} 5' in merged
+
+    def test_single_dump_counter_round_trips(self):
+        text = _dump(lambda r: r.counter("repro_rt_total", help="rt").inc(2))
+        merged = merge_prometheus([(0, text)])
+        assert "# HELP repro_rt_total rt" in merged
+        assert "repro_rt_total 2" in merged
+
+    def test_empty_input(self):
+        assert merge_prometheus([]) == ""
+        assert merge_prometheus([(0, "")]) == ""

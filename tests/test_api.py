@@ -49,6 +49,35 @@ class TestSurface:
     def test_version(self):
         assert repro.__version__.count(".") == 2
 
+    def test_api_version(self):
+        assert api.API_VERSION.count(".") == 2
+        assert api.API_VERSION == repro.__version__
+        major, minor, _patch = api.API_VERSION.split(".")
+        assert (int(major), int(minor)) >= (1, 2)
+
+    def test_lazy_names_stay_in_sync_with_api_all(self):
+        # The package __init__ keeps its own frozenset of lazily
+        # resolved names; adding to api.__all__ without updating it
+        # would silently break `from repro import <new name>`.
+        assert repro._API_NAMES == set(api.__all__)
+
+    def test_management_surface_present(self):
+        assert callable(api.update_from_text)
+        assert callable(api.metrics_text)
+        assert callable(api.serve_http)
+        assert isinstance(api.Gateway, type)
+        for name in ("Gateway", "update_from_text", "metrics_text"):
+            assert getattr(api, name).__doc__
+
+    def test_metrics_text_is_prometheus(self):
+        from repro.obs.registry import use_registry
+
+        with use_registry() as reg:
+            reg.counter("repro_api_test_total", help="probe").inc(3)
+            text = api.metrics_text()
+        assert "# TYPE repro_api_test_total counter" in text
+        assert "repro_api_test_total 3" in text
+
     def test_facade_imports_warn_nothing(self):
         with warnings.catch_warnings():
             warnings.simplefilter("error", DeprecationWarning)

@@ -38,7 +38,12 @@ class TestRelativeLinks:
     def test_documents_exist(self):
         # the glob above must actually pick the docs tree up
         names = {doc.name for doc in DOCUMENTS}
-        assert {"wire-protocol.md", "architecture.md", "cli.md"} <= names
+        assert {
+            "wire-protocol.md",
+            "architecture.md",
+            "cli.md",
+            "http-api.md",
+        } <= names
 
     @pytest.mark.parametrize(
         "doc", DOCUMENTS, ids=[d.relative_to(REPO).as_posix() for d in DOCUMENTS]
@@ -61,6 +66,7 @@ class TestCrossReferences:
             "docs/wire-protocol.md",
             "docs/architecture.md",
             "docs/cli.md",
+            "docs/http-api.md",
         ):
             assert target in text, f"README no longer links {target}"
 
@@ -76,6 +82,35 @@ class TestCrossReferences:
         assert "## 13." in text
         section = text.partition("## 13.")[2]
         assert "docs/wire-protocol.md" in section
+
+    def test_design_section_16_cross_links_http_api(self):
+        text = (REPO / "DESIGN.md").read_text(encoding="utf-8")
+        assert "## 16." in text
+        section = text.partition("## 16.")[2]
+        assert "docs/http-api.md" in section
+
+    def test_http_api_doc_covers_the_surface(self):
+        text = (REPO / "docs" / "http-api.md").read_text(encoding="utf-8")
+        # the anchors the gateway tests are written against
+        for needle in (
+            "/v1/healthz",
+            "/v1/documents",
+            "/v1/sessions",
+            "/v1/metrics",
+            '"error"',
+            '"kind"',
+            "409",
+            "merge_prometheus",
+            "repro gateway",
+            "--http-port",
+        ):
+            assert needle in text, f"http-api.md lost {needle!r}"
+
+    def test_gateway_module_names_the_normative_spec(self):
+        import repro.gateway as gateway
+        import repro.gateway.app as app
+
+        assert "docs/http-api.md" in (gateway.__doc__ + app.__doc__)
 
     def test_wire_protocol_doc_covers_both_framings(self):
         text = (REPO / "docs" / "wire-protocol.md").read_text(encoding="utf-8")
